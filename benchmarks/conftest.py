@@ -1,0 +1,33 @@
+"""Benchmark-suite infrastructure.
+
+Every benchmark regenerates one table or figure of the paper and registers
+its formatted rows through :func:`record_result`. A terminal-summary hook
+prints all registered outputs at the end of the run (so the regenerated
+series appear in ``pytest benchmarks/ --benchmark-only`` output even with
+stdout capture active) and writes them under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+_RESULTS: list[tuple[str, str]] = []
+_RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def record_result(name: str, text: str) -> None:
+    """Register a regenerated table/figure for the end-of-run report."""
+    _RESULTS.append((name, text))
+    _RESULTS_DIR.mkdir(exist_ok=True)
+    (_RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _RESULTS:
+        return
+    terminalreporter.section("regenerated paper tables and figures")
+    for name, text in _RESULTS:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(f"==== {name} ====")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)

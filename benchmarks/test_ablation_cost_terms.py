@@ -1,0 +1,60 @@
+"""Ablation: contribution of each Eq.-17 term to the heuristic's wins.
+
+Re-weight the selection rule's cost components (plans always evaluated
+under the full accounting) and compare against FFPS. Expectation: the
+idle-power terms, not the run term, carry most of the advantage — the
+run cost is nearly server-independent when per-capacity power is flat.
+"""
+
+from __future__ import annotations
+
+from conftest import record_result
+from repro.allocators import FirstFitPowerSaving
+from repro.energy.cost import allocation_cost
+from repro.experiments.figures import format_table
+from repro.extensions import CostWeights, WeightedMinEnergy
+from repro.model.cluster import Cluster
+from repro.workload.generator import generate_vms
+
+SEEDS = (0, 1, 2)
+
+VARIANTS = {
+    "full rule": CostWeights(),
+    "no run term": CostWeights(run=0),
+    "run only": CostWeights(run=1, busy_idle=0, gaps=0, wake=0),
+    "idle terms only": CostWeights(run=0, busy_idle=1, gaps=1, wake=1),
+}
+
+
+def run_study():
+    energies = {label: 0.0 for label in VARIANTS}
+    ffps_total = 0.0
+    for seed in SEEDS:
+        vms = generate_vms(200, mean_interarrival=5.0, seed=seed)
+        cluster = Cluster.paper_all_types(100)
+        ffps_total += allocation_cost(
+            FirstFitPowerSaving(seed=seed).allocate(vms, cluster)).total
+        for label, weights in VARIANTS.items():
+            allocator = WeightedMinEnergy(weights)
+            energies[label] += allocation_cost(
+                allocator.allocate(vms, cluster)).total
+    return ({label: total / len(SEEDS)
+             for label, total in energies.items()},
+            ffps_total / len(SEEDS))
+
+
+def test_ablation_cost_terms(benchmark):
+    means, ffps = benchmark.pedantic(run_study, rounds=1, iterations=1)
+    rows = [(label, round(energy, 0),
+             round(100 * (ffps - energy) / ffps, 2))
+            for label, energy in sorted(means.items(),
+                                        key=lambda kv: kv[1])]
+    record_result("ablation_cost_terms", format_table(
+        ("selection rule", "energy", "vs ffps %"), rows))
+
+    # the complete rule is the best variant
+    assert means["full rule"] == min(means.values())
+    # the idle-power terms carry the rule: dropping them hurts far more
+    # than dropping the run term
+    full = means["full rule"]
+    assert means["no run term"] - full < means["run only"] - full

@@ -1,0 +1,25 @@
+"""Ablation: share of energy from the initial-wake convention.
+
+DESIGN.md ablation 3: Eq. (17) as OCR'd omits the first switch-on cost;
+we charge it (required for ILP consistency). This bench quantifies how
+much of the total it represents — it must be small and, because it is
+charged identically to every algorithm, it cannot flip any comparison.
+"""
+
+from __future__ import annotations
+
+from conftest import record_result
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.figures import ablation_initial_wake
+
+
+def test_ablation_initial_wake(benchmark):
+    config = ScenarioConfig(n_vms=300, mean_interarrival=4.0,
+                            seeds=(0, 1, 2))
+    result = benchmark.pedantic(ablation_initial_wake, args=(config,),
+                                rounds=1, iterations=1)
+    record_result("ablation_initial_wake", result.format())
+
+    for row in result.rows:
+        # the wake share of total energy stays a minor component
+        assert 0.0 < row.reduction_vs_ffps_pct < 20.0

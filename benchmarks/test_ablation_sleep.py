@@ -1,0 +1,24 @@
+"""Ablation: value of the min(P_idle*gap, alpha) sleep rule (Eq. 16).
+
+DESIGN.md ablation 2: compare the paper's gap rule against never
+sleeping (pay idle power through every gap) and always sleeping (pay a
+wake-up per gap regardless of its length).
+"""
+
+from __future__ import annotations
+
+from conftest import record_result
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.figures import ablation_sleep_policy
+
+
+def test_ablation_sleep(benchmark):
+    config = ScenarioConfig(n_vms=300, mean_interarrival=6.0,
+                            seeds=(0, 1, 2))
+    result = benchmark.pedantic(ablation_sleep_policy, args=(config,),
+                                rounds=1, iterations=1)
+    record_result("ablation_sleep", result.format())
+
+    energy = {row.label: row.energy_mean for row in result.rows}
+    assert energy["optimal"] <= energy["never-sleep"]
+    assert energy["optimal"] <= energy["always-sleep"]

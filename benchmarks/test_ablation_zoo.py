@@ -1,0 +1,29 @@
+"""Ablation: the whole allocator zoo on the Fig.-2 default scenario.
+
+DESIGN.md ablation 1: does evaluating the incremental Eq.-17 cost per
+candidate beat both naive packing rules and a static energy-efficiency
+ordering?
+"""
+
+from __future__ import annotations
+
+from conftest import record_result
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.figures import ablation_zoo
+
+
+def test_ablation_zoo(benchmark):
+    config = ScenarioConfig(n_vms=300, mean_interarrival=4.0,
+                            seeds=(0, 1, 2))
+    result = benchmark.pedantic(ablation_zoo, args=(config,),
+                                rounds=1, iterations=1)
+    record_result("ablation_zoo", result.format())
+
+    energy = {row.label: row.energy_mean for row in result.rows}
+    # the paper's heuristic beats the baseline and the naive spreaders
+    assert energy["min-energy"] < energy["ffps"]
+    assert energy["min-energy"] < energy["worst-fit"]
+    assert energy["min-energy"] < energy["round-robin"]
+    assert energy["min-energy"] < energy["random-fit"]
+    # load-spreading strategies anchor the expensive end
+    assert energy["worst-fit"] > energy["ffps"]

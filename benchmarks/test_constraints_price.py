@@ -1,0 +1,66 @@
+"""Extension study: the energy price of fault isolation.
+
+Anti-affinity (replicas on distinct servers) fights consolidation: the
+more VMs must be kept apart, the more servers stay awake. This bench
+isolates increasing fractions of the workload into anti-affinity groups
+of five and measures the energy premium over the unconstrained plan.
+"""
+
+from __future__ import annotations
+
+from conftest import record_result
+from repro.allocators import MinIncrementalEnergy
+from repro.energy.cost import allocation_cost
+from repro.experiments.figures import format_table
+from repro.model.cluster import Cluster
+from repro.model.constraints import PlacementConstraints
+from repro.workload.generator import generate_vms
+
+SEEDS = (0, 1, 2)
+GROUP_SIZE = 5
+FRACTIONS = (0.0, 0.2, 0.5, 1.0)
+
+
+def isolation_constraints(vms, fraction):
+    isolated = vms[: int(len(vms) * fraction)]
+    groups = [
+        {vm.vm_id for vm in isolated[k:k + GROUP_SIZE]}
+        for k in range(0, len(isolated), GROUP_SIZE)
+    ]
+    groups = [g for g in groups if len(g) >= 2]
+    return PlacementConstraints.build(separate=groups)
+
+
+def run_study():
+    premiums = {fraction: 0.0 for fraction in FRACTIONS}
+    for seed in SEEDS:
+        vms = generate_vms(200, mean_interarrival=2.0, seed=seed)
+        cluster = Cluster.paper_all_types(100)
+        allocator = MinIncrementalEnergy()
+        base = allocation_cost(allocator.allocate(vms, cluster)).total
+        for fraction in FRACTIONS:
+            constraints = isolation_constraints(vms, fraction)
+            plan = allocator.allocate(vms, cluster,
+                                      constraints=constraints)
+            constraints.validate_allocation(plan)
+            cost = allocation_cost(plan).total
+            premiums[fraction] += 100 * (cost - base) / base
+    return {fraction: total / len(SEEDS)
+            for fraction, total in premiums.items()}
+
+
+def test_constraints_price(benchmark):
+    premiums = benchmark.pedantic(run_study, rounds=1, iterations=1)
+    rows = [(f"{int(100 * fraction)}% isolated",
+             round(premium, 2))
+            for fraction, premium in premiums.items()]
+    record_result("constraints_price", format_table(
+        ("workload share in anti-affinity groups", "energy premium %"),
+        rows))
+
+    assert premiums[0.0] == 0.0
+    # isolation never saves energy...
+    for premium in premiums.values():
+        assert premium >= -1e-9
+    # ...and isolating everything costs more than isolating a fifth
+    assert premiums[1.0] >= premiums[0.2]

@@ -1,0 +1,45 @@
+"""Extension study: the energy/latency frontier of warm pools.
+
+The paper minimises energy and ignores the time VMs spend waiting for
+server boots. This bench traces the frontier: each warm-pool size trades
+extra idle energy for fewer VMs waiting out a transition — the curve an
+operator with a placement-latency SLA actually picks from.
+"""
+
+from __future__ import annotations
+
+from conftest import record_result
+from repro.allocators import MinIncrementalEnergy
+from repro.extensions.warmpool import warm_pool_frontier
+from repro.experiments.figures import format_table
+from repro.model.cluster import Cluster
+from repro.workload.generator import generate_vms
+
+
+def run_study():
+    vms = generate_vms(300, mean_interarrival=6.0, seed=0)
+    cluster = Cluster.paper_all_types(150)
+    plan = MinIncrementalEnergy().allocate(vms, cluster)
+    used = len(plan.used_servers())
+    sizes = sorted({0, used // 4, used // 2, used})
+    return warm_pool_frontier(plan, sizes=sizes)
+
+
+def test_extension_warmpool(benchmark):
+    frontier = benchmark.pedantic(run_study, rounds=1, iterations=1)
+    rows = [(p.pool_size, round(p.energy, 0),
+             round(p.mean_latency, 3),
+             round(100 * p.affected_fraction, 1))
+            for p in frontier]
+    record_result("extension_warmpool", format_table(
+        ("warm servers", "energy", "mean wait (min)", "VMs waiting %"),
+        rows))
+
+    cold, hot = frontier[0], frontier[-1]
+    # cold: cheapest but some VMs wait; hot: nobody waits but costs more
+    assert cold.energy <= hot.energy
+    assert hot.mean_latency <= cold.mean_latency
+    assert cold.affected_fraction > 0.0
+    # the frontier is monotone: warming more never increases latency
+    for a, b in zip(frontier, frontier[1:]):
+        assert b.mean_latency <= a.mean_latency + 1e-9

@@ -1,0 +1,37 @@
+"""Fig. 2 — energy reduction ratio vs mean inter-arrival, 100-500 VMs.
+
+Paper shape: the reduction grows approximately linearly with the mean
+inter-arrival time, reaches ~10 % at 10 minutes, and is similar across VM
+counts (the scalability claim).
+"""
+
+from __future__ import annotations
+
+from conftest import record_result
+from repro.experiments.figures import fig2
+
+N_VMS = (100, 300, 500)
+INTERARRIVALS = (0.5, 1.0, 2.0, 4.0, 6.0, 8.0, 10.0)
+SEEDS = (0, 1, 2)
+
+
+def test_fig2(benchmark):
+    result = benchmark.pedantic(
+        fig2, kwargs=dict(n_vms_list=N_VMS, interarrivals=INTERARRIVALS,
+                          seeds=SEEDS),
+        rounds=1, iterations=1)
+    record_result("fig2", result.format())
+
+    for series in result.series:
+        reductions = series.reductions_pct()
+        # who wins: the heuristic saves energy at light load...
+        assert reductions[-1] > 5.0
+        # ...and the trend with inter-arrival is increasing.
+        assert reductions[-1] > reductions[0]
+        # the paper's fit family is linear with a positive slope.
+        assert series.fit is not None
+        assert series.fit.params[1] > 0
+
+    # scalability: the reduction at ia=10 is similar for every VM count.
+    finals = [s.reductions_pct()[-1] for s in result.series]
+    assert max(finals) - min(finals) < 12.0

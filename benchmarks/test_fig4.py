@@ -1,0 +1,32 @@
+"""Fig. 4 — energy reduction ratio vs the memory load of the system.
+
+Paper shape: as the load grows the reduction decreases, with a slowing
+decrease rate — the paper overlays logarithmic fits with negative slope.
+"""
+
+from __future__ import annotations
+
+from conftest import record_result
+from repro.experiments.figures import fig4
+
+N_VMS = (100, 300, 500)
+INTERARRIVALS = (0.5, 1.0, 2.0, 4.0, 6.0, 8.0, 10.0)
+SEEDS = (0, 1, 2)
+
+
+def test_fig4(benchmark):
+    result = benchmark.pedantic(
+        fig4, kwargs=dict(n_vms_list=N_VMS, interarrivals=INTERARRIVALS,
+                          seeds=SEEDS),
+        rounds=1, iterations=1)
+    record_result("fig4", result.format())
+
+    for series in result.series:
+        xs = series.xs()
+        reductions = series.reductions_pct()
+        assert xs == sorted(xs)  # indexed by increasing load
+        # trend: lower reduction at the highest load than at the lowest.
+        assert reductions[-1] < reductions[0]
+        # the paper's fit family: logarithmic, decreasing.
+        assert series.fit is not None and series.fit.kind == "logarithmic"
+        assert series.fit.params[1] < 0

@@ -1,0 +1,36 @@
+"""Fig. 5 — impact of the server transition time (1000 VMs / 500 servers).
+
+Paper shape: shorter transition times let servers sleep through more idle
+segments, so the heuristic saves more energy; the 0.5- and 1-minute curves
+sit above the 3-minute curve across the sweep.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import record_result
+from repro.experiments.figures import fig5
+
+INTERARRIVALS = (0.5, 1.0, 2.0, 4.0, 6.0, 8.0, 10.0)
+SEEDS = (0, 1, 2)
+
+
+def test_fig5(benchmark):
+    result = benchmark.pedantic(
+        fig5, kwargs=dict(transition_times=(0.5, 1.0, 3.0), n_vms=1000,
+                          interarrivals=INTERARRIVALS, seeds=SEEDS),
+        rounds=1, iterations=1)
+    record_result("fig5", result.format())
+
+    short, mid, long_ = result.series
+    short_mean = np.mean(short.reductions_pct())
+    mid_mean = np.mean(mid.reductions_pct())
+    long_mean = np.mean(long_.reductions_pct())
+    # ordering: shorter transition -> more saving (on average over the
+    # sweep; individual points are noisy).
+    assert short_mean >= mid_mean - 0.5
+    assert mid_mean > long_mean
+    # every curve still shows positive savings at light load
+    assert short.reductions_pct()[-1] > 5.0
+    assert long_.reductions_pct()[-1] > 5.0

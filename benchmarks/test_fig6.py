@@ -1,0 +1,35 @@
+"""Fig. 6 — impact of the mean VM length (1000 VMs / 500 servers).
+
+Paper shape: the shorter the mean VM length, the better the heuristic
+does against FFPS — short VMs make the load light and dynamic, where FFPS
+wastes the most idle power.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import record_result
+from repro.experiments.figures import fig6
+
+INTERARRIVALS = (0.5, 1.0, 2.0, 4.0, 6.0, 8.0, 10.0)
+SEEDS = (0, 1, 2)
+
+
+def test_fig6(benchmark):
+    result = benchmark.pedantic(
+        fig6, kwargs=dict(mean_durations=(2.0, 5.0, 10.0), n_vms=1000,
+                          interarrivals=INTERARRIVALS, seeds=SEEDS),
+        rounds=1, iterations=1)
+    record_result("fig6", result.format())
+
+    short, mid, long_ = result.series
+    short_mean = np.mean(short.reductions_pct())
+    mid_mean = np.mean(mid.reductions_pct())
+    long_mean = np.mean(long_.reductions_pct())
+    # ordering: shorter VMs -> more saving.
+    assert short_mean > mid_mean > long_mean
+    # and each curve increases with the inter-arrival time.
+    for series in result.series:
+        reductions = series.reductions_pct()
+        assert reductions[-1] > reductions[0]

@@ -1,0 +1,34 @@
+"""Fig. 7 — standard VM types on server types 1-3.
+
+Paper shape: the heuristic saves up to ~20 % against FFPS (its best
+showing), with logarithmic fits; savings grow with the inter-arrival time
+and are similar for 100-500 VMs.
+"""
+
+from __future__ import annotations
+
+from conftest import record_result
+from repro.experiments.figures import fig7
+
+N_VMS = (100, 300, 500)
+INTERARRIVALS = (0.5, 1.0, 2.0, 4.0, 6.0, 8.0, 10.0)
+SEEDS = (0, 1, 2)
+
+
+def test_fig7(benchmark):
+    result = benchmark.pedantic(
+        fig7, kwargs=dict(n_vms_list=N_VMS, interarrivals=INTERARRIVALS,
+                          seeds=SEEDS),
+        rounds=1, iterations=1)
+    record_result("fig7", result.format())
+
+    for series in result.series:
+        reductions = series.reductions_pct()
+        # who wins, and by what factor: double-digit peak savings
+        # ("up to 20 %" in the paper; the peak sits at moderate loads —
+        # the paper notes savings shrink again "as the mean inter-arrival
+        # time is long [and] the load becomes light").
+        assert max(reductions) > 10.0
+        assert max(reductions) > reductions[0]
+        # the paper's fit family for this figure is logarithmic.
+        assert series.fit is not None and series.fit.kind == "logarithmic"

@@ -1,0 +1,26 @@
+"""Extra study: optimality gap of the heuristic and FFPS vs HiGHS.
+
+Not a paper figure — the paper formulates the ILP but never solves it.
+On small instances the exact optimum bounds how much either algorithm
+leaves on the table; the heuristic's gap should be well below FFPS's.
+"""
+
+from __future__ import annotations
+
+from conftest import record_result
+from repro.experiments.figures import ilp_gap
+
+
+def test_ilp_gap(benchmark):
+    result = benchmark.pedantic(
+        ilp_gap, kwargs=dict(n_vms=12, n_servers=6, mean_interarrival=2.0,
+                             seeds=(0, 1, 2, 3, 4)),
+        rounds=1, iterations=1)
+    record_result("ilp_gap", result.format())
+
+    assert result.mean_heuristic_gap_pct >= 0.0
+    assert result.mean_ffps_gap_pct >= 0.0
+    # the paper's heuristic should sit closer to the optimum than FFPS
+    assert result.mean_heuristic_gap_pct < result.mean_ffps_gap_pct
+    # and be within a modest band of optimal on these tiny instances
+    assert result.mean_heuristic_gap_pct < 25.0

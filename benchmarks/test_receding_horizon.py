@@ -1,0 +1,53 @@
+"""Extra study: receding-horizon exact solving vs heuristic vs optimum.
+
+Quantifies the quality/effort ladder the library offers: greedy heuristic
+(milliseconds) -> windowed exact (seconds) -> full ILP (exponential). On
+small instances the windowed solver should land between the heuristic and
+the optimum.
+"""
+
+from __future__ import annotations
+
+from conftest import record_result
+from repro.allocators import make_allocator
+from repro.energy.cost import allocation_cost
+from repro.experiments.figures import format_table
+from repro.ilp import RecedingHorizonSolver, solve_ilp
+from repro.model.catalog import STANDARD_VM_TYPES
+from repro.model.cluster import Cluster
+from repro.workload.generator import PoissonWorkload
+
+SEEDS = (0, 1, 2, 3)
+
+
+def run_study():
+    gaps = {"heuristic": 0.0, "window=10": 0.0, "window=25": 0.0}
+    for seed in SEEDS:
+        wl = PoissonWorkload(mean_interarrival=2.0, mean_duration=5.0,
+                             vm_types=STANDARD_VM_TYPES)
+        vms = wl.generate(12, rng=seed)
+        cluster = Cluster.paper_all_types(5)
+        optimal = solve_ilp(vms, cluster).objective
+        heuristic = allocation_cost(
+            make_allocator("min-energy").allocate(vms, cluster)).total
+        gaps["heuristic"] += 100 * (heuristic - optimal) / optimal
+        for window in (10, 25):
+            cost = RecedingHorizonSolver(window_length=window).allocate(
+                vms, cluster).total_energy
+            gaps[f"window={window}"] += 100 * (cost - optimal) / optimal
+    return {label: total / len(SEEDS) for label, total in gaps.items()}
+
+
+def test_receding_horizon(benchmark):
+    means = benchmark.pedantic(run_study, rounds=1, iterations=1)
+    rows = [(label, round(gap, 2))
+            for label, gap in sorted(means.items(), key=lambda kv: kv[1])]
+    record_result("receding_horizon", format_table(
+        ("solver", "mean gap above optimal %"), rows))
+
+    assert means["window=25"] >= -1e-9
+    assert means["window=10"] >= -1e-9
+    # wider windows cannot do worse on average than narrow ones here
+    assert means["window=25"] <= means["window=10"] + 1.0
+    # and the windowed solver improves on the greedy heuristic
+    assert means["window=25"] <= means["heuristic"] + 1e-9

@@ -1,0 +1,44 @@
+"""Extra study: empirical complexity of the allocators.
+
+The paper's Fig. 2 argues the heuristic is scalable (the reduction is
+stable as m grows) but never reports *runtime*. This bench measures it:
+wall time across instance sizes with a fitted log-log exponent. With
+fleets sized at m/2, the heuristic's feasible-set scan gives ~m^1.5-2
+growth; FFPS's first-fit scan stays near-linear.
+"""
+
+from __future__ import annotations
+
+from conftest import record_result
+from repro.experiments.figures import format_table
+from repro.experiments.scaling import measure_scaling
+
+COUNTS = (50, 100, 200, 400, 800)
+
+
+def run_study():
+    return {
+        algo: measure_scaling(COUNTS, algorithm=algo, repeats=2)
+        for algo in ("min-energy", "ffps")
+    }
+
+
+def test_scaling(benchmark):
+    studies = benchmark.pedantic(run_study, rounds=1, iterations=1)
+    rows = []
+    for algo, study in studies.items():
+        for point in study.points:
+            rows.append((algo, point.n_vms,
+                         round(point.seconds * 1000, 1)))
+        rows.append((algo, "exponent", round(study.exponent, 2)))
+    record_result("scaling", format_table(
+        ("algorithm", "VMs", "ms (or exponent)"), rows))
+
+    heuristic = studies["min-energy"]
+    ffps = studies["ffps"]
+    # the heuristic's scan is super-linear but clearly sub-cubic
+    assert 1.0 < heuristic.exponent < 3.0
+    # FFPS stays cheaper than the heuristic at the largest size
+    assert ffps.points[-1].seconds < heuristic.points[-1].seconds
+    # and the paper-scale instance (m=1000-ish) stays interactive
+    assert heuristic.points[-1].seconds < 10.0

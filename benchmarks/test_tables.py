@@ -1,0 +1,20 @@
+"""Table I and Table II: the paper's parameter tables."""
+
+from __future__ import annotations
+
+from conftest import record_result
+from repro.experiments.tables import table1, table2
+
+
+def test_table1(benchmark):
+    out = benchmark(table1)
+    assert "standard-4" in out      # m1.xlarge, the "…15" OCR fragment
+    assert "cpu-2" in out           # c1.xlarge, the "2 … 7" OCR fragment
+    record_result("table1", out)
+
+
+def test_table2(benchmark):
+    out = benchmark(table2)
+    assert "type3" in out           # the blade-class anchor
+    assert "50%" in out and "40%" in out
+    record_result("table2", out)

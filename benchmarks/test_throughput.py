@@ -1,0 +1,47 @@
+"""Micro-benchmarks: allocation throughput of the core algorithms.
+
+These use pytest-benchmark's statistics properly (multiple rounds) and
+guard the library's performance envelope: the paper's heuristic evaluates
+the incremental cost on every feasible server per VM, so it must stay
+usable at the paper's 1000-VM scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.allocators import make_allocator
+from repro.ilp import build_problem
+from repro.model.cluster import Cluster
+from repro.simulation import SimulationEngine
+from repro.workload.generator import generate_vms
+
+VMS = generate_vms(300, mean_interarrival=4.0, seed=0)
+CLUSTER = Cluster.paper_all_types(150)
+
+
+@pytest.mark.parametrize("algo", ["min-energy", "ffps", "best-fit"])
+def test_allocator_throughput(benchmark, algo):
+    allocation = benchmark(
+        lambda: make_allocator(algo, seed=0).allocate(VMS, CLUSTER))
+    assert len(allocation) == len(VMS)
+
+
+def test_energy_replay_throughput(benchmark):
+    allocation = make_allocator("min-energy").allocate(VMS, CLUSTER)
+    engine = SimulationEngine(CLUSTER)
+    result = benchmark(lambda: engine.replay(allocation))
+    assert result.total_energy > 0
+
+
+def test_ilp_build_throughput(benchmark):
+    vms = generate_vms(20, mean_interarrival=2.0, seed=0)
+    cluster = Cluster.paper_all_types(8)
+    problem = benchmark(lambda: build_problem(vms, cluster))
+    assert problem.n_variables > 0
+
+
+def test_workload_generation_throughput(benchmark):
+    vms = benchmark(lambda: generate_vms(5000, mean_interarrival=1.0,
+                                         seed=1))
+    assert len(vms) == 5000

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Admission control and the electricity bill on an undersized fleet.
+
+The paper sizes fleets generously (half the VM count). This example asks
+the operator's opposite question: *how small can the fleet go, and what
+does the service degradation and the bill look like?* It
+
+1. runs a bursty workload through admission control on shrinking fleets,
+   reporting rejection rates and queueing delay (with and without the
+   option to defer requests);
+2. prices the accepted plan under flat and time-of-use tariffs, showing
+   how a peak-heavy workload inflates the bill beyond what energy alone
+   suggests.
+
+Run:  python examples/admission_and_billing.py
+"""
+
+from repro import BurstyWorkload, Cluster
+from repro.energy import FlatTariff, TimeOfUseTariff, monetary_cost
+from repro.simulation import AdmissionController
+
+
+def main() -> None:
+    workload = BurstyWorkload(burst_interarrival=0.3,
+                              calm_interarrival=6.0,
+                              mean_phase_length=25.0,
+                              mean_duration=8.0)
+    vms = workload.generate(400, rng=11)
+    horizon = max(vm.end for vm in vms)
+    print(f"bursty workload: {len(vms)} VMs over {horizon} min\n")
+
+    print(f"{'fleet':>6} {'policy':>10} {'accepted':>9} {'rejected':>9} "
+          f"{'mean delay':>11} {'energy':>10}")
+    for size in (60, 30, 15, 8):
+        cluster = Cluster.paper_all_types(size)
+        for label, controller in (
+                ("reject", AdmissionController()),
+                ("defer<=30", AdmissionController(max_delay=30))):
+            outcome = controller.run(vms, cluster)
+            print(f"{size:>6} {label:>10} {outcome.accepted:>9} "
+                  f"{len(outcome.rejected):>9} "
+                  f"{outcome.mean_delay:>11.2f} "
+                  f"{outcome.total_energy:>10.0f}")
+
+    # Billing study on a comfortably-sized fleet.
+    cluster = Cluster.paper_all_types(60)
+    outcome = AdmissionController().run(vms, cluster)
+    plan = outcome.allocation
+    flat = FlatTariff(1.0)
+    # Peak window covering the first two-thirds of the trace's day.
+    tou = TimeOfUseTariff(peak_price=1.8, offpeak_price=0.6,
+                          peak_start=1, peak_end=2 * horizon // 3,
+                          period=horizon)
+    print(f"\nbilling the accepted plan ({outcome.accepted} VMs):")
+    print(f"  flat tariff (1.0/Wmin):        {monetary_cost(plan, flat):12.0f}")
+    print(f"  time-of-use (1.8 peak / 0.6):  {monetary_cost(plan, tou):12.0f}")
+    print("\nreading: deferral converts rejections into short queueing "
+          "delays until\nthe fleet is far too small; under time-of-use "
+          "pricing the bill diverges\nfrom raw energy whenever load "
+          "concentrates in the peak window.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Failure drill: how do energy-optimised plans cope with crashes?
+
+Tightly consolidated plans save energy but concentrate blast radius: when
+a packed server dies, many VMs die with it. This drill quantifies the
+trade-off the paper doesn't discuss:
+
+1. allocate the same workload with the energy heuristic and with
+   round-robin spreading;
+2. crash the same random servers under both plans;
+3. compare VMs killed, recovery rate, wasted energy, and the energy of
+   the repaired plans.
+
+Run:  python examples/failure_drill.py
+"""
+
+from repro import Cluster, MinIncrementalEnergy, generate_vms, make_allocator
+from repro.energy import allocation_cost
+from repro.simulation import inject_failures, random_failures
+
+
+def drill(allocator_name: str, vms, cluster, failures):
+    allocator = make_allocator(allocator_name, seed=0)
+    plan = allocator.allocate(vms, cluster)
+    before = allocation_cost(plan).total
+    outcome = inject_failures(plan, failures,
+                              recovery=MinIncrementalEnergy())
+    return plan, before, outcome
+
+
+def main() -> None:
+    vms = generate_vms(300, mean_interarrival=0.8, mean_duration=15.0,
+                       seed=99)
+    cluster = Cluster.paper_all_types(60)
+    horizon = max(vm.end for vm in vms)
+    failures = random_failures(cluster, count=12, horizon=horizon, seed=5)
+    print(f"workload: {len(vms)} VMs over {horizon} min; "
+          f"injecting {len(failures)} server crashes\n")
+
+    print(f"{'plan':>12} {'energy before':>14} {'killed':>7} "
+          f"{'recovered':>9} {'lost':>5} {'wasted':>9} {'energy after':>13}")
+    for name in ("min-energy", "round-robin"):
+        plan, before, outcome = drill(name, vms, cluster, failures)
+        print(f"{name:>12} {before:>14.0f} {outcome.killed:>7} "
+              f"{outcome.recovered:>9} {len(outcome.lost):>5} "
+              f"{outcome.wasted_energy:>9.0f} "
+              f"{outcome.total_energy:>13.0f}")
+
+    print("\nreading: consolidation kills more VMs per crash (bigger "
+          "blast radius)\nbut the repaired consolidated plan still burns "
+          "far less energy than the\nspread plan did before any failure.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Fleet audit: characterise a trace, diagnose the plan, check the bound.
+
+The operator workflow after a capacity incident: take the recorded trace,
+understand what the traffic *is*, re-plan it, and audit where the energy
+goes — including whether the fleet's CPU:memory shape matches the
+workload (stranded capacity) and how far the plan sits from the
+theoretical floor.
+
+Run:  python examples/fleet_audit.py
+"""
+
+from repro import Cluster, MinIncrementalEnergy, generate_vms
+from repro.analysis import diagnose, energy_lower_bound
+from repro.energy import allocation_cost, timeout_energy
+from repro.workload import characterize, synthetic_twin
+
+
+def main() -> None:
+    # The "recorded" trace: memory-heavy traffic.
+    from repro.model.catalog import MEMORY_INTENSIVE_VM_TYPES, \
+        STANDARD_VM_TYPES
+
+    trace = generate_vms(
+        500, mean_interarrival=2.0, mean_duration=7.0,
+        vm_types=tuple(STANDARD_VM_TYPES[:2])
+        + MEMORY_INTENSIVE_VM_TYPES, seed=21)
+
+    # 1. What is this traffic?
+    stats = characterize(trace)
+    print("trace characterisation:")
+    print("  " + stats.format().replace("\n", "\n  "))
+
+    # 2. Plan it and audit the plan.
+    cluster = Cluster.paper_all_types(250)
+    plan = MinIncrementalEnergy().allocate(trace, cluster)
+    print("\nplan diagnostics:")
+    print("  " + diagnose(plan).format().replace("\n", "\n  "))
+
+    # 3. How close to the floor, and what does realism cost?
+    bound = energy_lower_bound(trace, cluster)
+    clairvoyant = allocation_cost(plan).total
+    online = timeout_energy(plan)
+    print(f"\nlower bound:        {bound.total:12.0f}")
+    print(f"plan (clairvoyant): {clairvoyant:12.0f} "
+          f"(+{100 * bound.gap_of(clairvoyant):.0f}% above bound)")
+    print(f"plan (online sleep):{online:12.0f} "
+          f"(+{100 * (online - clairvoyant) / clairvoyant:.1f}% over "
+          f"clairvoyant)")
+
+    # 4. Scale the traffic statistically and re-audit.
+    twin = synthetic_twin(stats, count=1000, seed=22)
+    twin_plan = MinIncrementalEnergy().allocate(twin, cluster)
+    twin_diag = diagnose(twin_plan)
+    print(f"\n2x synthetic twin: {twin_diag.servers_used} servers, "
+          f"{twin_diag.total_energy:.0f} energy "
+          f"({twin_diag.vms_per_used_server:.1f} VMs/server)")
+    print("\nreading: memory-heavy traffic strands CPU on active servers "
+          "— the\nfleet audit quantifies exactly how much, and the "
+          "synthetic twin shows\nthe shape persists at double the load.")
+
+
+if __name__ == "__main__":
+    main()

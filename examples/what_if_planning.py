@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""What-if planning: traffic growth studies on a recorded trace.
+
+An operator has a recorded trace and asks: *what happens to the
+electricity bill if traffic grows 50 %? 100 %? if jobs get twice as
+long?* This example answers with the library's trace transforms, the
+instant lower bound, and seed-free deterministic re-planning:
+
+1. record a baseline trace;
+2. derive growth scenarios with ``scale_load`` / ``scale_time``;
+3. for each scenario: check peak demand against fleet capacity, compute
+   the combinatorial lower bound, and plan with the heuristic;
+4. report the bill and how close the plan sits to the bound.
+
+Run:  python examples/what_if_planning.py
+"""
+
+from repro import Cluster, MinIncrementalEnergy, generate_vms
+from repro.analysis import concurrency_profile, energy_lower_bound
+from repro.energy import allocation_cost
+from repro.workload import scale_load, scale_time
+
+SCENARIOS = (
+    ("baseline", lambda vms: vms),
+    ("+50% traffic", lambda vms: scale_load(vms, 1.5, seed=1)),
+    ("2x traffic", lambda vms: scale_load(vms, 2.0, seed=1)),
+    ("2x job length", lambda vms: scale_time(vms, 2.0)),
+    ("2x traffic, half length", lambda vms: scale_time(
+        scale_load(vms, 2.0, seed=1), 0.5)),
+)
+
+
+def main() -> None:
+    baseline = generate_vms(400, mean_interarrival=2.0, mean_duration=6.0,
+                            seed=7)
+    cluster = Cluster.paper_all_types(200)
+    print(f"fleet: {len(cluster)} servers, "
+          f"{cluster.total_cpu_capacity:.0f} cu / "
+          f"{cluster.total_memory_capacity:.0f} GB\n")
+    print(f"{'scenario':>24} {'VMs':>5} {'peak cu':>8} {'bound':>9} "
+          f"{'plan':>9} {'gap':>6}")
+    base_cost = None
+    for label, transform in SCENARIOS:
+        vms = transform(baseline)
+        profile = concurrency_profile(vms)
+        if profile.peak_cpu > cluster.total_cpu_capacity:
+            print(f"{label:>24} {len(vms):>5} {profile.peak_cpu:>8.0f} "
+                  f"{'does not fit this fleet':>26}")
+            continue
+        bound = energy_lower_bound(vms, cluster)
+        plan = MinIncrementalEnergy().allocate(vms, cluster)
+        cost = allocation_cost(plan).total
+        if base_cost is None:
+            base_cost = cost
+        print(f"{label:>24} {len(vms):>5} {profile.peak_cpu:>8.0f} "
+              f"{bound.total:>9.0f} {cost:>9.0f} "
+              f"{100 * bound.gap_of(cost):>5.0f}%")
+    print("\nreading: the bill grows sub-linearly with traffic (better "
+          "consolidation\nat higher load) and the heuristic tracks the "
+          "lower bound's trend.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,161 @@
+"""Energy-saving virtual machine allocation in cloud data centers.
+
+A full reproduction of *Xie, Jia, Yang, Zhang — "Energy Saving Virtual
+Machine Allocation in Cloud Computing", IEEE ICDCS Workshops 2013*: the
+minimum-incremental-energy allocation heuristic, the FFPS baseline, the
+exact boolean-ILP formulation, the energy model (affine power curves,
+busy/idle segments, transition costs), a Poisson workload generator, a
+discrete-event replay simulator, and the harness regenerating every table
+and figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import Cluster, MinIncrementalEnergy, generate_vms
+    from repro import allocation_cost
+
+    vms = generate_vms(100, mean_interarrival=4.0, seed=0)
+    cluster = Cluster.paper_all_types(50)
+    plan = MinIncrementalEnergy().allocate(vms, cluster)
+    print(allocation_cost(plan).total)
+"""
+
+from repro.allocators import (
+    Allocator,
+    BestFit,
+    FirstFit,
+    FirstFitPowerSaving,
+    MinIncrementalEnergy,
+    PowerAwareFirstFit,
+    RandomFit,
+    RoundRobin,
+    WorstFit,
+    allocator_names,
+    make_allocator,
+)
+from repro.energy import (
+    CostBreakdown,
+    EnergyReport,
+    SleepPolicy,
+    allocation_cost,
+    energy_report,
+    run_energy,
+)
+from repro.exceptions import (
+    AllocationError,
+    CapacityError,
+    ReproError,
+    SimulationError,
+    SolverError,
+    ValidationError,
+)
+from repro.analysis import (
+    concurrency_profile,
+    conflict_graph,
+    energy_lower_bound,
+)
+from repro.experiments import ScenarioConfig, compare_averaged
+from repro.extensions import (
+    EpochConsolidator,
+    LongestFirstMinEnergy,
+    OfflineMinEnergy,
+    SuperlinearPowerModel,
+    evaluate_under_model,
+)
+from repro.ilp import RecedingHorizonSolver, solve_ilp, solve_relaxation
+from repro.metrics import (
+    energy_reduction_ratio,
+    linear_fit,
+    logarithmic_fit,
+    utilization_stats,
+)
+from repro.model import (
+    VM,
+    DemandPhase,
+    PhasedVM,
+    Allocation,
+    Cluster,
+    PlacementConstraints,
+    Server,
+    ServerSpec,
+    TimeInterval,
+    VMSpec,
+    server_type,
+    vm_type,
+)
+from repro.simulation import SimulationEngine, simulate_online
+from repro.workload import (
+    BurstyWorkload,
+    PhasedWorkload,
+    DiurnalWorkload,
+    HeavyTailWorkload,
+    PoissonWorkload,
+    Trace,
+    generate_vms,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Allocator",
+    "BestFit",
+    "FirstFit",
+    "FirstFitPowerSaving",
+    "MinIncrementalEnergy",
+    "PowerAwareFirstFit",
+    "RandomFit",
+    "RoundRobin",
+    "WorstFit",
+    "allocator_names",
+    "make_allocator",
+    "CostBreakdown",
+    "EnergyReport",
+    "SleepPolicy",
+    "allocation_cost",
+    "energy_report",
+    "run_energy",
+    "AllocationError",
+    "CapacityError",
+    "ReproError",
+    "SimulationError",
+    "SolverError",
+    "ValidationError",
+    "ScenarioConfig",
+    "compare_averaged",
+    "EpochConsolidator",
+    "LongestFirstMinEnergy",
+    "OfflineMinEnergy",
+    "SuperlinearPowerModel",
+    "evaluate_under_model",
+    "RecedingHorizonSolver",
+    "solve_ilp",
+    "solve_relaxation",
+    "concurrency_profile",
+    "conflict_graph",
+    "energy_lower_bound",
+    "energy_reduction_ratio",
+    "linear_fit",
+    "logarithmic_fit",
+    "utilization_stats",
+    "VM",
+    "DemandPhase",
+    "PhasedVM",
+    "Allocation",
+    "Cluster",
+    "PlacementConstraints",
+    "Server",
+    "ServerSpec",
+    "TimeInterval",
+    "VMSpec",
+    "server_type",
+    "vm_type",
+    "SimulationEngine",
+    "simulate_online",
+    "BurstyWorkload",
+    "DiurnalWorkload",
+    "HeavyTailWorkload",
+    "PhasedWorkload",
+    "PoissonWorkload",
+    "Trace",
+    "generate_vms",
+    "__version__",
+]

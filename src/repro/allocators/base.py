@@ -1,0 +1,136 @@
+"""The allocator framework.
+
+All algorithms in the paper's evaluation share the same outer loop
+(Sec. III / IV-A): VMs are processed **in increasing order of their starting
+time**, and for each VM the algorithm chooses one server among those with
+sufficient spare CPU and memory throughout the VM's interval. Subclasses
+implement only the selection rule via :meth:`Allocator.choose`.
+
+Allocators are deterministic given their ``seed``; randomized strategies
+(FFPS's shuffled server order, random fit) draw from a private
+``numpy.random.Generator`` so runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.allocators.state import ServerState
+from repro.energy.cost import SleepPolicy
+from repro.exceptions import AllocationError
+from repro.model.allocation import Allocation
+from repro.model.cluster import Cluster
+from repro.model.constraints import PlacementConstraints
+from repro.model.vm import VM
+
+__all__ = ["Allocator"]
+
+
+class Allocator(abc.ABC):
+    """Base class for all allocation algorithms.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the allocator's private random generator. Deterministic
+        algorithms ignore it but accept it so every algorithm can be
+        constructed uniformly by the experiment harness.
+    policy:
+        Sleep policy used when evaluating energy costs during allocation
+        (the paper's rule, :attr:`SleepPolicy.OPTIMAL`, by default).
+    """
+
+    #: Registry name; subclasses must override.
+    name: str = "abstract"
+
+    def __init__(self, seed: int | None = None,
+                 policy: SleepPolicy = SleepPolicy.OPTIMAL) -> None:
+        self._rng = np.random.default_rng(seed)
+        self._policy = policy
+        self._constraints: PlacementConstraints | None = None
+        self._placed_ids: dict[int, int] = {}
+
+    # -- template method -----------------------------------------------------
+
+    def allocate(self, vms: Iterable[VM], cluster: Cluster,
+                 constraints: PlacementConstraints | None = None
+                 ) -> Allocation:
+        """Place every VM; returns the resulting :class:`Allocation`.
+
+        VMs are processed in increasing order of start time (ties broken by
+        end time then id, for determinism). Optional placement
+        ``constraints`` (affinity / anti-affinity groups) restrict the
+        admissible servers per VM on top of capacity.
+
+        Raises
+        ------
+        AllocationError
+            When some VM fits no admissible server for its whole duration.
+        """
+        ordered = self.order_vms(list(vms))
+        states = [ServerState(server, policy=self._policy)
+                  for server in cluster]
+        self.prepare(states)
+        self._constraints = constraints
+        self._placed_ids: dict[int, int] = {}
+        try:
+            placements: dict[VM, int] = {}
+            for vm in ordered:
+                chosen = self.select(vm, states)
+                if chosen is None:
+                    raise AllocationError(
+                        f"no admissible server can host {vm} for its "
+                        f"whole duration", vm_id=vm.vm_id)
+                chosen.place(vm)
+                placements[vm] = chosen.server.server_id
+                self._placed_ids[vm.vm_id] = chosen.server.server_id
+        finally:
+            self._constraints = None
+            self._placed_ids = {}
+        return Allocation(cluster, placements)
+
+    def admissible(self, vm: VM, state: ServerState) -> bool:
+        """Capacity feasibility plus any active placement constraints."""
+        if not state.fits(vm):
+            return False
+        if self._constraints is None:
+            return True
+        return self._constraints.allows(
+            vm.vm_id, state.server.server_id, self._placed_ids)
+
+    # -- hooks ---------------------------------------------------------------
+
+    def prepare(self, states: Sequence[ServerState]) -> None:
+        """Hook run once before any placement (e.g. shuffle an order)."""
+
+    def order_vms(self, vms: list[VM]) -> list[VM]:
+        """Processing order: increasing start time (the paper's online
+        setting). Offline extensions may override this with clairvoyant
+        orders such as largest-job-first."""
+        return sorted(vms, key=lambda v: (v.start, v.end, v.vm_id))
+
+    def select(self, vm: VM,
+               states: Sequence[ServerState]) -> ServerState | None:
+        """Pick the server for ``vm``, or ``None`` when nothing fits.
+
+        The default gathers all admissible servers and delegates to
+        :meth:`choose`; first-fit-style algorithms override this to stop at
+        the first admissible server in their scan order.
+        """
+        feasible = [st for st in states if self.admissible(vm, st)]
+        if not feasible:
+            return None
+        return self.choose(vm, feasible)
+
+    @abc.abstractmethod
+    def choose(self, vm: VM, feasible: Sequence[ServerState]) -> ServerState:
+        """Select the server for ``vm`` among the feasible candidates.
+
+        ``feasible`` is non-empty and preserves the fleet's id order.
+        """
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

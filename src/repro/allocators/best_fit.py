@@ -1,0 +1,38 @@
+"""Best fit: tightest residual capacity during the VM's interval.
+
+A classic bin-packing comparator adapted to the interval setting: the score
+of a candidate server is the normalized spare capacity that would remain at
+the *most loaded* time unit of the VM's interval after placement, summed
+over CPU and memory. Best fit picks the smallest score (tightest packing),
+consolidating load without looking at power parameters — a useful contrast
+against the paper's energy-aware rule.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.allocators.base import Allocator
+from repro.allocators.state import ServerState
+from repro.model.vm import VM
+
+__all__ = ["BestFit", "residual_score"]
+
+
+def residual_score(state: ServerState, vm: VM) -> float:
+    """Normalized spare (cpu + memory) left at the interval's peak load."""
+    peak_cpu, peak_mem = state.peak_usage(vm.interval)
+    spec = state.server.spec
+    spare_cpu = (spec.cpu_capacity - peak_cpu - vm.cpu) / spec.cpu_capacity
+    spare_mem = ((spec.memory_capacity - peak_mem - vm.memory)
+                 / spec.memory_capacity)
+    return spare_cpu + spare_mem
+
+
+class BestFit(Allocator):
+    """Pick the feasible server where the VM fits most tightly."""
+
+    name = "best-fit"
+
+    def choose(self, vm: VM, feasible: Sequence[ServerState]) -> ServerState:
+        return min(feasible, key=lambda st: residual_score(st, vm))

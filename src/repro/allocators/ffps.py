@@ -1,0 +1,41 @@
+"""First Fit Power Saving — the paper's baseline (Sec. IV-A).
+
+VMs are allocated in increasing order of their starting time; the servers
+are put in one **random order** at the start of the run, and each VM goes to
+the first server in that order with sufficient spare CPU and memory
+throughout the VM's time duration. After all VMs are placed, servers sleep
+through idle segments whenever the transition cost is below the idle power
+cost — the same Eq.-17 accounting applied to every algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.allocators.base import Allocator
+from repro.allocators.state import ServerState
+from repro.model.vm import VM
+
+__all__ = ["FirstFitPowerSaving"]
+
+
+class FirstFitPowerSaving(Allocator):
+    """The paper's FFPS baseline: first fit over randomly ordered servers."""
+
+    name = "ffps"
+
+    def prepare(self, states: Sequence[ServerState]) -> None:
+        order = self._rng.permutation(len(states))
+        self._scan = [states[i] for i in order]
+
+    def select(self, vm: VM,
+               states: Sequence[ServerState]) -> ServerState | None:
+        for state in self._scan:
+            if self.admissible(vm, state):
+                return state
+        return None
+
+    def choose(self, vm: VM, feasible: Sequence[ServerState]) -> ServerState:
+        # select() short-circuits; kept for interface completeness.
+        ranks = {id(st): i for i, st in enumerate(self._scan)}
+        return min(feasible, key=lambda st: ranks[id(st)])

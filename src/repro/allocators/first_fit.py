@@ -1,0 +1,32 @@
+"""Deterministic first fit (ablation of FFPS without the random shuffle).
+
+Identical to FFPS except that servers are scanned in fleet id order. Useful
+to separate how much of FFPS's behaviour comes from the random ordering
+versus the first-fit rule itself.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.allocators.base import Allocator
+from repro.allocators.state import ServerState
+from repro.model.vm import VM
+
+__all__ = ["FirstFit"]
+
+
+class FirstFit(Allocator):
+    """First fit over servers in id order."""
+
+    name = "first-fit"
+
+    def select(self, vm: VM,
+               states: Sequence[ServerState]) -> ServerState | None:
+        for state in states:
+            if self.admissible(vm, state):
+                return state
+        return None
+
+    def choose(self, vm: VM, feasible: Sequence[ServerState]) -> ServerState:
+        return feasible[0]

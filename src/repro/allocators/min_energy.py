@@ -1,0 +1,38 @@
+"""The paper's heuristic: minimum incremental energy cost (Sec. III).
+
+VMs are allocated in increasing order of their starting time. For each VM,
+among the servers with sufficient spare CPU and memory throughout the VM's
+interval, the one whose Eq.-17 energy cost would increase the *least* is
+selected. The incremental cost captures all three effects the paper argues
+for: energy-efficient servers are preferred (small ``W_ij``), consolidation
+onto already-busy small servers is preferred (no new idle power), and when
+a wake-up is unavoidable, servers with low transition cost win.
+
+Ties are broken by server id, making the algorithm fully deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.allocators.base import Allocator
+from repro.allocators.state import ServerState
+from repro.model.vm import VM
+
+__all__ = ["MinIncrementalEnergy"]
+
+
+class MinIncrementalEnergy(Allocator):
+    """Greedy allocation by least incremental Eq.-17 energy cost."""
+
+    name = "min-energy"
+
+    def choose(self, vm: VM, feasible: Sequence[ServerState]) -> ServerState:
+        best = feasible[0]
+        best_delta = best.incremental_cost(vm)
+        for state in feasible[1:]:
+            delta = state.incremental_cost(vm)
+            if delta < best_delta - 1e-12:
+                best = state
+                best_delta = delta
+        return best

@@ -1,0 +1,42 @@
+"""Static energy-efficiency ordering (ablation of the paper's heuristic).
+
+Scans servers in ascending watts-per-compute-unit at peak load and places
+each VM on the first feasible one. This captures *only* the "prefer
+efficient servers" effect of the paper's rule — no incremental Eq.-17
+evaluation, so it cannot weigh consolidation against wake-up costs. The gap
+between this allocator and :class:`MinIncrementalEnergy` measures the value
+of the incremental-cost computation itself (DESIGN.md ablation 1).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.allocators.base import Allocator
+from repro.allocators.state import ServerState
+from repro.model.vm import VM
+
+__all__ = ["PowerAwareFirstFit"]
+
+
+class PowerAwareFirstFit(Allocator):
+    """First fit over servers sorted by peak watts per compute unit."""
+
+    name = "power-aware"
+
+    def prepare(self, states: Sequence[ServerState]) -> None:
+        self._scan = sorted(
+            states,
+            key=lambda st: (st.server.p_peak / st.server.cpu_capacity,
+                            st.server.server_id))
+
+    def select(self, vm: VM,
+               states: Sequence[ServerState]) -> ServerState | None:
+        for state in self._scan:
+            if self.admissible(vm, state):
+                return state
+        return None
+
+    def choose(self, vm: VM, feasible: Sequence[ServerState]) -> ServerState:
+        ranks = {id(st): i for i, st in enumerate(self._scan)}
+        return min(feasible, key=lambda st: ranks[id(st)])

@@ -1,0 +1,50 @@
+"""Name -> allocator registry used by the CLI and experiment harness."""
+
+from __future__ import annotations
+
+from typing import Type
+
+from repro.allocators.base import Allocator
+from repro.allocators.best_fit import BestFit
+from repro.allocators.ffps import FirstFitPowerSaving
+from repro.allocators.first_fit import FirstFit
+from repro.allocators.min_energy import MinIncrementalEnergy
+from repro.allocators.power_aware import PowerAwareFirstFit
+from repro.allocators.random_fit import RandomFit
+from repro.allocators.round_robin import RoundRobin
+from repro.allocators.worst_fit import WorstFit
+from repro.energy.cost import SleepPolicy
+from repro.exceptions import ValidationError
+
+__all__ = ["ALLOCATORS", "make_allocator", "allocator_names"]
+
+ALLOCATORS: dict[str, Type[Allocator]] = {
+    cls.name: cls
+    for cls in (
+        MinIncrementalEnergy,
+        FirstFitPowerSaving,
+        FirstFit,
+        BestFit,
+        WorstFit,
+        RandomFit,
+        RoundRobin,
+        PowerAwareFirstFit,
+    )
+}
+
+
+def allocator_names() -> list[str]:
+    """All registered algorithm names, sorted."""
+    return sorted(ALLOCATORS)
+
+
+def make_allocator(name: str, seed: int | None = None,
+                   policy: SleepPolicy = SleepPolicy.OPTIMAL) -> Allocator:
+    """Instantiate a registered allocator by name."""
+    try:
+        cls = ALLOCATORS[name]
+    except KeyError:
+        raise ValidationError(
+            f"unknown allocator {name!r}; available: {allocator_names()}"
+        ) from None
+    return cls(seed=seed, policy=policy)

@@ -1,0 +1,38 @@
+"""Round robin: rotate through the fleet, skipping infeasible servers.
+
+Deliberately spreads consecutive VMs across distinct servers — the
+archetypal load-balancing placement that ignores energy entirely. Included
+for the algorithm-comparison example and the ablation benches.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.allocators.base import Allocator
+from repro.allocators.state import ServerState
+from repro.model.vm import VM
+
+__all__ = ["RoundRobin"]
+
+
+class RoundRobin(Allocator):
+    """Cycle through servers, placing each VM on the next feasible one."""
+
+    name = "round-robin"
+
+    def prepare(self, states: Sequence[ServerState]) -> None:
+        self._next = 0
+
+    def select(self, vm: VM,
+               states: Sequence[ServerState]) -> ServerState | None:
+        n = len(states)
+        for offset in range(n):
+            state = states[(self._next + offset) % n]
+            if self.admissible(vm, state):
+                self._next = (self._next + offset + 1) % n
+                return state
+        return None
+
+    def choose(self, vm: VM, feasible: Sequence[ServerState]) -> ServerState:
+        return feasible[0]

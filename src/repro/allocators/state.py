@@ -1,0 +1,269 @@
+"""Mutable per-server state used while an allocator builds a plan.
+
+:class:`ServerState` tracks, for one server, the per-time-unit CPU and
+memory already committed (as numpy arrays grown on demand), the merged busy
+segments, and the running Eq.-17 energy cost. It supports the two queries
+every allocator needs:
+
+* :meth:`fits` — can this VM run here for its whole interval without
+  exceeding capacity at any time unit (constraints 9-10)?
+* :meth:`incremental_cost` — by how much would this server's energy rise if
+  the VM were placed here (the paper's heuristic selection criterion)?
+
+The incremental cost is computed *locally*: adding one interval only
+perturbs the busy segments it overlaps or touches, so the delta is derived
+from the affected neighbourhood rather than a full timeline recomputation.
+A from-scratch recomputation is kept in the tests as the oracle.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+import numpy as np
+
+from repro.energy.cost import SleepPolicy, gap_cost, server_cost
+from repro.energy.power import run_energy
+from repro.energy.segments import ServerTimeline
+from repro.exceptions import CapacityError
+from repro.model.intervals import TimeInterval, merge_intervals
+from repro.model.phases import demand_profile
+from repro.model.server import Server
+from repro.model.vm import VM
+
+__all__ = ["ServerState"]
+
+_INITIAL_HORIZON = 256
+
+
+class ServerState:
+    """Usage, busy segments, and running cost for one server."""
+
+    def __init__(self, server: Server, *,
+                 policy: SleepPolicy = SleepPolicy.OPTIMAL) -> None:
+        self.server = server
+        self.policy = policy
+        self.vms: list[VM] = []
+        #: merged, sorted busy segments as parallel start/end lists
+        self._busy_starts: list[int] = []
+        self._busy_ends: list[int] = []
+        self._cpu = np.zeros(_INITIAL_HORIZON)
+        self._mem = np.zeros(_INITIAL_HORIZON)
+        #: running Eq.-17 total (run + busy idle + gaps + initial wake)
+        self.cost: float = 0.0
+
+    # -- capacity ----------------------------------------------------------
+
+    def _ensure_horizon(self, end: int) -> None:
+        needed = end + 1
+        if needed <= self._cpu.size:
+            return
+        new_size = max(needed, self._cpu.size * 2)
+        cpu = np.zeros(new_size)
+        cpu[: self._cpu.size] = self._cpu
+        mem = np.zeros(new_size)
+        mem[: self._mem.size] = self._mem
+        self._cpu = cpu
+        self._mem = mem
+
+    def fits(self, vm: VM) -> bool:
+        """Whether ``vm`` fits throughout its interval (Eqs. 9-10).
+
+        Phase-aware: a :class:`~repro.model.phases.PhasedVM` is checked
+        piece by piece against the committed usage.
+        """
+        spec = self.server.spec
+        if vm.cpu > spec.cpu_capacity or vm.memory > spec.memory_capacity:
+            return False
+        tol = 1e-9
+        for piece, cpu, memory in demand_profile(vm):
+            hi = min(piece.end + 1, self._cpu.size)
+            if piece.start >= hi:  # beyond tracked usage: empty there
+                continue
+            cpu_slice = self._cpu[piece.start:hi]
+            if cpu_slice.size and float(cpu_slice.max()) + cpu > \
+                    spec.cpu_capacity + tol:
+                return False
+            mem_slice = self._mem[piece.start:hi]
+            if mem_slice.size and float(mem_slice.max()) + memory > \
+                    spec.memory_capacity + tol:
+                return False
+        return True
+
+    def peak_usage(self, interval: TimeInterval) -> tuple[float, float]:
+        """Max (cpu, memory) committed during ``interval``."""
+        hi = min(interval.end + 1, self._cpu.size)
+        if interval.start >= hi:
+            return 0.0, 0.0
+        return (float(self._cpu[interval.start:hi].max()),
+                float(self._mem[interval.start:hi].max()))
+
+    # -- busy-segment bookkeeping -------------------------------------------
+
+    def _affected_range(self, iv: TimeInterval) -> tuple[int, int]:
+        """Index range [lo, hi) of busy segments merging with ``iv``.
+
+        A segment merges when it overlaps or is adjacent to ``iv``, i.e.
+        when ``seg.end >= iv.start - 1`` and ``seg.start <= iv.end + 1``.
+        """
+        lo = bisect.bisect_left(self._busy_ends, iv.start - 1)
+        hi = bisect.bisect_right(self._busy_starts, iv.end + 1)
+        return lo, hi
+
+    def _local_delta(self, iv: TimeInterval) -> float:
+        """Eq.-17 cost increase of adding interval ``iv`` (no run cost)."""
+        spec = self.server.spec
+        lo, hi = self._affected_range(iv)
+        if lo >= hi:
+            # iv touches no existing segment: one new busy segment appears.
+            delta = spec.p_idle * iv.length
+            if not self._busy_starts:
+                return delta + spec.transition_cost  # first wake-up
+            # A surrounding gap (when interior) is replaced by up to two
+            # smaller gaps. Extending the span outwards creates only one
+            # new gap and moves — not duplicates — the initial wake-up.
+            prev_end = self._busy_ends[lo - 1] if lo > 0 else None
+            next_start = (self._busy_starts[lo]
+                          if lo < len(self._busy_starts) else None)
+            old_gap = _gap(prev_end, next_start)
+            if old_gap is not None:
+                delta -= gap_cost(spec, old_gap, self.policy)
+            left_gap = _gap(prev_end, iv.start)
+            if left_gap is not None:
+                delta += gap_cost(spec, left_gap, self.policy)
+            right_gap = _gap(iv.end, next_start)
+            if right_gap is not None:
+                delta += gap_cost(spec, right_gap, self.policy)
+            return delta
+        # iv merges segments [lo, hi) into one.
+        merged_start = min(iv.start, self._busy_starts[lo])
+        merged_end = max(iv.end, self._busy_ends[hi - 1])
+        old_busy = sum(self._busy_ends[k] - self._busy_starts[k] + 1
+                       for k in range(lo, hi))
+        delta = spec.p_idle * ((merged_end - merged_start + 1) - old_busy)
+        # Interior gaps between merged segments disappear.
+        for k in range(lo, hi - 1):
+            inner = TimeInterval(self._busy_ends[k] + 1,
+                                 self._busy_starts[k + 1] - 1)
+            delta -= gap_cost(spec, inner, self.policy)
+        # Boundary gaps shrink (or vanish) as the merged segment extends.
+        prev_end = self._busy_ends[lo - 1] if lo > 0 else None
+        next_start = (self._busy_starts[hi]
+                      if hi < len(self._busy_starts) else None)
+        old_left = _gap(prev_end, self._busy_starts[lo])
+        new_left = _gap(prev_end, merged_start)
+        delta += _gap_delta(spec, old_left, new_left, self.policy)
+        old_right = _gap(self._busy_ends[hi - 1], next_start)
+        new_right = _gap(merged_end, next_start)
+        delta += _gap_delta(spec, old_right, new_right, self.policy)
+        return delta
+
+    # -- queries -------------------------------------------------------------
+
+    def incremental_cost(self, vm: VM) -> float:
+        """Energy increase if ``vm`` were placed on this server (Eq. 17).
+
+        Includes the VM's run cost ``W_ij``, the extra busy idle-power, the
+        change in idle-gap costs, and any additional wake-up transitions.
+        """
+        return run_energy(self.server.spec, vm) + \
+            self._local_delta(vm.interval)
+
+    # -- mutation --------------------------------------------------------------
+
+    def place(self, vm: VM) -> float:
+        """Commit ``vm`` to this server; returns the cost increase.
+
+        Raises :class:`CapacityError` when the VM does not fit (callers are
+        expected to have checked :meth:`fits`).
+        """
+        if not self.fits(vm):
+            raise CapacityError(
+                f"{vm} does not fit on {self.server}",
+                server_id=self.server.server_id)
+        delta = self.incremental_cost(vm)
+        self._ensure_horizon(vm.end)
+        for piece, cpu, memory in demand_profile(vm):
+            self._cpu[piece.start:piece.end + 1] += cpu
+            self._mem[piece.start:piece.end + 1] += memory
+        self._merge_in(vm.interval)
+        self.vms.append(vm)
+        self.cost += delta
+        return delta
+
+    def remove(self, vm: VM) -> float:
+        """Withdraw a previously-placed VM; returns the cost decrease.
+
+        Used by migration/consolidation extensions. Busy segments and the
+        running cost are rebuilt from the remaining VM set (an O(k log k)
+        operation on this server only).
+        """
+        try:
+            self.vms.remove(vm)
+        except ValueError:
+            raise CapacityError(
+                f"{vm} is not placed on {self.server}",
+                server_id=self.server.server_id) from None
+        for piece, cpu, memory in demand_profile(vm):
+            self._cpu[piece.start:piece.end + 1] -= cpu
+            self._mem[piece.start:piece.end + 1] -= memory
+        old_cost = self.cost
+        self._rebuild()
+        return old_cost - self.cost
+
+    def _rebuild(self) -> None:
+        """Recompute busy segments and cost from the current VM set."""
+        merged = merge_intervals(vm.interval for vm in self.vms)
+        self._busy_starts = [seg.start for seg in merged]
+        self._busy_ends = [seg.end for seg in merged]
+        self.cost = server_cost(self.server.spec, self.vms,
+                                policy=self.policy).total
+
+    def _merge_in(self, iv: TimeInterval) -> None:
+        lo, hi = self._affected_range(iv)
+        if lo >= hi:
+            self._busy_starts.insert(lo, iv.start)
+            self._busy_ends.insert(lo, iv.end)
+            return
+        merged_start = min(iv.start, self._busy_starts[lo])
+        merged_end = max(iv.end, self._busy_ends[hi - 1])
+        self._busy_starts[lo:hi] = [merged_start]
+        self._busy_ends[lo:hi] = [merged_end]
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.vms
+
+    def busy_segments(self) -> list[TimeInterval]:
+        return [TimeInterval(s, e)
+                for s, e in zip(self._busy_starts, self._busy_ends)]
+
+    def timeline(self) -> ServerTimeline:
+        busy = self.busy_segments()
+        idle = [TimeInterval(a.end + 1, b.start - 1)
+                for a, b in zip(busy, busy[1:])]
+        return ServerTimeline(busy=tuple(busy), idle=tuple(idle))
+
+    def __repr__(self) -> str:
+        return (f"ServerState({self.server}, vms={len(self.vms)}, "
+                f"cost={self.cost:.1f})")
+
+
+def _gap(prev_end: int | None, next_start: int | None) -> TimeInterval | None:
+    """The idle gap between a segment ending at ``prev_end`` and one
+    starting at ``next_start``; ``None`` when either side is open or the
+    segments touch."""
+    if prev_end is None or next_start is None:
+        return None
+    if next_start - prev_end <= 1:
+        return None
+    return TimeInterval(prev_end + 1, next_start - 1)
+
+
+def _gap_delta(spec, old: TimeInterval | None, new: TimeInterval | None,
+               policy: SleepPolicy) -> float:
+    old_cost = gap_cost(spec, old, policy) if old is not None else 0.0
+    new_cost = gap_cost(spec, new, policy) if new is not None else 0.0
+    return new_cost - old_cost

@@ -1,0 +1,29 @@
+"""Workload analysis: conflict graphs, concurrency sweeps, energy bounds."""
+
+from repro.analysis.bounds import EnergyLowerBound, energy_lower_bound
+from repro.analysis.diagnostics import PlanDiagnostics, diagnose
+from repro.analysis.sizing import (
+    SizingPoint,
+    minimum_feasible_size,
+    sizing_curve,
+)
+from repro.analysis.conflicts import (
+    ConcurrencyProfile,
+    concurrency_profile,
+    conflict_graph,
+    peak_demand,
+)
+
+__all__ = [
+    "EnergyLowerBound",
+    "PlanDiagnostics",
+    "diagnose",
+    "energy_lower_bound",
+    "ConcurrencyProfile",
+    "concurrency_profile",
+    "conflict_graph",
+    "peak_demand",
+    "SizingPoint",
+    "minimum_feasible_size",
+    "sizing_curve",
+]

@@ -1,0 +1,97 @@
+"""Fast combinatorial lower bounds on total energy.
+
+The LP relaxation (:mod:`repro.ilp.relaxation`) gives a tight bound but
+builds the full time-expanded model; these bounds are O(m log m) and work
+at any scale, so examples and benches can sanity-check plans instantly.
+
+Two additive components, both valid for *any* feasible plan:
+
+* **run bound** — every VM pays at least its cheapest feasible ``W_ij``
+  (Eq. 3 on the server type minimising ``P^1``);
+* **idle bound** — at each time unit, the CPU demand ``D(t)`` must be
+  hosted on active servers; the idle power spent at ``t`` is therefore at
+  least ``D(t) * min_i (P_idle_i / C^CPU_i)`` (the fleet's best idle
+  watts per compute unit), and symmetrically for memory. The larger of
+  the two per-unit bounds applies.
+
+The sum lower-bounds the objective because run energy and active-server
+idle energy are disjoint cost components. Wake-up costs are ignored
+(they only increase energy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.exceptions import ValidationError
+from repro.model.cluster import Cluster
+from repro.model.phases import demand_profile
+from repro.model.vm import VM
+
+__all__ = ["EnergyLowerBound", "energy_lower_bound"]
+
+
+@dataclass(frozen=True)
+class EnergyLowerBound:
+    """A quick combinatorial lower bound and its components."""
+
+    run: float
+    idle: float
+
+    @property
+    def total(self) -> float:
+        return self.run + self.idle
+
+    def gap_of(self, cost: float) -> float:
+        """Relative gap of a plan's cost above this bound."""
+        if self.total <= 0:
+            return float("inf")
+        return (cost - self.total) / self.total
+
+
+def energy_lower_bound(vms: Sequence[VM],
+                       cluster: Cluster) -> EnergyLowerBound:
+    """Compute the run + idle lower bound for a workload on a fleet."""
+    if not vms:
+        return EnergyLowerBound(run=0.0, idle=0.0)
+    specs = {server.spec.name: server.spec for server in cluster}.values()
+
+    run = 0.0
+    for vm in vms:
+        feasible = [spec.power_per_cpu_unit for spec in specs
+                    if vm.cpu <= spec.cpu_capacity
+                    and vm.memory <= spec.memory_capacity]
+        if not feasible:
+            raise ValidationError(
+                f"{vm} fits no server type in the fleet")
+        run += min(feasible) * vm.cpu_time
+
+    idle_per_cpu = min(spec.p_idle / spec.cpu_capacity for spec in specs)
+    idle_per_mem = min(spec.p_idle / spec.memory_capacity
+                       for spec in specs)
+    # Sweep the aggregate demand profile; each time unit contributes the
+    # stronger of the CPU- and memory-implied idle floors.
+    events: dict[int, list[float]] = {}
+    for vm in vms:
+        for piece, cpu, memory in demand_profile(vm):
+            start = events.setdefault(piece.start, [0.0, 0.0])
+            start[0] += cpu
+            start[1] += memory
+            end = events.setdefault(piece.end + 1, [0.0, 0.0])
+            end[0] -= cpu
+            end[1] -= memory
+    idle = 0.0
+    cpu = 0.0
+    mem = 0.0
+    times = sorted(events)
+    for t, t_next in zip(times, times[1:] + [times[-1]]):
+        d_cpu, d_mem = events[t]
+        cpu += d_cpu
+        mem += d_mem
+        span = t_next - t
+        if span <= 0:
+            continue
+        floor = max(cpu * idle_per_cpu, mem * idle_per_mem)
+        idle += floor * span
+    return EnergyLowerBound(run=run, idle=idle)

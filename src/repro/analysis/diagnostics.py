@@ -1,0 +1,129 @@
+"""Plan diagnostics: *why* does a plan cost what it costs?
+
+Aggregate energy hides structure. These diagnostics decompose a finished
+allocation into the quantities an operator would audit:
+
+* how VMs and energy distribute over server types;
+* load imbalance across used servers (Gini coefficient of per-server
+  energy);
+* stranded capacity — CPU left idle on active servers because *memory*
+  ran out first (and vice versa), the signature of a mis-matched fleet;
+* consolidation quality — VMs per used server, active time share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.energy.accounting import energy_report
+from repro.energy.cost import SleepPolicy
+from repro.metrics.utilization import server_profiles
+from repro.model.allocation import Allocation
+
+__all__ = ["PlanDiagnostics", "diagnose"]
+
+
+@dataclass(frozen=True)
+class TypeUsage:
+    """How one server type participates in a plan."""
+
+    servers_used: int
+    vms: int
+    energy: float
+
+
+@dataclass(frozen=True)
+class PlanDiagnostics:
+    """Structural audit of one allocation."""
+
+    total_energy: float
+    servers_used: int
+    vms: int
+    by_type: Mapping[str, TypeUsage]
+    energy_gini: float
+    stranded_cpu_ratio: float
+    stranded_memory_ratio: float
+    vms_per_used_server: float
+
+    def format(self) -> str:
+        lines = [
+            f"energy: {self.total_energy:.0f} over "
+            f"{self.servers_used} servers, {self.vms} VMs "
+            f"({self.vms_per_used_server:.1f} VMs/server)",
+            f"energy gini across used servers: {self.energy_gini:.2f}",
+            f"stranded capacity: {100 * self.stranded_cpu_ratio:.0f}% cpu, "
+            f"{100 * self.stranded_memory_ratio:.0f}% memory",
+            "by server type:",
+        ]
+        for name, usage in sorted(self.by_type.items()):
+            lines.append(
+                f"  {name:8s} {usage.servers_used:4d} servers "
+                f"{usage.vms:5d} VMs {usage.energy:12.0f}")
+        return "\n".join(lines)
+
+
+def _gini(values: np.ndarray) -> float:
+    """Gini coefficient of a non-negative sample (0 = even, 1 = one
+    server carries everything)."""
+    if values.size == 0:
+        return 0.0
+    total = float(values.sum())
+    if total <= 0:
+        return 0.0
+    ordered = np.sort(values)
+    n = ordered.size
+    cumulative = np.cumsum(ordered)
+    return float((n + 1 - 2 * (cumulative / total).sum()) / n)
+
+
+def diagnose(allocation: Allocation, *,
+             policy: SleepPolicy = SleepPolicy.OPTIMAL) -> PlanDiagnostics:
+    """Compute the structural audit of ``allocation``."""
+    report = energy_report(allocation, policy=policy)
+    by_type: dict[str, dict] = {}
+    energies = []
+    stranded_cpu = 0.0
+    stranded_mem = 0.0
+    offered_cpu = 0.0
+    offered_mem = 0.0
+    for server_report in report.servers:
+        server = allocation.cluster.server(server_report.server_id)
+        entry = by_type.setdefault(
+            server_report.spec_name,
+            {"servers_used": 0, "vms": 0, "energy": 0.0})
+        entry["servers_used"] += 1
+        entry["vms"] += server_report.vm_count
+        entry["energy"] += server_report.cost.total
+        energies.append(server_report.cost.total)
+        cpu, mem = server_profiles(allocation, server_report.server_id)
+        busy = cpu > 0
+        # stranded = spare resource during busy units, weighted by how
+        # full the *other* resource is (spare room that cannot be sold
+        # because its partner resource is the bottleneck).
+        busy_units = int(busy.sum())
+        if busy_units:
+            spare_cpu = server.cpu_capacity - cpu[busy]
+            spare_mem = server.memory_capacity - mem[busy]
+            mem_full = mem[busy] / server.memory_capacity
+            cpu_full = cpu[busy] / server.cpu_capacity
+            stranded_cpu += float((spare_cpu * mem_full).sum())
+            stranded_mem += float((spare_mem * cpu_full).sum())
+            offered_cpu += server.cpu_capacity * busy_units
+            offered_mem += server.memory_capacity * busy_units
+    return PlanDiagnostics(
+        total_energy=report.total_energy,
+        servers_used=report.servers_used,
+        vms=len(allocation),
+        by_type={name: TypeUsage(**entry)
+                 for name, entry in by_type.items()},
+        energy_gini=_gini(np.array(energies)),
+        stranded_cpu_ratio=(stranded_cpu / offered_cpu
+                            if offered_cpu else 0.0),
+        stranded_memory_ratio=(stranded_mem / offered_mem
+                               if offered_mem else 0.0),
+        vms_per_used_server=(len(allocation) / report.servers_used
+                             if report.servers_used else 0.0),
+    )

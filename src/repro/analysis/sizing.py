@@ -1,0 +1,101 @@
+"""Fleet sizing: how many servers does a workload actually need?
+
+Two complementary tools:
+
+* :func:`minimum_feasible_size` — the smallest fleet (built by a cluster
+  factory) on which an allocator can place the whole workload, found by
+  binary search over the fleet size. Feasibility is monotone in size for
+  the library's cluster builders (growing the fleet only appends
+  servers), which makes bisection sound for a *fixed* allocator order.
+* :func:`sizing_curve` — energy as a function of fleet size, revealing
+  the knee where extra servers stop buying anything (consolidating
+  allocators use few servers regardless, so the curve flattens fast).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from repro.allocators.base import Allocator
+from repro.allocators.min_energy import MinIncrementalEnergy
+from repro.energy.cost import allocation_cost
+from repro.exceptions import AllocationError, ValidationError
+from repro.model.cluster import Cluster
+from repro.model.vm import VM
+
+__all__ = ["SizingPoint", "minimum_feasible_size", "sizing_curve"]
+
+ClusterFactory = Callable[[int], Cluster]
+
+
+@dataclass(frozen=True)
+class SizingPoint:
+    """One fleet size with its outcome."""
+
+    size: int
+    feasible: bool
+    energy: float | None
+    servers_used: int | None
+
+
+def _attempt(vms: Sequence[VM], factory: ClusterFactory, size: int,
+             allocator: Allocator) -> SizingPoint:
+    cluster = factory(size)
+    try:
+        allocation = allocator.allocate(vms, cluster)
+    except AllocationError:
+        return SizingPoint(size=size, feasible=False, energy=None,
+                           servers_used=None)
+    return SizingPoint(
+        size=size, feasible=True,
+        energy=allocation_cost(allocation).total,
+        servers_used=len(allocation.used_servers()))
+
+
+def minimum_feasible_size(vms: Iterable[VM],
+                          factory: ClusterFactory | None = None,
+                          allocator: Allocator | None = None,
+                          upper: int = 4096) -> int:
+    """Smallest fleet size on which ``allocator`` places every VM.
+
+    Doubles up from 1 to find a feasible size, then bisects down.
+    Raises :class:`ValidationError` when even ``upper`` servers do not
+    suffice.
+    """
+    vms = list(vms)
+    if not vms:
+        return 0
+    if upper < 1:
+        raise ValidationError(f"upper must be >= 1, got {upper}")
+    factory = factory or Cluster.paper_all_types
+    allocator = allocator or MinIncrementalEnergy()
+    hi = 1
+    while hi <= upper and not _attempt(vms, factory, hi,
+                                       allocator).feasible:
+        hi *= 2
+    if hi > upper:
+        if not _attempt(vms, factory, upper, allocator).feasible:
+            raise ValidationError(
+                f"workload infeasible even on {upper} servers")
+        hi = upper
+    lo = max(1, hi // 2)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if _attempt(vms, factory, mid, allocator).feasible:
+            hi = mid
+        else:
+            lo = mid + 1
+    return hi
+
+
+def sizing_curve(vms: Iterable[VM], sizes: Sequence[int],
+                 factory: ClusterFactory | None = None,
+                 allocator: Allocator | None = None) -> list[SizingPoint]:
+    """Energy and feasibility at each candidate fleet size."""
+    vms = list(vms)
+    if not sizes:
+        raise ValidationError("sizes must be non-empty")
+    factory = factory or Cluster.paper_all_types
+    allocator = allocator or MinIncrementalEnergy()
+    return [_attempt(vms, factory, size, allocator) for size in sizes]

@@ -1,0 +1,394 @@
+"""Command-line interface.
+
+Usage examples::
+
+    repro list
+    repro table servers
+    repro run --algorithm min-energy --vms 200 --interarrival 4
+    repro figure fig2 --quick
+    repro trace --vms 100 --interarrival 4 --out trace.csv
+    repro analyze --trace trace.csv
+    repro sweep --field mean_duration --values 2 5 10
+    repro solve --vms 12 --window 25
+    repro audit --vms 200
+    repro report --out report.md --quick
+
+(Equivalently ``python -m repro ...``.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.allocators.registry import allocator_names
+from repro.experiments import figures as figures_mod
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.runner import compare_averaged
+from repro.experiments.tables import table1, table2
+from repro.exceptions import ReproError
+from repro.workload.trace import Trace
+
+__all__ = ["main", "build_parser"]
+
+_FIGURES = {
+    "fig2": figures_mod.fig2,
+    "fig3": figures_mod.fig3,
+    "fig4": figures_mod.fig4,
+    "fig5": figures_mod.fig5,
+    "fig6": figures_mod.fig6,
+    "fig7": figures_mod.fig7,
+    "fig8": figures_mod.fig8,
+    "fig9": figures_mod.fig9,
+    "zoo": figures_mod.ablation_zoo,
+    "sleep": figures_mod.ablation_sleep_policy,
+    "wake": figures_mod.ablation_initial_wake,
+    "ilp-gap": figures_mod.ilp_gap,
+}
+
+#: Reduced grids so --quick completes in seconds.
+_QUICK_OVERRIDES = {
+    "fig2": dict(n_vms_list=(100, 200), interarrivals=(1.0, 4.0, 8.0),
+                 seeds=(0, 1)),
+    "fig3": dict(interarrivals=(1.0, 4.0, 8.0), seeds=(0, 1)),
+    "fig4": dict(n_vms_list=(100, 200), interarrivals=(1.0, 4.0, 8.0),
+                 seeds=(0, 1)),
+    "fig5": dict(n_vms=200, interarrivals=(1.0, 4.0, 8.0), seeds=(0, 1)),
+    "fig6": dict(n_vms=200, interarrivals=(1.0, 4.0, 8.0), seeds=(0, 1)),
+    "fig7": dict(n_vms_list=(100, 200), interarrivals=(1.0, 4.0, 8.0),
+                 seeds=(0, 1)),
+    "fig8": dict(n_vms=200, interarrivals=(1.0, 4.0, 8.0), seeds=(0, 1)),
+    "fig9": dict(n_vms=200, interarrivals=(1.0, 4.0, 8.0), seeds=(0, 1)),
+    "ilp-gap": dict(n_vms=8, seeds=(0, 1)),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Energy-saving VM allocation (Xie et al., ICDCSW'13) "
+                    "reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the available allocation algorithms")
+
+    p_table = sub.add_parser("table", help="print Table I or Table II")
+    p_table.add_argument("which", choices=("vms", "servers"))
+
+    p_run = sub.add_parser(
+        "run", help="compare one algorithm against FFPS on a scenario")
+    p_run.add_argument("--algorithm", default="min-energy",
+                       choices=allocator_names())
+    p_run.add_argument("--vms", type=int, default=100)
+    p_run.add_argument("--interarrival", type=float, default=4.0)
+    p_run.add_argument("--duration", type=float, default=5.0)
+    p_run.add_argument("--transition", type=float, default=1.0)
+    p_run.add_argument("--seeds", type=int, nargs="+", default=[0, 1, 2, 3, 4])
+
+    p_fig = sub.add_parser(
+        "figure", help="regenerate a figure's data (fig2..fig9, ablations)")
+    p_fig.add_argument("name", choices=sorted(_FIGURES))
+    p_fig.add_argument("--quick", action="store_true",
+                       help="reduced grid for a fast preview")
+    p_fig.add_argument("--out", default=None,
+                       help="also export the data (.csv or .json)")
+
+    p_trace = sub.add_parser("trace", help="generate and save a workload "
+                                           "trace")
+    p_trace.add_argument("--vms", type=int, default=100)
+    p_trace.add_argument("--interarrival", type=float, default=4.0)
+    p_trace.add_argument("--duration", type=float, default=5.0)
+    p_trace.add_argument("--seed", type=int, default=0)
+    p_trace.add_argument("--out", required=True,
+                         help="output path (.csv or .json)")
+
+    p_analyze = sub.add_parser(
+        "analyze", help="concurrency profile and energy bounds of a "
+                        "workload")
+    p_analyze.add_argument("--trace", default=None,
+                           help="trace file (.csv or .json); otherwise "
+                                "a workload is generated")
+    p_analyze.add_argument("--vms", type=int, default=100)
+    p_analyze.add_argument("--interarrival", type=float, default=4.0)
+    p_analyze.add_argument("--duration", type=float, default=5.0)
+    p_analyze.add_argument("--seed", type=int, default=0)
+    p_analyze.add_argument("--servers", type=int, default=None,
+                           help="fleet size (default: half the VMs)")
+
+    p_sweep = sub.add_parser(
+        "sweep", help="sensitivity sweep of one scenario knob")
+    p_sweep.add_argument("--field", required=True,
+                         choices=("n_vms", "mean_interarrival",
+                                  "mean_duration", "transition_time",
+                                  "server_ratio"))
+    p_sweep.add_argument("--values", type=float, nargs="+", required=True)
+    p_sweep.add_argument("--algorithm", default="min-energy",
+                         choices=allocator_names())
+    p_sweep.add_argument("--vms", type=int, default=100)
+    p_sweep.add_argument("--interarrival", type=float, default=4.0)
+    p_sweep.add_argument("--duration", type=float, default=5.0)
+    p_sweep.add_argument("--seeds", type=int, nargs="+",
+                         default=[0, 1, 2, 3, 4])
+
+    p_solve = sub.add_parser(
+        "solve", help="exact / receding-horizon solve of a small "
+                      "workload")
+    p_solve.add_argument("--vms", type=int, default=10)
+    p_solve.add_argument("--servers", type=int, default=5)
+    p_solve.add_argument("--interarrival", type=float, default=2.0)
+    p_solve.add_argument("--duration", type=float, default=5.0)
+    p_solve.add_argument("--seed", type=int, default=0)
+    p_solve.add_argument("--window", type=int, default=None,
+                         help="receding-horizon window; omit for the "
+                              "full exact ILP")
+    p_solve.add_argument("--time-limit", type=float, default=60.0)
+
+    p_audit = sub.add_parser(
+        "audit", help="characterise a workload, plan it, and audit the "
+                      "plan")
+    p_audit.add_argument("--trace", default=None,
+                         help="trace file (.csv or .json); otherwise a "
+                              "workload is generated")
+    p_audit.add_argument("--vms", type=int, default=100)
+    p_audit.add_argument("--interarrival", type=float, default=4.0)
+    p_audit.add_argument("--duration", type=float, default=5.0)
+    p_audit.add_argument("--seed", type=int, default=0)
+    p_audit.add_argument("--servers", type=int, default=None)
+    p_audit.add_argument("--algorithm", default="min-energy",
+                         choices=allocator_names())
+
+    p_report = sub.add_parser(
+        "report", help="write a markdown reproduction report")
+    p_report.add_argument("--out", required=True)
+    p_report.add_argument("--sections", nargs="+", default=None,
+                          help="subset of sections (default: all)")
+    p_report.add_argument("--quick", action="store_true",
+                          help="reduced grids for a fast preview")
+    return parser
+
+
+def _cmd_list() -> int:
+    for name in allocator_names():
+        print(name)
+    return 0
+
+
+def _cmd_table(which: str) -> int:
+    print(table1() if which == "vms" else table2())
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = ScenarioConfig(
+        n_vms=args.vms,
+        mean_interarrival=args.interarrival,
+        mean_duration=args.duration,
+        transition_time=args.transition,
+        seeds=tuple(args.seeds),
+    )
+    result = compare_averaged(config, algorithm=args.algorithm)
+    print(f"scenario: {args.vms} VMs on {config.n_servers} servers, "
+          f"inter-arrival {args.interarrival} min, "
+          f"mean length {args.duration} min")
+    print(f"ffps energy:        {result.baseline_energy}")
+    print(f"{args.algorithm} energy: {result.algorithm_energy}")
+    print(f"energy reduction:   {100 * result.reduction.mean:.2f}% "
+          f"± {100 * result.reduction.ci_halfwidth:.2f}")
+    print(f"cpu util (ffps/{args.algorithm}): "
+          f"{100 * result.baseline_cpu_util.mean:.1f}% / "
+          f"{100 * result.algorithm_cpu_util.mean:.1f}%")
+    print(f"mem util (ffps/{args.algorithm}): "
+          f"{100 * result.baseline_mem_util.mean:.1f}% / "
+          f"{100 * result.algorithm_mem_util.mean:.1f}%")
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    fn = _FIGURES[args.name]
+    kwargs = _QUICK_OVERRIDES.get(args.name, {}) if args.quick else {}
+    result = fn(**kwargs)
+    print(result.format())
+    if args.out:
+        from repro.experiments.export import save_csv, save_json
+
+        saver = save_json if args.out.endswith(".json") else save_csv
+        rows = saver(result, args.out)
+        print(f"\nexported {rows} rows to {args.out}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    config = ScenarioConfig(
+        n_vms=args.vms,
+        mean_interarrival=args.interarrival,
+        mean_duration=args.duration,
+    )
+    trace = Trace.from_vms(
+        config.generate_vms(args.seed),
+        n_vms=args.vms, mean_interarrival=args.interarrival,
+        mean_duration=args.duration, seed=args.seed)
+    if args.out.endswith(".json"):
+        trace.save_json(args.out)
+    else:
+        trace.save_csv(args.out)
+    print(f"wrote {len(trace)} VMs to {args.out}")
+    return 0
+
+
+def _load_or_generate(args: argparse.Namespace):
+    if getattr(args, "trace", None):
+        loader = (Trace.load_json if args.trace.endswith(".json")
+                  else Trace.load_csv)
+        return list(loader(args.trace))
+    config = ScenarioConfig(
+        n_vms=args.vms,
+        mean_interarrival=args.interarrival,
+        mean_duration=args.duration,
+    )
+    return config.generate_vms(args.seed)
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis import concurrency_profile, conflict_graph, \
+        energy_lower_bound
+    from repro.model.cluster import Cluster
+
+    vms = _load_or_generate(args)
+    if not vms:
+        print("empty workload")
+        return 0
+    profile = concurrency_profile(vms)
+    graph = conflict_graph(vms)
+    n_servers = args.servers or max(1, len(vms) // 2)
+    cluster = Cluster.paper_all_types(n_servers)
+    bound = energy_lower_bound(vms, cluster)
+    horizon = max(vm.end for vm in vms)
+    print(f"workload: {len(vms)} VMs over [1, {horizon}]")
+    print(f"conflicts: {graph.number_of_edges()} overlapping pairs")
+    print(f"max concurrent VMs: {profile.max_concurrent} "
+          f"(at t={profile.peak_time})")
+    print(f"peak demand: {profile.peak_cpu:.1f} cu "
+          f"(t={profile.peak_cpu_time}), "
+          f"{profile.peak_memory:.1f} GB (t={profile.peak_memory_time})")
+    print(f"fleet: {n_servers} servers, "
+          f"{cluster.total_cpu_capacity:.0f} cu / "
+          f"{cluster.total_memory_capacity:.0f} GB")
+    print(f"energy lower bound: {bound.total:.0f} W·min "
+          f"(run {bound.run:.0f} + idle {bound.idle:.0f})")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.sensitivity import sensitivity_sweep
+
+    base = ScenarioConfig(
+        n_vms=args.vms,
+        mean_interarrival=args.interarrival,
+        mean_duration=args.duration,
+        seeds=tuple(args.seeds),
+    )
+    result = sensitivity_sweep(base, args.field, args.values,
+                               algorithm=args.algorithm)
+    print(f"sweeping {args.field} "
+          f"({args.algorithm} vs ffps, {len(args.seeds)} seeds):\n")
+    print(result.format())
+    return 0
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    from repro.allocators import make_allocator
+    from repro.energy.cost import allocation_cost
+    from repro.ilp import RecedingHorizonSolver, solve_ilp
+    from repro.model.cluster import Cluster
+
+    config = ScenarioConfig(
+        n_vms=args.vms,
+        mean_interarrival=args.interarrival,
+        mean_duration=args.duration,
+        server_ratio=args.servers / args.vms,
+    )
+    vms = config.generate_vms(args.seed)
+    cluster = Cluster.paper_all_types(args.servers)
+    if args.window:
+        solver = RecedingHorizonSolver(window_length=args.window,
+                                       time_limit_per_window=args.time_limit)
+        result = solver.allocate(vms, cluster)
+        exact_cost = result.total_energy
+        label = f"receding horizon (window {args.window}, " \
+                f"{result.windows} windows)"
+    else:
+        result = solve_ilp(vms, cluster, time_limit=args.time_limit)
+        exact_cost = result.objective
+        label = f"exact ILP ({result.status})"
+    heuristic = allocation_cost(
+        make_allocator("min-energy").allocate(vms, cluster)).total
+    print(f"{label}: {exact_cost:.1f} W·min")
+    print(f"heuristic:  {heuristic:.1f} W·min "
+          f"(+{100 * (heuristic - exact_cost) / exact_cost:.2f}%)")
+    return 0
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    from repro.allocators import make_allocator
+    from repro.analysis import diagnose, energy_lower_bound
+    from repro.metrics.latency import latency_stats
+    from repro.model.cluster import Cluster
+    from repro.workload.characterize import characterize
+
+    vms = _load_or_generate(args)
+    if len(vms) < 2:
+        print("workload too small to audit")
+        return 0
+    n_servers = args.servers or max(1, len(vms) // 2)
+    cluster = Cluster.paper_all_types(n_servers)
+    print("workload characterisation:")
+    print("  " + characterize(vms).format().replace("\n", "\n  "))
+    plan = make_allocator(args.algorithm, seed=args.seed).allocate(
+        vms, cluster)
+    print(f"\nplan ({args.algorithm} on {n_servers} servers):")
+    print("  " + diagnose(plan).format().replace("\n", "\n  "))
+    bound = energy_lower_bound(vms, cluster)
+    from repro.energy.cost import allocation_cost
+
+    cost = allocation_cost(plan).total
+    print(f"\nenergy lower bound: {bound.total:.0f} "
+          f"(plan is +{100 * bound.gap_of(cost):.0f}% above)")
+    waits = latency_stats(plan)
+    print(f"wake-up waits: {100 * waits.affected_fraction:.0f}% of VMs "
+          f"wait, mean {waits.mean:.2f} time units")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import write_report
+
+    size = write_report(args.out, args.sections, quick=args.quick)
+    print(f"wrote {size} bytes to {args.out}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list": lambda: _cmd_list(),
+        "table": lambda: _cmd_table(args.which),
+        "run": lambda: _cmd_run(args),
+        "figure": lambda: _cmd_figure(args),
+        "trace": lambda: _cmd_trace(args),
+        "analyze": lambda: _cmd_analyze(args),
+        "sweep": lambda: _cmd_sweep(args),
+        "solve": lambda: _cmd_solve(args),
+        "report": lambda: _cmd_report(args),
+        "audit": lambda: _cmd_audit(args),
+    }
+    try:
+        return handlers[args.command]()
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

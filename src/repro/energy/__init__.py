@@ -1,0 +1,58 @@
+"""Energy substrate: power models, segment decomposition, cost accounting."""
+
+from repro.energy.accounting import (
+    EnergyReport,
+    ServerReport,
+    active_intervals,
+    energy_report,
+    transition_count,
+)
+from repro.energy.cost import (
+    CostBreakdown,
+    SleepPolicy,
+    allocation_cost,
+    gap_cost,
+    server_cost,
+    sleeps_through,
+)
+from repro.energy.power import AffinePowerModel, PowerModel, run_energy
+from repro.energy.pricing import (
+    FlatTariff,
+    Tariff,
+    TimeOfUseTariff,
+    monetary_cost,
+)
+from repro.energy.timeout import best_timeout, timeout_energy
+from repro.energy.segments import (
+    ServerTimeline,
+    busy_segments,
+    idle_segments,
+    timeline_of,
+)
+
+__all__ = [
+    "EnergyReport",
+    "ServerReport",
+    "active_intervals",
+    "energy_report",
+    "transition_count",
+    "CostBreakdown",
+    "SleepPolicy",
+    "allocation_cost",
+    "gap_cost",
+    "server_cost",
+    "sleeps_through",
+    "AffinePowerModel",
+    "PowerModel",
+    "run_energy",
+    "FlatTariff",
+    "Tariff",
+    "TimeOfUseTariff",
+    "monetary_cost",
+    "best_timeout",
+    "timeout_energy",
+    "ServerTimeline",
+    "busy_segments",
+    "idle_segments",
+    "timeline_of",
+]

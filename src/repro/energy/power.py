@@ -1,0 +1,53 @@
+"""Power models (Eq. 1-3 of the paper).
+
+The paper models a server's active power as an affine function of CPU load,
+``P(u) = P_idle + (P_peak - P_idle) u`` (Eq. 1), which makes the marginal
+power of one compute unit a constant ``P^1_i`` (Eq. 2) and lets the energy a
+VM consumes on a server be computed independently of co-located VMs
+(Eq. 3). :class:`AffinePowerModel` implements exactly this; the
+:class:`PowerModel` base class exists so extensions (e.g. super-linear
+curves) can plug into the discrete-event simulator's power integration.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.exceptions import ValidationError
+from repro.model.server import ServerSpec
+from repro.model.vm import VM
+
+__all__ = ["PowerModel", "AffinePowerModel", "run_energy"]
+
+
+class PowerModel(abc.ABC):
+    """Maps (server spec, CPU in use) to instantaneous power in watts."""
+
+    @abc.abstractmethod
+    def active_power(self, spec: ServerSpec, cpu_used: float) -> float:
+        """Power drawn while active with ``cpu_used`` compute units busy."""
+
+    def idle_power(self, spec: ServerSpec) -> float:
+        """Power drawn while active with no load."""
+        return self.active_power(spec, 0.0)
+
+
+class AffinePowerModel(PowerModel):
+    """The paper's affine model (Eq. 1): linear between idle and peak."""
+
+    def active_power(self, spec: ServerSpec, cpu_used: float) -> float:
+        return spec.power_at_load(cpu_used)
+
+
+def run_energy(spec: ServerSpec, vm: VM) -> float:
+    """``W_ij``: energy of running one VM on one server type (Eq. 3).
+
+    With the affine model the marginal cost of a VM is separable:
+    ``W_ij = P^1_i * sum_t R^CPU_jt = P^1_i * cpu * duration``.
+    """
+    if not (vm.cpu <= spec.cpu_capacity and vm.memory <=
+            spec.memory_capacity):
+        raise ValidationError(
+            f"{vm} can never fit on server type {spec.name!r} "
+            f"({spec.cpu_capacity}cu/{spec.memory_capacity}GB)")
+    return spec.power_per_cpu_unit * vm.cpu_time

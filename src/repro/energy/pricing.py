@@ -1,0 +1,118 @@
+"""Electricity tariffs: from watt-minutes to money.
+
+The paper minimises energy; operators pay *bills*, and bills depend on
+when the power is drawn. A :class:`Tariff` maps each time unit to a price
+per watt-time-unit; :func:`monetary_cost` integrates a plan's simulated
+power series against it. Time-of-use tariffs reveal an effect pure energy
+metrics hide: two plans with equal energy can differ in cost when one
+concentrates load in peak-price hours.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.energy.cost import SleepPolicy
+from repro.exceptions import ValidationError
+from repro.model.allocation import Allocation
+
+if TYPE_CHECKING:  # import-time cycle guard; see monetary_cost
+    from repro.simulation.telemetry import Telemetry
+
+__all__ = ["Tariff", "FlatTariff", "TimeOfUseTariff", "monetary_cost"]
+
+
+class Tariff(abc.ABC):
+    """Price per watt-time-unit as a function of the time unit."""
+
+    @abc.abstractmethod
+    def price_at(self, t: int) -> float:
+        """Price during time unit ``t`` (1-based)."""
+
+    def prices(self, horizon: int) -> np.ndarray:
+        """Vector of prices for ``t = 1..horizon``."""
+        return np.array([self.price_at(t)
+                         for t in range(1, horizon + 1)])
+
+
+@dataclass(frozen=True)
+class FlatTariff(Tariff):
+    """One price at all times."""
+
+    price: float
+
+    def __post_init__(self) -> None:
+        if self.price < 0:
+            raise ValidationError(f"price must be >= 0, got {self.price}")
+
+    def price_at(self, t: int) -> float:
+        return self.price
+
+
+@dataclass(frozen=True)
+class TimeOfUseTariff(Tariff):
+    """A repeating day with a peak-price window.
+
+    Time units ``[peak_start, peak_end]`` (within each period, 1-based)
+    cost ``peak_price``; the rest cost ``offpeak_price``.
+    """
+
+    peak_price: float
+    offpeak_price: float
+    peak_start: int = 481     # 08:00 with minute units
+    peak_end: int = 1200      # 20:00
+    period: int = 1440        # one day
+
+    def __post_init__(self) -> None:
+        if self.peak_price < 0 or self.offpeak_price < 0:
+            raise ValidationError("prices must be >= 0")
+        if self.period < 1:
+            raise ValidationError(
+                f"period must be >= 1, got {self.period}")
+        if not 1 <= self.peak_start <= self.peak_end <= self.period:
+            raise ValidationError(
+                f"peak window [{self.peak_start}, {self.peak_end}] must "
+                f"lie within [1, {self.period}]")
+
+    def price_at(self, t: int) -> float:
+        if t < 1:
+            raise ValidationError(f"time units are 1-based, got {t}")
+        phase = (t - 1) % self.period + 1
+        if self.peak_start <= phase <= self.peak_end:
+            return self.peak_price
+        return self.offpeak_price
+
+
+def monetary_cost(plan: "Allocation | Telemetry", tariff: Tariff, *,
+                  policy: SleepPolicy = SleepPolicy.OPTIMAL) -> float:
+    """The bill for a plan (or a pre-computed power series).
+
+    An :class:`Allocation` is replayed through the simulator to obtain
+    its per-time-unit power; transition energy is billed at the price of
+    the wake-up's time unit (each wake happens at the start of an active
+    interval).
+    """
+    # Imported here, not at module scope: energy is a lower layer than
+    # simulation, and a module-level import would be circular.
+    from repro.simulation.engine import SimulationEngine
+    from repro.simulation.telemetry import Telemetry
+
+    if isinstance(plan, Telemetry):
+        telemetry = plan
+        wake_bill = 0.0
+    else:
+        engine = SimulationEngine(plan.cluster, policy=policy)
+        result = engine.replay(plan)
+        telemetry = result.telemetry
+        wake_bill = 0.0
+        for server_report in result.report.servers:
+            alpha = plan.cluster.server(
+                server_report.server_id).spec.transition_cost
+            for interval in server_report.active:
+                wake_bill += alpha * tariff.price_at(interval.start)
+    prices = tariff.prices(telemetry.horizon)
+    return float(np.dot(telemetry.power, prices)) + wake_bill

@@ -1,0 +1,61 @@
+"""Online (timeout-based) sleep policy — the realism gap of Eq. 16.
+
+The paper's gap rule ``min(P_idle * len, alpha)`` is clairvoyant: it
+assumes the server knows how long an idle gap will last. A real server
+does not; the standard online policy sleeps after a fixed *idle timeout*.
+This module evaluates a finished plan under that policy:
+
+* gap shorter than or equal to the timeout — the server idles through it
+  (it never got to sleep): cost ``P_idle * len``;
+* longer gap — it idles for ``timeout`` units, sleeps, and pays one
+  wake-up at the gap's end: cost ``P_idle * timeout + alpha``.
+
+The classic competitive-analysis result (the ski-rental problem) says the
+best timeout is ``alpha / P_idle``, achieving at most 2x the clairvoyant
+cost per gap; :func:`timeout_energy` lets the benches verify how close
+the practical policy sits on this workload family.
+"""
+
+from __future__ import annotations
+
+from repro.energy.accounting import energy_report
+from repro.exceptions import ValidationError
+from repro.model.allocation import Allocation
+
+__all__ = ["timeout_energy", "best_timeout"]
+
+
+def best_timeout(p_idle: float, transition_cost: float) -> float:
+    """The ski-rental timeout: idle exactly ``alpha`` worth of power."""
+    if p_idle <= 0:
+        raise ValidationError(f"p_idle must be positive, got {p_idle}")
+    return transition_cost / p_idle
+
+
+def timeout_energy(allocation: Allocation, timeout: float | None = None
+                   ) -> float:
+    """Energy of ``allocation`` under the online timeout sleep policy.
+
+    ``timeout`` is in time units; ``None`` uses each server's ski-rental
+    timeout ``alpha_i / P_idle_i``. Run cost, busy idle-power and the
+    initial wake are identical to the clairvoyant accounting — only the
+    per-gap decision changes.
+    """
+    if timeout is not None and timeout < 0:
+        raise ValidationError(
+            f"timeout must be non-negative, got {timeout}")
+    report = energy_report(allocation)
+    total = 0.0
+    for server_report in report.servers:
+        spec = allocation.cluster.server(server_report.server_id).spec
+        server_timeout = timeout if timeout is not None else \
+            best_timeout(spec.p_idle, spec.transition_cost)
+        cost = server_report.cost
+        total += cost.run + cost.busy_idle + cost.initial_wake
+        for gap in server_report.timeline.idle:
+            if gap.length <= server_timeout:
+                total += spec.p_idle * gap.length
+            else:
+                total += spec.p_idle * server_timeout + \
+                    spec.transition_cost
+    return total

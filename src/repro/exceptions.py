@@ -1,0 +1,46 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError`, so callers
+can catch a single base class at API boundaries while more specific handlers
+remain possible.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument or model object failed validation.
+
+    Also subclasses :class:`ValueError` so generic callers that expect
+    standard-library semantics keep working.
+    """
+
+
+class CapacityError(ReproError):
+    """A placement would exceed a server's CPU or memory capacity."""
+
+    def __init__(self, message: str, *, server_id: int | None = None,
+                 time: int | None = None) -> None:
+        super().__init__(message)
+        self.server_id = server_id
+        self.time = time
+
+
+class AllocationError(ReproError):
+    """No feasible server exists for a VM (the allocator cannot place it)."""
+
+    def __init__(self, message: str, *, vm_id: int | None = None) -> None:
+        super().__init__(message)
+        self.vm_id = vm_id
+
+
+class SolverError(ReproError):
+    """The exact ILP solver failed or returned an unusable status."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""

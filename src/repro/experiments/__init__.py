@@ -1,0 +1,54 @@
+"""Experiment harness: scenario configs, runners, and the per-figure
+reproduction functions."""
+
+from repro.experiments.config import DEFAULT_SEEDS, ScenarioConfig
+from repro.experiments.figures import (
+    ablation_initial_wake,
+    ablation_sleep_policy,
+    ablation_zoo,
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    format_table,
+    ilp_gap,
+)
+from repro.experiments.runner import (
+    AveragedComparison,
+    ComparisonResult,
+    RunResult,
+    compare,
+    compare_averaged,
+    run_once,
+)
+from repro.experiments.tables import table1, table2
+
+__all__ = [
+    "DEFAULT_SEEDS",
+    "ScenarioConfig",
+    "ablation_initial_wake",
+    "ablation_sleep_policy",
+    "ablation_zoo",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "format_table",
+    "ilp_gap",
+    "AveragedComparison",
+    "ComparisonResult",
+    "RunResult",
+    "compare",
+    "compare_averaged",
+    "run_once",
+    "table1",
+    "table2",
+]

@@ -1,0 +1,90 @@
+"""Experiment configuration objects.
+
+A :class:`ScenarioConfig` captures one simulated scenario exactly as the
+paper's Sec. IV-B describes it: the workload parameters (VM count, Poisson
+inter-arrival, exponential mean length, which Table I types), the fleet
+(which Table II types, servers = half the VMs by default, a common
+transition time), and the seeds to average over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Sequence
+
+from repro.exceptions import ValidationError
+from repro.model.catalog import ALL_VM_TYPES, SERVER_TYPES
+from repro.model.cluster import Cluster
+from repro.model.server import ServerSpec
+from repro.model.vm import VM, VMSpec
+from repro.workload.generator import PoissonWorkload
+
+__all__ = ["ScenarioConfig", "DEFAULT_SEEDS"]
+
+#: The paper averages every data point over 5 random runs.
+DEFAULT_SEEDS: tuple[int, ...] = (0, 1, 2, 3, 4)
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """One fully-specified simulation scenario."""
+
+    n_vms: int = 100
+    mean_interarrival: float = 4.0
+    mean_duration: float = 5.0
+    transition_time: float = 1.0
+    vm_types: tuple[VMSpec, ...] = field(default=ALL_VM_TYPES)
+    server_types: tuple[ServerSpec, ...] = field(default=SERVER_TYPES)
+    #: number of servers per VM; the paper uses half the VMs.
+    server_ratio: float = 0.5
+    seeds: tuple[int, ...] = DEFAULT_SEEDS
+
+    def __post_init__(self) -> None:
+        if self.n_vms <= 0:
+            raise ValidationError(f"n_vms must be positive, got {self.n_vms}")
+        if self.mean_interarrival <= 0:
+            raise ValidationError("mean_interarrival must be positive")
+        if self.mean_duration <= 0:
+            raise ValidationError("mean_duration must be positive")
+        if self.transition_time < 0:
+            raise ValidationError("transition_time must be non-negative")
+        if self.server_ratio <= 0:
+            raise ValidationError("server_ratio must be positive")
+        if not self.seeds:
+            raise ValidationError("seeds must be non-empty")
+        if not self.vm_types:
+            raise ValidationError("vm_types must be non-empty")
+        if not self.server_types:
+            raise ValidationError("server_types must be non-empty")
+
+    @property
+    def n_servers(self) -> int:
+        """Fleet size: ``round(n_vms * server_ratio)``, at least one."""
+        return max(1, round(self.n_vms * self.server_ratio))
+
+    def workload(self) -> PoissonWorkload:
+        """The Sec. IV-B1 workload family for this scenario."""
+        return PoissonWorkload(
+            mean_interarrival=self.mean_interarrival,
+            mean_duration=self.mean_duration,
+            vm_types=self.vm_types,
+        )
+
+    def generate_vms(self, seed: int) -> list[VM]:
+        """Draw this scenario's VM requests for one seed."""
+        return self.workload().generate(self.n_vms, rng=seed)
+
+    def build_cluster(self) -> Cluster:
+        """The scenario's fleet, with the transition time applied."""
+        return Cluster.mixed(self.server_types, self.n_servers,
+                             transition_time=self.transition_time)
+
+    def with_(self, **changes: object) -> "ScenarioConfig":
+        """A modified copy (thin wrapper over :func:`dataclasses.replace`)."""
+        return replace(self, **changes)
+
+    @staticmethod
+    def sweep(base: "ScenarioConfig", field_name: str,
+              values: Sequence[object]) -> list["ScenarioConfig"]:
+        """Copies of ``base`` with ``field_name`` set to each value."""
+        return [replace(base, **{field_name: v}) for v in values]

@@ -1,0 +1,115 @@
+"""Exporting regenerated figure data to CSV and JSON.
+
+Every figure object in :mod:`repro.experiments.figures` renders itself as
+a text table; for plotting in external tools the same data is exported as
+flat records here. The schema is one row per (series, point):
+``figure, series, x, reduction_pct, ffps_*, ours_*`` plus the fit's
+parameters when present.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from repro.exceptions import ValidationError
+from repro.experiments.figures import (
+    Fig8Result,
+    FigureResult,
+    SweepSeries,
+    UtilizationFigure,
+)
+
+__all__ = ["figure_records", "save_csv", "save_json"]
+
+_FIELDS = (
+    "figure", "series", "x", "reduction_pct",
+    "ffps_energy", "ours_energy",
+    "ffps_cpu_util", "ours_cpu_util",
+    "ffps_mem_util", "ours_mem_util",
+    "fit_kind", "fit_params",
+)
+
+
+def _series_records(figure: str, series: SweepSeries) -> list[dict]:
+    fit_kind = series.fit.kind if series.fit else ""
+    fit_params = (";".join(f"{p:.6g}" for p in series.fit.params)
+                  if series.fit else "")
+    records = []
+    for point in series.points:
+        c = point.comparison
+        records.append({
+            "figure": figure,
+            "series": series.label,
+            "x": point.x,
+            "reduction_pct": point.reduction_pct,
+            "ffps_energy": c.baseline_energy.mean,
+            "ours_energy": c.algorithm_energy.mean,
+            "ffps_cpu_util": c.baseline_cpu_util.mean,
+            "ours_cpu_util": c.algorithm_cpu_util.mean,
+            "ffps_mem_util": c.baseline_mem_util.mean,
+            "ours_mem_util": c.algorithm_mem_util.mean,
+            "fit_kind": fit_kind,
+            "fit_params": fit_params,
+        })
+    return records
+
+
+def _utilization_records(figure: str, label: str,
+                         panel: UtilizationFigure) -> list[dict]:
+    records = []
+    for point in panel.points:
+        c = point.comparison
+        records.append({
+            "figure": figure,
+            "series": label,
+            "x": point.x,
+            "reduction_pct": point.reduction_pct,
+            "ffps_energy": c.baseline_energy.mean,
+            "ours_energy": c.algorithm_energy.mean,
+            "ffps_cpu_util": c.baseline_cpu_util.mean,
+            "ours_cpu_util": c.algorithm_cpu_util.mean,
+            "ffps_mem_util": c.baseline_mem_util.mean,
+            "ours_mem_util": c.algorithm_mem_util.mean,
+            "fit_kind": "",
+            "fit_params": "",
+        })
+    return records
+
+
+def figure_records(result: object) -> list[dict]:
+    """Flatten any supported figure object into exportable records."""
+    if isinstance(result, FigureResult):
+        records = []
+        for series in result.series:
+            records.extend(_series_records(result.figure, series))
+        return records
+    if isinstance(result, UtilizationFigure):
+        return _utilization_records(result.figure, "utilisation", result)
+    if isinstance(result, Fig8Result):
+        return (_utilization_records("fig8", "all types",
+                                     result.all_types)
+                + _utilization_records("fig8", "types 1-3",
+                                       result.small_types))
+    raise ValidationError(
+        f"cannot export object of type {type(result).__name__}")
+
+
+def save_csv(result: object, path: str | Path) -> int:
+    """Write the figure's records as CSV; returns the row count."""
+    records = figure_records(result)
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=_FIELDS)
+        writer.writeheader()
+        writer.writerows(records)
+    return len(records)
+
+
+def save_json(result: object, path: str | Path) -> int:
+    """Write the figure's records as a JSON array; returns the count."""
+    records = figure_records(result)
+    Path(path).write_text(json.dumps(records, indent=2))
+    return len(records)

@@ -1,0 +1,124 @@
+"""Running scenarios: single runs, algorithm comparisons, seed averaging.
+
+The runner is the glue between a :class:`ScenarioConfig` and the metrics
+the paper reports. One :func:`compare` call reproduces a single data point
+of a figure: generate the workload for a seed, allocate with FFPS and with
+the algorithm under test, and compute energy, reduction ratio and
+utilisations. :func:`compare_averaged` repeats that over the scenario's
+seeds, matching the paper's "averaged over 5 random runs".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.allocators.registry import make_allocator
+from repro.energy.accounting import energy_report
+from repro.energy.cost import CostBreakdown
+from repro.experiments.config import ScenarioConfig
+from repro.metrics.reduction import energy_reduction_ratio
+from repro.metrics.summary import Aggregate, aggregate
+from repro.metrics.utilization import UtilizationStats, utilization_stats
+from repro.model.allocation import Allocation
+
+__all__ = ["RunResult", "ComparisonResult", "AveragedComparison",
+           "run_once", "compare", "compare_averaged"]
+
+#: The paper's baseline algorithm name.
+BASELINE = "ffps"
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """One algorithm on one seed of one scenario."""
+
+    algorithm: str
+    seed: int
+    allocation: Allocation
+    cost: CostBreakdown
+    utilization: UtilizationStats
+    servers_used: int
+
+    @property
+    def total_energy(self) -> float:
+        return self.cost.total
+
+
+@dataclass(frozen=True)
+class ComparisonResult:
+    """Baseline vs algorithm on the same workload."""
+
+    baseline: RunResult
+    algorithm: RunResult
+
+    @property
+    def reduction(self) -> float:
+        return energy_reduction_ratio(self.baseline.total_energy,
+                                      self.algorithm.total_energy)
+
+
+@dataclass(frozen=True)
+class AveragedComparison:
+    """Seed-averaged comparison — one figure data point."""
+
+    config: ScenarioConfig
+    reduction: Aggregate
+    baseline_energy: Aggregate
+    algorithm_energy: Aggregate
+    baseline_cpu_util: Aggregate
+    baseline_mem_util: Aggregate
+    algorithm_cpu_util: Aggregate
+    algorithm_mem_util: Aggregate
+    runs: tuple[ComparisonResult, ...]
+
+
+def run_once(config: ScenarioConfig, algorithm: str, seed: int) -> RunResult:
+    """Generate the seed's workload and allocate it with one algorithm."""
+    vms = config.generate_vms(seed)
+    cluster = config.build_cluster()
+    allocator = make_allocator(algorithm, seed=seed)
+    allocation = allocator.allocate(vms, cluster)
+    report = energy_report(allocation)
+    return RunResult(
+        algorithm=algorithm,
+        seed=seed,
+        allocation=allocation,
+        cost=report.total,
+        utilization=utilization_stats(allocation),
+        servers_used=report.servers_used,
+    )
+
+
+def compare(config: ScenarioConfig, seed: int,
+            algorithm: str = "min-energy",
+            baseline: str = BASELINE) -> ComparisonResult:
+    """Baseline and algorithm on the *same* workload and fleet."""
+    return ComparisonResult(
+        baseline=run_once(config, baseline, seed),
+        algorithm=run_once(config, algorithm, seed),
+    )
+
+
+def compare_averaged(config: ScenarioConfig,
+                     algorithm: str = "min-energy",
+                     baseline: str = BASELINE) -> AveragedComparison:
+    """Average a comparison over the scenario's seeds."""
+    runs = tuple(compare(config, seed, algorithm, baseline)
+                 for seed in config.seeds)
+    return AveragedComparison(
+        config=config,
+        reduction=aggregate([r.reduction for r in runs]),
+        baseline_energy=aggregate(
+            [r.baseline.total_energy for r in runs]),
+        algorithm_energy=aggregate(
+            [r.algorithm.total_energy for r in runs]),
+        baseline_cpu_util=aggregate(
+            [r.baseline.utilization.cpu for r in runs]),
+        baseline_mem_util=aggregate(
+            [r.baseline.utilization.memory for r in runs]),
+        algorithm_cpu_util=aggregate(
+            [r.algorithm.utilization.cpu for r in runs]),
+        algorithm_mem_util=aggregate(
+            [r.algorithm.utilization.memory for r in runs]),
+        runs=runs,
+    )

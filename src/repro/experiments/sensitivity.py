@@ -1,0 +1,100 @@
+"""Generic one-knob sensitivity sweeps with significance.
+
+The figure functions hard-code the paper's sweeps; this harness sweeps
+*any* :class:`ScenarioConfig` field for *any* registered algorithm pair,
+and attaches a paired t-test per point so the output says not just "by
+how much" but "with what confidence". It backs the ``repro sweep`` CLI
+command.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.exceptions import ValidationError
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.figures import format_table
+from repro.experiments.runner import compare
+from repro.metrics.significance import PairedComparison, paired_t_test
+from repro.metrics.summary import Aggregate, aggregate
+
+__all__ = ["SensitivityPoint", "SensitivityResult", "sensitivity_sweep"]
+
+_SWEEPABLE = ("n_vms", "mean_interarrival", "mean_duration",
+              "transition_time", "server_ratio")
+
+
+@dataclass(frozen=True)
+class SensitivityPoint:
+    """One sweep value with seed-averaged outcomes and significance."""
+
+    value: float
+    reduction: Aggregate
+    baseline_energy: Aggregate
+    algorithm_energy: Aggregate
+    test: PairedComparison
+
+
+@dataclass(frozen=True)
+class SensitivityResult:
+    """A complete sweep over one scenario field."""
+
+    field: str
+    algorithm: str
+    baseline: str
+    points: tuple[SensitivityPoint, ...]
+
+    def format(self) -> str:
+        rows = []
+        for p in self.points:
+            rows.append((
+                p.value,
+                round(100 * p.reduction.mean, 2),
+                round(100 * p.reduction.ci_halfwidth, 2),
+                f"{p.test.p_value:.2g}",
+                "yes" if p.test.significant else "no",
+            ))
+        return format_table(
+            (self.field, "reduction %", "± (95% CI)", "p-value",
+             "significant"), rows)
+
+
+def sensitivity_sweep(base: ScenarioConfig, field: str,
+                      values: Sequence[float],
+                      algorithm: str = "min-energy",
+                      baseline: str = "ffps") -> SensitivityResult:
+    """Sweep ``field`` over ``values``, comparing two algorithms.
+
+    ``field`` must be one of the numeric scenario knobs; each point runs
+    both algorithms on identical per-seed workloads and reports the
+    paired t-test on total energy.
+    """
+    if field not in _SWEEPABLE:
+        raise ValidationError(
+            f"cannot sweep {field!r}; choose from {_SWEEPABLE}")
+    if not values:
+        raise ValidationError("values must be non-empty")
+    points = []
+    for value in values:
+        cast = int(value) if field == "n_vms" else float(value)
+        config = base.with_(**{field: cast})
+        runs = [compare(config, seed, algorithm, baseline)
+                for seed in config.seeds]
+        ours = [r.algorithm.total_energy for r in runs]
+        base_costs = [r.baseline.total_energy for r in runs]
+        if len(runs) >= 2:
+            test = paired_t_test(ours, base_costs)
+        else:  # a single seed carries no significance information
+            test = PairedComparison(
+                mean_diff=ours[0] - base_costs[0], statistic=0.0,
+                p_value=1.0, n=1)
+        points.append(SensitivityPoint(
+            value=float(value),
+            reduction=aggregate([r.reduction for r in runs]),
+            baseline_energy=aggregate(base_costs),
+            algorithm_energy=aggregate(ours),
+            test=test,
+        ))
+    return SensitivityResult(field=field, algorithm=algorithm,
+                             baseline=baseline, points=tuple(points))

@@ -1,0 +1,40 @@
+"""Table I and Table II renderers (the paper's parameter tables)."""
+
+from __future__ import annotations
+
+from repro.experiments.figures import format_table
+from repro.model.catalog import (
+    ALL_VM_TYPES,
+    CPU_INTENSIVE_VM_TYPES,
+    MEMORY_INTENSIVE_VM_TYPES,
+    SERVER_TYPES,
+    STANDARD_VM_TYPES,
+)
+
+__all__ = ["table1", "table2"]
+
+
+def table1() -> str:
+    """Table I: the types of resource demands of VMs."""
+    family_of = {}
+    for spec in STANDARD_VM_TYPES:
+        family_of[spec.name] = "standard"
+    for spec in MEMORY_INTENSIVE_VM_TYPES:
+        family_of[spec.name] = "memory-intensive"
+    for spec in CPU_INTENSIVE_VM_TYPES:
+        family_of[spec.name] = "CPU-intensive"
+    rows = [(spec.name, family_of[spec.name], spec.cpu, spec.memory)
+            for spec in ALL_VM_TYPES]
+    return format_table(
+        ("type", "family", "CPU (compute units)", "memory (GBytes)"), rows)
+
+
+def table2() -> str:
+    """Table II: server capacities and power parameters."""
+    rows = [(spec.name, spec.cpu_capacity, spec.memory_capacity,
+             spec.p_idle, spec.p_peak,
+             f"{100 * spec.idle_peak_ratio:.0f}%")
+            for spec in SERVER_TYPES]
+    return format_table(
+        ("type", "CPU (cu)", "memory (GB)", "P_idle (W)", "P_peak (W)",
+         "idle/peak"), rows)

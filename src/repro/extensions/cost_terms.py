@@ -1,0 +1,81 @@
+"""Cost-term ablation: which parts of Eq. 17 actually drive the wins?
+
+The heuristic's incremental cost has four components — the VM's run
+energy ``W_ij``, the busy-time idle power, the idle-gap costs, and wake
+transitions. :class:`WeightedMinEnergy` re-weights them in the *selection
+rule only*; plans are always evaluated under the full, unweighted
+accounting. Zeroing a weight therefore measures how much that term
+contributes to the heuristic's decisions (DESIGN.md ablation 1,
+sharpened).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.allocators.base import Allocator
+from repro.allocators.state import ServerState
+from repro.energy.cost import SleepPolicy, server_cost
+from repro.exceptions import ValidationError
+from repro.model.vm import VM
+
+__all__ = ["CostWeights", "WeightedMinEnergy"]
+
+
+@dataclass(frozen=True)
+class CostWeights:
+    """Per-component weights applied to the incremental Eq.-17 cost."""
+
+    run: float = 1.0
+    busy_idle: float = 1.0
+    gaps: float = 1.0
+    wake: float = 1.0
+
+    def __post_init__(self) -> None:
+        for name in ("run", "busy_idle", "gaps", "wake"):
+            if getattr(self, name) < 0:
+                raise ValidationError(f"weight {name} must be >= 0")
+
+    def describe(self) -> str:
+        parts = [name for name in ("run", "busy_idle", "gaps", "wake")
+                 if getattr(self, name) > 0]
+        return "+".join(parts) if parts else "none"
+
+
+class WeightedMinEnergy(Allocator):
+    """Greedy selection by a re-weighted incremental cost.
+
+    With default weights this selects identically to the paper's
+    heuristic (though more slowly — it recomputes component-wise costs
+    instead of using the local delta), so it exists for ablations, not
+    production use.
+    """
+
+    name = "min-energy-weighted"
+
+    def __init__(self, weights: CostWeights | None = None,
+                 seed: int | None = None,
+                 policy: SleepPolicy = SleepPolicy.OPTIMAL) -> None:
+        super().__init__(seed=seed, policy=policy)
+        self.weights = weights if weights is not None else CostWeights()
+
+    def _weighted_delta(self, state: ServerState, vm: VM) -> float:
+        spec = state.server.spec
+        before = server_cost(spec, state.vms, policy=self._policy)
+        after = server_cost(spec, state.vms + [vm], policy=self._policy)
+        w = self.weights
+        return (w.run * (after.run - before.run)
+                + w.busy_idle * (after.busy_idle - before.busy_idle)
+                + w.gaps * (after.gaps - before.gaps)
+                + w.wake * (after.initial_wake - before.initial_wake))
+
+    def choose(self, vm: VM, feasible: Sequence[ServerState]) -> ServerState:
+        best = feasible[0]
+        best_delta = self._weighted_delta(best, vm)
+        for state in feasible[1:]:
+            delta = self._weighted_delta(state, vm)
+            if delta < best_delta - 1e-12:
+                best = state
+                best_delta = delta
+        return best

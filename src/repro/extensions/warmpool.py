@@ -1,0 +1,111 @@
+"""Warm pools: trading idle energy for placement latency.
+
+Aggressive sleeping minimises energy but makes arriving VMs wait for
+server boots (:mod:`repro.metrics.latency`). The standard mitigation is a
+*warm pool*: keep the busiest servers active for the whole planning
+period so requests landing there start instantly. This module evaluates
+that policy on a finished plan:
+
+* the ``k`` servers hosting the most VMs are kept active over the plan's
+  entire span (they pay idle power through every gap and never re-wake);
+* the rest follow the paper's Eq.-16 rule;
+* energy is re-accounted and wake-up latency recomputed (VMs on warm
+  servers wait only for the pool's single initial boot — or not at all
+  for later arrivals).
+
+:func:`warm_pool_frontier` sweeps ``k`` and returns the energy/latency
+frontier an operator picks an SLA point from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.energy.accounting import energy_report
+from repro.energy.cost import SleepPolicy, server_cost
+from repro.exceptions import ValidationError
+from repro.model.allocation import Allocation
+
+__all__ = ["WarmPoolPoint", "evaluate_warm_pool", "warm_pool_frontier"]
+
+
+@dataclass(frozen=True)
+class WarmPoolPoint:
+    """One warm-pool size with its energy and latency outcome."""
+
+    pool_size: int
+    warm_servers: tuple[int, ...]
+    energy: float
+    mean_latency: float
+    affected_fraction: float
+
+
+def _pick_pool(allocation: Allocation, k: int) -> tuple[int, ...]:
+    """The ``k`` used servers hosting the most VMs (ties by id)."""
+    loads = sorted(
+        ((len(allocation.vms_on(sid)), -sid) for sid in
+         allocation.used_servers()),
+        reverse=True)
+    return tuple(-negative_id for _, negative_id in loads[:k])
+
+
+def evaluate_warm_pool(allocation: Allocation, k: int) -> WarmPoolPoint:
+    """Re-account ``allocation`` with the top-``k`` servers kept warm."""
+    if k < 0:
+        raise ValidationError(f"pool size must be >= 0, got {k}")
+    warm = frozenset(_pick_pool(allocation, k))
+    report = energy_report(allocation)
+    energy = 0.0
+    latencies: list[float] = []
+    for server_report in report.servers:
+        server = allocation.cluster.server(server_report.server_id)
+        vms = allocation.vms_on(server_report.server_id)
+        if server_report.server_id in warm:
+            # Active through the whole span: idle power bridges every
+            # gap; one initial wake only.
+            cost = server_cost(server.spec, vms,
+                               policy=SleepPolicy.NEVER_SLEEP)
+            energy += cost.total
+            span_start = server_report.timeline.busy[0].start
+            for vm in vms:
+                # Only the arrivals that triggered the pool's single
+                # boot wait; everyone later finds the server hot.
+                latencies.append(server.spec.transition_time
+                                 if vm.start == span_start else 0.0)
+        else:
+            energy += server_report.cost.total
+            wake_starts = {iv.start for iv in server_report.active}
+            for vm in vms:
+                latencies.append(server.spec.transition_time
+                                 if vm.start in wake_starts else 0.0)
+    values = np.array(latencies) if latencies else np.zeros(0)
+    return WarmPoolPoint(
+        pool_size=k,
+        warm_servers=tuple(sorted(warm)),
+        energy=energy,
+        mean_latency=float(values.mean()) if values.size else 0.0,
+        affected_fraction=(float((values > 0).mean())
+                           if values.size else 0.0),
+    )
+
+
+def warm_pool_frontier(allocation: Allocation,
+                       sizes: Sequence[int] | None = None
+                       ) -> list[WarmPoolPoint]:
+    """The energy/latency frontier over warm-pool sizes.
+
+    ``sizes`` defaults to ``0 .. servers_used`` (the whole curve).
+    """
+    used = len(allocation.used_servers())
+    if sizes is None:
+        sizes = range(used + 1)
+    points = []
+    for k in sizes:
+        if k > used:
+            raise ValidationError(
+                f"pool size {k} exceeds the {used} used servers")
+        points.append(evaluate_warm_pool(allocation, k))
+    return points

@@ -1,0 +1,18 @@
+"""Exact solver: the paper's boolean ILP (Eqs. 8-14) and its LP relaxation."""
+
+from repro.ilp.formulation import ILPProblem, build_problem
+from repro.ilp.receding import RecedingHorizonResult, RecedingHorizonSolver
+from repro.ilp.relaxation import RelaxationResult, solve_relaxation
+from repro.ilp.solver import ILPResult, solve_ilp, solve_problem
+
+__all__ = [
+    "ILPProblem",
+    "build_problem",
+    "RecedingHorizonResult",
+    "RecedingHorizonSolver",
+    "RelaxationResult",
+    "solve_relaxation",
+    "ILPResult",
+    "solve_ilp",
+    "solve_problem",
+]

@@ -1,0 +1,281 @@
+"""Boolean ILP formulation of the allocation problem (paper Eqs. 8-14).
+
+Variables (all booleans in the paper):
+
+* ``x[i, j]`` — VM ``j`` placed on server ``i``;
+* ``y[i, t]`` — server ``i`` active during time unit ``t`` (``t = 1..T``);
+* ``z[i, t]`` — linearisation of the transition term
+  ``(y[i,t] - y[i,t-1])+``: minimising ``alpha_i * z`` subject to
+  ``z >= y_t - y_{t-1}`` and ``z >= 0`` reproduces the positive part
+  exactly, and ``z`` may stay continuous because the objective presses it
+  down onto the maximum of the two lower bounds.
+
+Constraints:
+
+* assignment (Eq. 11): ``sum_i x[i,j] = 1``;
+* capacity (Eqs. 9-10): for every server and time unit,
+  ``sum_{j active at t} R_j x[i,j] <= C_i y[i,t]`` for CPU and memory;
+* transitions: ``y[i,t] - y[i,t-1] - z[i,t] <= 0`` with ``y[i,0] = 0``.
+
+The paper's indicator constraint (Eq. 12, ``x_ij <= y_it``) is implied by
+the capacity constraints because every VM demand is strictly positive; it
+can still be emitted explicitly for verification via
+``include_indicator_constraints=True``.
+
+Pairs ``(i, j)`` where the VM can never fit on the server are fixed to
+zero through variable bounds rather than constraints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from scipy import sparse
+
+from repro.energy.power import run_energy
+from repro.model.phases import demand_profile
+from repro.exceptions import ValidationError
+from repro.model.cluster import Cluster
+from repro.model.constraints import PlacementConstraints
+from repro.model.vm import VM
+
+__all__ = ["ILPProblem", "build_problem"]
+
+
+@dataclass(frozen=True)
+class ILPProblem:
+    """A fully materialised ILP instance ready for the HiGHS solver."""
+
+    vms: tuple[VM, ...]
+    cluster: Cluster
+    horizon: int
+    objective: np.ndarray
+    constraints_matrix: sparse.csr_matrix
+    lower: np.ndarray
+    upper: np.ndarray
+    var_lower: np.ndarray
+    var_upper: np.ndarray
+    integrality: np.ndarray
+
+    @property
+    def n_servers(self) -> int:
+        return len(self.cluster)
+
+    @property
+    def n_vms(self) -> int:
+        return len(self.vms)
+
+    def x_index(self, server_id: int, vm_index: int) -> int:
+        """Flat variable index of ``x[server_id, vm_index]``."""
+        return server_id * self.n_vms + vm_index
+
+    def y_index(self, server_id: int, t: int) -> int:
+        """Flat variable index of ``y[server_id, t]`` (``t`` is 1-based)."""
+        return (self.n_servers * self.n_vms
+                + server_id * self.horizon + (t - 1))
+
+    def z_index(self, server_id: int, t: int) -> int:
+        """Flat variable index of ``z[server_id, t]`` (``t`` is 1-based)."""
+        return (self.n_servers * self.n_vms
+                + self.n_servers * self.horizon
+                + server_id * self.horizon + (t - 1))
+
+    @property
+    def n_variables(self) -> int:
+        return self.n_servers * self.n_vms + 2 * self.n_servers * self.horizon
+
+
+def build_problem(vms: Sequence[VM], cluster: Cluster, *,
+                  include_indicator_constraints: bool = False,
+                  committed_cpu: np.ndarray | None = None,
+                  committed_mem: np.ndarray | None = None,
+                  initially_active: frozenset[int] | set[int] = frozenset(),
+                  constraints: PlacementConstraints | None = None,
+                  ) -> ILPProblem:
+    """Materialise the Eq. 8-14 ILP for the given instance.
+
+    The time horizon is ``T = max(vm.end)``; VM intervals must lie within
+    ``[1, T]`` (the paper indexes time from 1).
+
+    The optional parameters support the receding-horizon solver, which
+    solves the problem window by window:
+
+    * ``committed_cpu`` / ``committed_mem`` — arrays of shape
+      ``(n_servers, T + 1)`` giving load already committed by earlier
+      windows at each (server, time). Capacity constraints shrink
+      accordingly, and any (server, time) with committed load has its
+      ``y`` variable fixed to 1 (the server is already obliged to be
+      active there).
+    * ``initially_active`` — server ids active at ``t = 0`` (the end of
+      the previous window), so their first activation in this window is
+      not charged a spurious wake-up (``y_{i,0} = 1`` instead of 0).
+    """
+    vms = tuple(sorted(vms, key=lambda v: (v.start, v.end, v.vm_id)))
+    if not vms:
+        raise ValidationError("cannot build an ILP without VMs")
+    if min(vm.start for vm in vms) < 1:
+        raise ValidationError("VM start times must be >= 1 for the ILP")
+    n = len(cluster)
+    m = len(vms)
+    horizon = max(vm.end for vm in vms)
+    if committed_cpu is not None and committed_cpu.shape[0] != n:
+        raise ValidationError(
+            f"committed_cpu has {committed_cpu.shape[0]} rows for "
+            f"{n} servers")
+    if (committed_cpu is None) != (committed_mem is None):
+        raise ValidationError(
+            "committed_cpu and committed_mem must be given together")
+    n_x = n * m
+    n_y = n * horizon
+    n_vars = n_x + 2 * n_y
+
+    # --- objective -------------------------------------------------------
+    objective = np.zeros(n_vars)
+    var_upper = np.ones(n_vars)
+    for i, server in enumerate(cluster):
+        for j, vm in enumerate(vms):
+            idx = i * m + j
+            if server.fits(vm.cpu, vm.memory):
+                objective[idx] = run_energy(server.spec, vm)
+            else:
+                var_upper[idx] = 0.0  # x fixed to zero: can never fit
+        for t in range(1, horizon + 1):
+            objective[n_x + i * horizon + (t - 1)] = server.p_idle
+            objective[n_x + n_y + i * horizon + (t - 1)] = \
+                server.transition_cost
+    var_lower = np.zeros(n_vars)
+
+    # x and y are binary; z may remain continuous (see module docstring).
+    integrality = np.zeros(n_vars)
+    integrality[:n_x + n_y] = 1
+
+    # --- constraints -------------------------------------------------------
+    rows: list[int] = []
+    cols: list[int] = []
+    vals: list[float] = []
+    lower: list[float] = []
+    upper: list[float] = []
+    row = 0
+
+    def add_entry(r: int, c: int, v: float) -> None:
+        rows.append(r)
+        cols.append(c)
+        vals.append(v)
+
+    # assignment: sum_i x[i,j] = 1
+    for j in range(m):
+        for i in range(n):
+            add_entry(row, i * m + j, 1.0)
+        lower.append(1.0)
+        upper.append(1.0)
+        row += 1
+
+    # active VMs per time unit with their (possibly phased) demand R_jt
+    active_at: list[list[tuple[int, float, float]]] = \
+        [[] for _ in range(horizon + 1)]
+    for j, vm in enumerate(vms):
+        for piece, cpu, memory in demand_profile(vm):
+            for t in range(piece.start, piece.end + 1):
+                active_at[t].append((j, cpu, memory))
+
+    # capacity: sum_j R_j x[i,j] - (C_i - committed) y[i,t] <= 0
+    for i, server in enumerate(cluster):
+        for t in range(1, horizon + 1):
+            used_cpu = float(committed_cpu[i, t]) \
+                if committed_cpu is not None and t < committed_cpu.shape[1] \
+                else 0.0
+            used_mem = float(committed_mem[i, t]) \
+                if committed_mem is not None and t < committed_mem.shape[1] \
+                else 0.0
+            y_col = n_x + i * horizon + (t - 1)
+            if used_cpu > 0 or used_mem > 0:
+                # Earlier windows already oblige this server to be active.
+                var_lower[y_col] = 1.0
+            demands = active_at[t]
+            if not demands:
+                continue
+            for j, cpu, _memory in demands:
+                add_entry(row, i * m + j, cpu)
+            add_entry(row, y_col, -(server.cpu_capacity - used_cpu))
+            lower.append(-np.inf)
+            upper.append(0.0)
+            row += 1
+            for j, _cpu, memory in demands:
+                add_entry(row, i * m + j, memory)
+            add_entry(row, y_col, -(server.memory_capacity - used_mem))
+            lower.append(-np.inf)
+            upper.append(0.0)
+            row += 1
+
+    # transitions: y[i,t] - y[i,t-1] - z[i,t] <= 0, with y[i,0] = 0
+    # (or 1 for servers carried over active from a previous window)
+    for i in range(n):
+        for t in range(1, horizon + 1):
+            y_col = n_x + i * horizon + (t - 1)
+            z_col = n_x + n_y + i * horizon + (t - 1)
+            add_entry(row, y_col, 1.0)
+            if t > 1:
+                add_entry(row, y_col - 1, -1.0)
+            add_entry(row, z_col, -1.0)
+            lower.append(-np.inf)
+            upper.append(1.0 if t == 1 and i in initially_active else 0.0)
+            row += 1
+
+    # placement constraints (affinity / anti-affinity groups)
+    if constraints is not None and not constraints.is_trivial:
+        index_of = {vm.vm_id: j for j, vm in enumerate(vms)}
+        for group in (constraints.colocate + constraints.separate):
+            missing = [v for v in group if v not in index_of]
+            if missing:
+                raise ValidationError(
+                    f"constraint group references unknown VM ids "
+                    f"{sorted(missing)}")
+        # affinity: x[i, a] == x[i, b] for each class member pair
+        for cls_ in constraints.affinity_classes():
+            members = sorted(cls_)
+            rep = index_of[members[0]]
+            for other in members[1:]:
+                j = index_of[other]
+                for i in range(n):
+                    add_entry(row, i * m + rep, 1.0)
+                    add_entry(row, i * m + j, -1.0)
+                    lower.append(0.0)
+                    upper.append(0.0)
+                    row += 1
+        # anti-affinity: at most one group member per server
+        for group in constraints.separate:
+            indices = [index_of[v] for v in sorted(group)]
+            for i in range(n):
+                for j in indices:
+                    add_entry(row, i * m + j, 1.0)
+                lower.append(-np.inf)
+                upper.append(1.0)
+                row += 1
+
+    # optional explicit indicator constraints (Eq. 12): x[i,j] <= y[i,t]
+    if include_indicator_constraints:
+        for i in range(n):
+            for j, vm in enumerate(vms):
+                for t in range(vm.start, vm.end + 1):
+                    add_entry(row, i * m + j, 1.0)
+                    add_entry(row, n_x + i * horizon + (t - 1), -1.0)
+                    lower.append(-np.inf)
+                    upper.append(0.0)
+                    row += 1
+
+    matrix = sparse.csr_matrix(
+        (vals, (rows, cols)), shape=(row, n_vars))
+    return ILPProblem(
+        vms=vms,
+        cluster=cluster,
+        horizon=horizon,
+        objective=objective,
+        constraints_matrix=matrix,
+        lower=np.array(lower),
+        upper=np.array(upper),
+        var_lower=var_lower,
+        var_upper=var_upper,
+        integrality=integrality,
+    )

@@ -1,0 +1,112 @@
+"""Receding-horizon exact solving — near-optimal plans at medium scale.
+
+The full Eq. 8-14 ILP is exact but explodes with the time horizon. The
+receding-horizon solver trades a little optimality for tractability: VMs
+are batched by start-time windows, each batch is solved *exactly* (with
+HiGHS) against the capacity already committed by earlier batches, and the
+windows are stitched into one plan. Within a window the model knows which
+servers the previous window left active (no spurious wake-ups are
+charged) and how much capacity is already spoken for at every time unit.
+
+With a window at least as long as the whole horizon this reduces to the
+exact solver; with small windows it approaches the greedy heuristic's
+speed while typically landing between the two in energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.energy.cost import allocation_cost
+from repro.exceptions import ValidationError
+from repro.ilp.formulation import build_problem
+from repro.ilp.solver import solve_problem
+from repro.model.allocation import Allocation
+from repro.model.cluster import Cluster
+from repro.model.vm import VM
+
+__all__ = ["RecedingHorizonResult", "RecedingHorizonSolver"]
+
+
+@dataclass(frozen=True)
+class RecedingHorizonResult:
+    """A stitched plan plus how many windows produced it."""
+
+    allocation: Allocation
+    windows: int
+    total_energy: float
+
+
+class RecedingHorizonSolver:
+    """Window-by-window exact solving (see module docstring).
+
+    Parameters
+    ----------
+    window_length:
+        Width of each start-time window in time units.
+    time_limit_per_window:
+        HiGHS time limit per window solve, seconds.
+    mip_rel_gap:
+        Acceptable relative MIP gap per window (0 = prove optimality).
+    """
+
+    def __init__(self, window_length: int = 30,
+                 time_limit_per_window: float | None = 30.0,
+                 mip_rel_gap: float = 0.0) -> None:
+        if window_length <= 0:
+            raise ValidationError(
+                f"window_length must be positive, got {window_length}")
+        self._window = window_length
+        self._time_limit = time_limit_per_window
+        self._gap = mip_rel_gap
+
+    def allocate(self, vms: Iterable[VM],
+                 cluster: Cluster) -> RecedingHorizonResult:
+        """Solve ``vms`` on ``cluster`` window by window."""
+        ordered = sorted(vms, key=lambda v: (v.start, v.end, v.vm_id))
+        if not ordered:
+            raise ValidationError("cannot solve an empty workload")
+        horizon = max(vm.end for vm in ordered)
+        n = len(cluster)
+        committed_cpu = np.zeros((n, horizon + 2))
+        committed_mem = np.zeros((n, horizon + 2))
+        placements: dict[VM, int] = {}
+        windows = 0
+        index = 0
+        window_start = ordered[0].start
+        while index < len(ordered):
+            window_end = window_start + self._window - 1
+            batch = []
+            while index < len(ordered) and \
+                    ordered[index].start <= window_end:
+                batch.append(ordered[index])
+                index += 1
+            if not batch:
+                window_start = ordered[index].start
+                continue
+            active = frozenset(
+                i for i in range(n)
+                if committed_cpu[i, min(window_start, horizon + 1)] > 0)
+            problem = build_problem(
+                batch, cluster,
+                committed_cpu=committed_cpu,
+                committed_mem=committed_mem,
+                initially_active=active)
+            result = solve_problem(problem, time_limit=self._time_limit,
+                                   mip_rel_gap=self._gap)
+            for vm in batch:
+                server_id = result.allocation.server_of(vm)
+                placements[vm] = server_id
+                committed_cpu[server_id, vm.start:vm.end + 1] += vm.cpu
+                committed_mem[server_id, vm.start:vm.end + 1] += vm.memory
+            windows += 1
+            window_start = window_end + 1
+        allocation = Allocation(cluster, placements)
+        allocation.validate(vms=ordered)
+        return RecedingHorizonResult(
+            allocation=allocation,
+            windows=windows,
+            total_energy=allocation_cost(allocation).total)

@@ -1,0 +1,55 @@
+"""LP relaxation of the allocation ILP — a fast lower bound.
+
+Dropping the integrality of ``x`` and ``y`` yields a linear program whose
+optimum lower-bounds the true minimum energy. The bound is useful on
+instances too large for the exact solver: any algorithm's cost can be
+compared against it to bound the optimality gap from below.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from scipy import optimize
+
+from repro.exceptions import SolverError
+from repro.ilp.formulation import build_problem
+from repro.model.cluster import Cluster
+from repro.model.vm import VM
+
+__all__ = ["RelaxationResult", "solve_relaxation"]
+
+
+@dataclass(frozen=True)
+class RelaxationResult:
+    """Outcome of the LP relaxation."""
+
+    lower_bound: float
+    status: str
+
+    def gap_of(self, cost: float) -> float:
+        """Relative gap of a concrete cost above this lower bound."""
+        if self.lower_bound <= 0:
+            return float("inf")
+        return (cost - self.lower_bound) / self.lower_bound
+
+
+def solve_relaxation(vms: Sequence[VM], cluster: Cluster) -> RelaxationResult:
+    """Solve the LP relaxation; returns the lower bound on total energy."""
+    problem = build_problem(vms, cluster)
+    result = optimize.milp(
+        c=problem.objective,
+        constraints=optimize.LinearConstraint(
+            problem.constraints_matrix, problem.lower, problem.upper),
+        bounds=optimize.Bounds(problem.var_lower, problem.var_upper),
+        integrality=np.zeros_like(problem.integrality),
+    )
+    if result.x is None:
+        raise SolverError(
+            f"LP relaxation failed (status {result.status}): "
+            f"{result.message}")
+    return RelaxationResult(lower_bound=float(result.fun),
+                            status="optimal" if result.status == 0
+                            else "feasible")

@@ -1,0 +1,92 @@
+"""Solving the Eq. 8-14 ILP with HiGHS (via :func:`scipy.optimize.milp`).
+
+The exact solver is tractable only for small instances (tens of VMs, a
+handful of servers, horizons of a few tens of time units) but provides the
+ground truth for optimality-gap benchmarks: how far are the paper's
+heuristic and the FFPS baseline from the true optimum?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from scipy import optimize
+
+from repro.exceptions import SolverError
+from repro.ilp.formulation import ILPProblem, build_problem
+from repro.model.allocation import Allocation
+from repro.model.cluster import Cluster
+from repro.model.vm import VM
+
+__all__ = ["ILPResult", "solve_ilp", "solve_problem"]
+
+
+@dataclass(frozen=True)
+class ILPResult:
+    """Outcome of an exact solve."""
+
+    allocation: Allocation
+    objective: float
+    mip_gap: float
+    status: str
+
+    @property
+    def is_optimal(self) -> bool:
+        return self.status == "optimal"
+
+
+def solve_problem(problem: ILPProblem, *,
+                  time_limit: float | None = None,
+                  mip_rel_gap: float = 0.0) -> ILPResult:
+    """Run HiGHS on a materialised :class:`ILPProblem`.
+
+    Raises :class:`SolverError` when the solver reports anything other
+    than success (infeasible model, time limit without incumbent, ...).
+    """
+    options: dict[str, object] = {"mip_rel_gap": mip_rel_gap}
+    if time_limit is not None:
+        options["time_limit"] = time_limit
+    result = optimize.milp(
+        c=problem.objective,
+        constraints=optimize.LinearConstraint(
+            problem.constraints_matrix, problem.lower, problem.upper),
+        bounds=optimize.Bounds(problem.var_lower, problem.var_upper),
+        integrality=problem.integrality,
+        options=options,
+    )
+    if result.x is None:
+        raise SolverError(
+            f"ILP solve failed (status {result.status}): {result.message}")
+    placements: dict[VM, int] = {}
+    for j, vm in enumerate(problem.vms):
+        chosen = [i for i in range(problem.n_servers)
+                  if result.x[problem.x_index(i, j)] > 0.5]
+        if len(chosen) != 1:
+            raise SolverError(
+                f"solution places {vm} on {len(chosen)} servers")
+        placements[vm] = chosen[0]
+    allocation = Allocation(problem.cluster, placements)
+    allocation.validate(vms=problem.vms)
+    status = "optimal" if result.status == 0 else "feasible"
+    return ILPResult(
+        allocation=allocation,
+        objective=float(result.fun),
+        mip_gap=float(getattr(result, "mip_gap", 0.0) or 0.0),
+        status=status,
+    )
+
+
+def solve_ilp(vms: Sequence[VM], cluster: Cluster, *,
+              time_limit: float | None = None,
+              mip_rel_gap: float = 0.0,
+              constraints=None) -> ILPResult:
+    """Build and solve the exact formulation for ``vms`` on ``cluster``.
+
+    ``constraints`` (a :class:`~repro.model.constraints
+    .PlacementConstraints`) adds affinity / anti-affinity groups.
+    """
+    problem = build_problem(vms, cluster, constraints=constraints)
+    return solve_problem(problem, time_limit=time_limit,
+                         mip_rel_gap=mip_rel_gap)

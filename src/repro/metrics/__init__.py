@@ -1,0 +1,46 @@
+"""Metrics: energy reduction ratio, utilisation, curve fits, aggregation."""
+
+from repro.metrics.fitting import (
+    FitResult,
+    adjusted_r_squared,
+    exponential_fit,
+    linear_fit,
+    logarithmic_fit,
+)
+from repro.metrics.latency import (
+    LatencyStats,
+    latency_stats,
+    wakeup_latencies,
+)
+from repro.metrics.reduction import energy_reduction_ratio
+from repro.metrics.significance import (
+    PairedComparison,
+    bootstrap_mean_diff,
+    paired_t_test,
+)
+from repro.metrics.summary import Aggregate, aggregate
+from repro.metrics.utilization import (
+    UtilizationStats,
+    server_profiles,
+    utilization_stats,
+)
+
+__all__ = [
+    "FitResult",
+    "adjusted_r_squared",
+    "exponential_fit",
+    "linear_fit",
+    "logarithmic_fit",
+    "LatencyStats",
+    "latency_stats",
+    "wakeup_latencies",
+    "energy_reduction_ratio",
+    "PairedComparison",
+    "bootstrap_mean_diff",
+    "paired_t_test",
+    "Aggregate",
+    "aggregate",
+    "UtilizationStats",
+    "server_profiles",
+    "utilization_stats",
+]

@@ -1,0 +1,26 @@
+"""Energy reduction ratio — the paper's headline metric (Sec. IV-A).
+
+    reduction = (cost_baseline - cost_algorithm) / cost_baseline
+
+where the baseline is FFPS. Positive values mean the algorithm saves energy
+relative to the baseline; the paper reports this as a percentage.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ValidationError
+
+__all__ = ["energy_reduction_ratio"]
+
+
+def energy_reduction_ratio(baseline_cost: float,
+                           algorithm_cost: float) -> float:
+    """Fraction of the baseline's energy saved by the algorithm.
+
+    Raises :class:`ValidationError` for a non-positive baseline — a ratio
+    against zero or negative energy is meaningless.
+    """
+    if baseline_cost <= 0:
+        raise ValidationError(
+            f"baseline cost must be positive, got {baseline_cost}")
+    return (baseline_cost - algorithm_cost) / baseline_cost

@@ -1,0 +1,64 @@
+"""Domain model: time intervals, VMs, servers, catalogs, clusters,
+allocations."""
+
+from repro.model.allocation import Allocation
+from repro.model.catalog import (
+    ALL_SERVER_TYPES,
+    ALL_VM_TYPES,
+    CPU_INTENSIVE_VM_TYPES,
+    MEMORY_INTENSIVE_VM_TYPES,
+    SERVER_TYPES,
+    SMALL_SERVER_TYPES,
+    STANDARD_VM_TYPES,
+    VM_TYPES,
+    server_type,
+    vm_type,
+)
+from repro.model.cluster import Cluster
+from repro.model.constraints import PlacementConstraints
+from repro.model.intervals import (
+    TimeInterval,
+    gaps_between,
+    intervals_overlap,
+    merge_intervals,
+    total_length,
+)
+from repro.model.phases import (
+    DemandPhase,
+    PhasedVM,
+    demand_at,
+    demand_profile,
+    split_vm,
+)
+from repro.model.server import Server, ServerSpec
+from repro.model.vm import VM, VMSpec
+
+__all__ = [
+    "Allocation",
+    "ALL_SERVER_TYPES",
+    "ALL_VM_TYPES",
+    "CPU_INTENSIVE_VM_TYPES",
+    "MEMORY_INTENSIVE_VM_TYPES",
+    "SERVER_TYPES",
+    "SMALL_SERVER_TYPES",
+    "STANDARD_VM_TYPES",
+    "VM_TYPES",
+    "server_type",
+    "vm_type",
+    "Cluster",
+    "PlacementConstraints",
+    "TimeInterval",
+    "gaps_between",
+    "intervals_overlap",
+    "merge_intervals",
+    "total_length",
+    "DemandPhase",
+    "PhasedVM",
+    "demand_at",
+    "demand_profile",
+    "split_vm",
+    "Server",
+    "ServerSpec",
+    "VM",
+    "VMSpec",
+]

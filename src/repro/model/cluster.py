@@ -1,0 +1,118 @@
+"""Clusters: the fleet of servers an allocator places VMs onto.
+
+A :class:`Cluster` is an ordered, immutable collection of
+:class:`~repro.model.server.Server` instances with convenience constructors
+for the fleet mixes used in the paper's evaluation (all five Table II types,
+or only types 1-3) and for homogeneous fleets used in tests and ablations.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from repro.exceptions import ValidationError
+from repro.model.catalog import SERVER_TYPES, SMALL_SERVER_TYPES
+from repro.model.server import Server, ServerSpec
+
+__all__ = ["Cluster"]
+
+
+class Cluster:
+    """An immutable fleet of servers with stable ids ``0..n-1``."""
+
+    def __init__(self, servers: Iterable[Server]) -> None:
+        self._servers: tuple[Server, ...] = tuple(servers)
+        if not self._servers:
+            raise ValidationError("a cluster needs at least one server")
+        ids = [s.server_id for s in self._servers]
+        if ids != list(range(len(ids))):
+            raise ValidationError(
+                "server ids must be consecutive integers starting at 0; "
+                f"got {ids[:10]}{'...' if len(ids) > 10 else ''}")
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_specs(cls, specs: Sequence[ServerSpec]) -> "Cluster":
+        """Build a cluster with one server per spec, ids in order."""
+        return cls(Server(i, spec) for i, spec in enumerate(specs))
+
+    @classmethod
+    def homogeneous(cls, spec: ServerSpec, count: int) -> "Cluster":
+        """``count`` identical servers of the given spec."""
+        if count <= 0:
+            raise ValidationError(f"count must be positive, got {count}")
+        return cls(Server(i, spec) for i in range(count))
+
+    @classmethod
+    def mixed(cls, specs: Sequence[ServerSpec], count: int,
+              transition_time: float | None = None) -> "Cluster":
+        """``count`` servers cycling round-robin through ``specs``.
+
+        This reproduces the paper's fleets: every server type is equally
+        represented. ``transition_time`` (time units), when given, overrides
+        the specs' default — the knob swept in the paper's Sec. IV-D.
+        """
+        if count <= 0:
+            raise ValidationError(f"count must be positive, got {count}")
+        if not specs:
+            raise ValidationError("specs must be non-empty")
+        if transition_time is not None:
+            specs = [s.with_transition_time(transition_time) for s in specs]
+        return cls(Server(i, specs[i % len(specs)]) for i in range(count))
+
+    @classmethod
+    def paper_all_types(cls, count: int,
+                        transition_time: float | None = None) -> "Cluster":
+        """A fleet cycling through all five Table II server types."""
+        return cls.mixed(SERVER_TYPES, count, transition_time)
+
+    @classmethod
+    def paper_small_types(cls, count: int,
+                          transition_time: float | None = None) -> "Cluster":
+        """A fleet cycling through Table II types 1-3 only (Sec. IV-F)."""
+        return cls.mixed(SMALL_SERVER_TYPES, count, transition_time)
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def servers(self) -> tuple[Server, ...]:
+        return self._servers
+
+    @property
+    def total_cpu_capacity(self) -> float:
+        """Sum of CPU capacity over the fleet."""
+        return sum(s.cpu_capacity for s in self._servers)
+
+    @property
+    def total_memory_capacity(self) -> float:
+        """Sum of memory capacity over the fleet."""
+        return sum(s.memory_capacity for s in self._servers)
+
+    def server(self, server_id: int) -> Server:
+        """The server with the given id."""
+        try:
+            return self._servers[server_id]
+        except IndexError:
+            raise ValidationError(
+                f"no server with id {server_id} in a cluster of "
+                f"{len(self._servers)}") from None
+
+    def spec_counts(self) -> dict[str, int]:
+        """How many servers of each type name the fleet contains."""
+        counts: dict[str, int] = {}
+        for server in self._servers:
+            counts[server.spec.name] = counts.get(server.spec.name, 0) + 1
+        return counts
+
+    def __len__(self) -> int:
+        return len(self._servers)
+
+    def __iter__(self) -> Iterator[Server]:
+        return iter(self._servers)
+
+    def __getitem__(self, server_id: int) -> Server:
+        return self._servers[server_id]
+
+    def __repr__(self) -> str:
+        return f"Cluster(n={len(self)}, types={self.spec_counts()})"

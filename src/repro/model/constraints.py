@@ -1,0 +1,158 @@
+"""Placement constraints: affinity and anti-affinity groups.
+
+Cloud schedulers honour placement rules beyond capacity: replicas of a
+service must land on *different* servers (anti-affinity, for fault
+isolation), while chatty tiers may need to share one (affinity, for
+locality). This module adds both as a first-class
+:class:`PlacementConstraints` object that the allocator framework and the
+exact ILP both enforce, so the energy *price* of isolation becomes
+measurable (see ``benchmarks/test_constraints_price.py``).
+
+Semantics
+---------
+* an **affinity group** is a set of VM ids that must all be placed on
+  the same server;
+* an **anti-affinity group** is a set of VM ids of which no two may
+  share a server;
+* groups may overlap arbitrarily, but a pair of VMs cannot be forced
+  both together and apart — that contradiction is rejected eagerly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import AbstractSet, Iterable, Mapping
+
+from repro.exceptions import ValidationError
+from repro.model.allocation import Allocation
+
+__all__ = ["PlacementConstraints"]
+
+
+def _freeze(groups: Iterable[AbstractSet[int] | Iterable[int]]
+            ) -> tuple[frozenset[int], ...]:
+    frozen = []
+    for group in groups:
+        members = frozenset(int(v) for v in group)
+        if len(members) < 2:
+            raise ValidationError(
+                f"constraint groups need at least two VMs, got {members}")
+        frozen.append(members)
+    return tuple(frozen)
+
+
+@dataclass(frozen=True)
+class PlacementConstraints:
+    """Immutable affinity / anti-affinity rules over VM ids."""
+
+    colocate: tuple[frozenset[int], ...] = field(default=())
+    separate: tuple[frozenset[int], ...] = field(default=())
+
+    @classmethod
+    def build(cls, *, colocate: Iterable[Iterable[int]] = (),
+              separate: Iterable[Iterable[int]] = ()
+              ) -> "PlacementConstraints":
+        """Validate and freeze group definitions.
+
+        Raises :class:`ValidationError` on degenerate groups or on a pair
+        of VMs constrained both together and apart (directly, or through
+        the transitive closure of affinity groups).
+        """
+        constraints = cls(colocate=_freeze(colocate),
+                          separate=_freeze(separate))
+        constraints._check_consistency()
+        return constraints
+
+    @property
+    def is_trivial(self) -> bool:
+        return not self.colocate and not self.separate
+
+    # -- derived structure ---------------------------------------------------
+
+    def affinity_classes(self) -> list[frozenset[int]]:
+        """Transitive closure of the colocate groups (disjoint classes)."""
+        parent: dict[int, int] = {}
+
+        def find(v: int) -> int:
+            parent.setdefault(v, v)
+            while parent[v] != v:
+                parent[v] = parent[parent[v]]
+                v = parent[v]
+            return v
+
+        for group in self.colocate:
+            members = sorted(group)
+            root = find(members[0])
+            for other in members[1:]:
+                parent[find(other)] = root
+        classes: dict[int, set[int]] = {}
+        for v in parent:
+            classes.setdefault(find(v), set()).add(v)
+        return [frozenset(c) for c in classes.values()]
+
+    def _check_consistency(self) -> None:
+        class_of: dict[int, frozenset[int]] = {}
+        for cls_ in self.affinity_classes():
+            for v in cls_:
+                class_of[v] = cls_
+        for group in self.separate:
+            members = sorted(group)
+            for i, a in enumerate(members):
+                for b in members[i + 1:]:
+                    if a in class_of and class_of[a] == class_of.get(b):
+                        raise ValidationError(
+                            f"VMs {a} and {b} are constrained both to "
+                            f"colocate and to separate")
+
+    # -- checking placements ---------------------------------------------------
+
+    def allows(self, vm_id: int, server_id: int,
+               placed: Mapping[int, int]) -> bool:
+        """Whether placing ``vm_id`` on ``server_id`` respects the rules,
+        given the servers of already-placed VMs (``vm id -> server id``).
+
+        Unplaced group members impose nothing yet — the allocator places
+        VMs one at a time and earlier decisions bind later ones.
+        """
+        for group in self.colocate:
+            if vm_id in group:
+                for other in group:
+                    other_server = placed.get(other)
+                    if other_server is not None and \
+                            other_server != server_id:
+                        return False
+        for group in self.separate:
+            if vm_id in group:
+                for other in group:
+                    if other != vm_id and placed.get(other) == server_id:
+                        return False
+        return True
+
+    def validate_allocation(self, allocation: Allocation) -> None:
+        """Check a finished allocation; raises on any violated group."""
+        server_of = {vm.vm_id: sid for vm, sid in allocation.items()}
+        for group in self.colocate:
+            servers = {server_of[v] for v in group if v in server_of}
+            if len(servers) > 1:
+                raise ValidationError(
+                    f"affinity group {sorted(group)} spans servers "
+                    f"{sorted(servers)}")
+        for group in self.separate:
+            seen: dict[int, int] = {}
+            for v in sorted(group):
+                if v not in server_of:
+                    continue
+                sid = server_of[v]
+                if sid in seen:
+                    raise ValidationError(
+                        f"anti-affinity group {sorted(group)}: VMs "
+                        f"{seen[sid]} and {v} share server {sid}")
+                seen[sid] = v
+
+    def is_satisfied_by(self, allocation: Allocation) -> bool:
+        """Boolean form of :meth:`validate_allocation`."""
+        try:
+            self.validate_allocation(allocation)
+        except ValidationError:
+            return False
+        return True

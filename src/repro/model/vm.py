@@ -1,0 +1,96 @@
+"""Virtual machine specifications and request instances.
+
+A :class:`VMSpec` describes a *type* of VM (the rows of the paper's Table I:
+a name plus stable CPU and memory demand), while a :class:`VM` is a concrete
+user request — a spec bound to an id and a time interval. The paper assumes
+each VM's resource demand is stable over its lifetime (Sec. IV-B1), so the
+demand lives on the spec rather than varying per time unit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import ValidationError
+from repro.model.intervals import TimeInterval
+
+__all__ = ["VMSpec", "VM"]
+
+
+@dataclass(frozen=True)
+class VMSpec:
+    """An immutable VM type: resource demand in compute units and GBytes."""
+
+    name: str
+    cpu: float
+    memory: float
+
+    def __post_init__(self) -> None:
+        if self.cpu <= 0:
+            raise ValidationError(f"VM type {self.name!r}: cpu must be "
+                                  f"positive, got {self.cpu}")
+        if self.memory <= 0:
+            raise ValidationError(f"VM type {self.name!r}: memory must be "
+                                  f"positive, got {self.memory}")
+
+    def __str__(self) -> str:
+        return f"{self.name}({self.cpu}cu/{self.memory}GB)"
+
+
+@dataclass(frozen=True)
+class VM:
+    """A VM request: a spec active over the closed interval ``[start, end]``.
+
+    ``start`` and ``end`` are integer time units (minutes in the paper's
+    setting); the VM occupies its server for every unit of the interval.
+    """
+
+    vm_id: int
+    spec: VMSpec
+    interval: TimeInterval = field(compare=False)
+
+    def __post_init__(self) -> None:
+        if self.vm_id < 0:
+            raise ValidationError(f"vm_id must be non-negative, got "
+                                  f"{self.vm_id}")
+
+    @property
+    def start(self) -> int:
+        """Starting time unit ``t_s`` (inclusive)."""
+        return self.interval.start
+
+    @property
+    def end(self) -> int:
+        """Finishing time unit ``t_e`` (inclusive)."""
+        return self.interval.end
+
+    @property
+    def duration(self) -> int:
+        """Lifetime in time units."""
+        return self.interval.length
+
+    @property
+    def cpu(self) -> float:
+        """CPU demand ``R^CPU_j`` in compute units (constant over life)."""
+        return self.spec.cpu
+
+    @property
+    def memory(self) -> float:
+        """Memory demand ``R^MEM_j`` in GBytes (constant over life)."""
+        return self.spec.memory
+
+    @property
+    def cpu_time(self) -> float:
+        """Total CPU demand integrated over the lifetime.
+
+        This is ``sum_t R^CPU_jt`` from Eq. (3); with stable demand it is
+        simply ``cpu * duration``.
+        """
+        return self.cpu * self.duration
+
+    def active_at(self, t: int) -> bool:
+        """Whether the VM runs during time unit ``t``."""
+        return self.interval.contains(t)
+
+    def __str__(self) -> str:
+        return f"vm{self.vm_id}:{self.spec.name}@{self.interval}"

@@ -1,0 +1,40 @@
+"""Discrete-event simulator: event queue, power-state machines, replay
+engine, telemetry."""
+
+from repro.simulation.admission import (
+    AdmissionController,
+    AdmissionOutcome,
+)
+from repro.simulation.engine import (
+    SimulationEngine,
+    SimulationResult,
+    simulate_online,
+)
+from repro.simulation.events import Event, EventKind, EventQueue
+from repro.simulation.failures import (
+    FailureOutcome,
+    ServerFailure,
+    inject_failures,
+    random_failures,
+)
+from repro.simulation.power_state import PowerState, ServerMachine
+from repro.simulation.telemetry import Telemetry, TelemetryCollector
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionOutcome",
+    "SimulationEngine",
+    "SimulationResult",
+    "simulate_online",
+    "Event",
+    "EventKind",
+    "EventQueue",
+    "FailureOutcome",
+    "ServerFailure",
+    "inject_failures",
+    "random_failures",
+    "PowerState",
+    "ServerMachine",
+    "Telemetry",
+    "TelemetryCollector",
+]

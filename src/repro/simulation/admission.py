@@ -1,0 +1,121 @@
+"""Admission control: what happens when the fleet is actually full.
+
+The paper assumes every VM fits somewhere (its fleets are sized at half
+the VM count). A production data center hits capacity, and the controller
+must then *reject* the request or *defer* it. This module runs the online
+arrival process with exactly that policy envelope:
+
+* each VM is offered to the allocator on arrival;
+* if nothing admissible exists, the request may be delayed (its whole
+  interval shifted later) by up to ``max_delay`` time units, taking the
+  first delay that fits;
+* otherwise it is rejected.
+
+The outcome reports acceptance/rejection counts, total queueing delay,
+and the accepted plan's energy — the inputs to a capacity-vs-SLA study
+(see ``examples/what_if_planning.py`` for the sizing side).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.allocators.base import Allocator
+from repro.allocators.min_energy import MinIncrementalEnergy
+from repro.allocators.state import ServerState
+from repro.energy.cost import SleepPolicy
+from repro.exceptions import ValidationError
+from repro.model.allocation import Allocation
+from repro.model.cluster import Cluster
+from repro.model.phases import PhasedVM
+from repro.model.vm import VM
+
+__all__ = ["AdmissionOutcome", "AdmissionController"]
+
+
+@dataclass(frozen=True)
+class AdmissionOutcome:
+    """Result of running the arrival process with admission control."""
+
+    allocation: Allocation
+    accepted: int
+    rejected: tuple[VM, ...]
+    delayed: int
+    total_delay: int
+    total_energy: float
+
+    @property
+    def rejection_rate(self) -> float:
+        offered = self.accepted + len(self.rejected)
+        return len(self.rejected) / offered if offered else 0.0
+
+    @property
+    def mean_delay(self) -> float:
+        return self.total_delay / self.accepted if self.accepted else 0.0
+
+
+def _shifted(vm: VM, delay: int) -> VM:
+    """The same request starting ``delay`` units later.
+
+    Phased VMs keep their phase structure — phases are relative to the
+    start, so shifting the interval moves them all.
+    """
+    if isinstance(vm, PhasedVM):
+        return PhasedVM(vm_id=vm.vm_id, spec=vm.spec,
+                        interval=vm.interval.shift(delay),
+                        phases=vm.phases)
+    return VM(vm_id=vm.vm_id, spec=vm.spec,
+              interval=vm.interval.shift(delay))
+
+
+class AdmissionController:
+    """Online arrival processing with reject-or-defer semantics."""
+
+    def __init__(self, allocator: Allocator | None = None,
+                 max_delay: int = 0,
+                 policy: SleepPolicy = SleepPolicy.OPTIMAL) -> None:
+        if max_delay < 0:
+            raise ValidationError(
+                f"max_delay must be >= 0, got {max_delay}")
+        self._allocator = allocator if allocator is not None \
+            else MinIncrementalEnergy()
+        self._max_delay = max_delay
+        self._policy = policy
+
+    def run(self, vms: Iterable[VM], cluster: Cluster) -> AdmissionOutcome:
+        """Process ``vms`` in arrival order against ``cluster``."""
+        ordered = sorted(vms, key=lambda v: (v.start, v.end, v.vm_id))
+        states = [ServerState(server, policy=self._policy)
+                  for server in cluster]
+        self._allocator.prepare(states)
+        placements: dict[VM, int] = {}
+        rejected: list[VM] = []
+        delayed = 0
+        total_delay = 0
+        total_energy = 0.0
+        for vm in ordered:
+            placed = False
+            for delay in range(self._max_delay + 1):
+                candidate = vm if delay == 0 else _shifted(vm, delay)
+                chosen = self._allocator.select(candidate, states)
+                if chosen is None:
+                    continue
+                total_energy += chosen.place(candidate)
+                placements[candidate] = chosen.server.server_id
+                if delay:
+                    delayed += 1
+                    total_delay += delay
+                placed = True
+                break
+            if not placed:
+                rejected.append(vm)
+        allocation = Allocation(cluster, placements)
+        return AdmissionOutcome(
+            allocation=allocation,
+            accepted=len(placements),
+            rejected=tuple(rejected),
+            delayed=delayed,
+            total_delay=total_delay,
+            total_energy=total_energy,
+        )

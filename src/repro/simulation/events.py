@@ -1,0 +1,88 @@
+"""Event types and the event queue driving the discrete-event simulator.
+
+Events are ordered by ``(time, priority, sequence)``: priority encodes the
+within-time-unit ordering the energy model requires — a server must finish
+waking before a VM can start on it, and VM departures at the end of a time
+unit precede a sleep decision taking effect in the next one. The sequence
+number makes ordering stable and deterministic for simultaneous events.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.exceptions import SimulationError
+
+__all__ = ["EventKind", "Event", "EventQueue"]
+
+
+class EventKind(enum.IntEnum):
+    """What happens at an event; the int value is the in-tick priority."""
+
+    SERVER_WAKE = 0     # server becomes active at the start of the tick
+    VM_START = 1        # VM begins occupying its server this tick
+    VM_END = 2          # VM frees its server at the end of the tick
+    SERVER_SLEEP = 3    # server powers down after this tick
+
+
+@dataclass(frozen=True, order=True)
+class Event:
+    """One scheduled occurrence in the simulation."""
+
+    time: int
+    kind: EventKind
+    sequence: int = field(compare=True)
+    server_id: int = field(compare=False, default=-1)
+    vm_id: int = field(compare=False, default=-1)
+
+    def __str__(self) -> str:
+        subject = (f"vm{self.vm_id}" if self.vm_id >= 0
+                   else f"srv{self.server_id}")
+        return f"t={self.time} {self.kind.name} {subject}"
+
+
+class EventQueue:
+    """A deterministic min-heap of events."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._closed = False
+
+    def push(self, time: int, kind: EventKind, *, server_id: int = -1,
+             vm_id: int = -1) -> Event:
+        """Schedule an event; returns the stored record."""
+        if self._closed:
+            raise SimulationError("cannot schedule on a drained queue")
+        if time < 0:
+            raise SimulationError(f"event time must be >= 0, got {time}")
+        event = Event(time=time, kind=kind, sequence=next(self._counter),
+                      server_id=server_id, vm_id=vm_id)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event."""
+        if not self._heap:
+            raise SimulationError("pop from an empty event queue")
+        return heapq.heappop(self._heap)
+
+    def peek(self) -> Event | None:
+        """The earliest event without removing it, or ``None``."""
+        return self._heap[0] if self._heap else None
+
+    def drain(self) -> Iterator[Event]:
+        """Consume every event in order; the queue then refuses pushes."""
+        while self._heap:
+            yield heapq.heappop(self._heap)
+        self._closed = True
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

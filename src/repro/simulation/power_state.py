@@ -1,0 +1,109 @@
+"""The per-server power-state machine.
+
+A server is in exactly one of three states:
+
+* ``POWER_SAVING`` — drawing (approximately) zero power;
+* ``TRANSITIONING`` — switching on, drawing peak power for the whole
+  transition (Gandhi et al., IGCC'12 — the paper's Sec. IV-B3 rule);
+* ``ACTIVE`` — drawing ``P_idle + P^1 * cpu_in_use``.
+
+The machine enforces legality: VMs may start only on an ACTIVE server,
+sleep is only reachable from ACTIVE with no VMs resident, and each
+power-saving -> active passage accounts one transition energy ``alpha``.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.exceptions import SimulationError
+from repro.model.server import Server
+
+__all__ = ["PowerState", "ServerMachine"]
+
+
+class PowerState(enum.Enum):
+    POWER_SAVING = "power-saving"
+    TRANSITIONING = "transitioning"
+    ACTIVE = "active"
+
+
+class ServerMachine:
+    """Power state, resident VMs and accumulated energy of one server."""
+
+    def __init__(self, server: Server) -> None:
+        self.server = server
+        self.state = PowerState.POWER_SAVING
+        self.resident_cpu = 0.0
+        self.resident_mem = 0.0
+        self.resident_vms: set[int] = set()
+        self.transitions = 0
+        #: accumulated transition energy (charged at wake)
+        self.transition_energy = 0.0
+
+    # -- state changes -----------------------------------------------------
+
+    def wake(self) -> None:
+        """Begin/complete a power-saving -> active transition.
+
+        The simulator charges the full transition energy as the lump
+        ``alpha`` the analytic model uses, then the server is ACTIVE from
+        the next tick it is needed.
+        """
+        if self.state is not PowerState.POWER_SAVING:
+            raise SimulationError(
+                f"{self.server}: wake from {self.state.name}, expected "
+                f"POWER_SAVING")
+        self.state = PowerState.ACTIVE
+        self.transitions += 1
+        self.transition_energy += self.server.transition_cost
+
+    def sleep(self) -> None:
+        """Power down; only legal when active and hosting nothing."""
+        if self.state is not PowerState.ACTIVE:
+            raise SimulationError(
+                f"{self.server}: sleep from {self.state.name}, expected "
+                f"ACTIVE")
+        if self.resident_vms:
+            raise SimulationError(
+                f"{self.server}: sleep with {len(self.resident_vms)} VMs "
+                f"resident")
+        self.state = PowerState.POWER_SAVING
+
+    def start_vm(self, vm_id: int, cpu: float, memory: float) -> None:
+        """Admit a VM; the server must be active with room for it."""
+        if self.state is not PowerState.ACTIVE:
+            raise SimulationError(
+                f"{self.server}: vm{vm_id} starting while {self.state.name}")
+        if vm_id in self.resident_vms:
+            raise SimulationError(
+                f"{self.server}: vm{vm_id} started twice")
+        tol = 1e-9
+        if self.resident_cpu + cpu > self.server.cpu_capacity + tol:
+            raise SimulationError(
+                f"{self.server}: CPU overcommit admitting vm{vm_id}")
+        if self.resident_mem + memory > self.server.memory_capacity + tol:
+            raise SimulationError(
+                f"{self.server}: memory overcommit admitting vm{vm_id}")
+        self.resident_vms.add(vm_id)
+        self.resident_cpu += cpu
+        self.resident_mem += memory
+
+    def end_vm(self, vm_id: int, cpu: float, memory: float) -> None:
+        """Release a VM."""
+        if vm_id not in self.resident_vms:
+            raise SimulationError(
+                f"{self.server}: vm{vm_id} ended but was not resident")
+        self.resident_vms.remove(vm_id)
+        self.resident_cpu = max(0.0, self.resident_cpu - cpu)
+        self.resident_mem = max(0.0, self.resident_mem - memory)
+
+    # -- power -------------------------------------------------------------
+
+    def power_draw(self) -> float:
+        """Instantaneous power in the current state (watts)."""
+        if self.state is PowerState.POWER_SAVING:
+            return 0.0
+        if self.state is PowerState.TRANSITIONING:
+            return self.server.p_peak
+        return self.server.spec.power_at_load(self.resident_cpu)

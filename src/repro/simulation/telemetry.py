@@ -1,0 +1,81 @@
+"""Telemetry collected while the simulator runs.
+
+The collector records, per time unit, the fleet's total power draw, the
+number of active servers and the number of running VMs — the raw series
+behind energy integration, utilisation plots and capacity-planning
+examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+__all__ = ["Telemetry", "TelemetryCollector"]
+
+
+@dataclass(frozen=True)
+class Telemetry:
+    """Immutable per-time-unit series over ``[1, horizon]``.
+
+    Index 0 of every array corresponds to time unit 1.
+    """
+
+    power: np.ndarray
+    active_servers: np.ndarray
+    running_vms: np.ndarray
+
+    @property
+    def horizon(self) -> int:
+        return int(self.power.size)
+
+    @property
+    def total_energy(self) -> float:
+        """Integrated busy-state energy (watt × time unit)."""
+        return float(self.power.sum())
+
+    @property
+    def peak_power(self) -> float:
+        return float(self.power.max()) if self.power.size else 0.0
+
+    @property
+    def mean_active_servers(self) -> float:
+        return float(self.active_servers.mean()) if \
+            self.active_servers.size else 0.0
+
+    def window(self, start: int, end: int) -> "Telemetry":
+        """The sub-series covering closed time window ``[start, end]``."""
+        if not 1 <= start <= end <= self.horizon:
+            raise ValidationError(
+                f"window [{start}, {end}] outside horizon "
+                f"[1, {self.horizon}]")
+        sl = slice(start - 1, end)
+        return Telemetry(power=self.power[sl],
+                         active_servers=self.active_servers[sl],
+                         running_vms=self.running_vms[sl])
+
+
+class TelemetryCollector:
+    """Accumulates per-tick samples and freezes them into Telemetry."""
+
+    def __init__(self, horizon: int) -> None:
+        if horizon < 0:
+            raise ValidationError(f"horizon must be >= 0, got {horizon}")
+        self._power = np.zeros(horizon)
+        self._active = np.zeros(horizon, dtype=int)
+        self._vms = np.zeros(horizon, dtype=int)
+
+    def record(self, t: int, power: float, active_servers: int,
+               running_vms: int) -> None:
+        """Record the fleet sample for time unit ``t`` (1-based)."""
+        self._power[t - 1] = power
+        self._active[t - 1] = active_servers
+        self._vms[t - 1] = running_vms
+
+    def freeze(self) -> Telemetry:
+        return Telemetry(power=self._power.copy(),
+                         active_servers=self._active.copy(),
+                         running_vms=self._vms.copy())

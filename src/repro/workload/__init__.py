@@ -1,0 +1,41 @@
+"""Workload substrate: the paper's Poisson generator, extended traffic
+families, and trace persistence."""
+
+from repro.workload.generator import PoissonWorkload, generate_vms
+from repro.workload.patterns import (
+    BurstyWorkload,
+    DiurnalWorkload,
+    HeavyTailWorkload,
+)
+from repro.workload.characterize import (
+    WorkloadStats,
+    characterize,
+    synthetic_twin,
+)
+from repro.workload.phased import PhasedWorkload
+from repro.workload.trace import Trace
+from repro.workload.transforms import (
+    merge_traces,
+    scale_load,
+    scale_time,
+    shift,
+    slice_window,
+)
+
+__all__ = [
+    "PoissonWorkload",
+    "generate_vms",
+    "BurstyWorkload",
+    "DiurnalWorkload",
+    "HeavyTailWorkload",
+    "WorkloadStats",
+    "characterize",
+    "synthetic_twin",
+    "PhasedWorkload",
+    "Trace",
+    "merge_traces",
+    "scale_load",
+    "scale_time",
+    "shift",
+    "slice_window",
+]

@@ -1,0 +1,112 @@
+"""Trace transforms: reshape recorded workloads without regenerating.
+
+Capacity studies rarely use a trace as-is: they stretch it in time
+("what if everything ran twice as long?"), thin or thicken it ("80 % of
+current traffic"), slice out a window, or merge traffic from several
+sources. These transforms operate on plain ``Sequence[VM]`` and return
+fresh VM lists with dense ids, so they compose with every allocator,
+solver and analysis in the library.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.model.intervals import TimeInterval
+from repro.model.vm import VM
+
+__all__ = ["scale_time", "scale_load", "slice_window", "merge_traces",
+           "shift"]
+
+
+def _renumber(vms: Sequence[VM]) -> list[VM]:
+    ordered = sorted(vms, key=lambda v: (v.start, v.end, v.vm_id))
+    return [VM(vm_id=i, spec=vm.spec, interval=vm.interval)
+            for i, vm in enumerate(ordered)]
+
+
+def scale_time(vms: Sequence[VM], factor: float) -> list[VM]:
+    """Stretch (or compress) the time axis by ``factor``.
+
+    Starts and durations scale together, keeping relative overlap
+    structure; results are rounded to the integer grid with durations of
+    at least one time unit, and starts clamped to >= 1.
+    """
+    if factor <= 0:
+        raise ValidationError(f"factor must be positive, got {factor}")
+    scaled = []
+    for vm in vms:
+        start = max(1, int(round((vm.start - 1) * factor)) + 1)
+        duration = max(1, int(round(vm.duration * factor)))
+        scaled.append(VM(vm_id=vm.vm_id, spec=vm.spec,
+                         interval=TimeInterval(start,
+                                               start + duration - 1)))
+    return _renumber(scaled)
+
+
+def scale_load(vms: Sequence[VM], fraction: float,
+               seed: int | None = None) -> list[VM]:
+    """Keep a uniform random ``fraction`` of the VMs (thinning).
+
+    ``fraction`` may exceed 1, in which case the trace is duplicated
+    whole ``floor(fraction)`` times plus a thinned remainder — a simple
+    way to model traffic growth.
+    """
+    if fraction < 0:
+        raise ValidationError(
+            f"fraction must be non-negative, got {fraction}")
+    rng = np.random.default_rng(seed)
+    copies = int(fraction)
+    remainder = fraction - copies
+    kept: list[VM] = []
+    for _ in range(copies):
+        kept.extend(vms)
+    if remainder > 0:
+        mask = rng.random(len(vms)) < remainder
+        kept.extend(vm for vm, keep in zip(vms, mask) if keep)
+    return _renumber(kept)
+
+
+def slice_window(vms: Sequence[VM], start: int, end: int, *,
+                 clip: bool = True) -> list[VM]:
+    """VMs overlapping the closed window ``[start, end]``.
+
+    With ``clip=True`` (default) intervals are truncated to the window
+    and re-based so the window starts at time 1; with ``clip=False`` the
+    overlapping VMs are returned unmodified.
+    """
+    if end < start:
+        raise ValidationError(f"window end {end} precedes start {start}")
+    window = TimeInterval(start, end)
+    selected = [vm for vm in vms if vm.interval.overlaps(window)]
+    if not clip:
+        return _renumber(selected)
+    clipped = []
+    for vm in selected:
+        piece = vm.interval.intersection(window)
+        assert piece is not None  # selected means overlapping
+        clipped.append(VM(
+            vm_id=vm.vm_id, spec=vm.spec,
+            interval=piece.shift(1 - start)))
+    return _renumber(clipped)
+
+
+def merge_traces(*traces: Sequence[VM]) -> list[VM]:
+    """Superimpose several workloads onto one timeline."""
+    merged: list[VM] = []
+    for trace in traces:
+        merged.extend(trace)
+    return _renumber(merged)
+
+
+def shift(vms: Sequence[VM], delta: int) -> list[VM]:
+    """Translate every interval by ``delta`` time units (>= 1 preserved)."""
+    if vms and min(vm.start for vm in vms) + delta < 1:
+        raise ValidationError(
+            f"shift by {delta} would move a VM before time 1")
+    return _renumber([
+        VM(vm_id=vm.vm_id, spec=vm.spec, interval=vm.interval.shift(delta))
+        for vm in vms])

@@ -1,0 +1,126 @@
+"""Tests for active-interval derivation, transition counts and reports."""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.energy.accounting import (
+    active_intervals,
+    energy_report,
+    transition_count,
+)
+from repro.energy.cost import SleepPolicy, allocation_cost
+from repro.energy.segments import timeline_of
+from repro.model.allocation import Allocation
+from repro.model.cluster import Cluster
+from repro.model.intervals import TimeInterval
+from repro.model.server import ServerSpec
+
+from conftest import make_vm
+
+SPEC = ServerSpec("s", cpu_capacity=10.0, memory_capacity=10.0,
+                  p_idle=50.0, p_peak=100.0, transition_time=1.0)
+ALPHA = SPEC.transition_cost  # 100
+
+
+class TestActiveIntervals:
+    def test_empty_server_never_active(self):
+        assert active_intervals(timeline_of([]), ALPHA, SPEC.p_idle) == []
+
+    def test_active_through_short_gap(self):
+        # 1-unit gap (idle 50 < alpha 100): stays active across it.
+        tl = timeline_of([make_vm(0, 1, 2), make_vm(1, 4, 5)])
+        assert active_intervals(tl, ALPHA, SPEC.p_idle) == \
+            [TimeInterval(1, 5)]
+
+    def test_sleeps_through_long_gap(self):
+        # 5-unit gap (idle 250 > alpha 100): splits the active span.
+        tl = timeline_of([make_vm(0, 1, 2), make_vm(1, 8, 9)])
+        assert active_intervals(tl, ALPHA, SPEC.p_idle) == \
+            [TimeInterval(1, 2), TimeInterval(8, 9)]
+
+    def test_never_sleep_policy_bridges_all_gaps(self):
+        tl = timeline_of([make_vm(0, 1, 1), make_vm(1, 50, 50)])
+        assert active_intervals(tl, ALPHA, SPEC.p_idle,
+                                SleepPolicy.NEVER_SLEEP) == \
+            [TimeInterval(1, 50)]
+
+    def test_always_sleep_policy_splits_all_gaps(self):
+        tl = timeline_of([make_vm(0, 1, 2), make_vm(1, 4, 5)])
+        assert active_intervals(tl, ALPHA, SPEC.p_idle,
+                                SleepPolicy.ALWAYS_SLEEP) == \
+            [TimeInterval(1, 2), TimeInterval(4, 5)]
+
+
+class TestTransitionCount:
+    def test_zero_for_empty(self):
+        assert transition_count(timeline_of([]), ALPHA, SPEC.p_idle) == 0
+
+    def test_one_for_continuous(self):
+        assert transition_count(timeline_of([make_vm(0, 1, 9)]), ALPHA,
+                                SPEC.p_idle) == 1
+
+    def test_extra_per_slept_gap(self):
+        tl = timeline_of([make_vm(0, 1, 1), make_vm(1, 10, 10),
+                          make_vm(2, 20, 20)])
+        assert transition_count(tl, ALPHA, SPEC.p_idle) == 3
+
+    def test_bridged_gap_adds_none(self):
+        tl = timeline_of([make_vm(0, 1, 2), make_vm(1, 4, 5)])
+        assert transition_count(tl, ALPHA, SPEC.p_idle) == 1
+
+
+def vms_strategy():
+    return st.lists(
+        st.tuples(st.integers(1, 40), st.integers(0, 8)),
+        min_size=1, max_size=10,
+    ).map(lambda pairs: [make_vm(i, s, s + d, cpu=0.5, memory=0.5)
+                         for i, (s, d) in enumerate(pairs)])
+
+
+class TestEnergyReport:
+    def test_totals_match_allocation_cost(self):
+        cluster = Cluster.homogeneous(SPEC, 3)
+        vms = [make_vm(0, 1, 3), make_vm(1, 2, 5), make_vm(2, 9, 12)]
+        alloc = Allocation(cluster, {vms[0]: 0, vms[1]: 1, vms[2]: 0})
+        report = energy_report(alloc)
+        assert report.total_energy == allocation_cost(alloc).total
+        assert report.servers_used == 2
+
+    def test_by_server_lookup(self):
+        cluster = Cluster.homogeneous(SPEC, 2)
+        vm = make_vm(0, 1, 2)
+        report = energy_report(Allocation(cluster, {vm: 1}))
+        assert set(report.by_server()) == {1}
+        assert report.by_server()[1].vm_count == 1
+
+    @given(vms_strategy())
+    def test_transition_energy_matches_counts(self, vms):
+        # Under ALWAYS_SLEEP, gaps cost exactly alpha each, so the gap
+        # energy plus the initial wake equals alpha * transitions.
+        cluster = Cluster.homogeneous(SPEC, 1)
+        alloc = Allocation(cluster, {vm: 0 for vm in vms})
+        report = energy_report(alloc, policy=SleepPolicy.ALWAYS_SLEEP)
+        server = report.servers[0]
+        assert server.cost.gaps + server.cost.initial_wake == \
+            ALPHA * server.transitions
+
+    @given(vms_strategy())
+    def test_active_intervals_cover_busy(self, vms):
+        cluster = Cluster.homogeneous(SPEC, 1)
+        alloc = Allocation(cluster, {vm: 0 for vm in vms})
+        report = energy_report(alloc)
+        server = report.servers[0]
+        active_units = set()
+        for iv in server.active:
+            active_units.update(iv.times())
+        for seg in server.timeline.busy:
+            assert set(seg.times()) <= active_units
+
+    @given(vms_strategy())
+    def test_transitions_equal_active_interval_count(self, vms):
+        cluster = Cluster.homogeneous(SPEC, 1)
+        alloc = Allocation(cluster, {vm: 0 for vm in vms})
+        report = energy_report(alloc)
+        server = report.servers[0]
+        assert server.transitions == len(server.active)

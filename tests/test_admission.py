@@ -1,0 +1,117 @@
+"""Tests for admission control."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.allocators import FirstFitPowerSaving
+from repro.energy.cost import allocation_cost
+from repro.exceptions import ValidationError
+from repro.model.cluster import Cluster
+from repro.model.phases import DemandPhase, PhasedVM
+from repro.model.server import ServerSpec
+from repro.simulation.admission import AdmissionController
+from repro.workload.generator import generate_vms
+
+from conftest import make_vm
+
+SPEC = ServerSpec("s", cpu_capacity=10.0, memory_capacity=10.0,
+                  p_idle=50.0, p_peak=100.0, transition_time=1.0)
+
+
+class TestValidation:
+    def test_rejects_negative_delay(self):
+        with pytest.raises(ValidationError):
+            AdmissionController(max_delay=-1)
+
+
+class TestAcceptance:
+    def test_everything_fits(self):
+        vms = generate_vms(30, mean_interarrival=3.0, seed=0)
+        cluster = Cluster.paper_all_types(15)
+        outcome = AdmissionController().run(vms, cluster)
+        assert outcome.accepted == 30
+        assert outcome.rejected == ()
+        assert outcome.rejection_rate == 0.0
+        outcome.allocation.validate()
+
+    def test_energy_matches_allocation_cost(self):
+        vms = generate_vms(30, mean_interarrival=3.0, seed=1)
+        cluster = Cluster.paper_all_types(15)
+        outcome = AdmissionController().run(vms, cluster)
+        assert outcome.total_energy == pytest.approx(
+            allocation_cost(outcome.allocation).total)
+
+
+class TestRejection:
+    def test_overload_rejects(self):
+        # Three simultaneous full-capacity VMs, one server, no delay.
+        vms = [make_vm(i, 1, 5, cpu=10.0) for i in range(3)]
+        cluster = Cluster.homogeneous(SPEC, 1)
+        outcome = AdmissionController().run(vms, cluster)
+        assert outcome.accepted == 1
+        assert len(outcome.rejected) == 2
+        assert outcome.rejection_rate == pytest.approx(2 / 3)
+
+    def test_rejected_vms_reported_unmodified(self):
+        vms = [make_vm(0, 1, 5, cpu=10.0), make_vm(1, 1, 5, cpu=10.0)]
+        cluster = Cluster.homogeneous(SPEC, 1)
+        outcome = AdmissionController().run(vms, cluster)
+        assert outcome.rejected == (vms[1],)
+
+
+class TestDeferral:
+    def test_delay_rescues_request(self):
+        # Second VM can start right after the first ends (delay 5).
+        vms = [make_vm(0, 1, 5, cpu=10.0), make_vm(1, 1, 5, cpu=10.0)]
+        cluster = Cluster.homogeneous(SPEC, 1)
+        outcome = AdmissionController(max_delay=5).run(vms, cluster)
+        assert outcome.accepted == 2
+        assert outcome.delayed == 1
+        assert outcome.total_delay == 5
+        assert outcome.mean_delay == pytest.approx(2.5)
+        placed = sorted(outcome.allocation.vms, key=lambda v: v.start)
+        assert placed[1].start == 6  # shifted whole
+
+    def test_insufficient_delay_still_rejects(self):
+        vms = [make_vm(0, 1, 5, cpu=10.0), make_vm(1, 1, 5, cpu=10.0)]
+        cluster = Cluster.homogeneous(SPEC, 1)
+        outcome = AdmissionController(max_delay=3).run(vms, cluster)
+        assert len(outcome.rejected) == 1
+
+    def test_minimal_delay_is_used(self):
+        vms = [make_vm(0, 1, 3, cpu=10.0), make_vm(1, 2, 4, cpu=10.0)]
+        cluster = Cluster.homogeneous(SPEC, 1)
+        outcome = AdmissionController(max_delay=10).run(vms, cluster)
+        late = max(outcome.allocation.vms, key=lambda v: v.start)
+        assert late.start == 4  # shifted by exactly 2
+
+    def test_phased_vm_shifts_with_phases(self):
+        blocker = make_vm(0, 1, 4, cpu=10.0)
+        phased = PhasedVM.from_phases(1, 1, [DemandPhase(2, 4.0, 2.0),
+                                             DemandPhase(2, 8.0, 2.0)])
+        cluster = Cluster.homogeneous(SPEC, 1)
+        outcome = AdmissionController(max_delay=10).run(
+            [blocker, phased], cluster)
+        assert outcome.accepted == 2
+        moved = [v for v in outcome.allocation.vms if v.vm_id == 1][0]
+        assert isinstance(moved, PhasedVM)
+        assert moved.start == 5
+        assert moved.phases == phased.phases
+
+
+class TestPolicies:
+    def test_custom_allocator(self):
+        vms = generate_vms(20, mean_interarrival=2.0, seed=2)
+        cluster = Cluster.paper_all_types(10)
+        outcome = AdmissionController(
+            allocator=FirstFitPowerSaving(seed=0)).run(vms, cluster)
+        assert outcome.accepted == 20
+
+    def test_rejection_rate_decreases_with_fleet_size(self):
+        vms = [make_vm(i, 1, 10, cpu=8.0, memory=8.0) for i in range(8)]
+        small = AdmissionController().run(
+            vms, Cluster.homogeneous(SPEC, 2))
+        large = AdmissionController().run(
+            vms, Cluster.homogeneous(SPEC, 8))
+        assert large.rejection_rate < small.rejection_rate

@@ -1,0 +1,123 @@
+"""Tests for the Allocation container and its constraint validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import CapacityError, ValidationError
+from repro.model.allocation import Allocation
+from repro.model.cluster import Cluster
+from repro.model.server import ServerSpec
+
+from conftest import make_vm
+
+
+def cluster_of(cpu=10.0, mem=10.0, count=2):
+    spec = ServerSpec("s", cpu_capacity=cpu, memory_capacity=mem,
+                      p_idle=50.0, p_peak=100.0)
+    return Cluster.homogeneous(spec, count)
+
+
+class TestAccessors:
+    def test_server_of_and_vms_on(self):
+        cluster = cluster_of()
+        a, b = make_vm(0, 1, 3), make_vm(1, 2, 5)
+        alloc = Allocation(cluster, {a: 0, b: 1})
+        assert alloc.server_of(a) == 0
+        assert alloc.vms_on(1) == (b,)
+        assert alloc.vms_on(0) == (a,)
+
+    def test_vms_sorted_by_start(self):
+        cluster = cluster_of()
+        late, early = make_vm(0, 9, 10), make_vm(1, 1, 2)
+        alloc = Allocation(cluster, {late: 0, early: 0})
+        assert alloc.vms_on(0) == (early, late)
+        assert alloc.vms == (early, late)
+
+    def test_used_servers(self):
+        cluster = cluster_of(count=3)
+        alloc = Allocation(cluster, {make_vm(0, 1, 2): 2})
+        assert alloc.used_servers() == (2,)
+
+    def test_horizon(self):
+        cluster = cluster_of()
+        alloc = Allocation(cluster, {make_vm(0, 1, 7): 0})
+        assert alloc.horizon() == 7
+
+    def test_horizon_empty(self):
+        assert Allocation(cluster_of(), {}).horizon() == 0
+
+    def test_contains_and_len(self):
+        cluster = cluster_of()
+        vm = make_vm(0, 1, 2)
+        alloc = Allocation(cluster, {vm: 0})
+        assert vm in alloc
+        assert len(alloc) == 1
+
+    def test_server_of_unknown_vm_raises(self):
+        alloc = Allocation(cluster_of(), {})
+        with pytest.raises(ValidationError):
+            alloc.server_of(make_vm(0, 1, 2))
+
+    def test_rejects_unknown_server_id(self):
+        with pytest.raises(ValidationError):
+            Allocation(cluster_of(count=1), {make_vm(0, 1, 2): 5})
+
+
+class TestValidation:
+    def test_valid_allocation_passes(self):
+        cluster = cluster_of()
+        vms = [make_vm(0, 1, 3, cpu=5.0), make_vm(1, 2, 4, cpu=5.0)]
+        alloc = Allocation(cluster, {vms[0]: 0, vms[1]: 0})
+        alloc.validate(vms=vms)
+        assert alloc.is_valid(vms=vms)
+
+    def test_detects_cpu_overload(self):
+        cluster = cluster_of(cpu=10.0)
+        vms = [make_vm(0, 1, 3, cpu=6.0), make_vm(1, 3, 5, cpu=6.0)]
+        alloc = Allocation(cluster, {vms[0]: 0, vms[1]: 0})
+        with pytest.raises(CapacityError) as err:
+            alloc.validate()
+        assert err.value.server_id == 0
+        assert err.value.time == 3  # the single overlapping unit
+
+    def test_detects_memory_overload(self):
+        cluster = cluster_of(mem=10.0)
+        vms = [make_vm(0, 1, 4, memory=7.0), make_vm(1, 2, 3, memory=7.0)]
+        alloc = Allocation(cluster, {vms[0]: 0, vms[1]: 0})
+        with pytest.raises(CapacityError, match="memory"):
+            alloc.validate()
+
+    def test_no_overload_when_disjoint_in_time(self):
+        cluster = cluster_of(cpu=10.0)
+        vms = [make_vm(0, 1, 3, cpu=8.0), make_vm(1, 4, 6, cpu=8.0)]
+        alloc = Allocation(cluster, {vms[0]: 0, vms[1]: 0})
+        alloc.validate()
+
+    def test_exact_capacity_is_feasible(self):
+        cluster = cluster_of(cpu=10.0, mem=10.0)
+        vms = [make_vm(0, 1, 3, cpu=5.0, memory=5.0),
+               make_vm(1, 1, 3, cpu=5.0, memory=5.0)]
+        alloc = Allocation(cluster, {vms[0]: 0, vms[1]: 0})
+        alloc.validate()
+
+    def test_detects_missing_vm(self):
+        cluster = cluster_of()
+        placed = make_vm(0, 1, 2)
+        missing = make_vm(1, 1, 2)
+        alloc = Allocation(cluster, {placed: 0})
+        with pytest.raises(ValidationError, match="not placed"):
+            alloc.validate(vms=[placed, missing])
+
+    def test_is_valid_false_on_overload(self):
+        cluster = cluster_of(cpu=10.0)
+        vms = [make_vm(0, 1, 3, cpu=9.0), make_vm(1, 1, 3, cpu=9.0)]
+        alloc = Allocation(cluster, {vms[0]: 0, vms[1]: 0})
+        assert not alloc.is_valid()
+
+    def test_empty_allocation_is_valid(self):
+        Allocation(cluster_of(), {}).validate()
+
+    def test_repr(self):
+        alloc = Allocation(cluster_of(), {make_vm(0, 1, 2): 0})
+        assert "vms=1" in repr(alloc)

@@ -1,0 +1,237 @@
+"""Tests for the allocation algorithms."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.allocators import (
+    BestFit,
+    FirstFit,
+    FirstFitPowerSaving,
+    MinIncrementalEnergy,
+    PowerAwareFirstFit,
+    RandomFit,
+    RoundRobin,
+    WorstFit,
+)
+from repro.allocators.registry import allocator_names, make_allocator
+from repro.energy.cost import allocation_cost
+from repro.exceptions import AllocationError, ValidationError
+from repro.model.cluster import Cluster
+from repro.model.server import ServerSpec
+from repro.workload.generator import generate_vms
+
+from conftest import make_vm
+
+SMALL = ServerSpec("small", cpu_capacity=4.0, memory_capacity=4.0,
+                   p_idle=20.0, p_peak=40.0, transition_time=1.0)
+BIG = ServerSpec("big", cpu_capacity=16.0, memory_capacity=16.0,
+                 p_idle=80.0, p_peak=160.0, transition_time=1.0)
+
+ALL_ALGOS = sorted(allocator_names())
+
+
+@pytest.fixture(params=ALL_ALGOS)
+def any_allocator(request):
+    return make_allocator(request.param, seed=7)
+
+
+class TestCommonBehaviour:
+    def test_places_every_vm(self, any_allocator):
+        vms = generate_vms(40, mean_interarrival=1.0, seed=3)
+        cluster = Cluster.paper_all_types(20)
+        allocation = any_allocator.allocate(vms, cluster)
+        allocation.validate(vms=vms)
+        assert len(allocation) == 40
+
+    def test_deterministic_given_seed(self, any_allocator):
+        vms = generate_vms(30, mean_interarrival=1.0, seed=5)
+        cluster = Cluster.paper_all_types(15)
+        name = any_allocator.name
+        first = make_allocator(name, seed=11).allocate(vms, cluster)
+        second = make_allocator(name, seed=11).allocate(vms, cluster)
+        assert {vm.vm_id: s for vm, s in first.items()} == \
+            {vm.vm_id: s for vm, s in second.items()}
+
+    def test_raises_when_nothing_fits(self, any_allocator):
+        cluster = Cluster.homogeneous(SMALL, 2)
+        huge = make_vm(0, 1, 2, cpu=100.0)
+        with pytest.raises(AllocationError) as err:
+            any_allocator.allocate([huge], cluster)
+        assert err.value.vm_id == 0
+
+    def test_respects_capacity_over_time(self, any_allocator):
+        # Heavy overlap forces spreading; the result must stay feasible.
+        vms = [make_vm(i, 1, 10, cpu=3.0, memory=3.0) for i in range(10)]
+        cluster = Cluster.homogeneous(SMALL, 10)
+        allocation = any_allocator.allocate(vms, cluster)
+        allocation.validate(vms=vms)
+
+    def test_empty_workload(self, any_allocator):
+        cluster = Cluster.homogeneous(SMALL, 1)
+        allocation = any_allocator.allocate([], cluster)
+        assert len(allocation) == 0
+
+
+class TestMinIncrementalEnergy:
+    def test_consolidates_overlapping_load(self):
+        # Two simultaneous small VMs: one active server is cheaper.
+        vms = [make_vm(0, 1, 5, cpu=1.0), make_vm(1, 1, 5, cpu=1.0)]
+        cluster = Cluster.homogeneous(BIG, 2)
+        allocation = MinIncrementalEnergy().allocate(vms, cluster)
+        assert len(allocation.used_servers()) == 1
+
+    def test_prefers_cheaper_server_type(self):
+        # An isolated small VM costs less on the small server.
+        vms = [make_vm(0, 1, 5, cpu=1.0)]
+        cluster = Cluster.from_specs([BIG, SMALL])
+        allocation = MinIncrementalEnergy().allocate(vms, cluster)
+        assert allocation.server_of(vms[0]) == 1
+
+    def test_prefers_low_transition_cost_when_all_asleep(self):
+        # Same power curves, different transition times (paper Sec. III
+        # reason 3).
+        slow = ServerSpec("slow", 8.0, 8.0, 40.0, 80.0, transition_time=5.0)
+        fast = ServerSpec("fast", 8.0, 8.0, 40.0, 80.0, transition_time=0.5)
+        cluster = Cluster.from_specs([slow, fast])
+        vm = make_vm(0, 1, 3)
+        allocation = MinIncrementalEnergy().allocate([vm], cluster)
+        assert allocation.server_of(vm) == 1
+
+    def test_back_to_back_reuses_active_server(self):
+        # Second VM starts right after the first ends: extending the busy
+        # segment (no idle, no wake) beats waking the other server.
+        vms = [make_vm(0, 1, 3, cpu=1.0), make_vm(1, 4, 6, cpu=1.0)]
+        cluster = Cluster.homogeneous(SMALL, 2)
+        allocation = MinIncrementalEnergy().allocate(vms, cluster)
+        assert allocation.server_of(vms[0]) == allocation.server_of(vms[1])
+
+    def test_tie_break_is_lowest_id(self):
+        vms = [make_vm(0, 1, 2)]
+        cluster = Cluster.homogeneous(SMALL, 3)
+        allocation = MinIncrementalEnergy().allocate(vms, cluster)
+        assert allocation.server_of(vms[0]) == 0
+
+    def test_beats_ffps_at_light_load(self):
+        # The paper's headline claim, averaged over seeds.
+        reductions = []
+        for seed in range(6):
+            vms = generate_vms(80, mean_interarrival=8.0, seed=seed)
+            cluster = Cluster.paper_all_types(40)
+            ours = allocation_cost(
+                MinIncrementalEnergy().allocate(vms, cluster)).total
+            ffps = allocation_cost(
+                FirstFitPowerSaving(seed=seed).allocate(vms, cluster)).total
+            reductions.append((ffps - ours) / ffps)
+        assert sum(reductions) / len(reductions) > 0.05
+
+
+class TestFFPS:
+    def test_uses_one_random_order(self):
+        # All VMs fit the first server in the (shuffled) order, so a
+        # sequential workload must land on a single server.
+        vms = [make_vm(i, 1 + 3 * i, 2 + 3 * i, cpu=1.0) for i in range(5)]
+        cluster = Cluster.homogeneous(SMALL, 5)
+        allocation = FirstFitPowerSaving(seed=0).allocate(vms, cluster)
+        assert len(allocation.used_servers()) == 1
+
+    def test_different_seeds_can_differ(self):
+        vms = [make_vm(0, 1, 2)]
+        cluster = Cluster.homogeneous(SMALL, 50)
+        chosen = {
+            FirstFitPowerSaving(seed=s).allocate(vms, cluster)
+            .server_of(vms[0])
+            for s in range(20)
+        }
+        assert len(chosen) > 1  # the order really is random
+
+    def test_overflows_to_next_server(self):
+        vms = [make_vm(i, 1, 5, cpu=4.0) for i in range(3)]
+        cluster = Cluster.homogeneous(SMALL, 3)
+        allocation = FirstFitPowerSaving(seed=1).allocate(vms, cluster)
+        assert len(allocation.used_servers()) == 3
+
+
+class TestFirstFit:
+    def test_scans_in_id_order(self):
+        vms = [make_vm(0, 1, 2), make_vm(1, 1, 2)]
+        cluster = Cluster.homogeneous(SMALL, 4)
+        allocation = FirstFit().allocate(vms, cluster)
+        assert allocation.server_of(vms[0]) == 0
+        assert allocation.server_of(vms[1]) == 0
+
+    def test_skips_full_server(self):
+        vms = [make_vm(0, 1, 5, cpu=4.0), make_vm(1, 1, 5, cpu=4.0)]
+        cluster = Cluster.homogeneous(SMALL, 2)
+        allocation = FirstFit().allocate(vms, cluster)
+        assert allocation.server_of(vms[1]) == 1
+
+
+class TestBestWorstFit:
+    def test_best_fit_picks_tightest(self):
+        # small leaves less spare for a 3-cu VM than big.
+        vms = [make_vm(0, 1, 2, cpu=3.0, memory=3.0)]
+        cluster = Cluster.from_specs([BIG, SMALL])
+        allocation = BestFit().allocate(vms, cluster)
+        assert allocation.server_of(vms[0]) == 1
+
+    def test_worst_fit_picks_loosest(self):
+        vms = [make_vm(0, 1, 2, cpu=3.0, memory=3.0)]
+        cluster = Cluster.from_specs([BIG, SMALL])
+        allocation = WorstFit().allocate(vms, cluster)
+        assert allocation.server_of(vms[0]) == 0
+
+    def test_best_fit_considers_existing_load(self):
+        cluster = Cluster.homogeneous(BIG, 2)
+        first = make_vm(0, 1, 5, cpu=8.0)
+        second = make_vm(1, 2, 4, cpu=2.0)
+        allocation = BestFit().allocate([first, second], cluster)
+        # Server 0 already half full -> tighter for the second VM.
+        assert allocation.server_of(second) == 0
+
+
+class TestRoundRobin:
+    def test_cycles_servers(self):
+        vms = [make_vm(i, 1, 2, cpu=1.0) for i in range(4)]
+        cluster = Cluster.homogeneous(SMALL, 4)
+        allocation = RoundRobin().allocate(vms, cluster)
+        assert sorted(allocation.server_of(vm) for vm in vms) == [0, 1, 2, 3]
+
+    def test_skips_infeasible(self):
+        vms = [make_vm(0, 1, 5, cpu=4.0), make_vm(1, 1, 5, cpu=4.0),
+               make_vm(2, 1, 5, cpu=4.0)]
+        cluster = Cluster.homogeneous(SMALL, 2)
+        with pytest.raises(AllocationError):
+            RoundRobin().allocate(vms, cluster)
+
+
+class TestPowerAware:
+    def test_prefers_efficient_watts_per_cu(self):
+        efficient = ServerSpec("eff", 8.0, 8.0, 40.0, 64.0)    # 8 W/cu
+        wasteful = ServerSpec("waste", 8.0, 8.0, 60.0, 96.0)   # 12 W/cu
+        cluster = Cluster.from_specs([wasteful, efficient])
+        vm = make_vm(0, 1, 2)
+        allocation = PowerAwareFirstFit().allocate([vm], cluster)
+        assert allocation.server_of(vm) == 1
+
+
+class TestRandomFit:
+    def test_spreads_across_feasible(self):
+        vms = [make_vm(i, 1, 2, cpu=1.0) for i in range(30)]
+        cluster = Cluster.homogeneous(BIG, 10)
+        allocation = RandomFit(seed=0).allocate(vms, cluster)
+        assert len(allocation.used_servers()) > 3
+
+
+class TestRegistry:
+    def test_contains_paper_algorithms(self):
+        assert "min-energy" in allocator_names()
+        assert "ffps" in allocator_names()
+
+    def test_make_allocator_unknown_raises(self):
+        with pytest.raises(ValidationError, match="min-energy"):
+            make_allocator("simulated-annealing")
+
+    def test_names_match_instances(self):
+        for name in allocator_names():
+            assert make_allocator(name).name == name

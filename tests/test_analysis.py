@@ -1,0 +1,158 @@
+"""Tests for the workload analysis package (conflicts and bounds)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import (
+    concurrency_profile,
+    conflict_graph,
+    energy_lower_bound,
+    peak_demand,
+)
+from repro.energy.cost import allocation_cost
+from repro.allocators import make_allocator
+from repro.exceptions import ValidationError
+from repro.ilp import solve_relaxation
+from repro.model.cluster import Cluster
+from repro.workload.generator import generate_vms
+
+from conftest import make_vm
+
+
+def vms_strategy():
+    return st.lists(
+        st.tuples(st.integers(1, 50), st.integers(0, 10)),
+        min_size=0, max_size=15,
+    ).map(lambda pairs: [make_vm(i, s, s + d, cpu=0.5, memory=0.5)
+                         for i, (s, d) in enumerate(pairs)])
+
+
+class TestConflictGraph:
+    def test_empty(self):
+        graph = conflict_graph([])
+        assert graph.number_of_nodes() == 0
+
+    def test_overlap_edge(self):
+        vms = [make_vm(0, 1, 5), make_vm(1, 5, 9)]
+        graph = conflict_graph(vms)
+        assert graph.has_edge(0, 1)
+
+    def test_back_to_back_no_edge(self):
+        vms = [make_vm(0, 1, 4), make_vm(1, 5, 9)]
+        graph = conflict_graph(vms)
+        assert not graph.has_edge(0, 1)
+
+    def test_vm_stored_on_node(self):
+        vms = [make_vm(0, 1, 2)]
+        graph = conflict_graph(vms)
+        assert graph.nodes[0]["vm"] is vms[0]
+
+    @given(vms_strategy())
+    def test_edges_iff_overlap(self, vms):
+        graph = conflict_graph(vms)
+        for a in vms:
+            for b in vms:
+                if a.vm_id >= b.vm_id:
+                    continue
+                assert graph.has_edge(a.vm_id, b.vm_id) == \
+                    a.interval.overlaps(b.interval)
+
+    @given(vms_strategy())
+    def test_clique_number_equals_max_concurrency(self, vms):
+        # Interval graphs: omega(G) == max point coverage.
+        graph = conflict_graph(vms)
+        profile = concurrency_profile(vms)
+        if vms:
+            omega = max(len(c) for c in nx.find_cliques(graph))
+            assert omega == profile.max_concurrent
+        else:
+            assert profile.max_concurrent == 0
+
+
+class TestConcurrencyProfile:
+    def test_empty(self):
+        profile = concurrency_profile([])
+        assert profile.max_concurrent == 0
+        assert profile.is_sequential
+
+    def test_simple_overlap(self):
+        vms = [make_vm(0, 1, 5, cpu=2.0, memory=3.0),
+               make_vm(1, 3, 7, cpu=4.0, memory=1.0)]
+        profile = concurrency_profile(vms)
+        assert profile.max_concurrent == 2
+        assert profile.peak_time == 3
+        assert profile.peak_cpu == 6.0
+        assert profile.peak_memory == 4.0
+        assert not profile.is_sequential
+
+    def test_sequential_workload(self):
+        vms = [make_vm(0, 1, 2), make_vm(1, 5, 6), make_vm(2, 10, 11)]
+        assert concurrency_profile(vms).is_sequential
+
+    def test_peak_demand_helper(self):
+        vms = [make_vm(0, 1, 5, cpu=2.0), make_vm(1, 2, 3, cpu=3.0)]
+        cpu, mem = peak_demand(vms)
+        assert cpu == 5.0
+
+    @given(vms_strategy())
+    def test_peaks_match_brute_force(self, vms):
+        profile = concurrency_profile(vms)
+        if not vms:
+            return
+        horizon = max(vm.end for vm in vms)
+        best_count = max(
+            sum(1 for vm in vms if vm.active_at(t))
+            for t in range(1, horizon + 1))
+        best_cpu = max(
+            sum(vm.cpu for vm in vms if vm.active_at(t))
+            for t in range(1, horizon + 1))
+        assert profile.max_concurrent == best_count
+        assert profile.peak_cpu == pytest.approx(best_cpu)
+
+
+class TestEnergyLowerBound:
+    def test_empty_workload(self):
+        cluster = Cluster.paper_all_types(2)
+        bound = energy_lower_bound([], cluster)
+        assert bound.total == 0.0
+
+    def test_below_every_plan(self):
+        for seed in range(4):
+            vms = generate_vms(50, mean_interarrival=3.0, seed=seed)
+            cluster = Cluster.paper_all_types(25)
+            bound = energy_lower_bound(vms, cluster)
+            for algo in ("min-energy", "ffps", "worst-fit"):
+                cost = allocation_cost(
+                    make_allocator(algo, seed=seed).allocate(
+                        vms, cluster)).total
+                assert bound.total <= cost + 1e-6
+
+    def test_below_lp_relaxation(self):
+        vms = generate_vms(8, mean_interarrival=2.0, seed=2)
+        cluster = Cluster.paper_all_types(5)
+        bound = energy_lower_bound(vms, cluster)
+        lp = solve_relaxation(vms, cluster).lower_bound
+        assert bound.total <= lp + 1e-6
+
+    def test_rejects_unplaceable_vm(self):
+        cluster = Cluster.paper_small_types(3)
+        giant = make_vm(0, 1, 2, cpu=1000.0)
+        with pytest.raises(ValidationError):
+            energy_lower_bound([giant], cluster)
+
+    def test_gap_of(self):
+        vms = generate_vms(20, mean_interarrival=2.0, seed=0)
+        cluster = Cluster.paper_all_types(10)
+        bound = energy_lower_bound(vms, cluster)
+        assert bound.gap_of(bound.total) == pytest.approx(0.0)
+        assert bound.gap_of(2 * bound.total) == pytest.approx(1.0)
+
+    def test_components_nonnegative(self):
+        vms = generate_vms(30, mean_interarrival=1.0, seed=3)
+        cluster = Cluster.paper_all_types(15)
+        bound = energy_lower_bound(vms, cluster)
+        assert bound.run > 0
+        assert bound.idle > 0

@@ -1,0 +1,114 @@
+"""Tests for the Table I / Table II catalogs and their stated rules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.model.catalog import (
+    ALL_SERVER_TYPES,
+    ALL_VM_TYPES,
+    CPU_INTENSIVE_VM_TYPES,
+    MEMORY_INTENSIVE_VM_TYPES,
+    SERVER_TYPES,
+    SMALL_SERVER_TYPES,
+    STANDARD_VM_TYPES,
+    VM_TYPES,
+    server_type,
+    vm_type,
+)
+
+
+class TestTable1:
+    def test_nine_vm_types(self):
+        assert len(ALL_VM_TYPES) == 9
+
+    def test_family_sizes(self):
+        assert len(STANDARD_VM_TYPES) == 4
+        assert len(MEMORY_INTENSIVE_VM_TYPES) == 3
+        assert len(CPU_INTENSIVE_VM_TYPES) == 2
+
+    def test_names_unique(self):
+        names = [spec.name for spec in ALL_VM_TYPES]
+        assert len(set(names)) == len(names)
+
+    def test_surviving_ocr_digits(self):
+        # The two readable fragments of the paper's Table I.
+        m1_xlarge = vm_type("standard-4")
+        assert m1_xlarge.memory == 15.0
+        c1_xlarge = vm_type("cpu-2")
+        assert c1_xlarge.cpu == 20.0
+        assert c1_xlarge.memory == 7.0
+
+    def test_memory_intensive_have_high_memory_ratio(self):
+        for spec in MEMORY_INTENSIVE_VM_TYPES:
+            assert spec.memory / spec.cpu > 2.0
+
+    def test_cpu_intensive_have_low_memory_ratio(self):
+        for spec in CPU_INTENSIVE_VM_TYPES:
+            assert spec.memory / spec.cpu < 1.0
+
+    def test_lookup_by_name(self):
+        assert vm_type("standard-1").cpu == 1.0
+
+    def test_lookup_unknown_raises_with_candidates(self):
+        with pytest.raises(ValidationError, match="standard-1"):
+            vm_type("nope")
+
+    def test_index_is_consistent(self):
+        assert set(VM_TYPES) == {spec.name for spec in ALL_VM_TYPES}
+
+
+class TestTable2:
+    def test_five_server_types(self):
+        assert len(SERVER_TYPES) == 5
+        assert ALL_SERVER_TYPES == SERVER_TYPES
+
+    def test_small_types_are_first_three(self):
+        assert SMALL_SERVER_TYPES == SERVER_TYPES[:3]
+
+    def test_idle_in_40_50_percent_band(self):
+        # The paper's rule 2.
+        for spec in SERVER_TYPES:
+            assert 0.40 <= spec.idle_peak_ratio <= 0.50
+
+    def test_power_monotone_in_capacity(self):
+        # The paper's rule 3.
+        for a, b in zip(SERVER_TYPES, SERVER_TYPES[1:]):
+            assert b.cpu_capacity > a.cpu_capacity
+            assert b.memory_capacity > a.memory_capacity
+            assert b.p_idle > a.p_idle
+            assert b.p_peak > a.p_peak
+
+    def test_every_vm_fits_some_server(self):
+        biggest = SERVER_TYPES[-1]
+        for spec in ALL_VM_TYPES:
+            assert spec.cpu <= biggest.cpu_capacity
+            assert spec.memory <= biggest.memory_capacity
+
+    def test_standard_vms_fit_small_servers(self):
+        # Sec. IV-F allocates standard VMs on types 1-3.
+        for vm_spec in STANDARD_VM_TYPES:
+            assert any(vm_spec.cpu <= s.cpu_capacity
+                       and vm_spec.memory <= s.memory_capacity
+                       for s in SMALL_SERVER_TYPES)
+
+    def test_largest_vm_requires_big_servers(self):
+        # m2.4xlarge (26 cu / 68.4 GB) must need types 4-5: capacity
+        # pressure is what differentiates the server mixes in Fig. 9.
+        big_vm = vm_type("memory-3")
+        fitting = [s for s in SERVER_TYPES
+                   if big_vm.cpu <= s.cpu_capacity
+                   and big_vm.memory <= s.memory_capacity]
+        assert {s.name for s in fitting} == {"type4", "type5"}
+
+    def test_default_transition_time_is_one_minute(self):
+        for spec in SERVER_TYPES:
+            assert spec.transition_time == 1.0
+
+    def test_lookup_by_name(self):
+        assert server_type("type3").cpu_capacity == 24.0
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(ValidationError, match="type1"):
+            server_type("mainframe")

@@ -1,0 +1,96 @@
+"""Tests for workload characterisation and synthetic twins."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.model.catalog import STANDARD_VM_TYPES
+from repro.workload.characterize import characterize, synthetic_twin
+from repro.workload.generator import generate_vms
+from repro.workload.patterns import HeavyTailWorkload
+
+from conftest import make_vm
+
+
+class TestCharacterize:
+    def test_needs_two_vms(self):
+        with pytest.raises(ValidationError):
+            characterize([make_vm(0, 1, 2)])
+
+    def test_recovers_generator_parameters(self):
+        vms = generate_vms(4000, mean_interarrival=3.0, mean_duration=6.0,
+                           seed=0)
+        stats = characterize(vms)
+        assert stats.mean_interarrival == pytest.approx(3.0, rel=0.1)
+        assert stats.mean_duration == pytest.approx(6.0, rel=0.1)
+        assert stats.looks_exponential
+        assert stats.n_vms == 4000
+
+    def test_type_mix_sums_to_one(self):
+        vms = generate_vms(500, mean_interarrival=1.0, seed=1)
+        stats = characterize(vms)
+        assert sum(stats.type_mix.values()) == pytest.approx(1.0)
+        assert set(stats.type_mix) == {s.name for s in stats.specs}
+
+    def test_detects_heavy_tail(self):
+        wl = HeavyTailWorkload(mean_interarrival=1.0, mean_duration=8.0,
+                               shape=1.2)
+        stats = characterize(wl.generate(5000, rng=2))
+        assert not stats.looks_exponential
+        assert stats.duration_cv > 1.6
+
+    def test_deterministic_durations_low_cv(self):
+        vms = [make_vm(i, 1 + 2 * i, 1 + 2 * i + 4) for i in range(50)]
+        stats = characterize(vms)
+        assert stats.duration_cv == pytest.approx(0.0)
+        assert not stats.looks_exponential
+
+    def test_format(self):
+        vms = generate_vms(100, mean_interarrival=2.0, seed=3)
+        out = characterize(vms).format()
+        assert "mean inter-arrival" in out
+        assert "%" in out
+
+
+class TestSyntheticTwin:
+    def test_twin_matches_statistics(self):
+        original = generate_vms(3000, mean_interarrival=2.0,
+                                mean_duration=5.0,
+                                vm_types=STANDARD_VM_TYPES, seed=4)
+        stats = characterize(original)
+        twin = synthetic_twin(stats, seed=5)
+        twin_stats = characterize(twin)
+        assert twin_stats.mean_interarrival == pytest.approx(
+            stats.mean_interarrival, rel=0.15)
+        assert twin_stats.mean_duration == pytest.approx(
+            stats.mean_duration, rel=0.15)
+
+    def test_twin_respects_type_mix(self):
+        # A biased trace: 90 % small, 10 % large.
+        small = [make_vm(i, i + 1, i + 3, cpu=1.0, name="small")
+                 for i in range(900)]
+        large = [make_vm(900 + i, i + 1, i + 3, cpu=4.0, name="large")
+                 for i in range(100)]
+        stats = characterize(small + large)
+        twin = synthetic_twin(stats, count=2000, seed=6)
+        share = sum(1 for vm in twin if vm.spec.name == "small") / len(twin)
+        assert share == pytest.approx(0.9, abs=0.05)
+
+    def test_custom_count(self):
+        vms = generate_vms(100, mean_interarrival=2.0, seed=7)
+        twin = synthetic_twin(characterize(vms), count=250, seed=8)
+        assert len(twin) == 250
+
+    def test_rejects_negative_count(self):
+        vms = generate_vms(10, mean_interarrival=2.0, seed=9)
+        with pytest.raises(ValidationError):
+            synthetic_twin(characterize(vms), count=-1)
+
+    def test_reproducible(self):
+        vms = generate_vms(50, mean_interarrival=2.0, seed=10)
+        stats = characterize(vms)
+        a = synthetic_twin(stats, seed=11)
+        b = synthetic_twin(stats, seed=11)
+        assert [(v.start, v.end, v.spec.name) for v in a] == \
+            [(v.start, v.end, v.spec.name) for v in b]

@@ -1,0 +1,86 @@
+"""Tests for cluster construction and accessors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.model.catalog import SERVER_TYPES, SMALL_SERVER_TYPES
+from repro.model.cluster import Cluster
+from repro.model.server import Server, ServerSpec
+
+
+def spec(name="s", cpu=10.0):
+    return ServerSpec(name, cpu_capacity=cpu, memory_capacity=10.0,
+                      p_idle=50.0, p_peak=100.0)
+
+
+class TestConstruction:
+    def test_from_specs_assigns_sequential_ids(self):
+        cluster = Cluster.from_specs([spec("a"), spec("b")])
+        assert [s.server_id for s in cluster] == [0, 1]
+        assert cluster[0].spec.name == "a"
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            Cluster([])
+
+    def test_rejects_non_sequential_ids(self):
+        with pytest.raises(ValidationError):
+            Cluster([Server(0, spec()), Server(2, spec())])
+
+    def test_homogeneous(self):
+        cluster = Cluster.homogeneous(spec("x"), 5)
+        assert len(cluster) == 5
+        assert cluster.spec_counts() == {"x": 5}
+
+    def test_homogeneous_rejects_zero_count(self):
+        with pytest.raises(ValidationError):
+            Cluster.homogeneous(spec(), 0)
+
+    def test_mixed_cycles_round_robin(self):
+        cluster = Cluster.mixed([spec("a"), spec("b")], 5)
+        names = [s.spec.name for s in cluster]
+        assert names == ["a", "b", "a", "b", "a"]
+
+    def test_mixed_rejects_empty_specs(self):
+        with pytest.raises(ValidationError):
+            Cluster.mixed([], 3)
+
+    def test_mixed_transition_override(self):
+        cluster = Cluster.mixed([spec("a")], 2, transition_time=2.5)
+        assert all(s.spec.transition_time == 2.5 for s in cluster)
+
+    def test_paper_all_types(self):
+        cluster = Cluster.paper_all_types(10)
+        assert len(cluster) == 10
+        assert set(cluster.spec_counts()) == {s.name for s in SERVER_TYPES}
+
+    def test_paper_small_types(self):
+        cluster = Cluster.paper_small_types(6)
+        assert set(cluster.spec_counts()) == \
+            {s.name for s in SMALL_SERVER_TYPES}
+        assert all(count == 2 for count in cluster.spec_counts().values())
+
+
+class TestAccessors:
+    def test_totals(self):
+        cluster = Cluster.from_specs([spec(cpu=10.0), spec(cpu=20.0)])
+        assert cluster.total_cpu_capacity == 30.0
+        assert cluster.total_memory_capacity == 20.0
+
+    def test_server_lookup(self):
+        cluster = Cluster.homogeneous(spec(), 3)
+        assert cluster.server(2).server_id == 2
+
+    def test_server_lookup_out_of_range(self):
+        cluster = Cluster.homogeneous(spec(), 3)
+        with pytest.raises(ValidationError):
+            cluster.server(3)
+
+    def test_iteration_order(self):
+        cluster = Cluster.homogeneous(spec(), 4)
+        assert [s.server_id for s in cluster] == [0, 1, 2, 3]
+
+    def test_repr_mentions_size(self):
+        assert "n=2" in repr(Cluster.homogeneous(spec(), 2))

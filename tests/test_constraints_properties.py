@@ -1,0 +1,78 @@
+"""Property-based tests for placement constraints."""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.allocators import make_allocator
+from repro.exceptions import AllocationError, ValidationError
+from repro.model.cluster import Cluster
+from repro.model.constraints import PlacementConstraints
+from repro.workload.generator import PoissonWorkload
+from repro.model.catalog import STANDARD_VM_TYPES
+
+SLOW = settings(max_examples=25, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+
+def groups_strategy(n_vms: int):
+    group = st.sets(st.integers(0, n_vms - 1), min_size=2, max_size=4)
+    return st.lists(group, max_size=3)
+
+
+@SLOW
+@given(st.integers(0, 5000), groups_strategy(20), groups_strategy(20),
+       st.sampled_from(["min-energy", "ffps", "best-fit", "round-robin"]))
+def test_satisfied_or_infeasible(seed, colocate, separate, algo):
+    """Any allocation produced under constraints satisfies them; the only
+    alternative outcomes are an upfront contradiction or infeasibility."""
+    try:
+        constraints = PlacementConstraints.build(colocate=colocate,
+                                                 separate=separate)
+    except ValidationError:
+        return  # contradictory groups are rejected eagerly: also correct
+    wl = PoissonWorkload(mean_interarrival=2.0, mean_duration=5.0,
+                         vm_types=STANDARD_VM_TYPES)
+    vms = wl.generate(20, rng=seed)
+    cluster = Cluster.paper_all_types(12)
+    try:
+        allocation = make_allocator(algo, seed=seed).allocate(
+            vms, cluster, constraints=constraints)
+    except AllocationError:
+        return  # constrained instances may genuinely be infeasible
+    allocation.validate(vms=vms)
+    constraints.validate_allocation(allocation)
+
+
+@SLOW
+@given(st.integers(0, 5000), groups_strategy(15))
+def test_affinity_classes_partition(seed, colocate):
+    """Affinity classes are disjoint and cover exactly the grouped ids."""
+    try:
+        constraints = PlacementConstraints.build(colocate=colocate)
+    except ValidationError:
+        return
+    classes = constraints.affinity_classes()
+    seen: set[int] = set()
+    for cls_ in classes:
+        assert not (seen & cls_), "classes must be disjoint"
+        seen |= cls_
+    grouped = set().union(*colocate) if colocate else set()
+    assert seen == grouped
+
+
+@settings(max_examples=40, deadline=None)
+@given(groups_strategy(10), groups_strategy(10))
+def test_build_is_deterministic(colocate, separate):
+    def attempt():
+        try:
+            return PlacementConstraints.build(colocate=colocate,
+                                              separate=separate), None
+        except ValidationError as exc:
+            return None, str(exc)
+
+    first = attempt()
+    second = attempt()
+    assert (first[0] is None) == (second[0] is None)
+    if first[0] is not None:
+        assert first[0] == second[0]

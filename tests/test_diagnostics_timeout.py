@@ -1,0 +1,143 @@
+"""Tests for plan diagnostics and the online timeout sleep policy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.allocators import MinIncrementalEnergy, WorstFit
+from repro.analysis.diagnostics import diagnose
+from repro.energy.cost import SleepPolicy, allocation_cost
+from repro.energy.timeout import best_timeout, timeout_energy
+from repro.exceptions import ValidationError
+from repro.model.allocation import Allocation
+from repro.model.cluster import Cluster
+from repro.model.server import ServerSpec
+from repro.workload.generator import generate_vms
+
+from conftest import make_vm
+
+SPEC = ServerSpec("s", cpu_capacity=10.0, memory_capacity=10.0,
+                  p_idle=50.0, p_peak=100.0, transition_time=1.0)
+
+
+class TestDiagnostics:
+    def plan(self, seed=0):
+        vms = generate_vms(60, mean_interarrival=3.0, seed=seed)
+        cluster = Cluster.paper_all_types(30)
+        return MinIncrementalEnergy().allocate(vms, cluster)
+
+    def test_totals_match_accounting(self):
+        plan = self.plan()
+        diag = diagnose(plan)
+        assert diag.total_energy == pytest.approx(
+            allocation_cost(plan).total)
+        assert diag.vms == 60
+        assert diag.servers_used == len(plan.used_servers())
+
+    def test_type_usage_sums(self):
+        diag = diagnose(self.plan())
+        assert sum(u.servers_used for u in diag.by_type.values()) == \
+            diag.servers_used
+        assert sum(u.vms for u in diag.by_type.values()) == diag.vms
+        assert sum(u.energy for u in diag.by_type.values()) == \
+            pytest.approx(diag.total_energy)
+
+    def test_gini_bounds(self):
+        diag = diagnose(self.plan())
+        assert 0.0 <= diag.energy_gini <= 1.0
+
+    def test_single_server_gini_zero(self):
+        cluster = Cluster.homogeneous(SPEC, 2)
+        plan = Allocation(cluster, {make_vm(0, 1, 5): 0})
+        assert diagnose(plan).energy_gini == 0.0
+
+    def test_stranded_ratios_bounded(self):
+        diag = diagnose(self.plan())
+        assert 0.0 <= diag.stranded_cpu_ratio <= 1.0
+        assert 0.0 <= diag.stranded_memory_ratio <= 1.0
+
+    def test_empty_allocation(self):
+        cluster = Cluster.homogeneous(SPEC, 1)
+        diag = diagnose(Allocation(cluster, {}))
+        assert diag.total_energy == 0.0
+        assert diag.vms_per_used_server == 0.0
+
+    def test_spreader_uses_more_servers_than_packer(self):
+        # Round-robin cycles the whole fleet; min-energy concentrates.
+        from repro.allocators import RoundRobin
+
+        vms = generate_vms(60, mean_interarrival=2.0, seed=1)
+        cluster = Cluster.paper_all_types(30)
+        packed = diagnose(MinIncrementalEnergy().allocate(vms, cluster))
+        spread = diagnose(RoundRobin().allocate(vms, cluster))
+        assert spread.servers_used > packed.servers_used
+        assert spread.vms_per_used_server < packed.vms_per_used_server
+
+    def test_format(self):
+        out = diagnose(self.plan()).format()
+        assert "stranded capacity" in out
+        assert "by server type" in out
+
+
+class TestTimeoutPolicy:
+    def test_best_timeout_formula(self):
+        assert best_timeout(50.0, 100.0) == 2.0
+        with pytest.raises(ValidationError):
+            best_timeout(0.0, 100.0)
+
+    def test_negative_timeout_rejected(self):
+        cluster = Cluster.homogeneous(SPEC, 1)
+        plan = Allocation(cluster, {make_vm(0, 1, 2): 0})
+        with pytest.raises(ValidationError):
+            timeout_energy(plan, timeout=-1.0)
+
+    def test_no_gaps_matches_clairvoyant(self):
+        cluster = Cluster.homogeneous(SPEC, 1)
+        plan = Allocation(cluster, {make_vm(0, 1, 5): 0})
+        assert timeout_energy(plan) == pytest.approx(
+            allocation_cost(plan).total)
+
+    def test_short_gap_idles_through(self):
+        # 1-unit gap <= timeout 2: idle cost 50, same as clairvoyant.
+        cluster = Cluster.homogeneous(SPEC, 1)
+        plan = Allocation(cluster, {make_vm(0, 1, 1): 0,
+                                    make_vm(1, 3, 3): 0})
+        assert timeout_energy(plan) == pytest.approx(
+            allocation_cost(plan).total)
+
+    def test_long_gap_pays_timeout_plus_wake(self):
+        # 10-unit gap, timeout 2: online pays 50*2 + 100 = 200 where the
+        # clairvoyant policy pays min(500, 100) = 100.
+        cluster = Cluster.homogeneous(SPEC, 1)
+        plan = Allocation(cluster, {make_vm(0, 1, 1): 0,
+                                    make_vm(1, 12, 12): 0})
+        clairvoyant = allocation_cost(plan).total
+        online = timeout_energy(plan)
+        assert online == pytest.approx(clairvoyant + 100.0)
+
+    def test_ski_rental_two_competitive_per_gap(self):
+        # Online never exceeds twice the clairvoyant gap cost, so the
+        # total is bounded by 2x (loose, since non-gap terms are shared).
+        for seed in range(4):
+            vms = generate_vms(50, mean_interarrival=5.0, seed=seed)
+            cluster = Cluster.paper_all_types(25)
+            plan = MinIncrementalEnergy().allocate(vms, cluster)
+            clairvoyant = allocation_cost(plan).total
+            online = timeout_energy(plan)
+            assert clairvoyant <= online <= 2 * clairvoyant + 1e-6
+
+    def test_zero_timeout_is_always_sleep(self):
+        cluster = Cluster.homogeneous(SPEC, 1)
+        plan = Allocation(cluster, {make_vm(0, 1, 1): 0,
+                                    make_vm(1, 3, 3): 0})
+        always = allocation_cost(plan,
+                                 policy=SleepPolicy.ALWAYS_SLEEP).total
+        assert timeout_energy(plan, timeout=0.0) == pytest.approx(always)
+
+    def test_huge_timeout_is_never_sleep(self):
+        cluster = Cluster.homogeneous(SPEC, 1)
+        plan = Allocation(cluster, {make_vm(0, 1, 1): 0,
+                                    make_vm(1, 50, 50): 0})
+        never = allocation_cost(plan,
+                                policy=SleepPolicy.NEVER_SLEEP).total
+        assert timeout_energy(plan, timeout=1e9) == pytest.approx(never)

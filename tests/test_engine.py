@@ -1,0 +1,121 @@
+"""Tests for the discrete-event replay engine."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.allocators import MinIncrementalEnergy, make_allocator
+from repro.energy.cost import SleepPolicy, allocation_cost
+from repro.exceptions import SimulationError
+from repro.model.allocation import Allocation
+from repro.model.cluster import Cluster
+from repro.model.server import ServerSpec
+from repro.simulation import SimulationEngine, simulate_online
+from repro.workload.generator import generate_vms
+
+from conftest import make_vm
+
+SPEC = ServerSpec("s", cpu_capacity=10.0, memory_capacity=10.0,
+                  p_idle=50.0, p_peak=100.0, transition_time=1.0)
+
+
+class TestReplayEnergy:
+    def test_single_vm(self):
+        cluster = Cluster.homogeneous(SPEC, 1)
+        vm = make_vm(0, 1, 4, cpu=2.0)
+        alloc = Allocation(cluster, {vm: 0})
+        result = SimulationEngine(cluster).replay(alloc)
+        # busy: (50 + 10) * 4; transition: 100
+        assert result.busy_energy == pytest.approx(240.0)
+        assert result.transition_energy == pytest.approx(100.0)
+        assert result.total_energy == pytest.approx(340.0)
+
+    def test_matches_analytic_accounting(self):
+        vms = generate_vms(60, mean_interarrival=2.0, seed=9)
+        cluster = Cluster.paper_all_types(30)
+        alloc, result = simulate_online(vms, cluster,
+                                        MinIncrementalEnergy())
+        assert result.total_energy == pytest.approx(
+            allocation_cost(alloc).total, rel=1e-12)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10_000), st.sampled_from(
+        ["min-energy", "ffps", "best-fit", "worst-fit", "round-robin"]))
+    def test_sim_equals_analytic_for_all_algorithms(self, seed, algo):
+        vms = generate_vms(25, mean_interarrival=3.0, seed=seed)
+        cluster = Cluster.paper_all_types(12)
+        alloc, result = simulate_online(vms, cluster,
+                                        make_allocator(algo, seed=seed))
+        assert result.total_energy == pytest.approx(
+            allocation_cost(alloc).total, rel=1e-12)
+
+    def test_never_sleep_policy(self):
+        cluster = Cluster.homogeneous(SPEC, 1)
+        vms = [make_vm(0, 1, 1), make_vm(1, 10, 10)]
+        alloc = Allocation(cluster, {v: 0 for v in vms})
+        result = SimulationEngine(
+            cluster, policy=SleepPolicy.NEVER_SLEEP).replay(alloc)
+        assert result.total_energy == pytest.approx(
+            allocation_cost(alloc, policy=SleepPolicy.NEVER_SLEEP).total)
+        # one wake only
+        assert result.transition_energy == pytest.approx(100.0)
+
+    def test_empty_allocation(self):
+        cluster = Cluster.homogeneous(SPEC, 1)
+        result = SimulationEngine(cluster).replay(Allocation(cluster, {}))
+        assert result.total_energy == 0.0
+        assert result.horizon == 0
+
+
+class TestReplayTelemetry:
+    def test_power_series(self):
+        cluster = Cluster.homogeneous(SPEC, 1)
+        vm = make_vm(0, 2, 3, cpu=10.0)
+        alloc = Allocation(cluster, {vm: 0})
+        result = SimulationEngine(cluster).replay(alloc)
+        assert list(result.telemetry.power) == [0.0, 100.0, 100.0]
+        assert list(result.telemetry.active_servers) == [0, 1, 1]
+        assert list(result.telemetry.running_vms) == [0, 1, 1]
+
+    def test_gap_bridging_appears_in_series(self):
+        cluster = Cluster.homogeneous(SPEC, 1)
+        vms = [make_vm(0, 1, 1), make_vm(1, 3, 3)]  # 1-unit gap: bridge
+        alloc = Allocation(cluster, {v: 0 for v in vms})
+        result = SimulationEngine(cluster).replay(alloc)
+        assert result.telemetry.active_servers[1] == 1  # active through gap
+        assert result.telemetry.running_vms[1] == 0
+
+    def test_sleep_gap_power_zero(self):
+        cluster = Cluster.homogeneous(SPEC, 1)
+        vms = [make_vm(0, 1, 1), make_vm(1, 10, 10)]  # sleeps through
+        alloc = Allocation(cluster, {v: 0 for v in vms})
+        result = SimulationEngine(cluster).replay(alloc)
+        assert result.telemetry.power[4] == 0.0
+        assert result.telemetry.active_servers[4] == 0
+
+    def test_events_processed_count(self):
+        cluster = Cluster.homogeneous(SPEC, 1)
+        vm = make_vm(0, 1, 2)
+        alloc = Allocation(cluster, {vm: 0})
+        result = SimulationEngine(cluster).replay(alloc)
+        # wake + start + end + sleep
+        assert result.events_processed == 4
+
+
+class TestReplayValidation:
+    def test_rejects_foreign_cluster(self):
+        cluster_a = Cluster.homogeneous(SPEC, 1)
+        cluster_b = Cluster.homogeneous(SPEC, 1)
+        alloc = Allocation(cluster_a, {make_vm(0, 1, 2): 0})
+        with pytest.raises(SimulationError):
+            SimulationEngine(cluster_b).replay(alloc)
+
+    def test_detects_overcommitted_plan(self):
+        # Build a deliberately invalid allocation; the state machine must
+        # reject it during replay.
+        cluster = Cluster.homogeneous(SPEC, 1)
+        vms = [make_vm(0, 1, 3, cpu=6.0), make_vm(1, 1, 3, cpu=6.0)]
+        alloc = Allocation(cluster, {v: 0 for v in vms})
+        with pytest.raises(SimulationError):
+            SimulationEngine(cluster).replay(alloc)

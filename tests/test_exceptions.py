@@ -1,0 +1,58 @@
+"""Tests for the exception hierarchy contract."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import (
+    AllocationError,
+    CapacityError,
+    ReproError,
+    SimulationError,
+    SolverError,
+    ValidationError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc_type", [
+        ValidationError, CapacityError, AllocationError, SolverError,
+        SimulationError,
+    ])
+    def test_all_derive_from_repro_error(self, exc_type):
+        assert issubclass(exc_type, ReproError)
+
+    def test_validation_error_is_value_error(self):
+        # API boundary promise: generic callers catching ValueError work.
+        assert issubclass(ValidationError, ValueError)
+        with pytest.raises(ValueError):
+            raise ValidationError("bad input")
+
+
+class TestPayloads:
+    def test_capacity_error_carries_context(self):
+        err = CapacityError("overload", server_id=3, time=17)
+        assert err.server_id == 3
+        assert err.time == 17
+        assert "overload" in str(err)
+
+    def test_capacity_error_defaults(self):
+        err = CapacityError("overload")
+        assert err.server_id is None
+        assert err.time is None
+
+    def test_allocation_error_carries_vm(self):
+        err = AllocationError("no fit", vm_id=9)
+        assert err.vm_id == 9
+
+
+class TestCatchability:
+    def test_single_base_catch(self):
+        # One except clause at an API boundary catches everything.
+        for exc in (ValidationError("x"), CapacityError("x"),
+                    AllocationError("x"), SolverError("x"),
+                    SimulationError("x")):
+            try:
+                raise exc
+            except ReproError:
+                pass

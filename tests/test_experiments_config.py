@@ -1,0 +1,79 @@
+"""Tests for scenario configuration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.experiments.config import DEFAULT_SEEDS, ScenarioConfig
+from repro.model.catalog import SMALL_SERVER_TYPES, STANDARD_VM_TYPES
+
+
+class TestValidation:
+    def test_defaults_match_paper(self):
+        config = ScenarioConfig()
+        assert config.n_vms == 100
+        assert config.mean_duration == 5.0
+        assert config.transition_time == 1.0
+        assert config.seeds == DEFAULT_SEEDS
+        assert len(DEFAULT_SEEDS) == 5  # "averaged over 5 random runs"
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(n_vms=0),
+        dict(mean_interarrival=0.0),
+        dict(mean_duration=-1.0),
+        dict(transition_time=-0.1),
+        dict(server_ratio=0.0),
+        dict(seeds=()),
+        dict(vm_types=()),
+        dict(server_types=()),
+    ])
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValidationError):
+            ScenarioConfig(**kwargs)
+
+
+class TestDerived:
+    def test_servers_half_the_vms(self):
+        assert ScenarioConfig(n_vms=100).n_servers == 50
+        assert ScenarioConfig(n_vms=101).n_servers == 50  # banker's round
+
+    def test_at_least_one_server(self):
+        assert ScenarioConfig(n_vms=1).n_servers == 1
+
+    def test_generate_vms_reproducible(self):
+        config = ScenarioConfig(n_vms=20)
+        a = config.generate_vms(3)
+        b = config.generate_vms(3)
+        assert [(v.start, v.end) for v in a] == [(v.start, v.end) for v in b]
+
+    def test_build_cluster_applies_transition(self):
+        config = ScenarioConfig(n_vms=10, transition_time=2.5)
+        cluster = config.build_cluster()
+        assert all(s.spec.transition_time == 2.5 for s in cluster)
+
+    def test_build_cluster_respects_types(self):
+        config = ScenarioConfig(n_vms=12, server_types=SMALL_SERVER_TYPES)
+        cluster = config.build_cluster()
+        assert set(cluster.spec_counts()) == \
+            {s.name for s in SMALL_SERVER_TYPES}
+
+    def test_with_(self):
+        config = ScenarioConfig(n_vms=100)
+        modified = config.with_(mean_interarrival=7.0)
+        assert modified.mean_interarrival == 7.0
+        assert modified.n_vms == 100
+        assert config.mean_interarrival == 4.0  # original untouched
+
+    def test_sweep(self):
+        configs = ScenarioConfig.sweep(ScenarioConfig(), "n_vms",
+                                       [100, 200])
+        assert [c.n_vms for c in configs] == [100, 200]
+
+    def test_workload_uses_vm_types(self):
+        config = ScenarioConfig(vm_types=STANDARD_VM_TYPES)
+        wl = config.workload()
+        assert wl.vm_types == STANDARD_VM_TYPES
+        vms = config.generate_vms(seed=0)
+        assert {vm.spec.name for vm in vms} <= \
+            {t.name for t in STANDARD_VM_TYPES}

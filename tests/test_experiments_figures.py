@@ -1,0 +1,152 @@
+"""Tests for the figure-reproduction functions (reduced grids)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import figures
+from repro.experiments.config import ScenarioConfig
+
+SEEDS = (0, 1)
+IAS = (1.0, 6.0)
+
+
+class TestFormatTable:
+    def test_alignment_and_separator(self):
+        out = figures.format_table(("a", "bb"), [(1, 2.5), (33, 4)])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "-+-" in lines[1]
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+
+class TestFig2:
+    def test_structure(self):
+        result = figures.fig2(n_vms_list=(60,), interarrivals=IAS,
+                              seeds=SEEDS)
+        assert result.figure == "fig2"
+        assert len(result.series) == 1
+        series = result.series[0]
+        assert series.label == "60 VMs"
+        assert series.xs() == list(IAS)
+        assert series.fit is not None and series.fit.kind == "linear"
+        assert "fig2" in result.format()
+
+    def test_reduction_positive_at_light_load(self):
+        result = figures.fig2(n_vms_list=(100,), interarrivals=(8.0,),
+                              seeds=(0, 1, 2))
+        assert result.series[0].points[0].reduction_pct > 0
+
+
+class TestFig3:
+    def test_ours_beats_ffps_utilisation(self):
+        result = figures.fig3(n_vms=80, interarrivals=(4.0,), seeds=SEEDS)
+        point = result.points[0].comparison
+        assert point.algorithm_cpu_util.mean > point.baseline_cpu_util.mean
+        assert "ours cpu %" in result.format()
+
+
+class TestFig4:
+    def test_points_sorted_by_load(self):
+        result = figures.fig4(n_vms_list=(60,), interarrivals=IAS,
+                              seeds=SEEDS)
+        xs = result.series[0].xs()
+        assert xs == sorted(xs)
+        assert result.series[0].fit.kind == "logarithmic"
+
+
+class TestFig5:
+    def test_series_per_transition(self):
+        result = figures.fig5(transition_times=(0.5, 3.0), n_vms=80,
+                              interarrivals=IAS, seeds=SEEDS)
+        assert [s.label for s in result.series] == \
+            ["transition 0.5 min", "transition 3.0 min"]
+
+    def test_shorter_transition_saves_more(self):
+        result = figures.fig5(transition_times=(0.5, 3.0), n_vms=150,
+                              interarrivals=(4.0,), seeds=(0, 1, 2))
+        short, long_ = result.series
+        assert short.points[0].reduction_pct > long_.points[0].reduction_pct
+
+
+class TestFig6:
+    def test_shorter_vms_save_more(self):
+        result = figures.fig6(mean_durations=(2.0, 10.0), n_vms=150,
+                              interarrivals=(4.0,), seeds=(0, 1, 2))
+        short, long_ = result.series
+        assert short.points[0].reduction_pct > long_.points[0].reduction_pct
+
+
+class TestFig7:
+    def test_standard_small_structure(self):
+        result = figures.fig7(n_vms_list=(60,), interarrivals=IAS,
+                              seeds=SEEDS)
+        assert result.series[0].fit.kind == "logarithmic"
+        for point in result.series[0].points:
+            config = point.comparison.config
+            assert all("standard" in t.name for t in config.vm_types)
+            assert {t.name for t in config.server_types} == \
+                {"type1", "type2", "type3"}
+
+
+class TestFig8:
+    def test_two_panels(self):
+        result = figures.fig8(n_vms=80, interarrivals=(4.0,), seeds=SEEDS)
+        assert result.all_types.points[0].x == 4.0
+        assert "(a) all server types" in result.format()
+
+    def test_ffps_worse_on_all_types(self):
+        result = figures.fig8(n_vms=120, interarrivals=(4.0,),
+                              seeds=(0, 1, 2))
+        ffps_all = result.all_types.points[0] \
+            .comparison.baseline_cpu_util.mean
+        ffps_small = result.small_types.points[0] \
+            .comparison.baseline_cpu_util.mean
+        assert ffps_all < ffps_small  # big servers hurt FFPS utilisation
+
+
+class TestFig9:
+    def test_four_series(self):
+        result = figures.fig9(n_vms=80, interarrivals=IAS, seeds=SEEDS)
+        labels = [s.label for s in result.series]
+        assert len(labels) == 4
+        assert any("all types" in lb for lb in labels)
+        assert any("types 1-3" in lb for lb in labels)
+
+
+class TestAblations:
+    def test_zoo_sorted_by_energy(self):
+        config = ScenarioConfig(n_vms=50, mean_interarrival=3.0,
+                                seeds=(0,))
+        result = figures.ablation_zoo(config,
+                                      algorithms=("ffps", "min-energy",
+                                                  "worst-fit"))
+        energies = [r.energy_mean for r in result.rows]
+        assert energies == sorted(energies)
+        assert "worst-fit" in result.format()
+
+    def test_sleep_policy_optimal_wins(self):
+        config = ScenarioConfig(n_vms=50, mean_interarrival=4.0,
+                                seeds=(0, 1))
+        result = figures.ablation_sleep_policy(config)
+        by_label = {r.label: r.energy_mean for r in result.rows}
+        assert by_label["optimal"] <= by_label["never-sleep"]
+        assert by_label["optimal"] <= by_label["always-sleep"]
+
+    def test_initial_wake_share_small_but_positive(self):
+        config = ScenarioConfig(n_vms=50, mean_interarrival=3.0,
+                                seeds=(0,))
+        result = figures.ablation_initial_wake(config)
+        for row in result.rows:
+            assert 0 < row.reduction_vs_ffps_pct < 50
+
+
+class TestILPGap:
+    def test_gaps_nonnegative(self):
+        result = figures.ilp_gap(n_vms=6, n_servers=4, seeds=(0, 1))
+        for _, optimal, heuristic_gap, ffps_gap in result.rows:
+            assert optimal > 0
+            assert heuristic_gap >= -1e-9
+            assert ffps_gap >= -1e-9
+        assert result.mean_heuristic_gap_pct >= 0
+        assert "optimal" in result.format()

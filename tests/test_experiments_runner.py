@@ -1,0 +1,67 @@
+"""Tests for the scenario runner and seed averaging."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.runner import compare, compare_averaged, run_once
+
+CONFIG = ScenarioConfig(n_vms=40, mean_interarrival=3.0, seeds=(0, 1))
+
+
+class TestRunOnce:
+    def test_produces_valid_allocation(self):
+        result = run_once(CONFIG, "min-energy", seed=0)
+        assert len(result.allocation) == 40
+        result.allocation.validate()
+        assert result.total_energy > 0
+        assert 0 < result.utilization.cpu <= 1
+        assert result.servers_used >= 1
+
+    def test_deterministic(self):
+        a = run_once(CONFIG, "ffps", seed=5)
+        b = run_once(CONFIG, "ffps", seed=5)
+        assert a.total_energy == b.total_energy
+
+    def test_seed_changes_workload(self):
+        a = run_once(CONFIG, "min-energy", seed=0)
+        b = run_once(CONFIG, "min-energy", seed=1)
+        assert a.total_energy != b.total_energy
+
+
+class TestCompare:
+    def test_same_workload_for_both(self):
+        result = compare(CONFIG, seed=0)
+        base_vms = {v.vm_id for v in result.baseline.allocation}
+        algo_vms = {v.vm_id for v in result.algorithm.allocation}
+        assert base_vms == algo_vms
+
+    def test_reduction_consistent_with_energies(self):
+        result = compare(CONFIG, seed=0)
+        expected = (result.baseline.total_energy
+                    - result.algorithm.total_energy) \
+            / result.baseline.total_energy
+        assert result.reduction == pytest.approx(expected)
+
+    def test_custom_algorithm(self):
+        result = compare(CONFIG, seed=0, algorithm="best-fit")
+        assert result.algorithm.algorithm == "best-fit"
+
+
+class TestCompareAveraged:
+    def test_aggregates_all_seeds(self):
+        result = compare_averaged(CONFIG)
+        assert result.reduction.n == 2
+        assert len(result.runs) == 2
+
+    def test_mean_matches_runs(self):
+        result = compare_averaged(CONFIG)
+        manual = sum(r.reduction for r in result.runs) / len(result.runs)
+        assert result.reduction.mean == pytest.approx(manual)
+
+    def test_utilizations_in_unit_range(self):
+        result = compare_averaged(CONFIG)
+        for agg in (result.baseline_cpu_util, result.algorithm_cpu_util,
+                    result.baseline_mem_util, result.algorithm_mem_util):
+            assert 0 <= agg.mean <= 1

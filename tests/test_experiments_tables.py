@@ -1,0 +1,37 @@
+"""Tests for the Table I / Table II renderers."""
+
+from __future__ import annotations
+
+from repro.experiments.tables import table1, table2
+
+
+class TestTable1:
+    def test_contains_all_nine_types(self):
+        out = table1()
+        for name in ("standard-1", "standard-4", "memory-3", "cpu-2"):
+            assert name in out
+
+    def test_contains_families(self):
+        out = table1()
+        assert "standard" in out
+        assert "memory-intensive" in out
+        assert "CPU-intensive" in out
+
+    def test_row_count(self):
+        # header + separator + 9 rows
+        assert len(table1().splitlines()) == 11
+
+
+class TestTable2:
+    def test_contains_all_five_types(self):
+        out = table2()
+        for name in ("type1", "type2", "type3", "type4", "type5"):
+            assert name in out
+
+    def test_shows_idle_peak_ratio(self):
+        out = table2()
+        assert "50%" in out
+        assert "40%" in out
+
+    def test_row_count(self):
+        assert len(table2().splitlines()) == 7

@@ -1,0 +1,82 @@
+"""Tests for figure-data export."""
+
+from __future__ import annotations
+
+import csv
+import json
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.experiments import figures
+from repro.experiments.export import figure_records, save_csv, save_json
+
+SEEDS = (0,)
+IAS = (2.0, 6.0)
+
+
+@pytest.fixture(scope="module")
+def fig2_result():
+    return figures.fig2(n_vms_list=(40,), interarrivals=IAS, seeds=SEEDS)
+
+
+@pytest.fixture(scope="module")
+def fig3_result():
+    return figures.fig3(n_vms=40, interarrivals=IAS, seeds=SEEDS)
+
+
+class TestFigureRecords:
+    def test_sweep_figure(self, fig2_result):
+        records = figure_records(fig2_result)
+        assert len(records) == 2
+        first = records[0]
+        assert first["figure"] == "fig2"
+        assert first["series"] == "40 VMs"
+        assert first["x"] == 2.0
+        assert first["fit_kind"] == "linear"
+        assert ";" in first["fit_params"]
+
+    def test_utilization_figure(self, fig3_result):
+        records = figure_records(fig3_result)
+        assert len(records) == 2
+        assert all(0 <= r["ours_cpu_util"] <= 1 for r in records)
+
+    def test_fig8_panels(self):
+        result = figures.fig8(n_vms=40, interarrivals=(4.0,), seeds=SEEDS)
+        records = figure_records(result)
+        assert {r["series"] for r in records} == {"all types", "types 1-3"}
+
+    def test_unsupported_object(self):
+        with pytest.raises(ValidationError):
+            figure_records("not a figure")
+
+
+class TestSaveCSV:
+    def test_round_trip(self, tmp_path, fig2_result):
+        path = tmp_path / "fig2.csv"
+        count = save_csv(fig2_result, path)
+        assert count == 2
+        with path.open() as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == 2
+        assert float(rows[0]["x"]) == 2.0
+        assert rows[0]["figure"] == "fig2"
+
+
+class TestSaveJSON:
+    def test_round_trip(self, tmp_path, fig3_result):
+        path = tmp_path / "fig3.json"
+        count = save_json(fig3_result, path)
+        records = json.loads(path.read_text())
+        assert len(records) == count == 2
+        assert records[0]["figure"] == "fig3"
+
+
+class TestCLIExport:
+    def test_figure_with_out(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "fig3.csv"
+        assert main(["figure", "fig3", "--quick", "--out", str(out)]) == 0
+        assert out.exists()
+        assert "exported" in capsys.readouterr().out

@@ -1,0 +1,142 @@
+"""Tests for the epoch-based migration consolidation extension."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.allocators import FirstFitPowerSaving, MinIncrementalEnergy
+from repro.energy.cost import allocation_cost
+from repro.exceptions import ValidationError
+from repro.extensions import EpochConsolidator
+from repro.model.cluster import Cluster
+from repro.model.server import ServerSpec
+from repro.workload.generator import generate_vms
+
+from conftest import make_vm
+
+SPEC = ServerSpec("s", cpu_capacity=10.0, memory_capacity=10.0,
+                  p_idle=50.0, p_peak=100.0, transition_time=1.0)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        dict(epoch_length=0),
+        dict(epoch_length=-5),
+        dict(migration_cost_per_gb=-1.0),
+    ])
+    def test_rejects_bad_params(self, kwargs):
+        with pytest.raises(ValidationError):
+            EpochConsolidator(**kwargs)
+
+
+class TestMechanics:
+    def test_no_spanning_vms_means_no_migrations(self):
+        # All VMs end before the first epoch boundary.
+        vms = [make_vm(i, 1, 5, cpu=1.0) for i in range(4)]
+        cluster = Cluster.homogeneous(SPEC, 4)
+        result = EpochConsolidator(epoch_length=50).allocate(vms, cluster)
+        assert result.migration_count == 0
+        assert len(result.allocation) == 4
+
+    def test_zero_saving_keeps_vm_in_place(self):
+        # A single VM on a homogeneous fleet: no move can help.
+        vms = [make_vm(0, 1, 40, cpu=2.0)]
+        cluster = Cluster.homogeneous(SPEC, 3)
+        result = EpochConsolidator(epoch_length=10).allocate(vms, cluster)
+        assert result.migration_count == 0
+        assert result.total_energy == pytest.approx(
+            allocation_cost(MinIncrementalEnergy().allocate(
+                vms, cluster)).total)
+
+    def test_migration_splits_vm_into_pieces(self):
+        # Force a bad initial plan (worst-fit spreads), then let the
+        # consolidator fix it with free migrations.
+        from repro.allocators import WorstFit
+
+        vms = [make_vm(0, 1, 40, cpu=1.0), make_vm(1, 1, 40, cpu=1.0)]
+        cluster = Cluster.homogeneous(SPEC, 2)
+        result = EpochConsolidator(
+            epoch_length=10, migration_cost_per_gb=0.0,
+            base=WorstFit()).allocate(vms, cluster)
+        assert result.migration_count >= 1
+        # Pieces of both VMs end up co-located after the move.
+        assert len(result.allocation) >= 3  # at least one VM split
+
+    def test_migration_cost_gates_moves(self):
+        from repro.allocators import WorstFit
+
+        vms = [make_vm(0, 1, 40, cpu=1.0), make_vm(1, 1, 40, cpu=1.0)]
+        cluster = Cluster.homogeneous(SPEC, 2)
+        free = EpochConsolidator(epoch_length=10, migration_cost_per_gb=0.0,
+                                 base=WorstFit()).allocate(vms, cluster)
+        priced_out = EpochConsolidator(
+            epoch_length=10, migration_cost_per_gb=1e9,
+            base=WorstFit()).allocate(vms, cluster)
+        assert free.migration_count >= 1
+        assert priced_out.migration_count == 0
+
+    def test_migration_records_original_vm_id(self):
+        from repro.allocators import WorstFit
+
+        vms = [make_vm(0, 1, 40, cpu=1.0), make_vm(1, 1, 40, cpu=1.0)]
+        cluster = Cluster.homogeneous(SPEC, 2)
+        result = EpochConsolidator(epoch_length=10,
+                                   migration_cost_per_gb=0.0,
+                                   base=WorstFit()).allocate(vms, cluster)
+        for migration in result.migrations:
+            assert migration.vm_id in (0, 1)
+            assert migration.source != migration.target
+            assert migration.time % 10 == 0
+
+
+class TestEnergyAccounting:
+    def test_placement_energy_matches_analytic(self):
+        vms = generate_vms(60, mean_interarrival=4.0, seed=3)
+        cluster = Cluster.paper_all_types(30)
+        result = EpochConsolidator(epoch_length=15).allocate(vms, cluster)
+        result.allocation.validate()
+        assert result.placement_energy == pytest.approx(
+            allocation_cost(result.allocation).total, rel=1e-9)
+
+    def test_total_includes_migration_energy(self):
+        from repro.allocators import WorstFit
+
+        vms = [make_vm(0, 1, 40, cpu=1.0, memory=2.0),
+               make_vm(1, 1, 40, cpu=1.0, memory=2.0)]
+        cluster = Cluster.homogeneous(SPEC, 2)
+        result = EpochConsolidator(epoch_length=10,
+                                   migration_cost_per_gb=3.0,
+                                   base=WorstFit()).allocate(vms, cluster)
+        assert result.migration_energy == pytest.approx(
+            result.migration_count * 3.0 * 2.0)
+        assert result.total_energy == pytest.approx(
+            result.placement_energy + result.migration_energy)
+
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.integers(0, 1000), st.integers(5, 30),
+           st.floats(0.0, 10.0))
+    def test_never_worse_than_initial_plan(self, seed, epoch, cost_gb):
+        # The pass only applies strictly-saving moves, so the total can
+        # never exceed the initial plan's energy.
+        vms = generate_vms(40, mean_interarrival=5.0, seed=seed)
+        cluster = Cluster.paper_all_types(20)
+        base = FirstFitPowerSaving(seed=seed)
+        initial = allocation_cost(base.allocate(vms, cluster)).total
+        result = EpochConsolidator(
+            epoch_length=epoch, migration_cost_per_gb=cost_gb,
+            base=FirstFitPowerSaving(seed=seed)).allocate(vms, cluster)
+        result.allocation.validate()
+        assert result.total_energy <= initial + 1e-6
+
+    def test_rescues_a_bad_initial_plan(self):
+        vms = generate_vms(120, mean_interarrival=6.0, seed=0)
+        cluster = Cluster.paper_all_types(60)
+        ffps = FirstFitPowerSaving(seed=0)
+        initial = allocation_cost(ffps.allocate(vms, cluster)).total
+        result = EpochConsolidator(
+            epoch_length=10, migration_cost_per_gb=1.0,
+            base=FirstFitPowerSaving(seed=0)).allocate(vms, cluster)
+        assert result.migration_count > 0
+        assert result.total_energy < initial

@@ -1,0 +1,94 @@
+"""Tests for the non-affine power evaluation extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.allocators import FirstFitPowerSaving, MinIncrementalEnergy
+from repro.energy.cost import SleepPolicy, allocation_cost
+from repro.exceptions import ValidationError
+from repro.extensions import SuperlinearPowerModel, evaluate_under_model
+from repro.model.allocation import Allocation
+from repro.model.cluster import Cluster
+from repro.model.server import ServerSpec
+from repro.workload.generator import generate_vms
+
+from conftest import make_vm
+
+SPEC = ServerSpec("s", cpu_capacity=10.0, memory_capacity=10.0,
+                  p_idle=50.0, p_peak=100.0, transition_time=1.0)
+
+
+class TestSuperlinearPowerModel:
+    def test_gamma_one_is_affine(self):
+        model = SuperlinearPowerModel(gamma=1.0)
+        assert model.active_power(SPEC, 5.0) == pytest.approx(75.0)
+
+    def test_convex_below_affine_midrange(self):
+        model = SuperlinearPowerModel(gamma=2.0)
+        assert model.active_power(SPEC, 5.0) == pytest.approx(62.5)
+
+    def test_concave_above_affine_midrange(self):
+        model = SuperlinearPowerModel(gamma=0.5)
+        assert model.active_power(SPEC, 2.5) == pytest.approx(75.0)
+
+    def test_endpoints_fixed_for_any_gamma(self):
+        for gamma in (0.5, 1.0, 1.4, 3.0):
+            model = SuperlinearPowerModel(gamma=gamma)
+            assert model.active_power(SPEC, 0.0) == 50.0
+            assert model.active_power(SPEC, 10.0) == 100.0
+
+    def test_rejects_nonpositive_gamma(self):
+        with pytest.raises(ValidationError):
+            SuperlinearPowerModel(gamma=0.0)
+
+    def test_rejects_negative_load(self):
+        with pytest.raises(ValidationError):
+            SuperlinearPowerModel().active_power(SPEC, -1.0)
+
+
+class TestEvaluateUnderModel:
+    def test_gamma_one_matches_analytic_accounting(self):
+        vms = generate_vms(50, mean_interarrival=3.0, seed=5)
+        cluster = Cluster.paper_all_types(25)
+        plan = MinIncrementalEnergy().allocate(vms, cluster)
+        affine = evaluate_under_model(plan, SuperlinearPowerModel(1.0))
+        assert affine == pytest.approx(allocation_cost(plan).total,
+                                       rel=1e-9)
+
+    def test_single_vm_hand_computed(self):
+        cluster = Cluster.homogeneous(SPEC, 1)
+        vm = make_vm(0, 1, 4, cpu=5.0)  # u = 0.5 for 4 units
+        plan = Allocation(cluster, {vm: 0})
+        energy = evaluate_under_model(plan, SuperlinearPowerModel(2.0))
+        # 4 units at P = 50 + 50*0.25 = 62.5, plus one wake (100)
+        assert energy == pytest.approx(4 * 62.5 + 100.0)
+
+    def test_convex_model_evaluates_cheaper_midrange(self):
+        vms = generate_vms(50, mean_interarrival=3.0, seed=6)
+        cluster = Cluster.paper_all_types(25)
+        plan = MinIncrementalEnergy().allocate(vms, cluster)
+        affine = evaluate_under_model(plan, SuperlinearPowerModel(1.0))
+        convex = evaluate_under_model(plan, SuperlinearPowerModel(2.0))
+        assert convex < affine
+
+    def test_respects_sleep_policy(self):
+        cluster = Cluster.homogeneous(SPEC, 1)
+        vms = [make_vm(0, 1, 1), make_vm(1, 10, 10)]
+        plan = Allocation(cluster, {v: 0 for v in vms})
+        optimal = evaluate_under_model(plan, SuperlinearPowerModel(1.0))
+        never = evaluate_under_model(plan, SuperlinearPowerModel(1.0),
+                                     policy=SleepPolicy.NEVER_SLEEP)
+        assert optimal < never
+
+    def test_advantage_persists_under_nonaffine_bill(self):
+        # The headline robustness result: plans optimised under the
+        # affine model keep beating FFPS when billed super-linearly.
+        vms = generate_vms(120, mean_interarrival=5.0, seed=1)
+        cluster = Cluster.paper_all_types(60)
+        ours = MinIncrementalEnergy().allocate(vms, cluster)
+        ffps = FirstFitPowerSaving(seed=1).allocate(vms, cluster)
+        for gamma in (1.0, 1.4, 2.0):
+            model = SuperlinearPowerModel(gamma)
+            assert evaluate_under_model(ours, model) < \
+                evaluate_under_model(ffps, model)

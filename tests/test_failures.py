@@ -1,0 +1,171 @@
+"""Tests for failure injection and recovery."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.allocators import MinIncrementalEnergy, make_allocator
+from repro.exceptions import ValidationError
+from repro.model.allocation import Allocation
+from repro.model.cluster import Cluster
+from repro.model.server import ServerSpec
+from repro.simulation.failures import (
+    ServerFailure,
+    inject_failures,
+    random_failures,
+)
+from repro.workload.generator import generate_vms
+
+from conftest import make_vm
+
+SPEC = ServerSpec("s", cpu_capacity=10.0, memory_capacity=10.0,
+                  p_idle=50.0, p_peak=100.0, transition_time=1.0)
+
+
+def plan(vms, n_servers=4, spec=SPEC):
+    cluster = Cluster.homogeneous(spec, n_servers)
+    return MinIncrementalEnergy().allocate(vms, cluster)
+
+
+class TestValidation:
+    def test_failure_time_must_be_positive(self):
+        with pytest.raises(ValidationError):
+            ServerFailure(server_id=0, time=0)
+
+    def test_unknown_server_rejected(self):
+        allocation = plan([make_vm(0, 1, 5)])
+        with pytest.raises(ValidationError):
+            inject_failures(allocation, [ServerFailure(99, 2)])
+
+    def test_double_failure_rejected(self):
+        allocation = plan([make_vm(0, 1, 5)])
+        with pytest.raises(ValidationError):
+            inject_failures(allocation, [ServerFailure(0, 2),
+                                         ServerFailure(0, 4)])
+
+
+class TestRandomFailures:
+    def test_counts_and_bounds(self):
+        cluster = Cluster.homogeneous(SPEC, 10)
+        failures = random_failures(cluster, 4, horizon=50, seed=0)
+        assert len(failures) == 4
+        assert len({f.server_id for f in failures}) == 4
+        assert all(1 <= f.time <= 50 for f in failures)
+
+    def test_too_many_failures_rejected(self):
+        cluster = Cluster.homogeneous(SPEC, 2)
+        with pytest.raises(ValidationError):
+            random_failures(cluster, 3, horizon=10)
+
+    def test_reproducible(self):
+        cluster = Cluster.homogeneous(SPEC, 10)
+        a = random_failures(cluster, 3, horizon=50, seed=7)
+        b = random_failures(cluster, 3, horizon=50, seed=7)
+        assert a == b
+
+
+class TestRecoveryMechanics:
+    def test_no_failures_is_identity_energy(self):
+        from repro.energy.cost import allocation_cost
+
+        vms = generate_vms(30, mean_interarrival=3.0, seed=0)
+        allocation = MinIncrementalEnergy().allocate(
+            vms, Cluster.paper_all_types(15))
+        outcome = inject_failures(allocation, [])
+        assert outcome.killed == 0
+        assert outcome.total_energy == pytest.approx(
+            allocation_cost(allocation).total)
+
+    def test_running_vm_is_killed_and_recovered(self):
+        vm = make_vm(0, 1, 10, cpu=2.0)
+        allocation = plan([vm], n_servers=2)
+        victim = allocation.server_of(vm)
+        outcome = inject_failures(allocation,
+                                  [ServerFailure(victim, time=5)])
+        assert outcome.killed == 1
+        assert outcome.recovered == 1
+        assert outcome.lost == ()
+        assert outcome.wasted_energy > 0
+        # The repaired plan hosts the head on the dead server and the
+        # remainder elsewhere.
+        pieces = outcome.allocation.vms
+        assert len(pieces) == 2
+        head, remainder = sorted(pieces, key=lambda v: v.start)
+        assert (head.start, head.end) == (1, 4)
+        assert (remainder.start, remainder.end) == (5, 10)
+        assert outcome.allocation.server_of(remainder) != victim
+
+    def test_not_yet_started_vm_moves_whole(self):
+        vm = make_vm(0, 10, 20, cpu=2.0)
+        allocation = plan([vm], n_servers=2)
+        victim = allocation.server_of(vm)
+        outcome = inject_failures(allocation,
+                                  [ServerFailure(victim, time=3)])
+        assert outcome.killed == 0  # nothing was interrupted
+        assert outcome.wasted_energy == 0
+        moved = outcome.allocation.vms[0]
+        assert (moved.start, moved.end) == (10, 20)
+        assert outcome.allocation.server_of(moved) != victim
+
+    def test_finished_vm_untouched(self):
+        vm = make_vm(0, 1, 3, cpu=2.0)
+        allocation = plan([vm], n_servers=2)
+        victim = allocation.server_of(vm)
+        outcome = inject_failures(allocation,
+                                  [ServerFailure(victim, time=8)])
+        assert outcome.killed == 0
+        assert outcome.allocation.server_of(vm) == victim
+
+    def test_unrecoverable_vm_reported_lost(self):
+        # Single server: after it dies there is nowhere to go.
+        vm = make_vm(0, 1, 10, cpu=2.0)
+        allocation = plan([vm], n_servers=1)
+        outcome = inject_failures(allocation, [ServerFailure(0, time=5)])
+        assert outcome.lost == (vm,)
+        assert outcome.recovery_rate == 0.0
+
+    def test_cascading_failures(self):
+        vm = make_vm(0, 1, 20, cpu=2.0)
+        allocation = plan([vm], n_servers=3)
+        first = allocation.server_of(vm)
+        second = (first + 1) % 3
+        outcome = inject_failures(
+            allocation,
+            [ServerFailure(first, 5), ServerFailure(second, 10)])
+        # Whether the remainder landed on `second` determines a second
+        # kill; in any case the final plan must be valid on survivors.
+        outcome.allocation.validate()
+        last_piece = max(outcome.allocation.vms, key=lambda v: v.end)
+        assert outcome.allocation.server_of(last_piece) not in \
+            {first, second} or last_piece.end < 5
+
+    def test_recovery_rate_full_when_capacity_exists(self):
+        vms = generate_vms(40, mean_interarrival=2.0, seed=1)
+        cluster = Cluster.paper_all_types(20)
+        allocation = MinIncrementalEnergy().allocate(vms, cluster)
+        failures = random_failures(cluster, 2, allocation.horizon(),
+                                   seed=3)
+        outcome = inject_failures(allocation, failures)
+        assert outcome.recovery_rate == 1.0
+        outcome.allocation.validate()
+
+
+class TestRecoveryPolicies:
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.integers(0, 500),
+           st.sampled_from(["min-energy", "ffps", "best-fit",
+                            "round-robin"]))
+    def test_any_policy_yields_valid_plans(self, seed, policy):
+        vms = generate_vms(25, mean_interarrival=2.0, seed=seed)
+        cluster = Cluster.paper_all_types(12)
+        allocation = MinIncrementalEnergy().allocate(vms, cluster)
+        failures = random_failures(cluster, 2,
+                                   max(1, allocation.horizon()), seed=seed)
+        outcome = inject_failures(
+            allocation, failures,
+            recovery=make_allocator(policy, seed=seed))
+        outcome.allocation.validate()
+        assert outcome.killed >= outcome.recovered >= 0
+        assert outcome.killed - outcome.recovered <= len(outcome.lost)

@@ -1,0 +1,104 @@
+"""Tests for the Poisson workload generator (paper Sec. IV-B1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.model.catalog import ALL_VM_TYPES, STANDARD_VM_TYPES
+from repro.workload.generator import PoissonWorkload, generate_vms
+
+
+class TestValidation:
+    @pytest.mark.parametrize("ia", [0.0, -1.0])
+    def test_rejects_nonpositive_interarrival(self, ia):
+        with pytest.raises(ValidationError):
+            PoissonWorkload(mean_interarrival=ia)
+
+    @pytest.mark.parametrize("dur", [0.0, -2.0])
+    def test_rejects_nonpositive_duration(self, dur):
+        with pytest.raises(ValidationError):
+            PoissonWorkload(mean_interarrival=1.0, mean_duration=dur)
+
+    def test_rejects_empty_types(self):
+        with pytest.raises(ValidationError):
+            PoissonWorkload(mean_interarrival=1.0, vm_types=())
+
+    def test_rejects_negative_count(self):
+        with pytest.raises(ValidationError):
+            PoissonWorkload(mean_interarrival=1.0).generate(-1)
+
+
+class TestGeneration:
+    def test_count_and_ids(self):
+        vms = generate_vms(50, mean_interarrival=2.0, seed=0)
+        assert len(vms) == 50
+        assert [vm.vm_id for vm in vms] == list(range(50))
+
+    def test_reproducible_with_seed(self):
+        a = generate_vms(30, mean_interarrival=2.0, seed=42)
+        b = generate_vms(30, mean_interarrival=2.0, seed=42)
+        assert [(v.start, v.end, v.spec.name) for v in a] == \
+            [(v.start, v.end, v.spec.name) for v in b]
+
+    def test_different_seeds_differ(self):
+        a = generate_vms(30, mean_interarrival=2.0, seed=1)
+        b = generate_vms(30, mean_interarrival=2.0, seed=2)
+        assert [(v.start, v.end) for v in a] != [(v.start, v.end) for v in b]
+
+    def test_accepts_generator_instance(self):
+        rng = np.random.default_rng(0)
+        vms = PoissonWorkload(mean_interarrival=1.0).generate(10, rng=rng)
+        assert len(vms) == 10
+
+    def test_arrivals_non_decreasing(self):
+        vms = generate_vms(100, mean_interarrival=1.0, seed=3)
+        starts = [vm.start for vm in vms]
+        assert starts == sorted(starts)
+
+    def test_starts_at_one_or_later(self):
+        vms = generate_vms(100, mean_interarrival=0.5, seed=4)
+        assert min(vm.start for vm in vms) >= 1
+
+    def test_durations_at_least_one(self):
+        vms = generate_vms(200, mean_interarrival=1.0, mean_duration=1.0,
+                           seed=5)
+        assert all(vm.duration >= 1 for vm in vms)
+
+    def test_types_drawn_from_requested_set(self):
+        vms = generate_vms(100, mean_interarrival=1.0,
+                           vm_types=STANDARD_VM_TYPES, seed=6)
+        allowed = {spec.name for spec in STANDARD_VM_TYPES}
+        assert {vm.spec.name for vm in vms} <= allowed
+
+    def test_all_types_eventually_sampled(self):
+        vms = generate_vms(500, mean_interarrival=1.0, seed=7)
+        assert {vm.spec.name for vm in vms} == \
+            {spec.name for spec in ALL_VM_TYPES}
+
+    def test_empty_generation(self):
+        assert generate_vms(0, mean_interarrival=1.0, seed=0) == []
+
+
+class TestStatistics:
+    def test_mean_interarrival_approximate(self):
+        vms = generate_vms(5000, mean_interarrival=3.0, seed=8)
+        span = vms[-1].start - vms[0].start
+        observed = span / (len(vms) - 1)
+        assert observed == pytest.approx(3.0, rel=0.1)
+
+    def test_mean_duration_approximate(self):
+        vms = generate_vms(5000, mean_interarrival=1.0, mean_duration=10.0,
+                           seed=9)
+        observed = sum(vm.duration for vm in vms) / len(vms)
+        # integer rounding with a max(1, .) floor biases slightly upward
+        assert observed == pytest.approx(10.0, rel=0.15)
+
+    def test_type_sampling_roughly_uniform(self):
+        vms = generate_vms(9000, mean_interarrival=1.0, seed=10)
+        counts = {}
+        for vm in vms:
+            counts[vm.spec.name] = counts.get(vm.spec.name, 0) + 1
+        for count in counts.values():
+            assert count == pytest.approx(1000, rel=0.25)

@@ -1,0 +1,151 @@
+"""Tests for the exact ILP formulation and solver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.allocators import FirstFitPowerSaving, MinIncrementalEnergy
+from repro.energy.cost import allocation_cost
+from repro.exceptions import SolverError, ValidationError
+from repro.ilp import build_problem, solve_ilp, solve_problem, solve_relaxation
+from repro.model.cluster import Cluster
+from repro.model.server import ServerSpec
+from repro.workload.generator import generate_vms
+
+from conftest import make_vm
+
+SPEC = ServerSpec("s", cpu_capacity=10.0, memory_capacity=10.0,
+                  p_idle=50.0, p_peak=100.0, transition_time=1.0)
+CHEAP = ServerSpec("cheap", cpu_capacity=10.0, memory_capacity=10.0,
+                   p_idle=20.0, p_peak=40.0, transition_time=1.0)
+
+
+class TestFormulation:
+    def test_variable_counts(self):
+        vms = [make_vm(0, 1, 3), make_vm(1, 2, 4)]
+        cluster = Cluster.homogeneous(SPEC, 2)
+        problem = build_problem(vms, cluster)
+        assert problem.horizon == 4
+        # x: 2*2, y: 2*4, z: 2*4
+        assert problem.n_variables == 4 + 8 + 8
+
+    def test_index_layout_disjoint(self):
+        vms = [make_vm(0, 1, 2)]
+        cluster = Cluster.homogeneous(SPEC, 2)
+        p = build_problem(vms, cluster)
+        indices = {p.x_index(i, 0) for i in range(2)}
+        indices |= {p.y_index(i, t) for i in range(2) for t in (1, 2)}
+        indices |= {p.z_index(i, t) for i in range(2) for t in (1, 2)}
+        assert len(indices) == p.n_variables
+        assert max(indices) == p.n_variables - 1
+
+    def test_infeasible_pair_fixed_to_zero(self):
+        vms = [make_vm(0, 1, 2, cpu=20.0)]
+        big = ServerSpec("big", 30.0, 30.0, 10.0, 20.0)
+        cluster = Cluster.from_specs([SPEC, big])
+        p = build_problem(vms, cluster)
+        assert p.var_upper[p.x_index(0, 0)] == 0.0
+        assert p.var_upper[p.x_index(1, 0)] == 1.0
+
+    def test_rejects_empty_vms(self):
+        with pytest.raises(ValidationError):
+            build_problem([], Cluster.homogeneous(SPEC, 1))
+
+    def test_rejects_start_before_one(self):
+        with pytest.raises(ValidationError):
+            build_problem([make_vm(0, 0, 2)], Cluster.homogeneous(SPEC, 1))
+
+    def test_z_is_continuous(self):
+        vms = [make_vm(0, 1, 2)]
+        p = build_problem(vms, Cluster.homogeneous(SPEC, 1))
+        assert p.integrality[p.z_index(0, 1)] == 0
+        assert p.integrality[p.x_index(0, 0)] == 1
+        assert p.integrality[p.y_index(0, 1)] == 1
+
+
+class TestSolver:
+    def test_single_vm_exact_cost(self):
+        # One VM, one server: optimum = W + idle*len + alpha
+        vm = make_vm(0, 1, 4, cpu=2.0)
+        cluster = Cluster.homogeneous(SPEC, 1)
+        result = solve_ilp([vm], cluster)
+        expected = 5 * 2 * 4 + 50 * 4 + 100
+        assert result.objective == pytest.approx(expected)
+        assert result.is_optimal
+
+    def test_picks_cheaper_server(self):
+        vm = make_vm(0, 1, 4, cpu=2.0)
+        cluster = Cluster.from_specs([SPEC, CHEAP])
+        result = solve_ilp([vm], cluster)
+        assert result.allocation.server_of(vm) == 1
+
+    def test_consolidates_when_cheaper(self):
+        vms = [make_vm(0, 1, 4, cpu=2.0), make_vm(1, 1, 4, cpu=2.0)]
+        cluster = Cluster.homogeneous(SPEC, 2)
+        result = solve_ilp(vms, cluster)
+        assert len(result.allocation.used_servers()) == 1
+
+    def test_objective_matches_analytic_accounting(self):
+        vms = generate_vms(8, mean_interarrival=2.0, seed=1)
+        cluster = Cluster.paper_all_types(5)
+        result = solve_ilp(vms, cluster)
+        analytic = allocation_cost(result.allocation).total
+        assert result.objective == pytest.approx(analytic, rel=1e-9)
+
+    def test_optimum_lower_bounds_heuristics(self):
+        for seed in range(3):
+            vms = generate_vms(8, mean_interarrival=2.0, seed=seed)
+            cluster = Cluster.paper_all_types(5)
+            optimal = solve_ilp(vms, cluster).objective
+            heuristic = allocation_cost(
+                MinIncrementalEnergy().allocate(vms, cluster)).total
+            ffps = allocation_cost(
+                FirstFitPowerSaving(seed=seed).allocate(vms, cluster)).total
+            assert optimal <= heuristic + 1e-6
+            assert optimal <= ffps + 1e-6
+
+    def test_sleep_vs_active_decision(self):
+        # Two VMs with a long gap: optimum sleeps (alpha=100 < idle*8=400).
+        vms = [make_vm(0, 1, 1, cpu=1.0), make_vm(1, 10, 10, cpu=1.0)]
+        cluster = Cluster.homogeneous(SPEC, 1)
+        result = solve_ilp(vms, cluster)
+        # run 2*5 + busy idle 2*50 + 2 wakes
+        assert result.objective == pytest.approx(10 + 100 + 200)
+
+    def test_short_gap_stays_active(self):
+        vms = [make_vm(0, 1, 1, cpu=1.0), make_vm(1, 3, 3, cpu=1.0)]
+        cluster = Cluster.homogeneous(SPEC, 1)
+        result = solve_ilp(vms, cluster)
+        # run 10 + busy idle 100 + bridge gap idle 50 + 1 wake 100
+        assert result.objective == pytest.approx(10 + 100 + 50 + 100)
+
+    def test_indicator_constraints_do_not_change_optimum(self):
+        vms = generate_vms(6, mean_interarrival=2.0, seed=4)
+        cluster = Cluster.paper_all_types(5)
+        plain = solve_problem(build_problem(vms, cluster))
+        explicit = solve_problem(
+            build_problem(vms, cluster, include_indicator_constraints=True))
+        assert plain.objective == pytest.approx(explicit.objective)
+
+    def test_infeasible_instance_raises(self):
+        # Two simultaneous full-capacity VMs, one server.
+        vms = [make_vm(0, 1, 3, cpu=10.0), make_vm(1, 1, 3, cpu=10.0)]
+        cluster = Cluster.homogeneous(SPEC, 1)
+        with pytest.raises(SolverError):
+            solve_ilp(vms, cluster)
+
+
+class TestRelaxation:
+    def test_lower_bounds_ilp(self):
+        vms = generate_vms(8, mean_interarrival=2.0, seed=2)
+        cluster = Cluster.paper_all_types(5)
+        lb = solve_relaxation(vms, cluster)
+        exact = solve_ilp(vms, cluster)
+        assert lb.lower_bound <= exact.objective + 1e-6
+
+    def test_gap_of(self):
+        vms = [make_vm(0, 1, 2)]
+        cluster = Cluster.homogeneous(SPEC, 1)
+        lb = solve_relaxation(vms, cluster)
+        assert lb.gap_of(lb.lower_bound) == pytest.approx(0.0)
+        assert lb.gap_of(2 * lb.lower_bound) == pytest.approx(1.0)

@@ -1,0 +1,124 @@
+"""End-to-end integration tests across the whole stack.
+
+These check the paper's qualitative claims at reduced scale and the
+cross-model consistency guarantees (ILP == analytic == DES).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.allocators import FirstFitPowerSaving, MinIncrementalEnergy
+from repro.energy.cost import allocation_cost
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.runner import compare_averaged
+from repro.ilp import solve_ilp, solve_relaxation
+from repro.metrics.utilization import utilization_stats
+from repro.model.catalog import SMALL_SERVER_TYPES, STANDARD_VM_TYPES
+from repro.model.cluster import Cluster
+from repro.simulation import SimulationEngine
+from repro.workload.generator import generate_vms
+
+
+class TestPaperClaims:
+    """Reduced-scale versions of the headline results."""
+
+    def test_heuristic_saves_energy_on_average(self):
+        config = ScenarioConfig(n_vms=100, mean_interarrival=6.0,
+                                seeds=(0, 1, 2, 3))
+        result = compare_averaged(config)
+        assert result.reduction.mean > 0.05
+
+    def test_reduction_grows_with_interarrival(self):
+        seeds = (0, 1, 2, 3)
+        light = compare_averaged(ScenarioConfig(
+            n_vms=100, mean_interarrival=8.0, seeds=seeds))
+        heavy = compare_averaged(ScenarioConfig(
+            n_vms=100, mean_interarrival=0.5, seeds=seeds))
+        assert light.reduction.mean > heavy.reduction.mean
+
+    def test_heuristic_improves_utilization(self):
+        config = ScenarioConfig(n_vms=100, mean_interarrival=4.0,
+                                seeds=(0, 1, 2))
+        result = compare_averaged(config)
+        assert result.algorithm_cpu_util.mean > \
+            result.baseline_cpu_util.mean
+
+    def test_heuristic_raises_both_utilizations(self):
+        # Paper Fig. 3: ours improves CPU *and* memory utilisation. (The
+        # paper's stronger "more even" claim does not reproduce under the
+        # reconstructed catalog; see EXPERIMENTS.md, Fig. 3 deviations.)
+        config = ScenarioConfig(n_vms=100, mean_interarrival=2.0,
+                                seeds=(0, 1, 2))
+        result = compare_averaged(config)
+        assert result.algorithm_cpu_util.mean > \
+            result.baseline_cpu_util.mean
+        assert result.algorithm_mem_util.mean > \
+            result.baseline_mem_util.mean
+
+    def test_standard_on_small_servers_beats_ffps(self):
+        config = ScenarioConfig(n_vms=100, mean_interarrival=6.0,
+                                vm_types=STANDARD_VM_TYPES,
+                                server_types=SMALL_SERVER_TYPES,
+                                seeds=(0, 1, 2))
+        result = compare_averaged(config)
+        assert result.reduction.mean > 0.05
+
+    def test_scalability_reduction_stable_in_vm_count(self):
+        # Fig. 2's scalability claim: similar reduction at 60 and 180 VMs.
+        seeds = (0, 1, 2)
+        small = compare_averaged(ScenarioConfig(
+            n_vms=60, mean_interarrival=6.0, seeds=seeds))
+        large = compare_averaged(ScenarioConfig(
+            n_vms=180, mean_interarrival=6.0, seeds=seeds))
+        assert abs(small.reduction.mean - large.reduction.mean) < 0.15
+
+
+class TestCrossModelConsistency:
+    """The three evaluations of a plan's energy must agree."""
+
+    def test_analytic_equals_des_equals_ilp(self):
+        vms = generate_vms(8, mean_interarrival=2.0, seed=3)
+        cluster = Cluster.paper_all_types(5)
+        ilp = solve_ilp(vms, cluster)
+        analytic = allocation_cost(ilp.allocation).total
+        des = SimulationEngine(cluster).replay(ilp.allocation).total_energy
+        assert analytic == pytest.approx(ilp.objective, rel=1e-9)
+        assert des == pytest.approx(analytic, rel=1e-12)
+
+    def test_heuristic_between_optimal_and_lp_bound(self):
+        vms = generate_vms(8, mean_interarrival=2.0, seed=6)
+        cluster = Cluster.paper_all_types(5)
+        lp = solve_relaxation(vms, cluster).lower_bound
+        opt = solve_ilp(vms, cluster).objective
+        heuristic = allocation_cost(
+            MinIncrementalEnergy().allocate(vms, cluster)).total
+        assert lp <= opt + 1e-6
+        assert opt <= heuristic + 1e-6
+
+    def test_full_pipeline_roundtrip(self, tmp_path):
+        # generate -> persist -> reload -> allocate -> account -> simulate
+        from repro.workload.trace import Trace
+
+        vms = generate_vms(40, mean_interarrival=3.0, seed=12)
+        path = tmp_path / "wl.csv"
+        Trace.from_vms(vms).save_csv(path)
+        reloaded = list(Trace.load_csv(path))
+        cluster = Cluster.paper_all_types(20)
+        alloc = MinIncrementalEnergy().allocate(reloaded, cluster)
+        alloc.validate(vms=reloaded)
+        report_total = allocation_cost(alloc).total
+        sim = SimulationEngine(cluster).replay(alloc)
+        assert sim.total_energy == pytest.approx(report_total, rel=1e-12)
+        stats = utilization_stats(alloc)
+        assert 0 < stats.cpu <= 1
+
+    def test_ffps_seeded_reproducibility_across_stack(self):
+        vms = generate_vms(50, mean_interarrival=2.0, seed=1)
+        cluster = Cluster.paper_all_types(25)
+        totals = {
+            allocation_cost(FirstFitPowerSaving(seed=9).allocate(
+                vms, cluster)).total
+            for _ in range(3)
+        }
+        assert len(totals) == 1

@@ -1,0 +1,129 @@
+"""Tests for wake-up latency metrics and warm pools."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.allocators import MinIncrementalEnergy
+from repro.energy.cost import allocation_cost
+from repro.exceptions import ValidationError
+from repro.extensions.warmpool import (
+    evaluate_warm_pool,
+    warm_pool_frontier,
+)
+from repro.metrics.latency import latency_stats, wakeup_latencies
+from repro.model.allocation import Allocation
+from repro.model.cluster import Cluster
+from repro.model.server import ServerSpec
+from repro.workload.generator import generate_vms
+
+from conftest import make_vm
+
+SPEC = ServerSpec("s", cpu_capacity=10.0, memory_capacity=10.0,
+                  p_idle=50.0, p_peak=100.0, transition_time=2.0)
+
+
+class TestWakeupLatencies:
+    def test_first_vm_waits_for_boot(self):
+        cluster = Cluster.homogeneous(SPEC, 1)
+        vm = make_vm(0, 1, 5)
+        plan = Allocation(cluster, {vm: 0})
+        assert wakeup_latencies(plan) == {0: 2.0}
+
+    def test_joining_vm_starts_instantly(self):
+        cluster = Cluster.homogeneous(SPEC, 1)
+        first = make_vm(0, 1, 9)
+        joiner = make_vm(1, 4, 6)
+        plan = Allocation(cluster, {first: 0, joiner: 0})
+        latencies = wakeup_latencies(plan)
+        assert latencies[0] == 2.0
+        assert latencies[1] == 0.0
+
+    def test_vm_after_slept_gap_waits_again(self):
+        cluster = Cluster.homogeneous(SPEC, 1)
+        # 20-unit gap: idle 1000 > alpha 200 -> sleep -> rewake.
+        early = make_vm(0, 1, 1)
+        late = make_vm(1, 22, 22)
+        plan = Allocation(cluster, {early: 0, late: 0})
+        latencies = wakeup_latencies(plan)
+        assert latencies[1] == 2.0
+
+    def test_vm_after_bridged_gap_no_wait(self):
+        cluster = Cluster.homogeneous(SPEC, 1)
+        # 1-unit gap: cheaper to idle through -> no wake, no wait.
+        early = make_vm(0, 1, 2)
+        late = make_vm(1, 4, 5)
+        plan = Allocation(cluster, {early: 0, late: 0})
+        assert wakeup_latencies(plan)[1] == 0.0
+
+    def test_stats(self):
+        cluster = Cluster.homogeneous(SPEC, 1)
+        plan = Allocation(cluster, {make_vm(0, 1, 9): 0,
+                                    make_vm(1, 4, 6): 0})
+        stats = latency_stats(plan)
+        assert stats.total == 2
+        assert stats.affected == 1
+        assert stats.mean == pytest.approx(1.0)
+        assert stats.max == 2.0
+        assert stats.affected_fraction == pytest.approx(0.5)
+
+    def test_empty_plan(self):
+        cluster = Cluster.homogeneous(SPEC, 1)
+        stats = latency_stats(Allocation(cluster, {}))
+        assert stats.total == 0
+        assert stats.affected_fraction == 0.0
+
+
+class TestWarmPool:
+    def plan(self, seed=0):
+        vms = generate_vms(80, mean_interarrival=5.0, seed=seed)
+        cluster = Cluster.paper_all_types(40)
+        return MinIncrementalEnergy().allocate(vms, cluster)
+
+    def test_pool_zero_matches_baseline(self):
+        plan = self.plan()
+        point = evaluate_warm_pool(plan, 0)
+        assert point.energy == pytest.approx(allocation_cost(plan).total)
+        assert point.mean_latency == pytest.approx(
+            latency_stats(plan).mean)
+
+    def test_rejects_negative_pool(self):
+        with pytest.raises(ValidationError):
+            evaluate_warm_pool(self.plan(), -1)
+
+    def test_warming_trades_energy_for_latency(self):
+        plan = self.plan()
+        cold = evaluate_warm_pool(plan, 0)
+        used = len(plan.used_servers())
+        warm = evaluate_warm_pool(plan, used)
+        assert warm.energy >= cold.energy - 1e-9
+        assert warm.mean_latency <= cold.mean_latency + 1e-9
+
+    def test_frontier_is_monotone_in_latency(self):
+        plan = self.plan(seed=3)
+        frontier = warm_pool_frontier(plan)
+        latencies = [p.mean_latency for p in frontier]
+        assert latencies == sorted(latencies, reverse=True)
+
+    def test_frontier_sizes(self):
+        plan = self.plan(seed=1)
+        used = len(plan.used_servers())
+        frontier = warm_pool_frontier(plan)
+        assert [p.pool_size for p in frontier] == list(range(used + 1))
+
+    def test_frontier_rejects_oversized_pool(self):
+        plan = self.plan(seed=2)
+        used = len(plan.used_servers())
+        with pytest.raises(ValidationError):
+            warm_pool_frontier(plan, sizes=[used + 1])
+
+    def test_pool_picks_busiest_servers(self):
+        plan = self.plan(seed=4)
+        point = evaluate_warm_pool(plan, 2)
+        loads = {sid: len(plan.vms_on(sid))
+                 for sid in plan.used_servers()}
+        picked = set(point.warm_servers)
+        max_unpicked = max(
+            (load for sid, load in loads.items() if sid not in picked),
+            default=0)
+        assert all(loads[sid] >= max_unpicked for sid in picked)

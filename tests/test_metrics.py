@@ -1,0 +1,192 @@
+"""Tests for the metrics package: reduction, utilisation, fits, aggregates."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import ValidationError
+from repro.metrics.fitting import (
+    adjusted_r_squared,
+    exponential_fit,
+    linear_fit,
+    logarithmic_fit,
+)
+from repro.metrics.reduction import energy_reduction_ratio
+from repro.metrics.summary import aggregate
+from repro.metrics.utilization import server_profiles, utilization_stats
+from repro.model.allocation import Allocation
+from repro.model.cluster import Cluster
+from repro.model.server import ServerSpec
+
+from conftest import make_vm
+
+SPEC = ServerSpec("s", cpu_capacity=10.0, memory_capacity=20.0,
+                  p_idle=50.0, p_peak=100.0)
+
+
+class TestReduction:
+    def test_basic_ratio(self):
+        assert energy_reduction_ratio(100.0, 80.0) == pytest.approx(0.2)
+
+    def test_negative_when_worse(self):
+        assert energy_reduction_ratio(100.0, 120.0) == pytest.approx(-0.2)
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ValidationError):
+            energy_reduction_ratio(0.0, 10.0)
+
+    @given(st.floats(1.0, 1e6), st.floats(0.0, 1e6))
+    def test_bounded_above_by_one(self, base, cost):
+        assert energy_reduction_ratio(base, cost) <= 1.0
+
+
+class TestUtilization:
+    def test_server_profiles(self):
+        cluster = Cluster.homogeneous(SPEC, 1)
+        vms = [make_vm(0, 1, 3, cpu=4.0, memory=2.0),
+               make_vm(1, 2, 4, cpu=2.0, memory=6.0)]
+        alloc = Allocation(cluster, {v: 0 for v in vms})
+        cpu, mem = server_profiles(alloc, 0)
+        assert list(cpu) == [4.0, 6.0, 6.0, 2.0]
+        assert list(mem) == [2.0, 8.0, 8.0, 6.0]
+
+    def test_profiles_empty_server(self):
+        cluster = Cluster.homogeneous(SPEC, 2)
+        alloc = Allocation(cluster, {make_vm(0, 1, 2): 0})
+        cpu, mem = server_profiles(alloc, 1)
+        assert cpu.size == 0 and mem.size == 0
+
+    def test_nonzero_averaging(self):
+        # cpu profile: [4, 0(gap not counted: profile is within span)] ...
+        cluster = Cluster.homogeneous(SPEC, 1)
+        vms = [make_vm(0, 1, 1, cpu=4.0, memory=4.0),
+               make_vm(1, 3, 3, cpu=8.0, memory=4.0)]
+        alloc = Allocation(cluster, {v: 0 for v in vms})
+        stats = utilization_stats(alloc)
+        # nonzero cpu samples: 4/10 and 8/10 -> mean 0.6; the idle unit at
+        # t=2 is excluded per the paper's definition.
+        assert stats.cpu == pytest.approx(0.6)
+        assert stats.memory == pytest.approx(0.2)
+        assert stats.cpu_samples == 2
+
+    def test_multi_server_pooling(self):
+        cluster = Cluster.homogeneous(SPEC, 2)
+        vms = [make_vm(0, 1, 1, cpu=10.0, memory=20.0),
+               make_vm(1, 1, 1, cpu=5.0, memory=10.0)]
+        alloc = Allocation(cluster, {vms[0]: 0, vms[1]: 1})
+        stats = utilization_stats(alloc)
+        assert stats.cpu == pytest.approx(0.75)
+        assert stats.memory == pytest.approx(0.75)
+
+    def test_empty_allocation(self):
+        cluster = Cluster.homogeneous(SPEC, 1)
+        stats = utilization_stats(Allocation(cluster, {}))
+        assert stats.cpu == 0.0
+        assert stats.memory == 0.0
+        assert stats.cpu_samples == 0
+
+    def test_imbalance(self):
+        cluster = Cluster.homogeneous(SPEC, 1)
+        alloc = Allocation(cluster,
+                           {make_vm(0, 1, 1, cpu=8.0, memory=4.0): 0})
+        stats = utilization_stats(alloc)
+        assert stats.imbalance == pytest.approx(0.8 - 0.2)
+
+
+class TestFits:
+    def test_linear_exact(self):
+        xs = [1, 2, 3, 4, 5]
+        ys = [2 + 3 * x for x in xs]
+        fit = linear_fit(xs, ys)
+        assert fit.params == pytest.approx((2.0, 3.0))
+        assert fit.adj_r_squared == pytest.approx(1.0)
+        assert fit.predict(10) == pytest.approx(32.0)
+
+    def test_logarithmic_exact(self):
+        xs = [1.0, 2.0, 4.0, 8.0]
+        ys = [5 + 2 * math.log(x) for x in xs]
+        fit = logarithmic_fit(xs, ys)
+        assert fit.params == pytest.approx((5.0, 2.0))
+        assert fit.adj_r_squared == pytest.approx(1.0)
+
+    def test_logarithmic_rejects_nonpositive_x(self):
+        with pytest.raises(ValidationError):
+            logarithmic_fit([0.0, 1.0], [1.0, 2.0])
+
+    def test_exponential_recovers_params(self):
+        xs = np.linspace(0, 5, 12)
+        ys = 4.0 * np.exp(-0.8 * xs) + 1.0
+        fit = exponential_fit(list(xs), list(ys))
+        assert fit.adj_r_squared > 0.999
+        assert fit.predict(0.0) == pytest.approx(5.0, rel=1e-3)
+
+    def test_exponential_needs_four_points(self):
+        with pytest.raises(ValidationError):
+            exponential_fit([1, 2, 3], [1, 2, 3])
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValidationError):
+            linear_fit([1, 2], [1, 2, 3])
+
+    def test_too_few_points(self):
+        with pytest.raises(ValidationError):
+            linear_fit([1], [1])
+
+    def test_adjusted_r_squared_penalises(self):
+        y = [1.0, 2.0, 3.0, 4.0, 2.5]
+        predicted = [1.1, 1.9, 3.2, 3.8, 2.6]
+        r2_1, adj_1 = adjusted_r_squared(y, predicted, 1)
+        r2_3, adj_3 = adjusted_r_squared(y, predicted, 3)
+        assert r2_1 == r2_3
+        assert adj_3 < adj_1 <= r2_1
+
+    def test_noisy_linear_reasonable_r2(self):
+        rng = np.random.default_rng(0)
+        xs = np.linspace(0, 10, 30)
+        ys = 1.0 + 2.0 * xs + rng.normal(0, 0.5, 30)
+        fit = linear_fit(list(xs), list(ys))
+        assert fit.adj_r_squared > 0.95
+
+    def test_str(self):
+        fit = linear_fit([1, 2, 3], [1, 2, 3])
+        assert "linear" in str(fit)
+        assert "adjR2" in str(fit)
+
+
+class TestAggregate:
+    def test_single_value(self):
+        agg = aggregate([5.0])
+        assert agg.mean == 5.0
+        assert agg.std == 0.0
+        assert agg.ci_low == agg.ci_high == 5.0
+
+    def test_mean_std(self):
+        agg = aggregate([1.0, 2.0, 3.0])
+        assert agg.mean == pytest.approx(2.0)
+        assert agg.std == pytest.approx(1.0)
+        assert agg.n == 3
+
+    def test_ci_contains_mean(self):
+        agg = aggregate([1.0, 2.0, 3.0, 4.0])
+        assert agg.ci_low < agg.mean < agg.ci_high
+
+    def test_wider_confidence_widens_interval(self):
+        data = [1.0, 2.0, 3.0, 4.0]
+        assert aggregate(data, 0.99).ci_halfwidth > \
+            aggregate(data, 0.9).ci_halfwidth
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            aggregate([])
+
+    @pytest.mark.parametrize("confidence", [0.0, 1.0, -0.5, 2.0])
+    def test_bad_confidence_rejected(self, confidence):
+        with pytest.raises(ValidationError):
+            aggregate([1.0], confidence)
+
+    def test_str(self):
+        assert "n=2" in str(aggregate([1.0, 2.0]))

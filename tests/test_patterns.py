@@ -1,0 +1,125 @@
+"""Tests for the extended workload families."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.model.catalog import STANDARD_VM_TYPES
+from repro.workload.patterns import (
+    BurstyWorkload,
+    DiurnalWorkload,
+    HeavyTailWorkload,
+)
+
+FAMILIES = [
+    BurstyWorkload(burst_interarrival=0.5, calm_interarrival=5.0),
+    DiurnalWorkload(base_interarrival=2.0, period=200.0),
+    HeavyTailWorkload(mean_interarrival=2.0),
+]
+
+
+@pytest.fixture(params=range(len(FAMILIES)),
+                ids=["bursty", "diurnal", "heavy-tail"])
+def family(request):
+    return FAMILIES[request.param]
+
+
+class TestCommon:
+    def test_generates_requested_count(self, family):
+        vms = family.generate(40, rng=0)
+        assert len(vms) == 40
+        assert [vm.vm_id for vm in vms] == list(range(40))
+
+    def test_reproducible(self, family):
+        a = family.generate(30, rng=5)
+        b = family.generate(30, rng=5)
+        assert [(v.start, v.end, v.spec.name) for v in a] == \
+            [(v.start, v.end, v.spec.name) for v in b]
+
+    def test_arrivals_non_decreasing(self, family):
+        vms = family.generate(100, rng=1)
+        starts = [vm.start for vm in vms]
+        assert starts == sorted(starts)
+        assert starts[0] >= 1
+
+    def test_durations_positive(self, family):
+        vms = family.generate(100, rng=2)
+        assert all(vm.duration >= 1 for vm in vms)
+
+
+class TestBursty:
+    def test_rejects_nonpositive_params(self):
+        with pytest.raises(ValidationError):
+            BurstyWorkload(burst_interarrival=0.0, calm_interarrival=5.0)
+        with pytest.raises(ValidationError):
+            BurstyWorkload(burst_interarrival=1.0, calm_interarrival=-1.0)
+        with pytest.raises(ValidationError):
+            BurstyWorkload(burst_interarrival=1.0, calm_interarrival=2.0,
+                           mean_phase_length=0.0)
+
+    def test_rejects_empty_types(self):
+        with pytest.raises(ValidationError):
+            BurstyWorkload(burst_interarrival=1.0, calm_interarrival=2.0,
+                           vm_types=())
+
+    def test_burstier_than_calm_rate(self):
+        # Mean inter-arrival should land between burst and calm means.
+        wl = BurstyWorkload(burst_interarrival=0.5, calm_interarrival=10.0,
+                            mean_phase_length=30.0)
+        vms = wl.generate(3000, rng=3)
+        observed = (vms[-1].start - vms[0].start) / (len(vms) - 1)
+        assert 0.5 < observed < 10.0
+
+
+class TestDiurnal:
+    def test_rejects_bad_amplitude(self):
+        with pytest.raises(ValidationError):
+            DiurnalWorkload(base_interarrival=1.0, amplitude=1.5)
+        with pytest.raises(ValidationError):
+            DiurnalWorkload(base_interarrival=1.0, amplitude=-0.1)
+
+    def test_rejects_nonpositive_period(self):
+        with pytest.raises(ValidationError):
+            DiurnalWorkload(base_interarrival=1.0, period=0.0)
+
+    def test_mean_rate_matches_base(self):
+        wl = DiurnalWorkload(base_interarrival=2.0, period=100.0,
+                             amplitude=0.8)
+        vms = wl.generate(4000, rng=4)
+        observed = (vms[-1].start - vms[0].start) / (len(vms) - 1)
+        assert observed == pytest.approx(2.0, rel=0.15)
+
+    def test_zero_amplitude_is_plain_poisson_rate(self):
+        wl = DiurnalWorkload(base_interarrival=1.5, amplitude=0.0)
+        vms = wl.generate(3000, rng=5)
+        observed = (vms[-1].start - vms[0].start) / (len(vms) - 1)
+        assert observed == pytest.approx(1.5, rel=0.15)
+
+
+class TestHeavyTail:
+    def test_rejects_shape_at_most_one(self):
+        with pytest.raises(ValidationError):
+            HeavyTailWorkload(mean_interarrival=1.0, shape=1.0)
+
+    def test_mean_duration_approximate(self):
+        wl = HeavyTailWorkload(mean_interarrival=1.0, mean_duration=10.0,
+                               shape=2.5)
+        vms = wl.generate(20000, rng=6)
+        observed = sum(vm.duration for vm in vms) / len(vms)
+        assert observed == pytest.approx(10.0, rel=0.25)
+
+    def test_has_heavy_tail(self):
+        # A few durations should far exceed the mean (exponential would
+        # essentially never produce 20x the mean in this sample size).
+        wl = HeavyTailWorkload(mean_interarrival=1.0, mean_duration=5.0,
+                               shape=1.3)
+        vms = wl.generate(5000, rng=7)
+        assert max(vm.duration for vm in vms) > 100
+
+    def test_type_restriction(self):
+        wl = HeavyTailWorkload(mean_interarrival=1.0,
+                               vm_types=STANDARD_VM_TYPES)
+        vms = wl.generate(100, rng=8)
+        assert {vm.spec.name for vm in vms} <= \
+            {s.name for s in STANDARD_VM_TYPES}

@@ -1,0 +1,267 @@
+"""Tests for time-varying (phased) VM demand across the whole stack."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.allocators import MinIncrementalEnergy, make_allocator
+from repro.allocators.state import ServerState
+from repro.energy.cost import allocation_cost
+from repro.energy.power import run_energy
+from repro.exceptions import ValidationError
+from repro.ilp import solve_ilp
+from repro.model.allocation import Allocation
+from repro.model.cluster import Cluster
+from repro.model.intervals import TimeInterval
+from repro.model.phases import (
+    DemandPhase,
+    PhasedVM,
+    demand_at,
+    demand_profile,
+    split_vm,
+)
+from repro.model.server import Server, ServerSpec
+from repro.model.vm import VM, VMSpec
+from repro.metrics.utilization import utilization_stats
+from repro.simulation import SimulationEngine
+from repro.workload.phased import PhasedWorkload
+
+SPEC = ServerSpec("s", cpu_capacity=10.0, memory_capacity=10.0,
+                  p_idle=50.0, p_peak=100.0, transition_time=1.0)
+
+
+def ramp_vm(vm_id=0, start=1):
+    """2 units at 2 cu, then 3 units at 6 cu, then 1 unit at 3 cu."""
+    return PhasedVM.from_phases(vm_id, start, [
+        DemandPhase(2, 2.0, 4.0),
+        DemandPhase(3, 6.0, 4.0),
+        DemandPhase(1, 3.0, 4.0),
+    ])
+
+
+class TestDemandPhase:
+    def test_rejects_zero_duration(self):
+        with pytest.raises(ValidationError):
+            DemandPhase(0, 1.0, 1.0)
+
+    def test_rejects_negative_demand(self):
+        with pytest.raises(ValidationError):
+            DemandPhase(1, -1.0, 1.0)
+
+    def test_rejects_all_zero_demand(self):
+        with pytest.raises(ValidationError):
+            DemandPhase(1, 0.0, 0.0)
+
+    def test_cpu_only_phase_allowed(self):
+        assert DemandPhase(1, 1.0, 0.0).memory == 0.0
+
+
+class TestPhasedVM:
+    def test_from_phases_derives_peak_spec(self):
+        vm = ramp_vm()
+        assert vm.cpu == 6.0       # peak over phases
+        assert vm.memory == 4.0
+        assert vm.duration == 6
+        assert vm.interval == TimeInterval(1, 6)
+
+    def test_phases_must_tile_interval(self):
+        with pytest.raises(ValidationError, match="cover"):
+            PhasedVM(vm_id=0, spec=VMSpec("t", 1.0, 1.0),
+                     interval=TimeInterval(1, 10),
+                     phases=(DemandPhase(3, 1.0, 1.0),))
+
+    def test_spec_must_be_peak(self):
+        with pytest.raises(ValidationError, match="peak"):
+            PhasedVM(vm_id=0, spec=VMSpec("t", 99.0, 1.0),
+                     interval=TimeInterval(1, 2),
+                     phases=(DemandPhase(2, 1.0, 1.0),))
+
+    def test_needs_phases(self):
+        with pytest.raises(ValidationError):
+            PhasedVM(vm_id=0, spec=VMSpec("t", 1.0, 1.0),
+                     interval=TimeInterval(1, 2), phases=())
+
+    def test_cpu_time_integrates_phases(self):
+        # 2*2 + 3*6 + 1*3 = 25
+        assert ramp_vm().cpu_time == 25.0
+
+    def test_demand_at(self):
+        vm = ramp_vm(start=5)
+        assert vm.demand_at(5) == (2.0, 4.0)
+        assert vm.demand_at(6) == (2.0, 4.0)
+        assert vm.demand_at(7) == (6.0, 4.0)
+        assert vm.demand_at(10) == (3.0, 4.0)
+        assert vm.demand_at(11) == (0.0, 0.0)
+
+    def test_demand_profile_pieces(self):
+        pieces = list(demand_profile(ramp_vm()))
+        assert pieces == [
+            (TimeInterval(1, 2), 2.0, 4.0),
+            (TimeInterval(3, 5), 6.0, 4.0),
+            (TimeInterval(6, 6), 3.0, 4.0),
+        ]
+
+    def test_plain_vm_profile_single_piece(self):
+        vm = VM(0, VMSpec("t", 2.0, 3.0), TimeInterval(4, 9))
+        assert list(demand_profile(vm)) == [(TimeInterval(4, 9), 2.0, 3.0)]
+        assert demand_at(vm, 5) == (2.0, 3.0)
+        assert demand_at(vm, 10) == (0.0, 0.0)
+
+
+class TestSplitVM:
+    def test_plain_split(self):
+        vm = VM(0, VMSpec("t", 2.0, 3.0), TimeInterval(1, 10))
+        head, tail = split_vm(vm, 4, 100, 101)
+        assert head.interval == TimeInterval(1, 3)
+        assert tail.interval == TimeInterval(4, 10)
+        assert head.vm_id == 100 and tail.vm_id == 101
+
+    def test_phased_split_preserves_profile(self):
+        vm = ramp_vm()
+        head, tail = split_vm(vm, 4, 100, 101)
+        # Demand at every time unit must be identical pre/post split.
+        for t in range(1, 7):
+            combined = (demand_at(head, t)[0] + demand_at(tail, t)[0],
+                        demand_at(head, t)[1] + demand_at(tail, t)[1])
+            assert combined == vm.demand_at(t)
+        assert head.cpu_time + tail.cpu_time == vm.cpu_time
+
+    def test_split_at_phase_boundary(self):
+        head, tail = split_vm(ramp_vm(), 3, 100, 101)
+        assert isinstance(head, PhasedVM) and len(head.phases) == 1
+        assert len(tail.phases) == 2
+
+    def test_split_outside_rejected(self):
+        vm = ramp_vm()
+        with pytest.raises(ValidationError):
+            split_vm(vm, 1, 100, 101)
+        with pytest.raises(ValidationError):
+            split_vm(vm, 7, 100, 101)
+
+
+class TestRunEnergy:
+    def test_uses_phase_integral(self):
+        # W = P1 * cpu_time = 5 * 25
+        assert run_energy(SPEC, ramp_vm()) == 125.0
+
+    def test_cheaper_than_constant_peak(self):
+        peak_vm = VM(1, VMSpec("t", 6.0, 4.0), TimeInterval(1, 6))
+        assert run_energy(SPEC, ramp_vm()) < run_energy(SPEC, peak_vm)
+
+
+class TestServerStatePhased:
+    def test_fits_uses_per_phase_demand(self):
+        state = ServerState(Server(0, SPEC))
+        state.place(ramp_vm(0))  # cpu profile: 2,2,6,6,6,3
+        # A VM needing 7 cu during [1,2] fits (2+7 <= 10); it would not
+        # fit under the conservative peak interpretation (6+7 > 10).
+        assert state.fits(VM(1, VMSpec("t", 7.0, 5.0), TimeInterval(1, 2)))
+        # But not during the high phase.
+        assert not state.fits(VM(2, VMSpec("t", 7.0, 5.0),
+                                 TimeInterval(3, 4)))
+
+    def test_place_and_remove_roundtrip(self):
+        state = ServerState(Server(0, SPEC))
+        vm = ramp_vm(0)
+        state.place(vm)
+        state.remove(vm)
+        assert state.is_empty
+        assert state.fits(VM(1, VMSpec("t", 10.0, 10.0),
+                             TimeInterval(1, 6)))
+
+    def test_incremental_cost_counts_phase_run_energy(self):
+        state = ServerState(Server(0, SPEC))
+        # run 125 + busy idle 300 + wake 100
+        assert state.incremental_cost(ramp_vm()) == pytest.approx(525.0)
+
+
+class TestAllocationValidatePhased:
+    def test_phase_aware_validation_accepts_staggered(self):
+        cluster = Cluster.homogeneous(SPEC, 1)
+        ramp = ramp_vm(0)
+        filler = VM(1, VMSpec("t", 7.0, 5.0), TimeInterval(1, 2))
+        allocation = Allocation(cluster, {ramp: 0, filler: 0})
+        allocation.validate()  # peak-based checking would reject this
+
+    def test_detects_phase_overload(self):
+        cluster = Cluster.homogeneous(SPEC, 1)
+        ramp = ramp_vm(0)
+        clash = VM(1, VMSpec("t", 5.0, 5.0), TimeInterval(3, 4))
+        allocation = Allocation(cluster, {ramp: 0, clash: 0})
+        assert not allocation.is_valid()
+
+
+class TestUtilizationPhased:
+    def test_profiles_follow_phases(self):
+        cluster = Cluster.homogeneous(SPEC, 1)
+        allocation = Allocation(cluster, {ramp_vm(0): 0})
+        stats = utilization_stats(allocation)
+        # mean over 2,2,6,6,6,3 = 25/6 cu of 10
+        assert stats.cpu == pytest.approx(25 / 60)
+
+
+class TestEndToEndPhased:
+    @pytest.fixture
+    def workload(self):
+        wl = PhasedWorkload(mean_interarrival=2.0, mean_duration=6.0)
+        return wl.generate(30, rng=0)
+
+    def test_generator_invariants(self, workload):
+        assert len(workload) == 30
+        for vm in workload:
+            assert isinstance(vm, PhasedVM)
+            assert sum(p.duration for p in vm.phases) == vm.duration
+            assert max(p.cpu for p in vm.phases) == pytest.approx(vm.cpu)
+
+    def test_allocators_handle_phased(self, workload):
+        cluster = Cluster.paper_all_types(15)
+        for algo in ("min-energy", "ffps", "best-fit"):
+            allocation = make_allocator(algo, seed=0).allocate(
+                workload, cluster)
+            allocation.validate(vms=workload)
+
+    def test_des_matches_analytic_for_phased(self, workload):
+        cluster = Cluster.paper_all_types(15)
+        allocation = MinIncrementalEnergy().allocate(workload, cluster)
+        sim = SimulationEngine(cluster).replay(allocation)
+        assert sim.total_energy == pytest.approx(
+            allocation_cost(allocation).total, rel=1e-9)
+
+    def test_ilp_handles_phased(self):
+        wl = PhasedWorkload(mean_interarrival=2.0, mean_duration=4.0)
+        vms = wl.generate(6, rng=3)
+        cluster = Cluster.paper_all_types(5)
+        result = solve_ilp(vms, cluster)
+        assert result.objective == pytest.approx(
+            allocation_cost(result.allocation).total, rel=1e-9)
+        heuristic = allocation_cost(
+            MinIncrementalEnergy().allocate(vms, cluster)).total
+        assert result.objective <= heuristic + 1e-6
+
+    def test_phased_never_costlier_than_peak_equivalent(self, workload):
+        # Replacing each phased VM by its constant-peak twin can only
+        # increase the optimal-for-the-heuristic energy.
+        cluster = Cluster.paper_all_types(15)
+        phased_cost = allocation_cost(
+            MinIncrementalEnergy().allocate(workload, cluster)).total
+        peaked = [VM(vm.vm_id, vm.spec, vm.interval) for vm in workload]
+        peak_cost = allocation_cost(
+            MinIncrementalEnergy().allocate(peaked, cluster)).total
+        assert phased_cost <= peak_cost + 1e-6
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_property_stack_consistency(self, seed):
+        from repro.model.catalog import STANDARD_VM_TYPES
+
+        # standard types fit every server, so any draw is feasible
+        wl = PhasedWorkload(mean_interarrival=2.0, mean_duration=5.0,
+                            vm_types=STANDARD_VM_TYPES)
+        vms = wl.generate(15, rng=seed)
+        cluster = Cluster.paper_all_types(8)
+        allocation = MinIncrementalEnergy().allocate(vms, cluster)
+        allocation.validate(vms=vms)
+        sim = SimulationEngine(cluster).replay(allocation)
+        assert sim.total_energy == pytest.approx(
+            allocation_cost(allocation).total, rel=1e-9)

@@ -1,0 +1,67 @@
+"""Tests for the power model and per-VM run energy (Eqs. 1-3)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.energy.power import AffinePowerModel, run_energy
+from repro.exceptions import ValidationError
+from repro.model.server import ServerSpec
+
+from conftest import make_vm
+
+
+SPEC = ServerSpec("s", cpu_capacity=10.0, memory_capacity=10.0,
+                  p_idle=50.0, p_peak=100.0)
+
+
+class TestAffinePowerModel:
+    def test_active_power_delegates_to_spec(self):
+        model = AffinePowerModel()
+        assert model.active_power(SPEC, 0.0) == 50.0
+        assert model.active_power(SPEC, 10.0) == 100.0
+        assert model.active_power(SPEC, 4.0) == 70.0
+
+    def test_idle_power(self):
+        assert AffinePowerModel().idle_power(SPEC) == 50.0
+
+
+class TestRunEnergy:
+    def test_w_ij_formula(self):
+        # W = P1 * cpu * duration = 5 * 2 * 3
+        vm = make_vm(0, 1, 3, cpu=2.0)
+        assert run_energy(SPEC, vm) == 30.0
+
+    def test_single_time_unit(self):
+        vm = make_vm(0, 5, 5, cpu=4.0)
+        assert run_energy(SPEC, vm) == 20.0
+
+    def test_rejects_vm_that_never_fits_cpu(self):
+        with pytest.raises(ValidationError):
+            run_energy(SPEC, make_vm(0, 1, 2, cpu=11.0))
+
+    def test_rejects_vm_that_never_fits_memory(self):
+        with pytest.raises(ValidationError):
+            run_energy(SPEC, make_vm(0, 1, 2, memory=11.0))
+
+    def test_zero_marginal_power_server(self):
+        flat = ServerSpec("flat", cpu_capacity=10.0, memory_capacity=10.0,
+                          p_idle=80.0, p_peak=80.0)
+        assert run_energy(flat, make_vm(0, 1, 9, cpu=5.0)) == 0.0
+
+    @given(st.floats(0.1, 10.0), st.integers(1, 50))
+    def test_energy_scales_linearly(self, cpu, duration):
+        vm = make_vm(0, 1, duration, cpu=cpu)
+        expected = SPEC.power_per_cpu_unit * cpu * duration
+        assert run_energy(SPEC, vm) == pytest.approx(expected)
+
+    def test_separability(self):
+        # With the affine model, VM energies add up independently of
+        # co-location: W(v1) + W(v2) equals the integral of the marginal
+        # power with both resident.
+        v1 = make_vm(0, 1, 4, cpu=3.0)
+        v2 = make_vm(1, 1, 4, cpu=4.0)
+        both = (SPEC.power_at_load(7.0) - SPEC.p_idle) * 4
+        assert run_energy(SPEC, v1) + run_energy(SPEC, v2) == \
+            pytest.approx(both)

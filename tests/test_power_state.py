@@ -1,0 +1,116 @@
+"""Tests for the server power-state machine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.model.server import Server, ServerSpec
+from repro.simulation.power_state import PowerState, ServerMachine
+
+SPEC = ServerSpec("s", cpu_capacity=10.0, memory_capacity=10.0,
+                  p_idle=50.0, p_peak=100.0, transition_time=2.0)
+
+
+def machine() -> ServerMachine:
+    return ServerMachine(Server(0, SPEC))
+
+
+class TestTransitions:
+    def test_initial_state_is_power_saving(self):
+        assert machine().state is PowerState.POWER_SAVING
+
+    def test_wake_activates_and_charges_alpha(self):
+        m = machine()
+        m.wake()
+        assert m.state is PowerState.ACTIVE
+        assert m.transitions == 1
+        assert m.transition_energy == 200.0  # peak * transition_time
+
+    def test_wake_twice_raises(self):
+        m = machine()
+        m.wake()
+        with pytest.raises(SimulationError):
+            m.wake()
+
+    def test_sleep_requires_active(self):
+        with pytest.raises(SimulationError):
+            machine().sleep()
+
+    def test_sleep_requires_no_residents(self):
+        m = machine()
+        m.wake()
+        m.start_vm(0, 1.0, 1.0)
+        with pytest.raises(SimulationError):
+            m.sleep()
+
+    def test_wake_sleep_cycle_accumulates(self):
+        m = machine()
+        m.wake()
+        m.sleep()
+        m.wake()
+        assert m.transitions == 2
+        assert m.transition_energy == 400.0
+
+
+class TestVMLifecycle:
+    def test_start_requires_active(self):
+        with pytest.raises(SimulationError):
+            machine().start_vm(0, 1.0, 1.0)
+
+    def test_start_twice_raises(self):
+        m = machine()
+        m.wake()
+        m.start_vm(0, 1.0, 1.0)
+        with pytest.raises(SimulationError):
+            m.start_vm(0, 1.0, 1.0)
+
+    def test_cpu_overcommit_raises(self):
+        m = machine()
+        m.wake()
+        m.start_vm(0, 6.0, 1.0)
+        with pytest.raises(SimulationError, match="CPU"):
+            m.start_vm(1, 5.0, 1.0)
+
+    def test_memory_overcommit_raises(self):
+        m = machine()
+        m.wake()
+        m.start_vm(0, 1.0, 6.0)
+        with pytest.raises(SimulationError, match="memory"):
+            m.start_vm(1, 1.0, 5.0)
+
+    def test_end_unknown_vm_raises(self):
+        m = machine()
+        m.wake()
+        with pytest.raises(SimulationError):
+            m.end_vm(0, 1.0, 1.0)
+
+    def test_end_releases_resources(self):
+        m = machine()
+        m.wake()
+        m.start_vm(0, 4.0, 3.0)
+        m.end_vm(0, 4.0, 3.0)
+        assert m.resident_cpu == 0.0
+        assert m.resident_mem == 0.0
+        m.sleep()  # now legal
+
+
+class TestPowerDraw:
+    def test_sleeping_draws_zero(self):
+        assert machine().power_draw() == 0.0
+
+    def test_active_idle_draw(self):
+        m = machine()
+        m.wake()
+        assert m.power_draw() == 50.0
+
+    def test_active_loaded_draw(self):
+        m = machine()
+        m.wake()
+        m.start_vm(0, 5.0, 1.0)
+        assert m.power_draw() == 75.0  # affine midpoint
+
+    def test_transitioning_draws_peak(self):
+        m = machine()
+        m.state = PowerState.TRANSITIONING
+        assert m.power_draw() == 100.0

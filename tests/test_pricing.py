@@ -1,0 +1,111 @@
+"""Tests for electricity tariffs and monetary cost."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.allocators import MinIncrementalEnergy
+from repro.energy.cost import allocation_cost
+from repro.energy.pricing import (
+    FlatTariff,
+    TimeOfUseTariff,
+    monetary_cost,
+)
+from repro.exceptions import ValidationError
+from repro.model.allocation import Allocation
+from repro.model.cluster import Cluster
+from repro.model.server import ServerSpec
+from repro.workload.generator import generate_vms
+
+from conftest import make_vm
+
+SPEC = ServerSpec("s", cpu_capacity=10.0, memory_capacity=10.0,
+                  p_idle=50.0, p_peak=100.0, transition_time=1.0)
+
+
+class TestFlatTariff:
+    def test_constant_price(self):
+        tariff = FlatTariff(0.5)
+        assert tariff.price_at(1) == 0.5
+        assert tariff.price_at(9999) == 0.5
+
+    def test_prices_vector(self):
+        assert list(FlatTariff(2.0).prices(3)) == [2.0, 2.0, 2.0]
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            FlatTariff(-0.1)
+
+
+class TestTimeOfUseTariff:
+    TARIFF = TimeOfUseTariff(peak_price=2.0, offpeak_price=1.0,
+                             peak_start=5, peak_end=8, period=10)
+
+    def test_window_pricing(self):
+        assert self.TARIFF.price_at(4) == 1.0
+        assert self.TARIFF.price_at(5) == 2.0
+        assert self.TARIFF.price_at(8) == 2.0
+        assert self.TARIFF.price_at(9) == 1.0
+
+    def test_periodic(self):
+        assert self.TARIFF.price_at(15) == 2.0   # 15 -> phase 5
+        assert self.TARIFF.price_at(11) == 1.0
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValidationError):
+            TimeOfUseTariff(1.0, 1.0, peak_start=8, peak_end=5, period=10)
+        with pytest.raises(ValidationError):
+            TimeOfUseTariff(1.0, 1.0, peak_start=1, peak_end=20, period=10)
+
+    def test_rejects_nonpositive_time(self):
+        with pytest.raises(ValidationError):
+            self.TARIFF.price_at(0)
+
+
+class TestMonetaryCost:
+    def test_flat_unit_price_equals_energy(self):
+        vms = generate_vms(30, mean_interarrival=3.0, seed=0)
+        cluster = Cluster.paper_all_types(15)
+        plan = MinIncrementalEnergy().allocate(vms, cluster)
+        bill = monetary_cost(plan, FlatTariff(1.0))
+        assert bill == pytest.approx(allocation_cost(plan).total,
+                                     rel=1e-9)
+
+    def test_flat_price_scales_linearly(self):
+        vms = generate_vms(20, mean_interarrival=3.0, seed=1)
+        cluster = Cluster.paper_all_types(10)
+        plan = MinIncrementalEnergy().allocate(vms, cluster)
+        assert monetary_cost(plan, FlatTariff(2.0)) == pytest.approx(
+            2 * monetary_cost(plan, FlatTariff(1.0)))
+
+    def test_peak_load_costs_more(self):
+        cluster = Cluster.homogeneous(SPEC, 1)
+        tariff = TimeOfUseTariff(peak_price=3.0, offpeak_price=1.0,
+                                 peak_start=1, peak_end=10, period=20)
+        on_peak = Allocation(cluster, {make_vm(0, 1, 5, cpu=2.0): 0})
+        off_peak = Allocation(cluster, {make_vm(0, 11, 15, cpu=2.0): 0})
+        assert monetary_cost(on_peak, tariff) > \
+            monetary_cost(off_peak, tariff)
+
+    def test_same_energy_different_bills(self):
+        # The effect pure energy metrics hide.
+        cluster = Cluster.homogeneous(SPEC, 1)
+        tariff = TimeOfUseTariff(peak_price=3.0, offpeak_price=1.0,
+                                 peak_start=1, peak_end=10, period=20)
+        peak_plan = Allocation(cluster, {make_vm(0, 1, 5, cpu=2.0): 0})
+        off_plan = Allocation(cluster, {make_vm(0, 11, 15, cpu=2.0): 0})
+        assert allocation_cost(peak_plan).total == \
+            allocation_cost(off_plan).total
+        assert monetary_cost(peak_plan, tariff) != \
+            monetary_cost(off_plan, tariff)
+
+    def test_telemetry_input(self):
+        from repro.simulation import SimulationEngine
+
+        vms = generate_vms(15, mean_interarrival=3.0, seed=2)
+        cluster = Cluster.paper_all_types(8)
+        plan = MinIncrementalEnergy().allocate(vms, cluster)
+        telemetry = SimulationEngine(cluster).replay(plan).telemetry
+        # Telemetry path bills busy power only (no wake lookup possible).
+        busy_bill = monetary_cost(telemetry, FlatTariff(1.0))
+        assert busy_bill == pytest.approx(telemetry.total_energy)

@@ -1,0 +1,84 @@
+"""Tests for the top-level public API surface."""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.{name} missing"
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_key_classes_exposed(self):
+        for name in ("MinIncrementalEnergy", "FirstFitPowerSaving",
+                     "Cluster", "VM", "Allocation", "SimulationEngine",
+                     "Trace", "ScenarioConfig"):
+            assert name in repro.__all__
+
+    def test_key_functions_exposed(self):
+        for name in ("generate_vms", "allocation_cost", "energy_report",
+                     "solve_ilp", "solve_relaxation",
+                     "energy_reduction_ratio", "utilization_stats",
+                     "compare_averaged", "make_allocator"):
+            assert name in repro.__all__
+
+    def test_subpackages_importable(self):
+        for module in ("repro.model", "repro.energy", "repro.allocators",
+                       "repro.ilp", "repro.simulation", "repro.workload",
+                       "repro.metrics", "repro.experiments", "repro.cli"):
+            importlib.import_module(module)
+
+
+class TestDocstrings:
+    def test_package_docstring_names_the_paper(self):
+        assert "ICDCS" in repro.__doc__
+
+    @pytest.mark.parametrize("module_name", [
+        "repro.model.intervals", "repro.model.vm", "repro.model.server",
+        "repro.model.catalog", "repro.model.cluster",
+        "repro.model.allocation", "repro.energy.power",
+        "repro.energy.segments", "repro.energy.cost",
+        "repro.energy.accounting", "repro.allocators.base",
+        "repro.allocators.state", "repro.allocators.min_energy",
+        "repro.allocators.ffps", "repro.ilp.formulation",
+        "repro.ilp.solver", "repro.ilp.relaxation",
+        "repro.simulation.engine", "repro.simulation.events",
+        "repro.simulation.power_state", "repro.simulation.telemetry",
+        "repro.workload.generator", "repro.workload.patterns",
+        "repro.workload.trace", "repro.metrics.fitting",
+        "repro.metrics.reduction", "repro.metrics.summary",
+        "repro.metrics.utilization", "repro.experiments.config",
+        "repro.experiments.runner", "repro.experiments.figures",
+        "repro.experiments.tables", "repro.cli",
+        "repro.model.phases", "repro.model.constraints",
+        "repro.energy.pricing", "repro.energy.timeout",
+        "repro.simulation.failures", "repro.simulation.admission",
+        "repro.workload.phased", "repro.workload.transforms",
+        "repro.workload.characterize",
+        "repro.metrics.significance", "repro.metrics.latency",
+        "repro.analysis.conflicts", "repro.analysis.bounds",
+        "repro.analysis.sizing", "repro.analysis.diagnostics",
+        "repro.ilp.receding",
+        "repro.experiments.sensitivity", "repro.experiments.export",
+        "repro.experiments.report", "repro.experiments.scaling",
+        "repro.extensions.consolidation", "repro.extensions.offline",
+        "repro.extensions.cost_terms", "repro.extensions.robustness",
+        "repro.extensions.warmpool",
+    ])
+    def test_every_module_documented(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module.__doc__ and len(module.__doc__.strip()) > 20
+
+    def test_public_classes_documented(self):
+        for name in repro.__all__:
+            obj = getattr(repro, name)
+            if isinstance(obj, type):
+                assert obj.__doc__, f"{name} lacks a docstring"

@@ -1,0 +1,93 @@
+"""Tests for the receding-horizon exact solver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.allocators import make_allocator
+from repro.energy.cost import allocation_cost
+from repro.exceptions import ValidationError
+from repro.ilp import RecedingHorizonSolver, solve_ilp
+from repro.model.cluster import Cluster
+from repro.model.catalog import STANDARD_VM_TYPES
+from repro.workload.generator import PoissonWorkload, generate_vms
+
+
+def small_instance(seed: int, count: int = 10):
+    wl = PoissonWorkload(mean_interarrival=2.0, mean_duration=5.0,
+                         vm_types=STANDARD_VM_TYPES)
+    return wl.generate(count, rng=seed), Cluster.paper_all_types(4)
+
+
+class TestValidation:
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValidationError):
+            RecedingHorizonSolver(window_length=0)
+
+    def test_rejects_empty_workload(self):
+        cluster = Cluster.paper_all_types(2)
+        with pytest.raises(ValidationError):
+            RecedingHorizonSolver().allocate([], cluster)
+
+
+class TestOptimality:
+    def test_giant_window_equals_exact(self):
+        vms, cluster = small_instance(seed=0)
+        exact = solve_ilp(vms, cluster)
+        receding = RecedingHorizonSolver(
+            window_length=100_000).allocate(vms, cluster)
+        assert receding.windows == 1
+        assert receding.total_energy == pytest.approx(exact.objective,
+                                                      rel=1e-9)
+
+    @pytest.mark.parametrize("window", [5, 10, 20])
+    def test_never_below_optimum(self, window):
+        vms, cluster = small_instance(seed=1)
+        exact = solve_ilp(vms, cluster)
+        receding = RecedingHorizonSolver(
+            window_length=window).allocate(vms, cluster)
+        assert receding.total_energy >= exact.objective - 1e-6
+
+    def test_windows_counted(self):
+        vms, cluster = small_instance(seed=2, count=12)
+        span = max(v.start for v in vms) - min(v.start for v in vms)
+        window = max(2, span // 3)
+        result = RecedingHorizonSolver(
+            window_length=window).allocate(vms, cluster)
+        assert result.windows >= 2
+
+
+class TestPlanQuality:
+    def test_valid_allocation(self):
+        vms, cluster = small_instance(seed=3, count=15)
+        result = RecedingHorizonSolver(
+            window_length=10).allocate(vms, cluster)
+        result.allocation.validate(vms=vms)
+        assert len(result.allocation) == 15
+
+    def test_energy_matches_analytic_accounting(self):
+        vms, cluster = small_instance(seed=4)
+        result = RecedingHorizonSolver(
+            window_length=8).allocate(vms, cluster)
+        assert result.total_energy == pytest.approx(
+            allocation_cost(result.allocation).total, rel=1e-12)
+
+    def test_competitive_with_heuristic_on_average(self):
+        wins = 0
+        total = 4
+        for seed in range(total):
+            vms, cluster = small_instance(seed=seed, count=12)
+            receding = RecedingHorizonSolver(
+                window_length=15).allocate(vms, cluster)
+            heuristic = allocation_cost(
+                make_allocator("min-energy").allocate(vms, cluster)).total
+            if receding.total_energy <= heuristic + 1e-6:
+                wins += 1
+        assert wins >= total - 1  # allowed one stitching-artefact loss
+
+    def test_mixed_vm_types_with_full_fleet(self):
+        vms = generate_vms(12, mean_interarrival=2.0, seed=5)
+        cluster = Cluster.paper_all_types(5)
+        result = RecedingHorizonSolver(
+            window_length=10).allocate(vms, cluster)
+        result.allocation.validate(vms=vms)

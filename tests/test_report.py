@@ -1,0 +1,62 @@
+"""Tests for the markdown report generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.exceptions import ValidationError
+from repro.experiments.report import SECTIONS, build_report, write_report
+
+
+class TestBuildReport:
+    def test_tables_always_present(self):
+        text = build_report(sections=[], quick=True)
+        assert "Table I" in text
+        assert "Table II" in text
+        assert "standard-4" in text
+        assert "type5" in text
+
+    def test_selected_sections_only(self):
+        text = build_report(sections=["fig3"], quick=True)
+        assert "Fig. 3" in text
+        assert "Fig. 5" not in text
+        assert "ours cpu %" in text
+
+    def test_unknown_section_rejected(self):
+        with pytest.raises(ValidationError, match="unknown report"):
+            build_report(sections=["fig99"])
+
+    def test_quick_flag_mentioned(self):
+        assert "quick grids" in build_report(sections=[], quick=True)
+        assert "paper-scale" in build_report(sections=[], quick=False)
+
+    def test_all_sections_registered(self):
+        assert set(SECTIONS) >= {"fig2", "fig9", "zoo", "ilp-gap"}
+
+    def test_ablation_section(self):
+        text = build_report(sections=["ilp-gap"], quick=True)
+        assert "optimality gap" in text
+        assert "optimal" in text
+
+
+class TestWriteReport:
+    def test_writes_file(self, tmp_path):
+        path = tmp_path / "report.md"
+        size = write_report(path, sections=["fig3"], quick=True)
+        assert path.exists()
+        assert size == len(path.read_bytes())
+
+    def test_cli_command(self, tmp_path, capsys):
+        path = tmp_path / "r.md"
+        code = main(["report", "--out", str(path), "--quick",
+                     "--sections", "fig3"])
+        assert code == 0
+        assert "wrote" in capsys.readouterr().out
+        assert "Fig. 3" in path.read_text()
+
+    def test_cli_rejects_unknown_section(self, tmp_path, capsys):
+        code = main(["report", "--out", str(tmp_path / "r.md"),
+                     "--sections", "nope"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,64 @@
+"""Tests for the scaling study and the audit CLI command."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.exceptions import ValidationError
+from repro.experiments.scaling import measure_scaling
+
+
+class TestMeasureScaling:
+    def test_points_and_fit(self):
+        study = measure_scaling([20, 40, 80], repeats=1)
+        assert [p.n_vms for p in study.points] == [20, 40, 80]
+        assert all(p.seconds > 0 for p in study.points)
+        assert study.algorithm == "min-energy"
+        # sane exponent band for any of the registered algorithms
+        assert -1.0 < study.exponent < 4.0
+
+    def test_needs_two_sizes(self):
+        with pytest.raises(ValidationError):
+            measure_scaling([50])
+
+    def test_rejects_zero_repeats(self):
+        with pytest.raises(ValidationError):
+            measure_scaling([20, 40], repeats=0)
+
+    def test_other_algorithm(self):
+        study = measure_scaling([20, 40], algorithm="ffps", repeats=1)
+        assert study.algorithm == "ffps"
+
+    def test_format(self):
+        study = measure_scaling([20, 40], repeats=1)
+        out = study.format()
+        assert "empirical exponent" in out
+        assert "ms" in out
+
+    def test_larger_instances_take_longer(self):
+        study = measure_scaling([30, 300], repeats=2)
+        assert study.points[-1].seconds > study.points[0].seconds
+
+
+class TestAuditCommand:
+    def test_generated_workload(self, capsys):
+        code = main(["audit", "--vms", "40", "--interarrival", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "workload characterisation" in out
+        assert "stranded capacity" in out
+        assert "wake-up waits" in out
+        assert "lower bound" in out
+
+    def test_from_trace(self, tmp_path, capsys):
+        trace = tmp_path / "t.csv"
+        assert main(["trace", "--vms", "20", "--out", str(trace)]) == 0
+        capsys.readouterr()
+        assert main(["audit", "--trace", str(trace)]) == 0
+        assert "20" in capsys.readouterr().out
+
+    def test_custom_algorithm(self, capsys):
+        code = main(["audit", "--vms", "30", "--algorithm", "ffps"])
+        assert code == 0
+        assert "ffps" in capsys.readouterr().out

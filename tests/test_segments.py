@@ -1,0 +1,104 @@
+"""Tests for busy/idle segment decomposition (paper Fig. 1)."""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.energy.segments import (
+    busy_segments,
+    idle_segments,
+    timeline_of,
+)
+from repro.model.intervals import TimeInterval
+
+from conftest import make_vm
+
+
+def vms_strategy():
+    return st.lists(
+        st.tuples(st.integers(1, 60), st.integers(0, 15)),
+        min_size=0, max_size=15,
+    ).map(lambda pairs: [make_vm(i, s, s + d)
+                         for i, (s, d) in enumerate(pairs)])
+
+
+class TestBusySegments:
+    def test_empty(self):
+        assert busy_segments([]) == []
+
+    def test_single_vm(self):
+        assert busy_segments([make_vm(0, 2, 5)]) == [TimeInterval(2, 5)]
+
+    def test_overlapping_vms_merge(self):
+        vms = [make_vm(0, 1, 4), make_vm(1, 3, 8)]
+        assert busy_segments(vms) == [TimeInterval(1, 8)]
+
+    def test_back_to_back_vms_form_one_segment(self):
+        # v1 ends at t=3, v2 starts at t=4: no idle unit between them.
+        vms = [make_vm(0, 1, 3), make_vm(1, 4, 6)]
+        assert busy_segments(vms) == [TimeInterval(1, 6)]
+
+    def test_gap_separates_segments(self):
+        vms = [make_vm(0, 1, 3), make_vm(1, 5, 6)]
+        assert busy_segments(vms) == [TimeInterval(1, 3), TimeInterval(5, 6)]
+
+
+class TestIdleSegments:
+    def test_no_idle_for_single_vm(self):
+        assert idle_segments([make_vm(0, 1, 5)]) == []
+
+    def test_single_gap(self):
+        vms = [make_vm(0, 1, 3), make_vm(1, 7, 9)]
+        assert idle_segments(vms) == [TimeInterval(4, 6)]
+
+    def test_multiple_gaps(self):
+        vms = [make_vm(0, 1, 2), make_vm(1, 5, 6), make_vm(2, 10, 11)]
+        assert idle_segments(vms) == [TimeInterval(3, 4), TimeInterval(7, 9)]
+
+
+class TestTimeline:
+    def test_alternation(self):
+        vms = [make_vm(0, 1, 2), make_vm(1, 5, 6)]
+        tl = timeline_of(vms)
+        assert tl.busy == (TimeInterval(1, 2), TimeInterval(5, 6))
+        assert tl.idle == (TimeInterval(3, 4),)
+        assert tl.busy_length == 4
+        assert tl.idle_length == 2
+        assert tl.span == TimeInterval(1, 6)
+
+    def test_empty_timeline(self):
+        tl = timeline_of([])
+        assert tl.busy == ()
+        assert tl.span is None
+        assert tl.busy_length == 0
+
+    def test_is_busy_is_idle(self):
+        tl = timeline_of([make_vm(0, 1, 2), make_vm(1, 5, 6)])
+        assert tl.is_busy_at(1)
+        assert tl.is_idle_at(3)
+        assert not tl.is_busy_at(3)
+        assert not tl.is_idle_at(7)  # outside the span
+
+    @given(vms_strategy())
+    def test_busy_plus_idle_covers_span(self, vms):
+        tl = timeline_of(vms)
+        if tl.span is None:
+            assert not vms
+            return
+        assert tl.busy_length + tl.idle_length == tl.span.length
+
+    @given(vms_strategy())
+    def test_every_vm_unit_is_busy(self, vms):
+        tl = timeline_of(vms)
+        for vm in vms:
+            for t in vm.interval.times():
+                assert tl.is_busy_at(t)
+
+    @given(vms_strategy())
+    def test_busy_and_idle_strictly_alternate(self, vms):
+        tl = timeline_of(vms)
+        assert len(tl.idle) == max(0, len(tl.busy) - 1)
+        for busy, idle in zip(tl.busy, tl.idle):
+            assert idle.start == busy.end + 1
+        for idle, busy in zip(tl.idle, tl.busy[1:]):
+            assert busy.start == idle.end + 1

@@ -1,0 +1,100 @@
+"""Tests for the sensitivity-sweep harness and the new CLI commands."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.exceptions import ValidationError
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.sensitivity import sensitivity_sweep
+
+
+class TestSensitivitySweep:
+    BASE = ScenarioConfig(n_vms=40, mean_interarrival=3.0, seeds=(0, 1))
+
+    def test_point_per_value(self):
+        result = sensitivity_sweep(self.BASE, "mean_interarrival",
+                                   (1.0, 6.0))
+        assert [p.value for p in result.points] == [1.0, 6.0]
+        assert result.field == "mean_interarrival"
+
+    def test_significance_attached(self):
+        result = sensitivity_sweep(self.BASE, "mean_duration", (5.0,))
+        point = result.points[0]
+        assert 0.0 <= point.test.p_value <= 1.0
+        assert point.test.n == 2
+
+    def test_single_seed_degenerate_significance(self):
+        base = self.BASE.with_(seeds=(0,))
+        result = sensitivity_sweep(base, "mean_duration", (5.0,))
+        assert result.points[0].test.p_value == 1.0
+
+    def test_n_vms_cast_to_int(self):
+        result = sensitivity_sweep(self.BASE, "n_vms", (30.0,))
+        assert result.points[0].value == 30.0
+
+    def test_rejects_unknown_field(self):
+        with pytest.raises(ValidationError, match="cannot sweep"):
+            sensitivity_sweep(self.BASE, "vm_types", (1.0,))
+
+    def test_rejects_empty_values(self):
+        with pytest.raises(ValidationError):
+            sensitivity_sweep(self.BASE, "mean_duration", ())
+
+    def test_format(self):
+        result = sensitivity_sweep(self.BASE, "mean_duration", (5.0,))
+        out = result.format()
+        assert "reduction %" in out
+        assert "p-value" in out
+
+    def test_custom_algorithm(self):
+        result = sensitivity_sweep(self.BASE, "mean_duration", (5.0,),
+                                   algorithm="best-fit")
+        assert result.algorithm == "best-fit"
+
+
+class TestAnalyzeCommand:
+    def test_generated_workload(self, capsys):
+        assert main(["analyze", "--vms", "30", "--interarrival", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "max concurrent" in out
+        assert "energy lower bound" in out
+
+    def test_from_trace_file(self, tmp_path, capsys):
+        trace = tmp_path / "t.csv"
+        assert main(["trace", "--vms", "15", "--out", str(trace)]) == 0
+        capsys.readouterr()
+        assert main(["analyze", "--trace", str(trace)]) == 0
+        assert "15 VMs" in capsys.readouterr().out
+
+    def test_explicit_fleet_size(self, capsys):
+        assert main(["analyze", "--vms", "20", "--servers", "7"]) == 0
+        assert "7 servers" in capsys.readouterr().out
+
+
+class TestSweepCommand:
+    def test_basic(self, capsys):
+        code = main(["sweep", "--field", "mean_interarrival",
+                     "--values", "2", "6", "--vms", "30",
+                     "--seeds", "0", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mean_interarrival" in out
+        assert "significant" in out
+
+
+class TestSolveCommand:
+    def test_exact(self, capsys):
+        code = main(["solve", "--vms", "6", "--servers", "5",
+                     "--seed", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "exact ILP" in out
+        assert "heuristic" in out
+
+    def test_receding(self, capsys):
+        code = main(["solve", "--vms", "8", "--servers", "5",
+                     "--window", "10"])
+        assert code == 0
+        assert "receding horizon" in capsys.readouterr().out

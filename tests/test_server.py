@@ -1,0 +1,123 @@
+"""Tests for server specs: validation, power model, transitions."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import ValidationError
+from repro.model.server import Server, ServerSpec
+
+
+def spec(name="s", cpu=10.0, mem=10.0, idle=50.0, peak=100.0, trans=1.0):
+    return ServerSpec(name, cpu_capacity=cpu, memory_capacity=mem,
+                      p_idle=idle, p_peak=peak, transition_time=trans)
+
+
+class TestServerSpecValidation:
+    def test_valid(self):
+        assert spec().cpu_capacity == 10.0
+
+    @pytest.mark.parametrize("cpu", [0.0, -5.0])
+    def test_rejects_nonpositive_cpu(self, cpu):
+        with pytest.raises(ValidationError):
+            spec(cpu=cpu)
+
+    @pytest.mark.parametrize("mem", [0.0, -1.0])
+    def test_rejects_nonpositive_memory(self, mem):
+        with pytest.raises(ValidationError):
+            spec(mem=mem)
+
+    def test_rejects_negative_idle(self):
+        with pytest.raises(ValidationError):
+            spec(idle=-1.0)
+
+    def test_rejects_peak_below_idle(self):
+        with pytest.raises(ValidationError):
+            spec(idle=100.0, peak=50.0)
+
+    def test_rejects_negative_transition(self):
+        with pytest.raises(ValidationError):
+            spec(trans=-0.5)
+
+    def test_peak_equal_idle_allowed(self):
+        # A fully power-unproportional server: legal (P^1 = 0).
+        s = spec(idle=80.0, peak=80.0)
+        assert s.power_per_cpu_unit == 0.0
+
+
+class TestPowerModel:
+    def test_idle_at_zero_load(self):
+        assert spec().power_at_load(0.0) == 50.0
+
+    def test_peak_at_full_load(self):
+        assert spec().power_at_load(10.0) == 100.0
+
+    def test_affine_midpoint(self):
+        # Eq. 1: P(0.5) = idle + 0.5 * (peak - idle)
+        assert spec().power_at_load(5.0) == 75.0
+
+    def test_power_per_cpu_unit(self):
+        # Eq. 2: (100 - 50) / 10
+        assert spec().power_per_cpu_unit == 5.0
+
+    def test_rejects_negative_load(self):
+        with pytest.raises(ValidationError):
+            spec().power_at_load(-1.0)
+
+    def test_rejects_overload(self):
+        with pytest.raises(ValidationError):
+            spec().power_at_load(10.5)
+
+    @given(st.floats(0.0, 10.0))
+    def test_power_within_idle_peak_band(self, load):
+        s = spec()
+        power = s.power_at_load(load)
+        assert s.p_idle <= power <= s.p_peak
+
+    @given(st.floats(0.0, 9.0), st.floats(0.0, 1.0))
+    def test_power_is_monotone_in_load(self, load, delta):
+        s = spec()
+        assert s.power_at_load(load + delta) >= s.power_at_load(load)
+
+
+class TestTransitionCost:
+    def test_alpha_is_peak_times_transition_time(self):
+        assert spec(peak=200.0, idle=100.0, trans=3.0).transition_cost == 600.0
+
+    def test_zero_transition_time(self):
+        assert spec(trans=0.0).transition_cost == 0.0
+
+    def test_with_transition_time_copies(self):
+        original = spec(trans=1.0)
+        modified = original.with_transition_time(2.5)
+        assert modified.transition_cost == 250.0
+        assert original.transition_cost == 100.0  # unchanged
+        assert modified.name == original.name
+
+    def test_idle_peak_ratio(self):
+        assert spec(idle=40.0, peak=100.0).idle_peak_ratio == 0.4
+
+
+class TestServer:
+    def test_delegates_to_spec(self):
+        server = Server(2, spec())
+        assert server.cpu_capacity == 10.0
+        assert server.memory_capacity == 10.0
+        assert server.p_idle == 50.0
+        assert server.p_peak == 100.0
+        assert server.transition_cost == 100.0
+        assert server.power_per_cpu_unit == 5.0
+
+    def test_fits(self):
+        server = Server(0, spec())
+        assert server.fits(10.0, 10.0)
+        assert not server.fits(10.5, 1.0)
+        assert not server.fits(1.0, 10.5)
+
+    def test_rejects_negative_id(self):
+        with pytest.raises(ValidationError):
+            Server(-1, spec())
+
+    def test_str(self):
+        assert str(Server(4, spec(name="blade"))) == "srv4:blade"

@@ -1,0 +1,90 @@
+"""Tests for paired significance testing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.metrics.significance import (
+    bootstrap_mean_diff,
+    paired_t_test,
+)
+
+
+class TestPairedTTest:
+    def test_clear_difference_is_significant(self):
+        a = [10.0, 11.0, 9.5, 10.5, 10.2]
+        b = [20.0, 21.0, 19.5, 20.5, 20.2]
+        result = paired_t_test(a, b)
+        assert result.mean_diff == pytest.approx(-10.0)
+        assert result.significant
+        assert result.n == 5
+
+    def test_identical_samples_not_significant(self):
+        a = [5.0, 6.0, 7.0]
+        result = paired_t_test(a, a)
+        assert result.p_value == 1.0
+        assert not result.significant
+        assert result.mean_diff == 0.0
+
+    def test_noise_not_significant(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(100, 1, 10)
+        b = a + rng.normal(0, 5, 10)  # pure noise difference
+        result = paired_t_test(list(a), list(b))
+        assert result.p_value > 0.05
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            paired_t_test([1.0, 2.0], [1.0])
+
+    def test_too_few_pairs(self):
+        with pytest.raises(ValidationError):
+            paired_t_test([1.0], [2.0])
+
+
+class TestBootstrap:
+    def test_ci_contains_true_difference(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(100, 2, 30)
+        b = a + 5 + rng.normal(0, 1, 30)
+        mean, lo, hi = bootstrap_mean_diff(list(a), list(b), seed=0)
+        assert lo < mean < hi
+        assert lo < -4 and hi > -6  # interval brackets -5
+
+    def test_reproducible_with_seed(self):
+        a = [1.0, 2.0, 3.0, 4.0]
+        b = [2.0, 2.5, 3.5, 4.5]
+        assert bootstrap_mean_diff(a, b, seed=3) == \
+            bootstrap_mean_diff(a, b, seed=3)
+
+    def test_identical_samples_degenerate_interval(self):
+        a = [5.0, 6.0, 7.0]
+        mean, lo, hi = bootstrap_mean_diff(a, a, seed=0)
+        assert mean == lo == hi == 0.0
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(confidence=0.0), dict(confidence=1.0), dict(resamples=10),
+    ])
+    def test_parameter_validation(self, kwargs):
+        with pytest.raises(ValidationError):
+            bootstrap_mean_diff([1.0, 2.0], [2.0, 3.0], **kwargs)
+
+
+class TestOnRealComparison:
+    def test_heuristic_vs_ffps_significant(self):
+        from repro.experiments.config import ScenarioConfig
+        from repro.experiments.runner import compare
+
+        config = ScenarioConfig(n_vms=80, mean_interarrival=6.0,
+                                seeds=tuple(range(6)))
+        ours = []
+        ffps = []
+        for seed in config.seeds:
+            result = compare(config, seed)
+            ours.append(result.algorithm.total_energy)
+            ffps.append(result.baseline.total_energy)
+        test = paired_t_test(ours, ffps)
+        assert test.mean_diff < 0  # ours cheaper
+        assert test.significant

@@ -1,0 +1,82 @@
+"""Tests for the event queue."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.simulation.events import Event, EventKind, EventQueue
+
+
+class TestOrdering:
+    def test_orders_by_time(self):
+        q = EventQueue()
+        q.push(5, EventKind.VM_START, vm_id=1)
+        q.push(2, EventKind.VM_START, vm_id=2)
+        assert q.pop().time == 2
+        assert q.pop().time == 5
+
+    def test_same_tick_kind_priority(self):
+        # Within a tick: WAKE < VM_START < VM_END < SLEEP.
+        q = EventQueue()
+        q.push(3, EventKind.SERVER_SLEEP, server_id=0)
+        q.push(3, EventKind.VM_END, vm_id=0)
+        q.push(3, EventKind.VM_START, vm_id=1)
+        q.push(3, EventKind.SERVER_WAKE, server_id=0)
+        kinds = [q.pop().kind for _ in range(4)]
+        assert kinds == [EventKind.SERVER_WAKE, EventKind.VM_START,
+                         EventKind.VM_END, EventKind.SERVER_SLEEP]
+
+    def test_fifo_for_identical_keys(self):
+        q = EventQueue()
+        q.push(1, EventKind.VM_START, vm_id=10)
+        q.push(1, EventKind.VM_START, vm_id=20)
+        assert q.pop().vm_id == 10
+        assert q.pop().vm_id == 20
+
+
+class TestQueueBehaviour:
+    def test_len_and_bool(self):
+        q = EventQueue()
+        assert not q
+        q.push(1, EventKind.VM_START, vm_id=0)
+        assert len(q) == 1
+        assert q
+
+    def test_peek_does_not_remove(self):
+        q = EventQueue()
+        q.push(1, EventKind.VM_START, vm_id=0)
+        assert q.peek() is not None
+        assert len(q) == 1
+
+    def test_peek_empty_is_none(self):
+        assert EventQueue().peek() is None
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError):
+            EventQueue().pop()
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(SimulationError):
+            EventQueue().push(-1, EventKind.VM_START, vm_id=0)
+
+    def test_drain_consumes_all_in_order(self):
+        q = EventQueue()
+        for t in (9, 1, 5):
+            q.push(t, EventKind.VM_START, vm_id=t)
+        assert [e.time for e in q.drain()] == [1, 5, 9]
+        assert not q
+
+    def test_push_after_drain_raises(self):
+        q = EventQueue()
+        list(q.drain())
+        with pytest.raises(SimulationError):
+            q.push(1, EventKind.VM_START, vm_id=0)
+
+    def test_event_str(self):
+        q = EventQueue()
+        e = q.push(4, EventKind.SERVER_WAKE, server_id=3)
+        assert "SERVER_WAKE" in str(e)
+        assert "srv3" in str(e)
+        e2 = q.push(4, EventKind.VM_START, vm_id=7)
+        assert "vm7" in str(e2)

@@ -1,0 +1,75 @@
+"""Tests for fleet sizing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sizing import minimum_feasible_size, sizing_curve
+from repro.exceptions import ValidationError
+from repro.model.cluster import Cluster
+from repro.model.server import ServerSpec
+from repro.workload.generator import generate_vms
+
+from conftest import make_vm
+
+SPEC = ServerSpec("s", cpu_capacity=4.0, memory_capacity=4.0,
+                  p_idle=20.0, p_peak=40.0)
+
+
+def homogeneous(size: int) -> Cluster:
+    return Cluster.homogeneous(SPEC, size)
+
+
+class TestMinimumFeasibleSize:
+    def test_empty_workload_needs_nothing(self):
+        assert minimum_feasible_size([]) == 0
+
+    def test_exact_requirement(self):
+        # Three simultaneous full-server VMs need exactly three servers.
+        vms = [make_vm(i, 1, 5, cpu=4.0, memory=4.0) for i in range(3)]
+        assert minimum_feasible_size(vms, factory=homogeneous) == 3
+
+    def test_sequential_needs_one(self):
+        vms = [make_vm(0, 1, 2), make_vm(1, 5, 6), make_vm(2, 9, 9)]
+        assert minimum_feasible_size(vms, factory=homogeneous) == 1
+
+    def test_infeasible_raises(self):
+        giant = [make_vm(0, 1, 2, cpu=100.0)]
+        with pytest.raises(ValidationError, match="infeasible"):
+            minimum_feasible_size(giant, factory=homogeneous, upper=8)
+
+    def test_result_is_feasible_and_minimal(self):
+        vms = generate_vms(40, mean_interarrival=1.0, seed=0)
+        size = minimum_feasible_size(vms)
+        from repro.allocators import MinIncrementalEnergy
+        MinIncrementalEnergy().allocate(
+            vms, Cluster.paper_all_types(size)).validate(vms=vms)
+        if size > 1:
+            with pytest.raises(Exception):
+                MinIncrementalEnergy().allocate(
+                    vms, Cluster.paper_all_types(size - 1))
+
+    def test_upper_guard(self):
+        with pytest.raises(ValidationError):
+            minimum_feasible_size([make_vm(0, 1, 2)], upper=0)
+
+
+class TestSizingCurve:
+    def test_energy_per_size(self):
+        vms = [make_vm(i, 1, 5, cpu=4.0, memory=4.0) for i in range(3)]
+        curve = sizing_curve(vms, sizes=[1, 2, 3, 6],
+                             factory=homogeneous)
+        assert [p.feasible for p in curve] == [False, False, True, True]
+        feasible = [p for p in curve if p.feasible]
+        assert all(p.energy is not None for p in feasible)
+        # consolidating allocator: extra servers change nothing
+        assert feasible[0].energy == feasible[1].energy
+
+    def test_requires_sizes(self):
+        with pytest.raises(ValidationError):
+            sizing_curve([make_vm(0, 1, 2)], sizes=[])
+
+    def test_servers_used_reported(self):
+        vms = [make_vm(0, 1, 3), make_vm(1, 1, 3)]
+        curve = sizing_curve(vms, sizes=[4], factory=homogeneous)
+        assert curve[0].servers_used >= 1

@@ -1,0 +1,168 @@
+"""Tests for ServerState: feasibility, placement, incremental cost.
+
+The incremental-cost computation is local (it perturbs only neighbouring
+busy segments), so its key test is the property check against the
+from-scratch Eq.-17 oracle over random placement sequences.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.allocators.state import ServerState
+from repro.energy.cost import SleepPolicy, server_cost
+from repro.exceptions import CapacityError
+from repro.model.intervals import TimeInterval
+from repro.model.server import Server, ServerSpec
+
+from conftest import make_vm
+
+SPEC = ServerSpec("s", cpu_capacity=10.0, memory_capacity=10.0,
+                  p_idle=50.0, p_peak=100.0, transition_time=1.0)
+
+
+def new_state(policy=SleepPolicy.OPTIMAL) -> ServerState:
+    return ServerState(Server(0, SPEC), policy=policy)
+
+
+class TestFits:
+    def test_fits_on_empty(self):
+        assert new_state().fits(make_vm(0, 1, 5, cpu=10.0, memory=10.0))
+
+    def test_rejects_oversized(self):
+        assert not new_state().fits(make_vm(0, 1, 5, cpu=10.5))
+        assert not new_state().fits(make_vm(0, 1, 5, memory=10.5))
+
+    def test_rejects_overlapping_overload(self):
+        state = new_state()
+        state.place(make_vm(0, 1, 5, cpu=6.0))
+        assert not state.fits(make_vm(1, 3, 8, cpu=6.0))
+
+    def test_accepts_disjoint_in_time(self):
+        state = new_state()
+        state.place(make_vm(0, 1, 5, cpu=10.0))
+        assert state.fits(make_vm(1, 6, 9, cpu=10.0))
+
+    def test_accepts_exact_fill(self):
+        state = new_state()
+        state.place(make_vm(0, 1, 5, cpu=4.0, memory=4.0))
+        assert state.fits(make_vm(1, 1, 5, cpu=6.0, memory=6.0))
+
+    def test_fits_beyond_tracked_horizon(self):
+        state = new_state()
+        state.place(make_vm(0, 1, 2))
+        assert state.fits(make_vm(1, 100_000, 100_001, cpu=10.0))
+
+    def test_memory_binding(self):
+        state = new_state()
+        state.place(make_vm(0, 1, 5, cpu=1.0, memory=8.0))
+        assert not state.fits(make_vm(1, 2, 3, cpu=1.0, memory=3.0))
+
+
+class TestPlace:
+    def test_place_returns_delta_and_accumulates(self):
+        state = new_state()
+        d1 = state.place(make_vm(0, 1, 2, cpu=2.0))
+        d2 = state.place(make_vm(1, 5, 6, cpu=2.0))
+        assert state.cost == pytest.approx(d1 + d2)
+
+    def test_place_raises_on_overload(self):
+        state = new_state()
+        state.place(make_vm(0, 1, 5, cpu=6.0))
+        with pytest.raises(CapacityError):
+            state.place(make_vm(1, 1, 5, cpu=6.0))
+
+    def test_usage_grows_across_horizon(self):
+        state = new_state()
+        state.place(make_vm(0, 1, 1000, cpu=3.0))
+        assert not state.fits(make_vm(1, 999, 1000, cpu=8.0))
+        assert state.fits(make_vm(1, 999, 1000, cpu=7.0))
+
+    def test_busy_segments_merge(self):
+        state = new_state()
+        state.place(make_vm(0, 1, 3))
+        state.place(make_vm(1, 4, 6))  # adjacent -> one segment
+        assert state.busy_segments() == [TimeInterval(1, 6)]
+
+    def test_busy_segments_keep_gaps(self):
+        state = new_state()
+        state.place(make_vm(0, 1, 2))
+        state.place(make_vm(1, 9, 9))
+        assert state.busy_segments() == [TimeInterval(1, 2),
+                                         TimeInterval(9, 9)]
+
+    def test_is_empty(self):
+        state = new_state()
+        assert state.is_empty
+        state.place(make_vm(0, 1, 1))
+        assert not state.is_empty
+
+    def test_timeline_matches_segments(self):
+        state = new_state()
+        state.place(make_vm(0, 1, 2))
+        state.place(make_vm(1, 7, 8))
+        tl = state.timeline()
+        assert tl.busy == (TimeInterval(1, 2), TimeInterval(7, 8))
+        assert tl.idle == (TimeInterval(3, 6),)
+
+
+class TestIncrementalCostOracle:
+    """Local incremental cost must equal the full Eq.-17 recomputation."""
+
+    def _check_sequence(self, placements, policy):
+        state = new_state(policy)
+        placed = []
+        for i, (start, length) in enumerate(placements):
+            vm = make_vm(i, start, start + length, cpu=0.5, memory=0.5)
+            inc = state.incremental_cost(vm)
+            oracle = (server_cost(SPEC, placed + [vm], policy=policy).total
+                      - server_cost(SPEC, placed, policy=policy).total)
+            assert inc == pytest.approx(oracle, abs=1e-9)
+            delta = state.place(vm)
+            assert delta == pytest.approx(oracle, abs=1e-9)
+            placed.append(vm)
+        assert state.cost == pytest.approx(
+            server_cost(SPEC, placed, policy=policy).total, abs=1e-9)
+
+    @settings(max_examples=150)
+    @given(st.lists(st.tuples(st.integers(1, 50), st.integers(0, 12)),
+                    min_size=1, max_size=12))
+    def test_oracle_optimal_policy(self, placements):
+        self._check_sequence(placements, SleepPolicy.OPTIMAL)
+
+    @settings(max_examples=60)
+    @given(st.lists(st.tuples(st.integers(1, 50), st.integers(0, 12)),
+                    min_size=1, max_size=10))
+    def test_oracle_never_sleep(self, placements):
+        self._check_sequence(placements, SleepPolicy.NEVER_SLEEP)
+
+    @settings(max_examples=60)
+    @given(st.lists(st.tuples(st.integers(1, 50), st.integers(0, 12)),
+                    min_size=1, max_size=10))
+    def test_oracle_always_sleep(self, placements):
+        self._check_sequence(placements, SleepPolicy.ALWAYS_SLEEP)
+
+    def test_first_vm_pays_wake(self):
+        state = new_state()
+        vm = make_vm(0, 1, 1, cpu=2.0)
+        # run 5*2*1=10, busy idle 50, wake 100
+        assert state.incremental_cost(vm) == pytest.approx(160.0)
+
+    def test_gap_interior_fill(self):
+        state = new_state()
+        state.place(make_vm(0, 1, 1))
+        state.place(make_vm(1, 10, 10))
+        # Filling the whole gap removes the gap cost min(400, 100)=100
+        # and adds 8 busy-idle units (400).
+        vm = make_vm(2, 2, 9, cpu=2.0)
+        expected = 5 * 2 * 8 + 400 - 100
+        assert state.incremental_cost(vm) == pytest.approx(expected)
+
+    def test_extend_before_first_segment(self):
+        state = new_state()
+        state.place(make_vm(0, 10, 11))
+        # New VM at [1,2]: busy 100, new gap [3,9] costs min(350,100)=100.
+        vm = make_vm(1, 1, 2, cpu=1.0)
+        expected = 5 * 1 * 2 + 100 + 100
+        assert state.incremental_cost(vm) == pytest.approx(expected)

@@ -1,0 +1,62 @@
+"""Tests for the telemetry collector and series."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.simulation.telemetry import Telemetry, TelemetryCollector
+
+
+def sample_telemetry() -> Telemetry:
+    collector = TelemetryCollector(4)
+    collector.record(1, 10.0, 1, 2)
+    collector.record(2, 20.0, 2, 3)
+    collector.record(3, 0.0, 0, 0)
+    collector.record(4, 30.0, 1, 1)
+    return collector.freeze()
+
+
+class TestCollector:
+    def test_freeze_copies(self):
+        collector = TelemetryCollector(2)
+        collector.record(1, 5.0, 1, 1)
+        frozen = collector.freeze()
+        collector.record(2, 99.0, 1, 1)
+        assert frozen.power[1] == 0.0  # unaffected by later writes
+
+    def test_rejects_negative_horizon(self):
+        with pytest.raises(ValidationError):
+            TelemetryCollector(-1)
+
+    def test_zero_horizon(self):
+        t = TelemetryCollector(0).freeze()
+        assert t.horizon == 0
+        assert t.total_energy == 0.0
+        assert t.peak_power == 0.0
+
+
+class TestTelemetry:
+    def test_total_energy_is_sum(self):
+        assert sample_telemetry().total_energy == 60.0
+
+    def test_peak_power(self):
+        assert sample_telemetry().peak_power == 30.0
+
+    def test_mean_active_servers(self):
+        assert sample_telemetry().mean_active_servers == 1.0
+
+    def test_window(self):
+        window = sample_telemetry().window(2, 3)
+        assert list(window.power) == [20.0, 0.0]
+        assert window.horizon == 2
+
+    def test_window_full_range(self):
+        t = sample_telemetry()
+        assert np.array_equal(t.window(1, 4).power, t.power)
+
+    @pytest.mark.parametrize("bounds", [(0, 2), (1, 5), (3, 2)])
+    def test_window_bounds_checked(self, bounds):
+        with pytest.raises(ValidationError):
+            sample_telemetry().window(*bounds)

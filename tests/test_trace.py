@@ -1,0 +1,171 @@
+"""Tests for trace persistence (CSV and JSON round trips)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.workload.generator import generate_vms
+from repro.workload.trace import Trace
+
+from conftest import make_vm
+
+
+@pytest.fixture
+def trace() -> Trace:
+    return Trace.from_vms(generate_vms(25, mean_interarrival=2.0, seed=0),
+                          source="test", seed=0)
+
+
+class TestBasics:
+    def test_len_and_iter(self, trace):
+        assert len(trace) == 25
+        assert len(list(trace)) == 25
+
+    def test_horizon(self):
+        t = Trace.from_vms([make_vm(0, 1, 9), make_vm(1, 2, 4)])
+        assert t.horizon == 9
+
+    def test_horizon_empty(self):
+        assert Trace.from_vms([]).horizon == 0
+
+    def test_metadata_kept(self, trace):
+        assert trace.metadata["source"] == "test"
+
+
+class TestCSV:
+    def test_round_trip(self, tmp_path, trace):
+        path = tmp_path / "trace.csv"
+        trace.save_csv(path)
+        loaded = Trace.load_csv(path)
+        assert [(v.vm_id, v.spec.name, v.cpu, v.memory, v.start, v.end)
+                for v in loaded] == \
+               [(v.vm_id, v.spec.name, v.cpu, v.memory, v.start, v.end)
+                for v in trace]
+
+    def test_rejects_wrong_header(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c\n1,2,3\n")
+        with pytest.raises(ValidationError, match="header"):
+            Trace.load_csv(path)
+
+    def test_rejects_malformed_row(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("vm_id,type,cpu,memory,start,end\n"
+                        "0,t,not-a-number,1,1,2\n")
+        with pytest.raises(ValidationError, match=":2"):
+            Trace.load_csv(path)
+
+    def test_rejects_invalid_interval(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("vm_id,type,cpu,memory,start,end\n0,t,1,1,5,3\n")
+        with pytest.raises(ValidationError):
+            Trace.load_csv(path)
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        Trace.from_vms([]).save_csv(path)
+        assert len(Trace.load_csv(path)) == 0
+
+
+class TestJSON:
+    def test_round_trip(self, tmp_path, trace):
+        path = tmp_path / "trace.json"
+        trace.save_json(path)
+        loaded = Trace.load_json(path)
+        assert len(loaded) == len(trace)
+        assert loaded.metadata["source"] == "test"
+        assert [(v.vm_id, v.start, v.end) for v in loaded] == \
+            [(v.vm_id, v.start, v.end) for v in trace]
+
+    def test_rejects_bad_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ValidationError, match="not valid JSON"):
+            Trace.load_json(path)
+
+    def test_rejects_unknown_version(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format_version": 99, "vms": []}))
+        with pytest.raises(ValidationError, match="version"):
+            Trace.load_json(path)
+
+    def test_rejects_malformed_record(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({
+            "format_version": 1,
+            "vms": [{"vm_id": 0, "type": "t", "cpu": 1.0}],
+        }))
+        with pytest.raises(ValidationError, match="record #0"):
+            Trace.load_json(path)
+
+    def test_round_trip_preserves_allocatability(self, tmp_path, trace):
+        # A reloaded trace should behave identically in an allocation.
+        from repro.allocators import MinIncrementalEnergy
+        from repro.energy.cost import allocation_cost
+        from repro.model.cluster import Cluster
+
+        path = tmp_path / "t.json"
+        trace.save_json(path)
+        loaded = Trace.load_json(path)
+        cluster = Cluster.paper_all_types(12)
+        original = allocation_cost(MinIncrementalEnergy().allocate(
+            list(trace), cluster)).total
+        replayed = allocation_cost(MinIncrementalEnergy().allocate(
+            list(loaded), cluster)).total
+        assert original == replayed
+
+
+class TestPhasedJSON:
+    def test_round_trip_preserves_phases(self, tmp_path):
+        from repro.model.phases import PhasedVM
+        from repro.workload.phased import PhasedWorkload
+
+        vms = PhasedWorkload(mean_interarrival=2.0).generate(12, rng=0)
+        path = tmp_path / "phased.json"
+        Trace.from_vms(vms).save_json(path)
+        loaded = list(Trace.load_json(path))
+        assert all(isinstance(vm, PhasedVM) for vm in loaded)
+        assert [vm.phases for vm in loaded] == [vm.phases for vm in vms]
+        assert [vm.interval for vm in loaded] == \
+            [vm.interval for vm in vms]
+
+    def test_mixed_plain_and_phased(self, tmp_path):
+        from repro.model.phases import DemandPhase, PhasedVM
+
+        plain = make_vm(0, 1, 4)
+        phased = PhasedVM.from_phases(1, 2, [DemandPhase(2, 1.0, 1.0),
+                                             DemandPhase(3, 2.0, 1.0)])
+        path = tmp_path / "mixed.json"
+        Trace.from_vms([plain, phased]).save_json(path)
+        loaded = list(Trace.load_json(path))
+        assert type(loaded[0]).__name__ == "VM"
+        assert type(loaded[1]).__name__ == "PhasedVM"
+
+    def test_malformed_phase_record(self, tmp_path):
+        import json as json_mod
+
+        path = tmp_path / "bad.json"
+        path.write_text(json_mod.dumps({
+            "format_version": 1,
+            "vms": [{"vm_id": 0, "type": "t", "cpu": 1.0, "memory": 1.0,
+                     "start": 1, "end": 2,
+                     "phases": [{"duration": "oops"}]}],
+        }))
+        with pytest.raises(ValidationError, match="record #0"):
+            Trace.load_json(path)
+
+    def test_csv_stores_flat_schema_only(self, tmp_path):
+        # CSV keeps the six-column schema; a phased VM degrades to its
+        # peak-demand plain twin on reload.
+        from repro.model.phases import DemandPhase, PhasedVM
+
+        phased = PhasedVM.from_phases(0, 1, [DemandPhase(2, 1.0, 1.0),
+                                             DemandPhase(2, 3.0, 1.0)])
+        path = tmp_path / "p.csv"
+        Trace.from_vms([phased]).save_csv(path)
+        loaded = list(Trace.load_csv(path))
+        assert type(loaded[0]).__name__ == "VM"
+        assert loaded[0].cpu == 3.0  # the peak

@@ -1,0 +1,119 @@
+"""Tests for trace transforms."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import ValidationError
+from repro.workload.transforms import (
+    merge_traces,
+    scale_load,
+    scale_time,
+    shift,
+    slice_window,
+)
+from repro.workload.generator import generate_vms
+
+from conftest import make_vm
+
+
+def sample():
+    return [make_vm(0, 1, 4), make_vm(1, 3, 8), make_vm(2, 10, 10)]
+
+
+class TestScaleTime:
+    def test_doubling(self):
+        scaled = scale_time(sample(), 2.0)
+        assert [(v.start, v.duration) for v in scaled] == \
+            [(1, 8), (5, 12), (19, 2)]
+
+    def test_identity(self):
+        scaled = scale_time(sample(), 1.0)
+        assert [(v.start, v.end) for v in scaled] == \
+            [(v.start, v.end) for v in sample()]
+
+    def test_compression_keeps_min_duration(self):
+        scaled = scale_time(sample(), 0.01)
+        assert all(v.duration >= 1 for v in scaled)
+        assert all(v.start >= 1 for v in scaled)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValidationError):
+            scale_time(sample(), 0.0)
+
+    @given(st.floats(0.1, 5.0))
+    def test_preserves_count_and_ids_dense(self, factor):
+        scaled = scale_time(sample(), factor)
+        assert len(scaled) == 3
+        assert [v.vm_id for v in scaled] == [0, 1, 2]
+
+
+class TestScaleLoad:
+    def test_zero_empties(self):
+        assert scale_load(sample(), 0.0, seed=0) == []
+
+    def test_one_keeps_all(self):
+        assert len(scale_load(sample(), 1.0, seed=0)) == 3
+
+    def test_growth_duplicates(self):
+        grown = scale_load(sample(), 2.0, seed=0)
+        assert len(grown) == 6
+
+    def test_fractional_thinning_statistics(self):
+        vms = generate_vms(2000, mean_interarrival=1.0, seed=0)
+        kept = scale_load(vms, 0.5, seed=1)
+        assert 850 < len(kept) < 1150
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            scale_load(sample(), -0.1)
+
+    def test_ids_dense_after_duplication(self):
+        grown = scale_load(sample(), 2.4, seed=2)
+        assert [v.vm_id for v in grown] == list(range(len(grown)))
+
+
+class TestSliceWindow:
+    def test_clip_truncates_and_rebases(self):
+        sliced = slice_window(sample(), 3, 6)
+        # vm0 [1,4] -> [3,4] -> rebased [1,2]; vm1 [3,8] -> [3,6] -> [1,4]
+        assert [(v.start, v.end) for v in sliced] == [(1, 2), (1, 4)]
+
+    def test_no_clip_returns_whole_vms(self):
+        sliced = slice_window(sample(), 3, 6, clip=False)
+        assert [(v.start, v.end) for v in sliced] == [(1, 4), (3, 8)]
+
+    def test_empty_window(self):
+        assert slice_window(sample(), 100, 200) == []
+
+    def test_rejects_reversed_window(self):
+        with pytest.raises(ValidationError):
+            slice_window(sample(), 6, 3)
+
+
+class TestMergeAndShift:
+    def test_merge_counts(self):
+        merged = merge_traces(sample(), sample())
+        assert len(merged) == 6
+        assert [v.vm_id for v in merged] == list(range(6))
+
+    def test_merge_empty(self):
+        assert merge_traces([], []) == []
+
+    def test_shift_translates(self):
+        shifted = shift(sample(), 5)
+        assert [(v.start, v.end) for v in shifted] == \
+            [(6, 9), (8, 13), (15, 15)]
+
+    def test_shift_guard(self):
+        with pytest.raises(ValidationError):
+            shift(sample(), -5)
+
+    def test_shift_then_merge_models_two_regions(self):
+        day_a = sample()
+        day_b = shift(sample(), 2)
+        merged = merge_traces(day_a, day_b)
+        assert len(merged) == 6
+        starts = [v.start for v in merged]
+        assert starts == sorted(starts)

@@ -1,0 +1,69 @@
+"""Tests for VM specs and request instances."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.model.intervals import TimeInterval
+from repro.model.vm import VM, VMSpec
+
+
+class TestVMSpec:
+    def test_valid_spec(self):
+        spec = VMSpec("m1.small", cpu=1.0, memory=1.7)
+        assert spec.cpu == 1.0
+        assert spec.memory == 1.7
+
+    @pytest.mark.parametrize("cpu", [0.0, -1.0])
+    def test_rejects_nonpositive_cpu(self, cpu):
+        with pytest.raises(ValidationError):
+            VMSpec("bad", cpu=cpu, memory=1.0)
+
+    @pytest.mark.parametrize("memory", [0.0, -0.5])
+    def test_rejects_nonpositive_memory(self, memory):
+        with pytest.raises(ValidationError):
+            VMSpec("bad", cpu=1.0, memory=memory)
+
+    def test_immutable(self):
+        spec = VMSpec("x", cpu=1.0, memory=1.0)
+        with pytest.raises(AttributeError):
+            spec.cpu = 2.0  # type: ignore[misc]
+
+    def test_str_mentions_resources(self):
+        assert "2.0cu" in str(VMSpec("x", cpu=2.0, memory=4.0))
+
+
+class TestVM:
+    def test_accessors(self):
+        vm = VM(3, VMSpec("t", cpu=2.0, memory=4.0), TimeInterval(5, 9))
+        assert vm.start == 5
+        assert vm.end == 9
+        assert vm.duration == 5
+        assert vm.cpu == 2.0
+        assert vm.memory == 4.0
+
+    def test_cpu_time_is_demand_times_duration(self):
+        vm = VM(0, VMSpec("t", cpu=3.0, memory=1.0), TimeInterval(1, 4))
+        assert vm.cpu_time == 12.0
+
+    def test_active_at(self):
+        vm = VM(0, VMSpec("t", cpu=1.0, memory=1.0), TimeInterval(2, 4))
+        assert vm.active_at(2)
+        assert vm.active_at(4)
+        assert not vm.active_at(1)
+        assert not vm.active_at(5)
+
+    def test_rejects_negative_id(self):
+        with pytest.raises(ValidationError):
+            VM(-1, VMSpec("t", cpu=1.0, memory=1.0), TimeInterval(1, 2))
+
+    def test_single_unit_vm(self):
+        vm = VM(0, VMSpec("t", cpu=1.0, memory=1.0), TimeInterval(7, 7))
+        assert vm.duration == 1
+        assert vm.cpu_time == 1.0
+
+    def test_str_contains_id_and_type(self):
+        vm = VM(12, VMSpec("m1", cpu=1.0, memory=1.0), TimeInterval(1, 2))
+        assert "vm12" in str(vm)
+        assert "m1" in str(vm)
