@@ -44,6 +44,7 @@ from repro.exceptions import (
     AllocationError,
     CapacityError,
     ReproError,
+    ServiceError,
     SimulationError,
     SolverError,
     ValidationError,
@@ -82,6 +83,13 @@ from repro.model import (
     server_type,
     vm_type,
 )
+from repro.service import (
+    AllocationDaemon,
+    ClusterStateStore,
+    DaemonClient,
+    ReplaySummary,
+    replay_trace,
+)
 from repro.simulation import SimulationEngine, simulate_online
 from repro.workload import (
     BurstyWorkload,
@@ -116,6 +124,7 @@ __all__ = [
     "AllocationError",
     "CapacityError",
     "ReproError",
+    "ServiceError",
     "SimulationError",
     "SolverError",
     "ValidationError",
@@ -148,6 +157,11 @@ __all__ = [
     "VMSpec",
     "server_type",
     "vm_type",
+    "AllocationDaemon",
+    "ClusterStateStore",
+    "DaemonClient",
+    "ReplaySummary",
+    "replay_trace",
     "SimulationEngine",
     "simulate_online",
     "BurstyWorkload",

@@ -12,8 +12,11 @@ Usage examples::
     repro solve --vms 12 --window 25
     repro audit --vms 200
     repro report --out report.md --quick
+    repro serve --port 7077 --metrics-port 9100 --data-dir state/
+    repro client --port 7077 --vms 200 --interarrival 4
 
-(Equivalently ``python -m repro ...``.)
+(Equivalently ``python -m repro ...``. Running ``repro`` with no
+subcommand prints the usage line and exits with status 2.)
 """
 
 from __future__ import annotations
@@ -165,6 +168,47 @@ def build_parser() -> argparse.ArgumentParser:
                           help="subset of sections (default: all)")
     p_report.add_argument("--quick", action="store_true",
                           help="reduced grids for a fast preview")
+
+    p_serve = sub.add_parser(
+        "serve", help="run the online allocation daemon (JSON lines over "
+                      "TCP or stdio)")
+    p_serve.add_argument("--servers", type=int, default=100,
+                         help="fleet size (paper's five-type mix)")
+    p_serve.add_argument("--algorithm", default="min-energy",
+                         choices=allocator_names())
+    p_serve.add_argument("--seed", type=int, default=None)
+    p_serve.add_argument("--max-delay", type=int, default=0,
+                         help="queue depth in ticks when the fleet is "
+                              "full (0 = reject outright)")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=7077,
+                         help="TCP port (0 picks an ephemeral port)")
+    p_serve.add_argument("--stdio", action="store_true",
+                         help="serve stdin/stdout instead of TCP")
+    p_serve.add_argument("--metrics-port", type=int, default=None,
+                         help="also expose Prometheus /metrics over HTTP")
+    p_serve.add_argument("--data-dir", default=None,
+                         help="journal + snapshot directory (enables "
+                              "crash-safe restart)")
+    p_serve.add_argument("--snapshot-every", type=int, default=100,
+                         help="checkpoint after this many placements")
+    p_serve.add_argument("--restore", action="store_true",
+                         help="resume from --data-dir's snapshot and "
+                              "journal")
+
+    p_client = sub.add_parser(
+        "client", help="stream a workload at a running daemon")
+    p_client.add_argument("--host", default="127.0.0.1")
+    p_client.add_argument("--port", type=int, default=7077)
+    p_client.add_argument("--trace", default=None,
+                          help="trace file (.csv or .json); otherwise a "
+                               "workload is generated")
+    p_client.add_argument("--vms", type=int, default=100)
+    p_client.add_argument("--interarrival", type=float, default=4.0)
+    p_client.add_argument("--duration", type=float, default=5.0)
+    p_client.add_argument("--seed", type=int, default=0)
+    p_client.add_argument("--shutdown", action="store_true",
+                          help="ask the daemon to shut down afterwards")
     return parser
 
 
@@ -360,6 +404,78 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.model.cluster import Cluster
+    from repro.service import (
+        AllocationDaemon,
+        ClusterStateStore,
+        serve_stdio,
+        serve_tcp,
+        start_metrics_server,
+    )
+
+    if args.restore:
+        if not args.data_dir:
+            print("error: --restore needs --data-dir", file=sys.stderr)
+            return 2
+        daemon = AllocationDaemon.restore(args.data_dir)
+    else:
+        store = ClusterStateStore(Cluster.paper_all_types(args.servers))
+        daemon = AllocationDaemon(
+            store, algorithm=args.algorithm, seed=args.seed,
+            max_delay=args.max_delay, data_dir=args.data_dir,
+            snapshot_every=args.snapshot_every)
+    # In stdio mode stdout carries the protocol, so banners go to stderr.
+    log = sys.stderr if args.stdio else sys.stdout
+    if args.metrics_port is not None:
+        metrics_server = start_metrics_server(daemon, args.host,
+                                              args.metrics_port)
+        print(f"metrics on http://{args.host}:"
+              f"{metrics_server.server_address[1]}/metrics", file=log)
+    print(f"cluster: {len(daemon.store.cluster)} servers, "
+          f"algorithm {daemon.config['algorithm']}, "
+          f"clock {daemon.store.clock}, "
+          f"{len(daemon.store.placements)} VMs placed", file=log)
+    if args.stdio:
+        serve_stdio(daemon, sys.stdin, sys.stdout)
+    else:
+        server = serve_tcp(daemon, args.host, args.port)
+        print(f"serving on {server.server_address[0]}:"
+              f"{server.server_address[1]}", file=log, flush=True)
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            daemon.handle({"op": "shutdown"})
+        finally:
+            server.server_close()
+    return 0
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    from repro.service import DaemonClient, replay_trace
+
+    vms = _load_or_generate(args)
+    if not vms:
+        print("empty workload")
+        return 0
+    with DaemonClient(args.host, args.port) as client:
+        summary = replay_trace(client, vms)
+        stats = client.stats()
+        if args.shutdown:
+            client.shutdown()
+    print(f"offered {summary.offered} VMs: {summary.placed} placed, "
+          f"{summary.rejected} rejected "
+          f"({100 * summary.rejection_rate:.1f}%), "
+          f"{summary.delayed} delayed")
+    print(f"mean placement latency: {summary.mean_latency_ms:.3f} ms")
+    print(f"energy delta (this stream): "
+          f"{summary.energy_delta_total:.1f} W·min")
+    print(f"daemon totals: {stats['placed']} placed, clock "
+          f"{stats['clock']}, energy {stats['energy_total']:.1f} W·min, "
+          f"{stats['servers_active']} servers active")
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.report import write_report
 
@@ -370,7 +486,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
     handlers = {
         "list": lambda: _cmd_list(),
         "table": lambda: _cmd_table(args.which),
@@ -382,11 +499,22 @@ def main(argv: Sequence[str] | None = None) -> int:
         "solve": lambda: _cmd_solve(args),
         "report": lambda: _cmd_report(args),
         "audit": lambda: _cmd_audit(args),
+        "serve": lambda: _cmd_serve(args),
+        "client": lambda: _cmd_client(args),
     }
+    handler = handlers.get(getattr(args, "command", None))
+    if handler is None:
+        # argparse already exits for a missing subcommand; this guards
+        # the path where the parser is built with it optional.
+        parser.print_usage(sys.stderr)
+        return 2
     try:
-        return handlers[args.command]()
+        return handler()
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except ConnectionError as exc:
+        print(f"error: cannot reach the daemon: {exc}", file=sys.stderr)
         return 1
 
 

@@ -44,3 +44,8 @@ class SolverError(ReproError):
 
 class SimulationError(ReproError):
     """The discrete-event simulation reached an inconsistent state."""
+
+
+class ServiceError(ReproError):
+    """The online allocation service received a request it cannot honour
+    (malformed message, unknown operation, or a protocol violation)."""

@@ -1,0 +1,64 @@
+"""The online allocation service.
+
+The paper's heuristics are online — VMs are placed in arrival order
+against live cluster state — and this subsystem makes that literal: a
+long-running daemon ingests a stream of placement requests (JSON lines
+over stdin or TCP), routes each through a registered allocator against
+a mutable :class:`ClusterStateStore`, journals every decision, and
+checkpoints crash-safe snapshots, while a Prometheus endpoint exposes
+fleet power, occupancy and latency. See ``docs/service.md`` and the
+``repro serve`` / ``repro client`` CLI commands.
+"""
+
+from repro.service.client import DaemonClient, ReplaySummary, replay_trace
+from repro.service.daemon import (
+    AllocationDaemon,
+    DaemonTCPServer,
+    serve_stdio,
+    serve_tcp,
+    start_metrics_server,
+)
+from repro.service.metrics import LatencyReservoir, ServiceMetrics
+from repro.service.persistence import (
+    RequestJournal,
+    SnapshotManager,
+    read_journal,
+)
+from repro.service.protocol import (
+    OPS,
+    PROTOCOL_VERSION,
+    encode,
+    parse_request,
+    parse_response,
+    place_request,
+)
+from repro.service.state import (
+    SNAPSHOT_FORMAT_VERSION,
+    ClusterStateStore,
+    snapshot_meta,
+)
+
+__all__ = [
+    "AllocationDaemon",
+    "ClusterStateStore",
+    "DaemonClient",
+    "DaemonTCPServer",
+    "LatencyReservoir",
+    "OPS",
+    "PROTOCOL_VERSION",
+    "ReplaySummary",
+    "RequestJournal",
+    "ServiceMetrics",
+    "SNAPSHOT_FORMAT_VERSION",
+    "SnapshotManager",
+    "encode",
+    "parse_request",
+    "parse_response",
+    "place_request",
+    "read_journal",
+    "replay_trace",
+    "serve_stdio",
+    "serve_tcp",
+    "snapshot_meta",
+    "start_metrics_server",
+]

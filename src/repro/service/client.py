@@ -1,0 +1,120 @@
+"""Client side of the allocation service: connect, stream, summarize.
+
+:class:`DaemonClient` speaks the JSON-lines protocol over TCP (one
+request line out, one response line back); :func:`replay_trace` streams
+a whole workload — a :class:`~repro.workload.trace.Trace` or any VM
+iterable — in the paper's online order (start time, ties by end then
+id) and aggregates the per-request decisions into a
+:class:`ReplaySummary`. This is what ``repro client`` runs.
+"""
+
+from __future__ import annotations
+
+import socket
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.exceptions import ServiceError
+from repro.model.vm import VM
+from repro.service.protocol import encode, parse_response, place_request
+
+__all__ = ["DaemonClient", "ReplaySummary", "replay_trace"]
+
+
+class DaemonClient:
+    """A blocking JSON-lines client for one daemon connection."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 7077, *,
+                 timeout: float = 30.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._reader = self._sock.makefile("r", encoding="utf-8")
+        self._writer = self._sock.makefile("w", encoding="utf-8")
+
+    def request(self, message: Mapping[str, object]) -> dict[str, object]:
+        """Send one request and wait for its response."""
+        self._writer.write(encode(message))
+        self._writer.flush()
+        line = self._reader.readline()
+        if not line:
+            raise ServiceError("daemon closed the connection")
+        return parse_response(line)
+
+    def place(self, vm: VM) -> dict[str, object]:
+        return self.request(place_request(vm))
+
+    def tick(self, now: int) -> dict[str, object]:
+        return self.request({"op": "tick", "now": now})
+
+    def stats(self) -> dict[str, object]:
+        return self.request({"op": "stats"})
+
+    def ping(self) -> dict[str, object]:
+        return self.request({"op": "ping"})
+
+    def shutdown(self) -> dict[str, object]:
+        return self.request({"op": "shutdown"})
+
+    def close(self) -> None:
+        for closer in (self._reader, self._writer, self._sock):
+            try:
+                closer.close()
+            except OSError:  # pragma: no cover - best-effort teardown
+                pass
+
+    def __enter__(self) -> "DaemonClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+@dataclass(frozen=True)
+class ReplaySummary:
+    """Aggregate outcome of streaming one workload at a daemon."""
+
+    offered: int
+    placed: int
+    rejected: int
+    delayed: int
+    energy_delta_total: float
+    mean_latency_ms: float
+
+    @property
+    def rejection_rate(self) -> float:
+        return self.rejected / self.offered if self.offered else 0.0
+
+
+def replay_trace(client: DaemonClient, vms: Iterable[VM], *,
+                 final_tick: bool = True) -> ReplaySummary:
+    """Stream ``vms`` in online (start-time) order; returns the summary.
+
+    With ``final_tick`` the cluster clock is advanced past the last
+    request's end afterwards, so the daemon retires everything and its
+    telemetry covers the whole horizon.
+    """
+    ordered = sorted(vms, key=lambda v: (v.start, v.end, v.vm_id))
+    placed = rejected = delayed = 0
+    energy = 0.0
+    latency_total = 0.0
+    horizon = 0
+    for vm in ordered:
+        response = client.place(vm)
+        if not response.get("ok"):
+            raise ServiceError(
+                f"daemon rejected the protocol request for vm{vm.vm_id}: "
+                f"{response.get('error')}")
+        horizon = max(horizon, vm.end)
+        latency_total += float(response.get("latency_ms", 0.0))
+        if response.get("decision") == "placed":
+            placed += 1
+            energy += float(response.get("energy_delta", 0.0))
+            if int(response.get("delay", 0)):
+                delayed += 1
+        else:
+            rejected += 1
+    if final_tick and ordered:
+        client.tick(horizon + 1)
+    return ReplaySummary(
+        offered=len(ordered), placed=placed, rejected=rejected,
+        delayed=delayed, energy_delta_total=energy,
+        mean_latency_ms=latency_total / len(ordered) if ordered else 0.0)

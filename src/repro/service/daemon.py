@@ -1,0 +1,422 @@
+"""The allocation daemon: streaming placement against live state.
+
+An :class:`AllocationDaemon` owns a
+:class:`~repro.service.state.ClusterStateStore` and routes each incoming
+``place`` request through a registered allocator
+(:func:`repro.allocators.registry.make_allocator`) under the admission
+envelope of :func:`repro.simulation.admission.offer` — reject on
+capacity exhaustion, or queue (shift the request later) up to
+``max_delay`` ticks. Requests processed in start-time order produce the
+exact placements — and therefore the exact analytic energy — of the
+equivalent offline :func:`~repro.simulation.engine.simulate_online`
+run; the end-to-end test asserts this bit-for-bit, across a mid-stream
+kill and restore.
+
+Durability: with a ``data_dir`` the daemon journals every mutating
+request before answering and checkpoints the store every
+``snapshot_every`` placements (see :mod:`repro.service.persistence`).
+:meth:`AllocationDaemon.restore` rebuilds the identical daemon from the
+newest snapshot plus the journal tail.
+
+Transports (all stdlib): :func:`serve_stdio` for JSON-lines over
+stdin/stdout, :func:`serve_tcp` for the same framing over TCP, and
+:func:`start_metrics_server` for the Prometheus ``/metrics`` endpoint
+over HTTP. One lock serializes all state mutation, so every transport
+can run concurrently against one daemon.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from socketserver import StreamRequestHandler, ThreadingTCPServer
+from time import perf_counter
+from typing import IO, Mapping
+
+from repro.allocators.registry import make_allocator
+from repro.exceptions import ReproError, ServiceError, ValidationError
+from repro.service.metrics import CONTENT_TYPE, ServiceMetrics
+from repro.service.persistence import (
+    RequestJournal,
+    SnapshotManager,
+    read_journal,
+)
+from repro.service.protocol import encode, parse_request
+from repro.service.state import ClusterStateStore, snapshot_meta
+from repro.simulation.admission import offer, shift_request
+from repro.workload.trace import vm_from_record, vm_to_record
+
+__all__ = ["AllocationDaemon", "DaemonTCPServer", "serve_stdio",
+           "serve_tcp", "start_metrics_server"]
+
+JOURNAL_NAME = "journal.jsonl"
+
+
+class AllocationDaemon:
+    """Serves a stream of placement requests against live cluster state.
+
+    Parameters
+    ----------
+    store:
+        The live cluster state to allocate into.
+    algorithm / seed:
+        Registry name and seed of the placement algorithm.
+    max_delay:
+        Admission behaviour when nothing fits: ``0`` rejects outright,
+        ``k > 0`` queues the request up to ``k`` ticks later (the first
+        shifted start that fits wins).
+    data_dir:
+        Directory for the request journal and snapshots; ``None`` runs
+        the daemon without durability.
+    snapshot_every:
+        Checkpoint the store after this many placements (0 disables
+        periodic snapshots; a final one is still written on shutdown).
+    fsync:
+        Whether the journal fsyncs each entry (disable only in tests).
+    """
+
+    def __init__(self, store: ClusterStateStore, *,
+                 algorithm: str = "min-energy", seed: int | None = None,
+                 max_delay: int = 0, data_dir: str | Path | None = None,
+                 snapshot_every: int = 100, fsync: bool = True,
+                 _restored_seq: int | None = None) -> None:
+        if max_delay < 0:
+            raise ValidationError(
+                f"max_delay must be >= 0, got {max_delay}")
+        if snapshot_every < 0:
+            raise ValidationError(
+                f"snapshot_every must be >= 0, got {snapshot_every}")
+        self.store = store
+        self.config = {"algorithm": algorithm, "seed": seed,
+                       "max_delay": max_delay,
+                       "snapshot_every": snapshot_every}
+        self.allocator = make_allocator(algorithm, seed=seed,
+                                        policy=store.policy)
+        self.allocator.prepare(store.states)
+        self.metrics = ServiceMetrics()
+        self.closed = False
+        self._lock = threading.Lock()
+        self._placed_since_snapshot = 0
+        self._shutdown_hooks: list = []
+        self.journal: RequestJournal | None = None
+        self.snapshots: SnapshotManager | None = None
+        if data_dir is not None:
+            data_dir = Path(data_dir)
+            self.snapshots = SnapshotManager(data_dir)
+            self.journal = RequestJournal(data_dir / JOURNAL_NAME,
+                                          fsync=fsync)
+            if _restored_seq is None:
+                if self.journal.next_seq > 1:
+                    raise ValidationError(
+                        f"{data_dir} already holds a journal; use "
+                        f"AllocationDaemon.restore() to resume it")
+                # Seed the journal with the starting state so a crash
+                # before the first snapshot is still recoverable.
+                self.journal.append({
+                    "op": "init",
+                    "snapshot": store.to_snapshot(self._meta(seq=1)),
+                })
+
+    # -- durability --------------------------------------------------------
+
+    def _meta(self, seq: int) -> dict[str, object]:
+        return {"seq": seq, "config": dict(self.config),
+                "counters": self.metrics.to_meta()}
+
+    def _last_seq(self) -> int:
+        return self.journal.next_seq - 1 if self.journal else 0
+
+    def write_snapshot(self) -> Path | None:
+        """Checkpoint the store now; returns the snapshot path."""
+        if self.snapshots is None:
+            return None
+        seq = self._last_seq()
+        document = self.store.to_snapshot(self._meta(seq))
+        self._placed_since_snapshot = 0
+        return self.snapshots.save(document, seq)
+
+    def _maybe_snapshot(self) -> None:
+        every = int(self.config["snapshot_every"])
+        if self.snapshots is not None and every > 0 and \
+                self._placed_since_snapshot >= every:
+            self.write_snapshot()
+
+    @classmethod
+    def restore(cls, data_dir: str | Path, *,
+                fsync: bool = True) -> "AllocationDaemon":
+        """Rebuild a daemon from ``data_dir``'s snapshot + journal tail.
+
+        Replayed placements apply the journalled decision directly (no
+        allocator re-run), so the restored state is identical even when
+        the original decisions came from a randomized allocator.
+        """
+        data_dir = Path(data_dir)
+        document = SnapshotManager(data_dir).load_latest()
+        entries = list(read_journal(data_dir / JOURNAL_NAME))
+        if document is None:
+            init = next((e for e in entries if e.get("op") == "init"), None)
+            if init is None:
+                raise ValidationError(
+                    f"{data_dir}: no snapshot and no journal init entry; "
+                    f"nothing to restore")
+            document = init["snapshot"]
+        meta = snapshot_meta(document)
+        config = meta.get("config", {})
+        if not isinstance(config, Mapping):
+            raise ValidationError(f"{data_dir}: malformed snapshot config")
+        store = ClusterStateStore.from_snapshot(document)
+        covered = int(meta.get("seq", 0))
+        daemon = cls(
+            store,
+            algorithm=str(config.get("algorithm", "min-energy")),
+            seed=config.get("seed"),
+            max_delay=int(config.get("max_delay", 0)),
+            snapshot_every=int(config.get("snapshot_every", 100)),
+            data_dir=data_dir, fsync=fsync, _restored_seq=covered)
+        counters = meta.get("counters")
+        if isinstance(counters, Mapping):
+            daemon.metrics.restore_meta(counters)
+        for entry in entries:
+            if int(entry["seq"]) > covered:
+                daemon._replay(entry)
+        return daemon
+
+    def _replay(self, entry: Mapping[str, object]) -> None:
+        op = entry.get("op")
+        if op == "init":
+            return
+        if op == "tick":
+            now = int(entry["now"])
+            if now > self.store.clock:
+                self.store.advance_to(now)
+            return
+        if op != "place":
+            raise ValidationError(f"unknown journal entry op {op!r}")
+        vm = vm_from_record(entry["vm"])
+        if vm.start > self.store.clock:
+            self.store.advance_to(vm.start)
+        decision = str(entry["decision"])
+        delay = int(entry.get("delay", 0))
+        if decision == "placed":
+            self.store.commit(shift_request(vm, delay),
+                              int(entry["server_id"]))
+        self.metrics.observe_replayed(decision, delay)
+
+    # -- request handling --------------------------------------------------
+
+    def handle_line(self, line: str) -> str:
+        """Serve one raw protocol line; always returns a response line."""
+        try:
+            message = parse_request(line)
+        except ServiceError as exc:
+            with self._lock:
+                self.metrics.observe_error()
+            return encode({"ok": False, "error": str(exc)})
+        return encode(self.handle(message))
+
+    def handle(self, message: Mapping[str, object]) -> dict[str, object]:
+        """Serve one parsed request; never raises on domain errors."""
+        op = message.get("op")
+        with self._lock:
+            try:
+                return self._dispatch(op, message)
+            except ReproError as exc:
+                self.metrics.observe_error()
+                return {"ok": False, "op": op, "error": str(exc)}
+
+    def _dispatch(self, op: object,
+                  message: Mapping[str, object]) -> dict[str, object]:
+        if self.closed:
+            raise ServiceError("daemon is shut down")
+        if op == "place":
+            return self._handle_place(message)
+        if op == "tick":
+            return self._handle_tick(int(message["now"]))
+        if op == "stats":
+            return self._handle_stats()
+        if op == "metrics":
+            return {"ok": True, "op": "metrics",
+                    "text": self.metrics.render(self.store)}
+        if op == "snapshot":
+            path = self.write_snapshot()
+            if path is None:
+                raise ServiceError(
+                    "daemon runs without a data_dir; nothing to snapshot")
+            return {"ok": True, "op": "snapshot", "path": str(path)}
+        if op == "ping":
+            return {"ok": True, "op": "ping", "clock": self.store.clock}
+        if op == "shutdown":
+            return self._handle_shutdown()
+        raise ServiceError(f"unknown op {op!r}")  # pragma: no cover
+
+    def _handle_place(self, message: Mapping[str, object]
+                      ) -> dict[str, object]:
+        vm = message.get("_vm")
+        if vm is None:  # direct dict call without parse_request
+            try:
+                vm = vm_from_record(message["vm"])
+            except (TypeError, KeyError, ValueError) as exc:
+                raise ServiceError(f"malformed vm record: {exc}") from exc
+        started = perf_counter()
+        if vm.start > self.store.clock:
+            self.store.advance_to(vm.start)
+        decision = offer(vm, self.store.states, self.allocator,
+                         max_delay=int(self.config["max_delay"]))
+        response: dict[str, object] = {"ok": True, "op": "place",
+                                       "vm_id": vm.vm_id}
+        entry: dict[str, object] = {"op": "place", "vm": vm_to_record(vm)}
+        if decision is None:
+            response["decision"] = entry["decision"] = "rejected"
+        else:
+            server_id = decision.state.server.server_id
+            delta = self.store.commit(decision.vm, server_id)
+            response.update(decision="placed", server_id=server_id,
+                            delay=decision.delay, energy_delta=delta)
+            entry.update(decision="placed", server_id=server_id,
+                         delay=decision.delay)
+            self._placed_since_snapshot += 1
+        latency = perf_counter() - started
+        response["latency_ms"] = latency * 1e3
+        if self.journal is not None:
+            self.journal.append(entry)
+        self.metrics.observe_request(str(response["decision"]), latency,
+                                     int(response.get("delay", 0)))
+        if response["decision"] == "placed":
+            self._maybe_snapshot()
+        return response
+
+    def _handle_tick(self, now: int) -> dict[str, object]:
+        if now > self.store.clock:
+            self.store.advance_to(now)
+            if self.journal is not None:
+                self.journal.append({"op": "tick", "now": now})
+        return {"ok": True, "op": "tick", "clock": self.store.clock,
+                "servers_active": self.store.servers_active(),
+                "running_vms": self.store.running_vms()}
+
+    def _handle_stats(self) -> dict[str, object]:
+        return {
+            "ok": True, "op": "stats",
+            "clock": self.store.clock,
+            "placed": self.metrics.requests["placed"],
+            "rejected": self.metrics.requests["rejected"],
+            "delayed": self.metrics.delayed,
+            "errors": self.metrics.errors,
+            "servers_active": self.store.servers_active(),
+            "servers_asleep": self.store.servers_asleep(),
+            "running_vms": self.store.running_vms(),
+            "fleet_power": self.store.fleet_power(),
+            "energy_accumulated": self.store.energy_accumulated,
+            "energy_total": self.store.energy_total(),
+        }
+
+    def _handle_shutdown(self) -> dict[str, object]:
+        self.write_snapshot()
+        if self.journal is not None:
+            self.journal.close()
+        self.closed = True
+        for hook in self._shutdown_hooks:
+            hook()
+        return {"ok": True, "op": "shutdown", "clock": self.store.clock}
+
+    def on_shutdown(self, hook) -> None:
+        """Register a callable run when a shutdown request is served."""
+        self._shutdown_hooks.append(hook)
+
+    def render_metrics(self) -> str:
+        """The Prometheus text page (thread-safe)."""
+        with self._lock:
+            return self.metrics.render(self.store)
+
+
+# -- transports -------------------------------------------------------------
+
+
+def serve_stdio(daemon: AllocationDaemon, in_stream: IO[str],
+                out_stream: IO[str]) -> None:
+    """Serve JSON-lines over a pair of text streams until EOF/shutdown."""
+    for line in in_stream:
+        if not line.strip():
+            continue
+        out_stream.write(daemon.handle_line(line))
+        out_stream.flush()
+        if daemon.closed:
+            break
+
+
+class _TCPHandler(StreamRequestHandler):
+    def handle(self) -> None:
+        daemon = self.server.daemon
+        for raw in self.rfile:
+            line = raw.decode("utf-8", errors="replace")
+            if not line.strip():
+                continue
+            self.wfile.write(daemon.handle_line(line).encode("utf-8"))
+            self.wfile.flush()
+            if daemon.closed:
+                self.server.trigger_shutdown()
+                return
+
+
+class DaemonTCPServer(ThreadingTCPServer):
+    """JSON-lines over TCP; one thread per connection, shared daemon."""
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int],
+                 daemon: AllocationDaemon) -> None:
+        super().__init__(address, _TCPHandler)
+        self.daemon = daemon
+
+    def trigger_shutdown(self) -> None:
+        """Stop ``serve_forever`` without deadlocking the handler."""
+        threading.Thread(target=self.shutdown, daemon=True).start()
+
+
+def serve_tcp(daemon: AllocationDaemon, host: str = "127.0.0.1",
+              port: int = 0) -> DaemonTCPServer:
+    """Bind a TCP server for ``daemon``; the caller runs serve_forever.
+
+    Port 0 binds an ephemeral port — read it back from
+    ``server.server_address``.
+    """
+    return DaemonTCPServer((host, port), daemon)
+
+
+class _MetricsHandler(BaseHTTPRequestHandler):
+    def do_GET(self) -> None:
+        if self.path in ("/", "/metrics"):
+            body = self.server.daemon.render_metrics().encode("utf-8")
+            content_type = CONTENT_TYPE
+            status = 200
+        elif self.path == "/healthz":
+            body = b"ok\n"
+            content_type = "text/plain; charset=utf-8"
+            status = 200
+        else:
+            body = b"not found\n"
+            content_type = "text/plain; charset=utf-8"
+            status = 404
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, *args: object) -> None:
+        """Silence per-request stderr logging."""
+
+
+def start_metrics_server(daemon: AllocationDaemon, host: str = "127.0.0.1",
+                         port: int = 0) -> ThreadingHTTPServer:
+    """Serve ``/metrics`` and ``/healthz`` on a background thread."""
+    server = ThreadingHTTPServer((host, port), _MetricsHandler)
+    server.daemon = daemon
+    thread = threading.Thread(target=server.serve_forever, daemon=True,
+                              name="repro-metrics")
+    thread.start()
+    daemon.on_shutdown(lambda: threading.Thread(
+        target=server.shutdown, daemon=True).start())
+    return server

@@ -1,0 +1,166 @@
+"""Service metrics and their Prometheus text exposition.
+
+Counters (requests by decision, admission delays, protocol errors), a
+bounded reservoir of per-request placement latencies (p50/p99), and
+gauges read live off the :class:`~repro.service.state.ClusterStateStore`
+— instantaneous Eq.-1 fleet power, servers active/asleep, the analytic
+energy accumulated so far, and the integrated/peak power of the closed
+ticks via :class:`~repro.simulation.telemetry.Telemetry`.
+
+The exposition follows the Prometheus text format, version 0.0.4:
+``# HELP`` / ``# TYPE`` comments followed by ``name{labels} value``
+sample lines, one metric family per block.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Mapping
+
+from repro.exceptions import ValidationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.service.state import ClusterStateStore
+
+__all__ = ["LatencyReservoir", "ServiceMetrics", "CONTENT_TYPE"]
+
+#: The HTTP Content-Type of the text exposition format.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_DECISIONS = ("placed", "rejected")
+
+
+class LatencyReservoir:
+    """A bounded sliding window of latency samples with quantile reads."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity <= 0:
+            raise ValidationError(
+                f"capacity must be positive, got {capacity}")
+        self._capacity = capacity
+        self._samples: list[float] = []
+        self._next = 0
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, seconds: float) -> None:
+        self.count += 1
+        self.total += seconds
+        if len(self._samples) < self._capacity:
+            self._samples.append(seconds)
+        else:  # overwrite round-robin: keep the most recent window
+            self._samples[self._next] = seconds
+            self._next = (self._next + 1) % self._capacity
+
+    def quantile(self, q: float) -> float:
+        """The q-quantile (nearest-rank) of the window; 0 when empty."""
+        if not 0.0 <= q <= 1.0:
+            raise ValidationError(f"quantile must be in [0, 1], got {q}")
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        rank = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[rank]
+
+
+class ServiceMetrics:
+    """Counters + latency reservoir, renderable as Prometheus text."""
+
+    def __init__(self) -> None:
+        self.requests = {decision: 0 for decision in _DECISIONS}
+        self.delayed = 0
+        self.errors = 0
+        self.latency = LatencyReservoir()
+
+    def observe_request(self, decision: str, latency_seconds: float,
+                        delay: int = 0) -> None:
+        if decision not in self.requests:
+            raise ValidationError(f"unknown decision {decision!r}")
+        self.requests[decision] += 1
+        if delay:
+            self.delayed += 1
+        self.latency.observe(latency_seconds)
+
+    def observe_replayed(self, decision: str, delay: int = 0) -> None:
+        """Count a journal-replayed request (no latency sample — the
+        original timing is gone)."""
+        if decision not in self.requests:
+            raise ValidationError(f"unknown decision {decision!r}")
+        self.requests[decision] += 1
+        if delay:
+            self.delayed += 1
+
+    def observe_error(self) -> None:
+        self.errors += 1
+
+    # -- persistence (the latency window itself is not restorable) --------
+
+    def to_meta(self) -> dict[str, object]:
+        return {"requests": dict(self.requests), "delayed": self.delayed,
+                "errors": self.errors}
+
+    def restore_meta(self, meta: Mapping[str, object]) -> None:
+        requests = meta.get("requests")
+        if isinstance(requests, Mapping):
+            for decision in _DECISIONS:
+                self.requests[decision] = int(requests.get(decision, 0))
+        self.delayed = int(meta.get("delayed", 0))
+        self.errors = int(meta.get("errors", 0))
+
+    # -- exposition --------------------------------------------------------
+
+    def render(self, store: "ClusterStateStore") -> str:
+        """The full Prometheus text page for this daemon."""
+        telemetry = store.telemetry()
+        lines: list[str] = []
+
+        def family(name: str, kind: str, help_text: str,
+                   samples: list[tuple[str, float]]) -> None:
+            lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {kind}")
+            for suffix, value in samples:
+                lines.append(f"{name}{suffix} {value:.10g}")
+
+        family("repro_requests_total", "counter",
+               "Placement requests by final decision.",
+               [(f'{{decision="{d}"}}', float(self.requests[d]))
+                for d in _DECISIONS])
+        family("repro_requests_delayed_total", "counter",
+               "Requests admitted only after a queueing delay.",
+               [("", float(self.delayed))])
+        family("repro_request_errors_total", "counter",
+               "Malformed or unserviceable protocol requests.",
+               [("", float(self.errors))])
+        family("repro_placement_latency_seconds", "summary",
+               "Service-side latency of placement decisions.",
+               [('{quantile="0.5"}', self.latency.quantile(0.5)),
+                ('{quantile="0.99"}', self.latency.quantile(0.99)),
+                ("_sum", self.latency.total),
+                ("_count", float(self.latency.count))])
+        family("repro_fleet_power_watts", "gauge",
+               "Instantaneous fleet power draw (Eq. 1).",
+               [("", store.fleet_power())])
+        family("repro_servers_active", "gauge",
+               "Servers currently in the active power state.",
+               [("", float(store.servers_active()))])
+        family("repro_servers_asleep", "gauge",
+               "Servers currently in the power-saving state.",
+               [("", float(store.servers_asleep()))])
+        family("repro_running_vms", "gauge",
+               "VM demand pieces currently resident on the fleet.",
+               [("", float(store.running_vms()))])
+        family("repro_clock_ticks", "gauge",
+               "Current wall-clock tick of the cluster state.",
+               [("", float(store.clock))])
+        family("repro_vms_placed", "gauge",
+               "VMs committed to the plan since daemon start.",
+               [("", float(len(store.placements)))])
+        family("repro_energy_accumulated_watt_ticks", "counter",
+               "Analytic Eq.-17 energy accumulated over all placements.",
+               [("", store.energy_accumulated)])
+        family("repro_busy_energy_watt_ticks", "counter",
+               "Integrated live fleet power over closed ticks.",
+               [("", telemetry.total_energy)])
+        family("repro_power_peak_watts", "gauge",
+               "Peak per-tick fleet power over closed ticks.",
+               [("", telemetry.peak_power)])
+        return "\n".join(lines) + "\n"

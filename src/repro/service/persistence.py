@@ -1,0 +1,141 @@
+"""Crash-safe persistence: the request journal and snapshot rotation.
+
+The daemon's durability story is the classic snapshot + write-ahead
+pair:
+
+* every state-mutating request (``place``, ``tick``) is appended to a
+  JSON-lines **journal** — flushed (and optionally fsynced) per entry,
+  with monotone sequence numbers;
+* periodically the whole :class:`~repro.service.state.ClusterStateStore`
+  is checkpointed as a **snapshot** that records the last journal
+  sequence it covers.
+
+Restore loads the newest readable snapshot and replays only the journal
+entries after its sequence number. A torn final journal line (the crash
+happened mid-write) is tolerated and dropped; corruption anywhere else
+is an error. Placements are replayed from the *recorded* decision, not
+re-derived through the allocator, so a restored daemon reaches the
+identical state even for randomized allocators.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Iterator, Mapping
+
+from repro.exceptions import ValidationError
+
+__all__ = ["RequestJournal", "SnapshotManager", "read_journal"]
+
+_SNAPSHOT_GLOB = "snapshot-*.json"
+
+
+class RequestJournal:
+    """An append-only JSON-lines journal with monotone sequence numbers."""
+
+    def __init__(self, path: str | Path, *, fsync: bool = True) -> None:
+        self.path = Path(path)
+        self._fsync = fsync
+        self._next_seq = 1
+        if self.path.exists():
+            for entry in read_journal(self.path):
+                self._next_seq = int(entry["seq"]) + 1
+        self._fh = self.path.open("a", encoding="utf-8")
+
+    @property
+    def next_seq(self) -> int:
+        return self._next_seq
+
+    def append(self, entry: Mapping[str, object]) -> int:
+        """Durably append ``entry``; returns its sequence number."""
+        seq = self._next_seq
+        self._next_seq += 1
+        record = {"seq": seq, **entry}
+        self._fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+        self._fh.flush()
+        if self._fsync:
+            os.fsync(self._fh.fileno())
+        return seq
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "RequestJournal":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def read_journal(path: str | Path) -> Iterator[dict[str, object]]:
+    """Yield journal entries in order, dropping a torn final line.
+
+    Raises :class:`ValidationError` when a line *before* the last is
+    unreadable — that is corruption, not an interrupted append.
+    """
+    path = Path(path)
+    if not path.exists():
+        return
+    lines = path.read_text(encoding="utf-8").splitlines()
+    for i, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if i == len(lines) - 1:
+                return  # torn final write: the entry never happened
+            raise ValidationError(
+                f"{path}:{i + 1}: corrupt journal entry: {exc}") from exc
+        if not isinstance(entry, dict) or "seq" not in entry:
+            raise ValidationError(
+                f"{path}:{i + 1}: journal entry without seq: {line!r}")
+        yield entry
+
+
+class SnapshotManager:
+    """Writes, rotates and recovers snapshot files in one directory."""
+
+    def __init__(self, directory: str | Path, *, keep: int = 3) -> None:
+        if keep < 1:
+            raise ValidationError(f"keep must be >= 1, got {keep}")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._keep = keep
+
+    def path_for(self, seq: int) -> Path:
+        return self.directory / f"snapshot-{seq:010d}.json"
+
+    def save(self, document: Mapping[str, object], seq: int) -> Path:
+        """Atomically write the snapshot covering journal entries <= seq."""
+        path = self.path_for(seq)
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(document), encoding="utf-8")
+        os.replace(tmp, path)
+        self._prune()
+        return path
+
+    def _prune(self) -> None:
+        snapshots = sorted(self.directory.glob(_SNAPSHOT_GLOB))
+        for stale in snapshots[:-self._keep]:
+            stale.unlink(missing_ok=True)
+
+    def load_latest(self) -> dict[str, object] | None:
+        """The newest readable snapshot document, or ``None``.
+
+        A snapshot that fails to parse (e.g. the crash interrupted an
+        ``os.replace`` on a filesystem without atomic rename) is skipped
+        in favour of the previous one.
+        """
+        for path in sorted(self.directory.glob(_SNAPSHOT_GLOB),
+                           reverse=True):
+            try:
+                document = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, json.JSONDecodeError):
+                continue
+            if isinstance(document, dict):
+                return document
+        return None

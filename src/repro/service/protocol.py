@@ -1,0 +1,107 @@
+"""The JSON-lines wire protocol of the allocation service.
+
+Every message is one JSON object per line, UTF-8, newline-terminated —
+the same framing over stdin/stdout and TCP. Requests carry an ``op``
+field; responses always carry ``ok`` (and ``error`` when ``ok`` is
+false). The VM payload of a ``place`` request uses the canonical trace
+record shape (:func:`repro.workload.trace.vm_to_record`), so a saved
+trace streams to a daemon without translation.
+
+Operations
+----------
+``place``
+    ``{"op": "place", "vm": {vm_id, type, cpu, memory, start, end[,
+    phases]}}`` — route one request through the allocator. The response
+    reports ``decision`` (``"placed"`` or ``"rejected"``), the chosen
+    ``server_id``, any admission ``delay``, the analytic
+    ``energy_delta`` (Eq. 17) and the service-side ``latency_ms``.
+``tick``
+    ``{"op": "tick", "now": T}`` — advance the cluster clock to ``T``,
+    retiring expired VMs and powering down idle servers.
+``stats``
+    Counters, clock and energy accounting as JSON.
+``metrics``
+    The Prometheus text exposition as a ``text`` field (also served
+    over HTTP, see :func:`repro.service.daemon.start_metrics_server`).
+``snapshot``
+    Force a checkpoint now; responds with the snapshot path.
+``ping`` / ``shutdown``
+    Liveness probe / orderly stop (final snapshot, journal close).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Mapping
+
+from repro.exceptions import ServiceError
+from repro.model.vm import VM
+from repro.workload.trace import vm_from_record, vm_to_record
+
+__all__ = ["PROTOCOL_VERSION", "OPS", "parse_request", "parse_response",
+           "encode", "place_request", "vm_to_record", "vm_from_record"]
+
+#: Bumped on incompatible wire changes; daemons reject newer requests.
+PROTOCOL_VERSION = 1
+
+#: Every operation the daemon understands.
+OPS = ("place", "tick", "stats", "metrics", "snapshot", "ping", "shutdown")
+
+
+def encode(message: Mapping[str, object]) -> str:
+    """One protocol line: compact JSON plus the terminating newline."""
+    return json.dumps(message, separators=(",", ":")) + "\n"
+
+
+def place_request(vm: VM) -> dict[str, object]:
+    """The ``place`` request for one VM."""
+    return {"op": "place", "vm": vm_to_record(vm)}
+
+
+def parse_request(line: str) -> dict[str, object]:
+    """Decode and validate one request line.
+
+    Raises :class:`ServiceError` on malformed JSON, a non-object
+    payload, an unknown ``op``, or an unsupported protocol version.
+    """
+    try:
+        message = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ServiceError(f"malformed request line: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ServiceError(
+            f"request must be a JSON object, got {type(message).__name__}")
+    version = message.get("v", PROTOCOL_VERSION)
+    if version != PROTOCOL_VERSION:
+        raise ServiceError(
+            f"unsupported protocol version {version!r} "
+            f"(this daemon speaks {PROTOCOL_VERSION})")
+    op = message.get("op")
+    if op not in OPS:
+        raise ServiceError(f"unknown op {op!r}; supported: {OPS}")
+    if op == "place":
+        record = message.get("vm")
+        if not isinstance(record, dict):
+            raise ServiceError("place request needs a 'vm' record object")
+        try:
+            message["_vm"] = vm_from_record(record)
+        except (TypeError, KeyError, ValueError) as exc:
+            raise ServiceError(f"malformed vm record: {exc}") from exc
+    elif op == "tick":
+        now = message.get("now")
+        if not isinstance(now, int) or now < 0:
+            raise ServiceError(
+                f"tick request needs a non-negative integer 'now', "
+                f"got {message.get('now')!r}")
+    return message
+
+
+def parse_response(line: str) -> dict[str, object]:
+    """Decode one response line (client side)."""
+    try:
+        message = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ServiceError(f"malformed response line: {exc}") from exc
+    if not isinstance(message, dict) or "ok" not in message:
+        raise ServiceError(f"malformed response: {line!r}")
+    return message

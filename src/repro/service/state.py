@@ -1,0 +1,302 @@
+"""Live cluster state behind the allocation daemon.
+
+A :class:`ClusterStateStore` is the online counterpart of one
+:func:`~repro.simulation.engine.simulate_online` run, split along the
+axis a long-running service needs:
+
+* **planning state** — one :class:`~repro.allocators.state.ServerState`
+  per server carries the committed usage, busy segments, and the running
+  Eq.-17 cost, exactly as during batch allocation, so any registered
+  allocator selects servers through its unmodified ``select`` rule;
+* **live state** — one :class:`~repro.simulation.power_state.ServerMachine`
+  per server tracks the *current* power state as the wall clock advances:
+  servers wake when a placed VM's start tick arrives, expired VMs are
+  retired at their end tick, and an emptied server powers down (an online
+  controller cannot evaluate the Eq.-16 sleep rule — the next arrival is
+  unknown — so the live view sleeps greedily, bridging only gaps of
+  length zero; the *authoritative* energy remains the analytic
+  accounting, which applies the configured sleep policy exactly);
+* **telemetry** — per-tick fleet power, active servers and running VMs,
+  frozen into a :class:`~repro.simulation.telemetry.Telemetry` on demand.
+
+The store is crash-safe via :meth:`to_snapshot` / :meth:`from_snapshot`:
+a snapshot records the cluster, the clock and every placement in commit
+order, and restoring replays the placements and re-advances the clock,
+reconstructing planning state, machines and telemetry bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Mapping
+
+import numpy as np
+
+from repro.allocators.state import ServerState
+from repro.energy.cost import SleepPolicy, allocation_cost
+from repro.exceptions import ValidationError
+from repro.model.allocation import Allocation
+from repro.model.cluster import Cluster
+from repro.model.phases import demand_profile
+from repro.model.server import ServerSpec
+from repro.model.vm import VM
+from repro.simulation.power_state import PowerState, ServerMachine
+from repro.simulation.telemetry import Telemetry
+from repro.workload.trace import vm_from_record, vm_to_record
+
+__all__ = ["ClusterStateStore", "SNAPSHOT_FORMAT_VERSION", "snapshot_meta"]
+
+SNAPSHOT_FORMAT_VERSION = 1
+
+_SPEC_FIELDS = ("name", "cpu_capacity", "memory_capacity", "p_idle",
+                "p_peak", "transition_time")
+
+
+def _spec_record(spec: ServerSpec) -> dict[str, object]:
+    return {field: getattr(spec, field) for field in _SPEC_FIELDS}
+
+
+class ClusterStateStore:
+    """Mutable cluster state: planning usage, power states, telemetry."""
+
+    def __init__(self, cluster: Cluster, *,
+                 policy: SleepPolicy = SleepPolicy.OPTIMAL) -> None:
+        self.cluster = cluster
+        self.policy = policy
+        self.states = [ServerState(server, policy=policy)
+                       for server in cluster]
+        self.machines = {server.server_id: ServerMachine(server)
+                         for server in cluster}
+        self.clock = 0
+        #: analytic Eq.-17 energy, accumulated per-placement delta
+        self.energy_accumulated = 0.0
+        self._placements: list[tuple[VM, int]] = []
+        self._vm_ids: set[int] = set()
+        # live-event schedule: tick -> [(piece_id, server_id)]
+        self._starts: dict[int, list[tuple[int, int]]] = {}
+        self._ends: dict[int, list[tuple[int, int]]] = {}
+        self._piece_demand: dict[int, tuple[float, float]] = {}
+        self._next_piece = 0
+        self._max_end = 0
+        # per-tick samples; index 0 is tick 1 (ticks < clock are closed)
+        self._power: list[float] = []
+        self._active: list[int] = []
+        self._running: list[int] = []
+
+    # -- placement ---------------------------------------------------------
+
+    def commit(self, vm: VM, server_id: int) -> float:
+        """Commit ``vm`` to server ``server_id``; returns the energy delta.
+
+        Updates the planning state (raising
+        :class:`~repro.exceptions.CapacityError` when the VM does not
+        fit), registers the VM's start/end on the live schedule, and —
+        when the VM starts on the current tick — wakes the server and
+        admits it immediately.
+
+        ``vm_id`` is the request's identity: committing a second VM
+        with an already-placed id raises
+        :class:`~repro.exceptions.ValidationError` (duplicates would
+        silently collapse in the :class:`Allocation` view and corrupt
+        the from-scratch energy total).
+        """
+        if vm.vm_id in self._vm_ids:
+            raise ValidationError(
+                f"vm_id {vm.vm_id} is already placed; "
+                "service vm ids must be unique")
+        delta = self.states[server_id].place(vm)
+        self._vm_ids.add(vm.vm_id)
+        self._placements.append((vm, server_id))
+        self.energy_accumulated += delta
+        for piece, cpu, memory in demand_profile(vm):
+            if piece.end < self.clock:
+                continue  # entirely in the past: no live effect
+            piece_id = self._next_piece
+            self._next_piece += 1
+            self._piece_demand[piece_id] = (cpu, memory)
+            self._max_end = max(self._max_end, piece.end)
+            if piece.start <= self.clock:
+                machine = self.machines[server_id]
+                if machine.state is PowerState.POWER_SAVING:
+                    machine.wake()
+                machine.start_vm(piece_id, cpu, memory)
+            else:
+                self._starts.setdefault(piece.start, []).append(
+                    (piece_id, server_id))
+            self._ends.setdefault(piece.end, []).append(
+                (piece_id, server_id))
+        return delta
+
+    # -- clock -------------------------------------------------------------
+
+    def advance_to(self, t: int) -> None:
+        """Advance the wall clock to tick ``t`` (monotone).
+
+        Mirrors the replay engine's per-tick ordering: wakes and VM
+        starts open a tick, the fleet sample is taken mid-tick, and VM
+        retirements and sleeps close it. The current tick stays open —
+        its sample is taken when the clock moves past it, so placements
+        landing on the current tick are included.
+        """
+        if t < self.clock:
+            raise ValidationError(
+                f"clock cannot move backwards: {t} < {self.clock}")
+        while self.clock < t:
+            if self.clock >= 1:
+                self._close_tick(self.clock)
+            self.clock += 1
+            for piece_id, server_id in self._starts.pop(self.clock, ()):
+                machine = self.machines[server_id]
+                if machine.state is PowerState.POWER_SAVING:
+                    machine.wake()
+                cpu, memory = self._piece_demand[piece_id]
+                machine.start_vm(piece_id, cpu, memory)
+
+    def _close_tick(self, tick: int) -> None:
+        power = 0.0
+        active = 0
+        running = 0
+        for machine in self.machines.values():
+            power += machine.power_draw()
+            if machine.state is PowerState.ACTIVE:
+                active += 1
+            running += len(machine.resident_vms)
+        self._power.append(power)
+        self._active.append(active)
+        self._running.append(running)
+        for piece_id, server_id in self._ends.pop(tick, ()):
+            cpu, memory = self._piece_demand.pop(piece_id)
+            self.machines[server_id].end_vm(piece_id, cpu, memory)
+        # Power down emptied servers — unless a start is already
+        # scheduled for the very next tick (a zero-length gap).
+        imminent = {server_id
+                    for _, server_id in self._starts.get(tick + 1, ())}
+        for machine in self.machines.values():
+            if machine.state is PowerState.ACTIVE and \
+                    not machine.resident_vms and \
+                    machine.server.server_id not in imminent:
+                machine.sleep()
+
+    def run_to_completion(self) -> None:
+        """Advance past the last scheduled retirement, closing every tick."""
+        self.advance_to(max(self.clock, self._max_end) + 1)
+
+    # -- views -------------------------------------------------------------
+
+    @property
+    def placements(self) -> tuple[tuple[VM, int], ...]:
+        """Every committed (vm, server_id) pair in commit order."""
+        return tuple(self._placements)
+
+    def allocation(self) -> Allocation:
+        """The committed placements as an :class:`Allocation`."""
+        return Allocation(self.cluster,
+                          {vm: sid for vm, sid in self._placements})
+
+    def energy_total(self) -> float:
+        """From-scratch analytic Eq.-17 energy of the committed plan."""
+        return allocation_cost(self.allocation(), policy=self.policy).total
+
+    def fleet_power(self) -> float:
+        """Instantaneous fleet power draw (Eq. 1) on the current tick."""
+        return sum(m.power_draw() for m in self.machines.values())
+
+    def servers_active(self) -> int:
+        return sum(1 for m in self.machines.values()
+                   if m.state is PowerState.ACTIVE)
+
+    def servers_asleep(self) -> int:
+        return sum(1 for m in self.machines.values()
+                   if m.state is PowerState.POWER_SAVING)
+
+    def running_vms(self) -> int:
+        return sum(len(m.resident_vms) for m in self.machines.values())
+
+    def telemetry(self) -> Telemetry:
+        """The closed-tick series as an immutable Telemetry."""
+        return Telemetry(power=np.array(self._power, dtype=float),
+                         active_servers=np.array(self._active, dtype=int),
+                         running_vms=np.array(self._running, dtype=int))
+
+    # -- snapshots ---------------------------------------------------------
+
+    def to_snapshot(self, meta: Mapping[str, object] | None = None
+                    ) -> dict[str, object]:
+        """A JSON-safe document from which :meth:`from_snapshot` rebuilds
+        an identical store. ``meta`` rides along uninterpreted (the
+        daemon stores its counters and journal sequence there)."""
+        return {
+            "format_version": SNAPSHOT_FORMAT_VERSION,
+            "policy": self.policy.value,
+            "clock": self.clock,
+            "cluster": [_spec_record(server.spec)
+                        for server in self.cluster],
+            "placements": [{"server_id": server_id,
+                            "vm": vm_to_record(vm)}
+                           for vm, server_id in self._placements],
+            "meta": dict(meta) if meta else {},
+        }
+
+    @classmethod
+    def from_snapshot(cls, document: Mapping[str, object]
+                      ) -> "ClusterStateStore":
+        """Rebuild a store from a :meth:`to_snapshot` document.
+
+        Placements are re-committed in their original order and the
+        clock is re-advanced, so planning state, power states and
+        telemetry all match the snapshotted store exactly.
+        """
+        version = document.get("format_version")
+        if version != SNAPSHOT_FORMAT_VERSION:
+            raise ValidationError(
+                f"unsupported snapshot format version {version!r}")
+        try:
+            specs = [ServerSpec(**record) for record in document["cluster"]]
+            policy = SleepPolicy(document["policy"])
+            clock = int(document["clock"])
+            entries = list(document["placements"])
+        except (TypeError, KeyError, ValueError) as exc:
+            raise ValidationError(f"malformed snapshot: {exc}") from exc
+        store = cls(Cluster.from_specs(specs), policy=policy)
+        for i, entry in enumerate(entries):
+            try:
+                vm = vm_from_record(entry["vm"])
+                server_id = int(entry["server_id"])
+            except (TypeError, KeyError, ValueError) as exc:
+                raise ValidationError(
+                    f"malformed snapshot placement #{i}: {exc}") from exc
+            store.commit(vm, server_id)
+        store.advance_to(clock)
+        return store
+
+    def save(self, path: str | Path,
+             meta: Mapping[str, object] | None = None) -> None:
+        """Atomically write the snapshot document to ``path``."""
+        path = Path(path)
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        tmp.write_text(json.dumps(self.to_snapshot(meta)))
+        os.replace(tmp, path)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ClusterStateStore":
+        """Load a snapshot written by :meth:`save`."""
+        path = Path(path)
+        try:
+            document = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise ValidationError(
+                f"{path}: not a valid snapshot: {exc}") from exc
+        return cls.from_snapshot(document)
+
+    def __repr__(self) -> str:
+        return (f"ClusterStateStore(n_servers={len(self.cluster)}, "
+                f"clock={self.clock}, placements={len(self._placements)}, "
+                f"active={self.servers_active()})")
+
+
+def snapshot_meta(document: Mapping[str, object]) -> dict[str, object]:
+    """The ``meta`` payload of a snapshot document (empty when absent)."""
+    meta = document.get("meta")
+    return dict(meta) if isinstance(meta, Mapping) else {}

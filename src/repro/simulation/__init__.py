@@ -3,7 +3,10 @@ engine, telemetry."""
 
 from repro.simulation.admission import (
     AdmissionController,
+    AdmissionDecision,
     AdmissionOutcome,
+    offer,
+    shift_request,
 )
 from repro.simulation.engine import (
     SimulationEngine,
@@ -22,7 +25,10 @@ from repro.simulation.telemetry import Telemetry, TelemetryCollector
 
 __all__ = [
     "AdmissionController",
+    "AdmissionDecision",
     "AdmissionOutcome",
+    "offer",
+    "shift_request",
     "SimulationEngine",
     "SimulationResult",
     "simulate_online",

@@ -19,7 +19,7 @@ and the accepted plan's energy — the inputs to a capacity-vs-SLA study
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Iterable, Sequence
 
 from repro.allocators.base import Allocator
 from repro.allocators.min_energy import MinIncrementalEnergy
@@ -31,7 +31,8 @@ from repro.model.cluster import Cluster
 from repro.model.phases import PhasedVM
 from repro.model.vm import VM
 
-__all__ = ["AdmissionOutcome", "AdmissionController"]
+__all__ = ["AdmissionDecision", "AdmissionOutcome", "AdmissionController",
+           "offer", "shift_request"]
 
 
 @dataclass(frozen=True)
@@ -55,18 +56,58 @@ class AdmissionOutcome:
         return self.total_delay / self.accepted if self.accepted else 0.0
 
 
-def _shifted(vm: VM, delay: int) -> VM:
+def shift_request(vm: VM, delay: int) -> VM:
     """The same request starting ``delay`` units later.
 
     Phased VMs keep their phase structure — phases are relative to the
     start, so shifting the interval moves them all.
     """
+    if delay == 0:
+        return vm
     if isinstance(vm, PhasedVM):
         return PhasedVM(vm_id=vm.vm_id, spec=vm.spec,
                         interval=vm.interval.shift(delay),
                         phases=vm.phases)
     return VM(vm_id=vm.vm_id, spec=vm.spec,
               interval=vm.interval.shift(delay))
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """A successful admission: where (and with what delay) a VM lands.
+
+    ``vm`` is the request as admitted — identical to the offered one when
+    ``delay == 0``, otherwise shifted ``delay`` units later. The decision
+    is advisory: nothing has been placed yet; callers commit it with
+    ``state.place(decision.vm)``.
+    """
+
+    vm: VM
+    state: ServerState
+    delay: int
+
+
+def offer(vm: VM, states: Sequence[ServerState], allocator: Allocator,
+          max_delay: int = 0) -> AdmissionDecision | None:
+    """Offer one request to the fleet under reject-or-defer semantics.
+
+    The request is tried as-is, then shifted later one unit at a time up
+    to ``max_delay``; the first fit wins. Returns ``None`` when nothing
+    admits it — the caller's reject path. ``allocator.prepare`` must have
+    been called on ``states`` beforehand (once per arrival process).
+
+    This is the single-request core shared by the batch
+    :class:`AdmissionController` and the online allocation service
+    (:mod:`repro.service`).
+    """
+    if max_delay < 0:
+        raise ValidationError(f"max_delay must be >= 0, got {max_delay}")
+    for delay in range(max_delay + 1):
+        candidate = shift_request(vm, delay)
+        chosen = allocator.select(candidate, states)
+        if chosen is not None:
+            return AdmissionDecision(vm=candidate, state=chosen, delay=delay)
+    return None
 
 
 class AdmissionController:
@@ -95,21 +136,16 @@ class AdmissionController:
         total_delay = 0
         total_energy = 0.0
         for vm in ordered:
-            placed = False
-            for delay in range(self._max_delay + 1):
-                candidate = vm if delay == 0 else _shifted(vm, delay)
-                chosen = self._allocator.select(candidate, states)
-                if chosen is None:
-                    continue
-                total_energy += chosen.place(candidate)
-                placements[candidate] = chosen.server.server_id
-                if delay:
-                    delayed += 1
-                    total_delay += delay
-                placed = True
-                break
-            if not placed:
+            decision = offer(vm, states, self._allocator,
+                             max_delay=self._max_delay)
+            if decision is None:
                 rejected.append(vm)
+                continue
+            total_energy += decision.state.place(decision.vm)
+            placements[decision.vm] = decision.state.server.server_id
+            if decision.delay:
+                delayed += 1
+                total_delay += decision.delay
         allocation = Allocation(cluster, placements)
         return AdmissionOutcome(
             allocation=allocation,

@@ -19,10 +19,49 @@ from repro.model.intervals import TimeInterval
 from repro.model.phases import DemandPhase, PhasedVM
 from repro.model.vm import VM, VMSpec
 
-__all__ = ["Trace"]
+__all__ = ["Trace", "vm_to_record", "vm_from_record"]
 
 _CSV_FIELDS = ("vm_id", "type", "cpu", "memory", "start", "end")
 _FORMAT_VERSION = 1
+
+
+def vm_to_record(vm: VM) -> dict[str, object]:
+    """The JSON-friendly record of one VM request.
+
+    This is the canonical wire/file shape shared by JSON traces and the
+    allocation service's JSON-lines protocol: ``vm_id``, ``type``,
+    ``cpu``, ``memory``, ``start``, ``end``, plus ``phases`` for
+    :class:`~repro.model.phases.PhasedVM`.
+    """
+    record: dict[str, object] = {
+        "vm_id": vm.vm_id, "type": vm.spec.name, "cpu": vm.cpu,
+        "memory": vm.memory, "start": vm.start, "end": vm.end,
+    }
+    if isinstance(vm, PhasedVM):
+        record["phases"] = [
+            {"duration": p.duration, "cpu": p.cpu, "memory": p.memory}
+            for p in vm.phases
+        ]
+    return record
+
+
+def vm_from_record(record: Mapping[str, object]) -> VM:
+    """Rebuild a :class:`VM` (or :class:`PhasedVM`) from its record.
+
+    Raises ``TypeError``/``KeyError``/``ValueError`` on malformed input;
+    callers wrap these with their own context (file line, request id).
+    """
+    spec = VMSpec(name=str(record["type"]), cpu=float(record["cpu"]),
+                  memory=float(record["memory"]))
+    interval = TimeInterval(int(record["start"]), int(record["end"]))
+    if record.get("phases") is not None:
+        phases = tuple(
+            DemandPhase(duration=int(p["duration"]), cpu=float(p["cpu"]),
+                        memory=float(p["memory"]))
+            for p in record["phases"])
+        return PhasedVM(vm_id=int(record["vm_id"]), spec=spec,
+                        interval=interval, phases=phases)
+    return VM(vm_id=int(record["vm_id"]), spec=spec, interval=interval)
 
 
 @dataclass(frozen=True)
@@ -94,19 +133,7 @@ class Trace:
         Phased VMs persist their demand phases; CSV, by contrast, stores
         only the flat six-column schema (use JSON for phased traces).
         """
-        records = []
-        for vm in self.vms:
-            record: dict[str, object] = {
-                "vm_id": vm.vm_id, "type": vm.spec.name, "cpu": vm.cpu,
-                "memory": vm.memory, "start": vm.start, "end": vm.end,
-            }
-            if isinstance(vm, PhasedVM):
-                record["phases"] = [
-                    {"duration": p.duration, "cpu": p.cpu,
-                     "memory": p.memory}
-                    for p in vm.phases
-                ]
-            records.append(record)
+        records = [vm_to_record(vm) for vm in self.vms]
         document = {
             "format_version": _FORMAT_VERSION,
             "metadata": dict(self.metadata),
@@ -129,23 +156,7 @@ class Trace:
         vms = []
         for i, record in enumerate(document.get("vms", [])):
             try:
-                spec = VMSpec(name=record["type"], cpu=float(record["cpu"]),
-                              memory=float(record["memory"]))
-                interval = TimeInterval(int(record["start"]),
-                                        int(record["end"]))
-                if "phases" in record:
-                    phases = tuple(
-                        DemandPhase(duration=int(p["duration"]),
-                                    cpu=float(p["cpu"]),
-                                    memory=float(p["memory"]))
-                        for p in record["phases"])
-                    vms.append(PhasedVM(
-                        vm_id=int(record["vm_id"]), spec=spec,
-                        interval=interval, phases=phases))
-                else:
-                    vms.append(VM(
-                        vm_id=int(record["vm_id"]), spec=spec,
-                        interval=interval))
+                vms.append(vm_from_record(record))
             except (TypeError, KeyError, ValueError) as exc:
                 raise ValidationError(
                     f"{path}: malformed VM record #{i}: {exc}") from exc

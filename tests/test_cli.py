@@ -81,3 +81,49 @@ class TestCommands:
         code = main(["run", "--vms", "0", "--seeds", "0"])
         assert code == 1
         assert "error:" in capsys.readouterr().err
+
+
+class TestServiceCommands:
+    def test_no_subcommand_prints_usage_and_exits_two(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([])
+        assert excinfo.value.code == 2
+        assert "usage:" in capsys.readouterr().err
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.port == 7077
+        assert args.servers == 100
+        assert args.algorithm == "min-energy"
+        assert args.max_delay == 0
+        assert args.snapshot_every == 100
+        assert not args.stdio and not args.restore
+
+    def test_client_defaults(self):
+        args = build_parser().parse_args(["client"])
+        assert args.port == 7077
+        assert args.host == "127.0.0.1"
+        assert not args.shutdown
+
+    def test_serve_restore_requires_data_dir(self, capsys):
+        assert main(["serve", "--restore", "--stdio"]) == 2
+        assert "--data-dir" in capsys.readouterr().err
+
+    def test_serve_stdio_session(self, monkeypatch, capsys):
+        import io
+        import json
+        import sys
+
+        monkeypatch.setattr(sys, "stdin", io.StringIO(
+            '{"op": "place", "vm": {"vm_id": 0, "cpu": 1.0,'
+            ' "memory": 1.0, "start": 1, "end": 4, "type": "t"}}\n'
+            '{"op": "stats"}\n'
+            '{"op": "shutdown"}\n'))
+        assert main(["serve", "--stdio", "--servers", "2"]) == 0
+        captured = capsys.readouterr()
+        assert "cluster: 2 servers" in captured.err
+        responses = [json.loads(line)
+                     for line in captured.out.splitlines()]
+        assert responses[0]["decision"] == "placed"
+        assert responses[1]["placed"] == 1
+        assert responses[2]["op"] == "shutdown"

@@ -20,7 +20,8 @@ class TestExports:
     def test_key_classes_exposed(self):
         for name in ("MinIncrementalEnergy", "FirstFitPowerSaving",
                      "Cluster", "VM", "Allocation", "SimulationEngine",
-                     "Trace", "ScenarioConfig"):
+                     "Trace", "ScenarioConfig", "AllocationDaemon",
+                     "ClusterStateStore", "DaemonClient"):
             assert name in repro.__all__
 
     def test_key_functions_exposed(self):
@@ -33,7 +34,8 @@ class TestExports:
     def test_subpackages_importable(self):
         for module in ("repro.model", "repro.energy", "repro.allocators",
                        "repro.ilp", "repro.simulation", "repro.workload",
-                       "repro.metrics", "repro.experiments", "repro.cli"):
+                       "repro.metrics", "repro.experiments", "repro.cli",
+                       "repro.service"):
             importlib.import_module(module)
 
 
@@ -72,6 +74,9 @@ class TestDocstrings:
         "repro.extensions.consolidation", "repro.extensions.offline",
         "repro.extensions.cost_terms", "repro.extensions.robustness",
         "repro.extensions.warmpool",
+        "repro.service.protocol", "repro.service.state",
+        "repro.service.persistence", "repro.service.metrics",
+        "repro.service.daemon", "repro.service.client",
     ])
     def test_every_module_documented(self, module_name):
         module = importlib.import_module(module_name)

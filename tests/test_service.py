@@ -1,0 +1,396 @@
+"""Tests for the online allocation service subsystem."""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+import urllib.request
+
+import pytest
+
+from repro.allocators import MinIncrementalEnergy
+from repro.exceptions import ServiceError, ValidationError
+from repro.model.cluster import Cluster
+from repro.model.server import ServerSpec
+from repro.service import (
+    AllocationDaemon,
+    ClusterStateStore,
+    DaemonClient,
+    RequestJournal,
+    SnapshotManager,
+    parse_request,
+    place_request,
+    read_journal,
+    replay_trace,
+    serve_stdio,
+    serve_tcp,
+    start_metrics_server,
+)
+from repro.simulation import simulate_online
+from repro.simulation.power_state import PowerState
+from repro.workload.generator import generate_vms
+
+from conftest import make_vm
+
+SPEC = ServerSpec("s", cpu_capacity=10.0, memory_capacity=10.0,
+                  p_idle=50.0, p_peak=100.0, transition_time=1.0)
+
+
+def online_order(vms):
+    """The paper's arrival order: start time, ties by end then id."""
+    return sorted(vms, key=lambda v: (v.start, v.end, v.vm_id))
+
+
+def stream(daemon, vms):
+    for vm in online_order(vms):
+        response = daemon.handle(place_request(vm))
+        assert response["ok"], response
+        yield response
+
+
+class TestProtocol:
+    def test_roundtrip_place(self):
+        vm = make_vm(3, 2, 7, cpu=1.5)
+        message = parse_request(json.dumps(place_request(vm)))
+        assert message["_vm"] == vm
+        assert message["_vm"].interval == vm.interval
+
+    def test_rejects_bad_json(self):
+        with pytest.raises(ServiceError):
+            parse_request("{nope")
+
+    def test_rejects_unknown_op(self):
+        with pytest.raises(ServiceError):
+            parse_request('{"op": "frobnicate"}')
+
+    def test_rejects_bad_vm_record(self):
+        with pytest.raises(ServiceError):
+            parse_request('{"op": "place", "vm": {"vm_id": 1}}')
+
+    def test_rejects_future_protocol_version(self):
+        with pytest.raises(ServiceError):
+            parse_request('{"op": "ping", "v": 99}')
+
+    def test_rejects_bad_tick(self):
+        with pytest.raises(ServiceError):
+            parse_request('{"op": "tick", "now": -1}')
+
+
+class TestClusterStateStore:
+    def test_commit_and_advance_power_states(self):
+        store = ClusterStateStore(Cluster.homogeneous(SPEC, 2))
+        vm = make_vm(0, 2, 4, cpu=5.0)
+        store.commit(vm, 0)
+        assert store.servers_active() == 0
+        store.advance_to(2)
+        assert store.servers_active() == 1
+        assert store.fleet_power() == pytest.approx(75.0)  # 50 + 5 cu * 5
+        store.advance_to(5)  # vm retired at end of tick 4
+        assert store.servers_active() == 0
+        assert store.running_vms() == 0
+
+    def test_telemetry_series(self):
+        store = ClusterStateStore(Cluster.homogeneous(SPEC, 1))
+        store.commit(make_vm(0, 1, 2, cpu=10.0), 0)
+        store.run_to_completion()
+        telemetry = store.telemetry()
+        assert list(telemetry.power) == [100.0, 100.0]
+        assert list(telemetry.active_servers) == [1, 1]
+
+    def test_adjacent_vms_bridge_without_sleeping(self):
+        store = ClusterStateStore(Cluster.homogeneous(SPEC, 1))
+        store.commit(make_vm(0, 1, 2), 0)
+        store.commit(make_vm(1, 3, 4), 0)
+        store.advance_to(3)
+        assert store.machines[0].transitions == 1  # stayed awake at t=2->3
+
+    def test_clock_cannot_move_backwards(self):
+        store = ClusterStateStore(Cluster.homogeneous(SPEC, 1))
+        store.advance_to(5)
+        with pytest.raises(ValidationError):
+            store.advance_to(4)
+
+    def test_energy_accumulated_matches_from_scratch(self):
+        vms = generate_vms(40, mean_interarrival=2.0, seed=4)
+        store = ClusterStateStore(Cluster.paper_all_types(20))
+        allocator = MinIncrementalEnergy()
+        allocator.prepare(store.states)
+        for vm in online_order(vms):
+            chosen = allocator.select(vm, store.states)
+            store.commit(vm, chosen.server.server_id)
+        assert store.energy_accumulated == pytest.approx(
+            store.energy_total(), rel=1e-9)
+
+    def test_snapshot_roundtrip_identity(self):
+        vms = generate_vms(30, mean_interarrival=1.5, seed=2)
+        store = ClusterStateStore(Cluster.paper_all_types(15))
+        daemon = AllocationDaemon(store)
+        for _ in stream(daemon, vms):
+            pass
+        document = json.loads(json.dumps(store.to_snapshot()))
+        restored = ClusterStateStore.from_snapshot(document)
+        assert restored.to_snapshot() == store.to_snapshot()
+        assert restored.clock == store.clock
+        assert restored.energy_accumulated == store.energy_accumulated
+        for server_id, machine in store.machines.items():
+            twin = restored.machines[server_id]
+            # power state and residents are snapshot state; transition
+            # *counts* are path statistics and may legitimately differ
+            # (the rebuild sees all placements up front, so its one-tick
+            # lookahead can skip a sleep/wake cycle the live daemon did).
+            assert twin.state is machine.state
+            assert twin.resident_vms == machine.resident_vms
+
+    def test_snapshot_save_load_file(self, tmp_path):
+        store = ClusterStateStore(Cluster.homogeneous(SPEC, 2))
+        store.commit(make_vm(0, 1, 3), 0)
+        store.advance_to(2)
+        path = tmp_path / "snap.json"
+        store.save(path)
+        restored = ClusterStateStore.load(path)
+        assert restored.to_snapshot() == store.to_snapshot()
+
+    def test_rejects_unknown_snapshot_version(self):
+        with pytest.raises(ValidationError):
+            ClusterStateStore.from_snapshot({"format_version": 99})
+
+
+class TestDaemon:
+    def test_stream_matches_offline_simulation(self):
+        vms = generate_vms(80, mean_interarrival=2.0, seed=5)
+        store = ClusterStateStore(Cluster.paper_all_types(40))
+        daemon = AllocationDaemon(store)
+        responses = list(stream(daemon, vms))
+        assert all(r["decision"] == "placed" for r in responses)
+        store.run_to_completion()
+        alloc, result = simulate_online(
+            vms, Cluster.paper_all_types(40), MinIncrementalEnergy())
+        assert store.energy_total() == pytest.approx(
+            result.total_energy, rel=1e-12)
+        offline = {vm.vm_id: sid for vm, sid in alloc.items()}
+        online = {vm.vm_id: sid for vm, sid in store.allocation().items()}
+        assert online == offline
+
+    def test_rejects_when_fleet_full(self):
+        store = ClusterStateStore(Cluster.homogeneous(SPEC, 1))
+        daemon = AllocationDaemon(store)
+        placed = daemon.handle(place_request(make_vm(0, 1, 5, cpu=8.0)))
+        assert placed["decision"] == "placed"
+        overflow = daemon.handle(place_request(make_vm(1, 2, 4, cpu=8.0)))
+        assert overflow["ok"] and overflow["decision"] == "rejected"
+        assert daemon.metrics.requests["rejected"] == 1
+
+    def test_queue_mode_delays_instead_of_rejecting(self):
+        store = ClusterStateStore(Cluster.homogeneous(SPEC, 1))
+        daemon = AllocationDaemon(store, max_delay=10)
+        daemon.handle(place_request(make_vm(0, 1, 3, cpu=8.0)))
+        response = daemon.handle(place_request(make_vm(1, 2, 4, cpu=8.0)))
+        assert response["decision"] == "placed"
+        assert response["delay"] == 2  # shifted past the blocker's end
+        assert daemon.metrics.delayed == 1
+
+    def test_domain_error_becomes_error_response(self):
+        store = ClusterStateStore(Cluster.homogeneous(SPEC, 1))
+        daemon = AllocationDaemon(store)
+        daemon.handle({"op": "tick", "now": 9})
+        response = daemon.handle({"op": "tick", "now": 9})  # no-op is ok
+        assert response["ok"]
+        bad = daemon.handle_line('{"op": "nope"}')
+        assert json.loads(bad) == {
+            "ok": False,
+            "error": json.loads(bad)["error"],
+        }
+        assert daemon.metrics.errors == 1
+
+    def test_duplicate_vm_id_is_refused(self):
+        store = ClusterStateStore(Cluster.homogeneous(SPEC, 2))
+        daemon = AllocationDaemon(store)
+        assert daemon.handle(
+            place_request(make_vm(5, 1, 3)))["decision"] == "placed"
+        # same id again — even with identical spec/interval, which would
+        # collide as a key in the Allocation view and undercount energy
+        response = daemon.handle(place_request(make_vm(5, 1, 3)))
+        assert response["ok"] is False
+        assert "vm_id 5" in response["error"]
+        assert len(store.placements) == 1
+        assert store.energy_accumulated == pytest.approx(
+            store.energy_total(), rel=1e-12)
+
+    def test_kill_and_restore_matches_offline(self, tmp_path):
+        """The acceptance scenario: >= 200 VMs streamed, a hard kill and
+        restore mid-stream, and final energy identical to the offline
+        simulate_online run (same tolerance as the engine tests)."""
+        vms = generate_vms(220, mean_interarrival=2.0, seed=7)
+        ordered = online_order(vms)
+        store = ClusterStateStore(Cluster.paper_all_types(110))
+        first = AllocationDaemon(store, data_dir=tmp_path,
+                                 snapshot_every=40, fsync=False)
+        for vm in ordered[:130]:
+            assert first.handle(place_request(vm))["decision"] == "placed"
+        del first  # hard kill: no shutdown, no final snapshot
+
+        second = AllocationDaemon.restore(tmp_path, fsync=False)
+        assert second.metrics.requests["placed"] == 130
+        assert len(second.store.placements) == 130
+        for vm in ordered[130:]:
+            assert second.handle(place_request(vm))["decision"] == "placed"
+        second.store.run_to_completion()
+
+        alloc, result = simulate_online(
+            vms, Cluster.paper_all_types(110), MinIncrementalEnergy())
+        assert second.store.energy_total() == pytest.approx(
+            result.total_energy, rel=1e-12)
+        offline = {vm.vm_id: sid for vm, sid in alloc.items()}
+        online = {vm.vm_id: sid
+                  for vm, sid in second.store.allocation().items()}
+        assert online == offline
+        assert second.metrics.requests["rejected"] == 0
+
+    def test_restore_preserves_counters_and_rejections(self, tmp_path):
+        store = ClusterStateStore(Cluster.homogeneous(SPEC, 1))
+        daemon = AllocationDaemon(store, data_dir=tmp_path, fsync=False)
+        daemon.handle(place_request(make_vm(0, 1, 5, cpu=8.0)))
+        daemon.handle(place_request(make_vm(1, 2, 4, cpu=8.0)))  # rejected
+        restored = AllocationDaemon.restore(tmp_path, fsync=False)
+        assert restored.metrics.requests == {"placed": 1, "rejected": 1}
+        assert restored.store.clock == daemon.store.clock
+
+    def test_fresh_daemon_refuses_existing_journal(self, tmp_path):
+        store = ClusterStateStore(Cluster.homogeneous(SPEC, 1))
+        AllocationDaemon(store, data_dir=tmp_path, fsync=False)
+        with pytest.raises(ValidationError):
+            AllocationDaemon(ClusterStateStore(
+                Cluster.homogeneous(SPEC, 1)), data_dir=tmp_path,
+                fsync=False)
+
+    def test_shutdown_writes_final_snapshot(self, tmp_path):
+        store = ClusterStateStore(Cluster.homogeneous(SPEC, 2))
+        daemon = AllocationDaemon(store, data_dir=tmp_path,
+                                  snapshot_every=0, fsync=False)
+        daemon.handle(place_request(make_vm(0, 1, 3)))
+        response = daemon.handle({"op": "shutdown"})
+        assert response["ok"] and daemon.closed
+        assert list(tmp_path.glob("snapshot-*.json"))
+        refused = daemon.handle({"op": "ping"})
+        assert not refused["ok"]
+
+
+class TestPersistence:
+    def test_torn_final_journal_line_is_dropped(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with RequestJournal(path, fsync=False) as journal:
+            journal.append({"op": "tick", "now": 3})
+        with path.open("a") as fh:
+            fh.write('{"seq": 2, "op": "tick", "now"')  # torn write
+        entries = list(read_journal(path))
+        assert [e["seq"] for e in entries] == [1]
+        # reopening continues after the surviving prefix
+        assert RequestJournal(path, fsync=False).next_seq == 2
+
+    def test_corrupt_middle_line_raises(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        path.write_text('{"seq": 1, "op": "tick", "now": 1}\n'
+                        'garbage\n'
+                        '{"seq": 3, "op": "tick", "now": 3}\n')
+        with pytest.raises(ValidationError):
+            list(read_journal(path))
+
+    def test_snapshot_rotation_keeps_newest(self, tmp_path):
+        manager = SnapshotManager(tmp_path, keep=2)
+        for seq in (1, 2, 3):
+            manager.save({"format_version": 1, "seq": seq}, seq)
+        remaining = sorted(p.name for p in
+                           tmp_path.glob("snapshot-*.json"))
+        assert len(remaining) == 2
+        assert manager.load_latest()["seq"] == 3
+
+    def test_corrupt_latest_snapshot_falls_back(self, tmp_path):
+        manager = SnapshotManager(tmp_path)
+        manager.save({"marker": "good"}, 1)
+        manager.path_for(2).write_text("{broken")
+        assert manager.load_latest()["marker"] == "good"
+
+
+_PROM_COMMENT = re.compile(r"^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .+$")
+_PROM_SAMPLE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\"(,"
+    r"[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\")*\})? "
+    r"[-+]?([0-9]*\.?[0-9]+([eE][-+]?[0-9]+)?|[0-9]+)$")
+
+
+class TestEndToEndTCP:
+    def test_client_server_and_metrics_endpoint(self):
+        vms = generate_vms(60, mean_interarrival=2.0, seed=3)
+        store = ClusterStateStore(Cluster.paper_all_types(30))
+        daemon = AllocationDaemon(store)
+        server = serve_tcp(daemon, port=0)
+        host, port = server.server_address
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        metrics_server = start_metrics_server(daemon, port=0)
+        metrics_port = metrics_server.server_address[1]
+        try:
+            with DaemonClient(host, port) as client:
+                assert client.ping()["ok"]
+                summary = replay_trace(client, vms)
+                assert summary.placed == 60
+                assert summary.rejected == 0
+                assert summary.energy_delta_total == pytest.approx(
+                    store.energy_total(), rel=1e-9)
+                body = urllib.request.urlopen(
+                    f"http://127.0.0.1:{metrics_port}/metrics",
+                    timeout=10).read().decode()
+                for line in body.strip().splitlines():
+                    assert _PROM_COMMENT.match(line) or \
+                        _PROM_SAMPLE.match(line), line
+                assert 'repro_requests_total{decision="placed"} 60' in body
+                assert "repro_placement_latency_seconds" in body
+                assert "repro_fleet_power_watts" in body
+                health = urllib.request.urlopen(
+                    f"http://127.0.0.1:{metrics_port}/healthz",
+                    timeout=10).read()
+                assert health == b"ok\n"
+                assert client.shutdown()["ok"]
+        finally:
+            server.shutdown()
+            server.server_close()
+            metrics_server.shutdown()
+            metrics_server.server_close()
+
+    def test_malformed_line_gets_error_response(self):
+        store = ClusterStateStore(Cluster.homogeneous(SPEC, 1))
+        daemon = AllocationDaemon(store)
+        server = serve_tcp(daemon, port=0)
+        host, port = server.server_address
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            with DaemonClient(host, port) as client:
+                response = client.request({"op": "place"})  # missing vm
+                assert response["ok"] is False
+                assert "vm" in response["error"]
+        finally:
+            server.shutdown()
+            server.server_close()
+
+
+class TestStdioTransport:
+    def test_serve_stdio_round_trip(self):
+        import io
+
+        vm = make_vm(0, 1, 3)
+        lines = (json.dumps(place_request(vm)) + "\n"
+                 + '{"op": "stats"}\n'
+                 + '{"op": "shutdown"}\n'
+                 + '{"op": "ping"}\n')  # after shutdown: never served
+        out = io.StringIO()
+        store = ClusterStateStore(Cluster.homogeneous(SPEC, 1))
+        daemon = AllocationDaemon(store)
+        serve_stdio(daemon, io.StringIO(lines), out)
+        responses = [json.loads(line) for line in
+                     out.getvalue().splitlines()]
+        assert len(responses) == 3  # the loop stopped at shutdown
+        assert responses[0]["decision"] == "placed"
+        assert responses[1]["placed"] == 1
+        assert responses[2]["op"] == "shutdown"

@@ -1,0 +1,103 @@
+"""Property-based tests for service snapshots and journal replay.
+
+Two durability invariants backstop the daemon: (1) a snapshot is a
+lossless serialization — rebuilding a :class:`ClusterStateStore` from
+``to_snapshot()`` yields a store whose own snapshot, clock, energy and
+machine power states are identical; (2) replaying the request journal
+after a hard kill reconstructs the exact pre-crash state, whatever the
+workload looked like.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.model.cluster import Cluster
+from repro.service import AllocationDaemon, ClusterStateStore, place_request
+from repro.workload.generator import PoissonWorkload
+
+SLOW = settings(max_examples=20, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+
+def workload_strategy():
+    return st.tuples(
+        st.integers(0, 30),                  # vm count (0 = empty store)
+        st.floats(0.5, 6.0),                 # mean inter-arrival
+        st.floats(1.0, 10.0),                # mean duration
+        st.integers(0, 10_000),              # seed
+        st.integers(0, 8),                   # extra clock advance at end
+    )
+
+
+def build_store(params) -> ClusterStateStore:
+    count, ia, dur, seed, extra = params
+    wl = PoissonWorkload(mean_interarrival=ia, mean_duration=dur)
+    vms = wl.generate(count, rng=seed)
+    store = ClusterStateStore(Cluster.paper_all_types(max(5, count)))
+    daemon = AllocationDaemon(store)
+    for vm in sorted(vms, key=lambda v: (v.start, v.end, v.vm_id)):
+        response = daemon.handle(place_request(vm))
+        assert response["ok"] and response["decision"] == "placed"
+    if extra:
+        store.advance_to(store.clock + extra)
+    return store
+
+
+@SLOW
+@given(workload_strategy())
+def test_snapshot_round_trip_is_identity(params):
+    store = build_store(params)
+    document = store.to_snapshot()
+    restored = ClusterStateStore.from_snapshot(document)
+    assert restored.to_snapshot() == document
+    assert restored.clock == store.clock
+    assert restored.energy_accumulated == store.energy_accumulated
+    assert restored.energy_total() == store.energy_total()
+    assert restored.telemetry().power.tolist() == \
+        store.telemetry().power.tolist()
+    for server_id, machine in store.machines.items():
+        twin = restored.machines[server_id]
+        assert twin.state is machine.state
+        assert twin.resident_vms == machine.resident_vms
+
+
+@SLOW
+@given(workload_strategy(), st.integers(0, 200))
+def test_journal_replay_is_deterministic(tmp_path_factory, params, cut):
+    count, ia, dur, seed, extra = params
+    wl = PoissonWorkload(mean_interarrival=ia, mean_duration=dur)
+    vms = sorted(wl.generate(count, rng=seed),
+                 key=lambda v: (v.start, v.end, v.vm_id))
+    cut = min(cut, len(vms))
+    data_dir = tmp_path_factory.mktemp("journal")
+
+    store = ClusterStateStore(Cluster.paper_all_types(max(5, count)))
+    daemon = AllocationDaemon(store, data_dir=data_dir,
+                              snapshot_every=7, fsync=False)
+    for vm in vms[:cut]:
+        assert daemon.handle(place_request(vm))["ok"]
+    if extra:
+        daemon.handle({"op": "tick", "now": store.clock + extra})
+    expected = store.to_snapshot()
+    expected_counters = dict(daemon.metrics.requests)
+    del daemon  # hard kill: no shutdown snapshot
+
+    restored = AllocationDaemon.restore(data_dir, fsync=False)
+    assert restored.store.to_snapshot() == expected
+    assert dict(restored.metrics.requests) == expected_counters
+    # the survivor keeps serving: remaining VMs place identically to a
+    # daemon that never crashed
+    witness_store = ClusterStateStore(
+        Cluster.paper_all_types(max(5, count)))
+    witness = AllocationDaemon(witness_store)
+    for vm in vms[:cut]:
+        witness.handle(place_request(vm))
+    if extra:
+        witness.handle({"op": "tick", "now": witness_store.clock + extra})
+    for vm in vms[cut:]:
+        a = restored.handle(place_request(vm))
+        b = witness.handle(place_request(vm))
+        assert a["decision"] == b["decision"]
+        assert a.get("server_id") == b.get("server_id")
+    assert restored.store.to_snapshot() == witness_store.to_snapshot()
