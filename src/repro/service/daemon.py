@@ -232,7 +232,7 @@ class AllocationDaemon:
         if op == "place":
             return self._handle_place(message)
         if op == "tick":
-            return self._handle_tick(int(message["now"]))
+            return self._handle_tick(message)
         if op == "stats":
             return self._handle_stats()
         if op == "metrics":
@@ -286,7 +286,13 @@ class AllocationDaemon:
             self._maybe_snapshot()
         return response
 
-    def _handle_tick(self, now: int) -> dict[str, object]:
+    def _handle_tick(self, message: Mapping[str, object]
+                     ) -> dict[str, object]:
+        now = message.get("now")
+        if isinstance(now, bool) or not isinstance(now, int) or now < 0:
+            raise ServiceError(
+                f"tick request needs a non-negative integer 'now', "
+                f"got {now!r}")
         if now > self.store.clock:
             self.store.advance_to(now)
             if self.journal is not None:

@@ -12,8 +12,11 @@ pair:
 
 Restore loads the newest readable snapshot and replays only the journal
 entries after its sequence number. A torn final journal line (the crash
-happened mid-write) is tolerated and dropped; corruption anywhere else
-is an error. Placements are replayed from the *recorded* decision, not
+happened mid-write) is dropped on read *and truncated away on reopen* —
+an entry only exists once its terminating newline is on disk, and
+appending after a partial line would weld two records into one
+unparseable line. Corruption anywhere before the final line is an
+error. Placements are replayed from the *recorded* decision, not
 re-derived through the allocator, so a restored daemon reaches the
 identical state even for randomized allocators.
 """
@@ -40,8 +43,18 @@ class RequestJournal:
         self._fsync = fsync
         self._next_seq = 1
         if self.path.exists():
-            for entry in read_journal(self.path):
-                self._next_seq = int(entry["seq"]) + 1
+            entries, keep = _scan_journal(self.path)
+            if entries:
+                self._next_seq = int(entries[-1]["seq"]) + 1
+            if keep < self.path.stat().st_size:
+                # Cut the torn tail before appending: writing onto a
+                # partial line would merge two entries into one
+                # unparseable record and lose both on the next restore.
+                with self.path.open("rb+") as fh:
+                    fh.truncate(keep)
+                    fh.flush()
+                    if fsync:
+                        os.fsync(fh.fileno())
         self._fh = self.path.open("a", encoding="utf-8")
 
     @property
@@ -70,6 +83,44 @@ class RequestJournal:
         self.close()
 
 
+def _scan_journal(path: Path) -> tuple[list[dict[str, object]], int]:
+    """Parse the journal; returns ``(entries, keep)``.
+
+    ``keep`` is the byte offset just past the last complete entry —
+    everything beyond it is a torn final write. An entry only counts
+    once its terminating newline is on disk, so an unterminated final
+    line is dropped even when its JSON happens to parse (the append
+    never completed, hence was never acknowledged).
+
+    Raises :class:`ValidationError` when a line *before* the last is
+    unreadable — that is corruption, not an interrupted append.
+    """
+    entries: list[dict[str, object]] = []
+    keep = 0
+    cursor = 0
+    lines = path.read_bytes().splitlines(keepends=True)
+    for i, raw in enumerate(lines):
+        cursor += len(raw)
+        if not raw.endswith(b"\n"):
+            break  # unterminated final write: the entry never happened
+        if not raw.strip():
+            keep = cursor
+            continue
+        try:
+            entry = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            if i == len(lines) - 1:
+                break  # torn final write
+            raise ValidationError(
+                f"{path}:{i + 1}: corrupt journal entry: {exc}") from exc
+        if not isinstance(entry, dict) or "seq" not in entry:
+            raise ValidationError(
+                f"{path}:{i + 1}: journal entry without seq: {raw!r}")
+        entries.append(entry)
+        keep = cursor
+    return entries, keep
+
+
 def read_journal(path: str | Path) -> Iterator[dict[str, object]]:
     """Yield journal entries in order, dropping a torn final line.
 
@@ -79,21 +130,7 @@ def read_journal(path: str | Path) -> Iterator[dict[str, object]]:
     path = Path(path)
     if not path.exists():
         return
-    lines = path.read_text(encoding="utf-8").splitlines()
-    for i, line in enumerate(lines):
-        if not line.strip():
-            continue
-        try:
-            entry = json.loads(line)
-        except json.JSONDecodeError as exc:
-            if i == len(lines) - 1:
-                return  # torn final write: the entry never happened
-            raise ValidationError(
-                f"{path}:{i + 1}: corrupt journal entry: {exc}") from exc
-        if not isinstance(entry, dict) or "seq" not in entry:
-            raise ValidationError(
-                f"{path}:{i + 1}: journal entry without seq: {line!r}")
-        yield entry
+    yield from _scan_journal(path)[0]
 
 
 class SnapshotManager:

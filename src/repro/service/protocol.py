@@ -89,7 +89,7 @@ def parse_request(line: str) -> dict[str, object]:
             raise ServiceError(f"malformed vm record: {exc}") from exc
     elif op == "tick":
         now = message.get("now")
-        if not isinstance(now, int) or now < 0:
+        if isinstance(now, bool) or not isinstance(now, int) or now < 0:
             raise ServiceError(
                 f"tick request needs a non-negative integer 'now', "
                 f"got {message.get('now')!r}")

@@ -21,8 +21,13 @@ axis a long-running service needs:
 
 The store is crash-safe via :meth:`to_snapshot` / :meth:`from_snapshot`:
 a snapshot records the cluster, the clock and every placement in commit
-order, and restoring replays the placements and re-advances the clock,
-reconstructing planning state, machines and telemetry bit-for-bit.
+order *with the clock value it was committed at*, and restoring replays
+each placement at that clock. That reproduces the live interleaving of
+commits and clock advances exactly — including out-of-order arrivals
+(``vm.start < clock`` starts immediately, not at its nominal tick) and
+sleep/wake cycles the one-tick lookahead would otherwise elide when all
+starts are known up front — so planning state, machines (power state,
+residents, transition counters) and telemetry are rebuilt bit-for-bit.
 """
 
 from __future__ import annotations
@@ -73,6 +78,8 @@ class ClusterStateStore:
         #: analytic Eq.-17 energy, accumulated per-placement delta
         self.energy_accumulated = 0.0
         self._placements: list[tuple[VM, int]] = []
+        #: clock value at each commit, parallel to ``_placements``
+        self._commit_clocks: list[int] = []
         self._vm_ids: set[int] = set()
         # live-event schedule: tick -> [(piece_id, server_id)]
         self._starts: dict[int, list[tuple[int, int]]] = {}
@@ -109,6 +116,7 @@ class ClusterStateStore:
         delta = self.states[server_id].place(vm)
         self._vm_ids.add(vm.vm_id)
         self._placements.append((vm, server_id))
+        self._commit_clocks.append(self.clock)
         self.energy_accumulated += delta
         for piece, cpu, memory in demand_profile(vm):
             if piece.end < self.clock:
@@ -234,8 +242,10 @@ class ClusterStateStore:
             "cluster": [_spec_record(server.spec)
                         for server in self.cluster],
             "placements": [{"server_id": server_id,
+                            "committed_at": committed_at,
                             "vm": vm_to_record(vm)}
-                           for vm, server_id in self._placements],
+                           for (vm, server_id), committed_at
+                           in zip(self._placements, self._commit_clocks)],
             "meta": dict(meta) if meta else {},
         }
 
@@ -244,9 +254,11 @@ class ClusterStateStore:
                       ) -> "ClusterStateStore":
         """Rebuild a store from a :meth:`to_snapshot` document.
 
-        Placements are re-committed in their original order and the
-        clock is re-advanced, so planning state, power states and
-        telemetry all match the snapshotted store exactly.
+        Placements are re-committed in their original order, each at
+        its recorded ``committed_at`` clock, so the live sequence of
+        commits and clock advances — and with it planning state, power
+        states, transition counters and telemetry — is reproduced
+        exactly.
         """
         version = document.get("format_version")
         if version != SNAPSHOT_FORMAT_VERSION:
@@ -264,9 +276,12 @@ class ClusterStateStore:
             try:
                 vm = vm_from_record(entry["vm"])
                 server_id = int(entry["server_id"])
+                committed_at = int(entry["committed_at"])
             except (TypeError, KeyError, ValueError) as exc:
                 raise ValidationError(
                     f"malformed snapshot placement #{i}: {exc}") from exc
+            if committed_at > store.clock:
+                store.advance_to(committed_at)
             store.commit(vm, server_id)
         store.advance_to(clock)
         return store

@@ -60,6 +60,8 @@ def test_snapshot_round_trip_is_identity(params):
         twin = restored.machines[server_id]
         assert twin.state is machine.state
         assert twin.resident_vms == machine.resident_vms
+        assert twin.transitions == machine.transitions
+        assert twin.transition_energy == machine.transition_energy
 
 
 @SLOW
