@@ -7,7 +7,6 @@ and at equal load the all-types mix saves more than the types-1-3 mix
 
 from __future__ import annotations
 
-import numpy as np
 
 from conftest import record_result
 from repro.experiments.figures import fig9

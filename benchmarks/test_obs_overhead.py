@@ -1,0 +1,97 @@
+"""Overhead guard: the no-op tracer must cost (almost) nothing.
+
+The instrumentation left in the hot paths — spans around
+``simulate_online``/``allocate``/``replay``, the ``tracer.enabled``
+guards, the per-``select`` candidate counters — is always executed, even
+with tracing disabled. This benchmark compares the instrumented
+:func:`repro.simulation.simulate_online` under the default
+:data:`~repro.obs.tracer.NULL_TRACER` against a hand-written,
+un-instrumented reconstruction of the exact same work (order, select,
+place, replay) on a 2000-VM workload, and asserts the no-op path stays
+within 5% of the bare loop. Minima over interleaved repetitions are
+compared, so scheduler noise hits both variants alike.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+from repro.allocators import make_allocator
+from repro.allocators.state import ServerState
+from repro.model.allocation import Allocation
+from repro.model.cluster import Cluster
+from repro.obs.tracer import NULL_TRACER, get_tracer
+from repro.simulation import SimulationEngine, simulate_online
+from repro.workload.generator import generate_vms
+
+from conftest import record_result
+
+N_VMS = 2000
+ALGORITHM = "ffps"
+REPEATS = 7
+MAX_OVERHEAD = 0.05
+
+VMS = generate_vms(N_VMS, mean_interarrival=1.0, seed=0)
+CLUSTER = Cluster.paper_all_types(N_VMS // 2)
+
+
+def baseline_run():
+    """The same allocate-then-replay trajectory with zero obs calls."""
+    allocator = make_allocator(ALGORITHM, seed=0)
+    ordered = allocator.order_vms(list(VMS))
+    states = [ServerState(server) for server in CLUSTER]
+    allocator.prepare(states)
+    placements = {}
+    for vm in ordered:
+        chosen = allocator.select(vm, states)
+        chosen.place(vm)
+        placements[vm] = chosen.server.server_id
+    allocation = Allocation(CLUSTER, placements)
+    return SimulationEngine(CLUSTER)._replay(allocation)
+
+
+def instrumented_run():
+    _, result = simulate_online(VMS, CLUSTER,
+                                make_allocator(ALGORITHM, seed=0))
+    return result
+
+
+def timed(fn) -> float:
+    start = time.perf_counter()
+    result = fn()
+    elapsed = time.perf_counter() - start
+    assert result.total_energy > 0
+    return elapsed
+
+
+def test_null_tracer_overhead_under_five_percent():
+    assert get_tracer() is NULL_TRACER  # the disabled default
+    baseline_times = []
+    instrumented_times = []
+    timed(baseline_run), timed(instrumented_run)  # warm-up
+    for _ in range(REPEATS):
+        baseline_times.append(timed(baseline_run))
+        instrumented_times.append(timed(instrumented_run))
+    baseline = min(baseline_times)
+    instrumented = min(instrumented_times)
+    overhead = instrumented / baseline - 1.0
+    lines = [
+        f"no-op tracer overhead on simulate_online "
+        f"({N_VMS} VMs, {len(CLUSTER)} servers, {ALGORITHM}, "
+        f"min of {REPEATS} interleaved repeats)",
+        "",
+        f"{'variant':<24} {'min_s':>8} {'median_s':>9}",
+        f"{'bare loop':<24} {baseline:>8.4f} "
+        f"{statistics.median(baseline_times):>9.4f}",
+        f"{'instrumented (no-op)':<24} {instrumented:>8.4f} "
+        f"{statistics.median(instrumented_times):>9.4f}",
+        "",
+        f"overhead: {100 * overhead:+.2f}% "
+        f"(budget {100 * MAX_OVERHEAD:.0f}%)",
+    ]
+    record_result("obs_overhead", "\n".join(lines))
+    assert instrumented <= baseline * (1.0 + MAX_OVERHEAD), \
+        f"no-op tracer overhead {100 * overhead:.2f}% exceeds " \
+        f"{100 * MAX_OVERHEAD:.0f}% (baseline {baseline:.4f}s, " \
+        f"instrumented {instrumented:.4f}s)"

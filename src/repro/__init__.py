@@ -83,6 +83,19 @@ from repro.model import (
     server_type,
     vm_type,
 )
+from repro.obs import (
+    CandidateVerdict,
+    CostTerms,
+    ExplainRecorder,
+    PlacementExplanation,
+    Tracer,
+    format_decision_table,
+    get_tracer,
+    set_tracer,
+    to_chrome_trace,
+    use_tracer,
+    write_chrome_trace,
+)
 from repro.service import (
     AllocationDaemon,
     ClusterStateStore,
@@ -157,6 +170,17 @@ __all__ = [
     "VMSpec",
     "server_type",
     "vm_type",
+    "CandidateVerdict",
+    "CostTerms",
+    "ExplainRecorder",
+    "PlacementExplanation",
+    "Tracer",
+    "format_decision_table",
+    "get_tracer",
+    "set_tracer",
+    "to_chrome_trace",
+    "use_tracer",
+    "write_chrome_trace",
     "AllocationDaemon",
     "ClusterStateStore",
     "DaemonClient",

@@ -25,6 +25,12 @@ from repro.model.allocation import Allocation
 from repro.model.cluster import Cluster
 from repro.model.constraints import PlacementConstraints
 from repro.model.vm import VM
+from repro.obs.explain import (
+    CandidateVerdict,
+    ExplainRecorder,
+    PlacementExplanation,
+)
+from repro.obs.tracer import get_tracer
 
 __all__ = ["Allocator"]
 
@@ -52,18 +58,25 @@ class Allocator(abc.ABC):
         self._policy = policy
         self._constraints: PlacementConstraints | None = None
         self._placed_ids: dict[int, int] = {}
+        #: servers scanned / found feasible by the most recent ``select``
+        #: (fed into the service's candidate-count histogram).
+        self.candidates_evaluated = 0
+        self.candidates_feasible = 0
 
     # -- template method -----------------------------------------------------
 
     def allocate(self, vms: Iterable[VM], cluster: Cluster,
-                 constraints: PlacementConstraints | None = None
-                 ) -> Allocation:
+                 constraints: PlacementConstraints | None = None, *,
+                 recorder: ExplainRecorder | None = None) -> Allocation:
         """Place every VM; returns the resulting :class:`Allocation`.
 
         VMs are processed in increasing order of start time (ties broken by
         end time then id, for determinism). Optional placement
         ``constraints`` (affinity / anti-affinity groups) restrict the
-        admissible servers per VM on top of capacity.
+        admissible servers per VM on top of capacity. With a ``recorder``
+        every decision additionally emits a
+        :class:`~repro.obs.explain.PlacementExplanation` — including the
+        final, rejected one when allocation fails.
 
         Raises
         ------
@@ -76,17 +89,31 @@ class Allocator(abc.ABC):
         self.prepare(states)
         self._constraints = constraints
         self._placed_ids: dict[int, int] = {}
+        tracer = get_tracer()
         try:
-            placements: dict[VM, int] = {}
-            for vm in ordered:
-                chosen = self.select(vm, states)
-                if chosen is None:
-                    raise AllocationError(
-                        f"no admissible server can host {vm} for its "
-                        f"whole duration", vm_id=vm.vm_id)
-                chosen.place(vm)
-                placements[vm] = chosen.server.server_id
-                self._placed_ids[vm.vm_id] = chosen.server.server_id
+            with tracer.span("allocator.allocate", algorithm=self.name,
+                             vms=len(ordered), servers=len(states)):
+                placements: dict[VM, int] = {}
+                for vm in ordered:
+                    if recorder is not None:
+                        chosen, explanation = self.explain_select(
+                            vm, states)
+                        recorder.record(explanation)
+                    else:
+                        chosen = self.select(vm, states)
+                    if chosen is None:
+                        raise AllocationError(
+                            f"no admissible server can host {vm} for its "
+                            f"whole duration", vm_id=vm.vm_id)
+                    chosen.place(vm)
+                    placements[vm] = chosen.server.server_id
+                    self._placed_ids[vm.vm_id] = chosen.server.server_id
+                    if tracer.enabled:
+                        tracer.instant(
+                            "place", vm_id=vm.vm_id,
+                            server_id=chosen.server.server_id,
+                            feasible=self.candidates_feasible,
+                            evaluated=self.candidates_evaluated)
         finally:
             self._constraints = None
             self._placed_ids = {}
@@ -100,6 +127,62 @@ class Allocator(abc.ABC):
             return True
         return self._constraints.allows(
             vm.vm_id, state.server.server_id, self._placed_ids)
+
+    def inadmissible_reason(self, vm: VM, state: ServerState) -> str | None:
+        """Why ``state`` cannot host ``vm`` (``None`` when it can)."""
+        reason = state.fit_reason(vm)
+        if reason is not None:
+            return reason
+        if self._constraints is not None and not self._constraints.allows(
+                vm.vm_id, state.server.server_id, self._placed_ids):
+            return "constraint"
+        return None
+
+    # -- explain-traces ------------------------------------------------------
+
+    def candidate_score(self, vm: VM, state: ServerState) -> float | None:
+        """This algorithm's ranking score for one feasible candidate.
+
+        Lower is always more preferred; ``None`` means the algorithm
+        applies no score to this candidate (e.g. random fit). Used only
+        by explain-traces — never on the selection hot path — and must
+        not mutate allocator state.
+        """
+        return None
+
+    def explain_select(self, vm: VM, states: Sequence[ServerState]
+                       ) -> tuple[ServerState | None, PlacementExplanation]:
+        """:meth:`select` plus the full per-candidate explanation.
+
+        Every server is given a feasibility verdict (with the failing
+        constraint) and, when feasible, its Eq.-2/3 cost terms and the
+        algorithm's ranking score. Scores are evaluated *before* the
+        selection so stateful scan orders (round robin) are reported as
+        the algorithm actually saw them.
+        """
+        pre: list[tuple[str | None, object, float | None]] = []
+        for state in states:
+            reason = self.inadmissible_reason(vm, state)
+            if reason is None:
+                pre.append((None, state.cost_terms(vm),
+                            self.candidate_score(vm, state)))
+            else:
+                pre.append((reason, None, None))
+        chosen = self.select(vm, states)
+        chosen_id = chosen.server.server_id if chosen is not None else None
+        verdicts = tuple(
+            CandidateVerdict(
+                server_id=state.server.server_id,
+                server_type=state.server.spec.name,
+                feasible=reason is None, reason=reason, cost=cost,
+                score=score,
+                chosen=state.server.server_id == chosen_id)
+            for state, (reason, cost, score) in zip(states, pre))
+        explanation = PlacementExplanation(
+            vm_id=vm.vm_id, algorithm=self.name,
+            decision="placed" if chosen is not None else "rejected",
+            server_id=chosen_id, delay=0, candidates=verdicts)
+        return chosen, explanation
 
     # -- hooks ---------------------------------------------------------------
 
@@ -121,6 +204,8 @@ class Allocator(abc.ABC):
         the first admissible server in their scan order.
         """
         feasible = [st for st in states if self.admissible(vm, st)]
+        self.candidates_evaluated = len(states)
+        self.candidates_feasible = len(feasible)
         if not feasible:
             return None
         return self.choose(vm, feasible)

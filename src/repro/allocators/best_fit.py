@@ -34,5 +34,9 @@ class BestFit(Allocator):
 
     name = "best-fit"
 
+    def candidate_score(self, vm: VM, state: ServerState) -> float | None:
+        """Explain-trace score: residual spare capacity (lower = tighter)."""
+        return residual_score(state, vm)
+
     def choose(self, vm: VM, feasible: Sequence[ServerState]) -> ServerState:
         return min(feasible, key=lambda st: residual_score(st, vm))

@@ -27,12 +27,21 @@ class FirstFitPowerSaving(Allocator):
     def prepare(self, states: Sequence[ServerState]) -> None:
         order = self._rng.permutation(len(states))
         self._scan = [states[i] for i in order]
+        self._rank = {id(st): i for i, st in enumerate(self._scan)}
+
+    def candidate_score(self, vm: VM, state: ServerState) -> float | None:
+        """Explain-trace score: position in the shuffled scan order."""
+        return float(self._rank[id(state)])
 
     def select(self, vm: VM,
                states: Sequence[ServerState]) -> ServerState | None:
-        for state in self._scan:
+        for scanned, state in enumerate(self._scan, 1):
             if self.admissible(vm, state):
+                self.candidates_evaluated = scanned
+                self.candidates_feasible = 1
                 return state
+        self.candidates_evaluated = len(self._scan)
+        self.candidates_feasible = 0
         return None
 
     def choose(self, vm: VM, feasible: Sequence[ServerState]) -> ServerState:

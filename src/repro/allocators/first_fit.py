@@ -21,11 +21,19 @@ class FirstFit(Allocator):
 
     name = "first-fit"
 
+    def candidate_score(self, vm: VM, state: ServerState) -> float | None:
+        """Explain-trace score: the scan position (fleet id order)."""
+        return float(state.server.server_id)
+
     def select(self, vm: VM,
                states: Sequence[ServerState]) -> ServerState | None:
-        for state in states:
+        for scanned, state in enumerate(states, 1):
             if self.admissible(vm, state):
+                self.candidates_evaluated = scanned
+                self.candidates_feasible = 1
                 return state
+        self.candidates_evaluated = len(states)
+        self.candidates_feasible = 0
         return None
 
     def choose(self, vm: VM, feasible: Sequence[ServerState]) -> ServerState:

@@ -27,6 +27,10 @@ class MinIncrementalEnergy(Allocator):
 
     name = "min-energy"
 
+    def candidate_score(self, vm: VM, state: ServerState) -> float | None:
+        """Explain-trace score: the incremental Eq.-17 cost itself."""
+        return state.incremental_cost(vm)
+
     def choose(self, vm: VM, feasible: Sequence[ServerState]) -> ServerState:
         best = feasible[0]
         best_delta = best.incremental_cost(vm)

@@ -30,11 +30,19 @@ class PowerAwareFirstFit(Allocator):
             key=lambda st: (st.server.p_peak / st.server.cpu_capacity,
                             st.server.server_id))
 
+    def candidate_score(self, vm: VM, state: ServerState) -> float | None:
+        """Explain-trace score: peak watts per compute unit."""
+        return state.server.p_peak / state.server.cpu_capacity
+
     def select(self, vm: VM,
                states: Sequence[ServerState]) -> ServerState | None:
-        for state in self._scan:
+        for scanned, state in enumerate(self._scan, 1):
             if self.admissible(vm, state):
+                self.candidates_evaluated = scanned
+                self.candidates_feasible = 1
                 return state
+        self.candidates_evaluated = len(self._scan)
+        self.candidates_feasible = 0
         return None
 
     def choose(self, vm: VM, feasible: Sequence[ServerState]) -> ServerState:

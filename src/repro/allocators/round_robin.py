@@ -23,6 +23,12 @@ class RoundRobin(Allocator):
 
     def prepare(self, states: Sequence[ServerState]) -> None:
         self._next = 0
+        self._fleet_size = len(states)
+
+    def candidate_score(self, vm: VM, state: ServerState) -> float | None:
+        """Explain-trace score: distance ahead in the rotation."""
+        return float((state.server.server_id - self._next)
+                     % max(1, self._fleet_size))
 
     def select(self, vm: VM,
                states: Sequence[ServerState]) -> ServerState | None:
@@ -31,7 +37,11 @@ class RoundRobin(Allocator):
             state = states[(self._next + offset) % n]
             if self.admissible(vm, state):
                 self._next = (self._next + offset + 1) % n
+                self.candidates_evaluated = offset + 1
+                self.candidates_feasible = 1
                 return state
+        self.candidates_evaluated = n
+        self.candidates_feasible = 0
         return None
 
     def choose(self, vm: VM, feasible: Sequence[ServerState]) -> ServerState:

@@ -30,6 +30,7 @@ from repro.model.intervals import TimeInterval, merge_intervals
 from repro.model.phases import demand_profile
 from repro.model.server import Server
 from repro.model.vm import VM
+from repro.obs.explain import CostTerms
 
 __all__ = ["ServerState"]
 
@@ -89,6 +90,39 @@ class ServerState:
                     spec.memory_capacity + tol:
                 return False
         return True
+
+    def fit_reason(self, vm: VM) -> str | None:
+        """Why ``vm`` does not fit here, or ``None`` when it does.
+
+        The explain-trace twin of :meth:`fits`: ``"cpu:capacity"`` /
+        ``"mem:capacity"`` when the demand exceeds the server type
+        outright, ``"cpu:overlap@t"`` / ``"mem:overlap@t"`` naming the
+        first overloaded time unit when committed load during the VM's
+        interval leaves too little headroom.
+        """
+        spec = self.server.spec
+        if vm.cpu > spec.cpu_capacity:
+            return "cpu:capacity"
+        if vm.memory > spec.memory_capacity:
+            return "mem:capacity"
+        tol = 1e-9
+        for piece, cpu, memory in demand_profile(vm):
+            hi = min(piece.end + 1, self._cpu.size)
+            if piece.start >= hi:
+                continue
+            cpu_slice = self._cpu[piece.start:hi]
+            if cpu_slice.size and float(cpu_slice.max()) + cpu > \
+                    spec.cpu_capacity + tol:
+                over = np.flatnonzero(
+                    cpu_slice + cpu > spec.cpu_capacity + tol)
+                return f"cpu:overlap@{piece.start + int(over[0])}"
+            mem_slice = self._mem[piece.start:hi]
+            if mem_slice.size and float(mem_slice.max()) + memory > \
+                    spec.memory_capacity + tol:
+                over = np.flatnonzero(
+                    mem_slice + memory > spec.memory_capacity + tol)
+                return f"mem:overlap@{piece.start + int(over[0])}"
+        return None
 
     def peak_usage(self, interval: TimeInterval) -> tuple[float, float]:
         """Max (cpu, memory) committed during ``interval``."""
@@ -168,6 +202,20 @@ class ServerState:
         """
         return run_energy(self.server.spec, vm) + \
             self._local_delta(vm.interval)
+
+    def cost_terms(self, vm: VM) -> CostTerms:
+        """The :meth:`incremental_cost` split into its explainable parts.
+
+        ``wake`` is the transition energy ``alpha_i`` charged only when
+        the server currently hosts nothing (a first wake-up); merges and
+        extensions of existing busy segments move the wake-up rather
+        than duplicate it, so their entire delta lands in ``idle_gap``.
+        """
+        wake = self.server.spec.transition_cost if not self._busy_starts \
+            else 0.0
+        delta = self._local_delta(vm.interval)
+        return CostTerms(run=run_energy(self.server.spec, vm),
+                         idle_gap=delta - wake, wake=wake)
 
     # -- mutation --------------------------------------------------------------
 

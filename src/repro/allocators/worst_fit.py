@@ -24,5 +24,9 @@ class WorstFit(Allocator):
 
     name = "worst-fit"
 
+    def candidate_score(self, vm: VM, state: ServerState) -> float | None:
+        """Explain-trace score: negated residual (lower = more spare)."""
+        return -residual_score(state, vm)
+
     def choose(self, vm: VM, feasible: Sequence[ServerState]) -> ServerState:
         return max(feasible, key=lambda st: residual_score(st, vm))

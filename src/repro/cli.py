@@ -11,9 +11,12 @@ Usage examples::
     repro sweep --field mean_duration --values 2 5 10
     repro solve --vms 12 --window 25
     repro audit --vms 200
+    repro explain --vms 30 --servers 5 --algorithm min-energy
     repro report --out report.md --quick
     repro serve --port 7077 --metrics-port 9100 --data-dir state/
+    repro serve --port 7077 --trace-out spans.json
     repro client --port 7077 --vms 200 --interarrival 4
+    repro trace spans.json
 
 (Equivalently ``python -m repro ...``. Running ``repro`` with no
 subcommand prints the usage line and exits with status 2.)
@@ -22,6 +25,7 @@ subcommand prints the usage line and exits with status 2.)
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Sequence
 
@@ -97,14 +101,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig.add_argument("--out", default=None,
                        help="also export the data (.csv or .json)")
 
-    p_trace = sub.add_parser("trace", help="generate and save a workload "
-                                           "trace")
+    p_trace = sub.add_parser(
+        "trace", help="generate a workload trace, or summarize a "
+                      "Chrome-trace file")
+    p_trace.add_argument("file", nargs="?", default=None,
+                         help="a Chrome trace_event JSON file to "
+                              "summarize (as written by "
+                              "'serve --trace-out'); omit to generate a "
+                              "workload trace instead")
     p_trace.add_argument("--vms", type=int, default=100)
     p_trace.add_argument("--interarrival", type=float, default=4.0)
     p_trace.add_argument("--duration", type=float, default=5.0)
     p_trace.add_argument("--seed", type=int, default=0)
-    p_trace.add_argument("--out", required=True,
-                         help="output path (.csv or .json)")
+    p_trace.add_argument("--out", default=None,
+                         help="output path (.csv or .json); required "
+                              "when generating")
 
     p_analyze = sub.add_parser(
         "analyze", help="concurrency profile and energy bounds of a "
@@ -161,6 +172,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_audit.add_argument("--algorithm", default="min-energy",
                          choices=allocator_names())
 
+    p_explain = sub.add_parser(
+        "explain", help="explain every placement decision of one "
+                        "allocator run: candidates, feasibility, cost "
+                        "terms")
+    p_explain.add_argument("--trace", default=None,
+                           help="trace file (.csv or .json); otherwise "
+                                "a workload is generated")
+    p_explain.add_argument("--vms", type=int, default=30)
+    p_explain.add_argument("--interarrival", type=float, default=4.0)
+    p_explain.add_argument("--duration", type=float, default=5.0)
+    p_explain.add_argument("--seed", type=int, default=0)
+    p_explain.add_argument("--servers", type=int, default=None,
+                           help="fleet size (default: half the VMs)")
+    p_explain.add_argument("--algorithm", default="min-energy",
+                           choices=allocator_names())
+    p_explain.add_argument("--max-delay", type=int, default=0,
+                           help="admission queue depth in ticks")
+    p_explain.add_argument("--vm-id", type=int, default=None,
+                           help="show the full candidate breakdown for "
+                                "this VM only")
+
     p_report = sub.add_parser(
         "report", help="write a markdown reproduction report")
     p_report.add_argument("--out", required=True)
@@ -195,6 +227,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--restore", action="store_true",
                          help="resume from --data-dir's snapshot and "
                               "journal")
+    p_serve.add_argument("--trace-out", default=None,
+                         help="record spans while serving and write a "
+                              "Chrome trace_event JSON on shutdown")
 
     p_client = sub.add_parser(
         "client", help="stream a workload at a running daemon")
@@ -263,6 +298,17 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.file:
+        from repro.obs.export import load_chrome_trace, \
+            summarize_chrome_trace
+
+        events = load_chrome_trace(args.file)
+        print(summarize_chrome_trace(events))
+        return 0
+    if not args.out:
+        print("error: --out is required when generating a trace",
+              file=sys.stderr)
+        return 2
     config = ScenarioConfig(
         n_vms=args.vms,
         mean_interarrival=args.interarrival,
@@ -404,6 +450,50 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro.allocators import make_allocator
+    from repro.allocators.state import ServerState
+    from repro.model.cluster import Cluster
+    from repro.obs.explain import ExplainRecorder, format_decision_table
+    from repro.simulation.admission import offer
+
+    vms = _load_or_generate(args)
+    if not vms:
+        print("empty workload")
+        return 0
+    n_servers = args.servers or max(1, len(vms) // 2)
+    cluster = Cluster.paper_all_types(n_servers)
+    allocator = make_allocator(args.algorithm, seed=args.seed)
+    states = [ServerState(server) for server in cluster]
+    allocator.prepare(states)
+    recorder = ExplainRecorder()
+    ordered = sorted(vms, key=lambda v: (v.start, v.end, v.vm_id))
+    for vm in ordered:
+        decision = offer(vm, states, allocator,
+                         max_delay=args.max_delay, recorder=recorder)
+        if decision is not None:
+            decision.state.place(decision.vm)
+    explanations = list(recorder)
+    if args.vm_id is not None:
+        explanations = recorder.for_vm(args.vm_id)
+        if not explanations:
+            print(f"error: vm{args.vm_id} is not in the workload",
+                  file=sys.stderr)
+            return 1
+    print(f"{args.algorithm} on {n_servers} servers, "
+          f"{len(ordered)} VMs offered "
+          f"(max delay {args.max_delay}):\n")
+    print(format_decision_table(explanations))
+    # Full per-candidate breakdowns: every explanation when one VM was
+    # asked for, otherwise every rejection (the interesting failures).
+    detailed = explanations if args.vm_id is not None \
+        else [e for e in explanations if e.decision == "rejected"]
+    for explanation in detailed:
+        print()
+        print(explanation.format())
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.model.cluster import Cluster
     from repro.service import (
@@ -427,6 +517,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             snapshot_every=args.snapshot_every)
     # In stdio mode stdout carries the protocol, so banners go to stderr.
     log = sys.stderr if args.stdio else sys.stdout
+    tracer = None
+    if args.trace_out:
+        from repro.obs.tracer import Tracer, set_tracer
+
+        tracer = Tracer()
+        set_tracer(tracer)
+        print(f"tracing to {args.trace_out} (written on shutdown)",
+              file=log)
     if args.metrics_port is not None:
         metrics_server = start_metrics_server(daemon, args.host,
                                               args.metrics_port)
@@ -436,18 +534,28 @@ def _cmd_serve(args: argparse.Namespace) -> int:
           f"algorithm {daemon.config['algorithm']}, "
           f"clock {daemon.store.clock}, "
           f"{len(daemon.store.placements)} VMs placed", file=log)
-    if args.stdio:
-        serve_stdio(daemon, sys.stdin, sys.stdout)
-    else:
-        server = serve_tcp(daemon, args.host, args.port)
-        print(f"serving on {server.server_address[0]}:"
-              f"{server.server_address[1]}", file=log, flush=True)
-        try:
-            server.serve_forever()
-        except KeyboardInterrupt:
-            daemon.handle({"op": "shutdown"})
-        finally:
-            server.server_close()
+    try:
+        if args.stdio:
+            serve_stdio(daemon, sys.stdin, sys.stdout)
+        else:
+            server = serve_tcp(daemon, args.host, args.port)
+            print(f"serving on {server.server_address[0]}:"
+                  f"{server.server_address[1]}", file=log, flush=True)
+            try:
+                server.serve_forever()
+            except KeyboardInterrupt:
+                daemon.handle({"op": "shutdown"})
+            finally:
+                server.server_close()
+    finally:
+        if tracer is not None:
+            from repro.obs.export import write_chrome_trace
+            from repro.obs.tracer import set_tracer
+
+            set_tracer(None)
+            written = write_chrome_trace(tracer.events, args.trace_out)
+            print(f"wrote {written} trace events to {args.trace_out}",
+                  file=log)
     return 0
 
 
@@ -461,6 +569,7 @@ def _cmd_client(args: argparse.Namespace) -> int:
     with DaemonClient(args.host, args.port) as client:
         summary = replay_trace(client, vms)
         stats = client.stats()
+        exposition = client.metrics()
         if args.shutdown:
             client.shutdown()
     print(f"offered {summary.offered} VMs: {summary.placed} placed, "
@@ -473,7 +582,56 @@ def _cmd_client(args: argparse.Namespace) -> int:
     print(f"daemon totals: {stats['placed']} placed, clock "
           f"{stats['clock']}, energy {stats['energy_total']:.1f} W·min, "
           f"{stats['servers_active']} servers active")
+    print()
+    print("final daemon metrics:")
+    print(_metrics_summary(exposition))
     return 0
+
+
+def _metrics_summary(exposition: str) -> str:
+    """A terse digest of the daemon's Prometheus exposition."""
+    from repro.service.metrics import parse_exposition
+
+    families = parse_exposition(exposition)
+
+    def sample(name: str, default: float = 0.0, **labels: str) -> float:
+        for sample_labels, value in families.get(name, []):
+            if all(sample_labels.get(k) == v for k, v in labels.items()):
+                return value
+        return default
+
+    lines = [
+        f"  fleet power:       {sample('repro_fleet_power_watts'):.1f} W "
+        f"({sample('repro_servers_active'):.0f} active servers, "
+        f"{sample('repro_running_vms'):.0f} running VMs)",
+        f"  energy total:      "
+        f"{sample('repro_energy_accumulated_watt_ticks'):.1f} W·min",
+    ]
+    # Quantile gauges of the latency summary, labeled by quantile.
+    quantiles = {labels.get("quantile"): value for labels, value in
+                 families.get("repro_placement_latency_seconds", [])
+                 if labels.get("quantile")}
+    rendered = ", ".join(
+        f"p{float(q) * 100:g} {1000 * value:.3f} ms"
+        for q, value in sorted(quantiles.items()))
+    lines.append(f"  placement latency: {rendered or 'n/a'}")
+    lines.append(
+        f"  latency samples:   "
+        f"{sample('repro_placement_duration_seconds_count'):.0f} "
+        f"(histogram)")
+    lines.append(
+        f"  placed/rejected:   "
+        f"{sample('repro_requests_total', decision='placed'):.0f} / "
+        f"{sample('repro_requests_total', decision='rejected'):.0f}")
+    decisions = families.get("repro_decisions_total", [])
+    if decisions:
+        lines.append("  decisions by algorithm:")
+        for labels, value in sorted(decisions,
+                                    key=lambda s: sorted(s[0].items())):
+            algorithm = labels.get("algorithm", "?")
+            decision = labels.get("decision", "?")
+            lines.append(f"    {algorithm}/{decision}: {value:.0f}")
+    return "\n".join(lines)
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -499,6 +657,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "solve": lambda: _cmd_solve(args),
         "report": lambda: _cmd_report(args),
         "audit": lambda: _cmd_audit(args),
+        "explain": lambda: _cmd_explain(args),
         "serve": lambda: _cmd_serve(args),
         "client": lambda: _cmd_client(args),
     }
@@ -513,6 +672,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    except BrokenPipeError:
+        # stdout was closed early (e.g. piped into `head`) — not an error;
+        # point the fd at devnull so the interpreter's exit flush stays quiet
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
     except ConnectionError as exc:
         print(f"error: cannot reach the daemon: {exc}", file=sys.stderr)
         return 1

@@ -16,7 +16,6 @@ from repro.energy.cost import (
     CostBreakdown,
     SleepPolicy,
     server_cost,
-    sleeps_through,
 )
 from repro.energy.segments import ServerTimeline, timeline_of
 from repro.model.allocation import Allocation

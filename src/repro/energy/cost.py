@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Sequence
 
 from repro.energy.power import run_energy
 from repro.energy.segments import ServerTimeline, timeline_of

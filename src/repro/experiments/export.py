@@ -12,7 +12,6 @@ from __future__ import annotations
 import csv
 import json
 from pathlib import Path
-from typing import Mapping, Sequence
 
 from repro.exceptions import ValidationError
 from repro.experiments.figures import (

@@ -15,7 +15,7 @@ counterpart figure in the paper.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import Sequence
 
 from repro.allocators.registry import allocator_names, make_allocator
 from repro.energy.accounting import energy_report
@@ -32,7 +32,6 @@ from repro.metrics.fitting import (
 )
 from repro.metrics.summary import aggregate
 from repro.model.catalog import (
-    ALL_VM_TYPES,
     SERVER_TYPES,
     SMALL_SERVER_TYPES,
     STANDARD_VM_TYPES,

@@ -35,7 +35,6 @@ from repro.energy.cost import SleepPolicy
 from repro.exceptions import ValidationError
 from repro.model.allocation import Allocation
 from repro.model.cluster import Cluster
-from repro.model.intervals import TimeInterval
 from repro.model.phases import split_vm
 from repro.model.vm import VM
 

@@ -16,7 +16,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
 
 from repro.energy.accounting import energy_report
 from repro.energy.cost import SleepPolicy

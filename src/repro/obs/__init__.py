@@ -1,0 +1,63 @@
+"""Decision tracing and instrumentation (zero-dependency).
+
+Three pieces, designed to cost ~nothing when disabled:
+
+* :mod:`repro.obs.tracer` — nested spans, instants and counters on a
+  monotonic clock, behind a process-global tracer that defaults to a
+  no-op (:func:`get_tracer` / :func:`set_tracer` / :func:`use_tracer`);
+* :mod:`repro.obs.explain` — per-placement explain-traces: the candidate
+  set each allocator evaluated, per-candidate feasibility verdicts and
+  the Eq.-2/3 cost terms that ranked them;
+* :mod:`repro.obs.export` — Chrome ``trace_event`` JSON (for
+  ``chrome://tracing`` / Perfetto) and JSONL event logs.
+
+See ``docs/observability.md`` for the full tour.
+"""
+
+from repro.obs.explain import (
+    CandidateVerdict,
+    CostTerms,
+    ExplainRecorder,
+    PlacementExplanation,
+    format_decision_table,
+)
+from repro.obs.export import (
+    load_chrome_trace,
+    read_jsonl,
+    summarize_chrome_trace,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    TraceEvent,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "CandidateVerdict",
+    "CostTerms",
+    "ExplainRecorder",
+    "PlacementExplanation",
+    "format_decision_table",
+    "load_chrome_trace",
+    "read_jsonl",
+    "summarize_chrome_trace",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "TraceEvent",
+    "Tracer",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+]

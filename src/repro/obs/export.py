@@ -1,0 +1,158 @@
+"""Exporters for recorded trace events.
+
+* :func:`to_chrome_trace` / :func:`write_chrome_trace` — the Chrome
+  ``trace_event`` JSON format (an object with a ``traceEvents`` array),
+  loadable in ``chrome://tracing`` and Perfetto. Wall-clock events land
+  on pid 1 ("repro"); simulated-time counter series (fleet power etc.)
+  land on pid 2 ("simulated time") so the viewers give them their own
+  track. Timestamps are microseconds, emitted in non-decreasing order.
+* :func:`write_jsonl` / :func:`read_jsonl` — a line-per-event structured
+  log that round-trips :class:`~repro.obs.tracer.TraceEvent` exactly.
+* :func:`summarize_chrome_trace` — the human-readable per-span digest
+  behind ``repro trace <trace.json>``.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import defaultdict
+from pathlib import Path
+from typing import Iterable, Iterator, Mapping
+
+from repro.exceptions import ValidationError
+from repro.obs.tracer import COUNTER, INSTANT, SPAN, TraceEvent
+
+__all__ = ["to_chrome_trace", "write_chrome_trace", "write_jsonl",
+           "read_jsonl", "load_chrome_trace", "summarize_chrome_trace"]
+
+#: pid of wall-clock events in the Chrome trace.
+WALL_PID = 1
+#: pid of simulated-time series in the Chrome trace.
+SIM_PID = 2
+
+
+def _metadata(pid: int, label: str) -> dict[str, object]:
+    return {"name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": label}}
+
+
+def to_chrome_trace(events: Iterable[TraceEvent], *,
+                    process_name: str = "repro") -> dict[str, object]:
+    """The events as a Chrome ``trace_event`` JSON document.
+
+    Events are sorted by timestamp, so ``ts`` is non-decreasing within
+    every (pid, tid) track — what Perfetto's importer expects.
+    """
+    ordered = sorted(events, key=lambda e: (e.clock != "wall", e.ts_ns))
+    trace_events: list[dict[str, object]] = [
+        _metadata(WALL_PID, process_name),
+    ]
+    if any(e.clock != "wall" for e in ordered):
+        trace_events.append(_metadata(SIM_PID, "simulated time"))
+    for event in ordered:
+        pid = WALL_PID if event.clock == "wall" else SIM_PID
+        ts_us = event.ts_ns / 1000.0
+        if event.kind == SPAN:
+            trace_events.append({
+                "name": event.name, "ph": "X", "ts": ts_us,
+                "dur": event.dur_ns / 1000.0, "pid": pid,
+                "tid": event.tid, "args": dict(event.args)})
+        elif event.kind == INSTANT:
+            trace_events.append({
+                "name": event.name, "ph": "i", "s": "t", "ts": ts_us,
+                "pid": pid, "tid": event.tid, "args": dict(event.args)})
+        elif event.kind == COUNTER:
+            trace_events.append({
+                "name": event.name, "ph": "C", "ts": ts_us, "pid": pid,
+                "tid": event.tid, "args": dict(event.args)})
+        else:
+            raise ValidationError(f"unknown event kind {event.kind!r}")
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(events: Iterable[TraceEvent], path: str | Path, *,
+                       process_name: str = "repro") -> int:
+    """Write the Chrome trace JSON; returns the number of trace events."""
+    document = to_chrome_trace(events, process_name=process_name)
+    Path(path).write_text(json.dumps(document))
+    return len(document["traceEvents"])
+
+
+def load_chrome_trace(path: str | Path) -> dict[str, object]:
+    """Load and validate the envelope of a Chrome trace JSON file."""
+    path = Path(path)
+    try:
+        document = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ValidationError(f"{path}: not valid JSON: {exc}") from exc
+    if isinstance(document, list):  # the bare-array variant is legal
+        document = {"traceEvents": document}
+    if not isinstance(document, dict) or \
+            not isinstance(document.get("traceEvents"), list):
+        raise ValidationError(
+            f"{path}: not a Chrome trace (no traceEvents array)")
+    return document
+
+
+def summarize_chrome_trace(document: Mapping[str, object]) -> str:
+    """A per-name digest of a Chrome trace: counts and wall time."""
+    spans: dict[str, list[float]] = defaultdict(list)
+    instants: dict[str, int] = defaultdict(int)
+    counters: dict[str, int] = defaultdict(int)
+    for event in document["traceEvents"]:
+        if not isinstance(event, Mapping):
+            continue
+        ph = event.get("ph")
+        name = str(event.get("name", "?"))
+        if ph == "X":
+            spans[name].append(float(event.get("dur", 0.0)))
+        elif ph in ("B", "E"):
+            spans[name].append(0.0)
+        elif ph == "i" or ph == "I":
+            instants[name] += 1
+        elif ph == "C":
+            counters[name] += 1
+    lines = []
+    if spans:
+        header = (f"{'span':<28} {'count':>7} {'total_ms':>10} "
+                  f"{'mean_ms':>9} {'max_ms':>9}")
+        lines += [header, "-" * len(header)]
+        for name in sorted(spans, key=lambda n: -sum(spans[n])):
+            durs = spans[name]
+            total = sum(durs) / 1000.0
+            lines.append(f"{name:<28} {len(durs):>7} {total:>10.3f} "
+                         f"{total / len(durs):>9.4f} "
+                         f"{max(durs) / 1000.0:>9.3f}")
+    for label, table in (("instant", instants), ("counter", counters)):
+        for name in sorted(table):
+            lines.append(f"{label} {name!r}: {table[name]} events")
+    if not lines:
+        lines.append("empty trace")
+    return "\n".join(lines)
+
+
+def write_jsonl(events: Iterable[TraceEvent], path: str | Path) -> int:
+    """Append-free structured event log: one JSON object per line."""
+    count = 0
+    with Path(path).open("w", encoding="utf-8") as handle:
+        for event in events:
+            handle.write(json.dumps(event.to_record(),
+                                    separators=(",", ":")) + "\n")
+            count += 1
+    return count
+
+
+def read_jsonl(path: str | Path) -> Iterator[TraceEvent]:
+    """Stream the events back from a :func:`write_jsonl` log."""
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValidationError(
+                    f"{path}:{lineno}: malformed event line: {exc}"
+                ) from exc
+            yield TraceEvent.from_record(record)

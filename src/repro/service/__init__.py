@@ -18,7 +18,12 @@ from repro.service.daemon import (
     serve_tcp,
     start_metrics_server,
 )
-from repro.service.metrics import LatencyReservoir, ServiceMetrics
+from repro.service.metrics import (
+    Histogram,
+    LatencyReservoir,
+    ServiceMetrics,
+    parse_exposition,
+)
 from repro.service.persistence import (
     RequestJournal,
     SnapshotManager,
@@ -43,6 +48,7 @@ __all__ = [
     "ClusterStateStore",
     "DaemonClient",
     "DaemonTCPServer",
+    "Histogram",
     "LatencyReservoir",
     "OPS",
     "PROTOCOL_VERSION",
@@ -52,6 +58,7 @@ __all__ = [
     "SNAPSHOT_FORMAT_VERSION",
     "SnapshotManager",
     "encode",
+    "parse_exposition",
     "parse_request",
     "parse_response",
     "place_request",

@@ -39,14 +39,22 @@ class DaemonClient:
             raise ServiceError("daemon closed the connection")
         return parse_response(line)
 
-    def place(self, vm: VM) -> dict[str, object]:
-        return self.request(place_request(vm))
+    def place(self, vm: VM, *, explain: bool = False) -> dict[str, object]:
+        return self.request(place_request(vm, explain=explain))
 
     def tick(self, now: int) -> dict[str, object]:
         return self.request({"op": "tick", "now": now})
 
     def stats(self) -> dict[str, object]:
         return self.request({"op": "stats"})
+
+    def metrics(self) -> str:
+        """The daemon's Prometheus text exposition (``metrics`` op)."""
+        response = self.request({"op": "metrics"})
+        if not response.get("ok"):
+            raise ServiceError(
+                f"metrics request failed: {response.get('error')}")
+        return str(response.get("text", ""))
 
     def ping(self) -> dict[str, object]:
         return self.request({"op": "ping"})

@@ -36,6 +36,8 @@ from typing import IO, Mapping
 
 from repro.allocators.registry import make_allocator
 from repro.exceptions import ReproError, ServiceError, ValidationError
+from repro.obs.explain import ExplainRecorder
+from repro.obs.tracer import get_tracer
 from repro.service.metrics import CONTENT_TYPE, ServiceMetrics
 from repro.service.persistence import (
     RequestJournal,
@@ -95,6 +97,7 @@ class AllocationDaemon:
                                         policy=store.policy)
         self.allocator.prepare(store.states)
         self.metrics = ServiceMetrics()
+        self.metrics.register_algorithm(algorithm)
         self.closed = False
         self._lock = threading.Lock()
         self._placed_since_snapshot = 0
@@ -201,19 +204,25 @@ class AllocationDaemon:
         if decision == "placed":
             self.store.commit(shift_request(vm, delay),
                               int(entry["server_id"]))
-        self.metrics.observe_replayed(decision, delay)
+        self.metrics.observe_replayed(
+            decision, delay, algorithm=str(self.config["algorithm"]))
 
     # -- request handling --------------------------------------------------
 
     def handle_line(self, line: str) -> str:
         """Serve one raw protocol line; always returns a response line."""
-        try:
-            message = parse_request(line)
-        except ServiceError as exc:
-            with self._lock:
-                self.metrics.observe_error()
-            return encode({"ok": False, "error": str(exc)})
-        return encode(self.handle(message))
+        tracer = get_tracer()
+        with tracer.span("service.request"):
+            with tracer.span("service.ingest"):
+                try:
+                    message = parse_request(line)
+                except ServiceError as exc:
+                    with self._lock:
+                        self.metrics.observe_error()
+                    return encode({"ok": False, "error": str(exc)})
+            response = self.handle(message)
+            with tracer.span("service.respond"):
+                return encode(response)
 
     def handle(self, message: Mapping[str, object]) -> dict[str, object]:
         """Serve one parsed request; never raises on domain errors."""
@@ -258,32 +267,53 @@ class AllocationDaemon:
                 vm = vm_from_record(message["vm"])
             except (TypeError, KeyError, ValueError) as exc:
                 raise ServiceError(f"malformed vm record: {exc}") from exc
+        explain = message.get("explain", False)
+        if not isinstance(explain, bool):
+            raise ServiceError(
+                f"place request field 'explain' must be a boolean, "
+                f"got {explain!r}")
+        recorder = ExplainRecorder() if explain else None
+        tracer = get_tracer()
         started = perf_counter()
-        if vm.start > self.store.clock:
-            self.store.advance_to(vm.start)
-        decision = offer(vm, self.store.states, self.allocator,
-                         max_delay=int(self.config["max_delay"]))
-        response: dict[str, object] = {"ok": True, "op": "place",
-                                       "vm_id": vm.vm_id}
-        entry: dict[str, object] = {"op": "place", "vm": vm_to_record(vm)}
-        if decision is None:
-            response["decision"] = entry["decision"] = "rejected"
-        else:
-            server_id = decision.state.server.server_id
-            delta = self.store.commit(decision.vm, server_id)
-            response.update(decision="placed", server_id=server_id,
-                            delay=decision.delay, energy_delta=delta)
-            entry.update(decision="placed", server_id=server_id,
-                         delay=decision.delay)
-            self._placed_since_snapshot += 1
-        latency = perf_counter() - started
-        response["latency_ms"] = latency * 1e3
-        if self.journal is not None:
-            self.journal.append(entry)
-        self.metrics.observe_request(str(response["decision"]), latency,
-                                     int(response.get("delay", 0)))
-        if response["decision"] == "placed":
-            self._maybe_snapshot()
+        with tracer.span("service.place", vm_id=vm.vm_id) as span:
+            if vm.start > self.store.clock:
+                with tracer.span("service.advance", to=vm.start):
+                    self.store.advance_to(vm.start)
+            with tracer.span("service.allocate",
+                             algorithm=str(self.config["algorithm"])):
+                decision = offer(vm, self.store.states, self.allocator,
+                                 max_delay=int(self.config["max_delay"]),
+                                 recorder=recorder)
+            response: dict[str, object] = {"ok": True, "op": "place",
+                                           "vm_id": vm.vm_id}
+            entry: dict[str, object] = {"op": "place",
+                                        "vm": vm_to_record(vm)}
+            if decision is None:
+                response["decision"] = entry["decision"] = "rejected"
+            else:
+                server_id = decision.state.server.server_id
+                with tracer.span("service.commit", server_id=server_id):
+                    delta = self.store.commit(decision.vm, server_id)
+                response.update(decision="placed", server_id=server_id,
+                                delay=decision.delay, energy_delta=delta)
+                entry.update(decision="placed", server_id=server_id,
+                             delay=decision.delay)
+                self._placed_since_snapshot += 1
+            latency = perf_counter() - started
+            span.set(decision=str(response["decision"]))
+            response["latency_ms"] = latency * 1e3
+            if recorder is not None and recorder.last is not None:
+                response["explanation"] = recorder.last.to_record()
+            if self.journal is not None:
+                with tracer.span("service.journal"):
+                    self.journal.append(entry)
+            self.metrics.observe_request(
+                str(response["decision"]), latency,
+                int(response.get("delay", 0)),
+                algorithm=str(self.config["algorithm"]),
+                candidates=self.allocator.candidates_feasible)
+            if response["decision"] == "placed":
+                self._maybe_snapshot()
         return response
 
     def _handle_tick(self, message: Mapping[str, object]

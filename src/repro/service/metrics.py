@@ -1,6 +1,8 @@
 """Service metrics and their Prometheus text exposition.
 
-Counters (requests by decision, admission delays, protocol errors), a
+Counters (requests by decision — plain and labelled per algorithm —
+admission delays, protocol errors), cumulative :class:`Histogram`
+families for placement latency and per-decision candidate counts, a
 bounded reservoir of per-request placement latencies (p50/p99), and
 gauges read live off the :class:`~repro.service.state.ClusterStateStore`
 — instantaneous Eq.-1 fleet power, servers active/asleep, the analytic
@@ -9,24 +11,39 @@ ticks via :class:`~repro.simulation.telemetry.Telemetry`.
 
 The exposition follows the Prometheus text format, version 0.0.4:
 ``# HELP`` / ``# TYPE`` comments followed by ``name{labels} value``
-sample lines, one metric family per block.
+sample lines, one metric family per block; histograms expose the
+cumulative ``_bucket`` series (ending in ``le="+Inf"``), ``_sum`` and
+``_count``.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Mapping
+import bisect
+import math
+import re
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 from repro.exceptions import ValidationError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.service.state import ClusterStateStore
 
-__all__ = ["LatencyReservoir", "ServiceMetrics", "CONTENT_TYPE"]
+__all__ = ["LatencyReservoir", "Histogram", "ServiceMetrics",
+           "CONTENT_TYPE", "parse_exposition", "escape_label_value",
+           "LATENCY_BUCKETS", "CANDIDATE_BUCKETS"]
 
 #: The HTTP Content-Type of the text exposition format.
 CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 _DECISIONS = ("placed", "rejected")
+
+#: Default bucket bounds (seconds) of the placement-latency histogram.
+LATENCY_BUCKETS = (0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+                   0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5)
+
+#: Default bucket bounds of the per-decision candidate-count histogram.
+CANDIDATE_BUCKETS = (0.0, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0,
+                     500.0)
 
 
 class LatencyReservoir:
@@ -52,51 +69,127 @@ class LatencyReservoir:
             self._next = (self._next + 1) % self._capacity
 
     def quantile(self, q: float) -> float:
-        """The q-quantile (nearest-rank) of the window; 0 when empty."""
+        """The q-quantile of the window, by the nearest-rank definition.
+
+        Edge cases are pinned down rather than left to interpolation:
+        an empty reservoir reports ``0.0`` (there is nothing to
+        summarise), a single sample *is* every quantile, and for ``n``
+        samples the rank is ``ceil(q * n)`` clamped to ``[1, n]`` — so
+        ``p50`` of two samples is the lower one, never a value outside
+        the observed set.
+        """
         if not 0.0 <= q <= 1.0:
             raise ValidationError(f"quantile must be in [0, 1], got {q}")
         if not self._samples:
             return 0.0
         ordered = sorted(self._samples)
-        rank = min(len(ordered) - 1, int(q * len(ordered)))
-        return ordered[rank]
+        rank = min(len(ordered), max(1, math.ceil(q * len(ordered))))
+        return ordered[rank - 1]
+
+
+class Histogram:
+    """A fixed-bucket cumulative histogram (Prometheus semantics).
+
+    ``bounds`` are the upper bucket bounds (``le``), strictly
+    increasing; an implicit ``+Inf`` bucket catches the overflow. The
+    exposition renders the cumulative ``_bucket`` series plus ``_sum``
+    and ``_count``.
+    """
+
+    def __init__(self, bounds: Sequence[float]) -> None:
+        if not bounds:
+            raise ValidationError("histogram needs at least one bound")
+        cleaned = tuple(float(b) for b in bounds)
+        if any(b >= c for b, c in zip(cleaned, cleaned[1:])):
+            raise ValidationError(
+                f"histogram bounds must be strictly increasing: {cleaned}")
+        if any(math.isinf(b) or math.isnan(b) for b in cleaned):
+            raise ValidationError(
+                "histogram bounds must be finite (+Inf is implicit)")
+        self.bounds = cleaned
+        self._counts = [0] * len(cleaned)
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        index = bisect.bisect_left(self.bounds, value)
+        if index < len(self._counts):
+            self._counts[index] += 1
+        self.count += 1
+        self.sum += value
+
+    def cumulative(self) -> list[tuple[float, int]]:
+        """(bound, cumulative count) pairs, ending with ``(inf, count)``."""
+        pairs: list[tuple[float, int]] = []
+        running = 0
+        for bound, count in zip(self.bounds, self._counts):
+            running += count
+            pairs.append((bound, running))
+        pairs.append((math.inf, self.count))
+        return pairs
 
 
 class ServiceMetrics:
-    """Counters + latency reservoir, renderable as Prometheus text."""
+    """Counters + latency reservoir + histograms, rendered as Prometheus
+    text."""
 
     def __init__(self) -> None:
         self.requests = {decision: 0 for decision in _DECISIONS}
         self.delayed = 0
         self.errors = 0
         self.latency = LatencyReservoir()
+        self.latency_hist = Histogram(LATENCY_BUCKETS)
+        self.candidates = Histogram(CANDIDATE_BUCKETS)
+        #: (algorithm, decision) -> count; the labelled twin of
+        #: ``requests`` once an algorithm is registered.
+        self.decisions: dict[tuple[str, str], int] = {}
+
+    def register_algorithm(self, algorithm: str) -> None:
+        """Pre-seed the labelled decision counters at zero, so scrapes
+        see the full family from the first request on."""
+        for decision in _DECISIONS:
+            self.decisions.setdefault((algorithm, decision), 0)
 
     def observe_request(self, decision: str, latency_seconds: float,
-                        delay: int = 0) -> None:
+                        delay: int = 0, *, algorithm: str | None = None,
+                        candidates: int | None = None) -> None:
         if decision not in self.requests:
             raise ValidationError(f"unknown decision {decision!r}")
         self.requests[decision] += 1
         if delay:
             self.delayed += 1
         self.latency.observe(latency_seconds)
+        self.latency_hist.observe(latency_seconds)
+        if candidates is not None:
+            self.candidates.observe(float(candidates))
+        if algorithm is not None:
+            key = (algorithm, decision)
+            self.decisions[key] = self.decisions.get(key, 0) + 1
 
-    def observe_replayed(self, decision: str, delay: int = 0) -> None:
-        """Count a journal-replayed request (no latency sample — the
-        original timing is gone)."""
+    def observe_replayed(self, decision: str, delay: int = 0, *,
+                         algorithm: str | None = None) -> None:
+        """Count a journal-replayed request (no latency/candidate sample
+        — the original timing is gone)."""
         if decision not in self.requests:
             raise ValidationError(f"unknown decision {decision!r}")
         self.requests[decision] += 1
         if delay:
             self.delayed += 1
+        if algorithm is not None:
+            key = (algorithm, decision)
+            self.decisions[key] = self.decisions.get(key, 0) + 1
 
     def observe_error(self) -> None:
         self.errors += 1
 
-    # -- persistence (the latency window itself is not restorable) --------
+    # -- persistence (latency/candidate windows are not restorable) --------
 
     def to_meta(self) -> dict[str, object]:
         return {"requests": dict(self.requests), "delayed": self.delayed,
-                "errors": self.errors}
+                "errors": self.errors,
+                "decisions": {f"{algorithm}\t{decision}": count
+                              for (algorithm, decision), count
+                              in self.decisions.items()}}
 
     def restore_meta(self, meta: Mapping[str, object]) -> None:
         requests = meta.get("requests")
@@ -105,6 +198,11 @@ class ServiceMetrics:
                 self.requests[decision] = int(requests.get(decision, 0))
         self.delayed = int(meta.get("delayed", 0))
         self.errors = int(meta.get("errors", 0))
+        decisions = meta.get("decisions")
+        if isinstance(decisions, Mapping):
+            for key, count in decisions.items():
+                algorithm, _, decision = str(key).partition("\t")
+                self.decisions[(algorithm, decision)] = int(count)
 
     # -- exposition --------------------------------------------------------
 
@@ -120,10 +218,27 @@ class ServiceMetrics:
             for suffix, value in samples:
                 lines.append(f"{name}{suffix} {value:.10g}")
 
+        def hist_family(name: str, help_text: str,
+                        hist: Histogram) -> None:
+            lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} histogram")
+            for bound, cumulative in hist.cumulative():
+                le = "+Inf" if math.isinf(bound) else f"{bound:.10g}"
+                lines.append(f'{name}_bucket{{le="{le}"}} {cumulative}')
+            lines.append(f"{name}_sum {hist.sum:.10g}")
+            lines.append(f"{name}_count {hist.count}")
+
         family("repro_requests_total", "counter",
                "Placement requests by final decision.",
-               [(f'{{decision="{d}"}}', float(self.requests[d]))
-                for d in _DECISIONS])
+               [(f'{{decision="{escape_label_value(d)}"}}',
+                 float(self.requests[d])) for d in _DECISIONS])
+        family("repro_decisions_total", "counter",
+               "Placement decisions by algorithm and outcome.",
+               [(f'{{algorithm="{escape_label_value(algorithm)}",'
+                 f'decision="{escape_label_value(decision)}"}}',
+                 float(count))
+                for (algorithm, decision), count
+                in sorted(self.decisions.items())])
         family("repro_requests_delayed_total", "counter",
                "Requests admitted only after a queueing delay.",
                [("", float(self.delayed))])
@@ -136,6 +251,12 @@ class ServiceMetrics:
                 ('{quantile="0.99"}', self.latency.quantile(0.99)),
                 ("_sum", self.latency.total),
                 ("_count", float(self.latency.count))])
+        hist_family("repro_placement_duration_seconds",
+                    "Histogram of service-side placement decision latency.",
+                    self.latency_hist)
+        hist_family("repro_placement_candidates",
+                    "Histogram of feasible candidate servers per placement "
+                    "decision.", self.candidates)
         family("repro_fleet_power_watts", "gauge",
                "Instantaneous fleet power draw (Eq. 1).",
                [("", store.fleet_power())])
@@ -164,3 +285,45 @@ class ServiceMetrics:
                "Peak per-tick fleet power over closed ticks.",
                [("", telemetry.peak_power)])
         return "\n".join(lines) + "\n"
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the text format: ``\\``, ``"``, newline."""
+    return value.replace("\\", "\\\\").replace('"', '\\"') \
+        .replace("\n", "\\n")
+
+
+_SAMPLE_RE = re.compile(
+    r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)'
+    r'(?:\{(?P<labels>.*)\})?'
+    r'\s+(?P<value>\S+)(?:\s+\S+)?$')
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _unescape(value: str) -> str:
+    return value.replace("\\n", "\n").replace('\\"', '"') \
+        .replace("\\\\", "\\")
+
+
+def parse_exposition(text: str) -> dict[str, list[tuple[dict, float]]]:
+    """Parse a text-format page into ``name -> [(labels, value)]``.
+
+    A lenient scrape used by ``repro client`` to summarise the daemon's
+    metrics; the strict conformance checks live in the test suite.
+    """
+    samples: dict[str, list[tuple[dict, float]]] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            continue
+        labels = {key: _unescape(value) for key, value
+                  in _LABEL_RE.findall(match.group("labels") or "")}
+        try:
+            value = float(match.group("value"))
+        except ValueError:
+            continue
+        samples.setdefault(match.group("name"), []).append((labels, value))
+    return samples

@@ -15,6 +15,10 @@ Operations
     reports ``decision`` (``"placed"`` or ``"rejected"``), the chosen
     ``server_id``, any admission ``delay``, the analytic
     ``energy_delta`` (Eq. 17) and the service-side ``latency_ms``.
+    With the opt-in ``"explain": true`` field the response additionally
+    carries ``explanation`` — the serialized
+    :class:`~repro.obs.explain.PlacementExplanation` listing every
+    candidate server with its feasibility verdict and cost terms.
 ``tick``
     ``{"op": "tick", "now": T}`` — advance the cluster clock to ``T``,
     retiring expired VMs and powering down idle servers.
@@ -53,9 +57,12 @@ def encode(message: Mapping[str, object]) -> str:
     return json.dumps(message, separators=(",", ":")) + "\n"
 
 
-def place_request(vm: VM) -> dict[str, object]:
-    """The ``place`` request for one VM."""
-    return {"op": "place", "vm": vm_to_record(vm)}
+def place_request(vm: VM, *, explain: bool = False) -> dict[str, object]:
+    """The ``place`` request for one VM (optionally explain-enabled)."""
+    request: dict[str, object] = {"op": "place", "vm": vm_to_record(vm)}
+    if explain:
+        request["explain"] = True
+    return request
 
 
 def parse_request(line: str) -> dict[str, object]:
@@ -87,6 +94,10 @@ def parse_request(line: str) -> dict[str, object]:
             message["_vm"] = vm_from_record(record)
         except (TypeError, KeyError, ValueError) as exc:
             raise ServiceError(f"malformed vm record: {exc}") from exc
+        if not isinstance(message.get("explain", False), bool):
+            raise ServiceError(
+                f"place request field 'explain' must be a boolean, "
+                f"got {message.get('explain')!r}")
     elif op == "tick":
         now = message.get("now")
         if isinstance(now, bool) or not isinstance(now, int) or now < 0:

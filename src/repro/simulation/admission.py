@@ -30,6 +30,7 @@ from repro.model.allocation import Allocation
 from repro.model.cluster import Cluster
 from repro.model.phases import PhasedVM
 from repro.model.vm import VM
+from repro.obs.explain import ExplainRecorder
 
 __all__ = ["AdmissionDecision", "AdmissionOutcome", "AdmissionController",
            "offer", "shift_request"]
@@ -88,7 +89,9 @@ class AdmissionDecision:
 
 
 def offer(vm: VM, states: Sequence[ServerState], allocator: Allocator,
-          max_delay: int = 0) -> AdmissionDecision | None:
+          max_delay: int = 0,
+          recorder: ExplainRecorder | None = None
+          ) -> AdmissionDecision | None:
     """Offer one request to the fleet under reject-or-defer semantics.
 
     The request is tried as-is, then shifted later one unit at a time up
@@ -96,17 +99,35 @@ def offer(vm: VM, states: Sequence[ServerState], allocator: Allocator,
     admits it — the caller's reject path. ``allocator.prepare`` must have
     been called on ``states`` beforehand (once per arrival process).
 
+    With a ``recorder``, exactly one
+    :class:`~repro.obs.explain.PlacementExplanation` is recorded per
+    offer: the admitted attempt (carrying its admission ``delay``), or —
+    when every shift fails — the undelayed attempt, whose per-candidate
+    verdicts show what blocked the request on arrival.
+
     This is the single-request core shared by the batch
     :class:`AdmissionController` and the online allocation service
     (:mod:`repro.service`).
     """
     if max_delay < 0:
         raise ValidationError(f"max_delay must be >= 0, got {max_delay}")
+    undelayed = None
     for delay in range(max_delay + 1):
         candidate = shift_request(vm, delay)
-        chosen = allocator.select(candidate, states)
+        if recorder is None:
+            chosen = allocator.select(candidate, states)
+        else:
+            chosen, explanation = allocator.explain_select(candidate,
+                                                           states)
+            explanation = explanation.with_delay(delay)
+            if delay == 0:
+                undelayed = explanation
+            if chosen is not None:
+                recorder.record(explanation)
         if chosen is not None:
             return AdmissionDecision(vm=candidate, state=chosen, delay=delay)
+    if recorder is not None and undelayed is not None:
+        recorder.record(undelayed)
     return None
 
 

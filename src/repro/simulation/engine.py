@@ -18,7 +18,7 @@ have produced.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
 
 from repro.energy.accounting import EnergyReport, energy_report
 from repro.energy.cost import SleepPolicy
@@ -26,7 +26,8 @@ from repro.exceptions import SimulationError
 from repro.model.allocation import Allocation
 from repro.model.cluster import Cluster
 from repro.model.phases import demand_profile
-from repro.model.vm import VM
+from repro.obs.explain import ExplainRecorder, PlacementExplanation
+from repro.obs.tracer import get_tracer
 from repro.simulation.events import EventKind, EventQueue
 from repro.simulation.power_state import PowerState, ServerMachine
 from repro.simulation.telemetry import Telemetry, TelemetryCollector
@@ -36,7 +37,13 @@ __all__ = ["SimulationResult", "SimulationEngine", "simulate_online"]
 
 @dataclass(frozen=True)
 class SimulationResult:
-    """Outcome of a replay: integrated energy plus telemetry."""
+    """Outcome of a replay: integrated energy plus telemetry.
+
+    ``explanations`` is populated only by explain-enabled runs
+    (``simulate_online(..., explain=True)``): one
+    :class:`~repro.obs.explain.PlacementExplanation` per allocated VM in
+    processing order.
+    """
 
     total_energy: float
     busy_energy: float
@@ -44,6 +51,7 @@ class SimulationResult:
     telemetry: Telemetry
     events_processed: int
     report: EnergyReport
+    explanations: tuple[PlacementExplanation, ...] = field(default=())
 
     @property
     def horizon(self) -> int:
@@ -68,6 +76,17 @@ class SimulationEngine:
         if allocation.cluster is not self._cluster:
             raise SimulationError(
                 "allocation was built for a different cluster object")
+        tracer = get_tracer()
+        with tracer.span("engine.replay",
+                         servers=len(self._cluster)) as span:
+            result = self._replay(allocation)
+            span.set(events=result.events_processed,
+                     horizon=result.horizon)
+        if tracer.enabled:
+            result.telemetry.emit_counters(tracer)
+        return result
+
+    def _replay(self, allocation: Allocation) -> SimulationResult:
         report = energy_report(allocation, policy=self._policy)
         horizon = allocation.horizon()
         queue = EventQueue()
@@ -162,14 +181,33 @@ class SimulationEngine:
 
 
 def simulate_online(vms, cluster: Cluster, allocator, *,
-                    policy: SleepPolicy = SleepPolicy.OPTIMAL
+                    policy: SleepPolicy = SleepPolicy.OPTIMAL,
+                    explain: bool = False
                     ) -> tuple[Allocation, SimulationResult]:
     """Allocate ``vms`` with ``allocator`` and replay the resulting plan.
 
     The paper's algorithms process VMs in arrival (start-time) order, so
     the offline plan replayed here is the same trajectory an online
     controller would produce tick by tick.
+
+    With ``explain=True`` the run additionally records one explain-trace
+    per placement decision (the candidate servers evaluated, their
+    feasibility verdicts and cost terms) on
+    ``SimulationResult.explanations``; the allocator must support the
+    base :class:`~repro.allocators.base.Allocator` explain interface.
     """
-    allocation = allocator.allocate(vms, cluster)
-    engine = SimulationEngine(cluster, policy=policy)
-    return allocation, engine.replay(allocation)
+    tracer = get_tracer()
+    with tracer.span("simulate_online", algorithm=getattr(
+            allocator, "name", type(allocator).__name__)):
+        if explain:
+            recorder = ExplainRecorder()
+            allocation = allocator.allocate(vms, cluster,
+                                            recorder=recorder)
+        else:
+            recorder = None
+            allocation = allocator.allocate(vms, cluster)
+        engine = SimulationEngine(cluster, policy=policy)
+        result = engine.replay(allocation)
+    if recorder is not None:
+        result = replace(result, explanations=tuple(recorder))
+    return allocation, result

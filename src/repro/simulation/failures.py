@@ -15,7 +15,7 @@ and the disruption (VMs killed, re-placements, unrecoverable VMs).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Mapping, Sequence
+from typing import Iterable, Mapping
 
 import numpy as np
 
@@ -26,7 +26,6 @@ from repro.energy.cost import SleepPolicy
 from repro.exceptions import ValidationError
 from repro.model.allocation import Allocation
 from repro.model.cluster import Cluster
-from repro.model.intervals import TimeInterval
 from repro.model.phases import split_vm
 from repro.model.vm import VM
 

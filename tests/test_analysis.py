@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import networkx as nx
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.analysis import (
     concurrency_profile,

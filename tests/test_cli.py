@@ -127,3 +127,84 @@ class TestServiceCommands:
         assert responses[0]["decision"] == "placed"
         assert responses[1]["placed"] == 1
         assert responses[2]["op"] == "shutdown"
+
+
+class TestObservabilityCommands:
+    def test_explain_prints_decision_table(self, capsys):
+        assert main(["explain", "--vms", "12", "--servers", "4",
+                     "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "decision" in out
+        assert "min-energy on 4 servers" in out
+
+    def test_explain_rejections_show_failing_constraints(self, capsys):
+        assert main(["explain", "--vms", "20", "--servers", "2",
+                     "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "rejected" in out
+        assert "infeasible:" in out
+
+    def test_explain_single_vm_detail(self, capsys):
+        assert main(["explain", "--vms", "8", "--servers", "4",
+                     "--seed", "0", "--vm-id", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "vm 3 ->" in out
+
+    def test_explain_unknown_vm_id_fails(self, capsys):
+        assert main(["explain", "--vms", "5", "--servers", "4",
+                     "--vm-id", "999"]) == 1
+        assert "not in the workload" in capsys.readouterr().err
+
+    def test_trace_generate_requires_out(self, capsys):
+        assert main(["trace", "--vms", "5"]) == 2
+        assert "--out" in capsys.readouterr().err
+
+    def test_trace_views_chrome_trace(self, tmp_path, capsys):
+        from repro import (
+            Cluster,
+            MinIncrementalEnergy,
+            Tracer,
+            simulate_online,
+            use_tracer,
+            write_chrome_trace,
+        )
+        from repro.workload.generator import generate_vms
+
+        tracer = Tracer()
+        with use_tracer(tracer):
+            simulate_online(generate_vms(10, mean_interarrival=2.0,
+                                         seed=0),
+                            Cluster.paper_all_types(8),
+                            MinIncrementalEnergy())
+        path = tmp_path / "spans.json"
+        write_chrome_trace(tracer.events, path)
+        assert main(["trace", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "simulate_online" in out
+        assert "engine.replay" in out
+
+    def test_trace_view_rejects_non_trace_file(self, tmp_path, capsys):
+        path = tmp_path / "not_a_trace.json"
+        path.write_text('{"hello": 1}')
+        assert main(["trace", str(path)]) == 1
+        assert "traceEvents" in capsys.readouterr().err
+
+    def test_serve_trace_out_writes_chrome_trace(self, monkeypatch,
+                                                 tmp_path, capsys):
+        import io
+        import json
+        import sys
+
+        monkeypatch.setattr(sys, "stdin", io.StringIO(
+            '{"op": "place", "vm": {"vm_id": 0, "cpu": 1.0,'
+            ' "memory": 1.0, "start": 1, "end": 4, "type": "t"}}\n'
+            '{"op": "shutdown"}\n'))
+        out_path = tmp_path / "spans.json"
+        assert main(["serve", "--stdio", "--servers", "2",
+                     "--trace-out", str(out_path)]) == 0
+        captured = capsys.readouterr()
+        assert "trace events" in captured.err
+        document = json.loads(out_path.read_text())
+        names = {e.get("name") for e in document["traceEvents"]}
+        assert "service.request" in names
+        assert "service.place" in names

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.allocators import MinIncrementalEnergy, WorstFit
+from repro.allocators import MinIncrementalEnergy
 from repro.analysis.diagnostics import diagnose
 from repro.energy.cost import SleepPolicy, allocation_cost
 from repro.energy.timeout import best_timeout, timeout_energy

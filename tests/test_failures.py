@@ -7,7 +7,6 @@ from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.allocators import MinIncrementalEnergy, make_allocator
 from repro.exceptions import ValidationError
-from repro.model.allocation import Allocation
 from repro.model.cluster import Cluster
 from repro.model.server import ServerSpec
 from repro.simulation.failures import (

@@ -7,7 +7,6 @@ against accidental seed cherry-picking.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.experiments.config import ScenarioConfig
 from repro.experiments.runner import compare_averaged

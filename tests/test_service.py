@@ -28,7 +28,6 @@ from repro.service import (
     start_metrics_server,
 )
 from repro.simulation import simulate_online
-from repro.simulation.power_state import PowerState
 from repro.workload.generator import generate_vms
 
 from conftest import make_vm
@@ -430,6 +429,12 @@ class TestEndToEndTCP:
                     f"http://127.0.0.1:{metrics_port}/healthz",
                     timeout=10).read()
                 assert health == b"ok\n"
+                # the metrics op serves the same exposition as HTTP
+                exposition = client.metrics()
+                assert 'repro_requests_total{decision="placed"} 60' \
+                    in exposition
+                assert "repro_placement_duration_seconds_bucket" \
+                    in exposition
                 assert client.shutdown()["ok"]
         finally:
             server.shutdown()
@@ -473,3 +478,90 @@ class TestStdioTransport:
         assert responses[0]["decision"] == "placed"
         assert responses[1]["placed"] == 1
         assert responses[2]["op"] == "shutdown"
+
+
+class TestExplainProtocol:
+    def test_place_with_explain_returns_candidate_breakdown(self):
+        from repro.obs import PlacementExplanation
+
+        store = ClusterStateStore(Cluster.homogeneous(SPEC, 2))
+        daemon = AllocationDaemon(store)
+        response = daemon.handle(
+            place_request(make_vm(0, 1, 5, cpu=2.0), explain=True))
+        assert response["ok"] and response["decision"] == "placed"
+        explanation = PlacementExplanation.from_record(
+            response["explanation"])
+        assert explanation.vm_id == 0
+        assert explanation.decision == "placed"
+        assert explanation.server_id == response["server_id"]
+        assert len(explanation.candidates) == 2
+        assert explanation.chosen is not None
+
+    def test_rejected_place_explains_every_candidate(self):
+        from repro.obs import PlacementExplanation
+
+        store = ClusterStateStore(Cluster.homogeneous(SPEC, 2))
+        daemon = AllocationDaemon(store)
+        response = daemon.handle(
+            place_request(make_vm(0, 1, 5, cpu=99.0), explain=True))
+        assert response["ok"] and response["decision"] == "rejected"
+        explanation = PlacementExplanation.from_record(
+            response["explanation"])
+        assert explanation.decision == "rejected"
+        assert explanation.feasible_count == 0
+        assert all(v.reason == "cpu:capacity"
+                   for v in explanation.candidates)
+
+    def test_explain_response_is_json_round_trippable(self):
+        store = ClusterStateStore(Cluster.homogeneous(SPEC, 1))
+        daemon = AllocationDaemon(store)
+        response = daemon.handle(
+            place_request(make_vm(0, 1, 3), explain=True))
+        assert json.loads(json.dumps(response)) == response
+
+    def test_plain_place_has_no_explanation(self):
+        store = ClusterStateStore(Cluster.homogeneous(SPEC, 1))
+        daemon = AllocationDaemon(store)
+        response = daemon.handle(place_request(make_vm(0, 1, 3)))
+        assert "explanation" not in response
+
+    def test_non_boolean_explain_is_rejected(self):
+        vm_record = place_request(make_vm(0, 1, 3))["vm"]
+        with pytest.raises(ServiceError):
+            parse_request(json.dumps(
+                {"op": "place", "vm": vm_record, "explain": "yes"}))
+
+    def test_explained_delay_rides_along(self):
+        store = ClusterStateStore(Cluster.homogeneous(SPEC, 1))
+        daemon = AllocationDaemon(store, max_delay=5)
+        first = daemon.handle(place_request(make_vm(0, 1, 4, cpu=8.0)))
+        assert first["decision"] == "placed"
+        response = daemon.handle(
+            place_request(make_vm(1, 2, 4, cpu=8.0), explain=True))
+        assert response["decision"] == "placed"
+        assert response["delay"] == 3
+        assert response["explanation"]["delay"] == 3
+
+    def test_decision_counters_follow_the_stream(self):
+        store = ClusterStateStore(Cluster.homogeneous(SPEC, 1))
+        daemon = AllocationDaemon(store)
+        daemon.handle(place_request(make_vm(0, 1, 5, cpu=8.0)))
+        daemon.handle(place_request(make_vm(1, 2, 4, cpu=8.0)))
+        key = str(daemon.config["algorithm"])
+        assert daemon.metrics.decisions[(key, "placed")] == 1
+        assert daemon.metrics.decisions[(key, "rejected")] == 1
+        assert daemon.metrics.latency_hist.count == 2
+        assert daemon.metrics.candidates.count == 2
+
+    def test_request_spans_recorded_when_tracing(self):
+        from repro.obs import Tracer, use_tracer
+
+        store = ClusterStateStore(Cluster.homogeneous(SPEC, 1))
+        daemon = AllocationDaemon(store)
+        tracer = Tracer()
+        with use_tracer(tracer):
+            daemon.handle_line(json.dumps(place_request(make_vm(0, 1, 3))))
+        names = {e.name for e in tracer.events}
+        assert {"service.request", "service.ingest", "service.place",
+                "service.allocate", "service.commit",
+                "service.respond"} <= names

@@ -1,0 +1,282 @@
+"""Service metrics: reservoir edge cases, histograms, and strict
+conformance of the Prometheus text exposition (format version 0.0.4)."""
+
+from __future__ import annotations
+
+import math
+import re
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.model.cluster import Cluster
+from repro.model.server import ServerSpec
+from repro.service import ClusterStateStore, Histogram, parse_exposition
+from repro.service.metrics import (
+    CANDIDATE_BUCKETS,
+    LATENCY_BUCKETS,
+    LatencyReservoir,
+    ServiceMetrics,
+    escape_label_value,
+)
+
+from conftest import make_vm
+
+SPEC = ServerSpec("s", cpu_capacity=10.0, memory_capacity=10.0,
+                  p_idle=50.0, p_peak=100.0, transition_time=1.0)
+
+
+class TestLatencyReservoir:
+    def test_empty_reservoir_reports_zero(self):
+        reservoir = LatencyReservoir()
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert reservoir.quantile(q) == 0.0
+        assert reservoir.count == 0
+        assert reservoir.total == 0.0
+
+    def test_single_sample_is_every_quantile(self):
+        reservoir = LatencyReservoir()
+        reservoir.observe(0.25)
+        for q in (0.0, 0.01, 0.5, 0.99, 1.0):
+            assert reservoir.quantile(q) == 0.25
+
+    def test_nearest_rank_two_samples(self):
+        reservoir = LatencyReservoir()
+        reservoir.observe(2.0)
+        reservoir.observe(1.0)
+        # ceil(0.5 * 2) = 1 -> the lower sample, never an interpolation
+        assert reservoir.quantile(0.5) == 1.0
+        assert reservoir.quantile(0.51) == 2.0
+        assert reservoir.quantile(1.0) == 2.0
+
+    def test_quantile_zero_clamps_to_first_rank(self):
+        reservoir = LatencyReservoir()
+        for value in (3.0, 1.0, 2.0):
+            reservoir.observe(value)
+        assert reservoir.quantile(0.0) == 1.0
+
+    def test_quantiles_always_come_from_observed_set(self):
+        reservoir = LatencyReservoir()
+        values = [float(i) for i in range(17)]
+        for value in values:
+            reservoir.observe(value)
+        for q in (0.0, 0.1, 0.25, 0.5, 0.9, 0.99, 1.0):
+            assert reservoir.quantile(q) in values
+
+    def test_out_of_range_quantile_rejected(self):
+        reservoir = LatencyReservoir()
+        with pytest.raises(ValidationError):
+            reservoir.quantile(1.5)
+        with pytest.raises(ValidationError):
+            reservoir.quantile(-0.1)
+
+    def test_window_overwrites_oldest_beyond_capacity(self):
+        reservoir = LatencyReservoir(capacity=4)
+        for value in (9.0, 9.0, 9.0, 9.0, 1.0, 2.0):
+            reservoir.observe(value)
+        assert reservoir.count == 6
+        assert reservoir.quantile(0.0) == 1.0  # the 9.0s are rotating out
+        assert reservoir.total == pytest.approx(39.0)
+
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(ValidationError):
+            LatencyReservoir(capacity=0)
+
+
+class TestHistogram:
+    def test_cumulative_buckets_and_overflow(self):
+        hist = Histogram((1.0, 2.0, 5.0))
+        for value in (0.5, 1.0, 1.5, 3.0, 100.0):
+            hist.observe(value)
+        assert hist.cumulative() == [(1.0, 2), (2.0, 3), (5.0, 4),
+                                     (math.inf, 5)]
+        assert hist.count == 5
+        assert hist.sum == pytest.approx(106.0)
+
+    def test_boundary_value_lands_in_le_bucket(self):
+        hist = Histogram((1.0,))
+        hist.observe(1.0)  # le="1.0" is inclusive
+        assert hist.cumulative()[0] == (1.0, 1)
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValidationError):
+            Histogram(())
+        with pytest.raises(ValidationError):
+            Histogram((1.0, 1.0))
+        with pytest.raises(ValidationError):
+            Histogram((2.0, 1.0))
+        with pytest.raises(ValidationError):
+            Histogram((1.0, math.inf))
+
+
+def conformant_families(text: str) -> dict[str, dict]:
+    """Strictly validate a text-format 0.0.4 page; returns the families.
+
+    Checks the structural rules the format mandates: every sample line
+    belongs to the family announced by the preceding ``# HELP``/``# TYPE``
+    pair (HELP first, TYPE second, each exactly once per family), metric
+    and label names are legal, label values use only the three escapes,
+    values parse as floats, histogram ``_bucket`` series are cumulative
+    and end in an ``le="+Inf"`` bucket equal to ``_count``.
+    """
+    name_re = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+    label_re = re.compile(
+        r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\\n]|\\\\|\\"|\\n)*)"')
+    families: dict[str, dict] = {}
+    current: str | None = None
+    for line in text.splitlines():
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help_text = rest.partition(" ")
+            assert name_re.match(name), name
+            assert name not in families, f"duplicate HELP for {name}"
+            assert help_text.strip(), f"empty HELP for {name}"
+            families[name] = {"type": None, "samples": []}
+            current = name
+        elif line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            assert name == current, \
+                f"TYPE {name} does not follow its HELP"
+            assert families[name]["type"] is None, f"duplicate TYPE {name}"
+            assert kind in ("counter", "gauge", "summary", "histogram")
+            families[name]["type"] = kind
+        elif line.startswith("#"):
+            continue  # free-form comment
+        else:
+            assert line == line.strip() and line, f"stray line {line!r}"
+            match = re.match(
+                r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{(.*)\})?\s(\S+)$", line)
+            assert match, f"malformed sample line {line!r}"
+            name, _, labels, value = match.groups()
+            assert current is not None, f"sample before any family: {line}"
+            kind = families[current]["type"]
+            suffixes = {"summary": ("", "_sum", "_count"),
+                        "histogram": ("_bucket", "_sum", "_count")}
+            allowed = [current + s for s in suffixes.get(kind, ("",))]
+            assert name in allowed, \
+                f"sample {name} outside its family {current}"
+            if labels:
+                consumed = label_re.sub("", labels).strip(",")
+                assert consumed == "", f"bad labels in {line!r}"
+            float(value)  # must parse
+            families[current]["samples"].append(
+                (name, dict(label_re.findall(labels or "")), float(value)))
+    for name, family in families.items():
+        assert family["type"] is not None, f"family {name} lacks TYPE"
+        if family["type"] == "histogram":
+            buckets = [(s[1]["le"], s[2]) for s in family["samples"]
+                       if s[0] == f"{name}_bucket"]
+            counts = [s[2] for s in family["samples"]
+                      if s[0] == f"{name}_count"]
+            assert buckets and len(counts) == 1
+            assert buckets[-1][0] == "+Inf"
+            values = [b[1] for b in buckets]
+            assert values == sorted(values), f"{name} not cumulative"
+            assert values[-1] == counts[0], \
+                f"{name} +Inf bucket != _count"
+            bounds = [float(b[0].replace("+Inf", "inf"))
+                      for b in buckets]
+            assert bounds == sorted(bounds)
+    return families
+
+
+class TestExposition:
+    def render(self, *, requests=()):
+        store = ClusterStateStore(Cluster.homogeneous(SPEC, 3))
+        metrics = ServiceMetrics()
+        metrics.register_algorithm("min-energy")
+        for decision, latency, candidates in requests:
+            metrics.observe_request(decision, latency,
+                                    algorithm="min-energy",
+                                    candidates=candidates)
+        store.commit(make_vm(0, 1, 4), 0)
+        store.advance_to(2)
+        return metrics.render(store), metrics
+
+    def test_page_is_strictly_conformant(self):
+        text, _ = self.render(requests=[
+            ("placed", 0.0002, 3), ("placed", 0.004, 1),
+            ("rejected", 0.08, 0)])
+        families = conformant_families(text)
+        assert families["repro_placement_duration_seconds"]["type"] == \
+            "histogram"
+        assert families["repro_placement_candidates"]["type"] == \
+            "histogram"
+        assert families["repro_placement_latency_seconds"]["type"] == \
+            "summary"
+        assert families["repro_decisions_total"]["type"] == "counter"
+
+    def test_histogram_families_expose_every_bucket(self):
+        text, _ = self.render(requests=[("placed", 0.0002, 3)])
+        families = conformant_families(text)
+        latency = families["repro_placement_duration_seconds"]["samples"]
+        buckets = [s for s in latency if s[0].endswith("_bucket")]
+        assert len(buckets) == len(LATENCY_BUCKETS) + 1
+        candidates = families["repro_placement_candidates"]["samples"]
+        buckets = [s for s in candidates if s[0].endswith("_bucket")]
+        assert len(buckets) == len(CANDIDATE_BUCKETS) + 1
+
+    def test_observation_lands_in_the_right_bucket(self):
+        text, metrics = self.render(requests=[("placed", 0.0003, 2)])
+        assert metrics.latency_hist.cumulative()[0] == (0.0001, 0)
+        families = conformant_families(text)
+        samples = families["repro_placement_duration_seconds"]["samples"]
+        by_le = {s[1]["le"]: s[2] for s in samples
+                 if s[0].endswith("_bucket")}
+        assert by_le["0.00025"] == 0
+        assert by_le["0.0005"] == 1
+        assert by_le["+Inf"] == 1
+
+    def test_decision_counters_are_labelled_and_preseeded(self):
+        text, _ = self.render()
+        families = conformant_families(text)
+        samples = families["repro_decisions_total"]["samples"]
+        labels = {(s[1]["algorithm"], s[1]["decision"]): s[2]
+                  for s in samples}
+        assert labels == {("min-energy", "placed"): 0.0,
+                          ("min-energy", "rejected"): 0.0}
+
+    def test_label_escaping_round_trips(self):
+        metrics = ServiceMetrics()
+        tricky = 'algo"with\\quotes\nand newline'
+        metrics.observe_request("placed", 0.001, algorithm=tricky)
+        store = ClusterStateStore(Cluster.homogeneous(SPEC, 1))
+        text = metrics.render(store)
+        conformant_families(text)
+        parsed = parse_exposition(text)
+        labels = {tuple(sorted(s[0].items()))
+                  for s in parsed["repro_decisions_total"]}
+        assert (("algorithm", tricky), ("decision", "placed")) in labels
+
+    def test_escape_label_value(self):
+        assert escape_label_value('a"b') == 'a\\"b'
+        assert escape_label_value("a\\b") == "a\\\\b"
+        assert escape_label_value("a\nb") == "a\\nb"
+
+    def test_parse_exposition_reads_back_rendered_page(self):
+        text, _ = self.render(requests=[("placed", 0.001, 2)])
+        parsed = parse_exposition(text)
+        assert parsed["repro_requests_total"] == [
+            ({"decision": "placed"}, 1.0),
+            ({"decision": "rejected"}, 0.0)]
+        (no_labels, count), = parsed[
+            "repro_placement_duration_seconds_count"]
+        assert no_labels == {} and count == 1.0
+
+    def test_candidate_histogram_counts_feasible_servers(self):
+        _, metrics = self.render(requests=[("placed", 0.001, 7),
+                                           ("rejected", 0.001, 0)])
+        assert metrics.candidates.count == 2
+        assert metrics.candidates.sum == 7.0
+
+    def test_meta_round_trip_preserves_decisions(self):
+        metrics = ServiceMetrics()
+        metrics.observe_request("placed", 0.001, algorithm="min-energy")
+        metrics.observe_request("rejected", 0.002, delay=1,
+                                algorithm="min-energy")
+        restored = ServiceMetrics()
+        restored.restore_meta(metrics.to_meta())
+        assert restored.requests == metrics.requests
+        assert restored.decisions == metrics.decisions
+        assert restored.delayed == 1

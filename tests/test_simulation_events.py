@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.exceptions import SimulationError
-from repro.simulation.events import Event, EventKind, EventQueue
+from repro.simulation.events import EventKind, EventQueue
 
 
 class TestOrdering:
