@@ -3,21 +3,33 @@
 These use pytest-benchmark's statistics properly (multiple rounds) and
 guard the library's performance envelope: the paper's heuristic evaluates
 the incremental cost on every feasible server per VM, so it must stay
-usable at the paper's 1000-VM scale.
+usable at the paper's 1000-VM scale. The 1000-VM / 300-server point also
+pins the indexed placement engine's speedup over the dense oracle — the
+contract that justified replacing the numpy timelines with the skyline
+index (see ``docs/api.md``, *Placement engine*).
 """
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
 from repro.allocators import make_allocator
+from repro.energy import allocation_cost
 from repro.ilp import build_problem
 from repro.model.cluster import Cluster
 from repro.simulation import SimulationEngine
 from repro.workload.generator import generate_vms
 
+from conftest import record_result
+
 VMS = generate_vms(300, mean_interarrival=4.0, seed=0)
 CLUSTER = Cluster.paper_all_types(150)
+
+#: The tentpole scale point: 1000 VMs onto 300 servers.
+VMS_1K = generate_vms(1000, mean_interarrival=4.0, seed=0)
+CLUSTER_300 = Cluster.paper_all_types(300)
 
 
 @pytest.mark.parametrize("algo", ["min-energy", "ffps", "best-fit"])
@@ -25,6 +37,51 @@ def test_allocator_throughput(benchmark, algo):
     allocation = benchmark(
         lambda: make_allocator(algo, seed=0).allocate(VMS, CLUSTER))
     assert len(allocation) == len(VMS)
+
+
+@pytest.mark.parametrize("algo", ["min-energy", "ffps", "best-fit"])
+def test_allocator_throughput_1k(benchmark, algo):
+    allocation = benchmark(
+        lambda: make_allocator(algo, seed=0).allocate(VMS_1K, CLUSTER_300))
+    assert len(allocation) == len(VMS_1K)
+
+
+def _best_of(engine: str, rounds: int = 3) -> tuple[float, dict[int, int]]:
+    best = float("inf")
+    placements: dict[int, int] = {}
+    for _ in range(rounds):
+        allocator = make_allocator("min-energy", seed=0, engine=engine)
+        started = time.perf_counter()
+        plan = allocator.allocate(VMS_1K, CLUSTER_300)
+        best = min(best, time.perf_counter() - started)
+        placements = {vm.vm_id: sid for vm, sid in plan.items()}
+    return best, placements
+
+
+def test_indexed_engine_speedup_1k():
+    """Indexed >= 3x faster than dense at 1000 VMs / 300 servers, with
+    identical placements (the equivalence contract on the hot path)."""
+    indexed_s, indexed_placed = _best_of("indexed")
+    dense_s, dense_placed = _best_of("dense")
+    assert indexed_placed == dense_placed
+    speedup = dense_s / indexed_s
+    record_result("engine_speedup", "\n".join([
+        "min-energy, 1000 VMs / 300 servers (best of 3)",
+        f"indexed engine: {indexed_s * 1000:8.1f} ms",
+        f"dense engine:   {dense_s * 1000:8.1f} ms",
+        f"speedup:        {speedup:8.2f}x (floor: 3.00x)",
+    ]))
+    assert speedup >= 3.0
+
+
+def test_engine_equivalence_at_scale():
+    """Bit-identical Eq.-17 energy between engines at the 1k point."""
+    totals = []
+    for engine in ("indexed", "dense"):
+        allocator = make_allocator("min-energy", seed=0, engine=engine)
+        totals.append(
+            allocation_cost(allocator.allocate(VMS_1K, CLUSTER_300)).total)
+    assert totals[0] == totals[1]
 
 
 def test_energy_replay_throughput(benchmark):

@@ -42,12 +42,19 @@ from repro.energy import (
 )
 from repro.exceptions import (
     AllocationError,
+    AllocatorConfigError,
     CapacityError,
     ReproError,
     ServiceError,
     SimulationError,
     SolverError,
     ValidationError,
+)
+from repro.placement import (
+    CandidateIndex,
+    DenseOccupancy,
+    Feasibility,
+    SkylineOccupancy,
 )
 from repro.analysis import (
     concurrency_profile,
@@ -135,12 +142,17 @@ __all__ = [
     "energy_report",
     "run_energy",
     "AllocationError",
+    "AllocatorConfigError",
     "CapacityError",
     "ReproError",
     "ServiceError",
     "SimulationError",
     "SolverError",
     "ValidationError",
+    "CandidateIndex",
+    "DenseOccupancy",
+    "Feasibility",
+    "SkylineOccupancy",
     "ScenarioConfig",
     "compare_averaged",
     "EpochConsolidator",

@@ -4,11 +4,21 @@ All algorithms in the paper's evaluation share the same outer loop
 (Sec. III / IV-A): VMs are processed **in increasing order of their starting
 time**, and for each VM the algorithm chooses one server among those with
 sufficient spare CPU and memory throughout the VM's interval. Subclasses
-implement only the selection rule via :meth:`Allocator.choose`.
+implement only the selection rule via :meth:`Allocator.choose` (or, for
+scan-order algorithms, :meth:`Allocator._select`).
+
+Feasibility goes through :meth:`Allocator._examine`, which wraps
+``ServerState.probe`` and maintains the ``candidates_evaluated`` /
+``candidates_feasible`` counters — *probes performed* and *admissible
+probes* — uniformly for every algorithm, so the service's candidate-count
+histogram compares like with like across allocators.
 
 Allocators are deterministic given their ``seed``; randomized strategies
 (FFPS's shuffled server order, random fit) draw from a private
-``numpy.random.Generator`` so runs are reproducible.
+``numpy.random.Generator`` so runs are reproducible. Construction is
+keyword-only (``seed``, ``policy``, ``engine``) so
+:func:`~repro.allocators.registry.make_allocator` can forward arbitrary
+per-algorithm parameters by name.
 """
 
 from __future__ import annotations
@@ -20,7 +30,7 @@ import numpy as np
 
 from repro.allocators.state import ServerState
 from repro.energy.cost import SleepPolicy
-from repro.exceptions import AllocationError
+from repro.exceptions import AllocationError, ValidationError
 from repro.model.allocation import Allocation
 from repro.model.cluster import Cluster
 from repro.model.constraints import PlacementConstraints
@@ -31,6 +41,9 @@ from repro.obs.explain import (
     PlacementExplanation,
 )
 from repro.obs.tracer import get_tracer
+from repro.placement.feasibility import Feasibility
+from repro.placement.index import CandidateIndex
+from repro.placement.occupancy import DEFAULT_ENGINE, ENGINES
 
 __all__ = ["Allocator"]
 
@@ -38,8 +51,8 @@ __all__ = ["Allocator"]
 class Allocator(abc.ABC):
     """Base class for all allocation algorithms.
 
-    Parameters
-    ----------
+    Parameters (keyword-only)
+    -------------------------
     seed:
         Seed for the allocator's private random generator. Deterministic
         algorithms ignore it but accept it so every algorithm can be
@@ -47,18 +60,30 @@ class Allocator(abc.ABC):
     policy:
         Sleep policy used when evaluating energy costs during allocation
         (the paper's rule, :attr:`SleepPolicy.OPTIMAL`, by default).
+    engine:
+        Placement engine for the per-server occupancy index:
+        ``"indexed"`` (sparse skyline + fleet candidate index, the
+        default) or ``"dense"`` (the original numpy timeline, kept as the
+        equivalence oracle).
     """
 
     #: Registry name; subclasses must override.
     name: str = "abstract"
 
-    def __init__(self, seed: int | None = None,
-                 policy: SleepPolicy = SleepPolicy.OPTIMAL) -> None:
+    def __init__(self, *, seed: int | None = None,
+                 policy: SleepPolicy = SleepPolicy.OPTIMAL,
+                 engine: str = DEFAULT_ENGINE) -> None:
+        if engine not in ENGINES:
+            raise ValidationError(
+                f"unknown placement engine {engine!r}; "
+                f"valid engines: {ENGINES}")
         self._rng = np.random.default_rng(seed)
         self._policy = policy
+        self.engine = engine
+        self._index: CandidateIndex | None = None
         self._constraints: PlacementConstraints | None = None
         self._placed_ids: dict[int, int] = {}
-        #: servers scanned / found feasible by the most recent ``select``
+        #: servers probed / found admissible by the most recent ``select``
         #: (fed into the service's candidate-count histogram).
         self.candidates_evaluated = 0
         self.candidates_feasible = 0
@@ -84,7 +109,8 @@ class Allocator(abc.ABC):
             When some VM fits no admissible server for its whole duration.
         """
         ordered = self.order_vms(list(vms))
-        states = [ServerState(server, policy=self._policy)
+        states = [ServerState(server, policy=self._policy,
+                              engine=self.engine)
                   for server in cluster]
         self.prepare(states)
         self._constraints = constraints
@@ -119,9 +145,11 @@ class Allocator(abc.ABC):
             self._placed_ids = {}
         return Allocation(cluster, placements)
 
+    # -- probing -------------------------------------------------------------
+
     def admissible(self, vm: VM, state: ServerState) -> bool:
         """Capacity feasibility plus any active placement constraints."""
-        if not state.fits(vm):
+        if not state.probe(vm):
             return False
         if self._constraints is None:
             return True
@@ -130,12 +158,57 @@ class Allocator(abc.ABC):
 
     def inadmissible_reason(self, vm: VM, state: ServerState) -> str | None:
         """Why ``state`` cannot host ``vm`` (``None`` when it can)."""
-        reason = state.fit_reason(vm)
+        reason = state.probe(vm).reason
         if reason is not None:
             return reason
         if self._constraints is not None and not self._constraints.allows(
                 vm.vm_id, state.server.server_id, self._placed_ids):
             return "constraint"
+        return None
+
+    def _examine(self, vm: VM, state: ServerState) -> Feasibility | None:
+        """Probe one candidate, maintaining the selection counters.
+
+        Returns the (truthy) verdict when ``state`` is admissible — capacity
+        feasible *and* allowed by active placement constraints — else
+        ``None``. Every examined server bumps ``candidates_evaluated``;
+        admissible ones also bump ``candidates_feasible``. All selection
+        paths route probes through here so the counters mean the same
+        thing for every algorithm.
+        """
+        verdict = state.probe(vm)
+        self.candidates_evaluated += 1
+        if not verdict.feasible:
+            return None
+        if self._constraints is not None and not self._constraints.allows(
+                vm.vm_id, state.server.server_id, self._placed_ids):
+            return None
+        self.candidates_feasible += 1
+        return verdict
+
+    def _candidates(self, vm: VM,
+                    states: Sequence[ServerState]) -> Sequence[ServerState]:
+        """Fleet-order candidates, statically pruned when the index applies.
+
+        The candidate index (built by :meth:`prepare`) drops servers whose
+        *type* can never host ``vm``; when ``states`` is not the prepared
+        fleet (ad-hoc recovery scans), the full list is returned.
+        """
+        index = self._index
+        if index is not None and index.covers(states):
+            return index.candidates(vm)
+        return states
+
+    def _spec_admits(self, vm: VM, states: Sequence[ServerState]
+                     ) -> dict[int, bool] | None:
+        """Per-spec static admission map for custom scan orders.
+
+        ``None`` when no index covers ``states`` (callers then probe every
+        server, which is always correct).
+        """
+        index = self._index
+        if index is not None and index.covers(states):
+            return index.spec_admits(vm)
         return None
 
     # -- explain-traces ------------------------------------------------------
@@ -158,7 +231,9 @@ class Allocator(abc.ABC):
         constraint) and, when feasible, its Eq.-2/3 cost terms and the
         algorithm's ranking score. Scores are evaluated *before* the
         selection so stateful scan orders (round robin) are reported as
-        the algorithm actually saw them.
+        the algorithm actually saw them. The counters still reflect the
+        embedded :meth:`select` run — what the algorithm itself probed,
+        not the exhaustive explain sweep.
         """
         pre: list[tuple[str | None, object, float | None]] = []
         for state in states:
@@ -187,6 +262,18 @@ class Allocator(abc.ABC):
     # -- hooks ---------------------------------------------------------------
 
     def prepare(self, states: Sequence[ServerState]) -> None:
+        """Build the fleet candidate index, then run :meth:`on_prepare`.
+
+        Called once per fleet before any placement. The index is only
+        built for the indexed engine; the dense oracle path scans plainly.
+        """
+        if states and states[0].engine == "indexed":
+            self._index = CandidateIndex(states)
+        else:
+            self._index = None
+        self.on_prepare(states)
+
+    def on_prepare(self, states: Sequence[ServerState]) -> None:
         """Hook run once before any placement (e.g. shuffle an order)."""
 
     def order_vms(self, vms: list[VM]) -> list[VM]:
@@ -195,17 +282,27 @@ class Allocator(abc.ABC):
         orders such as largest-job-first."""
         return sorted(vms, key=lambda v: (v.start, v.end, v.vm_id))
 
+    # -- selection -----------------------------------------------------------
+
     def select(self, vm: VM,
                states: Sequence[ServerState]) -> ServerState | None:
         """Pick the server for ``vm``, or ``None`` when nothing fits.
 
-        The default gathers all admissible servers and delegates to
-        :meth:`choose`; first-fit-style algorithms override this to stop at
-        the first admissible server in their scan order.
+        Template method: resets the candidate counters, then delegates to
+        :meth:`_select`. Subclasses override :meth:`_select` (scan-order
+        algorithms) or :meth:`choose` (score-based algorithms), never this.
         """
-        feasible = [st for st in states if self.admissible(vm, st)]
-        self.candidates_evaluated = len(states)
-        self.candidates_feasible = len(feasible)
+        self.candidates_evaluated = 0
+        self.candidates_feasible = 0
+        return self._select(vm, states)
+
+    def _select(self, vm: VM,
+                states: Sequence[ServerState]) -> ServerState | None:
+        """Default selection: gather all admissible servers, delegate to
+        :meth:`choose`. First-fit-style algorithms override this to stop
+        at the first admissible server in their scan order."""
+        feasible = [st for st in self._candidates(vm, states)
+                    if self._examine(vm, st) is not None]
         if not feasible:
             return None
         return self.choose(vm, feasible)

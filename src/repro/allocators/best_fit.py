@@ -10,23 +10,28 @@ against the paper's energy-aware rule.
 
 from __future__ import annotations
 
+import math
 from typing import Sequence
 
 from repro.allocators.base import Allocator
 from repro.allocators.state import ServerState
 from repro.model.vm import VM
+from repro.placement.feasibility import Feasibility
 
 __all__ = ["BestFit", "residual_score"]
 
 
+def _residual(spec, verdict: Feasibility, vm: VM) -> float:
+    spare_cpu = (spec.cpu_capacity - verdict.peak_cpu - vm.cpu) \
+        / spec.cpu_capacity
+    spare_mem = (spec.memory_capacity - verdict.peak_mem - vm.memory) \
+        / spec.memory_capacity
+    return spare_cpu + spare_mem
+
+
 def residual_score(state: ServerState, vm: VM) -> float:
     """Normalized spare (cpu + memory) left at the interval's peak load."""
-    peak_cpu, peak_mem = state.peak_usage(vm.interval)
-    spec = state.server.spec
-    spare_cpu = (spec.cpu_capacity - peak_cpu - vm.cpu) / spec.cpu_capacity
-    spare_mem = ((spec.memory_capacity - peak_mem - vm.memory)
-                 / spec.memory_capacity)
-    return spare_cpu + spare_mem
+    return _residual(state.server.spec, state.probe(vm), vm)
 
 
 class BestFit(Allocator):
@@ -37,6 +42,22 @@ class BestFit(Allocator):
     def candidate_score(self, vm: VM, state: ServerState) -> float | None:
         """Explain-trace score: residual spare capacity (lower = tighter)."""
         return residual_score(state, vm)
+
+    def _select(self, vm: VM,
+                states: Sequence[ServerState]) -> ServerState | None:
+        # The probe verdict already carries the interval peaks, so scoring
+        # is free: one pass, no second peak query per candidate.
+        best: ServerState | None = None
+        best_score = math.inf
+        for state in self._candidates(vm, states):
+            verdict = self._examine(vm, state)
+            if verdict is None:
+                continue
+            score = _residual(state.server.spec, verdict, vm)
+            if score < best_score:
+                best = state
+                best_score = score
+        return best
 
     def choose(self, vm: VM, feasible: Sequence[ServerState]) -> ServerState:
         return min(feasible, key=lambda st: residual_score(st, vm))

@@ -24,7 +24,7 @@ class FirstFitPowerSaving(Allocator):
 
     name = "ffps"
 
-    def prepare(self, states: Sequence[ServerState]) -> None:
+    def on_prepare(self, states: Sequence[ServerState]) -> None:
         order = self._rng.permutation(len(states))
         self._scan = [states[i] for i in order]
         self._rank = {id(st): i for i, st in enumerate(self._scan)}
@@ -33,18 +33,17 @@ class FirstFitPowerSaving(Allocator):
         """Explain-trace score: position in the shuffled scan order."""
         return float(self._rank[id(state)])
 
-    def select(self, vm: VM,
-               states: Sequence[ServerState]) -> ServerState | None:
-        for scanned, state in enumerate(self._scan, 1):
-            if self.admissible(vm, state):
-                self.candidates_evaluated = scanned
-                self.candidates_feasible = 1
+    def _select(self, vm: VM,
+                states: Sequence[ServerState]) -> ServerState | None:
+        admits = self._spec_admits(vm, states)
+        for state in self._scan:
+            if admits is not None and not admits[id(state.server.spec)]:
+                continue
+            if self._examine(vm, state) is not None:
                 return state
-        self.candidates_evaluated = len(self._scan)
-        self.candidates_feasible = 0
         return None
 
     def choose(self, vm: VM, feasible: Sequence[ServerState]) -> ServerState:
-        # select() short-circuits; kept for interface completeness.
+        # _select() short-circuits; kept for interface completeness.
         ranks = {id(st): i for i, st in enumerate(self._scan)}
         return min(feasible, key=lambda st: ranks[id(st)])

@@ -25,15 +25,11 @@ class FirstFit(Allocator):
         """Explain-trace score: the scan position (fleet id order)."""
         return float(state.server.server_id)
 
-    def select(self, vm: VM,
-               states: Sequence[ServerState]) -> ServerState | None:
-        for scanned, state in enumerate(states, 1):
-            if self.admissible(vm, state):
-                self.candidates_evaluated = scanned
-                self.candidates_feasible = 1
+    def _select(self, vm: VM,
+                states: Sequence[ServerState]) -> ServerState | None:
+        for state in self._candidates(vm, states):
+            if self._examine(vm, state) is not None:
                 return state
-        self.candidates_evaluated = len(states)
-        self.candidates_feasible = 0
         return None
 
     def choose(self, vm: VM, feasible: Sequence[ServerState]) -> ServerState:

@@ -9,17 +9,39 @@ onto already-busy small servers is preferred (no new idle power), and when
 a wake-up is unavoidable, servers with low transition cost win.
 
 Ties are broken by server id, making the algorithm fully deterministic.
+
+With the indexed engine the selection is a fused scan that provably cannot
+change the answer, only skip losers:
+
+* the run cost ``W_ij`` depends only on the server *type*, so it is
+  computed once per type, not once per server;
+* under the OPTIMAL and NEVER_SLEEP policies the non-run delta is
+  non-negative (busying an interval never lowers idle/gap energy), so
+  ``W_ij`` lower-bounds the incremental cost and any server whose type's
+  run cost already matches-or-exceeds the incumbent (within the 1e-12
+  tie-break band) is skipped without probing. ALWAYS_SLEEP lacks the
+  bound (filling a gap can remove a forced wake-up) and is never pruned;
+* *pristine* servers (no busy history) of one type all yield the same
+  verdict and the same cost, so only the first admissible one per type is
+  probed — a strictly-better candidate can never hide among its clones.
 """
 
 from __future__ import annotations
 
+import math
 from typing import Sequence
 
 from repro.allocators.base import Allocator
 from repro.allocators.state import ServerState
+from repro.energy.cost import SleepPolicy
+from repro.energy.power import run_energy
 from repro.model.vm import VM
 
 __all__ = ["MinIncrementalEnergy"]
+
+#: Tie-break band: an incumbent is only displaced by a strictly better
+#: candidate, "better" meaning an improvement beyond this tolerance.
+_TIE_TOL = 1e-12
 
 
 class MinIncrementalEnergy(Allocator):
@@ -31,12 +53,48 @@ class MinIncrementalEnergy(Allocator):
         """Explain-trace score: the incremental Eq.-17 cost itself."""
         return state.incremental_cost(vm)
 
+    def _select(self, vm: VM,
+                states: Sequence[ServerState]) -> ServerState | None:
+        index = self._index
+        if index is None or not index.covers(states):
+            return super()._select(vm, states)
+        # Fused fleet-order scan (see module docstring): same winner and
+        # same 1e-12 tie-breaking as probing every server, fewer probes.
+        prune = self._policy in (SleepPolicy.OPTIMAL,
+                                 SleepPolicy.NEVER_SLEEP)
+        interval = vm.interval
+        run_of: dict[int, float] = {}
+        probed_pristine: set[int] = set()
+        best: ServerState | None = None
+        best_delta = math.inf
+        for state in index.candidates(vm):
+            spec = state.server.spec
+            key = id(spec)
+            run = run_of.get(key)
+            if run is None:
+                run = run_energy(spec, vm)
+                run_of[key] = run
+            if prune and run >= best_delta - _TIE_TOL:
+                continue
+            pristine = state.is_pristine
+            if pristine and key in probed_pristine:
+                continue
+            if self._examine(vm, state) is None:
+                continue
+            if pristine:
+                probed_pristine.add(key)
+            delta = run + state.idle_delta(interval)
+            if delta < best_delta - _TIE_TOL:
+                best = state
+                best_delta = delta
+        return best
+
     def choose(self, vm: VM, feasible: Sequence[ServerState]) -> ServerState:
         best = feasible[0]
         best_delta = best.incremental_cost(vm)
         for state in feasible[1:]:
             delta = state.incremental_cost(vm)
-            if delta < best_delta - 1e-12:
+            if delta < best_delta - _TIE_TOL:
                 best = state
                 best_delta = delta
         return best

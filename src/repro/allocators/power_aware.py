@@ -24,7 +24,7 @@ class PowerAwareFirstFit(Allocator):
 
     name = "power-aware"
 
-    def prepare(self, states: Sequence[ServerState]) -> None:
+    def on_prepare(self, states: Sequence[ServerState]) -> None:
         self._scan = sorted(
             states,
             key=lambda st: (st.server.p_peak / st.server.cpu_capacity,
@@ -34,15 +34,14 @@ class PowerAwareFirstFit(Allocator):
         """Explain-trace score: peak watts per compute unit."""
         return state.server.p_peak / state.server.cpu_capacity
 
-    def select(self, vm: VM,
-               states: Sequence[ServerState]) -> ServerState | None:
-        for scanned, state in enumerate(self._scan, 1):
-            if self.admissible(vm, state):
-                self.candidates_evaluated = scanned
-                self.candidates_feasible = 1
+    def _select(self, vm: VM,
+                states: Sequence[ServerState]) -> ServerState | None:
+        admits = self._spec_admits(vm, states)
+        for state in self._scan:
+            if admits is not None and not admits[id(state.server.spec)]:
+                continue
+            if self._examine(vm, state) is not None:
                 return state
-        self.candidates_evaluated = len(self._scan)
-        self.candidates_feasible = 0
         return None
 
     def choose(self, vm: VM, feasible: Sequence[ServerState]) -> ServerState:

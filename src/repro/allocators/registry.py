@@ -1,8 +1,18 @@
-"""Name -> allocator registry used by the CLI and experiment harness."""
+"""Name -> allocator registry and the construction API.
+
+:func:`make_allocator` is the one way to build an allocator from
+configuration (CLI flags, service config, experiment harnesses): it looks
+the class up by its registered name and forwards arbitrary keyword
+parameters to the constructor, validating both against the registry so a
+typo fails fast with the valid choices spelled out — as a typed
+:class:`~repro.exceptions.AllocatorConfigError` — instead of surfacing as
+a bare ``TypeError`` deep in a run.
+"""
 
 from __future__ import annotations
 
-from typing import Type
+import inspect
+from typing import Any, Type
 
 from repro.allocators.base import Allocator
 from repro.allocators.best_fit import BestFit
@@ -14,7 +24,7 @@ from repro.allocators.random_fit import RandomFit
 from repro.allocators.round_robin import RoundRobin
 from repro.allocators.worst_fit import WorstFit
 from repro.energy.cost import SleepPolicy
-from repro.exceptions import ValidationError
+from repro.exceptions import AllocatorConfigError
 
 __all__ = ["ALLOCATORS", "make_allocator", "allocator_names"]
 
@@ -38,13 +48,46 @@ def allocator_names() -> list[str]:
     return sorted(ALLOCATORS)
 
 
-def make_allocator(name: str, seed: int | None = None,
-                   policy: SleepPolicy = SleepPolicy.OPTIMAL) -> Allocator:
-    """Instantiate a registered allocator by name."""
+def _accepted_params(cls: Type[Allocator]) -> list[str]:
+    """Keyword parameters ``cls`` accepts (the whole __init__ chain)."""
+    return [p.name for p in inspect.signature(cls).parameters.values()
+            if p.kind in (inspect.Parameter.KEYWORD_ONLY,
+                          inspect.Parameter.POSITIONAL_OR_KEYWORD)]
+
+
+def make_allocator(name: str, **params: Any) -> Allocator:
+    """Instantiate a registered allocator by name.
+
+    All keyword ``params`` are forwarded to the constructor; common ones
+    (``seed``, ``policy``, ``engine``) are accepted by every algorithm,
+    and extensions may add their own. ``policy`` may be given as the
+    :class:`SleepPolicy` value string (e.g. ``"never-sleep"``) — handy
+    when the parameters come from a CLI or a config file.
+
+    Raises
+    ------
+    AllocatorConfigError
+        For an unknown ``name`` or a parameter the allocator does not
+        accept; the message lists the valid choices.
+    """
     try:
         cls = ALLOCATORS[name]
     except KeyError:
-        raise ValidationError(
+        raise AllocatorConfigError(
             f"unknown allocator {name!r}; available: {allocator_names()}"
         ) from None
-    return cls(seed=seed, policy=policy)
+    policy = params.get("policy")
+    if isinstance(policy, str):
+        try:
+            params["policy"] = SleepPolicy(policy)
+        except ValueError:
+            raise AllocatorConfigError(
+                f"unknown sleep policy {policy!r}; valid policies: "
+                f"{[p.value for p in SleepPolicy]}") from None
+    accepted = _accepted_params(cls)
+    unknown = sorted(set(params) - set(accepted))
+    if unknown:
+        raise AllocatorConfigError(
+            f"allocator {name!r} does not accept parameter(s) "
+            f"{unknown}; accepted: {sorted(accepted)}")
+    return cls(**params)

@@ -21,7 +21,7 @@ class RoundRobin(Allocator):
 
     name = "round-robin"
 
-    def prepare(self, states: Sequence[ServerState]) -> None:
+    def on_prepare(self, states: Sequence[ServerState]) -> None:
         self._next = 0
         self._fleet_size = len(states)
 
@@ -30,18 +30,19 @@ class RoundRobin(Allocator):
         return float((state.server.server_id - self._next)
                      % max(1, self._fleet_size))
 
-    def select(self, vm: VM,
-               states: Sequence[ServerState]) -> ServerState | None:
+    def _select(self, vm: VM,
+                states: Sequence[ServerState]) -> ServerState | None:
         n = len(states)
+        admits = self._spec_admits(vm, states)
         for offset in range(n):
             state = states[(self._next + offset) % n]
-            if self.admissible(vm, state):
+            if admits is not None and not admits[id(state.server.spec)]:
+                continue
+            if self._examine(vm, state) is not None:
+                # Advance past the chosen slot; statically-skipped servers
+                # keep their place in the rotation, exactly as if probed.
                 self._next = (self._next + offset + 1) % n
-                self.candidates_evaluated = offset + 1
-                self.candidates_feasible = 1
                 return state
-        self.candidates_evaluated = n
-        self.candidates_feasible = 0
         return None
 
     def choose(self, vm: VM, feasible: Sequence[ServerState]) -> ServerState:

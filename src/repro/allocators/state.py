@@ -1,12 +1,16 @@
 """Mutable per-server state used while an allocator builds a plan.
 
-:class:`ServerState` tracks, for one server, the per-time-unit CPU and
-memory already committed (as numpy arrays grown on demand), the merged busy
-segments, and the running Eq.-17 energy cost. It supports the two queries
-every allocator needs:
+:class:`ServerState` tracks, for one server, the CPU and memory already
+committed over time (behind a pluggable occupancy index, sparse by
+default — see :mod:`repro.placement`), the merged busy segments, and the
+running Eq.-17 energy cost. It supports the two queries every allocator
+needs:
 
-* :meth:`fits` — can this VM run here for its whole interval without
-  exceeding capacity at any time unit (constraints 9-10)?
+* :meth:`probe` — can this VM run here for its whole interval without
+  exceeding capacity at any time unit (constraints 9-10), and if not, why?
+  The verdict also carries the peak committed usage over the interval, so
+  one probe serves feasibility checks, explain-traces, and bin-packing
+  scores alike.
 * :meth:`incremental_cost` — by how much would this server's energy rise if
   the VM were placed here (the paper's heuristic selection criterion)?
 
@@ -14,13 +18,16 @@ The incremental cost is computed *locally*: adding one interval only
 perturbs the busy segments it overlaps or touches, so the delta is derived
 from the affected neighbourhood rather than a full timeline recomputation.
 A from-scratch recomputation is kept in the tests as the oracle.
+
+The legacy ``fits`` / ``fit_reason`` / ``peak_usage`` trio survives as thin
+deprecated wrappers over :meth:`probe`; see ``docs/api.md`` for the
+migration table.
 """
 
 from __future__ import annotations
 
 import bisect
-
-import numpy as np
+import warnings
 
 from repro.energy.cost import SleepPolicy, gap_cost, server_cost
 from repro.energy.power import run_energy
@@ -31,106 +38,94 @@ from repro.model.phases import demand_profile
 from repro.model.server import Server
 from repro.model.vm import VM
 from repro.obs.explain import CostTerms
+from repro.placement.feasibility import Feasibility
+from repro.placement.occupancy import DEFAULT_ENGINE, make_occupancy
 
 __all__ = ["ServerState"]
 
-_INITIAL_HORIZON = 256
+#: Headroom tolerance for capacity comparisons (absorbs float accumulation).
+_TOL = 1e-9
 
 
 class ServerState:
     """Usage, busy segments, and running cost for one server."""
 
     def __init__(self, server: Server, *,
-                 policy: SleepPolicy = SleepPolicy.OPTIMAL) -> None:
+                 policy: SleepPolicy = SleepPolicy.OPTIMAL,
+                 engine: str = DEFAULT_ENGINE) -> None:
         self.server = server
         self.policy = policy
+        #: which occupancy backend answers probes ("indexed" or "dense")
+        self.engine = engine
         self.vms: list[VM] = []
         #: merged, sorted busy segments as parallel start/end lists
         self._busy_starts: list[int] = []
         self._busy_ends: list[int] = []
-        self._cpu = np.zeros(_INITIAL_HORIZON)
-        self._mem = np.zeros(_INITIAL_HORIZON)
+        self._occ = make_occupancy(engine)
         #: running Eq.-17 total (run + busy idle + gaps + initial wake)
         self.cost: float = 0.0
 
     # -- capacity ----------------------------------------------------------
 
-    def _ensure_horizon(self, end: int) -> None:
-        needed = end + 1
-        if needed <= self._cpu.size:
-            return
-        new_size = max(needed, self._cpu.size * 2)
-        cpu = np.zeros(new_size)
-        cpu[: self._cpu.size] = self._cpu
-        mem = np.zeros(new_size)
-        mem[: self._mem.size] = self._mem
-        self._cpu = cpu
-        self._mem = mem
-
-    def fits(self, vm: VM) -> bool:
-        """Whether ``vm`` fits throughout its interval (Eqs. 9-10).
+    def probe(self, vm: VM) -> Feasibility:
+        """Feasibility verdict for ``vm`` on this server (Eqs. 9-10).
 
         Phase-aware: a :class:`~repro.model.phases.PhasedVM` is checked
-        piece by piece against the committed usage.
-        """
-        spec = self.server.spec
-        if vm.cpu > spec.cpu_capacity or vm.memory > spec.memory_capacity:
-            return False
-        tol = 1e-9
-        for piece, cpu, memory in demand_profile(vm):
-            hi = min(piece.end + 1, self._cpu.size)
-            if piece.start >= hi:  # beyond tracked usage: empty there
-                continue
-            cpu_slice = self._cpu[piece.start:hi]
-            if cpu_slice.size and float(cpu_slice.max()) + cpu > \
-                    spec.cpu_capacity + tol:
-                return False
-            mem_slice = self._mem[piece.start:hi]
-            if mem_slice.size and float(mem_slice.max()) + memory > \
-                    spec.memory_capacity + tol:
-                return False
-        return True
-
-    def fit_reason(self, vm: VM) -> str | None:
-        """Why ``vm`` does not fit here, or ``None`` when it does.
-
-        The explain-trace twin of :meth:`fits`: ``"cpu:capacity"`` /
-        ``"mem:capacity"`` when the demand exceeds the server type
-        outright, ``"cpu:overlap@t"`` / ``"mem:overlap@t"`` naming the
-        first overloaded time unit when committed load during the VM's
-        interval leaves too little headroom.
+        piece by piece against the committed usage. One pass yields the
+        feasible flag, the failing constraint (``"cpu:capacity"``,
+        ``"mem:capacity"``, ``"cpu:overlap@t"`` / ``"mem:overlap@t"``
+        naming the first overloaded time unit), and the peak committed
+        (cpu, mem) over the VM's interval with the matching headroom.
         """
         spec = self.server.spec
         if vm.cpu > spec.cpu_capacity:
-            return "cpu:capacity"
+            return Feasibility(False, "cpu:capacity", 0.0, 0.0,
+                               spec.cpu_capacity, spec.memory_capacity)
         if vm.memory > spec.memory_capacity:
-            return "mem:capacity"
-        tol = 1e-9
+            return Feasibility(False, "mem:capacity", 0.0, 0.0,
+                               spec.cpu_capacity, spec.memory_capacity)
+        peak_cpu = peak_mem = 0.0
         for piece, cpu, memory in demand_profile(vm):
-            hi = min(piece.end + 1, self._cpu.size)
-            if piece.start >= hi:
-                continue
-            cpu_slice = self._cpu[piece.start:hi]
-            if cpu_slice.size and float(cpu_slice.max()) + cpu > \
-                    spec.cpu_capacity + tol:
-                over = np.flatnonzero(
-                    cpu_slice + cpu > spec.cpu_capacity + tol)
-                return f"cpu:overlap@{piece.start + int(over[0])}"
-            mem_slice = self._mem[piece.start:hi]
-            if mem_slice.size and float(mem_slice.max()) + memory > \
-                    spec.memory_capacity + tol:
-                over = np.flatnonzero(
-                    mem_slice + memory > spec.memory_capacity + tol)
-                return f"mem:overlap@{piece.start + int(over[0])}"
-        return None
+            reason, piece_cpu, piece_mem = self._occ.probe_piece(
+                piece.start, piece.end, cpu, memory,
+                spec.cpu_capacity, spec.memory_capacity, _TOL)
+            if piece_cpu > peak_cpu:
+                peak_cpu = piece_cpu
+            if piece_mem > peak_mem:
+                peak_mem = piece_mem
+            if reason is not None:
+                return Feasibility(False, reason, peak_cpu, peak_mem,
+                                   spec.cpu_capacity - peak_cpu,
+                                   spec.memory_capacity - peak_mem)
+        return Feasibility(True, None, peak_cpu, peak_mem,
+                           spec.cpu_capacity - peak_cpu,
+                           spec.memory_capacity - peak_mem)
+
+    # -- deprecated wrappers (pre-probe API) -------------------------------
+
+    def fits(self, vm: VM) -> bool:
+        """Deprecated: use ``probe(vm).feasible`` (or ``bool(probe(vm))``)."""
+        warnings.warn(
+            "ServerState.fits() is deprecated; use ServerState.probe() — "
+            "the verdict is truthy when the VM fits",
+            DeprecationWarning, stacklevel=2)
+        return self.probe(vm).feasible
+
+    def fit_reason(self, vm: VM) -> str | None:
+        """Deprecated: use ``probe(vm).reason``."""
+        warnings.warn(
+            "ServerState.fit_reason() is deprecated; use "
+            "ServerState.probe().reason",
+            DeprecationWarning, stacklevel=2)
+        return self.probe(vm).reason
 
     def peak_usage(self, interval: TimeInterval) -> tuple[float, float]:
-        """Max (cpu, memory) committed during ``interval``."""
-        hi = min(interval.end + 1, self._cpu.size)
-        if interval.start >= hi:
-            return 0.0, 0.0
-        return (float(self._cpu[interval.start:hi].max()),
-                float(self._mem[interval.start:hi].max()))
+        """Deprecated: use ``probe(vm)`` peaks, or the occupancy directly."""
+        warnings.warn(
+            "ServerState.peak_usage() is deprecated; probe() already "
+            "reports peak_cpu/peak_mem over the VM's interval",
+            DeprecationWarning, stacklevel=2)
+        return self._occ.peak(interval.start, interval.end)
 
     # -- busy-segment bookkeeping -------------------------------------------
 
@@ -194,6 +189,15 @@ class ServerState:
 
     # -- queries -------------------------------------------------------------
 
+    def idle_delta(self, interval: TimeInterval) -> float:
+        """Eq.-17 delta of busying ``interval`` here, excluding run cost.
+
+        The non-run share of :meth:`incremental_cost` (extra busy
+        idle-power, gap-cost changes, wake-ups); exposed so fused
+        selection loops can cache the run term per server type.
+        """
+        return self._local_delta(interval)
+
     def incremental_cost(self, vm: VM) -> float:
         """Energy increase if ``vm`` were placed on this server (Eq. 17).
 
@@ -223,17 +227,15 @@ class ServerState:
         """Commit ``vm`` to this server; returns the cost increase.
 
         Raises :class:`CapacityError` when the VM does not fit (callers are
-        expected to have checked :meth:`fits`).
+        expected to have checked :meth:`probe`).
         """
-        if not self.fits(vm):
+        if not self.probe(vm):
             raise CapacityError(
                 f"{vm} does not fit on {self.server}",
                 server_id=self.server.server_id)
         delta = self.incremental_cost(vm)
-        self._ensure_horizon(vm.end)
         for piece, cpu, memory in demand_profile(vm):
-            self._cpu[piece.start:piece.end + 1] += cpu
-            self._mem[piece.start:piece.end + 1] += memory
+            self._occ.add(piece.start, piece.end, cpu, memory)
         self._merge_in(vm.interval)
         self.vms.append(vm)
         self.cost += delta
@@ -253,11 +255,46 @@ class ServerState:
                 f"{vm} is not placed on {self.server}",
                 server_id=self.server.server_id) from None
         for piece, cpu, memory in demand_profile(vm):
-            self._cpu[piece.start:piece.end + 1] -= cpu
-            self._mem[piece.start:piece.end + 1] -= memory
+            self._occ.subtract(piece.start, piece.end, cpu, memory)
         old_cost = self.cost
         self._rebuild()
         return old_cost - self.cost
+
+    def retire(self, vm: VM, *, before: int | None = None) -> None:
+        """Forget a *finished* VM without undoing its energy accounting.
+
+        Unlike :meth:`remove` (a migration: the demand is withdrawn and the
+        cost rebuilt), retirement acknowledges that the VM ran to
+        completion: its energy stays in :attr:`cost` and its demand stays
+        in effect, but the live ``vms`` list shrinks and — when ``before``
+        is given — occupancy change points and busy segments strictly in
+        the past are compacted away, so the daemon's memory tracks live
+        load instead of elapsed time. Probes and cost deltas for intervals
+        at or after ``before`` are unaffected (the most recent past busy
+        segment is kept as the wake/gap anchor).
+        """
+        try:
+            self.vms.remove(vm)
+        except ValueError:
+            raise CapacityError(
+                f"{vm} is not placed on {self.server}",
+                server_id=self.server.server_id) from None
+        if before is not None:
+            self.compact(before)
+
+    def compact(self, before: int) -> None:
+        """Drop occupancy/segment detail strictly before time ``before``.
+
+        Keeps the latest fully-past busy segment: its end anchors the gap
+        and wake-up arithmetic for future placements, so decisions after
+        compaction match what the uncompacted state would have decided.
+        """
+        self._occ.compact(before)
+        # Segments with end < before are fully past; keep the last one.
+        past = bisect.bisect_left(self._busy_ends, before)
+        if past > 1:
+            del self._busy_starts[: past - 1]
+            del self._busy_ends[: past - 1]
 
     def _rebuild(self) -> None:
         """Recompute busy segments and cost from the current VM set."""
@@ -283,6 +320,20 @@ class ServerState:
     @property
     def is_empty(self) -> bool:
         return not self.vms
+
+    @property
+    def is_pristine(self) -> bool:
+        """Never hosted anything: no live VMs *and* no busy history.
+
+        Pristine servers of the same spec are interchangeable for
+        placement — identical probe verdicts and identical incremental
+        cost — which the fused min-energy scan exploits.
+        """
+        return not self.vms and not self._busy_starts
+
+    def occupancy_points(self) -> int:
+        """Number of change points (or dense slots) the index tracks now."""
+        return len(self._occ)
 
     def busy_segments(self) -> list[TimeInterval]:
         return [TimeInterval(s, e)

@@ -9,10 +9,11 @@ algorithm comparison.
 
 from __future__ import annotations
 
+import math
 from typing import Sequence
 
 from repro.allocators.base import Allocator
-from repro.allocators.best_fit import residual_score
+from repro.allocators.best_fit import _residual, residual_score
 from repro.allocators.state import ServerState
 from repro.model.vm import VM
 
@@ -27,6 +28,20 @@ class WorstFit(Allocator):
     def candidate_score(self, vm: VM, state: ServerState) -> float | None:
         """Explain-trace score: negated residual (lower = more spare)."""
         return -residual_score(state, vm)
+
+    def _select(self, vm: VM,
+                states: Sequence[ServerState]) -> ServerState | None:
+        best: ServerState | None = None
+        best_score = -math.inf
+        for state in self._candidates(vm, states):
+            verdict = self._examine(vm, state)
+            if verdict is None:
+                continue
+            score = _residual(state.server.spec, verdict, vm)
+            if score > best_score:
+                best = state
+                best_score = score
+        return best
 
     def choose(self, vm: VM, feasible: Sequence[ServerState]) -> ServerState:
         return max(feasible, key=lambda st: residual_score(st, vm))

@@ -209,6 +209,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--algorithm", default="min-energy",
                          choices=allocator_names())
     p_serve.add_argument("--seed", type=int, default=None)
+    p_serve.add_argument("--algo-param", action="append", default=[],
+                         metavar="KEY=VALUE", dest="algo_param",
+                         help="extra allocator constructor parameter "
+                              "(repeatable), e.g. --algo-param "
+                              "policy=never-sleep --algo-param "
+                              "engine=dense")
     p_serve.add_argument("--max-delay", type=int, default=0,
                          help="queue depth in ticks when the fleet is "
                               "full (0 = reject outright)")
@@ -494,6 +500,36 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_algo_params(pairs: Sequence[str]) -> dict[str, object]:
+    """``KEY=VALUE`` strings -> allocator kwargs, with literal coercion.
+
+    Values try int, then float, then true/false, then stay strings;
+    name/type validation proper happens in ``make_allocator``.
+    """
+    params: dict[str, object] = {}
+    for pair in pairs:
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise SystemExit(
+                f"error: --algo-param expects KEY=VALUE, got {pair!r}")
+        value: object
+        try:
+            value = int(raw)
+        except ValueError:
+            try:
+                value = float(raw)
+            except ValueError:
+                lowered = raw.lower()
+                if lowered in ("true", "false"):
+                    value = lowered == "true"
+                elif lowered in ("none", "null"):
+                    value = None
+                else:
+                    value = raw
+        params[key] = value
+    return params
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.model.cluster import Cluster
     from repro.service import (
@@ -513,6 +549,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         store = ClusterStateStore(Cluster.paper_all_types(args.servers))
         daemon = AllocationDaemon(
             store, algorithm=args.algorithm, seed=args.seed,
+            algo_params=_parse_algo_params(args.algo_param),
             max_delay=args.max_delay, data_dir=args.data_dir,
             snapshot_every=args.snapshot_every)
     # In stdio mode stdout carries the protocol, so banners go to stderr.

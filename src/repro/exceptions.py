@@ -20,6 +20,12 @@ class ValidationError(ReproError, ValueError):
     """
 
 
+class AllocatorConfigError(ValidationError):
+    """An allocator was requested by an unknown name or with parameters
+    its constructor does not accept. The message always lists the valid
+    choices so callers (CLI, service config) can self-correct."""
+
+
 class CapacityError(ReproError):
     """A placement would exceed a server's CPU or memory capacity."""
 

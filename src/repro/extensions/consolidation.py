@@ -176,7 +176,7 @@ class EpochConsolidator:
         best_delta = 0.0
         move_cost = self._move_cost(piece)
         for target_id, target in enumerate(states):
-            if target_id == source_id or not target.fits(remainder):
+            if target_id == source_id or not target.probe(remainder):
                 continue
             delta = (relief + target.incremental_cost(remainder)
                      + move_cost)

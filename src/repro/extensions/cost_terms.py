@@ -19,6 +19,7 @@ from repro.allocators.state import ServerState
 from repro.energy.cost import SleepPolicy, server_cost
 from repro.exceptions import ValidationError
 from repro.model.vm import VM
+from repro.placement.occupancy import DEFAULT_ENGINE
 
 __all__ = ["CostWeights", "WeightedMinEnergy"]
 
@@ -54,10 +55,11 @@ class WeightedMinEnergy(Allocator):
 
     name = "min-energy-weighted"
 
-    def __init__(self, weights: CostWeights | None = None,
+    def __init__(self, weights: CostWeights | None = None, *,
                  seed: int | None = None,
-                 policy: SleepPolicy = SleepPolicy.OPTIMAL) -> None:
-        super().__init__(seed=seed, policy=policy)
+                 policy: SleepPolicy = SleepPolicy.OPTIMAL,
+                 engine: str = DEFAULT_ENGINE) -> None:
+        super().__init__(seed=seed, policy=policy, engine=engine)
         self.weights = weights if weights is not None else CostWeights()
 
     def _weighted_delta(self, state: ServerState, vm: VM) -> float:

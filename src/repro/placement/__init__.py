@@ -1,0 +1,36 @@
+"""The placement engine: sparse occupancy indexes and feasibility probes.
+
+This package holds the data structures behind ``ServerState.probe`` — the
+single entry point every allocator uses to test a candidate server:
+
+* :class:`~repro.placement.feasibility.Feasibility` — the unified verdict
+  (feasible flag, failing constraint, peak usage, headroom);
+* :class:`~repro.placement.occupancy.SkylineOccupancy` /
+  :class:`~repro.placement.occupancy.DenseOccupancy` — the sparse
+  change-point index and the dense numpy oracle it is tested against;
+* :class:`~repro.placement.index.CandidateIndex` — fleet-level static
+  pruning by server type.
+
+See ``docs/api.md`` ("Placement engine") for the migration guide from the
+deprecated ``fits`` / ``fit_reason`` / ``peak_usage`` methods.
+"""
+
+from repro.placement.feasibility import Feasibility
+from repro.placement.index import CandidateIndex
+from repro.placement.occupancy import (
+    DEFAULT_ENGINE,
+    ENGINES,
+    DenseOccupancy,
+    SkylineOccupancy,
+    make_occupancy,
+)
+
+__all__ = [
+    "Feasibility",
+    "CandidateIndex",
+    "SkylineOccupancy",
+    "DenseOccupancy",
+    "make_occupancy",
+    "ENGINES",
+    "DEFAULT_ENGINE",
+]

@@ -1,0 +1,48 @@
+"""The unified feasibility verdict returned by ``ServerState.probe``.
+
+One probe answers everything the old ``fits`` / ``fit_reason`` /
+``peak_usage`` trio answered separately — and in a single pass over the
+server's occupancy index instead of three:
+
+* ``feasible`` — can the VM run here for its whole interval (Eqs. 9-10)?
+* ``reason`` — the failing constraint when it cannot (``"cpu:capacity"``,
+  ``"mem:capacity"``, ``"cpu:overlap@t"`` or ``"mem:overlap@t"`` naming the
+  first overloaded time unit), ``None`` when feasible;
+* ``peak_cpu`` / ``peak_mem`` — the committed usage at the most loaded time
+  unit of the VM's interval;
+* ``headroom_cpu`` / ``headroom_mem`` — capacity minus that peak, i.e. the
+  spare room bin-packing comparators score against.
+
+The verdict is truthy exactly when feasible, so ``if state.probe(vm):``
+reads like the old ``if state.fits(vm):``. Peaks and headroom describe the
+committed load scanned up to the point the verdict was decided; they are
+complete (cover the whole interval) whenever ``feasible`` is true.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+__all__ = ["Feasibility"]
+
+
+class Feasibility(NamedTuple):
+    """Outcome of probing one VM against one server's committed load."""
+
+    #: Whether the VM fits throughout its interval (capacity only; placement
+    #: constraints are layered on by the allocator).
+    feasible: bool
+    #: Failing constraint when infeasible (see module docstring); ``None``
+    #: when feasible.
+    reason: str | None
+    #: Max committed CPU during the VM's interval.
+    peak_cpu: float
+    #: Max committed memory during the VM's interval.
+    peak_mem: float
+    #: ``cpu_capacity - peak_cpu``.
+    headroom_cpu: float
+    #: ``memory_capacity - peak_mem``.
+    headroom_mem: float
+
+    def __bool__(self) -> bool:
+        return self.feasible

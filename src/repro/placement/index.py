@@ -1,0 +1,69 @@
+"""Fleet-level candidate index: skip servers that cannot possibly win.
+
+Fleets are built from a handful of server *types* (Table II has six), so a
+per-type admission check answers "can this VM ever run on that server?"
+once per type instead of once per server. :class:`CandidateIndex` groups a
+``prepare``-time fleet by spec identity and lets allocators
+
+* fetch the statically-admissible candidate list in fleet order
+  (:meth:`candidates`) — order-preserving, so first-fit semantics and
+  deterministic tie-breaking are untouched;
+* look up per-spec admission (:meth:`spec_admits`) for allocators with
+  their own scan order (ffps, round-robin, power-aware);
+* recognise *pristine* servers (never hosted anything): all pristine
+  servers of one spec are interchangeable, which lets min-energy probe one
+  representative instead of hundreds of identical empty machines.
+
+The index is bound to the exact ``states`` list it was built from
+(:meth:`covers` is an identity check); callers fall back to a plain scan
+for any other fleet, so ad-hoc uses (failure recovery builds throwaway
+state lists) stay correct without rebuilding.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.allocators.state import ServerState
+    from repro.model.vm import VM
+
+__all__ = ["CandidateIndex"]
+
+
+class CandidateIndex:
+    """Spec-grouped view of one fleet's ``ServerState`` list."""
+
+    __slots__ = ("_states", "_spec_ids", "_specs")
+
+    def __init__(self, states: Sequence["ServerState"]) -> None:
+        # Bound by identity: `covers` compares with `is`, not `==`.
+        self._states = states
+        self._spec_ids = [id(st.server.spec) for st in states]
+        #: distinct specs by identity, insertion-ordered
+        self._specs = {}
+        for st in states:
+            spec = st.server.spec
+            self._specs.setdefault(id(spec), spec)
+
+    def covers(self, states: Sequence["ServerState"]) -> bool:
+        """Whether this index was built from exactly this ``states`` list."""
+        return states is self._states
+
+    def spec_admits(self, vm: "VM") -> dict[int, bool]:
+        """``id(spec) -> can this server type ever host vm`` (static caps)."""
+        cpu, mem = vm.cpu, vm.memory
+        return {key: not (cpu > spec.cpu_capacity or mem > spec.memory_capacity)
+                for key, spec in self._specs.items()}
+
+    def candidates(self, vm: "VM") -> Sequence["ServerState"]:
+        """Statically-admissible servers in fleet order.
+
+        Returns the original list object unchanged when every type admits
+        the VM (the common case — no copy, no allocation).
+        """
+        admits = self.spec_admits(vm)
+        if all(admits.values()):
+            return self._states
+        return [st for st, key in zip(self._states, self._spec_ids)
+                if admits[key]]

@@ -1,0 +1,252 @@
+"""Per-server occupancy indexes: how much CPU/memory is committed when.
+
+Two interchangeable backends answer the three queries every placement
+decision needs — peak usage over a closed interval ``[start, end]``, the
+first time unit where adding ``(cpu, mem)`` would violate capacity, and
+incremental add/subtract as VMs are placed and removed:
+
+* :class:`SkylineOccupancy` — the production index. A sorted change-point
+  *skyline*: breakpoint ``xs[i]`` opens a segment ``[xs[i], xs[i+1])`` of
+  constant committed ``(cpu, mem)``; usage is zero before ``xs[0]`` and the
+  last segment extends to infinity (its value is zero once trailing
+  demand is coalesced away). Updates and probes cost O(log k + s) for k
+  breakpoints and s overlapped segments — independent of the simulated
+  horizon, so a long-running daemon's memory no longer grows with time.
+* :class:`DenseOccupancy` — the original dense numpy timeline, kept as the
+  test oracle and selectable via ``engine="dense"``.
+
+Bit-exact equivalence, not approximate: for any time unit the skyline
+applies the same IEEE-754 ``+=``/``-=`` sequence to the same running value
+the dense arrays would (splitting a segment copies the value's bits), and
+peaks take a max over the identical multiset of values. The property tests
+in ``tests/test_placement_properties.py`` assert ``==`` on floats, not
+``pytest.approx``.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+import numpy as np
+
+__all__ = ["SkylineOccupancy", "DenseOccupancy", "make_occupancy",
+           "ENGINES", "DEFAULT_ENGINE"]
+
+#: Valid values for the ``engine`` parameter accepted across the API.
+ENGINES = ("indexed", "dense")
+#: The sparse skyline index is the default everywhere.
+DEFAULT_ENGINE = "indexed"
+
+_INITIAL_HORIZON = 256
+
+
+class SkylineOccupancy:
+    """Sparse change-point skyline of committed (cpu, mem) over time."""
+
+    __slots__ = ("_xs", "_cpu", "_mem")
+
+    def __init__(self) -> None:
+        #: sorted breakpoints; segment i is [xs[i], xs[i+1]) at constant
+        #: (_cpu[i], _mem[i]); zero before xs[0]; last segment open-ended.
+        self._xs: list[int] = []
+        self._cpu: list[float] = []
+        self._mem: list[float] = []
+
+    def __len__(self) -> int:
+        """Number of tracked change points (the index's memory footprint)."""
+        return len(self._xs)
+
+    # -- updates -----------------------------------------------------------
+
+    def _cut(self, t: int) -> int:
+        """Ensure a breakpoint exists exactly at ``t``; return its index."""
+        xs = self._xs
+        i = bisect.bisect_right(xs, t) - 1
+        if i >= 0 and xs[i] == t:
+            return i
+        # Split segment i (or the implicit zero region before xs[0]),
+        # copying its value so usage at every time unit is unchanged.
+        xs.insert(i + 1, t)
+        self._cpu.insert(i + 1, self._cpu[i] if i >= 0 else 0.0)
+        self._mem.insert(i + 1, self._mem[i] if i >= 0 else 0.0)
+        return i + 1
+
+    def _apply(self, start: int, end: int, cpu: float, mem: float) -> None:
+        lo = self._cut(start)
+        hi = self._cut(end + 1)
+        for k in range(lo, hi):
+            self._cpu[k] += cpu
+            self._mem[k] += mem
+        self._coalesce(lo, hi)
+
+    def add(self, start: int, end: int, cpu: float, mem: float) -> None:
+        """Commit ``(cpu, mem)`` over the closed interval ``[start, end]``."""
+        self._apply(start, end, cpu, mem)
+
+    def subtract(self, start: int, end: int, cpu: float, mem: float) -> None:
+        """Withdraw ``(cpu, mem)`` over the closed interval ``[start, end]``."""
+        self._apply(start, end, -cpu, -mem)
+
+    def _coalesce(self, lo: int, hi: int) -> None:
+        """Merge equal-valued neighbours around the touched window and drop
+        leading zero segments (the region before ``xs[0]`` is implicitly
+        zero, so a zero-valued first segment carries no information)."""
+        xs, cpu, mem = self._xs, self._cpu, self._mem
+        k = min(hi + 1, len(xs) - 1)
+        floor = max(lo, 1)
+        while k >= floor:
+            if cpu[k] == cpu[k - 1] and mem[k] == mem[k - 1]:
+                del xs[k], cpu[k], mem[k]
+            k -= 1
+        while xs and cpu[0] == 0.0 and mem[0] == 0.0:
+            del xs[0], cpu[0], mem[0]
+
+    def compact(self, before: int) -> None:
+        """Forget change points strictly before time ``before``.
+
+        Only the latest breakpoint at or before ``before`` is kept (it
+        carries the value in force at ``before``); queries over
+        ``[before, inf)`` are unaffected. Used by the online service to
+        retire finished VMs so memory tracks *live* load, not elapsed time.
+        """
+        i = bisect.bisect_right(self._xs, before) - 1
+        if i > 0:
+            del self._xs[:i], self._cpu[:i], self._mem[:i]
+        while self._xs and self._cpu[0] == 0.0 and self._mem[0] == 0.0:
+            del self._xs[0], self._cpu[0], self._mem[0]
+
+    # -- queries -----------------------------------------------------------
+
+    def peak(self, start: int, end: int) -> tuple[float, float]:
+        """Max committed (cpu, mem) over the closed interval ``[start, end]``."""
+        xs = self._xs
+        peak_cpu = peak_mem = 0.0
+        i = bisect.bisect_right(xs, start) - 1
+        if i < 0:
+            i = 0
+        for k in range(i, len(xs)):
+            if xs[k] > end:
+                break
+            if self._cpu[k] > peak_cpu:
+                peak_cpu = self._cpu[k]
+            if self._mem[k] > peak_mem:
+                peak_mem = self._mem[k]
+        return peak_cpu, peak_mem
+
+    def probe_piece(self, start: int, end: int, cpu: float, mem: float,
+                    cpu_cap: float, mem_cap: float, tol: float
+                    ) -> tuple[str | None, float, float]:
+        """Feasibility of adding ``(cpu, mem)`` over ``[start, end]``.
+
+        Returns ``(reason, peak_cpu, peak_mem)`` where ``reason`` is
+        ``None`` when the piece fits, else ``"cpu:overlap@t"`` /
+        ``"mem:overlap@t"`` naming the first violating time unit. CPU is
+        checked before memory, matching the historical ``fits`` order.
+        """
+        xs = self._xs
+        peak_cpu = peak_mem = 0.0
+        t_cpu: int | None = None
+        t_mem: int | None = None
+        i = bisect.bisect_right(xs, start) - 1
+        if i < 0:
+            i = 0
+        for k in range(i, len(xs)):
+            x = xs[k]
+            if x > end:
+                break
+            c = self._cpu[k]
+            m = self._mem[k]
+            if c > peak_cpu:
+                peak_cpu = c
+            if m > peak_mem:
+                peak_mem = m
+            if t_cpu is None and c + cpu > cpu_cap + tol:
+                t_cpu = x if x > start else start
+            if t_mem is None and m + mem > mem_cap + tol:
+                t_mem = x if x > start else start
+        if t_cpu is not None:
+            return f"cpu:overlap@{t_cpu}", peak_cpu, peak_mem
+        if t_mem is not None:
+            return f"mem:overlap@{t_mem}", peak_cpu, peak_mem
+        return None, peak_cpu, peak_mem
+
+    def points(self) -> list[int]:
+        """The current change points (introspection / memory regression)."""
+        return list(self._xs)
+
+
+class DenseOccupancy:
+    """The original dense per-time-unit numpy timeline (test oracle)."""
+
+    __slots__ = ("_cpu", "_mem")
+
+    def __init__(self) -> None:
+        self._cpu = np.zeros(_INITIAL_HORIZON)
+        self._mem = np.zeros(_INITIAL_HORIZON)
+
+    def __len__(self) -> int:
+        return int(self._cpu.size)
+
+    def _ensure_horizon(self, end: int) -> None:
+        needed = end + 1
+        if needed <= self._cpu.size:
+            return
+        new_size = max(needed, self._cpu.size * 2)
+        cpu = np.zeros(new_size)
+        cpu[: self._cpu.size] = self._cpu
+        mem = np.zeros(new_size)
+        mem[: self._mem.size] = self._mem
+        self._cpu = cpu
+        self._mem = mem
+
+    def add(self, start: int, end: int, cpu: float, mem: float) -> None:
+        self._ensure_horizon(end)
+        self._cpu[start:end + 1] += cpu
+        self._mem[start:end + 1] += mem
+
+    def subtract(self, start: int, end: int, cpu: float, mem: float) -> None:
+        self._cpu[start:end + 1] -= cpu
+        self._mem[start:end + 1] -= mem
+
+    def compact(self, before: int) -> None:
+        """Dense timelines cannot forget the past; kept for interface parity."""
+
+    def peak(self, start: int, end: int) -> tuple[float, float]:
+        hi = min(end + 1, self._cpu.size)
+        if start >= hi:
+            return 0.0, 0.0
+        return (float(self._cpu[start:hi].max()),
+                float(self._mem[start:hi].max()))
+
+    def probe_piece(self, start: int, end: int, cpu: float, mem: float,
+                    cpu_cap: float, mem_cap: float, tol: float
+                    ) -> tuple[str | None, float, float]:
+        hi = min(end + 1, self._cpu.size)
+        if start >= hi:  # beyond tracked usage: empty there
+            return None, 0.0, 0.0
+        cpu_slice = self._cpu[start:hi]
+        mem_slice = self._mem[start:hi]
+        peak_cpu = float(cpu_slice.max())
+        peak_mem = float(mem_slice.max())
+        if peak_cpu + cpu > cpu_cap + tol:
+            over = np.flatnonzero(cpu_slice + cpu > cpu_cap + tol)
+            return f"cpu:overlap@{start + int(over[0])}", peak_cpu, peak_mem
+        if peak_mem + mem > mem_cap + tol:
+            over = np.flatnonzero(mem_slice + mem > mem_cap + tol)
+            return f"mem:overlap@{start + int(over[0])}", peak_cpu, peak_mem
+        return None, peak_cpu, peak_mem
+
+    def points(self) -> list[int]:
+        """Nonzero time units (dense arrays have no change-point structure)."""
+        return [int(t) for t in
+                np.flatnonzero((self._cpu != 0.0) | (self._mem != 0.0))]
+
+
+def make_occupancy(engine: str):
+    """Build the occupancy backend for ``engine`` (see :data:`ENGINES`)."""
+    if engine == "indexed":
+        return SkylineOccupancy()
+    if engine == "dense":
+        return DenseOccupancy()
+    raise ValueError(
+        f"unknown placement engine {engine!r}; valid engines: {ENGINES}")

@@ -64,6 +64,11 @@ class AllocationDaemon:
         The live cluster state to allocate into.
     algorithm / seed:
         Registry name and seed of the placement algorithm.
+    algo_params:
+        Extra keyword parameters forwarded to the allocator constructor
+        (``repro serve --algo-param k=v``); they override the
+        daemon-level ``seed``/``policy`` defaults and are persisted in
+        snapshot metadata so :meth:`restore` rebuilds the same allocator.
     max_delay:
         Admission behaviour when nothing fits: ``0`` rejects outright,
         ``k > 0`` queues the request up to ``k`` ticks later (the first
@@ -80,6 +85,7 @@ class AllocationDaemon:
 
     def __init__(self, store: ClusterStateStore, *,
                  algorithm: str = "min-energy", seed: int | None = None,
+                 algo_params: Mapping[str, object] | None = None,
                  max_delay: int = 0, data_dir: str | Path | None = None,
                  snapshot_every: int = 100, fsync: bool = True,
                  _restored_seq: int | None = None) -> None:
@@ -90,11 +96,15 @@ class AllocationDaemon:
             raise ValidationError(
                 f"snapshot_every must be >= 0, got {snapshot_every}")
         self.store = store
+        algo_params = dict(algo_params or {})
         self.config = {"algorithm": algorithm, "seed": seed,
+                       "algo_params": algo_params,
                        "max_delay": max_delay,
                        "snapshot_every": snapshot_every}
-        self.allocator = make_allocator(algorithm, seed=seed,
-                                        policy=store.policy)
+        # Explicit --algo-param values win over the daemon-level defaults.
+        params: dict[str, object] = {"seed": seed, "policy": store.policy,
+                                     **algo_params}
+        self.allocator = make_allocator(algorithm, **params)
         self.allocator.prepare(store.states)
         self.metrics = ServiceMetrics()
         self.metrics.register_algorithm(algorithm)
@@ -170,10 +180,15 @@ class AllocationDaemon:
             raise ValidationError(f"{data_dir}: malformed snapshot config")
         store = ClusterStateStore.from_snapshot(document)
         covered = int(meta.get("seq", 0))
+        algo_params = config.get("algo_params")
+        if algo_params is not None and not isinstance(algo_params, Mapping):
+            raise ValidationError(
+                f"{data_dir}: malformed snapshot algo_params")
         daemon = cls(
             store,
             algorithm=str(config.get("algorithm", "min-energy")),
             seed=config.get("seed"),
+            algo_params=algo_params,
             max_delay=int(config.get("max_delay", 0)),
             snapshot_every=int(config.get("snapshot_every", 100)),
             data_dir=data_dir, fsync=fsync, _restored_seq=covered)

@@ -47,6 +47,7 @@ from repro.model.cluster import Cluster
 from repro.model.phases import demand_profile
 from repro.model.server import ServerSpec
 from repro.model.vm import VM
+from repro.placement.occupancy import DEFAULT_ENGINE
 from repro.simulation.power_state import PowerState, ServerMachine
 from repro.simulation.telemetry import Telemetry
 from repro.workload.trace import vm_from_record, vm_to_record
@@ -67,10 +68,12 @@ class ClusterStateStore:
     """Mutable cluster state: planning usage, power states, telemetry."""
 
     def __init__(self, cluster: Cluster, *,
-                 policy: SleepPolicy = SleepPolicy.OPTIMAL) -> None:
+                 policy: SleepPolicy = SleepPolicy.OPTIMAL,
+                 engine: str = DEFAULT_ENGINE) -> None:
         self.cluster = cluster
         self.policy = policy
-        self.states = [ServerState(server, policy=policy)
+        self.engine = engine
+        self.states = [ServerState(server, policy=policy, engine=engine)
                        for server in cluster]
         self.machines = {server.server_id: ServerMachine(server)
                          for server in cluster}
@@ -85,6 +88,10 @@ class ClusterStateStore:
         self._starts: dict[int, list[tuple[int, int]]] = {}
         self._ends: dict[int, list[tuple[int, int]]] = {}
         self._piece_demand: dict[int, tuple[float, float]] = {}
+        # retirement bookkeeping: which VM each piece belongs to, and how
+        # many of a VM's pieces are still scheduled to end
+        self._piece_vm: dict[int, int] = {}
+        self._open_pieces: dict[int, list] = {}  # vm_id -> [vm, sid, n]
         self._next_piece = 0
         self._max_end = 0
         # per-tick samples; index 0 is tick 1 (ticks < clock are closed)
@@ -118,12 +125,15 @@ class ClusterStateStore:
         self._placements.append((vm, server_id))
         self._commit_clocks.append(self.clock)
         self.energy_accumulated += delta
+        open_pieces = 0
         for piece, cpu, memory in demand_profile(vm):
             if piece.end < self.clock:
                 continue  # entirely in the past: no live effect
             piece_id = self._next_piece
             self._next_piece += 1
+            open_pieces += 1
             self._piece_demand[piece_id] = (cpu, memory)
+            self._piece_vm[piece_id] = vm.vm_id
             self._max_end = max(self._max_end, piece.end)
             if piece.start <= self.clock:
                 machine = self.machines[server_id]
@@ -135,6 +145,12 @@ class ClusterStateStore:
                     (piece_id, server_id))
             self._ends.setdefault(piece.end, []).append(
                 (piece_id, server_id))
+        if open_pieces:
+            self._open_pieces[vm.vm_id] = [vm, server_id, open_pieces]
+        else:
+            # Entirely in the past at commit time: retire immediately so
+            # planning-state memory tracks live load, not history.
+            self.states[server_id].retire(vm, before=self.clock)
         return delta
 
     # -- clock -------------------------------------------------------------
@@ -177,6 +193,14 @@ class ClusterStateStore:
         for piece_id, server_id in self._ends.pop(tick, ()):
             cpu, memory = self._piece_demand.pop(piece_id)
             self.machines[server_id].end_vm(piece_id, cpu, memory)
+            vm_id = self._piece_vm.pop(piece_id)
+            entry = self._open_pieces[vm_id]
+            entry[2] -= 1
+            if entry[2] == 0:
+                del self._open_pieces[vm_id]
+                # Last piece done: the VM ran to completion — drop it from
+                # the planning state and compact detail older than `tick`.
+                self.states[entry[1]].retire(entry[0], before=tick)
         # Power down emptied servers — unless a start is already
         # scheduled for the very next tick (a zero-length gap).
         imminent = {server_id
@@ -238,6 +262,7 @@ class ClusterStateStore:
         return {
             "format_version": SNAPSHOT_FORMAT_VERSION,
             "policy": self.policy.value,
+            "engine": self.engine,
             "clock": self.clock,
             "cluster": [_spec_record(server.spec)
                         for server in self.cluster],
@@ -267,11 +292,15 @@ class ClusterStateStore:
         try:
             specs = [ServerSpec(**record) for record in document["cluster"]]
             policy = SleepPolicy(document["policy"])
+            # Pre-engine snapshots carry no field: they were produced by
+            # the dense-only build, but replay is engine-agnostic, so the
+            # default (indexed) engine restores them bit-exactly too.
+            engine = str(document.get("engine", DEFAULT_ENGINE))
             clock = int(document["clock"])
             entries = list(document["placements"])
         except (TypeError, KeyError, ValueError) as exc:
             raise ValidationError(f"malformed snapshot: {exc}") from exc
-        store = cls(Cluster.from_specs(specs), policy=policy)
+        store = cls(Cluster.from_specs(specs), policy=policy, engine=engine)
         for i, entry in enumerate(entries):
             try:
                 vm = vm_from_record(entry["vm"])

@@ -170,7 +170,7 @@ def _recover(remainder: VM, states: Mapping[int, ServerState],
     """Pick a surviving server for a remainder via the recovery policy."""
     survivors = [state for sid, state in sorted(states.items())
                  if sid not in dead]
-    feasible = [state for state in survivors if state.fits(remainder)]
+    feasible = [state for state in survivors if state.probe(remainder)]
     if not feasible:
         return None
     return recovery.choose(remainder, feasible)

@@ -1,0 +1,81 @@
+"""The indexed engine must not change what any allocator decides.
+
+Every registered algorithm is run twice on the same workload — once per
+engine — and must produce the *identical* placement map and a
+*bit-identical* Eq.-17 energy total (``==`` on floats, no tolerance).
+This is the contract that lets the skyline index and the fused candidate
+scans replace the dense arrays as the production path while the dense
+code remains the oracle.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.allocators import allocator_names, make_allocator
+from repro.energy import allocation_cost
+from repro.model.cluster import Cluster
+from repro.model.constraints import PlacementConstraints
+from repro.workload import PhasedWorkload
+from repro.workload.generator import generate_vms
+
+VMS = generate_vms(150, mean_interarrival=3.0, seed=0)
+CLUSTER = Cluster.paper_all_types(60)
+
+
+def _run(algo: str, engine: str, vms=VMS, cluster=CLUSTER, seed=0,
+         constraints=None):
+    allocator = make_allocator(algo, seed=seed, engine=engine)
+    plan = allocator.allocate(vms, cluster, constraints)
+    placements = {vm.vm_id: sid for vm, sid in plan.items()}
+    return placements, allocation_cost(plan).total
+
+
+class TestEngineEquivalence:
+    @pytest.mark.parametrize("algo", allocator_names())
+    def test_identical_placements_and_energy(self, algo):
+        placed_idx, energy_idx = _run(algo, "indexed")
+        placed_dense, energy_dense = _run(algo, "dense")
+        assert placed_idx == placed_dense
+        assert energy_idx == energy_dense  # bit-identical, no approx
+
+    @pytest.mark.parametrize("algo", ["min-energy", "ffps", "random-fit",
+                                      "round-robin"])
+    @pytest.mark.parametrize("seed", [1, 7])
+    def test_seeded_runs_agree(self, algo, seed):
+        placed_idx, energy_idx = _run(algo, "indexed", seed=seed)
+        placed_dense, energy_dense = _run(algo, "dense", seed=seed)
+        assert placed_idx == placed_dense
+        assert energy_idx == energy_dense
+
+    @pytest.mark.parametrize("algo", allocator_names())
+    def test_phased_workload_agrees(self, algo):
+        vms = PhasedWorkload(mean_interarrival=3.0).generate(80, rng=0)
+        cluster = Cluster.paper_all_types(40)
+        placed_idx, energy_idx = _run(algo, "indexed", vms, cluster)
+        placed_dense, energy_dense = _run(algo, "dense", vms, cluster)
+        assert placed_idx == placed_dense
+        assert energy_idx == energy_dense
+
+    @pytest.mark.parametrize("algo", ["min-energy", "first-fit",
+                                      "best-fit"])
+    def test_constrained_runs_agree(self, algo):
+        ids = [vm.vm_id for vm in VMS[:20]]
+        constraints = PlacementConstraints.build(
+            separate=[ids[:6], ids[10:14]])
+        placed_idx, energy_idx = _run(algo, "indexed",
+                                      constraints=constraints)
+        placed_dense, energy_dense = _run(algo, "dense",
+                                          constraints=constraints)
+        assert placed_idx == placed_dense
+        assert energy_idx == energy_dense
+
+    def test_tight_fleet_agrees_under_pressure(self):
+        # Few servers: feasibility pruning and tie-breaking both bite.
+        vms = generate_vms(80, mean_interarrival=2.0, seed=3)
+        cluster = Cluster.paper_all_types(30)
+        for algo in allocator_names():
+            placed_idx, energy_idx = _run(algo, "indexed", vms, cluster)
+            placed_dense, energy_dense = _run(algo, "dense", vms, cluster)
+            assert placed_idx == placed_dense, algo
+            assert energy_idx == energy_dense, algo

@@ -128,6 +128,43 @@ class TestServiceCommands:
         assert responses[1]["placed"] == 1
         assert responses[2]["op"] == "shutdown"
 
+    def test_algo_param_parsing_and_coercion(self):
+        from repro.cli import _parse_algo_params
+        params = _parse_algo_params([
+            "seed=7", "policy=never-sleep", "ratio=0.5",
+            "flag=true", "opt=none", "name=plain"])
+        assert params == {"seed": 7, "policy": "never-sleep",
+                          "ratio": 0.5, "flag": True, "opt": None,
+                          "name": "plain"}
+
+    def test_algo_param_rejects_malformed_pair(self):
+        from repro.cli import _parse_algo_params
+        with pytest.raises(SystemExit, match="KEY=VALUE"):
+            _parse_algo_params(["no-equals-sign"])
+
+    def test_serve_algo_param_plumbs_to_allocator(self, monkeypatch,
+                                                  capsys):
+        import io
+        import json
+        import sys
+
+        monkeypatch.setattr(sys, "stdin", io.StringIO(
+            '{"op": "shutdown"}\n'))
+        assert main(["serve", "--stdio", "--servers", "2",
+                     "--algorithm", "ffps",
+                     "--algo-param", "policy=never-sleep",
+                     "--algo-param", "engine=dense"]) == 0
+        assert json.loads(capsys.readouterr().out.splitlines()[0])["ok"]
+
+    def test_serve_bad_algo_param_is_refused(self, monkeypatch, capsys):
+        import io
+        import sys
+
+        monkeypatch.setattr(sys, "stdin", io.StringIO(""))
+        assert main(["serve", "--stdio", "--servers", "2",
+                     "--algo-param", "temperature=0.5"]) == 1
+        assert "temperature" in capsys.readouterr().err
+
 
 class TestObservabilityCommands:
     def test_explain_prints_decision_table(self, capsys):

@@ -1,0 +1,132 @@
+"""Property tests: the skyline engine is bit-equivalent to the dense oracle.
+
+A random interleaving of place / remove / probe is applied to two
+ServerStates that differ only in their occupancy engine. Verdicts and
+peaks must agree exactly (``==`` on floats — both engines apply the same
+IEEE-754 operation sequence per time unit), incremental costs to a 1e-12
+relative tolerance (they share the cost code; the tolerance only guards
+the comparison itself).
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.allocators.state import ServerState
+from repro.model.server import Server, ServerSpec
+from repro.placement import DenseOccupancy, SkylineOccupancy
+
+from conftest import make_vm
+
+SPEC = ServerSpec("s", cpu_capacity=8.0, memory_capacity=8.0,
+                  p_idle=50.0, p_peak=100.0, transition_time=1.0)
+
+# (kind, start, length, cpu_octets, mem_octets): kind 0 = place-or-probe,
+# 1 = remove (modulo currently placed), 2 = probe only. Demands are odd
+# multiples of 1/8 so sums exercise float accumulation but stay exact.
+_OPS = st.tuples(st.integers(0, 2), st.integers(1, 60), st.integers(0, 10),
+                 st.integers(1, 24), st.integers(1, 24))
+
+
+def _pair() -> tuple[ServerState, ServerState]:
+    return (ServerState(Server(0, SPEC), engine="indexed"),
+            ServerState(Server(0, SPEC), engine="dense"))
+
+
+def _agree(sky: ServerState, dense: ServerState, vm) -> None:
+    vs, vd = sky.probe(vm), dense.probe(vm)
+    assert vs.feasible == vd.feasible
+    assert vs.reason == vd.reason
+    assert vs.peak_cpu == vd.peak_cpu       # bit-exact, not approx
+    assert vs.peak_mem == vd.peak_mem
+    cs, cd = sky.incremental_cost(vm), dense.incremental_cost(vm)
+    assert math.isclose(cs, cd, rel_tol=1e-12, abs_tol=1e-12)
+
+
+class TestEngineEquivalence:
+    @settings(max_examples=200, deadline=None)
+    @given(st.lists(_OPS, min_size=1, max_size=25))
+    def test_random_interleaving(self, ops):
+        sky, dense = _pair()
+        placed = []
+        for i, (kind, start, length, cpu8, mem8) in enumerate(ops):
+            vm = make_vm(i, start, start + length,
+                         cpu=cpu8 / 8.0, memory=mem8 / 8.0)
+            _agree(sky, dense, vm)
+            if kind == 1 and placed:
+                victim = placed.pop(start % len(placed))
+                d_sky = sky.remove(victim)
+                d_dense = dense.remove(victim)
+                assert math.isclose(d_sky, d_dense,
+                                    rel_tol=1e-12, abs_tol=1e-12)
+            elif kind != 2 and sky.probe(vm):
+                assert sky.place(vm) == dense.place(vm)
+                placed.append(vm)
+            assert sky.busy_segments() == dense.busy_segments()
+            assert math.isclose(sky.cost, dense.cost,
+                                rel_tol=1e-12, abs_tol=1e-12)
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(_OPS, min_size=1, max_size=15), st.integers(1, 80))
+    def test_probe_agreement_after_any_state(self, ops, probe_start):
+        sky, dense = _pair()
+        for i, (kind, start, length, cpu8, mem8) in enumerate(ops):
+            vm = make_vm(i, start, start + length,
+                         cpu=cpu8 / 8.0, memory=mem8 / 8.0)
+            if sky.probe(vm):
+                sky.place(vm)
+                dense.place(vm)
+        for length in (0, 1, 7, 40):
+            probe = make_vm(999, probe_start, probe_start + length,
+                            cpu=4.0, memory=4.0)
+            _agree(sky, dense, probe)
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.lists(_OPS, min_size=2, max_size=20))
+    def test_full_drain_returns_to_empty(self, ops):
+        sky, dense = _pair()
+        placed = []
+        for i, (kind, start, length, cpu8, mem8) in enumerate(ops):
+            vm = make_vm(i, start, start + length,
+                         cpu=cpu8 / 8.0, memory=mem8 / 8.0)
+            if sky.probe(vm):
+                sky.place(vm)
+                dense.place(vm)
+                placed.append(vm)
+        for vm in placed:
+            sky.remove(vm)
+            dense.remove(vm)
+        assert sky.occupancy_points() == 0  # coalesced all the way down
+        assert sky.cost == dense.cost == 0.0
+        probe = make_vm(998, 1, 50, cpu=8.0, memory=8.0)
+        assert sky.probe(probe).feasible and dense.probe(probe).feasible
+
+
+class TestOccupancyEquivalence:
+    """The raw occupancy indexes agree on peaks and probe verdicts."""
+
+    @settings(max_examples=150, deadline=None)
+    @given(st.lists(st.tuples(st.booleans(), st.integers(0, 50),
+                              st.integers(0, 12), st.integers(1, 16),
+                              st.integers(1, 16)),
+                    min_size=1, max_size=20))
+    def test_peaks_bit_equal(self, ops):
+        sky, dense = SkylineOccupancy(), DenseOccupancy()
+        live = []
+        for is_remove, start, length, cpu8, mem8 in ops:
+            if is_remove and live:
+                s, e, c, m = live.pop()
+                sky.subtract(s, e, c, m)
+                dense.subtract(s, e, c, m)
+            else:
+                s, e = start, start + length
+                c, m = cpu8 / 8.0, mem8 / 8.0
+                sky.add(s, e, c, m)
+                dense.add(s, e, c, m)
+                live.append((s, e, c, m))
+            for lo, hi in [(0, 70), (start, start + length), (25, 30)]:
+                assert sky.peak(lo, hi) == dense.peak(lo, hi)
+                assert sky.probe_piece(lo, hi, 2.0, 2.0, 8.0, 8.0, 1e-9) \
+                    == dense.probe_piece(lo, hi, 2.0, 2.0, 8.0, 8.0, 1e-9)
