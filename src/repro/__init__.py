@@ -22,6 +22,7 @@ Quickstart::
 from repro.allocators import (
     Allocator,
     BestFit,
+    Decision,
     FirstFit,
     FirstFitPowerSaving,
     MinIncrementalEnergy,
@@ -44,6 +45,7 @@ from repro.exceptions import (
     AllocationError,
     AllocatorConfigError,
     CapacityError,
+    ProtocolVersionError,
     ReproError,
     ServiceError,
     SimulationError,
@@ -54,6 +56,7 @@ from repro.placement import (
     CandidateIndex,
     DenseOccupancy,
     Feasibility,
+    ShardedFleet,
     SkylineOccupancy,
 )
 from repro.analysis import (
@@ -104,10 +107,12 @@ from repro.obs import (
     write_chrome_trace,
 )
 from repro.service import (
+    SUPPORTED_VERSIONS,
     AllocationDaemon,
     ClusterStateStore,
     DaemonClient,
     ReplaySummary,
+    place_batch_request,
     replay_trace,
 )
 from repro.simulation import SimulationEngine, simulate_online
@@ -126,6 +131,7 @@ __version__ = "1.0.0"
 __all__ = [
     "Allocator",
     "BestFit",
+    "Decision",
     "FirstFit",
     "FirstFitPowerSaving",
     "MinIncrementalEnergy",
@@ -144,6 +150,7 @@ __all__ = [
     "AllocationError",
     "AllocatorConfigError",
     "CapacityError",
+    "ProtocolVersionError",
     "ReproError",
     "ServiceError",
     "SimulationError",
@@ -152,6 +159,7 @@ __all__ = [
     "CandidateIndex",
     "DenseOccupancy",
     "Feasibility",
+    "ShardedFleet",
     "SkylineOccupancy",
     "ScenarioConfig",
     "compare_averaged",
@@ -197,6 +205,8 @@ __all__ = [
     "ClusterStateStore",
     "DaemonClient",
     "ReplaySummary",
+    "SUPPORTED_VERSIONS",
+    "place_batch_request",
     "replay_trace",
     "SimulationEngine",
     "simulate_online",

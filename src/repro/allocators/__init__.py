@@ -2,6 +2,7 @@
 zoo of classic comparators."""
 
 from repro.allocators.base import Allocator
+from repro.allocators.batch import Decision, ShardScan
 from repro.allocators.best_fit import BestFit
 from repro.allocators.ffps import FirstFitPowerSaving
 from repro.allocators.first_fit import FirstFit
@@ -16,6 +17,8 @@ from repro.allocators.worst_fit import WorstFit
 __all__ = [
     "Allocator",
     "BestFit",
+    "Decision",
+    "ShardScan",
     "FirstFitPowerSaving",
     "FirstFit",
     "MinIncrementalEnergy",

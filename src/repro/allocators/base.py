@@ -24,10 +24,13 @@ per-algorithm parameters by name.
 from __future__ import annotations
 
 import abc
+import math
+from time import perf_counter
 from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.allocators.batch import Decision, ShardScan
 from repro.allocators.state import ServerState
 from repro.energy.cost import SleepPolicy
 from repro.exceptions import AllocationError, ValidationError
@@ -44,6 +47,7 @@ from repro.obs.tracer import get_tracer
 from repro.placement.feasibility import Feasibility
 from repro.placement.index import CandidateIndex
 from repro.placement.occupancy import DEFAULT_ENGINE, ENGINES
+from repro.placement.sharding import ShardedFleet
 
 __all__ = ["Allocator"]
 
@@ -69,6 +73,23 @@ class Allocator(abc.ABC):
 
     #: Registry name; subclasses must override.
     name: str = "abstract"
+
+    #: How :meth:`select_sharded` treats candidates. ``"collect"``
+    #: gathers every admissible server and delegates to :meth:`choose`
+    #: (matching the default :meth:`_select`); ``"first"`` stops each
+    #: shard at its first admissible server and the reduction keeps the
+    #: smallest scan ordinal; ``"score"`` keeps each shard's best
+    #: :meth:`shard_key` and the reduction folds the shard winners in
+    #: ascending-ordinal order with the :attr:`_shard_tie_tol` band.
+    #: Subclasses that override :meth:`_select` must declare the
+    #: matching mode (and hooks) for sharded selection to stay
+    #: bit-identical to their sequential scan.
+    scan_mode: str = "collect"
+
+    #: Strict-improvement tolerance of the score-mode fold: an incumbent
+    #: is displaced only by ``key < incumbent - tol``, so ties keep the
+    #: earliest scan position exactly like the sequential scan.
+    _shard_tie_tol: float = 0.0
 
     def __init__(self, *, seed: int | None = None,
                  policy: SleepPolicy = SleepPolicy.OPTIMAL,
@@ -144,6 +165,65 @@ class Allocator(abc.ABC):
             self._constraints = None
             self._placed_ids = {}
         return Allocation(cluster, placements)
+
+    def allocate_batch(self, vms: Iterable[VM], cluster: Cluster,
+                       constraints: PlacementConstraints | None = None, *,
+                       shards: int = 1, max_workers: int | None = None
+                       ) -> list[Decision]:
+        """Place a whole batch; returns one :class:`Decision` per VM.
+
+        The batch is processed in the same deterministic order as
+        :meth:`allocate` (increasing start time, ties by end then id),
+        but decisions come back *in the order the VMs were given* and a
+        VM that fits nowhere yields a rejection decision
+        (``server_id=None``) instead of raising — batch callers want
+        the whole outcome, not the first failure.
+
+        With ``shards > 1`` the feasibility scan of every selection fans
+        out across a :class:`~repro.placement.sharding.ShardedFleet` of
+        ``shards`` partitions (``max_workers`` threads); the reduction
+        is deterministic (score, then scan ordinal — see
+        :meth:`select_sharded`), so the placements and their Eq.-17
+        energy are bit-identical for every shard count.
+        """
+        items = list(vms)
+        ordered = self.order_vms(list(items))
+        # Decisions map back to the request order; identity-keyed so a
+        # clairvoyant order_vms override (offline extensions) cannot
+        # confuse equal-valued records.
+        slots: dict[int, list[int]] = {}
+        for i, vm in enumerate(items):
+            slots.setdefault(id(vm), []).append(i)
+        states = [ServerState(server, policy=self._policy,
+                              engine=self.engine)
+                  for server in cluster]
+        self.prepare(states)
+        self._constraints = constraints
+        self._placed_ids = {}
+        decisions: list[Decision | None] = [None] * len(items)
+        tracer = get_tracer()
+        try:
+            with ShardedFleet(states, shards=shards,
+                              max_workers=max_workers) as fleet:
+                with tracer.span("allocator.allocate_batch",
+                                 algorithm=self.name, vms=len(items),
+                                 servers=len(states),
+                                 shards=fleet.n_shards):
+                    for vm in ordered:
+                        i = slots[id(vm)].pop(0)
+                        chosen = self.select_sharded(vm, fleet)
+                        if chosen is None:
+                            decisions[i] = Decision(vm=vm, server_id=None)
+                            continue
+                        delta = chosen.place(vm)
+                        server_id = chosen.server.server_id
+                        self._placed_ids[vm.vm_id] = server_id
+                        decisions[i] = Decision(vm=vm, server_id=server_id,
+                                                energy_delta=delta)
+        finally:
+            self._constraints = None
+            self._placed_ids = {}
+        return decisions
 
     # -- probing -------------------------------------------------------------
 
@@ -306,6 +386,154 @@ class Allocator(abc.ABC):
         if not feasible:
             return None
         return self.choose(vm, feasible)
+
+    # -- sharded selection ---------------------------------------------------
+
+    def select_sharded(self, vm: VM,
+                       fleet: ShardedFleet) -> ServerState | None:
+        """:meth:`select` with the probe scan fanned out across shards.
+
+        The scan sequence (:meth:`_scan_sequence`) is routed to the
+        shard owning each server; every shard runs :meth:`_scan_shard`
+        independently (in parallel when the fleet has a pool) and the
+        per-shard results are folded by :meth:`_reduce_shards` with a
+        deterministic tie-break — score first, then the scan ordinal,
+        which in fleet order is the server id. The chosen server, and
+        therefore the placement and its energy, is bit-identical to the
+        sequential :meth:`select` for every shard count; only the probe
+        counters may grow (a shard cannot see its neighbours'
+        short-circuits).
+        """
+        if fleet.n_shards == 1:
+            # One shard IS the sequential scan: delegate to
+            # :meth:`select` under the shard lock, keeping its early
+            # exit instead of materializing the whole scan sequence.
+            if not len(fleet):
+                return self.select(vm, fleet.states)
+            with fleet.lock_for(0):
+                started = perf_counter()
+                chosen = self.select(vm, fleet.states)
+                elapsed = perf_counter() - started
+            if fleet.on_scan_time is not None:
+                fleet.on_scan_time(elapsed)
+            return chosen
+        self.candidates_evaluated = 0
+        self.candidates_feasible = 0
+        sequence = self._scan_sequence(vm, fleet.states)
+        chunks = fleet.scatter(sequence)
+        scans = fleet.map_scans(
+            lambda chunk: self._scan_shard(vm, chunk), chunks)
+        for scan in scans:
+            self.candidates_evaluated += scan.evaluated
+            self.candidates_feasible += scan.admissible
+        return self._reduce_shards(vm, scans)
+
+    def _scan_sequence(self, vm: VM, states: Sequence[ServerState]
+                       ) -> list[tuple[int, ServerState]]:
+        """The ``(ordinal, state)`` pairs of this algorithm's scan, in
+        scan order. The default is the statically-pruned fleet order of
+        :meth:`_candidates`; algorithms with a custom scan order
+        (shuffles, rotations, sorts) override this so the ordinals
+        mirror the order their sequential ``_select`` walks."""
+        return list(enumerate(self._candidates(vm, states)))
+
+    def _scan_shard(self, vm: VM,
+                    chunk: Sequence[tuple[int, ServerState]]) -> ShardScan:
+        """Scan one shard's slice of the sequence (thread-safe).
+
+        Runs on pool threads, so it must not touch shared allocator
+        state: probes go through ``ServerState.probe`` directly (not
+        :meth:`_examine`) and the counters are accumulated shard-locally
+        in the returned :class:`ShardScan`, summed by the caller.
+        """
+        mode = self.scan_mode
+        constraints = self._constraints
+        placed = self._placed_ids
+        tol = self._shard_tie_tol
+        evaluated = admissible = 0
+        winner: ServerState | None = None
+        winner_key = math.inf
+        winner_ordinal = -1
+        feasible: list[ServerState] = []
+        for ordinal, state in chunk:
+            verdict = state.probe(vm)
+            evaluated += 1
+            if not verdict.feasible:
+                continue
+            if constraints is not None and not constraints.allows(
+                    vm.vm_id, state.server.server_id, placed):
+                continue
+            admissible += 1
+            if mode == "collect":
+                feasible.append(state)
+            elif mode == "first":
+                winner, winner_key, winner_ordinal = \
+                    state, float(ordinal), ordinal
+                break
+            else:  # "score"
+                key = self.shard_key(vm, state, verdict)
+                if winner is None or key < winner_key - tol:
+                    winner, winner_key, winner_ordinal = state, key, ordinal
+        return ShardScan(winner=winner, key=winner_key,
+                         ordinal=winner_ordinal, feasible=feasible,
+                         evaluated=evaluated, admissible=admissible)
+
+    def _reduce_shards(self, vm: VM,
+                       scans: Sequence[ShardScan]) -> ServerState | None:
+        """Deterministic fold of the per-shard scans, in shard order.
+
+        * ``collect``: concatenate the shard-local feasible lists —
+          shard chunks preserve scan order and shards partition the
+          fleet contiguously, so the concatenation *is* the sequential
+          feasible list — then delegate to :meth:`choose`.
+        * ``first``: the smallest scan ordinal among shard winners, i.e.
+          exactly the server the sequential scan would have stopped at.
+        * ``score``: fold shard winners in ascending shard (= ordinal)
+          order, displacing the incumbent only on a strict improvement
+          beyond :attr:`_shard_tie_tol` — ties keep the earlier scan
+          position, matching the sequential incumbent rule.
+        """
+        if self.scan_mode == "collect":
+            feasible = [state for scan in scans for state in scan.feasible]
+            if not feasible:
+                return None
+            return self.choose(vm, feasible)
+        best: ServerState | None = None
+        best_key = math.inf
+        best_ordinal = -1
+        if self.scan_mode == "first":
+            for scan in scans:
+                if scan.winner is None:
+                    continue
+                if best is None or scan.ordinal < best_ordinal:
+                    best, best_ordinal = scan.winner, scan.ordinal
+        else:
+            tol = self._shard_tie_tol
+            for scan in scans:
+                if scan.winner is None:
+                    continue
+                if best is None or scan.key < best_key - tol:
+                    best, best_key, best_ordinal = \
+                        scan.winner, scan.key, scan.ordinal
+        if best is not None:
+            self._on_sharded_select(vm, best, best_ordinal)
+        return best
+
+    def shard_key(self, vm: VM, state: ServerState,
+                  verdict: Feasibility) -> float:
+        """Score-mode ranking key (lower wins) for one admissible
+        candidate; score-mode subclasses must override. ``verdict`` is
+        the probe result, so interval peaks come for free."""
+        raise NotImplementedError(
+            f"{type(self).__name__} uses scan_mode='score' but does not "
+            f"implement shard_key()")
+
+    def _on_sharded_select(self, vm: VM, state: ServerState,
+                           ordinal: int) -> None:
+        """Hook run once per sharded selection with the winning state
+        and its scan ordinal — stateful scan orders (round robin)
+        update their cursor here, exactly as their sequential scan
+        would."""
 
     @abc.abstractmethod
     def choose(self, vm: VM, feasible: Sequence[ServerState]) -> ServerState:

@@ -39,9 +39,18 @@ class BestFit(Allocator):
 
     name = "best-fit"
 
+    #: Sharded scans keep the shard-local tightest fit; the fold's
+    #: strict-improvement rule reproduces the sequential first-wins
+    #: tie-break exactly (the score comparison is associative).
+    scan_mode = "score"
+
     def candidate_score(self, vm: VM, state: ServerState) -> float | None:
         """Explain-trace score: residual spare capacity (lower = tighter)."""
         return residual_score(state, vm)
+
+    def shard_key(self, vm: VM, state: ServerState,
+                  verdict: Feasibility) -> float:
+        return _residual(state.server.spec, verdict, vm)
 
     def _select(self, vm: VM,
                 states: Sequence[ServerState]) -> ServerState | None:

@@ -24,6 +24,10 @@ class FirstFitPowerSaving(Allocator):
 
     name = "ffps"
 
+    #: First fit over the shuffled order; the sharded reduction keeps
+    #: the smallest shuffled-scan ordinal, i.e. the sequential winner.
+    scan_mode = "first"
+
     def on_prepare(self, states: Sequence[ServerState]) -> None:
         order = self._rng.permutation(len(states))
         self._scan = [states[i] for i in order]
@@ -42,6 +46,15 @@ class FirstFitPowerSaving(Allocator):
             if self._examine(vm, state) is not None:
                 return state
         return None
+
+    def _scan_sequence(self, vm: VM, states: Sequence[ServerState]
+                       ) -> list[tuple[int, ServerState]]:
+        """The shuffled scan with its ordinals, statically pruned."""
+        admits = self._spec_admits(vm, states)
+        if admits is None:
+            return list(enumerate(self._scan))
+        return [(i, state) for i, state in enumerate(self._scan)
+                if admits[id(state.server.spec)]]
 
     def choose(self, vm: VM, feasible: Sequence[ServerState]) -> ServerState:
         # _select() short-circuits; kept for interface completeness.

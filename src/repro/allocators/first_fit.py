@@ -21,6 +21,10 @@ class FirstFit(Allocator):
 
     name = "first-fit"
 
+    #: Sharded scans stop at the shard-local first fit; the reduction
+    #: keeps the smallest scan ordinal — the sequential winner.
+    scan_mode = "first"
+
     def candidate_score(self, vm: VM, state: ServerState) -> float | None:
         """Explain-trace score: the scan position (fleet id order)."""
         return float(state.server.server_id)

@@ -24,6 +24,10 @@ class PowerAwareFirstFit(Allocator):
 
     name = "power-aware"
 
+    #: First fit over the efficiency-sorted order; the sharded
+    #: reduction keeps the smallest sorted-scan ordinal.
+    scan_mode = "first"
+
     def on_prepare(self, states: Sequence[ServerState]) -> None:
         self._scan = sorted(
             states,
@@ -43,6 +47,15 @@ class PowerAwareFirstFit(Allocator):
             if self._examine(vm, state) is not None:
                 return state
         return None
+
+    def _scan_sequence(self, vm: VM, states: Sequence[ServerState]
+                       ) -> list[tuple[int, ServerState]]:
+        """The efficiency-sorted scan with its ordinals, pruned."""
+        admits = self._spec_admits(vm, states)
+        if admits is None:
+            return list(enumerate(self._scan))
+        return [(i, state) for i, state in enumerate(self._scan)
+                if admits[id(state.server.spec)]]
 
     def choose(self, vm: VM, feasible: Sequence[ServerState]) -> ServerState:
         ranks = {id(st): i for i, st in enumerate(self._scan)}

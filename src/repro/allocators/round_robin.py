@@ -21,6 +21,12 @@ class RoundRobin(Allocator):
 
     name = "round-robin"
 
+    #: First fit along the rotation; scan ordinals are rotation offsets,
+    #: so the reduction keeps the nearest feasible slot and
+    #: :meth:`_on_sharded_select` advances the cursor past it — counting
+    #: skipped servers exactly like the sequential scan.
+    scan_mode = "first"
+
     def on_prepare(self, states: Sequence[ServerState]) -> None:
         self._next = 0
         self._fleet_size = len(states)
@@ -44,6 +50,25 @@ class RoundRobin(Allocator):
                 self._next = (self._next + offset + 1) % n
                 return state
         return None
+
+    def _scan_sequence(self, vm: VM, states: Sequence[ServerState]
+                       ) -> list[tuple[int, ServerState]]:
+        """The current rotation as (offset, state) pairs; statically
+        inadmissible servers are dropped but keep their offsets, so the
+        cursor advance stays identical to the sequential scan."""
+        n = len(states)
+        admits = self._spec_admits(vm, states)
+        sequence: list[tuple[int, ServerState]] = []
+        for offset in range(n):
+            state = states[(self._next + offset) % n]
+            if admits is not None and not admits[id(state.server.spec)]:
+                continue
+            sequence.append((offset, state))
+        return sequence
+
+    def _on_sharded_select(self, vm: VM, state: ServerState,
+                           ordinal: int) -> None:
+        self._next = (self._next + ordinal + 1) % self._fleet_size
 
     def choose(self, vm: VM, feasible: Sequence[ServerState]) -> ServerState:
         return feasible[0]

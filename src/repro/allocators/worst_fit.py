@@ -16,6 +16,7 @@ from repro.allocators.base import Allocator
 from repro.allocators.best_fit import _residual, residual_score
 from repro.allocators.state import ServerState
 from repro.model.vm import VM
+from repro.placement.feasibility import Feasibility
 
 __all__ = ["WorstFit"]
 
@@ -25,9 +26,16 @@ class WorstFit(Allocator):
 
     name = "worst-fit"
 
+    #: Same fold as best fit, on the negated residual (lower = looser).
+    scan_mode = "score"
+
     def candidate_score(self, vm: VM, state: ServerState) -> float | None:
         """Explain-trace score: negated residual (lower = more spare)."""
         return -residual_score(state, vm)
+
+    def shard_key(self, vm: VM, state: ServerState,
+                  verdict: Feasibility) -> float:
+        return -_residual(state.server.spec, verdict, vm)
 
     def _select(self, vm: VM,
                 states: Sequence[ServerState]) -> ServerState | None:

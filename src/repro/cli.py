@@ -236,6 +236,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--trace-out", default=None,
                          help="record spans while serving and write a "
                               "Chrome trace_event JSON on shutdown")
+    p_serve.add_argument("--shards", type=int, default=1,
+                         help="partition the fleet into this many shards "
+                              "and fan each feasibility scan out across "
+                              "them (identical placements at any count)")
+    p_serve.add_argument("--workers", type=int, default=None,
+                         help="thread-pool width for the shard scans "
+                              "(default: one per shard)")
+    p_serve.add_argument("--max-inflight", type=int, default=64,
+                         help="mutating requests in flight before the "
+                              "daemon answers 'overloaded' (0 = "
+                              "unbounded)")
 
     p_client = sub.add_parser(
         "client", help="stream a workload at a running daemon")
@@ -248,6 +259,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_client.add_argument("--interarrival", type=float, default=4.0)
     p_client.add_argument("--duration", type=float, default=5.0)
     p_client.add_argument("--seed", type=int, default=0)
+    p_client.add_argument("--batch", type=int, default=None,
+                          metavar="N",
+                          help="send v2 place_batch requests of up to N "
+                               "VMs instead of one place per VM")
     p_client.add_argument("--shutdown", action="store_true",
                           help="ask the daemon to shut down afterwards")
     return parser
@@ -551,7 +566,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             store, algorithm=args.algorithm, seed=args.seed,
             algo_params=_parse_algo_params(args.algo_param),
             max_delay=args.max_delay, data_dir=args.data_dir,
-            snapshot_every=args.snapshot_every)
+            snapshot_every=args.snapshot_every, shards=args.shards,
+            max_workers=args.workers, max_inflight=args.max_inflight)
     # In stdio mode stdout carries the protocol, so banners go to stderr.
     log = sys.stderr if args.stdio else sys.stdout
     tracer = None
@@ -604,7 +620,7 @@ def _cmd_client(args: argparse.Namespace) -> int:
         print("empty workload")
         return 0
     with DaemonClient(args.host, args.port) as client:
-        summary = replay_trace(client, vms)
+        summary = replay_trace(client, vms, batch=args.batch)
         stats = client.stats()
         exposition = client.metrics()
         if args.shutdown:

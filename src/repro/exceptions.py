@@ -55,3 +55,18 @@ class SimulationError(ReproError):
 class ServiceError(ReproError):
     """The online allocation service received a request it cannot honour
     (malformed message, unknown operation, or a protocol violation)."""
+
+
+class ProtocolVersionError(ServiceError):
+    """A request carried a protocol version this daemon does not speak.
+
+    Carries the offending ``version`` and the ``supported`` tuple so the
+    service can answer with a structured error listing the versions a
+    client may retry with.
+    """
+
+    def __init__(self, message: str, *, version: object = None,
+                 supported: tuple[int, ...] = ()) -> None:
+        super().__init__(message)
+        self.version = version
+        self.supported = tuple(supported)

@@ -24,13 +24,16 @@ from repro.placement.occupancy import (
     SkylineOccupancy,
     make_occupancy,
 )
+from repro.placement.sharding import ShardedFleet, shard_bounds
 
 __all__ = [
     "Feasibility",
     "CandidateIndex",
     "SkylineOccupancy",
     "DenseOccupancy",
+    "ShardedFleet",
     "make_occupancy",
+    "shard_bounds",
     "ENGINES",
     "DEFAULT_ENGINE",
 ]

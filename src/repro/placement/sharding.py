@@ -1,0 +1,231 @@
+"""Sharded fleet views: partitioned scan fan-out with a deterministic fold.
+
+A :class:`ShardedFleet` wraps a fleet's server-state list and partitions
+it into ``K`` contiguous shards. Allocators fan their feasibility scan
+out across the shards (:meth:`ShardedFleet.map_scans` runs one task per
+non-empty shard on a shared thread pool) and then *reduce* the per-shard
+winners with a deterministic tie-break, so sharded selection returns
+bit-identical results to the sequential scan — see
+:meth:`repro.allocators.base.Allocator.select_sharded` for the fold
+rules per scan mode.
+
+Concurrency model
+-----------------
+* Each shard owns a contiguous range of fleet positions and one
+  :class:`threading.Lock`; a shard-scan task holds its shard's lock for
+  the duration of the probe sweep, and writers (the service's commit
+  path) take :meth:`lock_for` on the mutated server, so probes never
+  observe a half-applied placement.
+* ``ServerState.probe`` is read-only; the dense (numpy) engine releases
+  the GIL inside its vectorized peak queries, so shards overlap there,
+  while skyline shards interleave cooperatively — either way the
+  partition bounds the work per task and keeps the reduction exact.
+* The pool is lazy: a fleet with one shard (or ``max_workers=1``) runs
+  every scan inline on the calling thread, which keeps the ``K=1`` path
+  byte-for-byte identical to an unsharded allocator with zero thread
+  overhead.
+
+The view is intentionally thin: it is a :class:`~typing.Sequence` over
+the *original* states list (no copy), so a
+:class:`~repro.placement.index.CandidateIndex` built over that list
+still ``covers()`` the fleet and static type-pruning keeps working.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from time import perf_counter
+from typing import TYPE_CHECKING, Callable, Sequence, TypeVar
+
+from repro.exceptions import ValidationError
+from repro.obs.tracer import get_tracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.allocators.state import ServerState
+
+__all__ = ["ShardedFleet", "shard_bounds"]
+
+_T = TypeVar("_T")
+
+
+def shard_bounds(n: int, shards: int) -> list[tuple[int, int]]:
+    """Contiguous ``[lo, hi)`` position ranges splitting ``n`` into
+    ``shards`` near-equal parts (the first ``n % shards`` shards get the
+    extra element)."""
+    if shards < 1:
+        raise ValidationError(f"shards must be >= 1, got {shards}")
+    base, extra = divmod(n, shards)
+    bounds: list[tuple[int, int]] = []
+    lo = 0
+    for i in range(shards):
+        hi = lo + base + (1 if i < extra else 0)
+        bounds.append((lo, hi))
+        lo = hi
+    return bounds
+
+
+class ShardedFleet(Sequence):
+    """A K-way sharded view over a fleet's server states.
+
+    Parameters
+    ----------
+    states:
+        The fleet's ``ServerState`` list. Held by reference (not
+        copied), so a prepared allocator's candidate index still covers
+        the view.
+    shards:
+        Requested shard count; clamped to the fleet size so no shard is
+        ever empty (``K=1`` for an empty fleet).
+    max_workers:
+        Thread-pool width for parallel shard scans; defaults to the
+        shard count. ``1`` forces inline execution.
+    on_scan_time:
+        Optional callback receiving each shard scan's wall-clock
+        duration in seconds (the service feeds its
+        ``repro_shard_scan_seconds`` histogram through this).
+    """
+
+    def __init__(self, states: Sequence["ServerState"], *,
+                 shards: int = 1, max_workers: int | None = None,
+                 on_scan_time: Callable[[float], None] | None = None
+                 ) -> None:
+        if shards < 1:
+            raise ValidationError(f"shards must be >= 1, got {shards}")
+        if max_workers is not None and max_workers < 1:
+            raise ValidationError(
+                f"max_workers must be >= 1, got {max_workers}")
+        self.states = states if isinstance(states, list) else list(states)
+        self.n_shards = max(1, min(shards, len(self.states)))
+        self._bounds = shard_bounds(len(self.states), self.n_shards)
+        self._locks = [threading.Lock() for _ in range(self.n_shards)]
+        self._max_workers = max_workers
+        self.on_scan_time = on_scan_time
+        self._position = {id(state): i
+                          for i, state in enumerate(self.states)}
+        self._shard_of = [0] * len(self.states)
+        for shard, (lo, hi) in enumerate(self._bounds):
+            for pos in range(lo, hi):
+                self._shard_of[pos] = shard
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
+
+    # -- sequence protocol (so the view drops in wherever a states list
+    # -- is expected: explain-traces, recovery scans, diagnostics) ---------
+
+    def __len__(self) -> int:
+        return len(self.states)
+
+    def __getitem__(self, index):
+        return self.states[index]
+
+    def __repr__(self) -> str:
+        return (f"ShardedFleet(servers={len(self.states)}, "
+                f"shards={self.n_shards})")
+
+    # -- partition ---------------------------------------------------------
+
+    @property
+    def bounds(self) -> tuple[tuple[int, int], ...]:
+        """The ``[lo, hi)`` fleet-position range of each shard."""
+        return tuple(self._bounds)
+
+    def shard_of(self, position: int) -> int:
+        """The shard owning fleet position ``position``."""
+        return self._shard_of[position]
+
+    def position_of(self, state: "ServerState") -> int:
+        """The fleet position of ``state`` (identity lookup)."""
+        try:
+            return self._position[id(state)]
+        except KeyError:
+            raise ValidationError(
+                f"{state!r} is not part of this fleet") from None
+
+    def lock_for(self, position: int) -> threading.Lock:
+        """The state lock of the shard owning ``position`` — writers
+        (placement commits) take this so shard scans never observe a
+        half-applied mutation."""
+        return self._locks[self._shard_of[position]]
+
+    def scatter(self, sequence: Sequence[tuple[int, "ServerState"]]
+                ) -> list[list[tuple[int, "ServerState"]]]:
+        """Route a scan sequence of ``(ordinal, state)`` pairs to the
+        shard owning each state, preserving the sequence order within
+        every chunk (the property the deterministic fold relies on).
+
+        With one shard there is nothing to route — the sequence *is*
+        the single chunk (membership is not checked on this fast path;
+        a foreign state would be caught by routing at any higher shard
+        count, and the scan itself only ever probes what it is given).
+        """
+        if self.n_shards == 1:
+            return [list(sequence)]
+        chunks: list[list[tuple[int, "ServerState"]]] = \
+            [[] for _ in range(self.n_shards)]
+        position = self._position
+        shard_of = self._shard_of
+        for item in sequence:
+            pos = position.get(id(item[1]))
+            if pos is None:
+                raise ValidationError(
+                    f"scan sequence contains a state outside this fleet: "
+                    f"{item[1]!r}")
+            chunks[shard_of[pos]].append(item)
+        return chunks
+
+    # -- execution ---------------------------------------------------------
+
+    def map_scans(self, fn: Callable[[Sequence[tuple[int, "ServerState"]]],
+                                     _T],
+                  chunks: Sequence[Sequence[tuple[int, "ServerState"]]]
+                  ) -> list[_T]:
+        """Apply ``fn`` to every non-empty chunk, one task per shard.
+
+        Results come back in ascending shard order regardless of
+        completion order — the fold in ``select_sharded`` depends on
+        that. Each task runs inside its shard's state lock and a
+        ``allocator.shard_scan`` tracer span; the scan duration is
+        reported through ``on_scan_time``.
+        """
+        live = [i for i, chunk in enumerate(chunks) if chunk]
+
+        def run(shard: int) -> _T:
+            chunk = chunks[shard]
+            tracer = get_tracer()
+            with tracer.span("allocator.shard_scan", shard=shard,
+                             candidates=len(chunk)):
+                with self._locks[shard]:
+                    started = perf_counter()
+                    result = fn(chunk)
+                    elapsed = perf_counter() - started
+            if self.on_scan_time is not None:
+                self.on_scan_time(elapsed)
+            return result
+
+        if len(live) <= 1 or self._max_workers == 1:
+            return [run(shard) for shard in live]
+        pool = self._ensure_pool()
+        futures = [pool.submit(run, shard) for shard in live]
+        return [future.result() for future in futures]
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self._max_workers or self.n_shards,
+                    thread_name_prefix="repro-shard")
+            return self._pool
+
+    def close(self) -> None:
+        """Shut the scan pool down (idempotent)."""
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ShardedFleet":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

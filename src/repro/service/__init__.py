@@ -6,7 +6,10 @@ long-running daemon ingests a stream of placement requests (JSON lines
 over stdin or TCP), routes each through a registered allocator against
 a mutable :class:`ClusterStateStore`, journals every decision, and
 checkpoints crash-safe snapshots, while a Prometheus endpoint exposes
-fleet power, occupancy and latency. See ``docs/service.md`` and the
+fleet power, occupancy and latency. Protocol v2 adds ``place_batch``
+(a whole batch per round trip, journaled as one group) and the daemon
+fans each feasibility scan out over a sharded fleet view — identical
+placements at any shard count. See ``docs/service.md`` and the
 ``repro serve`` / ``repro client`` CLI commands.
 """
 
@@ -32,9 +35,13 @@ from repro.service.persistence import (
 from repro.service.protocol import (
     OPS,
     PROTOCOL_VERSION,
+    SUPPORTED_VERSIONS,
     encode,
+    negotiate_version,
+    parse_batch_records,
     parse_request,
     parse_response,
+    place_batch_request,
     place_request,
 )
 from repro.service.state import (
@@ -56,11 +63,15 @@ __all__ = [
     "RequestJournal",
     "ServiceMetrics",
     "SNAPSHOT_FORMAT_VERSION",
+    "SUPPORTED_VERSIONS",
     "SnapshotManager",
     "encode",
+    "negotiate_version",
+    "parse_batch_records",
     "parse_exposition",
     "parse_request",
     "parse_response",
+    "place_batch_request",
     "place_request",
     "read_journal",
     "replay_trace",

@@ -21,8 +21,24 @@ newest snapshot plus the journal tail.
 Transports (all stdlib): :func:`serve_stdio` for JSON-lines over
 stdin/stdout, :func:`serve_tcp` for the same framing over TCP, and
 :func:`start_metrics_server` for the Prometheus ``/metrics`` endpoint
-over HTTP. One lock serializes all state mutation, so every transport
-can run concurrently against one daemon.
+over HTTP.
+
+Concurrency model (protocol v2 redesign)
+----------------------------------------
+Mutating operations (``place``, ``place_batch``, ``tick``, plus
+snapshotting and shutdown) serialize on one *commit lock* — placement
+decisions must observe each other's commits, so decision order is the
+wire arrival order. Within a decision the feasibility scan fans out
+over the store's :class:`~repro.placement.sharding.ShardedFleet`; each
+shard's states are guarded by a per-shard lock that scans hold while
+probing and the commit path holds while mutating the chosen server.
+Read-only operations (``stats``, ``metrics``, ``ping``) bypass the
+commit lock entirely — :class:`ServiceMetrics` is internally
+thread-safe and the store's gauges are single reads — so scrapes and
+health checks never queue behind placements. Ingest is *bounded*: at
+most ``max_inflight`` mutating requests may be in flight; beyond that
+the daemon answers ``{"ok": false, "error": "overloaded",
+"retry_after": ...}`` instead of piling up threads.
 """
 
 from __future__ import annotations
@@ -35,16 +51,27 @@ from time import perf_counter
 from typing import IO, Mapping
 
 from repro.allocators.registry import make_allocator
-from repro.exceptions import ReproError, ServiceError, ValidationError
+from repro.exceptions import (
+    ProtocolVersionError,
+    ReproError,
+    ServiceError,
+    ValidationError,
+)
 from repro.obs.explain import ExplainRecorder
 from repro.obs.tracer import get_tracer
+from repro.placement.sharding import ShardedFleet
 from repro.service.metrics import CONTENT_TYPE, ServiceMetrics
 from repro.service.persistence import (
     RequestJournal,
     SnapshotManager,
     read_journal,
 )
-from repro.service.protocol import encode, parse_request
+from repro.service.protocol import (
+    encode,
+    negotiate_version,
+    parse_batch_records,
+    parse_request,
+)
 from repro.service.state import ClusterStateStore, snapshot_meta
 from repro.simulation.admission import offer, shift_request
 from repro.workload.trace import vm_from_record, vm_to_record
@@ -53,6 +80,13 @@ __all__ = ["AllocationDaemon", "DaemonTCPServer", "serve_stdio",
            "serve_tcp", "start_metrics_server"]
 
 JOURNAL_NAME = "journal.jsonl"
+
+#: Operations that mutate cluster state — these take the commit lock
+#: and count against the bounded ingest window.
+MUTATING_OPS = ("place", "place_batch", "tick")
+
+#: Read-only operations served without the commit lock.
+READ_OPS = ("stats", "metrics", "ping")
 
 
 class AllocationDaemon:
@@ -81,6 +115,19 @@ class AllocationDaemon:
         periodic snapshots; a final one is still written on shutdown).
     fsync:
         Whether the journal fsyncs each entry (disable only in tests).
+    shards:
+        Partition count of the fleet's
+        :class:`~repro.placement.sharding.ShardedFleet`; every
+        placement's feasibility scan fans out across the shards
+        (``repro serve --shards``). The reduction is deterministic, so
+        any shard count yields identical placements.
+    max_workers:
+        Thread-pool width for the shard scans (defaults to the shard
+        count; ``repro serve --workers``).
+    max_inflight:
+        Bounded ingest: at most this many mutating requests in flight
+        before the daemon answers ``overloaded`` with a ``retry_after``
+        hint. ``0`` disables the bound.
     """
 
     def __init__(self, store: ClusterStateStore, *,
@@ -88,6 +135,8 @@ class AllocationDaemon:
                  algo_params: Mapping[str, object] | None = None,
                  max_delay: int = 0, data_dir: str | Path | None = None,
                  snapshot_every: int = 100, fsync: bool = True,
+                 shards: int = 1, max_workers: int | None = None,
+                 max_inflight: int = 64,
                  _restored_seq: int | None = None) -> None:
         if max_delay < 0:
             raise ValidationError(
@@ -95,12 +144,19 @@ class AllocationDaemon:
         if snapshot_every < 0:
             raise ValidationError(
                 f"snapshot_every must be >= 0, got {snapshot_every}")
+        if shards < 1:
+            raise ValidationError(f"shards must be >= 1, got {shards}")
+        if max_inflight < 0:
+            raise ValidationError(
+                f"max_inflight must be >= 0, got {max_inflight}")
         self.store = store
         algo_params = dict(algo_params or {})
         self.config = {"algorithm": algorithm, "seed": seed,
                        "algo_params": algo_params,
                        "max_delay": max_delay,
-                       "snapshot_every": snapshot_every}
+                       "snapshot_every": snapshot_every,
+                       "shards": shards,
+                       "max_inflight": max_inflight}
         # Explicit --algo-param values win over the daemon-level defaults.
         params: dict[str, object] = {"seed": seed, "policy": store.policy,
                                      **algo_params}
@@ -108,8 +164,15 @@ class AllocationDaemon:
         self.allocator.prepare(store.states)
         self.metrics = ServiceMetrics()
         self.metrics.register_algorithm(algorithm)
+        self.fleet = ShardedFleet(
+            store.states, shards=shards, max_workers=max_workers,
+            on_scan_time=self.metrics.observe_shard_scan)
         self.closed = False
-        self._lock = threading.Lock()
+        #: Serializes placement decisions and state mutation; read-only
+        #: ops (stats/metrics/ping) never take it.
+        self._commit_lock = threading.Lock()
+        self._ingest = threading.BoundedSemaphore(max_inflight) \
+            if max_inflight > 0 else None
         self._placed_since_snapshot = 0
         self._shutdown_hooks: list = []
         self.journal: RequestJournal | None = None
@@ -191,6 +254,8 @@ class AllocationDaemon:
             algo_params=algo_params,
             max_delay=int(config.get("max_delay", 0)),
             snapshot_every=int(config.get("snapshot_every", 100)),
+            shards=int(config.get("shards", 1)),
+            max_inflight=int(config.get("max_inflight", 64)),
             data_dir=data_dir, fsync=fsync, _restored_seq=covered)
         counters = meta.get("counters")
         if isinstance(counters, Mapping):
@@ -209,8 +274,17 @@ class AllocationDaemon:
             if now > self.store.clock:
                 self.store.advance_to(now)
             return
+        if op == "place_batch":
+            # One journal group per batch: replay its decisions in the
+            # order they were committed, restoring the state bit-exact.
+            for sub in entry["decisions"]:
+                self._replay_place(sub)
+            return
         if op != "place":
             raise ValidationError(f"unknown journal entry op {op!r}")
+        self._replay_place(entry)
+
+    def _replay_place(self, entry: Mapping[str, object]) -> None:
         vm = vm_from_record(entry["vm"])
         if vm.start > self.store.clock:
             self.store.advance_to(vm.start)
@@ -232,22 +306,60 @@ class AllocationDaemon:
                 try:
                     message = parse_request(line)
                 except ServiceError as exc:
-                    with self._lock:
-                        self.metrics.observe_error()
-                    return encode({"ok": False, "error": str(exc)})
+                    self.metrics.observe_error()
+                    payload: dict[str, object] = {"ok": False,
+                                                  "error": str(exc)}
+                    if isinstance(exc, ProtocolVersionError):
+                        payload["supported_versions"] = list(exc.supported)
+                    return encode(payload)
             response = self.handle(message)
             with tracer.span("service.respond"):
                 return encode(response)
 
     def handle(self, message: Mapping[str, object]) -> dict[str, object]:
-        """Serve one parsed request; never raises on domain errors."""
+        """Serve one parsed request; never raises on domain errors.
+
+        Responses echo the request's ``"v"`` field when one was sent
+        (v1 clients that omit it keep getting byte-identical replies).
+        """
         op = message.get("op")
-        with self._lock:
-            try:
+        try:
+            negotiate_version(message)
+        except ProtocolVersionError as exc:
+            self.metrics.observe_error()
+            return {"ok": False, "op": op, "error": str(exc),
+                    "supported_versions": list(exc.supported)}
+        response = self._guarded(op, message)
+        if "v" in message:
+            response.setdefault("v", message["v"])
+        return response
+
+    def _guarded(self, op: object,
+                 message: Mapping[str, object]) -> dict[str, object]:
+        """Apply the ingest bound, route to the right lock, dispatch."""
+        gate = self._ingest if op in MUTATING_OPS else None
+        if gate is not None and not gate.acquire(blocking=False):
+            self.metrics.observe_overload()
+            return {"ok": False, "op": op, "error": "overloaded",
+                    "retry_after": self._retry_after()}
+        try:
+            if op in READ_OPS and not self.closed:
                 return self._dispatch(op, message)
-            except ReproError as exc:
-                self.metrics.observe_error()
-                return {"ok": False, "op": op, "error": str(exc)}
+            with self._commit_lock:
+                return self._dispatch(op, message)
+        except ReproError as exc:
+            self.metrics.observe_error()
+            return {"ok": False, "op": op, "error": str(exc)}
+        finally:
+            if gate is not None:
+                gate.release()
+
+    def _retry_after(self) -> float:
+        """A resend hint under overload: the observed median decision
+        latency scaled by the inflight window, clamped to a sane range."""
+        p50 = self.metrics.latency.quantile(0.5) or 0.001
+        window = int(self.config["max_inflight"]) or 1
+        return round(min(5.0, max(0.01, p50 * window)), 4)
 
     def _dispatch(self, op: object,
                   message: Mapping[str, object]) -> dict[str, object]:
@@ -255,6 +367,8 @@ class AllocationDaemon:
             raise ServiceError("daemon is shut down")
         if op == "place":
             return self._handle_place(message)
+        if op == "place_batch":
+            return self._handle_place_batch(message)
         if op == "tick":
             return self._handle_tick(message)
         if op == "stats":
@@ -296,7 +410,7 @@ class AllocationDaemon:
                     self.store.advance_to(vm.start)
             with tracer.span("service.allocate",
                              algorithm=str(self.config["algorithm"])):
-                decision = offer(vm, self.store.states, self.allocator,
+                decision = offer(vm, self.fleet, self.allocator,
                                  max_delay=int(self.config["max_delay"]),
                                  recorder=recorder)
             response: dict[str, object] = {"ok": True, "op": "place",
@@ -308,7 +422,8 @@ class AllocationDaemon:
             else:
                 server_id = decision.state.server.server_id
                 with tracer.span("service.commit", server_id=server_id):
-                    delta = self.store.commit(decision.vm, server_id)
+                    with self.fleet.lock_for(server_id):
+                        delta = self.store.commit(decision.vm, server_id)
                 response.update(decision="placed", server_id=server_id,
                                 delay=decision.delay, energy_delta=delta)
                 entry.update(decision="placed", server_id=server_id,
@@ -330,6 +445,93 @@ class AllocationDaemon:
             if response["decision"] == "placed":
                 self._maybe_snapshot()
         return response
+
+    def _handle_place_batch(self, message: Mapping[str, object]
+                            ) -> dict[str, object]:
+        vms = message.get("_vms")
+        if vms is None:  # direct dict call without parse_request
+            vms = parse_batch_records(message.get("vms"))
+        # Whole-batch validation before any mutation: a duplicate vm_id
+        # (within the batch or against committed placements) would fail
+        # mid-batch and tear the journal group, so reject it up front.
+        seen: set[int] = set()
+        for vm in vms:
+            if vm.vm_id in seen:
+                raise ServiceError(
+                    f"place_batch carries vm_id {vm.vm_id} twice")
+            seen.add(vm.vm_id)
+            if self.store.is_placed(vm.vm_id):
+                raise ServiceError(
+                    f"vm_id {vm.vm_id} is already placed")
+        tracer = get_tracer()
+        started = perf_counter()
+        algorithm = str(self.config["algorithm"])
+        max_delay = int(self.config["max_delay"])
+        # Batch decisions follow the paper's online order (start, end,
+        # id) — the same sequence the VMs would take as individual
+        # requests — while the response maps back to request order.
+        order = sorted(range(len(vms)),
+                       key=lambda i: (vms[i].start, vms[i].end,
+                                      vms[i].vm_id))
+        results: list[dict[str, object] | None] = [None] * len(vms)
+        # Journal entries are only materialized when there is a journal
+        # — building per-VM records for an in-memory daemon would eat
+        # the round-trip savings batching exists to provide.
+        entries: list[dict[str, object]] | None = \
+            [] if self.journal is not None else None
+        total_delta = 0.0
+        placed = delayed = 0
+        with tracer.span("service.place_batch", batch=len(vms)) as span:
+            self.metrics.observe_batch(len(vms))
+            for i in order:
+                vm = vms[i]
+                if vm.start > self.store.clock:
+                    self.store.advance_to(vm.start)
+                item_started = perf_counter()
+                decision = offer(vm, self.fleet, self.allocator,
+                                 max_delay=max_delay)
+                item: dict[str, object] = {"vm_id": vm.vm_id}
+                if decision is None:
+                    item.update(decision="rejected", server_id=None,
+                                delay=0, energy_delta=0.0)
+                else:
+                    server_id = decision.state.server.server_id
+                    with self.fleet.lock_for(server_id):
+                        delta = self.store.commit(decision.vm, server_id)
+                    item.update(decision="placed", server_id=server_id,
+                                delay=decision.delay, energy_delta=delta)
+                    total_delta += delta
+                    placed += 1
+                    if decision.delay:
+                        delayed += 1
+                if entries is not None:
+                    entry: dict[str, object] = {"vm": vm_to_record(vm),
+                                                "decision":
+                                                    item["decision"]}
+                    if decision is not None:
+                        entry.update(
+                            server_id=item["server_id"],
+                            delay=item["delay"])
+                    entries.append(entry)
+                results[i] = item
+                self.metrics.observe_item(
+                    perf_counter() - item_started,
+                    candidates=self.allocator.candidates_feasible)
+            self.metrics.observe_batch_outcome(
+                placed=placed, rejected=len(vms) - placed,
+                delayed=delayed, algorithm=algorithm)
+            span.set(placed=placed)
+            if entries:
+                with tracer.span("service.journal"):
+                    self.journal.append({"op": "place_batch",
+                                         "decisions": entries})
+            self._placed_since_snapshot += placed
+            if placed:
+                self._maybe_snapshot()
+        return {"ok": True, "op": "place_batch", "count": len(vms),
+                "placed": placed, "rejected": len(vms) - placed,
+                "decisions": results, "energy_delta": total_delta,
+                "latency_ms": (perf_counter() - started) * 1e3}
 
     def _handle_tick(self, message: Mapping[str, object]
                      ) -> dict[str, object]:
@@ -367,6 +569,7 @@ class AllocationDaemon:
         if self.journal is not None:
             self.journal.close()
         self.closed = True
+        self.fleet.close()
         for hook in self._shutdown_hooks:
             hook()
         return {"ok": True, "op": "shutdown", "clock": self.store.clock}
@@ -376,9 +579,9 @@ class AllocationDaemon:
         self._shutdown_hooks.append(hook)
 
     def render_metrics(self) -> str:
-        """The Prometheus text page (thread-safe)."""
-        with self._lock:
-            return self.metrics.render(self.store)
+        """The Prometheus text page (``ServiceMetrics`` is internally
+        thread-safe, so scrapes never queue behind placements)."""
+        return self.metrics.render(self.store)
 
 
 # -- transports -------------------------------------------------------------

@@ -14,6 +14,13 @@ The exposition follows the Prometheus text format, version 0.0.4:
 sample lines, one metric family per block; histograms expose the
 cumulative ``_bucket`` series (ending in ``le="+Inf"``), ``_sum`` and
 ``_count``.
+
+Thread safety: every family guards its own mutation — the reservoir
+and each histogram carry a lock, and :class:`ServiceMetrics` holds one
+more for the scalar counters — so concurrent recorders (the daemon's
+per-connection threads and the shard-scan pool) never lose increments,
+and ``render()`` reads a consistent snapshot of each family without a
+daemon-wide lock.
 """
 
 from __future__ import annotations
@@ -21,6 +28,7 @@ from __future__ import annotations
 import bisect
 import math
 import re
+import threading
 from typing import TYPE_CHECKING, Mapping, Sequence
 
 from repro.exceptions import ValidationError
@@ -30,7 +38,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
 
 __all__ = ["LatencyReservoir", "Histogram", "ServiceMetrics",
            "CONTENT_TYPE", "parse_exposition", "escape_label_value",
-           "LATENCY_BUCKETS", "CANDIDATE_BUCKETS"]
+           "LATENCY_BUCKETS", "CANDIDATE_BUCKETS", "BATCH_BUCKETS",
+           "SHARD_SCAN_BUCKETS"]
 
 #: The HTTP Content-Type of the text exposition format.
 CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
@@ -45,6 +54,14 @@ LATENCY_BUCKETS = (0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
 CANDIDATE_BUCKETS = (0.0, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0,
                      500.0)
 
+#: Default bucket bounds of the ``place_batch`` batch-size histogram.
+BATCH_BUCKETS = (1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0,
+                 1000.0)
+
+#: Default bucket bounds (seconds) of the shard-scan-time histogram.
+SHARD_SCAN_BUCKETS = (0.00001, 0.000025, 0.00005, 0.0001, 0.00025,
+                      0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05)
+
 
 class LatencyReservoir:
     """A bounded sliding window of latency samples with quantile reads."""
@@ -56,17 +73,19 @@ class LatencyReservoir:
         self._capacity = capacity
         self._samples: list[float] = []
         self._next = 0
+        self._lock = threading.Lock()
         self.count = 0
         self.total = 0.0
 
     def observe(self, seconds: float) -> None:
-        self.count += 1
-        self.total += seconds
-        if len(self._samples) < self._capacity:
-            self._samples.append(seconds)
-        else:  # overwrite round-robin: keep the most recent window
-            self._samples[self._next] = seconds
-            self._next = (self._next + 1) % self._capacity
+        with self._lock:
+            self.count += 1
+            self.total += seconds
+            if len(self._samples) < self._capacity:
+                self._samples.append(seconds)
+            else:  # overwrite round-robin: keep the most recent window
+                self._samples[self._next] = seconds
+                self._next = (self._next + 1) % self._capacity
 
     def quantile(self, q: float) -> float:
         """The q-quantile of the window, by the nearest-rank definition.
@@ -80,9 +99,10 @@ class LatencyReservoir:
         """
         if not 0.0 <= q <= 1.0:
             raise ValidationError(f"quantile must be in [0, 1], got {q}")
-        if not self._samples:
+        with self._lock:
+            ordered = sorted(self._samples)
+        if not ordered:
             return 0.0
-        ordered = sorted(self._samples)
         rank = min(len(ordered), max(1, math.ceil(q * len(ordered))))
         return ordered[rank - 1]
 
@@ -108,25 +128,35 @@ class Histogram:
                 "histogram bounds must be finite (+Inf is implicit)")
         self.bounds = cleaned
         self._counts = [0] * len(cleaned)
+        self._lock = threading.Lock()
         self.count = 0
         self.sum = 0.0
 
     def observe(self, value: float) -> None:
         index = bisect.bisect_left(self.bounds, value)
-        if index < len(self._counts):
-            self._counts[index] += 1
-        self.count += 1
-        self.sum += value
+        with self._lock:
+            if index < len(self._counts):
+                self._counts[index] += 1
+            self.count += 1
+            self.sum += value
 
     def cumulative(self) -> list[tuple[float, int]]:
         """(bound, cumulative count) pairs, ending with ``(inf, count)``."""
+        pairs, _, _ = self.snapshot()
+        return pairs
+
+    def snapshot(self) -> tuple[list[tuple[float, int]], float, int]:
+        """One consistent read: (cumulative pairs, sum, count)."""
+        with self._lock:
+            counts = list(self._counts)
+            total, count = self.sum, self.count
         pairs: list[tuple[float, int]] = []
         running = 0
-        for bound, count in zip(self.bounds, self._counts):
-            running += count
+        for bound, bucket in zip(self.bounds, counts):
+            running += bucket
             pairs.append((bound, running))
-        pairs.append((math.inf, self.count))
-        return pairs
+        pairs.append((math.inf, count))
+        return pairs, total, count
 
 
 class ServiceMetrics:
@@ -137,34 +167,74 @@ class ServiceMetrics:
         self.requests = {decision: 0 for decision in _DECISIONS}
         self.delayed = 0
         self.errors = 0
+        self.overloaded = 0
         self.latency = LatencyReservoir()
         self.latency_hist = Histogram(LATENCY_BUCKETS)
         self.candidates = Histogram(CANDIDATE_BUCKETS)
+        self.batch_size = Histogram(BATCH_BUCKETS)
+        self.shard_scan = Histogram(SHARD_SCAN_BUCKETS)
         #: (algorithm, decision) -> count; the labelled twin of
         #: ``requests`` once an algorithm is registered.
         self.decisions: dict[tuple[str, str], int] = {}
+        #: guards the scalar counters above (each histogram family and
+        #: the reservoir carry their own lock).
+        self._lock = threading.Lock()
 
     def register_algorithm(self, algorithm: str) -> None:
         """Pre-seed the labelled decision counters at zero, so scrapes
         see the full family from the first request on."""
-        for decision in _DECISIONS:
-            self.decisions.setdefault((algorithm, decision), 0)
+        with self._lock:
+            for decision in _DECISIONS:
+                self.decisions.setdefault((algorithm, decision), 0)
 
     def observe_request(self, decision: str, latency_seconds: float,
                         delay: int = 0, *, algorithm: str | None = None,
                         candidates: int | None = None) -> None:
         if decision not in self.requests:
             raise ValidationError(f"unknown decision {decision!r}")
-        self.requests[decision] += 1
-        if delay:
-            self.delayed += 1
+        with self._lock:
+            self.requests[decision] += 1
+            if delay:
+                self.delayed += 1
+            if algorithm is not None:
+                key = (algorithm, decision)
+                self.decisions[key] = self.decisions.get(key, 0) + 1
         self.latency.observe(latency_seconds)
         self.latency_hist.observe(latency_seconds)
         if candidates is not None:
             self.candidates.observe(float(candidates))
-        if algorithm is not None:
-            key = (algorithm, decision)
-            self.decisions[key] = self.decisions.get(key, 0) + 1
+
+    def observe_item(self, latency_seconds: float, *,
+                     candidates: int | None = None) -> None:
+        """Record one batch item's latency/candidate samples.
+
+        The scalar decision counters are deliberately *not* touched here
+        — ``place_batch`` updates them in one
+        :meth:`observe_batch_outcome` call per batch, so a 1000-VM batch
+        takes the counter lock once instead of a thousand times.
+        """
+        self.latency.observe(latency_seconds)
+        self.latency_hist.observe(latency_seconds)
+        if candidates is not None:
+            self.candidates.observe(float(candidates))
+
+    def observe_batch_outcome(self, *, placed: int, rejected: int,
+                              delayed: int = 0,
+                              algorithm: str | None = None) -> None:
+        """Bulk-update the decision counters for one batch under a
+        single lock acquisition (the counter twin of
+        :meth:`observe_item`)."""
+        with self._lock:
+            self.requests["placed"] += placed
+            self.requests["rejected"] += rejected
+            self.delayed += delayed
+            if algorithm is not None:
+                for decision, n in (("placed", placed),
+                                    ("rejected", rejected)):
+                    if n:
+                        key = (algorithm, decision)
+                        self.decisions[key] = \
+                            self.decisions.get(key, 0) + n
 
     def observe_replayed(self, decision: str, delay: int = 0, *,
                          algorithm: str | None = None) -> None:
@@ -172,43 +242,67 @@ class ServiceMetrics:
         — the original timing is gone)."""
         if decision not in self.requests:
             raise ValidationError(f"unknown decision {decision!r}")
-        self.requests[decision] += 1
-        if delay:
-            self.delayed += 1
-        if algorithm is not None:
-            key = (algorithm, decision)
-            self.decisions[key] = self.decisions.get(key, 0) + 1
+        with self._lock:
+            self.requests[decision] += 1
+            if delay:
+                self.delayed += 1
+            if algorithm is not None:
+                key = (algorithm, decision)
+                self.decisions[key] = self.decisions.get(key, 0) + 1
 
     def observe_error(self) -> None:
-        self.errors += 1
+        with self._lock:
+            self.errors += 1
+
+    def observe_overload(self) -> None:
+        """Count one request shed by the bounded ingest queue."""
+        with self._lock:
+            self.overloaded += 1
+
+    def observe_batch(self, size: int) -> None:
+        """Record one ``place_batch`` request's batch size."""
+        self.batch_size.observe(float(size))
+
+    def observe_shard_scan(self, seconds: float) -> None:
+        """Record one shard scan's wall-clock duration."""
+        self.shard_scan.observe(seconds)
 
     # -- persistence (latency/candidate windows are not restorable) --------
 
     def to_meta(self) -> dict[str, object]:
-        return {"requests": dict(self.requests), "delayed": self.delayed,
-                "errors": self.errors,
-                "decisions": {f"{algorithm}\t{decision}": count
-                              for (algorithm, decision), count
-                              in self.decisions.items()}}
+        with self._lock:
+            return {"requests": dict(self.requests),
+                    "delayed": self.delayed, "errors": self.errors,
+                    "overloaded": self.overloaded,
+                    "decisions": {f"{algorithm}\t{decision}": count
+                                  for (algorithm, decision), count
+                                  in self.decisions.items()}}
 
     def restore_meta(self, meta: Mapping[str, object]) -> None:
-        requests = meta.get("requests")
-        if isinstance(requests, Mapping):
-            for decision in _DECISIONS:
-                self.requests[decision] = int(requests.get(decision, 0))
-        self.delayed = int(meta.get("delayed", 0))
-        self.errors = int(meta.get("errors", 0))
-        decisions = meta.get("decisions")
-        if isinstance(decisions, Mapping):
-            for key, count in decisions.items():
-                algorithm, _, decision = str(key).partition("\t")
-                self.decisions[(algorithm, decision)] = int(count)
+        with self._lock:
+            requests = meta.get("requests")
+            if isinstance(requests, Mapping):
+                for decision in _DECISIONS:
+                    self.requests[decision] = int(requests.get(decision, 0))
+            self.delayed = int(meta.get("delayed", 0))
+            self.errors = int(meta.get("errors", 0))
+            self.overloaded = int(meta.get("overloaded", 0))
+            decisions = meta.get("decisions")
+            if isinstance(decisions, Mapping):
+                for key, count in decisions.items():
+                    algorithm, _, decision = str(key).partition("\t")
+                    self.decisions[(algorithm, decision)] = int(count)
 
     # -- exposition --------------------------------------------------------
 
     def render(self, store: "ClusterStateStore") -> str:
         """The full Prometheus text page for this daemon."""
         telemetry = store.telemetry()
+        with self._lock:
+            requests = dict(self.requests)
+            decisions = sorted(self.decisions.items())
+            delayed, errors = self.delayed, self.errors
+            overloaded = self.overloaded
         lines: list[str] = []
 
         def family(name: str, kind: str, help_text: str,
@@ -220,31 +314,34 @@ class ServiceMetrics:
 
         def hist_family(name: str, help_text: str,
                         hist: Histogram) -> None:
+            pairs, total, count = hist.snapshot()
             lines.append(f"# HELP {name} {help_text}")
             lines.append(f"# TYPE {name} histogram")
-            for bound, cumulative in hist.cumulative():
+            for bound, cumulative in pairs:
                 le = "+Inf" if math.isinf(bound) else f"{bound:.10g}"
                 lines.append(f'{name}_bucket{{le="{le}"}} {cumulative}')
-            lines.append(f"{name}_sum {hist.sum:.10g}")
-            lines.append(f"{name}_count {hist.count}")
+            lines.append(f"{name}_sum {total:.10g}")
+            lines.append(f"{name}_count {count}")
 
         family("repro_requests_total", "counter",
                "Placement requests by final decision.",
                [(f'{{decision="{escape_label_value(d)}"}}',
-                 float(self.requests[d])) for d in _DECISIONS])
+                 float(requests[d])) for d in _DECISIONS])
         family("repro_decisions_total", "counter",
                "Placement decisions by algorithm and outcome.",
                [(f'{{algorithm="{escape_label_value(algorithm)}",'
                  f'decision="{escape_label_value(decision)}"}}',
                  float(count))
-                for (algorithm, decision), count
-                in sorted(self.decisions.items())])
+                for (algorithm, decision), count in decisions])
         family("repro_requests_delayed_total", "counter",
                "Requests admitted only after a queueing delay.",
-               [("", float(self.delayed))])
+               [("", float(delayed))])
         family("repro_request_errors_total", "counter",
                "Malformed or unserviceable protocol requests.",
-               [("", float(self.errors))])
+               [("", float(errors))])
+        family("repro_requests_overloaded_total", "counter",
+               "Requests shed by the bounded ingest queue.",
+               [("", float(overloaded))])
         family("repro_placement_latency_seconds", "summary",
                "Service-side latency of placement decisions.",
                [('{quantile="0.5"}', self.latency.quantile(0.5)),
@@ -257,6 +354,12 @@ class ServiceMetrics:
         hist_family("repro_placement_candidates",
                     "Histogram of feasible candidate servers per placement "
                     "decision.", self.candidates)
+        hist_family("repro_batch_size",
+                    "Histogram of VM counts per place_batch request.",
+                    self.batch_size)
+        hist_family("repro_shard_scan_seconds",
+                    "Histogram of per-shard candidate scan durations.",
+                    self.shard_scan)
         family("repro_fleet_power_watts", "gauge",
                "Instantaneous fleet power draw (Eq. 1).",
                [("", store.fleet_power())])

@@ -7,6 +7,19 @@ false). The VM payload of a ``place`` request uses the canonical trace
 record shape (:func:`repro.workload.trace.vm_to_record`), so a saved
 trace streams to a daemon without translation.
 
+Versioning
+----------
+A request may carry ``"v"``; absent means version 1, so every v1 client
+keeps working byte-for-byte. The daemon speaks
+:data:`SUPPORTED_VERSIONS` and echoes ``"v"`` back on every response to
+a versioned request. A version outside that tuple (or a non-integer
+``v``) is answered with a structured error::
+
+    {"ok": false, "error": "...", "supported_versions": [1, 2]}
+
+so clients can renegotiate instead of guessing. Version 2 adds the
+``place_batch`` operation; everything in version 1 is unchanged.
+
 Operations
 ----------
 ``place``
@@ -19,6 +32,14 @@ Operations
     carries ``explanation`` — the serialized
     :class:`~repro.obs.explain.PlacementExplanation` listing every
     candidate server with its feasibility verdict and cost terms.
+``place_batch`` (v2)
+    ``{"op": "place_batch", "v": 2, "vms": [record, ...]}`` — place a
+    whole batch in one round trip. The response carries ``decisions``
+    (one object per VM, *in request order*, each with ``vm_id``,
+    ``decision``, and for placements ``server_id``/``delay``/
+    ``energy_delta``), the aggregate ``energy_delta``, and ``placed``/
+    ``count`` totals. The daemon journals the batch as one group, so a
+    restore replays it atomically and bit-exact.
 ``tick``
     ``{"op": "tick", "now": T}`` — advance the cluster clock to ``T``,
     retiring expired VMs and powering down idle servers.
@@ -31,25 +52,36 @@ Operations
     Force a checkpoint now; responds with the snapshot path.
 ``ping`` / ``shutdown``
     Liveness probe / orderly stop (final snapshot, journal close).
+
+Backpressure: when the daemon's bounded ingest queue is full, mutating
+operations are answered with ``{"ok": false, "error": "overloaded",
+"retry_after": seconds}`` instead of queueing without bound; clients
+should wait ``retry_after`` and resend.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Mapping
+from typing import Iterable, Mapping
 
-from repro.exceptions import ServiceError
+from repro.exceptions import ProtocolVersionError, ServiceError
 from repro.model.vm import VM
 from repro.workload.trace import vm_from_record, vm_to_record
 
-__all__ = ["PROTOCOL_VERSION", "OPS", "parse_request", "parse_response",
-           "encode", "place_request", "vm_to_record", "vm_from_record"]
+__all__ = ["PROTOCOL_VERSION", "SUPPORTED_VERSIONS", "OPS",
+           "negotiate_version", "parse_request", "parse_response",
+           "encode", "place_request", "place_batch_request",
+           "vm_to_record", "vm_from_record"]
 
-#: Bumped on incompatible wire changes; daemons reject newer requests.
-PROTOCOL_VERSION = 1
+#: The newest protocol version this build speaks.
+PROTOCOL_VERSION = 2
 
-#: Every operation the daemon understands.
-OPS = ("place", "tick", "stats", "metrics", "snapshot", "ping", "shutdown")
+#: Every version the daemon accepts; requests without ``"v"`` are v1.
+SUPPORTED_VERSIONS = (1, 2)
+
+#: Every operation the daemon understands (``place_batch`` needs v2).
+OPS = ("place", "place_batch", "tick", "stats", "metrics", "snapshot",
+       "ping", "shutdown")
 
 
 def encode(message: Mapping[str, object]) -> str:
@@ -65,11 +97,41 @@ def place_request(vm: VM, *, explain: bool = False) -> dict[str, object]:
     return request
 
 
+def place_batch_request(vms: Iterable[VM]) -> dict[str, object]:
+    """The v2 ``place_batch`` request for a whole batch of VMs."""
+    return {"op": "place_batch", "v": PROTOCOL_VERSION,
+            "vms": [vm_to_record(vm) for vm in vms]}
+
+
+def negotiate_version(message: Mapping[str, object]) -> int:
+    """The effective protocol version of one request.
+
+    A missing ``"v"`` means version 1 (pre-versioning clients).
+
+    Raises
+    ------
+    ProtocolVersionError
+        When ``v`` is not an integer in :data:`SUPPORTED_VERSIONS`; the
+        exception carries the supported tuple for the structured error
+        response.
+    """
+    version = message.get("v", 1)
+    if isinstance(version, bool) or not isinstance(version, int) \
+            or version not in SUPPORTED_VERSIONS:
+        raise ProtocolVersionError(
+            f"unsupported protocol version {version!r}; this daemon "
+            f"speaks versions {list(SUPPORTED_VERSIONS)}",
+            version=version, supported=SUPPORTED_VERSIONS)
+    return version
+
+
 def parse_request(line: str) -> dict[str, object]:
     """Decode and validate one request line.
 
     Raises :class:`ServiceError` on malformed JSON, a non-object
-    payload, an unknown ``op``, or an unsupported protocol version.
+    payload, an unknown ``op``, or (as the
+    :class:`~repro.exceptions.ProtocolVersionError` subclass) an
+    unsupported protocol version.
     """
     try:
         message = json.loads(line)
@@ -78,11 +140,7 @@ def parse_request(line: str) -> dict[str, object]:
     if not isinstance(message, dict):
         raise ServiceError(
             f"request must be a JSON object, got {type(message).__name__}")
-    version = message.get("v", PROTOCOL_VERSION)
-    if version != PROTOCOL_VERSION:
-        raise ServiceError(
-            f"unsupported protocol version {version!r} "
-            f"(this daemon speaks {PROTOCOL_VERSION})")
+    version = negotiate_version(message)
     op = message.get("op")
     if op not in OPS:
         raise ServiceError(f"unknown op {op!r}; supported: {OPS}")
@@ -98,6 +156,11 @@ def parse_request(line: str) -> dict[str, object]:
             raise ServiceError(
                 f"place request field 'explain' must be a boolean, "
                 f"got {message.get('explain')!r}")
+    elif op == "place_batch":
+        if version < 2:
+            raise ServiceError(
+                'place_batch requires protocol version 2; send "v": 2')
+        message["_vms"] = parse_batch_records(message.get("vms"))
     elif op == "tick":
         now = message.get("now")
         if isinstance(now, bool) or not isinstance(now, int) or now < 0:
@@ -105,6 +168,25 @@ def parse_request(line: str) -> dict[str, object]:
                 f"tick request needs a non-negative integer 'now', "
                 f"got {message.get('now')!r}")
     return message
+
+
+def parse_batch_records(records: object) -> list[VM]:
+    """Validate and decode the ``vms`` array of a ``place_batch``."""
+    if not isinstance(records, list):
+        raise ServiceError(
+            f"place_batch request needs a 'vms' array, got "
+            f"{type(records).__name__}")
+    vms: list[VM] = []
+    for position, record in enumerate(records):
+        if not isinstance(record, dict):
+            raise ServiceError(
+                f"place_batch vms[{position}] must be a VM record object")
+        try:
+            vms.append(vm_from_record(record))
+        except (TypeError, KeyError, ValueError) as exc:
+            raise ServiceError(
+                f"malformed vm record at vms[{position}]: {exc}") from exc
+    return vms
 
 
 def parse_response(line: str) -> dict[str, object]:

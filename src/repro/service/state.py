@@ -222,6 +222,12 @@ class ClusterStateStore:
         """Every committed (vm, server_id) pair in commit order."""
         return tuple(self._placements)
 
+    def is_placed(self, vm_id: int) -> bool:
+        """Whether a VM with this id has already been committed (the
+        service's batch pre-validation uses this to reject duplicate
+        ids before mutating anything)."""
+        return vm_id in self._vm_ids
+
     def allocation(self) -> Allocation:
         """The committed placements as an :class:`Allocation`."""
         return Allocation(self.cluster,

@@ -8,11 +8,122 @@ import pytest
 
 import repro
 
+#: The pinned top-level surface. Adding a name is a deliberate API
+#: decision — update this list in the same change; removing one is a
+#: breaking change.
+EXPECTED_ALL = [
+    "Allocator",
+    "BestFit",
+    "Decision",
+    "FirstFit",
+    "FirstFitPowerSaving",
+    "MinIncrementalEnergy",
+    "PowerAwareFirstFit",
+    "RandomFit",
+    "RoundRobin",
+    "WorstFit",
+    "allocator_names",
+    "make_allocator",
+    "CostBreakdown",
+    "EnergyReport",
+    "SleepPolicy",
+    "allocation_cost",
+    "energy_report",
+    "run_energy",
+    "AllocationError",
+    "AllocatorConfigError",
+    "CapacityError",
+    "ProtocolVersionError",
+    "ReproError",
+    "ServiceError",
+    "SimulationError",
+    "SolverError",
+    "ValidationError",
+    "CandidateIndex",
+    "DenseOccupancy",
+    "Feasibility",
+    "ShardedFleet",
+    "SkylineOccupancy",
+    "ScenarioConfig",
+    "compare_averaged",
+    "EpochConsolidator",
+    "LongestFirstMinEnergy",
+    "OfflineMinEnergy",
+    "SuperlinearPowerModel",
+    "evaluate_under_model",
+    "RecedingHorizonSolver",
+    "solve_ilp",
+    "solve_relaxation",
+    "concurrency_profile",
+    "conflict_graph",
+    "energy_lower_bound",
+    "energy_reduction_ratio",
+    "linear_fit",
+    "logarithmic_fit",
+    "utilization_stats",
+    "VM",
+    "DemandPhase",
+    "PhasedVM",
+    "Allocation",
+    "Cluster",
+    "PlacementConstraints",
+    "Server",
+    "ServerSpec",
+    "TimeInterval",
+    "VMSpec",
+    "server_type",
+    "vm_type",
+    "CandidateVerdict",
+    "CostTerms",
+    "ExplainRecorder",
+    "PlacementExplanation",
+    "Tracer",
+    "format_decision_table",
+    "get_tracer",
+    "set_tracer",
+    "to_chrome_trace",
+    "use_tracer",
+    "write_chrome_trace",
+    "AllocationDaemon",
+    "ClusterStateStore",
+    "DaemonClient",
+    "ReplaySummary",
+    "SUPPORTED_VERSIONS",
+    "place_batch_request",
+    "replay_trace",
+    "SimulationEngine",
+    "simulate_online",
+    "BurstyWorkload",
+    "DiurnalWorkload",
+    "HeavyTailWorkload",
+    "PhasedWorkload",
+    "PoissonWorkload",
+    "Trace",
+    "generate_vms",
+    "__version__",
+]
+
 
 class TestExports:
     def test_all_names_resolve(self):
         for name in repro.__all__:
             assert hasattr(repro, name), f"repro.{name} missing"
+
+    def test_all_is_pinned(self):
+        """The exact export surface, so additions and removals are
+        deliberate (reviewed here) rather than accidental."""
+        assert sorted(repro.__all__) == sorted(EXPECTED_ALL)
+        assert len(set(repro.__all__)) == len(repro.__all__)
+
+    def test_service_batch_surface_pinned(self):
+        import repro.service as service
+
+        for name in ("place_batch_request", "SUPPORTED_VERSIONS",
+                     "negotiate_version", "parse_batch_records",
+                     "PROTOCOL_VERSION"):
+            assert name in service.__all__, name
+            assert hasattr(service, name), name
+        assert service.PROTOCOL_VERSION in service.SUPPORTED_VERSIONS
 
     def test_version(self):
         assert repro.__version__ == "1.0.0"
@@ -77,6 +188,7 @@ class TestDocstrings:
         "repro.service.protocol", "repro.service.state",
         "repro.service.persistence", "repro.service.metrics",
         "repro.service.daemon", "repro.service.client",
+        "repro.placement.sharding", "repro.allocators.batch",
     ])
     def test_every_module_documented(self, module_name):
         module = importlib.import_module(module_name)

@@ -1,0 +1,271 @@
+"""Protocol v2: ``place_batch``, version negotiation, backpressure.
+
+The daemon's batch path must be *exactly* the single-``place`` path
+with fewer round trips: the same placements, the same Eq.-17 energy,
+one journal group per batch (so a crash never replays half of one),
+and whole-batch validation before any state changes. Version
+negotiation keeps v1 clients working unchanged while rejecting unknown
+versions with a structured error.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.exceptions import ProtocolVersionError, ServiceError
+from repro.model.cluster import Cluster
+from repro.model.server import ServerSpec
+from repro.service import (
+    SUPPORTED_VERSIONS,
+    AllocationDaemon,
+    ClusterStateStore,
+    DaemonClient,
+    negotiate_version,
+    place_batch_request,
+    place_request,
+    replay_trace,
+    serve_tcp,
+)
+from repro.service.protocol import encode, parse_request
+from repro.workload.generator import generate_vms
+
+from conftest import make_vm
+
+SPEC = ServerSpec("s", cpu_capacity=10.0, memory_capacity=10.0,
+                  p_idle=50.0, p_peak=100.0, transition_time=1.0)
+
+
+def fresh_daemon(servers=30, **kwargs):
+    store = ClusterStateStore(Cluster.paper_all_types(servers))
+    return AllocationDaemon(store, **kwargs)
+
+
+class TestVersionNegotiation:
+    def test_missing_v_means_version_1(self):
+        assert negotiate_version({"op": "ping"}) == 1
+
+    def test_supported_versions_accepted(self):
+        for version in SUPPORTED_VERSIONS:
+            assert negotiate_version({"v": version}) == version
+
+    @pytest.mark.parametrize("bad", [3, 0, -1, "2", 2.0, True, None, []])
+    def test_unsupported_or_malformed_rejected(self, bad):
+        with pytest.raises(ProtocolVersionError) as excinfo:
+            negotiate_version({"v": bad})
+        assert excinfo.value.supported == SUPPORTED_VERSIONS
+
+    def test_v1_request_gets_no_version_echo(self):
+        daemon = fresh_daemon()
+        response = daemon.handle({"op": "ping"})
+        assert response["ok"] and "v" not in response
+
+    def test_versioned_request_echoes_v(self):
+        daemon = fresh_daemon()
+        for version in SUPPORTED_VERSIONS:
+            response = daemon.handle({"op": "ping", "v": version})
+            assert response["ok"] and response["v"] == version
+
+    def test_unknown_version_gets_structured_error(self):
+        daemon = fresh_daemon()
+        response = json.loads(
+            daemon.handle_line(encode({"op": "ping", "v": 3})))
+        assert response["ok"] is False
+        assert response["supported_versions"] == list(SUPPORTED_VERSIONS)
+        assert "3" in response["error"]
+
+    def test_malformed_version_gets_structured_error(self):
+        daemon = fresh_daemon()
+        response = json.loads(
+            daemon.handle_line(encode({"op": "ping", "v": "two"})))
+        assert response["ok"] is False
+        assert response["supported_versions"] == list(SUPPORTED_VERSIONS)
+
+    def test_place_batch_requires_v2(self):
+        with pytest.raises(ServiceError, match="version 2"):
+            parse_request(encode({"op": "place_batch", "vms": []}))
+        with pytest.raises(ServiceError, match="version 2"):
+            parse_request(
+                encode({"op": "place_batch", "v": 1, "vms": []}))
+
+
+class TestPlaceBatch:
+    def test_batch_matches_individual_places_bit_exact(self):
+        vms = generate_vms(80, mean_interarrival=1.5, seed=9)
+        one = fresh_daemon(40)
+        for vm in sorted(vms, key=lambda v: (v.start, v.end, v.vm_id)):
+            assert one.handle(place_request(vm))["ok"]
+        batched = fresh_daemon(40, shards=4)
+        response = batched.handle(place_batch_request(vms))
+        assert response["ok"] and response["count"] == 80
+        assert dict(batched.store.placements) == dict(one.store.placements)
+        assert batched.store.energy_accumulated == \
+            one.store.energy_accumulated  # bit-identical
+        assert response["energy_delta"] == pytest.approx(
+            one.store.energy_accumulated, rel=1e-9)
+
+    def test_decisions_come_back_in_request_order(self):
+        daemon = fresh_daemon()
+        vms = list(reversed(generate_vms(20, mean_interarrival=2.0,
+                                         seed=1)))
+        response = daemon.handle(place_batch_request(vms))
+        assert [item["vm_id"] for item in response["decisions"]] == \
+            [vm.vm_id for vm in vms]
+        for item in response["decisions"]:
+            assert item["decision"] in ("placed", "rejected")
+
+    def test_empty_batch_is_ok_and_not_journaled(self, tmp_path):
+        daemon = fresh_daemon(5, data_dir=tmp_path, fsync=False)
+        before = daemon.journal.next_seq
+        response = daemon.handle(place_batch_request([]))
+        assert response["ok"] and response["count"] == 0
+        assert daemon.journal.next_seq == before
+
+    def test_duplicate_inside_batch_rejects_whole_batch(self):
+        daemon = fresh_daemon(5)
+        vms = [make_vm(1, 0, 5), make_vm(1, 2, 6)]
+        response = daemon.handle(place_batch_request(vms))
+        assert response["ok"] is False
+        assert "vm_id 1" in response["error"]
+        assert len(daemon.store.placements) == 0  # nothing committed
+
+    def test_duplicate_against_committed_rejects_whole_batch(self):
+        daemon = fresh_daemon(5)
+        assert daemon.handle(
+            place_request(make_vm(7, 0, 4)))["decision"] == "placed"
+        response = daemon.handle(
+            place_batch_request([make_vm(8, 0, 4), make_vm(7, 5, 9)]))
+        assert response["ok"] is False
+        assert "vm_id 7" in response["error"]
+        assert len(daemon.store.placements) == 1  # vm8 was not committed
+
+    def test_rejections_are_counted_not_fatal(self):
+        store = ClusterStateStore(Cluster.homogeneous(SPEC, 1))
+        daemon = AllocationDaemon(store)
+        vms = [make_vm(i, 0, 10, cpu=6.0) for i in range(3)]
+        response = daemon.handle(place_batch_request(vms))
+        assert response["ok"]
+        assert response["placed"] == 1 and response["rejected"] == 2
+        rejected = [item for item in response["decisions"]
+                    if item["decision"] == "rejected"]
+        assert all(item["server_id"] is None for item in rejected)
+
+    def test_batch_size_histogram_observed(self):
+        daemon = fresh_daemon()
+        vms = generate_vms(12, mean_interarrival=2.0, seed=2)
+        daemon.handle(place_batch_request(vms))
+        assert daemon.metrics.batch_size.count == 1
+        assert daemon.metrics.batch_size.sum == 12.0
+
+
+class TestBatchDurability:
+    def test_batch_is_one_journal_group(self, tmp_path):
+        daemon = fresh_daemon(20, data_dir=tmp_path, fsync=False)
+        vms = generate_vms(15, mean_interarrival=2.0, seed=4)
+        before = daemon.journal.next_seq
+        daemon.handle(place_batch_request(vms))
+        assert daemon.journal.next_seq == before + 1  # one entry, 15 VMs
+
+    def test_kill_and_restore_replays_batches_bit_exact(self, tmp_path):
+        vms = generate_vms(90, mean_interarrival=1.5, seed=6)
+        daemon = fresh_daemon(45, data_dir=tmp_path, fsync=False,
+                              snapshot_every=0, shards=2)
+        daemon.handle(place_batch_request(vms[:40]))
+        daemon.handle(place_batch_request(vms[40:70]))
+        placements = dict(daemon.store.placements)
+        energy = daemon.store.energy_accumulated
+        requests = dict(daemon.metrics.requests)
+        del daemon  # hard kill: no shutdown, no final snapshot
+
+        restored = AllocationDaemon.restore(tmp_path, fsync=False)
+        assert dict(restored.store.placements) == placements
+        assert restored.store.energy_accumulated == energy
+        assert restored.metrics.requests == requests
+        # the restored daemon keeps serving batches
+        response = restored.handle(place_batch_request(vms[70:]))
+        assert response["ok"] and response["count"] == 20
+
+
+class TestBackpressure:
+    def test_overloaded_response_when_window_full(self):
+        daemon = fresh_daemon(5, max_inflight=1)
+        assert daemon._ingest.acquire(blocking=False)  # fill the window
+        try:
+            response = daemon.handle(
+                place_request(make_vm(0, 0, 5)))
+            assert response["ok"] is False
+            assert response["error"] == "overloaded"
+            assert 0.01 <= response["retry_after"] <= 5.0
+            assert daemon.metrics.overloaded == 1
+            assert len(daemon.store.placements) == 0
+            # read-only ops are never shed
+            assert daemon.handle({"op": "ping"})["ok"]
+            assert daemon.handle({"op": "stats"})["ok"]
+        finally:
+            daemon._ingest.release()
+        # window drained: the same request now succeeds
+        assert daemon.handle(
+            place_request(make_vm(0, 0, 5)))["decision"] == "placed"
+
+    def test_zero_disables_the_bound(self):
+        daemon = fresh_daemon(5, max_inflight=0)
+        assert daemon._ingest is None
+        assert daemon.handle(place_request(make_vm(0, 0, 5)))["ok"]
+
+    def test_overload_counter_rendered(self):
+        daemon = fresh_daemon(5)
+        exposition = daemon.metrics.render(daemon.store)
+        assert "repro_requests_overloaded_total 0" in exposition
+
+
+class TestBatchOverTCP:
+    def _serve(self, daemon):
+        server = serve_tcp(daemon, port=0)
+        thread = threading.Thread(target=server.serve_forever,
+                                  daemon=True)
+        thread.start()
+        return server
+
+    def test_sharded_daemon_batch_replay_end_to_end(self):
+        vms = generate_vms(100, mean_interarrival=2.0, seed=12)
+        batched = fresh_daemon(50, shards=4)
+        sequential = fresh_daemon(50)
+        server = self._serve(batched)
+        host, port = server.server_address
+        try:
+            with DaemonClient(host, port) as client:
+                summary = replay_trace(client, vms, batch=30)
+                assert summary.offered == 100
+                assert summary.placed + summary.rejected == 100
+        finally:
+            server.shutdown()
+            server.server_close()
+        for vm in sorted(vms, key=lambda v: (v.start, v.end, v.vm_id)):
+            sequential.handle(place_request(vm))
+        sequential.handle({"op": "tick",
+                           "now": batched.store.clock})
+        assert dict(batched.store.placements) == \
+            dict(sequential.store.placements)
+        assert batched.store.energy_accumulated == \
+            sequential.store.energy_accumulated
+
+    def test_batch_and_v_echo_over_the_wire(self):
+        daemon = fresh_daemon(10)
+        server = self._serve(daemon)
+        host, port = server.server_address
+        try:
+            with DaemonClient(host, port) as client:
+                vms = generate_vms(8, mean_interarrival=2.0, seed=3)
+                response = client.place_batch(vms)
+                assert response["ok"] and response["v"] == 2
+                bad = client.request({"op": "ping", "v": 99})
+                assert bad["ok"] is False
+                assert bad["supported_versions"] == \
+                    list(SUPPORTED_VERSIONS)
+                # the connection survives the version error
+                assert client.ping()["ok"]
+        finally:
+            server.shutdown()
+            server.server_close()

