@@ -45,11 +45,15 @@ from repro.exceptions import (
     AllocationError,
     AllocatorConfigError,
     CapacityError,
+    OverloadedError,
     ProtocolVersionError,
     ReproError,
+    RetryableError,
     ServiceError,
     SimulationError,
     SolverError,
+    TransportError,
+    UnknownOperationError,
     ValidationError,
 )
 from repro.placement import (
@@ -106,9 +110,12 @@ from repro.obs import (
     use_tracer,
     write_chrome_trace,
 )
+from repro.results import STATUSES, PlacementResult
 from repro.service import (
     SUPPORTED_VERSIONS,
+    AllocationClient,
     AllocationDaemon,
+    ClientConfig,
     ClusterStateStore,
     DaemonClient,
     ReplaySummary,
@@ -150,11 +157,15 @@ __all__ = [
     "AllocationError",
     "AllocatorConfigError",
     "CapacityError",
+    "OverloadedError",
     "ProtocolVersionError",
     "ReproError",
+    "RetryableError",
     "ServiceError",
     "SimulationError",
     "SolverError",
+    "TransportError",
+    "UnknownOperationError",
     "ValidationError",
     "CandidateIndex",
     "DenseOccupancy",
@@ -201,10 +212,14 @@ __all__ = [
     "to_chrome_trace",
     "use_tracer",
     "write_chrome_trace",
+    "AllocationClient",
     "AllocationDaemon",
+    "ClientConfig",
     "ClusterStateStore",
     "DaemonClient",
+    "PlacementResult",
     "ReplaySummary",
+    "STATUSES",
     "SUPPORTED_VERSIONS",
     "place_batch_request",
     "replay_trace",

@@ -19,15 +19,14 @@ perturbs the busy segments it overlaps or touches, so the delta is derived
 from the affected neighbourhood rather than a full timeline recomputation.
 A from-scratch recomputation is kept in the tests as the oracle.
 
-The legacy ``fits`` / ``fit_reason`` / ``peak_usage`` trio survives as thin
-deprecated wrappers over :meth:`probe`; see ``docs/api.md`` for the
-migration table.
+The pre-probe ``fits`` / ``fit_reason`` / ``peak_usage`` trio has been
+removed after its deprecation cycle; ``docs/api.md`` records the
+replacements.
 """
 
 from __future__ import annotations
 
 import bisect
-import warnings
 
 from repro.energy.cost import SleepPolicy, gap_cost, server_cost
 from repro.energy.power import run_energy
@@ -100,32 +99,6 @@ class ServerState:
         return Feasibility(True, None, peak_cpu, peak_mem,
                            spec.cpu_capacity - peak_cpu,
                            spec.memory_capacity - peak_mem)
-
-    # -- deprecated wrappers (pre-probe API) -------------------------------
-
-    def fits(self, vm: VM) -> bool:
-        """Deprecated: use ``probe(vm).feasible`` (or ``bool(probe(vm))``)."""
-        warnings.warn(
-            "ServerState.fits() is deprecated; use ServerState.probe() — "
-            "the verdict is truthy when the VM fits",
-            DeprecationWarning, stacklevel=2)
-        return self.probe(vm).feasible
-
-    def fit_reason(self, vm: VM) -> str | None:
-        """Deprecated: use ``probe(vm).reason``."""
-        warnings.warn(
-            "ServerState.fit_reason() is deprecated; use "
-            "ServerState.probe().reason",
-            DeprecationWarning, stacklevel=2)
-        return self.probe(vm).reason
-
-    def peak_usage(self, interval: TimeInterval) -> tuple[float, float]:
-        """Deprecated: use ``probe(vm)`` peaks, or the occupancy directly."""
-        warnings.warn(
-            "ServerState.peak_usage() is deprecated; probe() already "
-            "reports peak_cpu/peak_mem over the VM's interval",
-            DeprecationWarning, stacklevel=2)
-        return self._occ.peak(interval.start, interval.end)
 
     # -- busy-segment bookkeeping -------------------------------------------
 

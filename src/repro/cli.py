@@ -16,6 +16,9 @@ Usage examples::
     repro serve --port 7077 --metrics-port 9100 --data-dir state/
     repro serve --port 7077 --trace-out spans.json
     repro client --port 7077 --vms 200 --interarrival 4
+    repro client --port 7077 --vms 200 --retries 5
+    repro inject-fault --port 7077 --server-id 3
+    repro inject-fault --port 7077 --server-id 3 --recover
     repro trace spans.json
 
 (Equivalently ``python -m repro ...``. Running ``repro`` with no
@@ -265,6 +268,28 @@ def build_parser() -> argparse.ArgumentParser:
                                "VMs instead of one place per VM")
     p_client.add_argument("--shutdown", action="store_true",
                           help="ask the daemon to shut down afterwards")
+    p_client.add_argument("--retries", type=int, default=0,
+                          help="retry transient failures (connection "
+                               "drops, overload shedding) up to this "
+                               "many times with capped exponential "
+                               "backoff")
+
+    p_fault = sub.add_parser(
+        "inject-fault", help="report a live server failure (or recovery) "
+                             "to a running daemon")
+    p_fault.add_argument("--host", default="127.0.0.1")
+    p_fault.add_argument("--port", type=int, default=7077)
+    p_fault.add_argument("--server-id", type=int, required=True,
+                         help="the server that failed (or recovered)")
+    p_fault.add_argument("--at", type=int, default=None, metavar="TICK",
+                         help="failure tick (default: the daemon's "
+                              "current clock)")
+    p_fault.add_argument("--recover", action="store_true",
+                         help="bring the server back instead of "
+                              "failing it")
+    p_fault.add_argument("--retries", type=int, default=0,
+                         help="retry transient failures up to this many "
+                              "times")
     return parser
 
 
@@ -613,13 +638,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _cmd_client(args: argparse.Namespace) -> int:
-    from repro.service import DaemonClient, replay_trace
+    from repro.service import AllocationClient, ClientConfig, replay_trace
 
     vms = _load_or_generate(args)
     if not vms:
         print("empty workload")
         return 0
-    with DaemonClient(args.host, args.port) as client:
+    config = ClientConfig(retries=args.retries)
+    with AllocationClient(args.host, args.port, config=config) as client:
         summary = replay_trace(client, vms, batch=args.batch)
         stats = client.stats()
         exposition = client.metrics()
@@ -687,6 +713,36 @@ def _metrics_summary(exposition: str) -> str:
     return "\n".join(lines)
 
 
+def _cmd_inject_fault(args: argparse.Namespace) -> int:
+    from repro.service import AllocationClient, ClientConfig
+
+    config = ClientConfig(retries=args.retries)
+    with AllocationClient(args.host, args.port, config=config) as client:
+        if args.recover:
+            response = client.recover_server(args.server_id)
+        else:
+            response = client.fail_server(args.server_id, args.at)
+    if not response.get("ok"):
+        print(f"error: {response.get('error')}", file=sys.stderr)
+        return 1
+    if args.recover:
+        print(f"server {args.server_id} recovered at tick "
+              f"{response['clock']}; still failed: "
+              f"{response.get('servers_failed', 0)}")
+        return 0
+    print(f"server {args.server_id} failed at tick {response['time']}: "
+          f"{response['killed']} VMs cut, {response['replaced']} "
+          f"re-placed, {len(response.get('lost', []))} lost")
+    print(f"fleet energy delta: {response['energy_delta']:.1f} W·min")
+    for item in response.get("replacements", []):
+        target = item.get("server_id")
+        where = f"-> server {target}" if target is not None else "lost"
+        print(f"  vm{item['vm_id']} remainder "
+              f"vm{item.get('remainder_id', item['vm_id'])} {where} "
+              f"(delta {item.get('energy_delta', 0.0):.1f})")
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.report import write_report
 
@@ -713,6 +769,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "explain": lambda: _cmd_explain(args),
         "serve": lambda: _cmd_serve(args),
         "client": lambda: _cmd_client(args),
+        "inject-fault": lambda: _cmd_inject_fault(args),
     }
     handler = handlers.get(getattr(args, "command", None))
     if handler is None:

@@ -70,3 +70,48 @@ class ProtocolVersionError(ServiceError):
         super().__init__(message)
         self.version = version
         self.supported = tuple(supported)
+
+
+class UnknownOperationError(ServiceError):
+    """A request named an operation this daemon does not implement.
+
+    Carries the offending ``op`` and the ``supported`` tuple so the
+    service can answer with a structured error listing the operations a
+    client may use — the same self-describing shape as
+    :class:`ProtocolVersionError`.
+    """
+
+    def __init__(self, message: str, *, op: object = None,
+                 supported: tuple[str, ...] = ()) -> None:
+        super().__init__(message)
+        self.op = op
+        self.supported = tuple(supported)
+
+
+class RetryableError(ServiceError):
+    """A service request failed for a *transient* reason.
+
+    The operation may have succeeded or may succeed if repeated; clients
+    with a retry budget should back off and try again. Terminal errors
+    (validation, protocol violations) deliberately do **not** derive
+    from this class, so ``except RetryableError`` is exactly the
+    client's retry classification.
+    """
+
+
+class TransportError(RetryableError):
+    """The connection to the daemon broke (reset, timeout, closed
+    mid-response). The daemon may be fine; reconnect and retry."""
+
+
+class OverloadedError(RetryableError):
+    """The daemon shed the request under load (bounded ingest queue).
+
+    Carries the daemon's suggested ``retry_after`` delay in seconds;
+    retrying clients wait at least that long before the next attempt.
+    """
+
+    def __init__(self, message: str, *,
+                 retry_after: float | None = None) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after

@@ -11,8 +11,8 @@ single entry point every allocator uses to test a candidate server:
 * :class:`~repro.placement.index.CandidateIndex` — fleet-level static
   pruning by server type.
 
-See ``docs/api.md`` ("Placement engine") for the migration guide from the
-deprecated ``fits`` / ``fit_reason`` / ``peak_usage`` methods.
+See ``docs/api.md`` ("Placement engine") for the replacements of the
+removed ``fits`` / ``fit_reason`` / ``peak_usage`` methods.
 """
 
 from repro.placement.feasibility import Feasibility

@@ -9,11 +9,23 @@ checkpoints crash-safe snapshots, while a Prometheus endpoint exposes
 fleet power, occupancy and latency. Protocol v2 adds ``place_batch``
 (a whole batch per round trip, journaled as one group) and the daemon
 fans each feasibility scan out over a sharded fleet view — identical
-placements at any shard count. See ``docs/service.md`` and the
-``repro serve`` / ``repro client`` CLI commands.
+placements at any shard count. Protocol v2 also carries live failure
+events: ``fail_server`` splits every affected VM at the failure tick
+and re-places the remainders through the active allocator (one atomic
+journal group per failure), ``recover_server`` brings the machine
+back; :class:`AllocationClient` retries transient faults under a
+:class:`ClientConfig` budget and :class:`FaultInjector` drives
+deterministic chaos schedules for tests. See ``docs/service.md`` and
+the ``repro serve`` / ``repro client`` CLI commands.
 """
 
-from repro.service.client import DaemonClient, ReplaySummary, replay_trace
+from repro.service.client import (
+    AllocationClient,
+    ClientConfig,
+    DaemonClient,
+    ReplaySummary,
+    replay_trace,
+)
 from repro.service.daemon import (
     AllocationDaemon,
     DaemonTCPServer,
@@ -27,6 +39,7 @@ from repro.service.metrics import (
     ServiceMetrics,
     parse_exposition,
 )
+from repro.service.faults import FaultEvent, FaultInjector
 from repro.service.persistence import (
     RequestJournal,
     SnapshotManager,
@@ -37,28 +50,38 @@ from repro.service.protocol import (
     PROTOCOL_VERSION,
     SUPPORTED_VERSIONS,
     encode,
+    fail_server_request,
     negotiate_version,
     parse_batch_records,
     parse_request,
     parse_response,
     place_batch_request,
     place_request,
+    recover_server_request,
 )
 from repro.service.state import (
     SNAPSHOT_FORMAT_VERSION,
     ClusterStateStore,
+    FailureReport,
+    Replacement,
     snapshot_meta,
 )
 
 __all__ = [
+    "AllocationClient",
     "AllocationDaemon",
+    "ClientConfig",
     "ClusterStateStore",
     "DaemonClient",
     "DaemonTCPServer",
+    "FailureReport",
+    "FaultEvent",
+    "FaultInjector",
     "Histogram",
     "LatencyReservoir",
     "OPS",
     "PROTOCOL_VERSION",
+    "Replacement",
     "ReplaySummary",
     "RequestJournal",
     "ServiceMetrics",
@@ -66,6 +89,7 @@ __all__ = [
     "SUPPORTED_VERSIONS",
     "SnapshotManager",
     "encode",
+    "fail_server_request",
     "negotiate_version",
     "parse_batch_records",
     "parse_exposition",
@@ -74,6 +98,7 @@ __all__ = [
     "place_batch_request",
     "place_request",
     "read_journal",
+    "recover_server_request",
     "replay_trace",
     "serve_stdio",
     "serve_tcp",

@@ -1,50 +1,233 @@
-"""Client side of the allocation service: connect, stream, summarize.
+"""Client side of the allocation service: connect, retry, summarize.
 
-:class:`DaemonClient` speaks the JSON-lines protocol over TCP (one
-request line out, one response line back); :func:`replay_trace` streams
-a whole workload — a :class:`~repro.workload.trace.Trace` or any VM
-iterable — in the paper's online order (start time, ties by end then
-id) and aggregates the per-request decisions into a
-:class:`ReplaySummary`. With ``batch=N`` it chunks the stream into v2
-``place_batch`` round trips instead of one ``place`` per VM — same
-placements, far fewer round trips. This is what ``repro client`` runs.
+:class:`AllocationClient` speaks the JSON-lines protocol over TCP (one
+request line out, one response line back) and classifies failures with
+the typed hierarchy of :mod:`repro.exceptions`: transient transport
+faults (reset, timeout, connection closed mid-response) raise
+:class:`~repro.exceptions.TransportError` and overload shedding raises
+:class:`~repro.exceptions.OverloadedError` — both are
+:class:`~repro.exceptions.RetryableError`, and with a retry budget in
+:class:`ClientConfig` the client reconnects and resends under capped
+exponential backoff (honouring the daemon's ``retry_after`` hint).
+Terminal protocol errors are never retried: the daemon's structured
+error payload is returned to the caller unchanged.
+
+Retries are at-least-once: a send that dies mid-response may already
+have been applied by the daemon, so a retried mutating operation can be
+applied twice. That matches the journal semantics (every applied
+request is journaled); exactly-once callers should keep ``retries=0``
+(the default, and what the :class:`DaemonClient` name has always
+meant).
+
+:func:`replay_trace` streams a whole workload — a
+:class:`~repro.workload.trace.Trace` or any VM iterable — in the
+paper's online order (start time, ties by end then id), lifts every
+response into a typed :class:`~repro.results.PlacementResult`, and
+aggregates them into a :class:`ReplaySummary`. With ``batch=N`` it
+chunks the stream into v2 ``place_batch`` round trips instead of one
+``place`` per VM — same placements, far fewer round trips. This is
+what ``repro client`` runs.
 """
 
 from __future__ import annotations
 
+import random
 import socket
+import time
 from dataclasses import dataclass
-from typing import Iterable, Mapping
+from typing import Callable, Iterable, Mapping
 
-from repro.exceptions import ServiceError
+from repro.exceptions import (
+    OverloadedError,
+    RetryableError,
+    ServiceError,
+    TransportError,
+    ValidationError,
+)
 from repro.model.vm import VM
+from repro.results import PlacementResult
 from repro.service.protocol import (
     encode,
+    fail_server_request,
     parse_response,
     place_batch_request,
     place_request,
+    recover_server_request,
 )
 
-__all__ = ["DaemonClient", "ReplaySummary", "replay_trace"]
+__all__ = ["AllocationClient", "ClientConfig", "DaemonClient",
+           "ReplaySummary", "replay_trace"]
 
 
-class DaemonClient:
-    """A blocking JSON-lines client for one daemon connection."""
+@dataclass(frozen=True)
+class ClientConfig:
+    """Timeout and retry policy of one :class:`AllocationClient`.
+
+    ``retries`` is the number of *additional* attempts after the first
+    (0 = never retry). The delay before retry attempt ``k`` (0-based)
+    is ``min(backoff_cap, backoff * 2**k)`` seconds, stretched by up to
+    ``jitter`` (a fraction: 0.1 adds up to +10%, drawn from a
+    ``random.Random(seed)`` so test schedules are reproducible), and
+    never less than an :class:`~repro.exceptions.OverloadedError`'s
+    ``retry_after`` hint.
+    """
+
+    timeout: float = 30.0
+    retries: int = 0
+    backoff: float = 0.05
+    backoff_cap: float = 2.0
+    jitter: float = 0.0
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.timeout <= 0:
+            raise ValidationError(
+                f"timeout must be positive, got {self.timeout!r}")
+        if self.retries < 0:
+            raise ValidationError(
+                f"retries must be >= 0, got {self.retries!r}")
+        if self.backoff < 0 or self.backoff_cap < 0:
+            raise ValidationError(
+                f"backoff delays must be >= 0, got backoff="
+                f"{self.backoff!r}, backoff_cap={self.backoff_cap!r}")
+        if self.jitter < 0:
+            raise ValidationError(
+                f"jitter must be >= 0, got {self.jitter!r}")
+
+
+class AllocationClient:
+    """A blocking JSON-lines client with typed errors and retries.
+
+    ``connect`` and ``sleep`` are injectable for tests: ``connect()``
+    must return a connected socket-like object (``makefile``/``close``)
+    and defaults to a TCP connection to ``host:port``; ``sleep`` is
+    called with each backoff delay.
+    """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 7077, *,
-                 timeout: float = 30.0) -> None:
-        self._sock = socket.create_connection((host, port), timeout=timeout)
-        self._reader = self._sock.makefile("r", encoding="utf-8")
-        self._writer = self._sock.makefile("w", encoding="utf-8")
+                 timeout: float | None = None,
+                 config: ClientConfig | None = None,
+                 connect: Callable[[], socket.socket] | None = None,
+                 sleep: Callable[[float], None] = time.sleep) -> None:
+        if config is None:
+            config = ClientConfig() if timeout is None \
+                else ClientConfig(timeout=timeout)
+        elif timeout is not None and timeout != config.timeout:
+            raise ValidationError(
+                "pass the timeout inside ClientConfig, not alongside it")
+        self.config = config
+        self._connect = connect if connect is not None else (
+            lambda: socket.create_connection((host, port),
+                                             timeout=config.timeout))
+        self._sleep = sleep
+        self._rng = random.Random(config.seed)
+        self._sock: socket.socket | None = None
+        self._reader = None
+        self._writer = None
+        self._open()
+
+    # ------------------------------------------------------------------
+    # Connection management
+    # ------------------------------------------------------------------
+
+    def _open(self) -> None:
+        try:
+            self._sock = self._connect()
+            self._reader = self._sock.makefile("r", encoding="utf-8")
+            self._writer = self._sock.makefile("w", encoding="utf-8")
+        except OSError as exc:
+            self._drop()
+            raise TransportError(
+                f"cannot connect to daemon: {exc}") from exc
+
+    def _drop(self) -> None:
+        for closer in (self._reader, self._writer, self._sock):
+            if closer is None:
+                continue
+            try:
+                closer.close()
+            except OSError:  # pragma: no cover - best-effort teardown
+                pass
+        self._sock = self._reader = self._writer = None
+
+    def close(self) -> None:
+        self._drop()
+
+    def __enter__(self) -> "AllocationClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Request path
+    # ------------------------------------------------------------------
+
+    def _backoff_delay(self, attempt: int) -> float:
+        config = self.config
+        delay = min(config.backoff_cap, config.backoff * 2 ** attempt)
+        if config.jitter:
+            delay *= 1.0 + config.jitter * self._rng.random()
+        return delay
+
+    def _request_once(self, message: Mapping[str, object]
+                      ) -> dict[str, object]:
+        """One attempt: send, read, classify.
+
+        Transport faults and overload shedding raise the retryable
+        exceptions; every other response — including the daemon's
+        structured terminal errors — is returned as-is.
+        """
+        try:
+            if self._sock is None:
+                self._open()
+            self._writer.write(encode(message))
+            self._writer.flush()
+            line = self._reader.readline()
+        except TransportError:
+            raise
+        except (OSError, ValueError) as exc:
+            # ValueError covers writes on a half-closed file object.
+            self._drop()
+            raise TransportError(
+                f"connection to daemon failed: {exc}") from exc
+        if not line:
+            self._drop()
+            raise TransportError("daemon closed the connection")
+        response = parse_response(line)
+        if not response.get("ok") and response.get("error") == "overloaded":
+            retry_after = response.get("retry_after")
+            raise OverloadedError(
+                "daemon shed the request under load",
+                retry_after=None if retry_after is None
+                else float(retry_after))
+        return response
 
     def request(self, message: Mapping[str, object]) -> dict[str, object]:
-        """Send one request and wait for its response."""
-        self._writer.write(encode(message))
-        self._writer.flush()
-        line = self._reader.readline()
-        if not line:
-            raise ServiceError("daemon closed the connection")
-        return parse_response(line)
+        """Send one request; retry transient failures per the config.
+
+        Raises the final :class:`~repro.exceptions.RetryableError` once
+        the budget is exhausted. Terminal errors (malformed request,
+        unknown op, validation) come back as the daemon's structured
+        ``{"ok": false, ...}`` payload without consuming any retries.
+        """
+        attempt = 0
+        while True:
+            try:
+                return self._request_once(message)
+            except RetryableError as exc:
+                if attempt >= self.config.retries:
+                    raise
+                delay = self._backoff_delay(attempt)
+                if isinstance(exc, OverloadedError) \
+                        and exc.retry_after is not None:
+                    delay = max(delay, float(exc.retry_after))
+                self._sleep(delay)
+                attempt += 1
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
 
     def place(self, vm: VM, *, explain: bool = False) -> dict[str, object]:
         return self.request(place_request(vm, explain=explain))
@@ -55,6 +238,16 @@ class DaemonClient:
 
     def tick(self, now: int) -> dict[str, object]:
         return self.request({"op": "tick", "now": now})
+
+    def fail_server(self, server_id: int,
+                    time: int | None = None) -> dict[str, object]:
+        """Report a server failure (v2 ``fail_server``); the response
+        carries the re-placement outcome."""
+        return self.request(fail_server_request(server_id, time))
+
+    def recover_server(self, server_id: int) -> dict[str, object]:
+        """Bring a failed server back (v2 ``recover_server``)."""
+        return self.request(recover_server_request(server_id))
 
     def stats(self) -> dict[str, object]:
         return self.request({"op": "stats"})
@@ -73,18 +266,10 @@ class DaemonClient:
     def shutdown(self) -> dict[str, object]:
         return self.request({"op": "shutdown"})
 
-    def close(self) -> None:
-        for closer in (self._reader, self._writer, self._sock):
-            try:
-                closer.close()
-            except OSError:  # pragma: no cover - best-effort teardown
-                pass
 
-    def __enter__(self) -> "DaemonClient":
-        return self
-
-    def __exit__(self, *exc_info: object) -> None:
-        self.close()
+#: Historical name: the zero-retry default of :class:`AllocationClient`
+#: is exactly what ``DaemonClient`` always was.
+DaemonClient = AllocationClient
 
 
 @dataclass(frozen=True)
@@ -103,7 +288,7 @@ class ReplaySummary:
         return self.rejected / self.offered if self.offered else 0.0
 
 
-def replay_trace(client: DaemonClient, vms: Iterable[VM], *,
+def replay_trace(client: AllocationClient, vms: Iterable[VM], *,
                  final_tick: bool = True,
                  batch: int | None = None) -> ReplaySummary:
     """Stream ``vms`` in online (start-time) order; returns the summary.
@@ -113,6 +298,11 @@ def replay_trace(client: DaemonClient, vms: Iterable[VM], *,
     ``repro client --batch``); the default streams one ``place`` per
     VM. Both paths yield identical placements — the daemon processes a
     batch in the same online order.
+
+    Every per-VM outcome is lifted into a typed
+    :class:`~repro.results.PlacementResult` before tallying, so the
+    summary counts exactly what the result vocabulary defines
+    (``deferred`` results count as placed *and* delayed).
 
     With ``final_tick`` the cluster clock is advanced past the last
     request's end afterwards, so the daemon retires everything and its
@@ -129,10 +319,11 @@ def replay_trace(client: DaemonClient, vms: Iterable[VM], *,
 
     def tally(item: Mapping[str, object]) -> None:
         nonlocal placed, rejected, delayed, energy
-        if item.get("decision") == "placed":
+        result = PlacementResult.from_response(item)
+        if result.placed:
             placed += 1
-            energy += float(item.get("energy_delta", 0.0))
-            if int(item.get("delay", 0)):
+            energy += result.energy_delta
+            if result.delay:
                 delayed += 1
         else:
             rejected += 1

@@ -25,8 +25,9 @@ over HTTP.
 
 Concurrency model (protocol v2 redesign)
 ----------------------------------------
-Mutating operations (``place``, ``place_batch``, ``tick``, plus
-snapshotting and shutdown) serialize on one *commit lock* — placement
+Mutating operations (``place``, ``place_batch``, ``tick``,
+``fail_server``, ``recover_server``, plus snapshotting and shutdown)
+serialize on one *commit lock* — placement
 decisions must observe each other's commits, so decision order is the
 wire arrival order. Within a decision the feasibility scan fans out
 over the store's :class:`~repro.placement.sharding.ShardedFleet`; each
@@ -55,6 +56,7 @@ from repro.exceptions import (
     ProtocolVersionError,
     ReproError,
     ServiceError,
+    UnknownOperationError,
     ValidationError,
 )
 from repro.obs.explain import ExplainRecorder
@@ -67,12 +69,17 @@ from repro.service.persistence import (
     read_journal,
 )
 from repro.service.protocol import (
+    OPS,
     encode,
     negotiate_version,
     parse_batch_records,
     parse_request,
 )
-from repro.service.state import ClusterStateStore, snapshot_meta
+from repro.service.state import (
+    ClusterStateStore,
+    Replacement,
+    snapshot_meta,
+)
 from repro.simulation.admission import offer, shift_request
 from repro.workload.trace import vm_from_record, vm_to_record
 
@@ -83,7 +90,8 @@ JOURNAL_NAME = "journal.jsonl"
 
 #: Operations that mutate cluster state — these take the commit lock
 #: and count against the bounded ingest window.
-MUTATING_OPS = ("place", "place_batch", "tick")
+MUTATING_OPS = ("place", "place_batch", "tick", "fail_server",
+                "recover_server")
 
 #: Read-only operations served without the commit lock.
 READ_OPS = ("stats", "metrics", "ping")
@@ -161,12 +169,14 @@ class AllocationDaemon:
         params: dict[str, object] = {"seed": seed, "policy": store.policy,
                                      **algo_params}
         self.allocator = make_allocator(algorithm, **params)
-        self.allocator.prepare(store.states)
         self.metrics = ServiceMetrics()
         self.metrics.register_algorithm(algorithm)
-        self.fleet = ShardedFleet(
-            store.states, shards=shards, max_workers=max_workers,
-            on_scan_time=self.metrics.observe_shard_scan)
+        self._max_workers = max_workers
+        self.fleet: ShardedFleet | None = None
+        # The fleet scans only non-failed servers (a restored snapshot
+        # may already carry dead ones), so build it through the same
+        # path fail/recover events use.
+        self._rebuild_fleet()
         self.closed = False
         #: Serializes placement decisions and state mutation; read-only
         #: ops (stats/metrics/ping) never take it.
@@ -193,6 +203,27 @@ class AllocationDaemon:
                     "op": "init",
                     "snapshot": store.to_snapshot(self._meta(seq=1)),
                 })
+
+    def _rebuild_fleet(self) -> None:
+        """(Re)build the sharded fleet over the *live* servers.
+
+        Failure and recovery change the scannable fleet, so both paths
+        funnel through here: the old fleet (and its scan pool) is
+        closed, a fresh one is built over
+        :meth:`ClusterStateStore.live_states`, and the allocator is
+        re-prepared so its candidate index covers exactly the servers
+        it may choose. Note fleet positions are scan positions, not
+        server ids, once a server is dead — commit paths translate via
+        ``fleet.position_of``.
+        """
+        if self.fleet is not None:
+            self.fleet.close()
+        live = self.store.live_states()
+        self.fleet = ShardedFleet(
+            live, shards=int(self.config["shards"]),
+            max_workers=self._max_workers,
+            on_scan_time=self.metrics.observe_shard_scan)
+        self.allocator.prepare(live)
 
     # -- durability --------------------------------------------------------
 
@@ -280,6 +311,21 @@ class AllocationDaemon:
             for sub in entry["decisions"]:
                 self._replay_place(sub)
             return
+        if op == "fail_server":
+            # One journal group per failure: the recorded re-placements
+            # are applied verbatim — the allocator is never re-run.
+            report = self.store.fail_server(
+                int(entry["server_id"]), int(entry["time"]),
+                replacements=[Replacement.from_record(record)
+                              for record in entry["replacements"]])
+            self._rebuild_fleet()
+            self.metrics.observe_failure(replaced=report.replaced,
+                                         lost=len(report.lost))
+            return
+        if op == "recover_server":
+            self.store.recover_server(int(entry["server_id"]))
+            self._rebuild_fleet()
+            return
         if op != "place":
             raise ValidationError(f"unknown journal entry op {op!r}")
         self._replay_place(entry)
@@ -311,6 +357,8 @@ class AllocationDaemon:
                                                   "error": str(exc)}
                     if isinstance(exc, ProtocolVersionError):
                         payload["supported_versions"] = list(exc.supported)
+                    if isinstance(exc, UnknownOperationError):
+                        payload["supported_ops"] = list(exc.supported)
                     return encode(payload)
             response = self.handle(message)
             with tracer.span("service.respond"):
@@ -349,7 +397,16 @@ class AllocationDaemon:
                 return self._dispatch(op, message)
         except ReproError as exc:
             self.metrics.observe_error()
-            return {"ok": False, "op": op, "error": str(exc)}
+            payload: dict[str, object] = {"ok": False, "op": op,
+                                          "error": str(exc)}
+            # Structured self-describing errors, mirroring the
+            # version-negotiation shape: tell the client what this
+            # daemon *does* speak instead of a bare string.
+            if isinstance(exc, ProtocolVersionError):
+                payload["supported_versions"] = list(exc.supported)
+            if isinstance(exc, UnknownOperationError):
+                payload["supported_ops"] = list(exc.supported)
+            return payload
         finally:
             if gate is not None:
                 gate.release()
@@ -371,6 +428,10 @@ class AllocationDaemon:
             return self._handle_place_batch(message)
         if op == "tick":
             return self._handle_tick(message)
+        if op == "fail_server":
+            return self._handle_fail_server(message)
+        if op == "recover_server":
+            return self._handle_recover_server(message)
         if op == "stats":
             return self._handle_stats()
         if op == "metrics":
@@ -386,7 +447,11 @@ class AllocationDaemon:
             return {"ok": True, "op": "ping", "clock": self.store.clock}
         if op == "shutdown":
             return self._handle_shutdown()
-        raise ServiceError(f"unknown op {op!r}")  # pragma: no cover
+        # Reached by direct dict-API handle() calls that bypassed
+        # parse_request: answer with the same structured shape.
+        raise UnknownOperationError(
+            f"unknown op {op!r}; this daemon supports: {list(OPS)}",
+            op=op, supported=OPS)
 
     def _handle_place(self, message: Mapping[str, object]
                       ) -> dict[str, object]:
@@ -422,7 +487,10 @@ class AllocationDaemon:
             else:
                 server_id = decision.state.server.server_id
                 with tracer.span("service.commit", server_id=server_id):
-                    with self.fleet.lock_for(server_id):
+                    # Fleet positions are scan positions, not server
+                    # ids, once a failed server is filtered out.
+                    position = self.fleet.position_of(decision.state)
+                    with self.fleet.lock_for(position):
                         delta = self.store.commit(decision.vm, server_id)
                 response.update(decision="placed", server_id=server_id,
                                 delay=decision.delay, energy_delta=delta)
@@ -496,7 +564,8 @@ class AllocationDaemon:
                                 delay=0, energy_delta=0.0)
                 else:
                     server_id = decision.state.server.server_id
-                    with self.fleet.lock_for(server_id):
+                    position = self.fleet.position_of(decision.state)
+                    with self.fleet.lock_for(position):
                         delta = self.store.commit(decision.vm, server_id)
                     item.update(decision="placed", server_id=server_id,
                                 delay=decision.delay, energy_delta=delta)
@@ -548,6 +617,84 @@ class AllocationDaemon:
                 "servers_active": self.store.servers_active(),
                 "running_vms": self.store.running_vms()}
 
+    @staticmethod
+    def _server_id_of(message: Mapping[str, object],
+                      op: str) -> int:
+        server_id = message.get("server_id")
+        if isinstance(server_id, bool) or not isinstance(server_id, int) \
+                or server_id < 0:
+            raise ServiceError(
+                f"{op} request needs a non-negative integer 'server_id', "
+                f"got {server_id!r}")
+        return server_id
+
+    def _handle_fail_server(self, message: Mapping[str, object]
+                            ) -> dict[str, object]:
+        server_id = self._server_id_of(message, "fail_server")
+        time = message.get("time")
+        if time is None:
+            # Default: the failure is observed now. Clock 0 (nothing
+            # placed yet) rounds up to the first real tick.
+            time = max(self.store.clock, 1)
+        elif isinstance(time, bool) or not isinstance(time, int) \
+                or time < 1:
+            raise ServiceError(
+                f"fail_server field 'time' must be a positive integer, "
+                f"got {time!r}")
+        tracer = get_tracer()
+        started = perf_counter()
+        with tracer.span("service.fail_server", server_id=server_id,
+                         time=time) as span:
+            report = self.store.fail_server(server_id, time,
+                                            recovery=self.allocator)
+            self._rebuild_fleet()
+            span.set(killed=report.killed, replaced=report.replaced,
+                     lost=len(report.lost))
+            if self.journal is not None:
+                # One atomic journal group per failure: the episode's
+                # every re-placement restores together or not at all.
+                with tracer.span("service.journal"):
+                    self.journal.append({
+                        "op": "fail_server", "server_id": server_id,
+                        "time": report.time,
+                        "replacements": [r.to_record()
+                                         for r in report.replacements]})
+            self.metrics.observe_failure(replaced=report.replaced,
+                                         lost=len(report.lost))
+            self._placed_since_snapshot += report.replaced
+            if report.replaced:
+                self._maybe_snapshot()
+        return {
+            "ok": True, "op": "fail_server", "server_id": server_id,
+            "time": report.time, "killed": report.killed,
+            "replaced": report.replaced,
+            "lost": [vm.vm_id for vm in report.lost],
+            "victim_delta": report.victim_delta,
+            "energy_delta": report.energy_delta,
+            "replacements": [
+                {"vm_id": r.vm.vm_id,
+                 "head_id": r.head.vm_id if r.head is not None else None,
+                 "remainder_id": r.remainder.vm_id,
+                 "server_id": r.server_id,
+                 "energy_delta": r.energy_delta}
+                for r in report.replacements],
+            "latency_ms": (perf_counter() - started) * 1e3,
+        }
+
+    def _handle_recover_server(self, message: Mapping[str, object]
+                               ) -> dict[str, object]:
+        server_id = self._server_id_of(message, "recover_server")
+        tracer = get_tracer()
+        with tracer.span("service.recover_server", server_id=server_id):
+            self.store.recover_server(server_id)
+            self._rebuild_fleet()
+            if self.journal is not None:
+                self.journal.append({"op": "recover_server",
+                                     "server_id": server_id})
+        return {"ok": True, "op": "recover_server",
+                "server_id": server_id, "clock": self.store.clock,
+                "servers_failed": self.store.servers_failed()}
+
     def _handle_stats(self) -> dict[str, object]:
         return {
             "ok": True, "op": "stats",
@@ -558,6 +705,7 @@ class AllocationDaemon:
             "errors": self.metrics.errors,
             "servers_active": self.store.servers_active(),
             "servers_asleep": self.store.servers_asleep(),
+            "servers_failed": self.store.servers_failed(),
             "running_vms": self.store.running_vms(),
             "fleet_power": self.store.fleet_power(),
             "energy_accumulated": self.store.energy_accumulated,

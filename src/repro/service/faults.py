@@ -1,0 +1,129 @@
+"""Deterministic fault injection against a running allocation daemon.
+
+The chaos harness of the service tests and the CI ``chaos`` job: a
+:class:`FaultInjector` holds a fixed schedule of :class:`FaultEvent`\\ s
+— server failures, recoveries and client-side latency stalls — keyed
+by *stream position* (how many requests the driver has sent), and the
+driver calls :meth:`FaultInjector.fire_due` between requests. Because
+the schedule is data and positions are deterministic, every run of a
+seeded test injects exactly the same faults at exactly the same points
+in the stream, which is what makes the live-versus-offline energy
+equality assertions possible.
+
+The injector talks through any client exposing ``fail_server`` /
+``recover_server`` (an :class:`~repro.service.client.AllocationClient`
+or the daemon's in-process dict API wrapped in a shim), so the same
+schedule drives a TCP daemon in CI and an in-process daemon in unit
+tests.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import Callable, Protocol, Sequence
+
+from repro.exceptions import ValidationError
+
+__all__ = ["FaultEvent", "FaultInjector"]
+
+#: Fault kinds the injector understands.
+KINDS = ("fail", "recover", "stall")
+
+
+class _FaultTarget(Protocol):
+    def fail_server(self, server_id: int,
+                    time: int | None = None) -> dict[str, object]: ...
+
+    def recover_server(self, server_id: int) -> dict[str, object]: ...
+
+
+@dataclass(frozen=True, order=True)
+class FaultEvent:
+    """One scheduled fault.
+
+    ``after`` is the stream position the event fires at: the event is
+    due once the driver has issued ``after`` requests (so ``after=0``
+    fires before the first request). ``kind`` is one of ``"fail"``
+    (needs ``server_id``, optional failure ``time``), ``"recover"``
+    (needs ``server_id``) or ``"stall"`` (sleeps ``stall_ms`` on the
+    driver side — a latency spike, no daemon interaction).
+    """
+
+    after: int
+    kind: str = field(compare=False)
+    server_id: int | None = field(default=None, compare=False)
+    time: int | None = field(default=None, compare=False)
+    stall_ms: float = field(default=0.0, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.after < 0:
+            raise ValidationError(
+                f"fault position 'after' must be >= 0, got {self.after}")
+        if self.kind not in KINDS:
+            raise ValidationError(
+                f"unknown fault kind {self.kind!r}; expected one of "
+                f"{list(KINDS)}")
+        if self.kind in ("fail", "recover") and self.server_id is None:
+            raise ValidationError(
+                f"a {self.kind!r} fault needs a server_id")
+        if self.kind == "stall" and self.stall_ms < 0:
+            raise ValidationError(
+                f"stall_ms must be >= 0, got {self.stall_ms}")
+
+
+class FaultInjector:
+    """Fire a fixed fault schedule against a daemon, deterministically.
+
+    ``events`` may arrive in any order; they are fired sorted by
+    ``after`` (ties in schedule order). The driver calls
+    :meth:`fire_due` with its current stream position between requests
+    and :meth:`drain` once the stream ends; each event fires exactly
+    once. ``sleep`` is injectable so tests can run stalls at zero
+    wall-clock cost.
+
+    Every daemon response is collected in :attr:`responses` (in firing
+    order, paired with its event) for assertions on re-placement
+    outcomes.
+    """
+
+    def __init__(self, events: Sequence[FaultEvent], target: _FaultTarget,
+                 *, sleep: Callable[[float], None] = _time.sleep) -> None:
+        self._pending: list[FaultEvent] = sorted(
+            events, key=lambda e: e.after)
+        self._target = target
+        self._sleep = sleep
+        self.responses: list[tuple[FaultEvent, dict[str, object]]] = []
+
+    @property
+    def pending(self) -> tuple[FaultEvent, ...]:
+        """Events not yet fired, in firing order."""
+        return tuple(self._pending)
+
+    def fire_due(self, position: int) -> list[dict[str, object]]:
+        """Fire every event with ``after <= position``; returns their
+        daemon responses (empty for stalls)."""
+        fired: list[dict[str, object]] = []
+        while self._pending and self._pending[0].after <= position:
+            event = self._pending.pop(0)
+            fired.extend(self._fire(event))
+        return fired
+
+    def drain(self) -> list[dict[str, object]]:
+        """Fire everything still pending (end of stream)."""
+        fired: list[dict[str, object]] = []
+        while self._pending:
+            fired.extend(self._fire(self._pending.pop(0)))
+        return fired
+
+    def _fire(self, event: FaultEvent) -> list[dict[str, object]]:
+        if event.kind == "stall":
+            self._sleep(event.stall_ms / 1e3)
+            return []
+        if event.kind == "fail":
+            response = self._target.fail_server(event.server_id,
+                                                event.time)
+        else:
+            response = self._target.recover_server(event.server_id)
+        self.responses.append((event, response))
+        return [response]

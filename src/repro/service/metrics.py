@@ -168,6 +168,9 @@ class ServiceMetrics:
         self.delayed = 0
         self.errors = 0
         self.overloaded = 0
+        self.failures = 0
+        self.replacements = 0
+        self.vms_lost = 0
         self.latency = LatencyReservoir()
         self.latency_hist = Histogram(LATENCY_BUCKETS)
         self.candidates = Histogram(CANDIDATE_BUCKETS)
@@ -259,6 +262,13 @@ class ServiceMetrics:
         with self._lock:
             self.overloaded += 1
 
+    def observe_failure(self, *, replaced: int, lost: int = 0) -> None:
+        """Count one server-failure episode and its re-placements."""
+        with self._lock:
+            self.failures += 1
+            self.replacements += replaced
+            self.vms_lost += lost
+
     def observe_batch(self, size: int) -> None:
         """Record one ``place_batch`` request's batch size."""
         self.batch_size.observe(float(size))
@@ -274,6 +284,9 @@ class ServiceMetrics:
             return {"requests": dict(self.requests),
                     "delayed": self.delayed, "errors": self.errors,
                     "overloaded": self.overloaded,
+                    "failures": self.failures,
+                    "replacements": self.replacements,
+                    "vms_lost": self.vms_lost,
                     "decisions": {f"{algorithm}\t{decision}": count
                                   for (algorithm, decision), count
                                   in self.decisions.items()}}
@@ -287,6 +300,9 @@ class ServiceMetrics:
             self.delayed = int(meta.get("delayed", 0))
             self.errors = int(meta.get("errors", 0))
             self.overloaded = int(meta.get("overloaded", 0))
+            self.failures = int(meta.get("failures", 0))
+            self.replacements = int(meta.get("replacements", 0))
+            self.vms_lost = int(meta.get("vms_lost", 0))
             decisions = meta.get("decisions")
             if isinstance(decisions, Mapping):
                 for key, count in decisions.items():
@@ -303,6 +319,9 @@ class ServiceMetrics:
             decisions = sorted(self.decisions.items())
             delayed, errors = self.delayed, self.errors
             overloaded = self.overloaded
+            failures = self.failures
+            replacements = self.replacements
+            vms_lost = self.vms_lost
         lines: list[str] = []
 
         def family(name: str, kind: str, help_text: str,
@@ -342,6 +361,15 @@ class ServiceMetrics:
         family("repro_requests_overloaded_total", "counter",
                "Requests shed by the bounded ingest queue.",
                [("", float(overloaded))])
+        family("repro_failures_total", "counter",
+               "Server-failure episodes served (fail_server ops).",
+               [("", float(failures))])
+        family("repro_replacements_total", "counter",
+               "VM remainders re-placed onto surviving servers after "
+               "failures.", [("", float(replacements))])
+        family("repro_vms_lost_total", "counter",
+               "VM remainders that fit no surviving server after a "
+               "failure.", [("", float(vms_lost))])
         family("repro_placement_latency_seconds", "summary",
                "Service-side latency of placement decisions.",
                [('{quantile="0.5"}', self.latency.quantile(0.5)),
@@ -369,6 +397,9 @@ class ServiceMetrics:
         family("repro_servers_asleep", "gauge",
                "Servers currently in the power-saving state.",
                [("", float(store.servers_asleep()))])
+        family("repro_servers_failed", "gauge",
+               "Servers currently in the failed state.",
+               [("", float(store.servers_failed()))])
         family("repro_running_vms", "gauge",
                "VM demand pieces currently resident on the fleet.",
                [("", float(store.running_vms()))])

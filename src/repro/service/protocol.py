@@ -18,7 +18,11 @@ a versioned request. A version outside that tuple (or a non-integer
     {"ok": false, "error": "...", "supported_versions": [1, 2]}
 
 so clients can renegotiate instead of guessing. Version 2 adds the
-``place_batch`` operation; everything in version 1 is unchanged.
+``place_batch``, ``fail_server`` and ``recover_server`` operations;
+everything in version 1 is unchanged. An unknown ``op`` is answered
+the same way — ``{"ok": false, "error": "...", "supported_ops":
+[...]}`` — so a client talking to an older daemon can discover what it
+actually speaks.
 
 Operations
 ----------
@@ -43,6 +47,19 @@ Operations
 ``tick``
     ``{"op": "tick", "now": T}`` — advance the cluster clock to ``T``,
     retiring expired VMs and powering down idle servers.
+``fail_server`` (v2)
+    ``{"op": "fail_server", "v": 2, "server_id": S[, "time": T]}`` —
+    the server crashed at tick ``T`` (default: the daemon's clock).
+    Affected VMs are split at the failure tick and their remainders
+    re-placed through the active allocator; the response carries the
+    resolved ``time``, ``killed``/``replaced``/``lost`` counts, the
+    fleet-wide ``energy_delta`` and one record per re-placement (with
+    its own Eq.-17 delta, including any forced wake on the target).
+    The whole episode is journaled as one atomic group.
+``recover_server`` (v2)
+    ``{"op": "recover_server", "v": 2, "server_id": S}`` — the server
+    is back; it returns to power-saving and becomes placeable again
+    (its next wake pays the transition cost ``alpha``).
 ``stats``
     Counters, clock and energy accounting as JSON.
 ``metrics``
@@ -64,13 +81,18 @@ from __future__ import annotations
 import json
 from typing import Iterable, Mapping
 
-from repro.exceptions import ProtocolVersionError, ServiceError
+from repro.exceptions import (
+    ProtocolVersionError,
+    ServiceError,
+    UnknownOperationError,
+)
 from repro.model.vm import VM
 from repro.workload.trace import vm_from_record, vm_to_record
 
 __all__ = ["PROTOCOL_VERSION", "SUPPORTED_VERSIONS", "OPS",
            "negotiate_version", "parse_request", "parse_response",
            "encode", "place_request", "place_batch_request",
+           "fail_server_request", "recover_server_request",
            "vm_to_record", "vm_from_record"]
 
 #: The newest protocol version this build speaks.
@@ -79,9 +101,10 @@ PROTOCOL_VERSION = 2
 #: Every version the daemon accepts; requests without ``"v"`` are v1.
 SUPPORTED_VERSIONS = (1, 2)
 
-#: Every operation the daemon understands (``place_batch`` needs v2).
-OPS = ("place", "place_batch", "tick", "stats", "metrics", "snapshot",
-       "ping", "shutdown")
+#: Every operation the daemon understands (``place_batch``,
+#: ``fail_server`` and ``recover_server`` need v2).
+OPS = ("place", "place_batch", "tick", "fail_server", "recover_server",
+       "stats", "metrics", "snapshot", "ping", "shutdown")
 
 
 def encode(message: Mapping[str, object]) -> str:
@@ -101,6 +124,24 @@ def place_batch_request(vms: Iterable[VM]) -> dict[str, object]:
     """The v2 ``place_batch`` request for a whole batch of VMs."""
     return {"op": "place_batch", "v": PROTOCOL_VERSION,
             "vms": [vm_to_record(vm) for vm in vms]}
+
+
+def fail_server_request(server_id: int,
+                        time: int | None = None) -> dict[str, object]:
+    """The v2 ``fail_server`` request (``time`` defaults to the
+    daemon's current tick)."""
+    request: dict[str, object] = {"op": "fail_server",
+                                  "v": PROTOCOL_VERSION,
+                                  "server_id": server_id}
+    if time is not None:
+        request["time"] = time
+    return request
+
+
+def recover_server_request(server_id: int) -> dict[str, object]:
+    """The v2 ``recover_server`` request."""
+    return {"op": "recover_server", "v": PROTOCOL_VERSION,
+            "server_id": server_id}
 
 
 def negotiate_version(message: Mapping[str, object]) -> int:
@@ -143,7 +184,9 @@ def parse_request(line: str) -> dict[str, object]:
     version = negotiate_version(message)
     op = message.get("op")
     if op not in OPS:
-        raise ServiceError(f"unknown op {op!r}; supported: {OPS}")
+        raise UnknownOperationError(
+            f"unknown op {op!r}; this daemon supports: {list(OPS)}",
+            op=op, supported=OPS)
     if op == "place":
         record = message.get("vm")
         if not isinstance(record, dict):
@@ -167,6 +210,23 @@ def parse_request(line: str) -> dict[str, object]:
             raise ServiceError(
                 f"tick request needs a non-negative integer 'now', "
                 f"got {message.get('now')!r}")
+    elif op in ("fail_server", "recover_server"):
+        if version < 2:
+            raise ServiceError(
+                f'{op} requires protocol version 2; send "v": 2')
+        server_id = message.get("server_id")
+        if isinstance(server_id, bool) or not isinstance(server_id, int) \
+                or server_id < 0:
+            raise ServiceError(
+                f"{op} request needs a non-negative integer 'server_id', "
+                f"got {server_id!r}")
+        if op == "fail_server" and "time" in message:
+            time = message.get("time")
+            if isinstance(time, bool) or not isinstance(time, int) \
+                    or time < 1:
+                raise ServiceError(
+                    f"fail_server field 'time' must be a positive "
+                    f"integer, got {time!r}")
     return message
 
 

@@ -28,17 +28,33 @@ commits and clock advances exactly — including out-of-order arrivals
 sleep/wake cycles the one-tick lookahead would otherwise elide when all
 starts are known up front — so planning state, machines (power state,
 residents, transition counters) and telemetry are rebuilt bit-for-bit.
+
+Failures are first-class: :meth:`fail_server` kills a server at a tick,
+splits every affected VM through the shared
+:mod:`repro.simulation.recovery` mechanics (interrupted heads stay on
+the victim's books as wasted energy, remainders are re-placed through a
+recovery allocator over the surviving fleet), and records the whole
+episode — every head/remainder/target — as one event in the snapshot
+stream, so a restore replays the *recorded* re-placements instead of
+re-running the allocator. :meth:`recover_server` brings a dead server
+back to POWER_SAVING; its next wake pays the usual transition cost
+``alpha``, which is exactly the paper's Eq.-17 accounting of
+recovery as an energy event. Snapshots carrying failure events use
+format version 2; event-free snapshots keep writing version 1.
 """
 
 from __future__ import annotations
 
 import json
 import os
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Mapping
+from typing import Mapping, Sequence
 
 import numpy as np
 
+from repro.allocators.base import Allocator
+from repro.allocators.min_energy import MinIncrementalEnergy
 from repro.allocators.state import ServerState
 from repro.energy.cost import SleepPolicy, allocation_cost
 from repro.exceptions import ValidationError
@@ -49,12 +65,92 @@ from repro.model.server import ServerSpec
 from repro.model.vm import VM
 from repro.placement.occupancy import DEFAULT_ENGINE
 from repro.simulation.power_state import PowerState, ServerMachine
+from repro.simulation.recovery import recover_target, split_remainder
 from repro.simulation.telemetry import Telemetry
 from repro.workload.trace import vm_from_record, vm_to_record
 
-__all__ = ["ClusterStateStore", "SNAPSHOT_FORMAT_VERSION", "snapshot_meta"]
+__all__ = ["ClusterStateStore", "FailureReport", "Replacement",
+           "SNAPSHOT_FORMAT_VERSION", "snapshot_meta"]
 
-SNAPSHOT_FORMAT_VERSION = 1
+#: Highest snapshot format this build writes (and reads). Version 2
+#: adds the failure/recovery event stream; stores with no events keep
+#: writing version 1 so their snapshots stay readable by older builds.
+SNAPSHOT_FORMAT_VERSION = 2
+
+_SUPPORTED_SNAPSHOT_VERSIONS = (1, 2)
+
+
+@dataclass(frozen=True)
+class Replacement:
+    """One affected VM's fate in a server failure.
+
+    ``head`` is the interrupted prefix left on the victim (``None`` when
+    the VM had not started and moved whole); ``remainder`` is the part
+    re-placed — onto ``server_id``, or lost when ``server_id`` is
+    ``None``. ``energy_delta`` is the Eq.-17 planning delta on the
+    target (including a forced wake ``alpha`` when the target has to
+    power on); ``0.0`` for a lost remainder.
+    """
+
+    vm: VM
+    head: VM | None
+    remainder: VM
+    server_id: int | None
+    energy_delta: float = 0.0
+
+    @property
+    def lost(self) -> bool:
+        return self.server_id is None
+
+    def to_record(self) -> dict[str, object]:
+        return {
+            "vm": vm_to_record(self.vm),
+            "head": vm_to_record(self.head) if self.head is not None
+            else None,
+            "remainder": vm_to_record(self.remainder),
+            "server_id": self.server_id,
+        }
+
+    @classmethod
+    def from_record(cls, record: Mapping[str, object]) -> "Replacement":
+        head = record.get("head")
+        server_id = record.get("server_id")
+        return cls(
+            vm=vm_from_record(record["vm"]),
+            head=vm_from_record(head) if head is not None else None,
+            remainder=vm_from_record(record["remainder"]),
+            server_id=int(server_id) if server_id is not None else None,
+        )
+
+
+@dataclass(frozen=True)
+class FailureReport:
+    """What one :meth:`ClusterStateStore.fail_server` episode did."""
+
+    server_id: int
+    time: int
+    replacements: tuple[Replacement, ...]
+    #: change of the victim's Eq.-17 book (interrupted heads replace
+    #: the affected VMs' full runs — usually negative)
+    victim_delta: float
+    #: victim delta plus every target delta: the fleet-wide energy cost
+    #: of this failure episode
+    energy_delta: float
+
+    @property
+    def killed(self) -> int:
+        """VMs interrupted mid-run (a head was left behind)."""
+        return sum(1 for r in self.replacements if r.head is not None)
+
+    @property
+    def replaced(self) -> int:
+        """Remainders that found a new home."""
+        return sum(1 for r in self.replacements if r.server_id is not None)
+
+    @property
+    def lost(self) -> tuple[VM, ...]:
+        """Affected VMs whose remainder fit nowhere."""
+        return tuple(r.vm for r in self.replacements if r.lost)
 
 _SPEC_FIELDS = ("name", "cpu_capacity", "memory_capacity", "p_idle",
                 "p_peak", "transition_time")
@@ -81,9 +177,21 @@ class ClusterStateStore:
         #: analytic Eq.-17 energy, accumulated per-placement delta
         self.energy_accumulated = 0.0
         self._placements: list[tuple[VM, int]] = []
-        #: clock value at each commit, parallel to ``_placements``
-        self._commit_clocks: list[int] = []
+        #: durable replay stream: every normal commit as (vm, server_id,
+        #: clock committed at). Unlike ``_placements`` — the live
+        #: allocation truth, which failures edit in place — this log is
+        #: append-only; snapshots serialize it plus the event stream.
+        self._commit_log: list[tuple[VM, int, int]] = []
+        #: failure/recovery events, JSON-safe, in occurrence order; each
+        #: carries ``after`` = how many commits preceded it, so replay
+        #: interleaves the two streams exactly.
+        self._events: list[dict] = []
+        #: server_id -> failure tick of currently-dead servers
+        self._dead: dict[int, int] = {}
         self._vm_ids: set[int] = set()
+        #: next fresh vm id for failure splits (heads/remainders get ids
+        #: above every id ever committed, mirroring the offline replay)
+        self._next_vm_id = 0
         # live-event schedule: tick -> [(piece_id, server_id)]
         self._starts: dict[int, list[tuple[int, int]]] = {}
         self._ends: dict[int, list[tuple[int, int]]] = {}
@@ -120,11 +228,24 @@ class ClusterStateStore:
             raise ValidationError(
                 f"vm_id {vm.vm_id} is already placed; "
                 "service vm ids must be unique")
+        if server_id in self._dead:
+            raise ValidationError(
+                f"server {server_id} failed at tick "
+                f"{self._dead[server_id]} and has not recovered; "
+                "it cannot host new VMs")
         delta = self.states[server_id].place(vm)
         self._vm_ids.add(vm.vm_id)
+        self._next_vm_id = max(self._next_vm_id, vm.vm_id + 1)
         self._placements.append((vm, server_id))
-        self._commit_clocks.append(self.clock)
+        self._commit_log.append((vm, server_id, self.clock))
         self.energy_accumulated += delta
+        self._schedule_live(vm, server_id)
+        return delta
+
+    def _schedule_live(self, vm: VM, server_id: int) -> None:
+        """Register ``vm``'s pieces on the live schedule; pieces already
+        due start immediately (waking the server when needed), entirely
+        past VMs are retired from planning on the spot."""
         open_pieces = 0
         for piece, cpu, memory in demand_profile(vm):
             if piece.end < self.clock:
@@ -151,7 +272,6 @@ class ClusterStateStore:
             # Entirely in the past at commit time: retire immediately so
             # planning-state memory tracks live load, not history.
             self.states[server_id].retire(vm, before=self.clock)
-        return delta
 
     # -- clock -------------------------------------------------------------
 
@@ -215,6 +335,206 @@ class ClusterStateStore:
         """Advance past the last scheduled retirement, closing every tick."""
         self.advance_to(max(self.clock, self._max_end) + 1)
 
+    # -- failures ----------------------------------------------------------
+
+    def fail_server(self, server_id: int, time: int | None = None, *,
+                    recovery: Allocator | None = None,
+                    replacements: Sequence[Replacement] | None = None
+                    ) -> FailureReport:
+        """Kill server ``server_id`` at tick ``time``; re-place its VMs.
+
+        Mirrors :func:`repro.simulation.failures.inject_failures`, one
+        failure at a time, against the live store: the clock advances to
+        ``time`` (default: the current tick), the victim stops drawing
+        power and hosting VMs, and every affected VM (``end >= time``,
+        processed in ``(start, vm_id)`` order) is cut by the shared
+        :func:`~repro.simulation.recovery.split_remainder` rule — the
+        interrupted head stays on the victim's books as wasted energy,
+        the remainder goes to
+        :func:`~repro.simulation.recovery.recover_target` over the
+        surviving fleet (``recovery`` defaults to the paper's
+        min-incremental-energy heuristic). Remainders that fit nowhere
+        are lost.
+
+        Targets that must power on to take a remainder pay the
+        transition cost ``alpha`` — visible in each
+        :class:`Replacement.energy_delta` — which is why the returned
+        :class:`FailureReport` is an *energy* report, not just an
+        availability one.
+
+        ``replacements`` replays a previously recorded episode verbatim
+        (snapshot restore / journal replay): the allocator is never
+        re-run, the recorded head/remainder/target triples are applied
+        as-is, so a restored store is bit-identical to the original.
+        """
+        if not 0 <= server_id < len(self.cluster):
+            raise ValidationError(
+                f"failure names unknown server {server_id}")
+        if server_id in self._dead:
+            raise ValidationError(
+                f"server {server_id} already failed at tick "
+                f"{self._dead[server_id]}")
+        time = self.clock if time is None else int(time)
+        if time < 1:
+            raise ValidationError(
+                f"failure time must be >= 1, got {time}")
+        if time < self.clock:
+            raise ValidationError(
+                f"cannot fail server {server_id} in the past: "
+                f"tick {time} < clock {self.clock}")
+        at = self.clock
+        self.advance_to(time)
+        victim = self.states[server_id]
+        old_cost = victim.cost
+        self._dead[server_id] = time
+        self.machines[server_id].fail()
+        out: list[Replacement] = []
+        if replacements is None:
+            affected = sorted(
+                (vm for vm in list(victim.vms) if vm.end >= time),
+                key=lambda v: (v.start, v.vm_id))
+            if recovery is None:
+                recovery = MinIncrementalEnergy(policy=self.policy,
+                                                engine=self.engine)
+            self._purge_pieces({vm.vm_id for vm in affected})
+            for vm in affected:
+                self._unplace(vm, server_id)
+                head, remainder, self._next_vm_id = split_remainder(
+                    vm, time, self._next_vm_id)
+                target = recover_target(remainder, self.states,
+                                        self._dead, recovery)
+                target_id = None if target is None \
+                    else target.server.server_id
+                out.append(self._apply_replacement(
+                    vm, head, remainder, server_id, target_id))
+        else:
+            planned = [r if isinstance(r, Replacement)
+                       else Replacement.from_record(r)
+                       for r in replacements]
+            self._purge_pieces({r.vm.vm_id for r in planned})
+            for r in planned:
+                self._unplace(r.vm, server_id)
+                if r.head is not None:
+                    self._next_vm_id = max(self._next_vm_id,
+                                           r.head.vm_id + 1,
+                                           r.remainder.vm_id + 1)
+                out.append(self._apply_replacement(
+                    r.vm, r.head, r.remainder, server_id, r.server_id))
+        # Rebuild the victim's planning book from the full placement
+        # history (retired VMs included): the naive remove+re-place
+        # would lose the energy anchors of already-retired VMs. Every
+        # surviving entry ends before the failure tick, so the fresh
+        # state retires them all and holds only the Eq.-17 cost.
+        fresh = ServerState(victim.server, policy=self.policy,
+                            engine=self.engine)
+        mine = [vm for vm, sid in self._placements if sid == server_id]
+        for vm in mine:
+            fresh.place(vm)
+        for vm in mine:
+            fresh.retire(vm, before=self.clock)
+        self.states[server_id] = fresh
+        victim_delta = fresh.cost - old_cost
+        self.energy_accumulated += victim_delta
+        report = FailureReport(
+            server_id=server_id, time=time, replacements=tuple(out),
+            victim_delta=victim_delta,
+            energy_delta=victim_delta + sum(r.energy_delta for r in out))
+        self._events.append({
+            "kind": "fail", "server_id": server_id, "time": time,
+            "at": at, "after": len(self._commit_log),
+            "replacements": [r.to_record() for r in out]})
+        return report
+
+    def recover_server(self, server_id: int) -> None:
+        """Bring a failed server back to POWER_SAVING.
+
+        Recovery itself is free; the planning book (with any wasted
+        heads) is kept, and the server's next wake — forced by the
+        first VM placed on it — pays the usual transition ``alpha``.
+        """
+        if not 0 <= server_id < len(self.cluster):
+            raise ValidationError(
+                f"recovery names unknown server {server_id}")
+        if server_id not in self._dead:
+            raise ValidationError(
+                f"server {server_id} is not failed")
+        del self._dead[server_id]
+        self.machines[server_id].recover()
+        self._events.append({
+            "kind": "recover", "server_id": server_id,
+            "at": self.clock, "after": len(self._commit_log)})
+
+    def _apply_replacement(self, vm: VM, head: VM | None, remainder: VM,
+                           victim_id: int, target_id: int | None
+                           ) -> Replacement:
+        """Book one affected VM's head/remainder after its old entry has
+        been removed from the placement list."""
+        delta = 0.0
+        if head is not None:
+            # The head ran on the victim and its energy is spent but
+            # useless; it stays on the dead server's books as waste
+            # (accounted in the victim rebuild, not here).
+            self._placements.append((head, victim_id))
+            self._vm_ids.add(head.vm_id)
+        if target_id is not None:
+            delta = self.states[target_id].place(remainder)
+            self.energy_accumulated += delta
+            self._placements.append((remainder, target_id))
+            self._vm_ids.add(remainder.vm_id)
+            self._schedule_live(remainder, target_id)
+        return Replacement(vm=vm, head=head, remainder=remainder,
+                           server_id=target_id, energy_delta=delta)
+
+    def _unplace(self, vm: VM, server_id: int) -> None:
+        try:
+            self._placements.remove((vm, server_id))
+        except ValueError:
+            raise ValidationError(
+                f"vm {vm.vm_id} is not placed on server {server_id}"
+            ) from None
+
+    def _purge_pieces(self, vm_ids: set[int]) -> None:
+        """Drop every live-schedule trace of the given VMs (their
+        machine residency was already cleared by the failure)."""
+        doomed = {piece_id for piece_id, vm_id in self._piece_vm.items()
+                  if vm_id in vm_ids}
+        for piece_id in doomed:
+            del self._piece_demand[piece_id]
+            del self._piece_vm[piece_id]
+        if doomed:
+            for schedule in (self._starts, self._ends):
+                for tick in list(schedule):
+                    kept = [entry for entry in schedule[tick]
+                            if entry[0] not in doomed]
+                    if kept:
+                        schedule[tick] = kept
+                    else:
+                        del schedule[tick]
+        for vm_id in vm_ids:
+            self._open_pieces.pop(vm_id, None)
+
+    def _apply_event(self, event: Mapping[str, object]) -> None:
+        """Replay one recorded failure/recovery event (snapshot restore)."""
+        try:
+            kind = event["kind"]
+            server_id = int(event["server_id"])
+            at = int(event["at"])
+        except (TypeError, KeyError, ValueError) as exc:
+            raise ValidationError(
+                f"malformed snapshot event: {exc}") from exc
+        if at > self.clock:
+            self.advance_to(at)
+        if kind == "fail":
+            self.fail_server(
+                server_id, int(event["time"]),
+                replacements=[Replacement.from_record(record)
+                              for record in event.get("replacements", ())])
+        elif kind == "recover":
+            self.recover_server(server_id)
+        else:
+            raise ValidationError(
+                f"unknown snapshot event kind {kind!r}")
+
     # -- views -------------------------------------------------------------
 
     @property
@@ -249,6 +569,23 @@ class ClusterStateStore:
         return sum(1 for m in self.machines.values()
                    if m.state is PowerState.POWER_SAVING)
 
+    def servers_failed(self) -> int:
+        return len(self._dead)
+
+    def is_failed(self, server_id: int) -> bool:
+        return server_id in self._dead
+
+    def dead_servers(self) -> dict[int, int]:
+        """``server_id -> failure tick`` of the currently-failed servers."""
+        return dict(self._dead)
+
+    def live_states(self) -> list[ServerState]:
+        """Planning states of the non-failed servers, ascending id —
+        the fleet allocators are allowed to scan. Note the list
+        positions are *not* server ids once a server is dead."""
+        return [state for sid, state in enumerate(self.states)
+                if sid not in self._dead]
+
     def running_vms(self) -> int:
         return sum(len(m.resident_vms) for m in self.machines.values())
 
@@ -264,9 +601,15 @@ class ClusterStateStore:
                     ) -> dict[str, object]:
         """A JSON-safe document from which :meth:`from_snapshot` rebuilds
         an identical store. ``meta`` rides along uninterpreted (the
-        daemon stores its counters and journal sequence there)."""
-        return {
-            "format_version": SNAPSHOT_FORMAT_VERSION,
+        daemon stores its counters and journal sequence there).
+
+        Failure/recovery events make the document format version 2
+        (commit stream + interleaved event stream); a store that never
+        saw a failure keeps writing version 1, byte-compatible with
+        older builds.
+        """
+        document: dict[str, object] = {
+            "format_version": 2 if self._events else 1,
             "policy": self.policy.value,
             "engine": self.engine,
             "clock": self.clock,
@@ -275,10 +618,13 @@ class ClusterStateStore:
             "placements": [{"server_id": server_id,
                             "committed_at": committed_at,
                             "vm": vm_to_record(vm)}
-                           for (vm, server_id), committed_at
-                           in zip(self._placements, self._commit_clocks)],
+                           for vm, server_id, committed_at
+                           in self._commit_log],
             "meta": dict(meta) if meta else {},
         }
+        if self._events:
+            document["events"] = [dict(event) for event in self._events]
+        return document
 
     @classmethod
     def from_snapshot(cls, document: Mapping[str, object]
@@ -286,13 +632,16 @@ class ClusterStateStore:
         """Rebuild a store from a :meth:`to_snapshot` document.
 
         Placements are re-committed in their original order, each at
-        its recorded ``committed_at`` clock, so the live sequence of
-        commits and clock advances — and with it planning state, power
-        states, transition counters and telemetry — is reproduced
-        exactly.
+        its recorded ``committed_at`` clock, with failure/recovery
+        events interleaved at their recorded positions (each event's
+        ``after`` counts the commits preceding it) and applied with
+        their *recorded* re-placements — the allocator is never re-run
+        — so the live sequence of commits, clock advances and failures,
+        and with it planning state, power states, transition counters
+        and telemetry, is reproduced exactly.
         """
         version = document.get("format_version")
-        if version != SNAPSHOT_FORMAT_VERSION:
+        if version not in _SUPPORTED_SNAPSHOT_VERSIONS:
             raise ValidationError(
                 f"unsupported snapshot format version {version!r}")
         try:
@@ -304,10 +653,16 @@ class ClusterStateStore:
             engine = str(document.get("engine", DEFAULT_ENGINE))
             clock = int(document["clock"])
             entries = list(document["placements"])
+            events = list(document.get("events", ()))
         except (TypeError, KeyError, ValueError) as exc:
             raise ValidationError(f"malformed snapshot: {exc}") from exc
         store = cls(Cluster.from_specs(specs), policy=policy, engine=engine)
+        next_event = 0
         for i, entry in enumerate(entries):
+            while next_event < len(events) and \
+                    int(events[next_event].get("after", 0)) <= i:
+                store._apply_event(events[next_event])
+                next_event += 1
             try:
                 vm = vm_from_record(entry["vm"])
                 server_id = int(entry["server_id"])
@@ -318,6 +673,9 @@ class ClusterStateStore:
             if committed_at > store.clock:
                 store.advance_to(committed_at)
             store.commit(vm, server_id)
+        while next_event < len(events):
+            store._apply_event(events[next_event])
+            next_event += 1
         store.advance_to(clock)
         return store
 

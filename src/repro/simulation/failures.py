@@ -15,7 +15,7 @@ and the disruption (VMs killed, re-placements, unrecoverable VMs).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Mapping
+from typing import Iterable
 
 import numpy as np
 
@@ -26,8 +26,8 @@ from repro.energy.cost import SleepPolicy
 from repro.exceptions import ValidationError
 from repro.model.allocation import Allocation
 from repro.model.cluster import Cluster
-from repro.model.phases import split_vm
 from repro.model.vm import VM
+from repro.simulation.recovery import recover_target, split_remainder
 
 __all__ = ["ServerFailure", "FailureOutcome", "inject_failures",
            "random_failures"]
@@ -132,18 +132,15 @@ def inject_failures(allocation: Allocation,
         for vm in sorted(affected, key=lambda v: (v.start, v.vm_id)):
             victim_state.remove(vm)
             del placements[vm]
-            if vm.start >= failure.time:
-                remainder = vm  # had not started: move it whole
-            else:
+            head, remainder, next_id = split_remainder(vm, failure.time,
+                                                       next_id)
+            if head is not None:
                 killed += 1
-                head, remainder = split_vm(vm, failure.time, next_id,
-                                           next_id + 1)
-                next_id += 2
                 # The head ran and its energy is spent but useless; it
                 # stays on the dead server's books as waste.
                 wasted += victim_state.place(head)
                 placements[head] = failure.server_id
-            target = _recover(remainder, states, dead, recovery)
+            target = recover_target(remainder, states, dead, recovery)
             if target is None:
                 lost.append(vm)
                 continue
@@ -164,13 +161,6 @@ def inject_failures(allocation: Allocation,
     )
 
 
-def _recover(remainder: VM, states: Mapping[int, ServerState],
-             dead: Mapping[int, int], recovery: Allocator
-             ) -> ServerState | None:
-    """Pick a surviving server for a remainder via the recovery policy."""
-    survivors = [state for sid, state in sorted(states.items())
-                 if sid not in dead]
-    feasible = [state for state in survivors if state.probe(remainder)]
-    if not feasible:
-        return None
-    return recovery.choose(remainder, feasible)
+# Backwards-compatible name: the remainder/target mechanics now live in
+# :mod:`repro.simulation.recovery`, shared with the live service.
+_recover = recover_target

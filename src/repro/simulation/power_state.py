@@ -5,11 +5,18 @@ A server is in exactly one of three states:
 * ``POWER_SAVING`` — drawing (approximately) zero power;
 * ``TRANSITIONING`` — switching on, drawing peak power for the whole
   transition (Gandhi et al., IGCC'12 — the paper's Sec. IV-B3 rule);
-* ``ACTIVE`` — drawing ``P_idle + P^1 * cpu_in_use``.
+* ``ACTIVE`` — drawing ``P_idle + P^1 * cpu_in_use``;
+* ``FAILED`` — crashed: drawing nothing, hosting nothing, refusing
+  every operation until :meth:`ServerMachine.recover` brings it back
+  to ``POWER_SAVING`` (a recovered server must wake — and pay the
+  transition energy ``alpha`` — before hosting again).
 
 The machine enforces legality: VMs may start only on an ACTIVE server,
 sleep is only reachable from ACTIVE with no VMs resident, and each
 power-saving -> active passage accounts one transition energy ``alpha``.
+A crash (:meth:`ServerMachine.fail`) is legal from any live state and
+evicts all residents at once — the service layer decides what happens
+to them (see :mod:`repro.simulation.recovery`).
 """
 
 from __future__ import annotations
@@ -26,6 +33,7 @@ class PowerState(enum.Enum):
     POWER_SAVING = "power-saving"
     TRANSITIONING = "transitioning"
     ACTIVE = "active"
+    FAILED = "failed"
 
 
 class ServerMachine:
@@ -70,6 +78,35 @@ class ServerMachine:
                 f"resident")
         self.state = PowerState.POWER_SAVING
 
+    def fail(self) -> None:
+        """Crash: evict every resident VM and stop drawing power.
+
+        Legal from any live state — a sleeping, transitioning or active
+        server can die. What happens to the evicted VMs is the caller's
+        problem (the service re-places their remainders elsewhere); the
+        machine only records that this server hosts nothing and refuses
+        all operations until :meth:`recover`.
+        """
+        if self.state is PowerState.FAILED:
+            raise SimulationError(f"{self.server}: fail while already FAILED")
+        self.state = PowerState.FAILED
+        self.resident_vms.clear()
+        self.resident_cpu = 0.0
+        self.resident_mem = 0.0
+
+    def recover(self) -> None:
+        """Return from FAILED to POWER_SAVING.
+
+        Recovery itself is free; the first :meth:`wake` after it charges
+        the usual transition energy ``alpha`` — which is exactly why a
+        recovery that immediately hosts a VM is an energy event.
+        """
+        if self.state is not PowerState.FAILED:
+            raise SimulationError(
+                f"{self.server}: recover from {self.state.name}, expected "
+                f"FAILED")
+        self.state = PowerState.POWER_SAVING
+
     def start_vm(self, vm_id: int, cpu: float, memory: float) -> None:
         """Admit a VM; the server must be active with room for it."""
         if self.state is not PowerState.ACTIVE:
@@ -102,7 +139,7 @@ class ServerMachine:
 
     def power_draw(self) -> float:
         """Instantaneous power in the current state (watts)."""
-        if self.state is PowerState.POWER_SAVING:
+        if self.state in (PowerState.POWER_SAVING, PowerState.FAILED):
             return 0.0
         if self.state is PowerState.TRANSITIONING:
             return self.server.p_peak

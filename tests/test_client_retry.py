@@ -1,0 +1,229 @@
+"""Retry/backoff behavior of :class:`repro.service.AllocationClient`,
+driven entirely through fake connections — no daemon, no sockets, no
+wall-clock sleeping."""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.exceptions import (
+    OverloadedError,
+    RetryableError,
+    TransportError,
+    ValidationError,
+)
+from repro.service import AllocationClient, ClientConfig, DaemonClient
+
+
+class FakeConnection:
+    """One scripted daemon connection.
+
+    ``script`` is a list of response lines (str), exceptions (raised on
+    the read), or ``""`` (daemon closed the connection). Each request
+    consumes one item; an exhausted script reads as closed.
+    """
+
+    def __init__(self, script):
+        self.script = list(script)
+        self.sent: list[str] = []
+        self.closed = False
+
+    def makefile(self, mode, encoding=None):
+        return _Writer(self) if "w" in mode else _Reader(self)
+
+    def close(self):
+        self.closed = True
+
+
+class _Writer:
+    def __init__(self, conn):
+        self._conn = conn
+
+    def write(self, data):
+        self._conn.sent.append(data)
+
+    def flush(self):
+        pass
+
+    def close(self):
+        pass
+
+
+class _Reader:
+    def __init__(self, conn):
+        self._conn = conn
+
+    def readline(self):
+        if not self._conn.script:
+            return ""
+        item = self._conn.script.pop(0)
+        if isinstance(item, Exception):
+            raise item
+        return item
+
+    def close(self):
+        pass
+
+
+def ok_line(**extra):
+    return json.dumps({"ok": True, **extra}) + "\n"
+
+
+def overloaded_line(retry_after=None):
+    payload = {"ok": False, "error": "overloaded"}
+    if retry_after is not None:
+        payload["retry_after"] = retry_after
+    return json.dumps(payload) + "\n"
+
+
+def make_client(scripts, config):
+    """A client whose successive (re)connections serve ``scripts``."""
+    connections = [FakeConnection(script) if not isinstance(script, Exception)
+                   else script for script in scripts]
+    live = []
+    delays = []
+
+    def connect():
+        item = connections.pop(0)
+        if isinstance(item, Exception):
+            raise item
+        live.append(item)
+        return item
+
+    client = AllocationClient(config=config, connect=connect,
+                              sleep=delays.append)
+    return client, live, delays
+
+
+class TestTransportRetry:
+    def test_dead_connections_are_retried_then_succeed(self):
+        # Two connections die before answering; the third answers.
+        client, live, delays = make_client(
+            [[], [], [ok_line(op="ping")]], ClientConfig(retries=2))
+        assert client.ping()["ok"] is True
+        assert len(live) == 3  # one reconnect per retry
+        assert len(delays) == 2
+        # The request went out on every attempt.
+        assert sum(len(conn.sent) for conn in live) == 3
+
+    def test_mid_read_oserror_is_retried(self):
+        client, live, _ = make_client(
+            [[ConnectionResetError("peer reset")], [ok_line()]],
+            ClientConfig(retries=1))
+        assert client.request({"op": "ping"})["ok"] is True
+        assert live[0].closed  # broken connection was torn down
+
+    def test_exhausted_budget_raises_transport_error(self):
+        client, live, delays = make_client(
+            [[], [], [], [ok_line()]], ClientConfig(retries=2))
+        with pytest.raises(TransportError):
+            client.ping()
+        assert len(live) == 3  # retries + 1 attempts, no more
+        assert len(delays) == 2
+
+    def test_zero_retries_fails_fast(self):
+        client, live, delays = make_client([[], [ok_line()]],
+                                           ClientConfig())
+        with pytest.raises(TransportError):
+            client.ping()
+        assert len(live) == 1 and delays == []
+
+    def test_reconnect_failure_counts_as_an_attempt(self):
+        client, live, _ = make_client(
+            [[], ConnectionRefusedError("down"), [ok_line()]],
+            ClientConfig(retries=2))
+        assert client.ping()["ok"] is True
+        assert len(live) == 2  # the refused connect never went live
+
+    def test_transport_error_is_retryable(self):
+        assert issubclass(TransportError, RetryableError)
+        assert issubclass(OverloadedError, RetryableError)
+
+
+class TestBackoffSchedule:
+    def test_exponential_with_cap(self):
+        client, _, delays = make_client(
+            [[], [], [], [], [ok_line()]],
+            ClientConfig(retries=4, backoff=0.1, backoff_cap=0.4,
+                         jitter=0.0))
+        client.ping()
+        assert delays == pytest.approx([0.1, 0.2, 0.4, 0.4])
+
+    def test_seeded_jitter_is_reproducible(self):
+        config = ClientConfig(retries=3, backoff=0.1, backoff_cap=1.0,
+                              jitter=0.5, seed=42)
+        client, _, delays = make_client([[], [], [], [ok_line()]], config)
+        client.ping()
+        rng = random.Random(42)
+        expected = [min(1.0, 0.1 * 2 ** k) * (1 + 0.5 * rng.random())
+                    for k in range(3)]
+        assert delays == pytest.approx(expected)
+        # Same seed, same schedule.
+        repeat, _, repeat_delays = make_client(
+            [[], [], [], [ok_line()]], config)
+        repeat.ping()
+        assert repeat_delays == pytest.approx(delays)
+
+
+class TestOverloaded:
+    def test_overload_waits_at_least_retry_after(self):
+        client, _, delays = make_client(
+            [[overloaded_line(retry_after=0.7), ok_line()]],
+            ClientConfig(retries=1, backoff=0.01))
+        assert client.request({"op": "tick", "now": 3})["ok"] is True
+        assert delays == [0.7]  # daemon hint dominates the backoff
+
+    def test_backoff_dominates_small_retry_after(self):
+        client, _, delays = make_client(
+            [[overloaded_line(retry_after=0.001), ok_line()]],
+            ClientConfig(retries=1, backoff=0.5, jitter=0.0))
+        client.ping()
+        assert delays == [0.5]
+
+    def test_exhausted_overload_raises_with_hint(self):
+        client, _, _ = make_client(
+            [[overloaded_line(retry_after=0.25)]], ClientConfig())
+        with pytest.raises(OverloadedError) as excinfo:
+            client.ping()
+        assert excinfo.value.retry_after == 0.25
+
+    def test_overload_without_hint_uses_backoff(self):
+        client, _, delays = make_client(
+            [[overloaded_line(), ok_line()]],
+            ClientConfig(retries=1, backoff=0.2, jitter=0.0))
+        client.ping()
+        assert delays == [0.2]
+
+
+class TestTerminalErrors:
+    def test_structured_daemon_errors_are_not_retried(self):
+        error = json.dumps({"ok": False, "error": "unknown op 'nope'",
+                            "supported_ops": ["place"]}) + "\n"
+        client, live, delays = make_client(
+            [[error, ok_line()]], ClientConfig(retries=5))
+        response = client.request({"op": "nope"})
+        assert response["ok"] is False
+        assert response["supported_ops"] == ["place"]
+        assert delays == []  # no retry budget consumed
+        assert len(live[0].sent) == 1
+
+    def test_config_validation(self):
+        for bad in (dict(timeout=0.0), dict(retries=-1),
+                    dict(backoff=-0.1), dict(backoff_cap=-1.0),
+                    dict(jitter=-0.5)):
+            with pytest.raises(ValidationError):
+                ClientConfig(**bad)
+
+    def test_timeout_must_live_in_the_config(self):
+        with pytest.raises(ValidationError):
+            AllocationClient(timeout=5.0, config=ClientConfig(timeout=9.0),
+                             connect=lambda: FakeConnection([]))
+
+
+class TestAlias:
+    def test_daemon_client_is_the_zero_retry_alias(self):
+        assert DaemonClient is AllocationClient
+        assert ClientConfig().retries == 0

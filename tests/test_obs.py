@@ -166,23 +166,23 @@ class TestExplain:
 
     def test_cpu_capacity_reason(self):
         states = self._states(1)
-        assert states[0].fit_reason(
-            make_vm(0, 1, 5, cpu=99.0)) == "cpu:capacity"
+        assert states[0].probe(
+            make_vm(0, 1, 5, cpu=99.0)).reason == "cpu:capacity"
 
     def test_mem_capacity_reason(self):
         states = self._states(1)
-        assert states[0].fit_reason(
-            make_vm(0, 1, 5, memory=99.0)) == "mem:capacity"
+        assert states[0].probe(
+            make_vm(0, 1, 5, memory=99.0)).reason == "mem:capacity"
 
     def test_overlap_reason_names_first_offending_tick(self):
         states = self._states(1)
         states[0].place(make_vm(0, 3, 8, cpu=8.0))
-        reason = states[0].fit_reason(make_vm(1, 1, 5, cpu=8.0))
+        reason = states[0].probe(make_vm(1, 1, 5, cpu=8.0)).reason
         assert reason == "cpu:overlap@3"
 
-    def test_fit_reason_none_when_feasible(self):
+    def test_probe_reason_none_when_feasible(self):
         states = self._states(1)
-        assert states[0].fit_reason(make_vm(0, 1, 5)) is None
+        assert states[0].probe(make_vm(0, 1, 5)).reason is None
 
     def test_cost_terms_match_incremental_cost(self):
         states = self._states(1)

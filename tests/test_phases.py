@@ -156,10 +156,11 @@ class TestServerStatePhased:
         state.place(ramp_vm(0))  # cpu profile: 2,2,6,6,6,3
         # A VM needing 7 cu during [1,2] fits (2+7 <= 10); it would not
         # fit under the conservative peak interpretation (6+7 > 10).
-        assert state.fits(VM(1, VMSpec("t", 7.0, 5.0), TimeInterval(1, 2)))
+        assert state.probe(VM(1, VMSpec("t", 7.0, 5.0),
+                               TimeInterval(1, 2))).feasible
         # But not during the high phase.
-        assert not state.fits(VM(2, VMSpec("t", 7.0, 5.0),
-                                 TimeInterval(3, 4)))
+        assert not state.probe(VM(2, VMSpec("t", 7.0, 5.0),
+                                  TimeInterval(3, 4))).feasible
 
     def test_place_and_remove_roundtrip(self):
         state = ServerState(Server(0, SPEC))
@@ -167,8 +168,8 @@ class TestServerStatePhased:
         state.place(vm)
         state.remove(vm)
         assert state.is_empty
-        assert state.fits(VM(1, VMSpec("t", 10.0, 10.0),
-                             TimeInterval(1, 6)))
+        assert state.probe(VM(1, VMSpec("t", 10.0, 10.0),
+                               TimeInterval(1, 6))).feasible
 
     def test_incremental_cost_counts_phase_run_energy(self):
         state = ServerState(Server(0, SPEC))

@@ -1,5 +1,5 @@
-"""Unit tests for the placement engine: occupancy indexes, probe(), the
-candidate index, and the deprecated fits/fit_reason/peak_usage wrappers."""
+"""Unit tests for the placement engine: occupancy indexes, probe(), and
+the candidate index (the pre-probe wrapper trio is gone)."""
 
 from __future__ import annotations
 
@@ -191,28 +191,22 @@ class TestProbe:
         assert bool(verdict._replace(feasible=False)) is False
 
 
-class TestDeprecatedWrappers:
-    def test_fits_warns_and_agrees_with_probe(self):
+class TestRemovedWrappers:
+    def test_deprecated_trio_is_gone(self):
+        # The pre-probe fits/fit_reason/peak_usage wrappers completed
+        # their deprecation cycle and were removed; probe() answers all
+        # three questions in one pass.
         state = new_state()
-        state.place(make_vm(0, 1, 5, cpu=6.0))
-        good, bad = make_vm(1, 6, 9, cpu=6.0), make_vm(2, 3, 8, cpu=6.0)
-        with pytest.warns(DeprecationWarning, match="probe"):
-            assert state.fits(good) == state.probe(good).feasible
-        with pytest.warns(DeprecationWarning):
-            assert state.fits(bad) == state.probe(bad).feasible
+        for name in ("fits", "fit_reason", "peak_usage"):
+            assert not hasattr(state, name)
 
-    def test_fit_reason_warns_and_agrees_with_probe(self):
-        state = new_state()
-        state.place(make_vm(0, 4, 8, cpu=6.0))
-        vm = make_vm(1, 1, 10, cpu=6.0)
-        with pytest.warns(DeprecationWarning, match="probe"):
-            assert state.fit_reason(vm) == state.probe(vm).reason
-
-    def test_peak_usage_warns_and_matches_occupancy(self):
+    def test_probe_covers_the_removed_surface(self):
         state = new_state()
         state.place(make_vm(0, 1, 5, cpu=3.0, memory=2.0))
-        with pytest.warns(DeprecationWarning, match="probe"):
-            assert state.peak_usage(TimeInterval(1, 5)) == (3.0, 2.0)
+        verdict = state.probe(make_vm(1, 3, 8, cpu=6.0))
+        assert bool(verdict) is verdict.feasible
+        assert verdict.reason is None
+        assert (verdict.peak_cpu, verdict.peak_mem) == (3.0, 2.0)
 
 
 class TestRetireAndCompact:

@@ -33,11 +33,15 @@ EXPECTED_ALL = [
     "AllocationError",
     "AllocatorConfigError",
     "CapacityError",
+    "OverloadedError",
     "ProtocolVersionError",
     "ReproError",
+    "RetryableError",
     "ServiceError",
     "SimulationError",
     "SolverError",
+    "TransportError",
+    "UnknownOperationError",
     "ValidationError",
     "CandidateIndex",
     "DenseOccupancy",
@@ -84,10 +88,14 @@ EXPECTED_ALL = [
     "to_chrome_trace",
     "use_tracer",
     "write_chrome_trace",
+    "AllocationClient",
     "AllocationDaemon",
+    "ClientConfig",
     "ClusterStateStore",
     "DaemonClient",
+    "PlacementResult",
     "ReplaySummary",
+    "STATUSES",
     "SUPPORTED_VERSIONS",
     "place_batch_request",
     "replay_trace",
@@ -124,6 +132,27 @@ class TestExports:
             assert name in service.__all__, name
             assert hasattr(service, name), name
         assert service.PROTOCOL_VERSION in service.SUPPORTED_VERSIONS
+
+    def test_service_fault_surface_pinned(self):
+        import repro.service as service
+
+        for name in ("AllocationClient", "ClientConfig", "FaultEvent",
+                     "FaultInjector", "FailureReport", "Replacement",
+                     "fail_server_request", "recover_server_request"):
+            assert name in service.__all__, name
+            assert hasattr(service, name), name
+        assert service.DaemonClient is service.AllocationClient
+        for op in ("fail_server", "recover_server"):
+            assert op in service.OPS
+
+    def test_results_vocabulary_pinned(self):
+        from repro import results
+
+        assert results.STATUSES == ("placed", "rejected", "deferred",
+                                    "replaced")
+        for name in ("PlacementResult", "Decision", "AdmissionDecision"):
+            assert name in results.__all__, name
+            assert hasattr(results, name), name
 
     def test_version(self):
         assert repro.__version__ == "1.0.0"
@@ -188,6 +217,8 @@ class TestDocstrings:
         "repro.service.protocol", "repro.service.state",
         "repro.service.persistence", "repro.service.metrics",
         "repro.service.daemon", "repro.service.client",
+        "repro.service.faults", "repro.simulation.recovery",
+        "repro.results",
         "repro.placement.sharding", "repro.allocators.batch",
     ])
     def test_every_module_documented(self, module_name):

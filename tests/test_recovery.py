@@ -1,0 +1,106 @@
+"""Unit tests for the shared crash-recovery mechanics
+(:mod:`repro.simulation.recovery`): the cut rule and the target rule
+both failure paths (offline replay, live service) agree on."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.allocators import FirstFit, MinIncrementalEnergy
+from repro.allocators.state import ServerState
+from repro.model.cluster import Cluster
+from repro.model.phases import DemandPhase, PhasedVM
+from repro.model.server import Server, ServerSpec
+from repro.model.vm import VMSpec
+from repro.simulation.recovery import recover_target, split_remainder
+
+from conftest import make_vm
+
+SPEC = ServerSpec("s", cpu_capacity=10.0, memory_capacity=10.0,
+                  p_idle=50.0, p_peak=100.0, transition_time=1.0)
+
+
+class TestSplitRemainder:
+    def test_running_vm_splits_into_head_and_remainder(self):
+        vm = make_vm(7, 2, 9, cpu=3.0)
+        head, remainder, next_id = split_remainder(vm, 5, 100)
+        assert head is not None
+        assert (head.start, head.end) == (2, 4)
+        assert (remainder.start, remainder.end) == (5, 9)
+        assert {head.vm_id, remainder.vm_id} == {100, 101}
+        assert next_id == 102
+        assert head.spec == remainder.spec == vm.spec
+
+    def test_not_yet_started_vm_moves_whole(self):
+        vm = make_vm(7, 5, 9)
+        head, remainder, next_id = split_remainder(vm, 5, 100)
+        assert head is None
+        assert remainder is vm  # same id, no waste
+        assert next_id == 100  # counter untouched
+
+    def test_cut_at_exact_start_moves_whole(self):
+        vm = make_vm(1, 3, 6)
+        head, remainder, _ = split_remainder(vm, 3, 10)
+        assert head is None and remainder is vm
+
+    def test_phased_vm_keeps_demand_profile(self):
+        vm = PhasedVM(vm_id=0, spec=VMSpec("t", 1.0, 1.0),
+                      interval=make_vm(0, 1, 6).interval,
+                      phases=(DemandPhase(3, 0.5, 1.0),
+                              DemandPhase(3, 1.0, 0.5)))
+        head, remainder, _ = split_remainder(vm, 4, 50)
+        assert isinstance(head, PhasedVM)
+        assert isinstance(remainder, PhasedVM)
+        # Head covers the first phase entirely, remainder the second.
+        assert head.demand_at(head.start) == vm.demand_at(vm.start)
+        assert remainder.demand_at(remainder.end) == vm.demand_at(vm.end)
+
+
+class TestRecoverTarget:
+    def _states(self, n):
+        return {s.server_id: ServerState(s)
+                for s in Cluster.homogeneous(SPEC, n)}
+
+    def test_skips_dead_servers(self):
+        states = self._states(3)
+        target = recover_target(make_vm(0, 1, 5), states, {0: 1, 1: 1},
+                                FirstFit())
+        assert target.server.server_id == 2
+
+    def test_none_when_nothing_fits(self):
+        states = self._states(2)
+        states[1].place(make_vm(0, 1, 5, cpu=8.0))
+        target = recover_target(make_vm(1, 1, 5, cpu=4.0), states,
+                                {0: 1}, FirstFit())
+        assert target is None
+
+    def test_all_dead_is_lost(self):
+        states = self._states(2)
+        assert recover_target(make_vm(0, 1, 5), states, {0: 1, 1: 2},
+                              FirstFit()) is None
+
+    def test_sequence_and_mapping_agree(self):
+        mapping = self._states(3)
+        sequence = [ServerState(Server(i, SPEC)) for i in range(3)]
+        mapping[1].place(make_vm(0, 1, 5, cpu=2.0))
+        sequence[1].place(make_vm(0, 1, 5, cpu=2.0))
+        vm = make_vm(1, 2, 6, cpu=1.0)
+        allocator = MinIncrementalEnergy()
+        chosen_m = recover_target(vm, mapping, {0: 1}, allocator)
+        chosen_s = recover_target(vm, sequence, {0: 1}, allocator)
+        assert chosen_m.server.server_id == chosen_s.server.server_id
+
+    def test_min_energy_prefers_busy_survivor(self):
+        states = self._states(3)
+        states[2].place(make_vm(0, 1, 5, cpu=2.0))
+        # Sharing server 2's busy window is cheaper than waking 1.
+        target = recover_target(make_vm(1, 1, 5, cpu=1.0), states,
+                                {0: 1}, MinIncrementalEnergy())
+        assert target.server.server_id == 2
+
+    def test_probe_infeasible_survivors_are_filtered(self):
+        states = self._states(2)
+        states[1].place(make_vm(0, 1, 5, cpu=9.5))
+        vm = make_vm(1, 1, 5, cpu=1.0)
+        target = recover_target(vm, states, {}, FirstFit())
+        assert target.server.server_id == 0

@@ -1,0 +1,105 @@
+"""Tests for the unified typed result vocabulary (:mod:`repro.results`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.allocators.batch import Decision
+from repro.allocators.state import ServerState
+from repro.exceptions import ValidationError
+from repro.model.server import Server, ServerSpec
+from repro.results import STATUSES, AdmissionDecision, PlacementResult
+
+from conftest import make_vm
+
+SPEC = ServerSpec("s", cpu_capacity=10.0, memory_capacity=10.0,
+                  p_idle=50.0, p_peak=100.0, transition_time=1.0)
+
+
+class TestPlacementResult:
+    def test_statuses_are_pinned(self):
+        assert STATUSES == ("placed", "rejected", "deferred", "replaced")
+
+    def test_rejects_unknown_status(self):
+        with pytest.raises(ValidationError):
+            PlacementResult(vm_id=0, status="teleported")
+
+    def test_server_id_must_match_status(self):
+        with pytest.raises(ValidationError):
+            PlacementResult(vm_id=0, status="placed")  # no server_id
+        with pytest.raises(ValidationError):
+            PlacementResult(vm_id=0, status="rejected", server_id=3)
+
+    def test_placed_covers_every_non_rejected_status(self):
+        for status in ("placed", "deferred", "replaced"):
+            assert PlacementResult(vm_id=0, status=status,
+                                   server_id=1).placed
+        assert not PlacementResult(vm_id=0, status="rejected").placed
+
+    def test_from_decision_placed(self):
+        vm = make_vm(4, 1, 5)
+        result = PlacementResult.from_decision(
+            Decision(vm=vm, server_id=2, energy_delta=7.5))
+        assert result.status == "placed"
+        assert result.server_id == 2
+        assert result.energy_delta == 7.5
+        assert result.vm is vm
+
+    def test_from_decision_rejected(self):
+        result = PlacementResult.from_decision(
+            Decision(vm=make_vm(4, 1, 5), server_id=None))
+        assert result.status == "rejected"
+        assert result.server_id is None
+
+    def test_from_admission_maps_delay_to_deferred(self):
+        state = ServerState(Server(3, SPEC))
+        vm = make_vm(9, 2, 6)
+        on_time = PlacementResult.from_admission(
+            AdmissionDecision(vm=vm, state=state, delay=0),
+            energy_delta=4.0)
+        assert (on_time.status, on_time.server_id) == ("placed", 3)
+        assert on_time.energy_delta == 4.0
+        late = PlacementResult.from_admission(
+            AdmissionDecision(vm=vm, state=state, delay=2))
+        assert (late.status, late.delay) == ("deferred", 2)
+
+    def test_from_admission_none_is_rejected(self):
+        vm = make_vm(9, 2, 6)
+        result = PlacementResult.from_admission(None, vm=vm)
+        assert result.status == "rejected"
+        assert result.vm_id == 9
+        with pytest.raises(ValidationError):
+            PlacementResult.from_admission(None)
+
+    def test_from_response_place_shapes(self):
+        placed = PlacementResult.from_response(
+            {"ok": True, "vm_id": 1, "decision": "placed", "server_id": 4,
+             "delay": 0, "energy_delta": 2.5, "latency_ms": 0.3})
+        assert placed.status == "placed"
+        assert placed.latency_ms == 0.3
+        deferred = PlacementResult.from_response(
+            {"vm_id": 2, "decision": "placed", "server_id": 4, "delay": 3})
+        assert deferred.status == "deferred"
+        rejected = PlacementResult.from_response(
+            {"vm_id": 3, "decision": "rejected"})
+        assert rejected.status == "rejected"
+        assert rejected.latency_ms is None
+
+    def test_from_response_requires_a_decision(self):
+        with pytest.raises(ValidationError):
+            PlacementResult.from_response({"ok": True, "vm_id": 1})
+
+    def test_from_response_keeps_explanation_mapping(self):
+        result = PlacementResult.from_response(
+            {"vm_id": 1, "decision": "placed", "server_id": 0,
+             "explanation": {"candidates": []}})
+        assert result.explanation == {"candidates": []}
+
+    def test_aliases_point_at_the_defining_modules(self):
+        from repro.allocators.batch import Decision as BatchDecision
+        from repro.results import Decision as ResultsDecision
+        from repro.simulation.admission import (
+            AdmissionDecision as SimAdmission,
+        )
+        assert ResultsDecision is BatchDecision
+        assert AdmissionDecision is SimAdmission

@@ -14,6 +14,7 @@ from repro.exceptions import ServiceError, ValidationError
 from repro.model.cluster import Cluster
 from repro.model.server import ServerSpec
 from repro.service import (
+    OPS,
     AllocationDaemon,
     ClusterStateStore,
     DaemonClient,
@@ -226,10 +227,12 @@ class TestDaemon:
         response = daemon.handle({"op": "tick", "now": 9})  # no-op is ok
         assert response["ok"]
         bad = daemon.handle_line('{"op": "nope"}')
-        assert json.loads(bad) == {
-            "ok": False,
-            "error": json.loads(bad)["error"],
-        }
+        payload = json.loads(bad)
+        assert payload["ok"] is False
+        assert "'nope'" in payload["error"]
+        # Unknown ops answer with the structured self-describing shape
+        # (same idea as supported_versions on a version mismatch).
+        assert payload["supported_ops"] == list(OPS)
         assert daemon.metrics.errors == 1
 
     def test_direct_tick_with_bad_now_is_domain_error(self):

@@ -28,36 +28,36 @@ def new_state(policy=SleepPolicy.OPTIMAL) -> ServerState:
 
 class TestFits:
     def test_fits_on_empty(self):
-        assert new_state().fits(make_vm(0, 1, 5, cpu=10.0, memory=10.0))
+        assert new_state().probe(make_vm(0, 1, 5, cpu=10.0, memory=10.0)).feasible
 
     def test_rejects_oversized(self):
-        assert not new_state().fits(make_vm(0, 1, 5, cpu=10.5))
-        assert not new_state().fits(make_vm(0, 1, 5, memory=10.5))
+        assert not new_state().probe(make_vm(0, 1, 5, cpu=10.5)).feasible
+        assert not new_state().probe(make_vm(0, 1, 5, memory=10.5)).feasible
 
     def test_rejects_overlapping_overload(self):
         state = new_state()
         state.place(make_vm(0, 1, 5, cpu=6.0))
-        assert not state.fits(make_vm(1, 3, 8, cpu=6.0))
+        assert not state.probe(make_vm(1, 3, 8, cpu=6.0)).feasible
 
     def test_accepts_disjoint_in_time(self):
         state = new_state()
         state.place(make_vm(0, 1, 5, cpu=10.0))
-        assert state.fits(make_vm(1, 6, 9, cpu=10.0))
+        assert state.probe(make_vm(1, 6, 9, cpu=10.0)).feasible
 
     def test_accepts_exact_fill(self):
         state = new_state()
         state.place(make_vm(0, 1, 5, cpu=4.0, memory=4.0))
-        assert state.fits(make_vm(1, 1, 5, cpu=6.0, memory=6.0))
+        assert state.probe(make_vm(1, 1, 5, cpu=6.0, memory=6.0)).feasible
 
     def test_fits_beyond_tracked_horizon(self):
         state = new_state()
         state.place(make_vm(0, 1, 2))
-        assert state.fits(make_vm(1, 100_000, 100_001, cpu=10.0))
+        assert state.probe(make_vm(1, 100_000, 100_001, cpu=10.0)).feasible
 
     def test_memory_binding(self):
         state = new_state()
         state.place(make_vm(0, 1, 5, cpu=1.0, memory=8.0))
-        assert not state.fits(make_vm(1, 2, 3, cpu=1.0, memory=3.0))
+        assert not state.probe(make_vm(1, 2, 3, cpu=1.0, memory=3.0)).feasible
 
 
 class TestPlace:
@@ -76,8 +76,8 @@ class TestPlace:
     def test_usage_grows_across_horizon(self):
         state = new_state()
         state.place(make_vm(0, 1, 1000, cpu=3.0))
-        assert not state.fits(make_vm(1, 999, 1000, cpu=8.0))
-        assert state.fits(make_vm(1, 999, 1000, cpu=7.0))
+        assert not state.probe(make_vm(1, 999, 1000, cpu=8.0)).feasible
+        assert state.probe(make_vm(1, 999, 1000, cpu=7.0)).feasible
 
     def test_busy_segments_merge(self):
         state = new_state()
