@@ -68,6 +68,13 @@ from repro.analysis import (
     conflict_graph,
     energy_lower_bound,
 )
+from repro.consolidation import (
+    ConsolidationReport,
+    FragmentationMonitor,
+    MigrationPlanner,
+    PlannedMove,
+    VictimSelector,
+)
 from repro.experiments import ScenarioConfig, compare_averaged
 from repro.extensions import (
     EpochConsolidator,
@@ -119,6 +126,7 @@ from repro.service import (
     ClusterStateStore,
     DaemonClient,
     ReplaySummary,
+    consolidate_request,
     place_batch_request,
     replay_trace,
 )
@@ -174,6 +182,11 @@ __all__ = [
     "SkylineOccupancy",
     "ScenarioConfig",
     "compare_averaged",
+    "ConsolidationReport",
+    "FragmentationMonitor",
+    "MigrationPlanner",
+    "PlannedMove",
+    "VictimSelector",
     "EpochConsolidator",
     "LongestFirstMinEnergy",
     "OfflineMinEnergy",
@@ -221,6 +234,7 @@ __all__ = [
     "ReplaySummary",
     "STATUSES",
     "SUPPORTED_VERSIONS",
+    "consolidate_request",
     "place_batch_request",
     "replay_trace",
     "SimulationEngine",

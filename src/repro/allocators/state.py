@@ -194,6 +194,39 @@ class ServerState:
         return CostTerms(run=run_energy(self.server.spec, vm),
                          idle_gap=delta - wake, wake=wake)
 
+    def incremental_cost_swapped(self, vm: VM, *, without: VM,
+                                 plus: VM | None = None) -> float:
+        """:meth:`incremental_cost` of ``vm`` if resident ``without``
+        were replaced by ``plus`` — evaluated hypothetically.
+
+        Returns exactly what ``remove(without)``, ``place(plus)``,
+        ``incremental_cost(vm)`` followed by restoring would report,
+        with none of the rebuilds and no mutation: the swapped busy
+        timeline is merged on the side and the Eq.-17 delta read off
+        it. The consolidation planner uses this to price "stay put"
+        against a source shrunk to a migrating VM's head without
+        touching the book.
+        """
+        try:
+            drop = self.vms.index(without)
+        except ValueError:
+            raise CapacityError(
+                f"{without} is not placed on {self.server}",
+                server_id=self.server.server_id) from None
+        intervals = [v.interval for i, v in enumerate(self.vms)
+                     if i != drop]
+        if plus is not None:
+            intervals.append(plus.interval)
+        merged = merge_intervals(intervals)
+        saved = self._busy_starts, self._busy_ends
+        self._busy_starts = [seg.start for seg in merged]
+        self._busy_ends = [seg.end for seg in merged]
+        try:
+            return run_energy(self.server.spec, vm) + \
+                self._local_delta(vm.interval)
+        finally:
+            self._busy_starts, self._busy_ends = saved
+
     # -- mutation --------------------------------------------------------------
 
     def place(self, vm: VM) -> float:
@@ -206,6 +239,16 @@ class ServerState:
             raise CapacityError(
                 f"{vm} does not fit on {self.server}",
                 server_id=self.server.server_id)
+        return self.place_trusted(vm)
+
+    def place_trusted(self, vm: VM) -> float:
+        """:meth:`place` without the feasibility probe.
+
+        For rebuilding a book from a known-good placement log (failure
+        and consolidation rebuilds, planning replicas): every VM was
+        probed when first admitted, so re-validating is pure overhead.
+        The cost arithmetic is identical to :meth:`place`.
+        """
         delta = self.incremental_cost(vm)
         for piece, cpu, memory in demand_profile(vm):
             self._occ.add(piece.start, piece.end, cpu, memory)

@@ -19,6 +19,8 @@ Usage examples::
     repro client --port 7077 --vms 200 --retries 5
     repro inject-fault --port 7077 --server-id 3
     repro inject-fault --port 7077 --server-id 3 --recover
+    repro serve --port 7077 --consolidate-epoch 50 --frag-threshold 0.4
+    repro consolidate --port 7077 --at 120
     repro trace spans.json
 
 (Equivalently ``python -m repro ...``. Running ``repro`` with no
@@ -250,6 +252,22 @@ def build_parser() -> argparse.ArgumentParser:
                          help="mutating requests in flight before the "
                               "daemon answers 'overloaded' (0 = "
                               "unbounded)")
+    p_serve.add_argument("--consolidate-epoch", type=int, default=0,
+                         metavar="N",
+                         help="run a live consolidation episode at every "
+                              "Nth tick boundary (0 = disabled)")
+    p_serve.add_argument("--frag-threshold", type=float, default=None,
+                         metavar="X",
+                         help="run a live consolidation episode whenever "
+                              "fleet fragmentation reaches X in (0, 1]")
+    p_serve.add_argument("--migration-cost", type=float, default=5.0,
+                         metavar="E",
+                         help="migration energy charged per GByte of a "
+                              "moved VM's memory")
+    p_serve.add_argument("--migration-k", type=int, default=None,
+                         metavar="K",
+                         help="bid each migrating remainder to at most K "
+                              "feasible targets (bounds episode latency)")
 
     p_client = sub.add_parser(
         "client", help="stream a workload at a running daemon")
@@ -290,6 +308,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_fault.add_argument("--retries", type=int, default=0,
                          help="retry transient failures up to this many "
                               "times")
+
+    p_consolidate = sub.add_parser(
+        "consolidate", help="force one live consolidation episode on a "
+                            "running daemon")
+    p_consolidate.add_argument("--host", default="127.0.0.1")
+    p_consolidate.add_argument("--port", type=int, default=7077)
+    p_consolidate.add_argument("--at", type=int, default=None,
+                               metavar="TICK",
+                               help="episode tick (default: the daemon's "
+                                    "current clock)")
+    p_consolidate.add_argument("--retries", type=int, default=0,
+                               help="retry transient failures up to this "
+                                    "many times")
     return parser
 
 
@@ -592,7 +623,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             algo_params=_parse_algo_params(args.algo_param),
             max_delay=args.max_delay, data_dir=args.data_dir,
             snapshot_every=args.snapshot_every, shards=args.shards,
-            max_workers=args.workers, max_inflight=args.max_inflight)
+            max_workers=args.workers, max_inflight=args.max_inflight,
+            consolidate_every=args.consolidate_epoch,
+            frag_threshold=args.frag_threshold,
+            migration_cost_per_gb=args.migration_cost,
+            migration_k=args.migration_k)
     # In stdio mode stdout carries the protocol, so banners go to stderr.
     log = sys.stderr if args.stdio else sys.stdout
     tracer = None
@@ -743,6 +778,28 @@ def _cmd_inject_fault(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_consolidate(args: argparse.Namespace) -> int:
+    from repro.service import AllocationClient, ClientConfig
+
+    config = ClientConfig(retries=args.retries)
+    with AllocationClient(args.host, args.port, config=config) as client:
+        response = client.consolidate(args.at)
+    if not response.get("ok"):
+        print(f"error: {response.get('error')}", file=sys.stderr)
+        return 1
+    print(f"consolidated at tick {response['time']}: "
+          f"{response['migrations']} migrations, "
+          f"{response['servers_freed']} servers freed")
+    print(f"net energy saved: {response['energy_saved']:.1f} W·min "
+          f"(migration cost {response['migration_energy']:.1f} already "
+          f"deducted)")
+    for item in response.get("moves", []):
+        print(f"  vm{item['vm_id']} remainder vm{item['remainder_id']} "
+              f"server {item['source_id']} -> {item['target_id']} "
+              f"(saving {item['saving']:.1f}, cost {item['cost']:.1f})")
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.report import write_report
 
@@ -770,6 +827,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "serve": lambda: _cmd_serve(args),
         "client": lambda: _cmd_client(args),
         "inject-fault": lambda: _cmd_inject_fault(args),
+        "consolidate": lambda: _cmd_consolidate(args),
     }
     handler = handlers.get(getattr(args, "command", None))
     if handler is None:

@@ -1,0 +1,86 @@
+"""Victim selection: which servers are worth draining, in what order.
+
+A server is a consolidation *victim* when it hosts few spanning
+residents but would keep burning idle/busy power for a long tail —
+draining it trades a handful of cheap migrations for the whole tail.
+The ranking reuses the paper's Eq.-2/3 vocabulary via
+:class:`~repro.obs.explain.CostTerms`: the ``idle_gap`` term holds the
+busy power still owed from the migration tick onwards (``p_idle`` times
+the remaining busy span), and ``wake`` holds the transition energy
+``alpha_i`` a future re-wake of the emptied server would cost. Servers
+are drained fewest-residents-first (fewest moves per server freed),
+ties broken by the largest reclaimable total, then by server id so the
+order — and therefore every downstream migration plan — is
+deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.allocators.state import ServerState
+from repro.obs.explain import CostTerms
+
+__all__ = ["VictimScore", "VictimSelector"]
+
+
+@dataclass(frozen=True)
+class VictimScore:
+    """One drain candidate: how many moves it takes, what it reclaims.
+
+    ``residents`` counts the spanning pieces (``start < time <= end``)
+    that would each need one migration; ``reclaim`` is the Eq.-2/3
+    upper bound on what emptying the server recovers — the busy power
+    still owed from ``time`` on (``idle_gap``) plus the wake energy a
+    later restart would charge (``wake``). ``run`` is always zero: the
+    VMs' own run energy moves with them, it is never reclaimed.
+    """
+
+    server_id: int
+    residents: int
+    reclaim: CostTerms
+
+    @property
+    def sort_key(self) -> tuple[int, float, int]:
+        return (self.residents, -self.reclaim.total, self.server_id)
+
+
+class VictimSelector:
+    """Ranks drainable servers: fewest residents, largest reclaim."""
+
+    def score(self, state: ServerState, server_id: int,
+              time: int) -> VictimScore | None:
+        """Score one server as a drain candidate at tick ``time``.
+
+        Returns ``None`` when the server has no spanning resident —
+        nothing to drain (either already empty, or every resident ends
+        before ``time`` / starts at or after it and will be re-placed
+        by normal admission, not migration).
+        """
+        residents = sum(1 for vm in state.vms
+                        if vm.start < time <= vm.end)
+        if residents == 0:
+            return None
+        spec = state.server.spec
+        busy_after = 0
+        for segment in state.busy_segments():
+            if segment.end >= time:
+                busy_after += segment.end - max(segment.start, time) + 1
+        reclaim = CostTerms(run=0.0, idle_gap=spec.p_idle * busy_after,
+                            wake=spec.transition_cost)
+        return VictimScore(server_id=server_id, residents=residents,
+                           reclaim=reclaim)
+
+    def rank(self, states: Sequence[ServerState], time: int, *,
+             skip: frozenset[int] = frozenset()) -> list[VictimScore]:
+        """All drain candidates at tick ``time``, best victim first."""
+        scores = []
+        for server_id, state in enumerate(states):
+            if server_id in skip:
+                continue
+            score = self.score(state, server_id, time)
+            if score is not None:
+                scores.append(score)
+        scores.sort(key=lambda s: s.sort_key)
+        return scores

@@ -21,21 +21,26 @@ The pass is greedy: at each epoch boundary, each VM spanning the boundary
 is tentatively split, its remainder re-bid across the fleet with the same
 incremental-cost rule the paper uses, and the move is kept only when the
 total saving (source relief + target increase + move cost) is negative.
+
+Move selection itself lives in the shared
+:class:`~repro.consolidation.planner.MigrationPlanner` — the very same
+episode algorithm the live daemon runs — so the offline post-pass and
+the online consolidation subsystem provably agree move for move.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Iterable
 
 from repro.allocators.base import Allocator
 from repro.allocators.min_energy import MinIncrementalEnergy
 from repro.allocators.state import ServerState
+from repro.consolidation.planner import MigrationPlanner
 from repro.energy.cost import SleepPolicy
 from repro.exceptions import ValidationError
 from repro.model.allocation import Allocation
 from repro.model.cluster import Cluster
-from repro.model.phases import split_vm
 from repro.model.vm import VM
 
 __all__ = ["Migration", "ConsolidationResult", "EpochConsolidator"]
@@ -84,21 +89,24 @@ class EpochConsolidator:
     base:
         The allocator producing the initial plan (the paper's heuristic
         by default).
+    planner:
+        The shared :class:`MigrationPlanner` selecting moves (built from
+        ``migration_cost_per_gb`` when omitted). Passing the daemon's
+        planner instance here is what the live-vs-offline equivalence
+        test leans on.
     """
 
     def __init__(self, epoch_length: int = 30,
                  migration_cost_per_gb: float = 5.0,
                  base: Allocator | None = None,
-                 policy: SleepPolicy = SleepPolicy.OPTIMAL) -> None:
+                 policy: SleepPolicy = SleepPolicy.OPTIMAL,
+                 planner: MigrationPlanner | None = None) -> None:
         if epoch_length <= 0:
             raise ValidationError(
                 f"epoch_length must be positive, got {epoch_length}")
-        if migration_cost_per_gb < 0:
-            raise ValidationError(
-                "migration_cost_per_gb must be non-negative, got "
-                f"{migration_cost_per_gb}")
         self._epoch = epoch_length
-        self._cost_per_gb = migration_cost_per_gb
+        self._planner = planner if planner is not None \
+            else MigrationPlanner(migration_cost_per_gb)
         self._base = base if base is not None else MinIncrementalEnergy()
         self._policy = policy
 
@@ -123,25 +131,18 @@ class EpochConsolidator:
         migrations: list[Migration] = []
         horizon = initial.horizon()
         for boundary in range(self._epoch, horizon + 1, self._epoch):
-            for piece in sorted(pieces, key=lambda v: v.vm_id):
-                if not piece.start < boundary <= piece.end:
-                    continue
-                source_id = pieces[piece]
-                move = self._best_move(piece, boundary, source_id, states,
-                                       next_id)
-                if move is None:
-                    continue
-                head, remainder, target_id, saving = move
-                del pieces[piece]
-                pieces[head] = source_id
-                pieces[remainder] = target_id
-                origin[head.vm_id] = origin[piece.vm_id]
-                origin[remainder.vm_id] = origin[piece.vm_id]
-                next_id += 2
+            plan = self._planner.plan_episode(states, boundary, next_id)
+            for move in plan.moves:
+                del pieces[move.vm]
+                pieces[move.head] = move.source_id
+                pieces[move.remainder] = move.target_id
+                origin[move.head.vm_id] = origin[move.vm.vm_id]
+                origin[move.remainder.vm_id] = origin[move.vm.vm_id]
                 migrations.append(Migration(
-                    vm_id=origin[head.vm_id], time=boundary,
-                    source=source_id, target=target_id,
-                    cost=self._move_cost(piece)))
+                    vm_id=origin[move.head.vm_id], time=boundary,
+                    source=move.source_id, target=move.target_id,
+                    cost=move.cost))
+            next_id += 2 * len(plan.moves)
 
         allocation = Allocation(cluster, pieces)
         placement_energy = sum(state.cost for state in states)
@@ -152,45 +153,3 @@ class EpochConsolidator:
             placement_energy=placement_energy,
             migration_energy=migration_energy,
         )
-
-    # -- internals -----------------------------------------------------------
-
-    def _move_cost(self, vm: VM) -> float:
-        return self._cost_per_gb * vm.memory
-
-    def _best_move(self, piece: VM, boundary: int, source_id: int,
-                   states: Sequence[ServerState], next_id: int
-                   ) -> tuple[VM, VM, int, float] | None:
-        """The best migration for ``piece`` at ``boundary``, if it saves.
-
-        Returns ``(head, remainder, target_id, saving)`` or ``None`` when
-        keeping the VM in place is cheapest.
-        """
-        head, remainder = split_vm(piece, boundary, next_id, next_id + 1)
-        source = states[source_id]
-        # Tentatively shrink the piece to its head on the source.
-        removed = source.remove(piece)
-        head_added = source.place(head)
-        relief = head_added - removed  # negative: energy freed at source
-        best_target: int | None = None
-        best_delta = 0.0
-        move_cost = self._move_cost(piece)
-        for target_id, target in enumerate(states):
-            if target_id == source_id or not target.probe(remainder):
-                continue
-            delta = (relief + target.incremental_cost(remainder)
-                     + move_cost)
-            # Compare against leaving the VM whole on the source, whose
-            # cost is restored exactly by re-adding the remainder.
-            stay_delta = relief + source.incremental_cost(remainder)
-            saving = delta - stay_delta
-            if saving < best_delta - 1e-9:
-                best_delta = saving
-                best_target = target_id
-        if best_target is None:
-            # Restore: head + remainder merge back into the original.
-            source.remove(head)
-            source.place(piece)
-            return None
-        states[best_target].place(remainder)
-        return head, remainder, best_target, best_delta

@@ -15,8 +15,13 @@ and re-places the remainders through the active allocator (one atomic
 journal group per failure), ``recover_server`` brings the machine
 back; :class:`AllocationClient` retries transient faults under a
 :class:`ClientConfig` budget and :class:`FaultInjector` drives
-deterministic chaos schedules for tests. See ``docs/service.md`` and
-the ``repro serve`` / ``repro client`` CLI commands.
+deterministic chaos schedules for tests. The daemon also defragments
+itself: consolidation episodes (epoch- or fragmentation-triggered, or
+forced via the v2 ``consolidate`` op) migrate running VMs off
+under-packed servers through the shared
+:mod:`repro.consolidation` planner, each episode journaled as one
+atomic group. See ``docs/service.md`` and the ``repro serve`` /
+``repro client`` / ``repro consolidate`` CLI commands.
 """
 
 from repro.service.client import (
@@ -49,6 +54,7 @@ from repro.service.protocol import (
     OPS,
     PROTOCOL_VERSION,
     SUPPORTED_VERSIONS,
+    consolidate_request,
     encode,
     fail_server_request,
     negotiate_version,
@@ -62,6 +68,7 @@ from repro.service.protocol import (
 from repro.service.state import (
     SNAPSHOT_FORMAT_VERSION,
     ClusterStateStore,
+    ConsolidationReport,
     FailureReport,
     Replacement,
     snapshot_meta,
@@ -72,6 +79,7 @@ __all__ = [
     "AllocationDaemon",
     "ClientConfig",
     "ClusterStateStore",
+    "ConsolidationReport",
     "DaemonClient",
     "DaemonTCPServer",
     "FailureReport",
@@ -88,6 +96,7 @@ __all__ = [
     "SNAPSHOT_FORMAT_VERSION",
     "SUPPORTED_VERSIONS",
     "SnapshotManager",
+    "consolidate_request",
     "encode",
     "fail_server_request",
     "negotiate_version",

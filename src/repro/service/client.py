@@ -47,6 +47,7 @@ from repro.exceptions import (
 from repro.model.vm import VM
 from repro.results import PlacementResult
 from repro.service.protocol import (
+    consolidate_request,
     encode,
     fail_server_request,
     parse_response,
@@ -248,6 +249,11 @@ class AllocationClient:
     def recover_server(self, server_id: int) -> dict[str, object]:
         """Bring a failed server back (v2 ``recover_server``)."""
         return self.request(recover_server_request(server_id))
+
+    def consolidate(self, time: int | None = None) -> dict[str, object]:
+        """Run one live consolidation episode (v2 ``consolidate``);
+        the response carries the committed migrations and their yield."""
+        return self.request(consolidate_request(time))
 
     def stats(self) -> dict[str, object]:
         return self.request({"op": "stats"})

@@ -23,11 +23,22 @@ stdin/stdout, :func:`serve_tcp` for the same framing over TCP, and
 :func:`start_metrics_server` for the Prometheus ``/metrics`` endpoint
 over HTTP.
 
+Consolidation: with ``consolidate_every`` and/or ``frag_threshold``
+set, the daemon runs a background defragmentation pass at epoch
+boundaries (every N ticks) or whenever the
+:class:`~repro.consolidation.fragmentation.FragmentationMonitor`
+reading crosses the threshold — at most one episode per tick — and
+clients can force one with the protocol-v2 ``consolidate`` op. Each
+episode runs the shared
+:class:`~repro.consolidation.planner.MigrationPlanner` and is
+journaled as **one atomic group** (like failure episodes), so
+kill+restore mid-consolidation reproduces exact state.
+
 Concurrency model (protocol v2 redesign)
 ----------------------------------------
 Mutating operations (``place``, ``place_batch``, ``tick``,
-``fail_server``, ``recover_server``, plus snapshotting and shutdown)
-serialize on one *commit lock* — placement
+``fail_server``, ``recover_server``, ``consolidate``, plus
+snapshotting and shutdown) serialize on one *commit lock* — placement
 decisions must observe each other's commits, so decision order is the
 wire arrival order. Within a decision the feasibility scan fans out
 over the store's :class:`~repro.placement.sharding.ShardedFleet`; each
@@ -52,6 +63,8 @@ from time import perf_counter
 from typing import IO, Mapping
 
 from repro.allocators.registry import make_allocator
+from repro.consolidation.fragmentation import FragmentationMonitor
+from repro.consolidation.planner import MigrationPlanner, PlannedMove
 from repro.exceptions import (
     ProtocolVersionError,
     ReproError,
@@ -91,7 +104,7 @@ JOURNAL_NAME = "journal.jsonl"
 #: Operations that mutate cluster state — these take the commit lock
 #: and count against the bounded ingest window.
 MUTATING_OPS = ("place", "place_batch", "tick", "fail_server",
-                "recover_server")
+                "recover_server", "consolidate")
 
 #: Read-only operations served without the commit lock.
 READ_OPS = ("stats", "metrics", "ping")
@@ -136,6 +149,23 @@ class AllocationDaemon:
         Bounded ingest: at most this many mutating requests in flight
         before the daemon answers ``overloaded`` with a ``retry_after``
         hint. ``0`` disables the bound.
+    consolidate_every:
+        Run a consolidation episode at every Nth tick boundary
+        (``repro serve --consolidate-epoch``); ``0`` disables the
+        epoch trigger.
+    frag_threshold:
+        Run a consolidation episode whenever the fleet's fragmentation
+        reading reaches this value in ``(0, 1]`` (``repro serve
+        --frag-threshold``); ``None`` disables the threshold trigger.
+        Both triggers fire at most one episode per tick; the
+        ``consolidate`` op forces one regardless.
+    migration_cost_per_gb:
+        Per-move migration energy charged per GByte of VM memory by the
+        episode planner.
+    migration_k:
+        When set, each migrating remainder is bid to at most this many
+        feasible targets (the planner's k-sampling queue) — bounds
+        episode latency on large fleets.
     """
 
     def __init__(self, store: ClusterStateStore, *,
@@ -145,6 +175,10 @@ class AllocationDaemon:
                  snapshot_every: int = 100, fsync: bool = True,
                  shards: int = 1, max_workers: int | None = None,
                  max_inflight: int = 64,
+                 consolidate_every: int = 0,
+                 frag_threshold: float | None = None,
+                 migration_cost_per_gb: float = 5.0,
+                 migration_k: int | None = None,
                  _restored_seq: int | None = None) -> None:
         if max_delay < 0:
             raise ValidationError(
@@ -157,6 +191,13 @@ class AllocationDaemon:
         if max_inflight < 0:
             raise ValidationError(
                 f"max_inflight must be >= 0, got {max_inflight}")
+        if consolidate_every < 0:
+            raise ValidationError(
+                f"consolidate_every must be >= 0, got {consolidate_every}")
+        if frag_threshold is not None and \
+                not 0.0 < float(frag_threshold) <= 1.0:
+            raise ValidationError(
+                f"frag_threshold must be in (0, 1], got {frag_threshold}")
         self.store = store
         algo_params = dict(algo_params or {})
         self.config = {"algorithm": algorithm, "seed": seed,
@@ -164,7 +205,16 @@ class AllocationDaemon:
                        "max_delay": max_delay,
                        "snapshot_every": snapshot_every,
                        "shards": shards,
-                       "max_inflight": max_inflight}
+                       "max_inflight": max_inflight,
+                       "consolidate_every": consolidate_every,
+                       "frag_threshold": None if frag_threshold is None
+                       else float(frag_threshold),
+                       "migration_cost_per_gb": float(migration_cost_per_gb),
+                       "migration_k": migration_k}
+        self.planner = MigrationPlanner(float(migration_cost_per_gb),
+                                        k_sample=migration_k)
+        self.monitor = FragmentationMonitor()
+        self._last_consolidated_tick = 0
         # Explicit --algo-param values win over the daemon-level defaults.
         params: dict[str, object] = {"seed": seed, "policy": store.policy,
                                      **algo_params}
@@ -229,7 +279,8 @@ class AllocationDaemon:
 
     def _meta(self, seq: int) -> dict[str, object]:
         return {"seq": seq, "config": dict(self.config),
-                "counters": self.metrics.to_meta()}
+                "counters": self.metrics.to_meta(),
+                "last_consolidated_tick": self._last_consolidated_tick}
 
     def _last_seq(self) -> int:
         return self.journal.next_seq - 1 if self.journal else 0
@@ -287,10 +338,20 @@ class AllocationDaemon:
             snapshot_every=int(config.get("snapshot_every", 100)),
             shards=int(config.get("shards", 1)),
             max_inflight=int(config.get("max_inflight", 64)),
+            consolidate_every=int(config.get("consolidate_every", 0)),
+            frag_threshold=config.get("frag_threshold"),
+            migration_cost_per_gb=float(
+                config.get("migration_cost_per_gb", 5.0)),
+            migration_k=config.get("migration_k"),
             data_dir=data_dir, fsync=fsync, _restored_seq=covered)
         counters = meta.get("counters")
         if isinstance(counters, Mapping):
             daemon.metrics.restore_meta(counters)
+        # The trigger watermark rides in the meta (a snapshot taken
+        # right after an episode leaves no consolidate entry to replay),
+        # so a restored daemon never re-fires at an already-done tick.
+        daemon._last_consolidated_tick = int(
+            meta.get("last_consolidated_tick", 0))
         for entry in entries:
             if int(entry["seq"]) > covered:
                 daemon._replay(entry)
@@ -325,6 +386,21 @@ class AllocationDaemon:
         if op == "recover_server":
             self.store.recover_server(int(entry["server_id"]))
             self._rebuild_fleet()
+            return
+        if op == "consolidate":
+            # One journal group per episode: the recorded moves are
+            # applied verbatim — the planner is never re-run.
+            report = self.store.consolidate(
+                int(entry["time"]),
+                moves=[PlannedMove.from_record(record)
+                       for record in entry.get("moves", ())])
+            if report.moves:
+                self._rebuild_fleet()
+            self._last_consolidated_tick = report.time
+            self.metrics.observe_consolidation(
+                moves=report.migrations,
+                servers_freed=report.servers_freed,
+                energy_saved=report.energy_saved)
             return
         if op != "place":
             raise ValidationError(f"unknown journal entry op {op!r}")
@@ -432,6 +508,8 @@ class AllocationDaemon:
             return self._handle_fail_server(message)
         if op == "recover_server":
             return self._handle_recover_server(message)
+        if op == "consolidate":
+            return self._handle_consolidate(message)
         if op == "stats":
             return self._handle_stats()
         if op == "metrics":
@@ -512,6 +590,7 @@ class AllocationDaemon:
                 candidates=self.allocator.candidates_feasible)
             if response["decision"] == "placed":
                 self._maybe_snapshot()
+        self._maybe_consolidate()
         return response
 
     def _handle_place_batch(self, message: Mapping[str, object]
@@ -597,6 +676,7 @@ class AllocationDaemon:
             self._placed_since_snapshot += placed
             if placed:
                 self._maybe_snapshot()
+        self._maybe_consolidate()
         return {"ok": True, "op": "place_batch", "count": len(vms),
                 "placed": placed, "rejected": len(vms) - placed,
                 "decisions": results, "energy_delta": total_delta,
@@ -613,6 +693,7 @@ class AllocationDaemon:
             self.store.advance_to(now)
             if self.journal is not None:
                 self.journal.append({"op": "tick", "now": now})
+            self._maybe_consolidate()
         return {"ok": True, "op": "tick", "clock": self.store.clock,
                 "servers_active": self.store.servers_active(),
                 "running_vms": self.store.running_vms()}
@@ -681,6 +762,91 @@ class AllocationDaemon:
             "latency_ms": (perf_counter() - started) * 1e3,
         }
 
+    # -- consolidation -----------------------------------------------------
+
+    def _run_consolidation(self, time: int) -> tuple[object, float]:
+        """One consolidation episode at tick ``time``: plan against the
+        store, journal the moves as one atomic group, refresh the fleet
+        and the metrics. Returns ``(report, duration_seconds)``."""
+        tracer = get_tracer()
+        started = perf_counter()
+        with tracer.span("service.consolidate", time=time) as span:
+            report = self.store.consolidate(time, planner=self.planner)
+            if report.moves:
+                # Drained sources were re-booked as fresh state objects;
+                # the fleet must scan the new ones.
+                self._rebuild_fleet()
+            self._last_consolidated_tick = report.time
+            span.set(migrations=report.migrations,
+                     servers_freed=report.servers_freed)
+            if self.journal is not None:
+                # One atomic journal group per episode: all of its
+                # moves restore together or not at all. Zero-move
+                # episodes are journaled too — an on-demand episode may
+                # still have advanced the clock.
+                with tracer.span("service.journal"):
+                    self.journal.append({
+                        "op": "consolidate", "time": report.time,
+                        "moves": [move.to_record()
+                                  for move in report.moves]})
+            duration = perf_counter() - started
+            self.metrics.observe_consolidation(
+                moves=report.migrations,
+                servers_freed=report.servers_freed,
+                energy_saved=report.energy_saved,
+                duration_seconds=duration)
+            self._placed_since_snapshot += report.migrations
+            if report.migrations:
+                self._maybe_snapshot()
+        return report, duration
+
+    def _maybe_consolidate(self) -> None:
+        """Fire the background consolidation pass when a trigger is due
+        — at most one episode per tick, however many triggers match."""
+        clock = self.store.clock
+        if clock < 1 or clock == self._last_consolidated_tick:
+            return
+        every = int(self.config["consolidate_every"])
+        if every > 0 and \
+                clock // every > self._last_consolidated_tick // every:
+            self._run_consolidation(clock)
+            return
+        threshold = self.config["frag_threshold"]
+        if threshold is not None and \
+                self.monitor.reading(self.store).fragmentation \
+                >= float(threshold):
+            self._run_consolidation(clock)
+
+    def _handle_consolidate(self, message: Mapping[str, object]
+                            ) -> dict[str, object]:
+        time = message.get("time")
+        if time is None:
+            # Default: consolidate now. Clock 0 (nothing placed yet)
+            # rounds up to the first real tick.
+            time = max(self.store.clock, 1)
+        elif isinstance(time, bool) or not isinstance(time, int) \
+                or time < 1:
+            raise ServiceError(
+                f"consolidate field 'time' must be a positive integer, "
+                f"got {time!r}")
+        report, duration = self._run_consolidation(time)
+        return {
+            "ok": True, "op": "consolidate", "time": report.time,
+            "migrations": report.migrations,
+            "servers_freed": report.servers_freed,
+            "energy_saved": report.energy_saved,
+            "migration_energy": report.migration_energy,
+            "moves": [
+                {"vm_id": move.vm.vm_id,
+                 "head_id": move.head.vm_id,
+                 "remainder_id": move.remainder.vm_id,
+                 "source_id": move.source_id,
+                 "target_id": move.target_id,
+                 "saving": move.saving, "cost": move.cost}
+                for move in report.moves],
+            "latency_ms": duration * 1e3,
+        }
+
     def _handle_recover_server(self, message: Mapping[str, object]
                                ) -> dict[str, object]:
         server_id = self._server_id_of(message, "recover_server")
@@ -710,6 +876,8 @@ class AllocationDaemon:
             "fleet_power": self.store.fleet_power(),
             "energy_accumulated": self.store.energy_accumulated,
             "energy_total": self.store.energy_total(),
+            "migration_energy": self.store.migration_energy,
+            "migrations": self.metrics.migrations,
         }
 
     def _handle_shutdown(self) -> dict[str, object]:

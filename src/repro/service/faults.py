@@ -2,7 +2,8 @@
 
 The chaos harness of the service tests and the CI ``chaos`` job: a
 :class:`FaultInjector` holds a fixed schedule of :class:`FaultEvent`\\ s
-— server failures, recoveries and client-side latency stalls — keyed
+— server failures, recoveries, forced consolidation episodes and
+client-side latency stalls — keyed
 by *stream position* (how many requests the driver has sent), and the
 driver calls :meth:`FaultInjector.fire_due` between requests. Because
 the schedule is data and positions are deterministic, every run of a
@@ -28,7 +29,7 @@ from repro.exceptions import ValidationError
 __all__ = ["FaultEvent", "FaultInjector"]
 
 #: Fault kinds the injector understands.
-KINDS = ("fail", "recover", "stall")
+KINDS = ("fail", "recover", "consolidate", "stall")
 
 
 class _FaultTarget(Protocol):
@@ -36,6 +37,9 @@ class _FaultTarget(Protocol):
                     time: int | None = None) -> dict[str, object]: ...
 
     def recover_server(self, server_id: int) -> dict[str, object]: ...
+
+    def consolidate(self,
+                    time: int | None = None) -> dict[str, object]: ...
 
 
 @dataclass(frozen=True, order=True)
@@ -46,8 +50,10 @@ class FaultEvent:
     due once the driver has issued ``after`` requests (so ``after=0``
     fires before the first request). ``kind`` is one of ``"fail"``
     (needs ``server_id``, optional failure ``time``), ``"recover"``
-    (needs ``server_id``) or ``"stall"`` (sleeps ``stall_ms`` on the
-    driver side — a latency spike, no daemon interaction).
+    (needs ``server_id``), ``"consolidate"`` (forces one live
+    consolidation episode, optional ``time``) or ``"stall"`` (sleeps
+    ``stall_ms`` on the driver side — a latency spike, no daemon
+    interaction).
     """
 
     after: int
@@ -123,6 +129,8 @@ class FaultInjector:
         if event.kind == "fail":
             response = self._target.fail_server(event.server_id,
                                                 event.time)
+        elif event.kind == "consolidate":
+            response = self._target.consolidate(event.time)
         else:
             response = self._target.recover_server(event.server_id)
         self.responses.append((event, response))

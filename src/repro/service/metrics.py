@@ -39,7 +39,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
 __all__ = ["LatencyReservoir", "Histogram", "ServiceMetrics",
            "CONTENT_TYPE", "parse_exposition", "escape_label_value",
            "LATENCY_BUCKETS", "CANDIDATE_BUCKETS", "BATCH_BUCKETS",
-           "SHARD_SCAN_BUCKETS"]
+           "SHARD_SCAN_BUCKETS", "CONSOLIDATION_BUCKETS"]
 
 #: The HTTP Content-Type of the text exposition format.
 CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
@@ -61,6 +61,12 @@ BATCH_BUCKETS = (1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0,
 #: Default bucket bounds (seconds) of the shard-scan-time histogram.
 SHARD_SCAN_BUCKETS = (0.00001, 0.000025, 0.00005, 0.0001, 0.00025,
                       0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05)
+
+#: Default bucket bounds (seconds) of the consolidation-episode
+#: duration histogram (episodes plan a whole migration sweep, so the
+#: range sits above per-placement latency).
+CONSOLIDATION_BUCKETS = (0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+                         0.05, 0.1, 0.25, 0.5, 1.0, 2.5)
 
 
 class LatencyReservoir:
@@ -171,11 +177,15 @@ class ServiceMetrics:
         self.failures = 0
         self.replacements = 0
         self.vms_lost = 0
+        self.migrations = 0
+        self.servers_freed = 0
+        self.consolidation_energy_saved = 0.0
         self.latency = LatencyReservoir()
         self.latency_hist = Histogram(LATENCY_BUCKETS)
         self.candidates = Histogram(CANDIDATE_BUCKETS)
         self.batch_size = Histogram(BATCH_BUCKETS)
         self.shard_scan = Histogram(SHARD_SCAN_BUCKETS)
+        self.consolidation_duration = Histogram(CONSOLIDATION_BUCKETS)
         #: (algorithm, decision) -> count; the labelled twin of
         #: ``requests`` once an algorithm is registered.
         self.decisions: dict[tuple[str, str], int] = {}
@@ -269,6 +279,22 @@ class ServiceMetrics:
             self.replacements += replaced
             self.vms_lost += lost
 
+    def observe_consolidation(self, *, moves: int, servers_freed: int,
+                              energy_saved: float,
+                              duration_seconds: float | None = None
+                              ) -> None:
+        """Count one consolidation episode's migrations and yield.
+
+        ``duration_seconds`` is ``None`` for journal-replayed episodes
+        — the original timing is gone, so only the counters advance.
+        """
+        with self._lock:
+            self.migrations += moves
+            self.servers_freed += servers_freed
+            self.consolidation_energy_saved += energy_saved
+        if duration_seconds is not None:
+            self.consolidation_duration.observe(duration_seconds)
+
     def observe_batch(self, size: int) -> None:
         """Record one ``place_batch`` request's batch size."""
         self.batch_size.observe(float(size))
@@ -287,6 +313,10 @@ class ServiceMetrics:
                     "failures": self.failures,
                     "replacements": self.replacements,
                     "vms_lost": self.vms_lost,
+                    "migrations": self.migrations,
+                    "servers_freed": self.servers_freed,
+                    "consolidation_energy_saved":
+                        self.consolidation_energy_saved,
                     "decisions": {f"{algorithm}\t{decision}": count
                                   for (algorithm, decision), count
                                   in self.decisions.items()}}
@@ -303,6 +333,10 @@ class ServiceMetrics:
             self.failures = int(meta.get("failures", 0))
             self.replacements = int(meta.get("replacements", 0))
             self.vms_lost = int(meta.get("vms_lost", 0))
+            self.migrations = int(meta.get("migrations", 0))
+            self.servers_freed = int(meta.get("servers_freed", 0))
+            self.consolidation_energy_saved = float(
+                meta.get("consolidation_energy_saved", 0.0))
             decisions = meta.get("decisions")
             if isinstance(decisions, Mapping):
                 for key, count in decisions.items():
@@ -322,6 +356,9 @@ class ServiceMetrics:
             failures = self.failures
             replacements = self.replacements
             vms_lost = self.vms_lost
+            migrations = self.migrations
+            servers_freed = self.servers_freed
+            energy_saved = self.consolidation_energy_saved
         lines: list[str] = []
 
         def family(name: str, kind: str, help_text: str,
@@ -370,6 +407,16 @@ class ServiceMetrics:
         family("repro_vms_lost_total", "counter",
                "VM remainders that fit no surviving server after a "
                "failure.", [("", float(vms_lost))])
+        family("repro_migrations_total", "counter",
+               "Live migrations committed by consolidation episodes.",
+               [("", float(migrations))])
+        family("repro_servers_freed_total", "counter",
+               "Servers drained empty by consolidation episodes.",
+               [("", float(servers_freed))])
+        family("repro_consolidation_energy_saved", "counter",
+               "Net Eq.-17 energy saved by consolidation episodes "
+               "(migration costs already deducted).",
+               [("", energy_saved)])
         family("repro_placement_latency_seconds", "summary",
                "Service-side latency of placement decisions.",
                [('{quantile="0.5"}', self.latency.quantile(0.5)),
@@ -388,6 +435,9 @@ class ServiceMetrics:
         hist_family("repro_shard_scan_seconds",
                     "Histogram of per-shard candidate scan durations.",
                     self.shard_scan)
+        hist_family("repro_consolidation_duration_seconds",
+                    "Histogram of consolidation episode durations "
+                    "(plan + apply + journal).", self.consolidation_duration)
         family("repro_fleet_power_watts", "gauge",
                "Instantaneous fleet power draw (Eq. 1).",
                [("", store.fleet_power())])

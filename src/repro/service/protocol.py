@@ -60,6 +60,15 @@ Operations
     ``{"op": "recover_server", "v": 2, "server_id": S}`` — the server
     is back; it returns to power-saving and becomes placeable again
     (its next wake pays the transition cost ``alpha``).
+``consolidate`` (v2)
+    ``{"op": "consolidate", "v": 2[, "time": T]}`` — run one live
+    consolidation episode at tick ``T`` (default: the daemon's clock):
+    rank drainable servers, split each spanning resident at ``T`` and
+    migrate its remainder wherever the Eq.-17 saving beats the per-move
+    migration cost. The response carries ``migrations``,
+    ``servers_freed``, ``energy_saved``, ``migration_energy`` and one
+    record per move. The whole episode is journaled as one atomic
+    group (the same guarantee as ``fail_server``).
 ``stats``
     Counters, clock and energy accounting as JSON.
 ``metrics``
@@ -93,7 +102,7 @@ __all__ = ["PROTOCOL_VERSION", "SUPPORTED_VERSIONS", "OPS",
            "negotiate_version", "parse_request", "parse_response",
            "encode", "place_request", "place_batch_request",
            "fail_server_request", "recover_server_request",
-           "vm_to_record", "vm_from_record"]
+           "consolidate_request", "vm_to_record", "vm_from_record"]
 
 #: The newest protocol version this build speaks.
 PROTOCOL_VERSION = 2
@@ -102,9 +111,9 @@ PROTOCOL_VERSION = 2
 SUPPORTED_VERSIONS = (1, 2)
 
 #: Every operation the daemon understands (``place_batch``,
-#: ``fail_server`` and ``recover_server`` need v2).
+#: ``fail_server``, ``recover_server`` and ``consolidate`` need v2).
 OPS = ("place", "place_batch", "tick", "fail_server", "recover_server",
-       "stats", "metrics", "snapshot", "ping", "shutdown")
+       "consolidate", "stats", "metrics", "snapshot", "ping", "shutdown")
 
 
 def encode(message: Mapping[str, object]) -> str:
@@ -142,6 +151,16 @@ def recover_server_request(server_id: int) -> dict[str, object]:
     """The v2 ``recover_server`` request."""
     return {"op": "recover_server", "v": PROTOCOL_VERSION,
             "server_id": server_id}
+
+
+def consolidate_request(time: int | None = None) -> dict[str, object]:
+    """The v2 ``consolidate`` request (``time`` defaults to the
+    daemon's current tick)."""
+    request: dict[str, object] = {"op": "consolidate",
+                                  "v": PROTOCOL_VERSION}
+    if time is not None:
+        request["time"] = time
+    return request
 
 
 def negotiate_version(message: Mapping[str, object]) -> int:
@@ -226,6 +245,17 @@ def parse_request(line: str) -> dict[str, object]:
                     or time < 1:
                 raise ServiceError(
                     f"fail_server field 'time' must be a positive "
+                    f"integer, got {time!r}")
+    elif op == "consolidate":
+        if version < 2:
+            raise ServiceError(
+                'consolidate requires protocol version 2; send "v": 2')
+        if "time" in message:
+            time = message.get("time")
+            if isinstance(time, bool) or not isinstance(time, int) \
+                    or time < 1:
+                raise ServiceError(
+                    f"consolidate field 'time' must be a positive "
                     f"integer, got {time!r}")
     return message
 

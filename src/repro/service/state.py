@@ -41,6 +41,20 @@ back to POWER_SAVING; its next wake pays the usual transition cost
 ``alpha``, which is exactly the paper's Eq.-17 accounting of
 recovery as an energy event. Snapshots carrying failure events use
 format version 2; event-free snapshots keep writing version 1.
+
+Consolidation reuses the same machinery in the opposite direction:
+:meth:`consolidate` runs one migration episode of the shared
+:class:`~repro.consolidation.planner.MigrationPlanner` against
+*full-history planning replicas* (rebuilt from the placement log, the
+same trick the failure path uses for the victim's book, so retired
+VMs' spent energy and anchors are never lost), then applies the plan
+to the live books — heads stay behind as legitimately-spent energy,
+remainders are re-scheduled on their targets, drained-empty servers
+power down at the close of the tick, and the per-move migration cost
+accrues in :attr:`migration_energy`. Each episode is one event in the
+snapshot stream (kind ``"consolidate"``, format version 3), replayed
+from its recorded moves exactly like a failure episode — the planner
+is never re-run on restore.
 """
 
 from __future__ import annotations
@@ -56,6 +70,11 @@ import numpy as np
 from repro.allocators.base import Allocator
 from repro.allocators.min_energy import MinIncrementalEnergy
 from repro.allocators.state import ServerState
+from repro.consolidation.planner import (
+    ConsolidationReport,
+    MigrationPlanner,
+    PlannedMove,
+)
 from repro.energy.cost import SleepPolicy, allocation_cost
 from repro.exceptions import ValidationError
 from repro.model.allocation import Allocation
@@ -69,15 +88,17 @@ from repro.simulation.recovery import recover_target, split_remainder
 from repro.simulation.telemetry import Telemetry
 from repro.workload.trace import vm_from_record, vm_to_record
 
-__all__ = ["ClusterStateStore", "FailureReport", "Replacement",
-           "SNAPSHOT_FORMAT_VERSION", "snapshot_meta"]
+__all__ = ["ClusterStateStore", "ConsolidationReport", "FailureReport",
+           "Replacement", "SNAPSHOT_FORMAT_VERSION", "snapshot_meta"]
 
 #: Highest snapshot format this build writes (and reads). Version 2
-#: adds the failure/recovery event stream; stores with no events keep
-#: writing version 1 so their snapshots stay readable by older builds.
-SNAPSHOT_FORMAT_VERSION = 2
+#: added the failure/recovery event stream; version 3 adds consolidation
+#: episodes to it. Stores write the lowest version that can express
+#: their event stream, so snapshots stay readable by older builds
+#: whenever possible.
+SNAPSHOT_FORMAT_VERSION = 3
 
-_SUPPORTED_SNAPSHOT_VERSIONS = (1, 2)
+_SUPPORTED_SNAPSHOT_VERSIONS = (1, 2, 3)
 
 
 @dataclass(frozen=True)
@@ -176,6 +197,9 @@ class ClusterStateStore:
         self.clock = 0
         #: analytic Eq.-17 energy, accumulated per-placement delta
         self.energy_accumulated = 0.0
+        #: energy charged for live migrations (per-move cost, on top of
+        #: the Eq.-17 placement energy)
+        self.migration_energy = 0.0
         self._placements: list[tuple[VM, int]] = []
         #: durable replay stream: every normal commit as (vm, server_id,
         #: clock committed at). Unlike ``_placements`` — the live
@@ -464,6 +488,158 @@ class ClusterStateStore:
             "kind": "recover", "server_id": server_id,
             "at": self.clock, "after": len(self._commit_log)})
 
+    # -- consolidation -----------------------------------------------------
+
+    def consolidate(self, time: int | None = None, *,
+                    planner: MigrationPlanner | None = None,
+                    moves: Sequence[PlannedMove | Mapping[str, object]]
+                    | None = None) -> ConsolidationReport:
+        """Run one live consolidation episode at tick ``time``.
+
+        The clock advances to ``time`` (default: the current tick),
+        then the shared
+        :class:`~repro.consolidation.planner.MigrationPlanner` plans
+        one episode against *full-history planning replicas* — one
+        fresh book per live server rebuilt from the placement log, so
+        the planner's tentative ``remove``/``place`` probing never
+        touches (or corrupts) the compacted live books. Committed moves
+        are then applied for real: each migrated VM's interrupted head
+        stays on its source as legitimately-spent energy, the remainder
+        is placed and live-scheduled on its target (waking it when
+        needed), the per-move cost accrues in :attr:`migration_energy`,
+        and sources drained of their last resident power down when the
+        tick closes.
+
+        The whole episode is recorded as **one** event in the snapshot
+        stream; ``moves`` replays such a recorded episode verbatim
+        (snapshot restore / journal replay) — the planner is never
+        re-run, so a restored store is bit-identical to the original.
+        Dead servers are neither drained nor targeted.
+        """
+        time = self.clock if time is None else int(time)
+        if time < 1:
+            raise ValidationError(
+                f"consolidation time must be >= 1, got {time}")
+        if time < self.clock:
+            raise ValidationError(
+                f"cannot consolidate in the past: tick {time} < "
+                f"clock {self.clock}")
+        at = self.clock
+        self.advance_to(time)
+        if moves is None:
+            if planner is None:
+                planner = MigrationPlanner()
+            by_server: dict[int, list[VM]] = {}
+            for vm, sid in self._placements:
+                by_server.setdefault(sid, []).append(vm)
+            replicas = []
+            for server_id, state in enumerate(self.states):
+                replica = ServerState(state.server, policy=self.policy,
+                                      engine=self.engine)
+                for vm in by_server.get(server_id, ()):
+                    replica.place_trusted(vm)
+                replicas.append(replica)
+            plan = planner.plan_episode(replicas, time, self._next_vm_id,
+                                        skip=frozenset(self._dead))
+            planned = plan.moves
+        else:
+            planned = tuple(
+                m if isinstance(m, PlannedMove)
+                else PlannedMove.from_record(m) for m in moves)
+        report = self._apply_migrations(planned, time)
+        if planned:
+            self._events.append({
+                "kind": "consolidate", "time": time, "at": at,
+                "after": len(self._commit_log),
+                "moves": [move.to_record() for move in planned]})
+        return report
+
+    def _apply_migrations(self, moves: tuple[PlannedMove, ...],
+                          time: int) -> ConsolidationReport:
+        """Apply a planned (or replayed) episode to the live books.
+
+        Three passes, because a server drained early in the episode may
+        be the *target* of a later victim's remainder: first every
+        moved VM leaves its source (live eviction + head left behind),
+        then every touched source book is rebuilt from the placement
+        log with the planner's shrinkage reflected, and only then are
+        remainders placed — so each target's book already shows the
+        episode's drains when its capacity is probed.
+        """
+        touched: list[int] = []
+        # One order-preserving sweep instead of a per-move equality scan
+        # of the placement log; heads are appended afterwards in move
+        # order, exactly as per-move remove-then-append would leave it.
+        doomed = {(move.vm.vm_id, move.source_id) for move in moves}
+        kept = [entry for entry in self._placements
+                if (entry[0].vm_id, entry[1]) not in doomed]
+        if len(kept) != len(self._placements) - len(moves):
+            placed = {(vm.vm_id, sid) for vm, sid in self._placements}
+            for move in moves:
+                if (move.vm.vm_id, move.source_id) not in placed:
+                    raise ValidationError(
+                        f"vm {move.vm.vm_id} is not placed on server "
+                        f"{move.source_id}")
+            raise ValidationError(
+                "duplicate placement entries for a consolidation move")
+        self._placements[:] = kept
+        # Batch the live evictions: one pass over the piece table
+        # instead of a scan per move (the per-move order of machine
+        # eviction and the final schedule state are unchanged).
+        moved_ids = {move.vm.vm_id for move in moves}
+        pieces_of: dict[int, list[int]] = {}
+        for piece_id, owner in self._piece_vm.items():
+            if owner in moved_ids:
+                pieces_of.setdefault(owner, []).append(piece_id)
+        for move in moves:
+            machine = self.machines[move.source_id]
+            for piece_id in pieces_of.get(move.vm.vm_id, ()):
+                if piece_id in machine.resident_vms:
+                    cpu, memory = self._piece_demand[piece_id]
+                    machine.end_vm(piece_id, cpu, memory)
+        if moved_ids:
+            self._purge_pieces(moved_ids)
+        for move in moves:
+            # The head ran on the source and its energy is spent and
+            # useful; it stays on the source's books.
+            self._placements.append((move.head, move.source_id))
+            self._vm_ids.add(move.head.vm_id)
+            self._next_vm_id = max(self._next_vm_id,
+                                   move.head.vm_id + 1,
+                                   move.remainder.vm_id + 1)
+            self.migration_energy += move.cost
+            if move.source_id not in touched:
+                touched.append(move.source_id)
+        by_server: dict[int, list[VM]] = {}
+        if touched:
+            for vm, sid in self._placements:
+                by_server.setdefault(sid, []).append(vm)
+        for server_id in touched:
+            # Same rebuild as the failure path: a fresh full-history
+            # book, so retired VMs' energy anchors survive the drain.
+            old = self.states[server_id]
+            fresh = ServerState(old.server, policy=self.policy,
+                                engine=self.engine)
+            mine = by_server.get(server_id, [])
+            for vm in mine:
+                fresh.place_trusted(vm)
+            for vm in mine:
+                if vm.vm_id not in self._open_pieces:
+                    fresh.retire(vm, before=self.clock)
+            self.states[server_id] = fresh
+            self.energy_accumulated += fresh.cost - old.cost
+        for move in moves:
+            delta = self.states[move.target_id].place(move.remainder)
+            self.energy_accumulated += delta
+            self._placements.append((move.remainder, move.target_id))
+            self._vm_ids.add(move.remainder.vm_id)
+            self._schedule_live(move.remainder, move.target_id)
+        occupied = {entry[1] for entry in self._open_pieces.values()}
+        freed = sum(1 for server_id in touched
+                    if server_id not in occupied)
+        return ConsolidationReport(time=time, moves=moves,
+                                   servers_freed=freed)
+
     def _apply_replacement(self, vm: VM, head: VM | None, remainder: VM,
                            victim_id: int, target_id: int | None
                            ) -> Replacement:
@@ -514,16 +690,27 @@ class ClusterStateStore:
             self._open_pieces.pop(vm_id, None)
 
     def _apply_event(self, event: Mapping[str, object]) -> None:
-        """Replay one recorded failure/recovery event (snapshot restore)."""
+        """Replay one recorded failure/recovery/consolidation event
+        (snapshot restore)."""
         try:
             kind = event["kind"]
-            server_id = int(event["server_id"])
             at = int(event["at"])
         except (TypeError, KeyError, ValueError) as exc:
             raise ValidationError(
                 f"malformed snapshot event: {exc}") from exc
         if at > self.clock:
             self.advance_to(at)
+        if kind == "consolidate":
+            self.consolidate(
+                int(event["time"]),
+                moves=[PlannedMove.from_record(record)
+                       for record in event.get("moves", ())])
+            return
+        try:
+            server_id = int(event["server_id"])
+        except (TypeError, KeyError, ValueError) as exc:
+            raise ValidationError(
+                f"malformed snapshot event: {exc}") from exc
         if kind == "fail":
             self.fail_server(
                 server_id, int(event["time"]),
@@ -604,12 +791,19 @@ class ClusterStateStore:
         daemon stores its counters and journal sequence there).
 
         Failure/recovery events make the document format version 2
-        (commit stream + interleaved event stream); a store that never
-        saw a failure keeps writing version 1, byte-compatible with
-        older builds.
+        (commit stream + interleaved event stream) and consolidation
+        episodes make it version 3; a store that never saw either keeps
+        writing version 1, byte-compatible with older builds.
         """
+        if any(event.get("kind") == "consolidate"
+               for event in self._events):
+            version = 3
+        elif self._events:
+            version = 2
+        else:
+            version = 1
         document: dict[str, object] = {
-            "format_version": 2 if self._events else 1,
+            "format_version": version,
             "policy": self.policy.value,
             "engine": self.engine,
             "clock": self.clock,

@@ -11,7 +11,10 @@ fleet. This module holds that mechanics once, so the online service and
 the offline simulator provably agree: the end-to-end test streams a
 workload at a daemon, injects failures live, and asserts the final
 fleet energy equals an offline ``inject_failures`` replay of the same
-schedule to 1e-12 relative.
+schedule to 1e-12 relative. The consolidation planner
+(:mod:`repro.consolidation.planner`) is the third consumer: a live
+migration is the same cut — :func:`split_remainder` at the episode tick
+— with the remainder moved for profit instead of necessity.
 
 The two primitives:
 

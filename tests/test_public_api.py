@@ -50,6 +50,11 @@ EXPECTED_ALL = [
     "SkylineOccupancy",
     "ScenarioConfig",
     "compare_averaged",
+    "ConsolidationReport",
+    "FragmentationMonitor",
+    "MigrationPlanner",
+    "PlannedMove",
+    "VictimSelector",
     "EpochConsolidator",
     "LongestFirstMinEnergy",
     "OfflineMinEnergy",
@@ -97,6 +102,7 @@ EXPECTED_ALL = [
     "ReplaySummary",
     "STATUSES",
     "SUPPORTED_VERSIONS",
+    "consolidate_request",
     "place_batch_request",
     "replay_trace",
     "SimulationEngine",
@@ -145,6 +151,17 @@ class TestExports:
         for op in ("fail_server", "recover_server"):
             assert op in service.OPS
 
+    def test_service_consolidation_surface_pinned(self):
+        import repro.service as service
+        from repro.service import FaultEvent
+
+        for name in ("ConsolidationReport", "consolidate_request"):
+            assert name in service.__all__, name
+            assert hasattr(service, name), name
+        assert "consolidate" in service.OPS
+        # The chaos vocabulary covers forced episodes too.
+        FaultEvent(after=0, kind="consolidate")
+
     def test_results_vocabulary_pinned(self):
         from repro import results
 
@@ -175,7 +192,7 @@ class TestExports:
         for module in ("repro.model", "repro.energy", "repro.allocators",
                        "repro.ilp", "repro.simulation", "repro.workload",
                        "repro.metrics", "repro.experiments", "repro.cli",
-                       "repro.service"):
+                       "repro.service", "repro.consolidation"):
             importlib.import_module(module)
 
 
@@ -218,6 +235,8 @@ class TestDocstrings:
         "repro.service.persistence", "repro.service.metrics",
         "repro.service.daemon", "repro.service.client",
         "repro.service.faults", "repro.simulation.recovery",
+        "repro.consolidation.fragmentation",
+        "repro.consolidation.victim", "repro.consolidation.planner",
         "repro.results",
         "repro.placement.sharding", "repro.allocators.batch",
     ])

@@ -14,6 +14,7 @@ from repro.model.server import ServerSpec
 from repro.service import ClusterStateStore, Histogram, parse_exposition
 from repro.service.metrics import (
     CANDIDATE_BUCKETS,
+    CONSOLIDATION_BUCKETS,
     LATENCY_BUCKETS,
     LatencyReservoir,
     ServiceMetrics,
@@ -269,6 +270,52 @@ class TestExposition:
                                            ("rejected", 0.001, 0)])
         assert metrics.candidates.count == 2
         assert metrics.candidates.sum == 7.0
+
+    def test_consolidation_families_are_conformant(self):
+        store = ClusterStateStore(Cluster.homogeneous(SPEC, 3))
+        metrics = ServiceMetrics()
+        metrics.observe_consolidation(moves=3, servers_freed=1,
+                                      energy_saved=120.5,
+                                      duration_seconds=0.002)
+        metrics.observe_consolidation(moves=2, servers_freed=1,
+                                      energy_saved=40.0,
+                                      duration_seconds=0.03)
+        families = conformant_families(metrics.render(store))
+        assert families["repro_migrations_total"]["type"] == "counter"
+        assert families["repro_migrations_total"]["samples"][0][2] == 5.0
+        assert families["repro_servers_freed_total"]["samples"][0][2] \
+            == 2.0
+        assert families["repro_consolidation_energy_saved"][
+            "samples"][0][2] == pytest.approx(160.5)
+        hist = families["repro_consolidation_duration_seconds"]
+        assert hist["type"] == "histogram"
+        buckets = [s for s in hist["samples"]
+                   if s[0].endswith("_bucket")]
+        assert len(buckets) == len(CONSOLIDATION_BUCKETS) + 1
+        by_le = {s[1]["le"]: s[2] for s in buckets}
+        assert by_le["0.0025"] == 1.0  # the 2 ms episode
+        assert by_le["+Inf"] == 2.0
+
+    def test_replayed_episode_skips_the_duration_histogram(self):
+        metrics = ServiceMetrics()
+        metrics.observe_consolidation(moves=1, servers_freed=0,
+                                      energy_saved=5.0)
+        assert metrics.migrations == 1
+        assert metrics.consolidation_duration.count == 0
+
+    def test_consolidation_counters_survive_the_meta_round_trip(self):
+        metrics = ServiceMetrics()
+        metrics.observe_consolidation(moves=4, servers_freed=2,
+                                      energy_saved=77.25,
+                                      duration_seconds=0.001)
+        restored = ServiceMetrics()
+        restored.restore_meta(metrics.to_meta())
+        assert restored.migrations == 4
+        assert restored.servers_freed == 2
+        assert restored.consolidation_energy_saved == 77.25
+        # Histograms are not persisted; the restored daemon re-counts
+        # only durations it measures itself.
+        assert restored.consolidation_duration.count == 0
 
     def test_meta_round_trip_preserves_decisions(self):
         metrics = ServiceMetrics()
