@@ -95,3 +95,91 @@ def test_null_tracer_overhead_under_five_percent():
         f"no-op tracer overhead {100 * overhead:.2f}% exceeds " \
         f"{100 * MAX_OVERHEAD:.0f}% (baseline {baseline:.4f}s, " \
         f"instrumented {instrumented:.4f}s)"
+
+
+# --- daemon scale point: the *enabled* stack must stay cheap too -----
+#
+# The simulator check above guards the disabled path. This one guards
+# the opposite end: a daemon serving 2000 traced place requests with
+# the full observability stack live (tracer, JSON logging, telemetry
+# ring, SLO tracker, flight recorder) against the same daemon with
+# every obs surface disabled. The budget is the same 5%.
+
+DAEMON_REPEATS = 5
+
+
+def _place_lines(traced: bool) -> list[str]:
+    import json
+
+    from repro.service import place_request
+
+    lines = []
+    for i, vm in enumerate(VMS):
+        request = place_request(vm)
+        if traced:
+            request["trace_id"] = f"{i:016x}"
+            request["request_id"] = f"{i:08x}"
+        lines.append(json.dumps(request))
+    return lines
+
+
+PLAIN_LINES = _place_lines(traced=False)
+TRACED_LINES = _place_lines(traced=True)
+
+
+def _drive_daemon(observed: bool) -> float:
+    import io
+
+    from repro.obs import JsonLogger, Tracer, use_logger, use_tracer
+    from repro.obs.logging import NULL_LOGGER
+    from repro.obs.tracer import NULL_TRACER
+    from repro.service import AllocationDaemon, ClusterStateStore
+
+    store = ClusterStateStore(Cluster.paper_all_types(N_VMS // 2))
+    if observed:
+        daemon = AllocationDaemon(store, algorithm=ALGORITHM, seed=0)
+        tracer, logger = Tracer(), JsonLogger(io.StringIO(),
+                                              level="info")
+        lines = TRACED_LINES
+    else:
+        daemon = AllocationDaemon(store, algorithm=ALGORITHM, seed=0,
+                                  telemetry_capacity=0,
+                                  flight_capacity=0)
+        tracer, logger = NULL_TRACER, NULL_LOGGER
+        lines = PLAIN_LINES
+    with use_tracer(tracer), use_logger(logger):
+        start = time.perf_counter()
+        for line in lines:
+            daemon.handle_line(line)
+        elapsed = time.perf_counter() - start
+    stats = daemon.handle({"op": "stats"})
+    assert stats["placed"] + stats["rejected"] + stats["delayed"] == N_VMS
+    return elapsed
+
+
+def test_daemon_obs_on_overhead_under_five_percent():
+    off_times, on_times = [], []
+    _drive_daemon(False), _drive_daemon(True)  # warm-up
+    for _ in range(DAEMON_REPEATS):
+        off_times.append(_drive_daemon(False))
+        on_times.append(_drive_daemon(True))
+    off, on = min(off_times), min(on_times)
+    overhead = on / off - 1.0
+    lines = [
+        f"daemon observability overhead "
+        f"({N_VMS} traced place requests over the wire path, "
+        f"{ALGORITHM}, min of {DAEMON_REPEATS} interleaved repeats)",
+        "",
+        f"{'variant':<28} {'min_s':>8} {'median_s':>9}",
+        f"{'obs off (all disabled)':<28} {off:>8.4f} "
+        f"{statistics.median(off_times):>9.4f}",
+        f"{'obs on (full stack)':<28} {on:>8.4f} "
+        f"{statistics.median(on_times):>9.4f}",
+        "",
+        f"overhead: {100 * overhead:+.2f}% "
+        f"(budget {100 * MAX_OVERHEAD:.0f}%)",
+    ]
+    record_result("obs_daemon_overhead", "\n".join(lines))
+    assert on <= off * (1.0 + MAX_OVERHEAD), \
+        f"obs-on daemon overhead {100 * overhead:.2f}% exceeds " \
+        f"{100 * MAX_OVERHEAD:.0f}% (off {off:.4f}s, on {on:.4f}s)"

@@ -20,7 +20,10 @@ Usage examples::
     repro inject-fault --port 7077 --server-id 3
     repro inject-fault --port 7077 --server-id 3 --recover
     repro serve --port 7077 --consolidate-epoch 50 --frag-threshold 0.4
+    repro serve --port 7077 --log-json --slo-latency-ms 50
     repro consolidate --port 7077 --at 120
+    repro top --port 7077 --interval 2
+    repro slo --port 7077
     repro trace spans.json
 
 (Equivalently ``python -m repro ...``. Running ``repro`` with no
@@ -268,6 +271,31 @@ def build_parser() -> argparse.ArgumentParser:
                          metavar="K",
                          help="bid each migrating remainder to at most K "
                               "feasible targets (bounds episode latency)")
+    p_serve.add_argument("--log-json", action="store_true",
+                         help="emit structured JSON logs (one object per "
+                              "line on stderr), correlated by trace id")
+    p_serve.add_argument("--log-level", default="info",
+                         choices=("debug", "info", "warning", "error"),
+                         help="minimum level for --log-json records")
+    p_serve.add_argument("--slo-latency-ms", type=float, default=100.0,
+                         metavar="MS",
+                         help="latency SLO objective: a request is 'fast' "
+                              "when served within MS milliseconds")
+    p_serve.add_argument("--slo-latency-target", type=float, default=0.99,
+                         metavar="F",
+                         help="fraction of requests that must be fast")
+    p_serve.add_argument("--slo-availability", type=float, default=0.999,
+                         metavar="F",
+                         help="fraction of requests that must succeed")
+    p_serve.add_argument("--telemetry-capacity", type=int, default=1024,
+                         metavar="N",
+                         help="per-tick fleet telemetry ring size "
+                              "(0 disables sampling)")
+    p_serve.add_argument("--flight-capacity", type=int, default=256,
+                         metavar="N",
+                         help="flight-recorder ring size: last N "
+                              "request/response pairs kept for debug "
+                              "dumps (0 disables)")
 
     p_client = sub.add_parser(
         "client", help="stream a workload at a running daemon")
@@ -321,6 +349,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_consolidate.add_argument("--retries", type=int, default=0,
                                help="retry transient failures up to this "
                                     "many times")
+
+    p_top = sub.add_parser(
+        "top", help="live fleet telemetry dashboard for a running daemon")
+    p_top.add_argument("--host", default="127.0.0.1")
+    p_top.add_argument("--port", type=int, default=7077)
+    p_top.add_argument("--interval", type=float, default=2.0,
+                       help="seconds between refreshes")
+    p_top.add_argument("--iterations", type=int, default=0, metavar="N",
+                       help="stop after N refreshes (0 = run until ^C)")
+    p_top.add_argument("--last", type=int, default=10, metavar="N",
+                       help="show the newest N telemetry samples")
+    p_top.add_argument("--retries", type=int, default=0,
+                       help="retry transient failures up to this many "
+                            "times")
+
+    p_slo = sub.add_parser(
+        "slo", help="print a daemon's SLO burn-rate report (exit 1 when "
+                    "an objective is burning)")
+    p_slo.add_argument("--host", default="127.0.0.1")
+    p_slo.add_argument("--port", type=int, default=7077)
+    p_slo.add_argument("--retries", type=int, default=0,
+                       help="retry transient failures up to this many "
+                            "times")
     return parser
 
 
@@ -611,12 +662,35 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         start_metrics_server,
     )
 
+    # In stdio mode stdout carries the protocol, so banners go to stderr.
+    log = sys.stderr if args.stdio else sys.stdout
+    logger = None
+    if args.log_json:
+        from repro.obs.logging import JsonLogger, set_logger
+
+        # JSON logs share stderr with banners; each record is one line.
+        logger = JsonLogger(sys.stderr, level=args.log_level)
+        set_logger(logger)
+
+    def _start_metrics(target: object) -> None:
+        # For --restore this runs via on_built, before journal replay,
+        # so /healthz answers 503 "restoring" while the tail is applied.
+        if args.metrics_port is not None:
+            metrics_server = start_metrics_server(target, args.host,
+                                                  args.metrics_port)
+            print(f"metrics on http://{args.host}:"
+                  f"{metrics_server.server_address[1]}/metrics",
+                  file=log, flush=True)
+
     if args.restore:
         if not args.data_dir:
             print("error: --restore needs --data-dir", file=sys.stderr)
             return 2
-        daemon = AllocationDaemon.restore(args.data_dir)
+        daemon = AllocationDaemon.restore(args.data_dir,
+                                          on_built=_start_metrics)
     else:
+        from repro.obs import SLOConfig
+
         store = ClusterStateStore(Cluster.paper_all_types(args.servers))
         daemon = AllocationDaemon(
             store, algorithm=args.algorithm, seed=args.seed,
@@ -627,9 +701,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             consolidate_every=args.consolidate_epoch,
             frag_threshold=args.frag_threshold,
             migration_cost_per_gb=args.migration_cost,
-            migration_k=args.migration_k)
-    # In stdio mode stdout carries the protocol, so banners go to stderr.
-    log = sys.stderr if args.stdio else sys.stdout
+            migration_k=args.migration_k,
+            slo=SLOConfig(latency_objective=args.slo_latency_ms / 1e3,
+                          latency_target=args.slo_latency_target,
+                          availability_target=args.slo_availability),
+            telemetry_capacity=args.telemetry_capacity,
+            flight_capacity=args.flight_capacity)
+        _start_metrics(daemon)
     tracer = None
     if args.trace_out:
         from repro.obs.tracer import Tracer, set_tracer
@@ -638,11 +716,6 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         set_tracer(tracer)
         print(f"tracing to {args.trace_out} (written on shutdown)",
               file=log)
-    if args.metrics_port is not None:
-        metrics_server = start_metrics_server(daemon, args.host,
-                                              args.metrics_port)
-        print(f"metrics on http://{args.host}:"
-              f"{metrics_server.server_address[1]}/metrics", file=log)
     print(f"cluster: {len(daemon.store.cluster)} servers, "
           f"algorithm {daemon.config['algorithm']}, "
           f"clock {daemon.store.clock}, "
@@ -669,6 +742,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             written = write_chrome_trace(tracer.events, args.trace_out)
             print(f"wrote {written} trace events to {args.trace_out}",
                   file=log)
+        if logger is not None:
+            from repro.obs.logging import set_logger
+
+            set_logger(None)
     return 0
 
 
@@ -800,6 +877,96 @@ def _cmd_consolidate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _format_slo(report: dict) -> str:
+    """Render an SLO tracker report (as served by the telemetry op)."""
+    config = report.get("config", {})
+    totals = report.get("totals", {})
+    healthy = report.get("healthy", True)
+    lines = [
+        f"slo: {'healthy' if healthy else 'BURNING'} "
+        f"(latency <= {1e3 * config.get('latency_objective', 0):.0f} ms "
+        f"for {100 * config.get('latency_target', 0):.4g}% of requests, "
+        f"availability {100 * config.get('availability_target', 0):.4g}%)",
+        f"  totals: {totals.get('requests', 0)} requests, "
+        f"{totals.get('slow', 0)} slow, {totals.get('errors', 0)} errors",
+    ]
+    for window in report.get("windows", []):
+        seconds = window.get("window_seconds", 0)
+        lines.append(
+            f"  {seconds:>6.10g}s window: "
+            f"{window.get('requests', 0):>6} requests, "
+            f"latency burn {window.get('latency_burn_rate', 0.0):.3f}, "
+            f"availability burn "
+            f"{window.get('availability_burn_rate', 0.0):.3f}")
+    return "\n".join(lines)
+
+
+def _format_top(response: dict) -> str:
+    """Render one refresh of the ``repro top`` dashboard."""
+    samples = response.get("samples", [])
+    lines = [f"fleet telemetry at tick {response.get('clock', '?')} "
+             f"({len(samples)} samples shown, "
+             f"ring capacity {response.get('capacity', 0)}):"]
+    if not response.get("enabled", True):
+        lines.append("  (telemetry sampling is disabled on this daemon)")
+    header = (f"  {'tick':>6} {'active':>6} {'asleep':>6} {'failed':>6} "
+              f"{'vms':>5} {'power W':>9} {'energy':>10} {'frag':>6} "
+              f"{'infl':>4} {'pend':>4}")
+    if samples:
+        lines.append(header)
+    for s in samples:
+        lines.append(
+            f"  {s.get('tick', 0):>6} {s.get('servers_active', 0):>6} "
+            f"{s.get('servers_asleep', 0):>6} "
+            f"{s.get('servers_failed', 0):>6} "
+            f"{s.get('running_vms', 0):>5} "
+            f"{s.get('fleet_power', 0.0):>9.1f} "
+            f"{s.get('energy_accumulated', 0.0):>10.1f} "
+            f"{s.get('fragmentation', 0.0):>6.3f} "
+            f"{s.get('inflight', 0):>4} {s.get('pending', 0):>4}")
+    lines.append(_format_slo(response.get("slo", {})))
+    return "\n".join(lines)
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from repro.service import AllocationClient, ClientConfig
+
+    config = ClientConfig(retries=args.retries)
+    refreshes = 0
+    with AllocationClient(args.host, args.port, config=config) as client:
+        try:
+            while True:
+                response = client.telemetry(last=args.last)
+                if not response.get("ok"):
+                    print(f"error: {response.get('error')}",
+                          file=sys.stderr)
+                    return 1
+                print(_format_top(response), flush=True)
+                refreshes += 1
+                if args.iterations and refreshes >= args.iterations:
+                    return 0
+                _time.sleep(args.interval)
+                print()
+        except KeyboardInterrupt:
+            return 0
+
+
+def _cmd_slo(args: argparse.Namespace) -> int:
+    from repro.service import AllocationClient, ClientConfig
+
+    config = ClientConfig(retries=args.retries)
+    with AllocationClient(args.host, args.port, config=config) as client:
+        response = client.telemetry(last=1)
+    if not response.get("ok"):
+        print(f"error: {response.get('error')}", file=sys.stderr)
+        return 1
+    report = response.get("slo", {})
+    print(_format_slo(report))
+    return 0 if report.get("healthy", False) else 1
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.report import write_report
 
@@ -828,6 +995,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "client": lambda: _cmd_client(args),
         "inject-fault": lambda: _cmd_inject_fault(args),
         "consolidate": lambda: _cmd_consolidate(args),
+        "top": lambda: _cmd_top(args),
+        "slo": lambda: _cmd_slo(args),
     }
     handler = handlers.get(getattr(args, "command", None))
     if handler is None:

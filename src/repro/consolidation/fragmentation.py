@@ -62,19 +62,40 @@ class FragmentationReading:
 class FragmentationMonitor:
     """Samples a :class:`FragmentationReading` from a live store."""
 
-    def reading(self, store: "ClusterStateStore") -> FragmentationReading:
-        active = 0
-        resident_cpu = 0.0
-        resident_mem = 0.0
-        for machine in store.machines.values():
-            if machine.state is PowerState.ACTIVE:
-                active += 1
-            resident_cpu += machine.resident_cpu
-            resident_mem += machine.resident_mem
+    def __init__(self) -> None:
+        # Largest per-server capacities, cached per cluster identity —
+        # the cluster is immutable, so one scan amortises over every
+        # reading the monitor ever takes from it.
+        self._caps_for: tuple[int, float, float] | None = None
+
+    def _max_capacities(self, store: "ClusterStateStore"
+                        ) -> tuple[float, float]:
+        cached = self._caps_for
+        if cached is not None and cached[0] == id(store.cluster):
+            return cached[1], cached[2]
         max_cpu = max((server.cpu_capacity
                        for server in store.cluster), default=0.0)
         max_mem = max((server.memory_capacity
                        for server in store.cluster), default=0.0)
+        self._caps_for = (id(store.cluster), max_cpu, max_mem)
+        return max_cpu, max_mem
+
+    def reading(self, store: "ClusterStateStore") -> FragmentationReading:
+        fleet = getattr(store, "fleet", None)
+        if fleet is not None:
+            active = fleet.active
+            resident_cpu = fleet.resident_cpu
+            resident_mem = fleet.resident_mem
+        else:
+            active = 0
+            resident_cpu = 0.0
+            resident_mem = 0.0
+            for machine in store.machines.values():
+                if machine.state is PowerState.ACTIVE:
+                    active += 1
+                resident_cpu += machine.resident_cpu
+                resident_mem += machine.resident_mem
+        max_cpu, max_mem = self._max_capacities(store)
         bound = 0
         if resident_cpu > 0 and max_cpu > 0:
             bound = max(bound, math.ceil(resident_cpu / max_cpu - 1e-9))

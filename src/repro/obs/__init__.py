@@ -1,10 +1,23 @@
 """Decision tracing and instrumentation (zero-dependency).
 
-Three pieces, designed to cost ~nothing when disabled:
+Designed to cost ~nothing when disabled:
 
 * :mod:`repro.obs.tracer` — nested spans, instants and counters on a
   monotonic clock, behind a process-global tracer that defaults to a
   no-op (:func:`get_tracer` / :func:`set_tracer` / :func:`use_tracer`);
+* :mod:`repro.obs.context` — ``trace_id``/``request_id`` propagation:
+  one id correlates a request across client, daemon spans, journal and
+  logs;
+* :mod:`repro.obs.logging` — structured JSON logging with levels,
+  per-event rate limiting and trace-id correlation, behind the same
+  process-global no-op pattern (:func:`get_logger` et al.);
+* :mod:`repro.obs.telemetry` — the bounded per-tick fleet telemetry
+  ring behind the ``telemetry`` protocol op and ``repro top``;
+* :mod:`repro.obs.slo` — latency/availability objectives with
+  multi-window burn rates (``repro_slo_*`` metrics, ``repro slo``);
+* :mod:`repro.obs.flight` — the flight recorder: a bounded ring of
+  recent request/response tuples dumped via ``dump_debug`` and on
+  unhandled daemon errors;
 * :mod:`repro.obs.explain` — per-placement explain-traces: the candidate
   set each allocator evaluated, per-candidate feasibility verdicts and
   the Eq.-2/3 cost terms that ranked them;
@@ -14,6 +27,12 @@ Three pieces, designed to cost ~nothing when disabled:
 See ``docs/observability.md`` for the full tour.
 """
 
+from repro.obs.context import (
+    TraceContext,
+    new_request_id,
+    new_trace_id,
+    trace_context_of,
+)
 from repro.obs.explain import (
     CandidateVerdict,
     CostTerms,
@@ -28,6 +47,26 @@ from repro.obs.export import (
     to_chrome_trace,
     write_chrome_trace,
     write_jsonl,
+)
+from repro.obs.flight import (
+    FlightRecord,
+    FlightRecorder,
+)
+from repro.obs.logging import (
+    NULL_LOGGER,
+    JsonLogger,
+    NullLogger,
+    get_logger,
+    set_logger,
+    use_logger,
+)
+from repro.obs.slo import (
+    SLOConfig,
+    SLOTracker,
+)
+from repro.obs.telemetry import (
+    TelemetryRing,
+    TelemetrySample,
 )
 from repro.obs.tracer import (
     NULL_TRACER,
@@ -60,4 +99,20 @@ __all__ = [
     "get_tracer",
     "set_tracer",
     "use_tracer",
+    "TraceContext",
+    "new_trace_id",
+    "new_request_id",
+    "trace_context_of",
+    "NULL_LOGGER",
+    "JsonLogger",
+    "NullLogger",
+    "get_logger",
+    "set_logger",
+    "use_logger",
+    "TelemetryRing",
+    "TelemetrySample",
+    "SLOConfig",
+    "SLOTracker",
+    "FlightRecord",
+    "FlightRecorder",
 ]

@@ -79,11 +79,33 @@ def write_chrome_trace(events: Iterable[TraceEvent], path: str | Path, *,
 
 
 def load_chrome_trace(path: str | Path) -> dict[str, object]:
-    """Load and validate the envelope of a Chrome trace JSON file."""
+    """Load and validate the envelope of a Chrome trace JSON file.
+
+    Raises :class:`ValidationError` with a clean, actionable message for
+    every malformed input: a missing or unreadable file, an empty file
+    (e.g. the daemon died before its trace flush), or a torn final line
+    (killed mid-write).
+    """
     path = Path(path)
     try:
-        document = json.loads(path.read_text())
+        text = path.read_text()
+    except OSError as exc:
+        raise ValidationError(f"{path}: cannot read trace file: "
+                              f"{exc.strerror or exc}") from exc
+    if not text.strip():
+        raise ValidationError(
+            f"{path}: empty trace file (no events were written — the "
+            f"process may have exited before its trace flush)")
+    try:
+        document = json.loads(text)
     except json.JSONDecodeError as exc:
+        torn = exc.pos >= len(text.rstrip()) \
+            or "Unterminated string" in exc.msg
+        if torn:
+            raise ValidationError(
+                f"{path}: truncated trace file (torn final line — the "
+                f"writer was likely killed mid-write): {exc.msg}"
+            ) from exc
         raise ValidationError(f"{path}: not valid JSON: {exc}") from exc
     if isinstance(document, list):  # the bare-array variant is legal
         document = {"traceEvents": document}

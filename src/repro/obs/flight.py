@@ -1,0 +1,185 @@
+"""The flight recorder: a bounded ring of recent request outcomes.
+
+A :class:`FlightRecorder` keeps the last N request/response tuples —
+op, trace ids, outcome, latency, compacted request and response
+payloads, and the error (if any). When something goes wrong in a
+daemon that has been running for hours, the recorder answers *"what
+were the last requests before this?"* without any log shipping:
+
+* the ``dump_debug`` protocol op returns the ring over the wire (also
+  fired by the chaos :class:`~repro.service.faults.FaultInjector`);
+* an unhandled daemon error dumps the ring automatically to a
+  ``flight-dump-*.json`` file in the data dir — a black box for the
+  post-mortem.
+
+Payloads are *compacted* before recording: internal ``_``-prefixed
+fields (parsed VM objects) are dropped, long lists are truncated to
+their head with a ``"... (+N more)"`` marker, and long strings are
+clipped — a 10 000-VM batch records as a handful of entries, keeping
+ring memory bounded regardless of request size.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+from typing import Mapping
+
+from repro.exceptions import ValidationError
+
+__all__ = ["FlightRecord", "FlightRecorder"]
+
+#: Compaction bounds: list head kept / string prefix kept.
+MAX_LIST_ITEMS = 16
+MAX_STRING_LENGTH = 256
+
+
+def _compact(value: object, depth: int = 0) -> object:
+    """A bounded copy of ``value``: long lists/strings clipped."""
+    if depth > 6:
+        return "..."
+    if isinstance(value, str):
+        if len(value) > MAX_STRING_LENGTH:
+            return value[:MAX_STRING_LENGTH] \
+                + f"... (+{len(value) - MAX_STRING_LENGTH} chars)"
+        return value
+    if isinstance(value, Mapping):
+        return {str(k): _compact(v, depth + 1)
+                for k, v in value.items()
+                if not str(k).startswith("_")}
+    if isinstance(value, (list, tuple)):
+        items = [_compact(v, depth + 1) for v in value[:MAX_LIST_ITEMS]]
+        if len(value) > MAX_LIST_ITEMS:
+            items.append(f"... (+{len(value) - MAX_LIST_ITEMS} more)")
+        return items
+    return value
+
+
+class FlightRecord:
+    """One recorded request/response tuple.
+
+    Payload compaction is deferred to first access: the hot record
+    path stores raw references only, and the bounded copies are built
+    (then cached) when the ring is actually read — a dump, the
+    ``dump_debug`` op, or a test poking at ``.request``. The daemon
+    never mutates a request or response after the handler returns, so
+    the deferred copy observes the same payload an eager one would.
+    """
+
+    __slots__ = ("seq", "op", "trace_id", "request_id", "ok",
+                 "latency_ms", "error", "_raw_request", "_raw_response",
+                 "_request", "_response")
+
+    def __init__(self, *, seq: int, op: str, trace_id: str,
+                 request_id: str, ok: bool, latency_ms: float,
+                 request: Mapping | None, response: Mapping | None,
+                 error: str | None = None) -> None:
+        self.seq = seq
+        self.op = op
+        self.trace_id = trace_id
+        self.request_id = request_id
+        self.ok = ok
+        self.latency_ms = latency_ms
+        self.error = error
+        self._raw_request = request
+        self._raw_response = response
+        self._request: dict | None = None
+        self._response: dict | None = None
+
+    @property
+    def request(self) -> dict:
+        if self._request is None:
+            self._request = _compact(self._raw_request or {})
+        return self._request
+
+    @property
+    def response(self) -> dict:
+        if self._response is None:
+            self._response = _compact(self._raw_response or {})
+        return self._response
+
+    def to_record(self) -> dict[str, object]:
+        record: dict[str, object] = {
+            "seq": self.seq, "op": self.op, "trace_id": self.trace_id,
+            "request_id": self.request_id, "ok": self.ok,
+            "latency_ms": self.latency_ms, "request": self.request,
+            "response": self.response}
+        if self.error is not None:
+            record["error"] = self.error
+        return record
+
+
+class FlightRecorder:
+    """A bounded, thread-safe ring of the last N request outcomes.
+
+    Capacity 0 disables recording entirely (``record`` is a no-op) —
+    the observability-off configuration.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 0:
+            raise ValidationError(
+                f"flight capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self._records: list[FlightRecord] = []
+        self._start = 0
+        self._lock = threading.Lock()
+        self._seq = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.capacity > 0
+
+    def record(self, *, op: str, trace_id: str, request_id: str,
+               ok: bool, latency_ms: float, request: Mapping | None,
+               response: Mapping | None,
+               error: str | None = None) -> None:
+        """Record one finished request (compaction happens on read)."""
+        if self.capacity == 0:
+            return
+        with self._lock:
+            self._seq += 1
+            entry = FlightRecord(
+                seq=self._seq, op=op, trace_id=trace_id,
+                request_id=request_id, ok=ok,
+                latency_ms=round(latency_ms, 3),
+                request=request, response=response,
+                error=error)
+            if len(self._records) < self.capacity:
+                self._records.append(entry)
+            else:
+                self._records[self._start] = entry
+                self._start = (self._start + 1) % self.capacity
+
+    def last(self, n: int | None = None) -> tuple[FlightRecord, ...]:
+        """The newest ``n`` records (all when ``None``), oldest first."""
+        if n is not None and n < 0:
+            raise ValidationError(f"n must be >= 0, got {n}")
+        with self._lock:
+            ordered = self._records[self._start:] \
+                + self._records[:self._start]
+        if n is not None:
+            ordered = ordered[len(ordered) - min(n, len(ordered)):]
+        return tuple(ordered)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._records.clear()
+            self._start = 0
+
+    def dump(self, n: int | None = None) -> list[dict[str, object]]:
+        """The newest ``n`` records as JSON-safe dicts, oldest first."""
+        return [record.to_record() for record in self.last(n)]
+
+    def dump_to(self, path: str | Path, *,
+                reason: str = "manual") -> Path:
+        """Write the ring to ``path`` as a JSON document; returns it."""
+        path = Path(path)
+        document = {"reason": reason, "records": self.dump()}
+        path.write_text(json.dumps(document, indent=2, default=str))
+        return path

@@ -1,0 +1,207 @@
+"""Structured JSON logging with levels, rate limiting and trace ids.
+
+A :class:`JsonLogger` writes one JSON object per line — machine-first
+logs that grep, ship and join on ``trace_id``::
+
+    {"ts": 1723105800.123456, "level": "info", "event": "service.request",
+     "op": "place", "trace_id": "9f3c2a1b8d4e5f60", "decision": "placed",
+     "latency_ms": 0.412}
+
+Design mirrors :mod:`repro.obs.tracer`: a process-global logger that
+defaults to a no-op (:data:`NULL_LOGGER`), installed globally with
+:func:`set_logger` or for a scope with :func:`use_logger`, and an
+``enabled`` attribute to guard expensive payload construction in hot
+paths. ``repro serve --log-json`` installs one over stderr.
+
+Rate limiting is per event name: with ``max_per_second`` set, each
+event name gets a token bucket (burst = one second's worth, minimum 1);
+excess lines are dropped and *counted*, and the next line that passes
+carries ``"suppressed": <n>`` so the drop is visible in the log stream
+instead of silent.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from contextlib import contextmanager
+from typing import IO, Callable, Iterator
+
+from repro.exceptions import ValidationError
+
+#: Shared encoder — ``json.dumps`` with keyword options builds a fresh
+#: ``JSONEncoder`` per call, which dominates the cost of a log line.
+_ENCODER = json.JSONEncoder(separators=(",", ":"), default=str)
+
+__all__ = ["LEVELS", "JsonLogger", "NullLogger", "NULL_LOGGER",
+           "get_logger", "set_logger", "use_logger"]
+
+#: Log levels, least to most severe.
+LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+
+class JsonLogger:
+    """Thread-safe structured logger writing one JSON object per line.
+
+    Parameters
+    ----------
+    stream:
+        Text stream the JSON lines go to (ignored when ``sink`` is
+        given). ``None`` with no sink buffers nothing — pass one or the
+        other; the CLI passes ``sys.stderr``.
+    level:
+        Minimum severity emitted (default ``"info"``).
+    max_per_second:
+        Per-event-name rate limit; ``None`` disables limiting.
+    sink:
+        Alternative destination: a callable receiving each record dict
+        (tests, in-memory capture). When set, ``stream`` is unused.
+    clock / wall:
+        Injectable monotonic clock (rate limiting) and wall clock
+        (the ``ts`` field) for deterministic tests.
+    """
+
+    enabled = True
+
+    def __init__(self, stream: IO[str] | None = None, *,
+                 level: str = "info",
+                 max_per_second: float | None = None,
+                 sink: Callable[[dict], None] | None = None,
+                 clock: Callable[[], float] = time.monotonic,
+                 wall: Callable[[], float] = time.time) -> None:
+        if level not in LEVELS:
+            raise ValidationError(
+                f"unknown log level {level!r}; expected one of "
+                f"{sorted(LEVELS)}")
+        if max_per_second is not None and max_per_second <= 0:
+            raise ValidationError(
+                f"max_per_second must be positive, got {max_per_second}")
+        if stream is None and sink is None and type(self) is JsonLogger:
+            raise ValidationError("JsonLogger needs a stream or a sink")
+        self.level = level
+        self._threshold = LEVELS[level]
+        self._stream = stream
+        self._sink = sink
+        self._rate = max_per_second
+        self._burst = max(1.0, max_per_second) \
+            if max_per_second is not None else 0.0
+        self._clock = clock
+        self._wall = wall
+        self._lock = threading.Lock()
+        #: event name -> (tokens, last refill time)
+        self._buckets: dict[str, tuple[float, float]] = {}
+        #: event name -> lines dropped since the last emitted one
+        self._suppressed: dict[str, int] = {}
+        self.emitted = 0
+        self.suppressed_total = 0
+
+    def enabled_for(self, level: str) -> bool:
+        """Whether ``level`` passes the severity threshold."""
+        return LEVELS.get(level, 0) >= self._threshold
+
+    def _admit(self, event: str) -> tuple[bool, int]:
+        """Token-bucket admission; returns (admitted, suppressed_count)."""
+        if self._rate is None:
+            return True, 0
+        now = self._clock()
+        tokens, last = self._buckets.get(event, (self._burst, now))
+        tokens = min(self._burst, tokens + (now - last) * self._rate)
+        if tokens < 1.0:
+            self._buckets[event] = (tokens, now)
+            self._suppressed[event] = self._suppressed.get(event, 0) + 1
+            self.suppressed_total += 1
+            return False, 0
+        self._buckets[event] = (tokens - 1.0, now)
+        return True, self._suppressed.pop(event, 0)
+
+    def log(self, level: str, event: str, **fields: object) -> None:
+        """Emit one structured line (subject to level and rate limit)."""
+        if level not in LEVELS:
+            raise ValidationError(f"unknown log level {level!r}")
+        if LEVELS[level] < self._threshold:
+            return
+        if self._rate is None and self._sink is None:
+            # Unlimited stream logger — the serve hot path. Serialize
+            # outside the lock; only the write itself is guarded.
+            record = {"ts": round(self._wall(), 6),
+                      "level": level, "event": event}
+            record.update(fields)
+            payload = _ENCODER.encode(record) + "\n"
+            with self._lock:
+                self.emitted += 1
+                self._stream.write(payload)
+                self._stream.flush()
+            return
+        with self._lock:
+            admitted, suppressed = self._admit(event)
+            if not admitted:
+                return
+            record = {"ts": round(self._wall(), 6),
+                      "level": level, "event": event}
+            record.update(fields)
+            if suppressed:
+                record["suppressed"] = suppressed
+            self.emitted += 1
+            if self._sink is not None:
+                self._sink(record)
+            else:
+                self._stream.write(_ENCODER.encode(record) + "\n")
+                self._stream.flush()
+
+    def debug(self, event: str, **fields: object) -> None:
+        self.log("debug", event, **fields)
+
+    def info(self, event: str, **fields: object) -> None:
+        self.log("info", event, **fields)
+
+    def warning(self, event: str, **fields: object) -> None:
+        self.log("warning", event, **fields)
+
+    def error(self, event: str, **fields: object) -> None:
+        self.log("error", event, **fields)
+
+
+class NullLogger(JsonLogger):
+    """A logger that drops everything; the process-global default."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(sink=lambda record: None)
+
+    def enabled_for(self, level: str) -> bool:
+        return False
+
+    def log(self, level: str, event: str, **fields: object) -> None:
+        pass
+
+
+#: The shared no-op logger installed by default.
+NULL_LOGGER = NullLogger()
+
+_current: JsonLogger = NULL_LOGGER
+
+
+def get_logger() -> JsonLogger:
+    """The process-global logger (:data:`NULL_LOGGER` unless installed)."""
+    return _current
+
+
+def set_logger(logger: JsonLogger | None) -> JsonLogger:
+    """Install ``logger`` globally (``None`` restores the no-op
+    default); returns the previously installed logger."""
+    global _current
+    previous = _current
+    _current = logger if logger is not None else NULL_LOGGER
+    return previous
+
+
+@contextmanager
+def use_logger(logger: JsonLogger) -> Iterator[JsonLogger]:
+    """Install ``logger`` for the duration of a ``with`` block."""
+    previous = set_logger(logger)
+    try:
+        yield logger
+    finally:
+        set_logger(previous)

@@ -107,10 +107,14 @@ class Span:
         return self
 
     def __exit__(self, *exc_info: object) -> None:
-        end = self._tracer._clock()
-        self._tracer._append(TraceEvent(
-            kind=SPAN, name=self.name, ts_ns=self._start_ns,
-            dur_ns=end - self._start_ns, tid=self._tid, args=self.args))
+        tracer = self._tracer
+        end = tracer._clock()
+        # Raw tuple, no lock: list.append is atomic under the GIL and
+        # TraceEvent construction is deferred until somebody reads the
+        # timeline — this runs once per span on the request hot path.
+        tracer._raw.append((SPAN, self.name, self._start_ns,
+                            end - self._start_ns, self._tid, "wall",
+                            self.args))
 
 
 class Tracer:
@@ -126,23 +130,40 @@ class Tracer:
                  ) -> None:
         self._clock = clock
         self._lock = threading.Lock()
-        self.events: list[TraceEvent] = []
+        # Hot-path buffer of raw (kind, name, ts_ns, dur_ns, tid,
+        # clock, args) tuples; materialized into TraceEvents lazily by
+        # the ``events`` property. Appends are lock-free (GIL-atomic).
+        self._raw: list[tuple] = []
+        self._events: list[TraceEvent] = []
+        self._materialized = 0
+
+    @property
+    def events(self) -> list[TraceEvent]:
+        """The recorded timeline as :class:`TraceEvent` objects."""
+        raw = self._raw
+        n = len(raw)
+        if self._materialized < n:
+            with self._lock:
+                events = self._events
+                while self._materialized < n:
+                    kind, name, ts_ns, dur_ns, tid, clock, args = \
+                        raw[self._materialized]
+                    events.append(TraceEvent(
+                        kind=kind, name=name, ts_ns=ts_ns,
+                        dur_ns=dur_ns, tid=tid, clock=clock, args=args))
+                    self._materialized += 1
+        return self._events
 
     # -- recording ---------------------------------------------------------
 
-    def _append(self, event: TraceEvent) -> None:
-        with self._lock:
-            self.events.append(event)
-
     def span(self, name: str, **attrs: object) -> Span:
         """An open span; use as a context manager."""
-        return Span(self, name, dict(attrs) if attrs else None)
+        return Span(self, name, attrs if attrs else None)
 
     def instant(self, name: str, **attrs: object) -> None:
         """Record a point event."""
-        self._append(TraceEvent(
-            kind=INSTANT, name=name, ts_ns=self._clock(),
-            tid=threading.get_ident(), args=dict(attrs)))
+        self._raw.append((INSTANT, name, self._clock(), 0,
+                          threading.get_ident(), "wall", attrs))
 
     def counter(self, name: str, *, ts_ns: int | None = None,
                 clock: str = "wall", **values: float) -> None:
@@ -152,17 +173,19 @@ class Tracer:
         simulation telemetry replays its per-tick series with
         ``clock="sim"`` so trace viewers show it as its own track.
         """
-        self._append(TraceEvent(
-            kind=COUNTER, name=name,
-            ts_ns=self._clock() if ts_ns is None else ts_ns,
-            tid=threading.get_ident() if clock == "wall" else 0,
-            clock=clock, args=dict(values)))
+        self._raw.append((
+            COUNTER, name,
+            self._clock() if ts_ns is None else ts_ns, 0,
+            threading.get_ident() if clock == "wall" else 0,
+            clock, values))
 
     # -- introspection -----------------------------------------------------
 
     def clear(self) -> None:
         with self._lock:
-            self.events.clear()
+            self._raw.clear()
+            self._events.clear()
+            self._materialized = 0
 
     def spans(self, name: str | None = None) -> list[TraceEvent]:
         """All span events, optionally filtered by name."""
@@ -170,7 +193,7 @@ class Tracer:
                 if e.kind == SPAN and (name is None or e.name == name)]
 
     def __len__(self) -> int:
-        return len(self.events)
+        return len(self._raw)
 
 
 class _NullSpan:

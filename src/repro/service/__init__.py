@@ -55,6 +55,7 @@ from repro.service.protocol import (
     PROTOCOL_VERSION,
     SUPPORTED_VERSIONS,
     consolidate_request,
+    dump_debug_request,
     encode,
     fail_server_request,
     negotiate_version,
@@ -64,6 +65,7 @@ from repro.service.protocol import (
     place_batch_request,
     place_request,
     recover_server_request,
+    telemetry_request,
 )
 from repro.service.state import (
     SNAPSHOT_FORMAT_VERSION,
@@ -97,6 +99,7 @@ __all__ = [
     "SUPPORTED_VERSIONS",
     "SnapshotManager",
     "consolidate_request",
+    "dump_debug_request",
     "encode",
     "fail_server_request",
     "negotiate_version",
@@ -113,4 +116,5 @@ __all__ = [
     "serve_tcp",
     "snapshot_meta",
     "start_metrics_server",
+    "telemetry_request",
 ]

@@ -45,15 +45,23 @@ from repro.exceptions import (
     ValidationError,
 )
 from repro.model.vm import VM
+from repro.obs.context import (
+    REQUEST_ID_FIELD,
+    TRACE_ID_FIELD,
+    new_request_id,
+    new_trace_id,
+)
 from repro.results import PlacementResult
 from repro.service.protocol import (
     consolidate_request,
+    dump_debug_request,
     encode,
     fail_server_request,
     parse_response,
     place_batch_request,
     place_request,
     recover_server_request,
+    telemetry_request,
 )
 
 __all__ = ["AllocationClient", "ClientConfig", "DaemonClient",
@@ -207,11 +215,20 @@ class AllocationClient:
     def request(self, message: Mapping[str, object]) -> dict[str, object]:
         """Send one request; retry transient failures per the config.
 
+        Every request is stamped with a ``trace_id``/``request_id``
+        pair before the first attempt (caller-supplied ids win) — the
+        daemon echoes them on the response and attaches them to its
+        spans, journal entries and log lines, and retries resend the
+        *same* ids, so an at-least-once duplicate is recognisable.
+
         Raises the final :class:`~repro.exceptions.RetryableError` once
         the budget is exhausted. Terminal errors (malformed request,
         unknown op, validation) come back as the daemon's structured
         ``{"ok": false, ...}`` payload without consuming any retries.
         """
+        message = dict(message)
+        message.setdefault(TRACE_ID_FIELD, new_trace_id())
+        message.setdefault(REQUEST_ID_FIELD, new_request_id())
         attempt = 0
         while True:
             try:
@@ -230,12 +247,20 @@ class AllocationClient:
     # Operations
     # ------------------------------------------------------------------
 
-    def place(self, vm: VM, *, explain: bool = False) -> dict[str, object]:
-        return self.request(place_request(vm, explain=explain))
+    def place(self, vm: VM, *, explain: bool = False,
+              trace_id: str | None = None) -> dict[str, object]:
+        request = place_request(vm, explain=explain)
+        if trace_id is not None:
+            request[TRACE_ID_FIELD] = trace_id
+        return self.request(request)
 
-    def place_batch(self, vms: Iterable[VM]) -> dict[str, object]:
+    def place_batch(self, vms: Iterable[VM], *,
+                    trace_id: str | None = None) -> dict[str, object]:
         """Place a whole batch in one v2 round trip (``place_batch``)."""
-        return self.request(place_batch_request(vms))
+        request = place_batch_request(vms)
+        if trace_id is not None:
+            request[TRACE_ID_FIELD] = trace_id
+        return self.request(request)
 
     def tick(self, now: int) -> dict[str, object]:
         return self.request({"op": "tick", "now": now})
@@ -254,6 +279,16 @@ class AllocationClient:
         """Run one live consolidation episode (v2 ``consolidate``);
         the response carries the committed migrations and their yield."""
         return self.request(consolidate_request(time))
+
+    def telemetry(self, last: int | None = None) -> dict[str, object]:
+        """The daemon's fleet telemetry ring + SLO report (v2
+        ``telemetry``); ``last`` limits the sample count."""
+        return self.request(telemetry_request(last))
+
+    def dump_debug(self) -> dict[str, object]:
+        """The daemon's flight recorder (v2 ``dump_debug``): the last
+        N request/response tuples."""
+        return self.request(dump_debug_request())
 
     def stats(self) -> dict[str, object]:
         return self.request({"op": "stats"})

@@ -55,12 +55,14 @@ the daemon answers ``{"ok": false, "error": "overloaded",
 
 from __future__ import annotations
 
+import json
 import threading
+import time as _time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from socketserver import StreamRequestHandler, ThreadingTCPServer
 from time import perf_counter
-from typing import IO, Mapping
+from typing import IO, Callable, Mapping
 
 from repro.allocators.registry import make_allocator
 from repro.consolidation.fragmentation import FragmentationMonitor
@@ -72,7 +74,12 @@ from repro.exceptions import (
     UnknownOperationError,
     ValidationError,
 )
+from repro.obs.context import TraceContext, trace_context_of
 from repro.obs.explain import ExplainRecorder
+from repro.obs.flight import FlightRecorder
+from repro.obs.logging import get_logger
+from repro.obs.slo import SLOConfig, SLOTracker
+from repro.obs.telemetry import TelemetryRing, TelemetrySample
 from repro.obs.tracer import get_tracer
 from repro.placement.sharding import ShardedFleet
 from repro.service.metrics import CONTENT_TYPE, ServiceMetrics
@@ -107,7 +114,7 @@ MUTATING_OPS = ("place", "place_batch", "tick", "fail_server",
                 "recover_server", "consolidate")
 
 #: Read-only operations served without the commit lock.
-READ_OPS = ("stats", "metrics", "ping")
+READ_OPS = ("stats", "metrics", "telemetry", "dump_debug", "ping")
 
 
 class AllocationDaemon:
@@ -166,6 +173,19 @@ class AllocationDaemon:
         When set, each migrating remainder is bid to at most this many
         feasible targets (the planner's k-sampling queue) — bounds
         episode latency on large fleets.
+    slo:
+        The latency/availability objectives this daemon is held to
+        (:class:`~repro.obs.slo.SLOConfig`; default objectives when
+        ``None``). Burn rates are exported as ``repro_slo_*`` metrics
+        and served by the ``telemetry`` op / ``repro slo``.
+    telemetry_capacity:
+        Tick capacity of the fleet telemetry ring (one sample per
+        cluster tick, newest kept; 0 disables telemetry sampling
+        entirely).
+    flight_capacity:
+        Entry capacity of the flight recorder (the last N request/
+        response tuples served by ``dump_debug`` and dumped on
+        unhandled errors; 0 disables recording).
     """
 
     def __init__(self, store: ClusterStateStore, *,
@@ -179,6 +199,9 @@ class AllocationDaemon:
                  frag_threshold: float | None = None,
                  migration_cost_per_gb: float = 5.0,
                  migration_k: int | None = None,
+                 slo: SLOConfig | None = None,
+                 telemetry_capacity: int = 1024,
+                 flight_capacity: int = 256,
                  _restored_seq: int | None = None) -> None:
         if max_delay < 0:
             raise ValidationError(
@@ -210,7 +233,16 @@ class AllocationDaemon:
                        "frag_threshold": None if frag_threshold is None
                        else float(frag_threshold),
                        "migration_cost_per_gb": float(migration_cost_per_gb),
-                       "migration_k": migration_k}
+                       "migration_k": migration_k,
+                       "slo": None if slo is None else slo.to_record(),
+                       "telemetry_capacity": telemetry_capacity,
+                       "flight_capacity": flight_capacity}
+        self.slo = SLOTracker(slo)
+        self.telemetry = TelemetryRing(telemetry_capacity)
+        self.flight = FlightRecorder(flight_capacity)
+        self._last_sampled_tick = -1
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
         self.planner = MigrationPlanner(float(migration_cost_per_gb),
                                         k_sample=migration_k)
         self.monitor = FragmentationMonitor()
@@ -221,6 +253,10 @@ class AllocationDaemon:
         self.allocator = make_allocator(algorithm, **params)
         self.metrics = ServiceMetrics()
         self.metrics.register_algorithm(algorithm)
+        from repro import __version__  # deferred: repro imports service
+        self.metrics.set_build_info(version=__version__,
+                                    algorithm=algorithm,
+                                    engine=str(store.engine))
         self._max_workers = max_workers
         self.fleet: ShardedFleet | None = None
         # The fleet scans only non-failed servers (a restored snapshot
@@ -253,6 +289,11 @@ class AllocationDaemon:
                     "op": "init",
                     "snapshot": store.to_snapshot(self._meta(seq=1)),
                 })
+        self._data_dir = None if data_dir is None else Path(data_dir)
+        #: ``/healthz`` & ``/readyz`` gate: False while a restore is
+        #: still replaying the journal tail (see :meth:`restore`).
+        self.ready = True
+        self._sample_telemetry()
 
     def _rebuild_fleet(self) -> None:
         """(Re)build the sharded fleet over the *live* servers.
@@ -301,13 +342,22 @@ class AllocationDaemon:
             self.write_snapshot()
 
     @classmethod
-    def restore(cls, data_dir: str | Path, *,
-                fsync: bool = True) -> "AllocationDaemon":
+    def restore(cls, data_dir: str | Path, *, fsync: bool = True,
+                on_built: Callable[["AllocationDaemon"], None]
+                | None = None) -> "AllocationDaemon":
         """Rebuild a daemon from ``data_dir``'s snapshot + journal tail.
 
         Replayed placements apply the journalled decision directly (no
         allocator re-run), so the restored state is identical even when
         the original decisions came from a randomized allocator.
+        Journal entries carry the trace ids of the original requests;
+        replay reuses the *recorded* ids (logs and spans correlate to
+        the original episodes) and never re-generates them.
+
+        ``on_built`` is invoked with the daemon after construction but
+        *before* the journal tail replays, while :attr:`ready` is still
+        False — the CLI uses it to bring ``/healthz``/``/readyz`` up
+        early so probes report not-ready during the restore.
         """
         data_dir = Path(data_dir)
         document = SnapshotManager(data_dir).load_latest()
@@ -329,6 +379,9 @@ class AllocationDaemon:
         if algo_params is not None and not isinstance(algo_params, Mapping):
             raise ValidationError(
                 f"{data_dir}: malformed snapshot algo_params")
+        slo_record = config.get("slo")
+        if slo_record is not None and not isinstance(slo_record, Mapping):
+            raise ValidationError(f"{data_dir}: malformed snapshot slo")
         daemon = cls(
             store,
             algorithm=str(config.get("algorithm", "min-energy")),
@@ -343,6 +396,10 @@ class AllocationDaemon:
             migration_cost_per_gb=float(
                 config.get("migration_cost_per_gb", 5.0)),
             migration_k=config.get("migration_k"),
+            slo=None if slo_record is None
+            else SLOConfig.from_record(slo_record),
+            telemetry_capacity=int(config.get("telemetry_capacity", 1024)),
+            flight_capacity=int(config.get("flight_capacity", 256)),
             data_dir=data_dir, fsync=fsync, _restored_seq=covered)
         counters = meta.get("counters")
         if isinstance(counters, Mapping):
@@ -352,15 +409,30 @@ class AllocationDaemon:
         # so a restored daemon never re-fires at an already-done tick.
         daemon._last_consolidated_tick = int(
             meta.get("last_consolidated_tick", 0))
+        daemon.ready = False
+        if on_built is not None:
+            on_built(daemon)
         for entry in entries:
             if int(entry["seq"]) > covered:
                 daemon._replay(entry)
+        daemon.ready = True
+        daemon._sample_telemetry()
         return daemon
 
     def _replay(self, entry: Mapping[str, object]) -> None:
         op = entry.get("op")
         if op == "init":
             return
+        logger = get_logger()
+        if logger.enabled:
+            # Replay logs carry the *recorded* trace ids verbatim — a
+            # restored daemon's log tells the original run's story.
+            fields: dict[str, object] = {"op": str(op),
+                                         "seq": entry.get("seq")}
+            for key in ("trace_id", "request_id"):
+                if key in entry:
+                    fields[key] = entry[key]
+            logger.info("service.replay", **fields)
         if op == "tick":
             now = int(entry["now"])
             if now > self.store.clock:
@@ -423,28 +495,30 @@ class AllocationDaemon:
     def handle_line(self, line: str) -> str:
         """Serve one raw protocol line; always returns a response line."""
         tracer = get_tracer()
-        with tracer.span("service.request"):
-            with tracer.span("service.ingest"):
-                try:
-                    message = parse_request(line)
-                except ServiceError as exc:
-                    self.metrics.observe_error()
-                    payload: dict[str, object] = {"ok": False,
-                                                  "error": str(exc)}
-                    if isinstance(exc, ProtocolVersionError):
-                        payload["supported_versions"] = list(exc.supported)
-                    if isinstance(exc, UnknownOperationError):
-                        payload["supported_ops"] = list(exc.supported)
-                    return encode(payload)
-            response = self.handle(message)
-            with tracer.span("service.respond"):
-                return encode(response)
+        with tracer.span("service.ingest"):
+            try:
+                message = parse_request(line)
+            except ServiceError as exc:
+                self.metrics.observe_error()
+                payload: dict[str, object] = {"ok": False,
+                                              "error": str(exc)}
+                if isinstance(exc, ProtocolVersionError):
+                    payload["supported_versions"] = list(exc.supported)
+                if isinstance(exc, UnknownOperationError):
+                    payload["supported_ops"] = list(exc.supported)
+                return encode(payload)
+        response = self.handle(message)
+        with tracer.span("service.respond"):
+            return encode(response)
 
     def handle(self, message: Mapping[str, object]) -> dict[str, object]:
         """Serve one parsed request; never raises on domain errors.
 
         Responses echo the request's ``"v"`` field when one was sent
-        (v1 clients that omit it keep getting byte-identical replies).
+        (v1 clients that omit it keep getting byte-identical replies),
+        and echo ``trace_id``/``request_id`` whenever the request
+        carried either — id-less requests are still correlated
+        internally (spans, journal, logs) with daemon-minted ids.
         """
         op = message.get("op")
         try:
@@ -453,24 +527,73 @@ class AllocationDaemon:
             self.metrics.observe_error()
             return {"ok": False, "op": op, "error": str(exc),
                     "supported_versions": list(exc.supported)}
-        response = self._guarded(op, message)
+        try:
+            ctx = trace_context_of(message)
+        except ServiceError as exc:
+            self.metrics.observe_error()
+            return {"ok": False, "op": op, "error": str(exc)}
+        tracer = get_tracer()
+        started = perf_counter()
+        with tracer.span("service.request", op=str(op),
+                         trace_id=ctx.trace_id,
+                         request_id=ctx.request_id) as span:
+            response = self._guarded(op, message, ctx)
+            ok = bool(response.get("ok"))
+            span.set(ok=ok)
+        latency = perf_counter() - started
+        self._observe_outcome(op, message, response, ctx, latency, ok)
+        if "trace_id" in message or "request_id" in message:
+            response.setdefault("trace_id", ctx.trace_id)
+            response.setdefault("request_id", ctx.request_id)
         if "v" in message:
             response.setdefault("v", message["v"])
         return response
 
-    def _guarded(self, op: object,
-                 message: Mapping[str, object]) -> dict[str, object]:
+    def _observe_outcome(self, op: object, message: Mapping[str, object],
+                         response: Mapping[str, object],
+                         ctx: TraceContext, latency: float,
+                         ok: bool) -> None:
+        """Feed one finished request to the SLO tracker, the flight
+        recorder and the structured log."""
+        self.slo.observe(latency, ok=ok)
+        error = None if ok else str(response.get("error"))
+        self.flight.record(
+            op=str(op), trace_id=ctx.trace_id,
+            request_id=ctx.request_id, ok=ok, latency_ms=latency * 1e3,
+            request=message, response=response, error=error)
+        logger = get_logger()
+        if logger.enabled:
+            fields: dict[str, object] = {
+                "op": str(op), "trace_id": ctx.trace_id,
+                "request_id": ctx.request_id,
+                "latency_ms": round(latency * 1e3, 3)}
+            if "decision" in response:
+                fields["decision"] = response["decision"]
+            if ok:
+                logger.info("service.request", **fields)
+            else:
+                logger.error("service.request", error=error, **fields)
+
+    def _guarded(self, op: object, message: Mapping[str, object],
+                 ctx: TraceContext) -> dict[str, object]:
         """Apply the ingest bound, route to the right lock, dispatch."""
         gate = self._ingest if op in MUTATING_OPS else None
         if gate is not None and not gate.acquire(blocking=False):
             self.metrics.observe_overload()
             return {"ok": False, "op": op, "error": "overloaded",
                     "retry_after": self._retry_after()}
+        mutating = op in MUTATING_OPS
+        if mutating:
+            with self._inflight_lock:
+                self._inflight += 1
         try:
             if op in READ_OPS and not self.closed:
-                return self._dispatch(op, message)
+                return self._dispatch(op, message, ctx)
             with self._commit_lock:
-                return self._dispatch(op, message)
+                response = self._dispatch(op, message, ctx)
+                if mutating:
+                    self._sample_telemetry()
+                return response
         except ReproError as exc:
             self.metrics.observe_error()
             payload: dict[str, object] = {"ok": False, "op": op,
@@ -483,9 +606,36 @@ class AllocationDaemon:
             if isinstance(exc, UnknownOperationError):
                 payload["supported_ops"] = list(exc.supported)
             return payload
+        except Exception as exc:
+            # An unhandled error is a daemon bug: preserve the raise,
+            # but first capture the black box for the post-mortem.
+            self._dump_on_error(exc, op, ctx)
+            raise
         finally:
+            if mutating:
+                with self._inflight_lock:
+                    self._inflight -= 1
             if gate is not None:
                 gate.release()
+
+    def _dump_on_error(self, exc: BaseException, op: object,
+                       ctx: TraceContext) -> None:
+        """Dump the flight recorder on an unhandled error (best effort)."""
+        logger = get_logger()
+        if logger.enabled:
+            logger.error("service.unhandled_error", op=str(op),
+                         trace_id=ctx.trace_id,
+                         request_id=ctx.request_id,
+                         exception=f"{type(exc).__name__}: {exc}")
+        if self._data_dir is None or not self.flight.enabled:
+            return
+        try:
+            name = f"flight-dump-{ctx.trace_id}.json"
+            self.flight.dump_to(
+                self._data_dir / name,
+                reason=f"unhandled {type(exc).__name__} in op {op!r}")
+        except OSError:  # pragma: no cover - best-effort black box
+            pass
 
     def _retry_after(self) -> float:
         """A resend hint under overload: the observed median decision
@@ -494,27 +644,34 @@ class AllocationDaemon:
         window = int(self.config["max_inflight"]) or 1
         return round(min(5.0, max(0.01, p50 * window)), 4)
 
-    def _dispatch(self, op: object,
-                  message: Mapping[str, object]) -> dict[str, object]:
+    def _dispatch(self, op: object, message: Mapping[str, object],
+                  ctx: TraceContext) -> dict[str, object]:
         if self.closed:
             raise ServiceError("daemon is shut down")
         if op == "place":
-            return self._handle_place(message)
+            return self._handle_place(message, ctx)
         if op == "place_batch":
-            return self._handle_place_batch(message)
+            return self._handle_place_batch(message, ctx)
         if op == "tick":
-            return self._handle_tick(message)
+            return self._handle_tick(message, ctx)
         if op == "fail_server":
-            return self._handle_fail_server(message)
+            return self._handle_fail_server(message, ctx)
         if op == "recover_server":
-            return self._handle_recover_server(message)
+            return self._handle_recover_server(message, ctx)
         if op == "consolidate":
-            return self._handle_consolidate(message)
+            return self._handle_consolidate(message, ctx)
         if op == "stats":
             return self._handle_stats()
         if op == "metrics":
             return {"ok": True, "op": "metrics",
-                    "text": self.metrics.render(self.store)}
+                    "text": self.render_metrics()}
+        if op == "telemetry":
+            return self._handle_telemetry(message)
+        if op == "dump_debug":
+            return {"ok": True, "op": "dump_debug",
+                    "count": len(self.flight),
+                    "capacity": self.flight.capacity,
+                    "records": self.flight.dump()}
         if op == "snapshot":
             path = self.write_snapshot()
             if path is None:
@@ -531,8 +688,53 @@ class AllocationDaemon:
             f"unknown op {op!r}; this daemon supports: {list(OPS)}",
             op=op, supported=OPS)
 
-    def _handle_place(self, message: Mapping[str, object]
-                      ) -> dict[str, object]:
+    def _handle_telemetry(self, message: Mapping[str, object]
+                          ) -> dict[str, object]:
+        last = message.get("last")
+        if last is not None and (isinstance(last, bool)
+                                 or not isinstance(last, int) or last < 1):
+            raise ServiceError(
+                f"telemetry field 'last' must be a positive integer, "
+                f"got {last!r}")
+        return {"ok": True, "op": "telemetry",
+                "clock": self.store.clock,
+                "enabled": self.telemetry.enabled,
+                "capacity": self.telemetry.capacity,
+                "samples": self.telemetry.to_records(last),
+                "slo": self.slo.report()}
+
+    def _sample_telemetry(self) -> None:
+        """Record one fleet sample when the cluster tick has moved.
+
+        Called on the commit path (under the commit lock), so the
+        per-request cost while the tick is unchanged is one integer
+        compare; the full sample — including the fragmentation scan —
+        runs once per tick.
+        """
+        if not self.telemetry.enabled:
+            return
+        clock = self.store.clock
+        if clock == self._last_sampled_tick:
+            return
+        self._last_sampled_tick = clock
+        store = self.store
+        fleet = store.fleet  # O(1) incrementally-maintained totals
+        self.telemetry.record(TelemetrySample(
+            tick=clock,
+            servers_active=fleet.active,
+            servers_asleep=fleet.asleep,
+            servers_failed=store.servers_failed(),
+            running_vms=fleet.running_vms,
+            fleet_power=fleet.power,
+            energy_accumulated=store.energy_accumulated,
+            fragmentation=self.monitor.reading(store).fragmentation,
+            inflight=self._inflight,
+            pending=self.metrics.delayed,
+            placed=self.metrics.requests["placed"],
+            rejected=self.metrics.requests["rejected"]))
+
+    def _handle_place(self, message: Mapping[str, object],
+                      ctx: TraceContext) -> dict[str, object]:
         vm = message.get("_vm")
         if vm is None:  # direct dict call without parse_request
             try:
@@ -559,6 +761,7 @@ class AllocationDaemon:
             response: dict[str, object] = {"ok": True, "op": "place",
                                            "vm_id": vm.vm_id}
             entry: dict[str, object] = {"op": "place",
+                                        **ctx.to_fields(),
                                         "vm": vm_to_record(vm)}
             if decision is None:
                 response["decision"] = entry["decision"] = "rejected"
@@ -593,8 +796,8 @@ class AllocationDaemon:
         self._maybe_consolidate()
         return response
 
-    def _handle_place_batch(self, message: Mapping[str, object]
-                            ) -> dict[str, object]:
+    def _handle_place_batch(self, message: Mapping[str, object],
+                            ctx: TraceContext) -> dict[str, object]:
         vms = message.get("_vms")
         if vms is None:  # direct dict call without parse_request
             vms = parse_batch_records(message.get("vms"))
@@ -670,8 +873,11 @@ class AllocationDaemon:
                 delayed=delayed, algorithm=algorithm)
             span.set(placed=placed)
             if entries:
+                # The trace ids ride the group header — one id for the
+                # whole batch episode, replayed verbatim on restore.
                 with tracer.span("service.journal"):
                     self.journal.append({"op": "place_batch",
+                                         **ctx.to_fields(),
                                          "decisions": entries})
             self._placed_since_snapshot += placed
             if placed:
@@ -682,8 +888,8 @@ class AllocationDaemon:
                 "decisions": results, "energy_delta": total_delta,
                 "latency_ms": (perf_counter() - started) * 1e3}
 
-    def _handle_tick(self, message: Mapping[str, object]
-                     ) -> dict[str, object]:
+    def _handle_tick(self, message: Mapping[str, object],
+                     ctx: TraceContext) -> dict[str, object]:
         now = message.get("now")
         if isinstance(now, bool) or not isinstance(now, int) or now < 0:
             raise ServiceError(
@@ -692,7 +898,8 @@ class AllocationDaemon:
         if now > self.store.clock:
             self.store.advance_to(now)
             if self.journal is not None:
-                self.journal.append({"op": "tick", "now": now})
+                self.journal.append({"op": "tick", **ctx.to_fields(),
+                                     "now": now})
             self._maybe_consolidate()
         return {"ok": True, "op": "tick", "clock": self.store.clock,
                 "servers_active": self.store.servers_active(),
@@ -709,8 +916,8 @@ class AllocationDaemon:
                 f"got {server_id!r}")
         return server_id
 
-    def _handle_fail_server(self, message: Mapping[str, object]
-                            ) -> dict[str, object]:
+    def _handle_fail_server(self, message: Mapping[str, object],
+                            ctx: TraceContext) -> dict[str, object]:
         server_id = self._server_id_of(message, "fail_server")
         time = message.get("time")
         if time is None:
@@ -736,7 +943,8 @@ class AllocationDaemon:
                 # every re-placement restores together or not at all.
                 with tracer.span("service.journal"):
                     self.journal.append({
-                        "op": "fail_server", "server_id": server_id,
+                        "op": "fail_server", **ctx.to_fields(),
+                        "server_id": server_id,
                         "time": report.time,
                         "replacements": [r.to_record()
                                          for r in report.replacements]})
@@ -764,13 +972,15 @@ class AllocationDaemon:
 
     # -- consolidation -----------------------------------------------------
 
-    def _run_consolidation(self, time: int) -> tuple[object, float]:
+    def _run_consolidation(self, time: int,
+                           ctx: TraceContext) -> tuple[object, float]:
         """One consolidation episode at tick ``time``: plan against the
         store, journal the moves as one atomic group, refresh the fleet
         and the metrics. Returns ``(report, duration_seconds)``."""
         tracer = get_tracer()
         started = perf_counter()
-        with tracer.span("service.consolidate", time=time) as span:
+        with tracer.span("service.consolidate", time=time,
+                         trace_id=ctx.trace_id) as span:
             report = self.store.consolidate(time, planner=self.planner)
             if report.moves:
                 # Drained sources were re-booked as fresh state objects;
@@ -786,7 +996,8 @@ class AllocationDaemon:
                 # still have advanced the clock.
                 with tracer.span("service.journal"):
                     self.journal.append({
-                        "op": "consolidate", "time": report.time,
+                        "op": "consolidate", **ctx.to_fields(),
+                        "time": report.time,
                         "moves": [move.to_record()
                                   for move in report.moves]})
             duration = perf_counter() - started
@@ -809,16 +1020,18 @@ class AllocationDaemon:
         every = int(self.config["consolidate_every"])
         if every > 0 and \
                 clock // every > self._last_consolidated_tick // every:
-            self._run_consolidation(clock)
+            # A background episode is its own logical operation: it
+            # gets a fresh trace context of its own.
+            self._run_consolidation(clock, TraceContext.new())
             return
         threshold = self.config["frag_threshold"]
         if threshold is not None and \
                 self.monitor.reading(self.store).fragmentation \
                 >= float(threshold):
-            self._run_consolidation(clock)
+            self._run_consolidation(clock, TraceContext.new())
 
-    def _handle_consolidate(self, message: Mapping[str, object]
-                            ) -> dict[str, object]:
+    def _handle_consolidate(self, message: Mapping[str, object],
+                            ctx: TraceContext) -> dict[str, object]:
         time = message.get("time")
         if time is None:
             # Default: consolidate now. Clock 0 (nothing placed yet)
@@ -829,7 +1042,7 @@ class AllocationDaemon:
             raise ServiceError(
                 f"consolidate field 'time' must be a positive integer, "
                 f"got {time!r}")
-        report, duration = self._run_consolidation(time)
+        report, duration = self._run_consolidation(time, ctx)
         return {
             "ok": True, "op": "consolidate", "time": report.time,
             "migrations": report.migrations,
@@ -847,8 +1060,8 @@ class AllocationDaemon:
             "latency_ms": duration * 1e3,
         }
 
-    def _handle_recover_server(self, message: Mapping[str, object]
-                               ) -> dict[str, object]:
+    def _handle_recover_server(self, message: Mapping[str, object],
+                               ctx: TraceContext) -> dict[str, object]:
         server_id = self._server_id_of(message, "recover_server")
         tracer = get_tracer()
         with tracer.span("service.recover_server", server_id=server_id):
@@ -856,6 +1069,7 @@ class AllocationDaemon:
             self._rebuild_fleet()
             if self.journal is not None:
                 self.journal.append({"op": "recover_server",
+                                     **ctx.to_fields(),
                                      "server_id": server_id})
         return {"ok": True, "op": "recover_server",
                 "server_id": server_id, "clock": self.store.clock,
@@ -897,7 +1111,24 @@ class AllocationDaemon:
     def render_metrics(self) -> str:
         """The Prometheus text page (``ServiceMetrics`` is internally
         thread-safe, so scrapes never queue behind placements)."""
-        return self.metrics.render(self.store)
+        return self.metrics.render(self.store, slo=self.slo)
+
+    def varz(self) -> dict[str, object]:
+        """The ``/varz`` JSON document: build info, uptime, live
+        gauges, the SLO report and the newest telemetry sample."""
+        latest = self.telemetry.latest()
+        return {
+            "build": dict(self.metrics.build_info),
+            "uptime_seconds": round(
+                _time.monotonic() - self.metrics.started, 3),
+            "ready": self.ready,
+            "closed": self.closed,
+            "clock": self.store.clock,
+            "stats": self._handle_stats(),
+            "slo": self.slo.report(),
+            "telemetry": None if latest is None else latest.to_record(),
+            "flight_records": len(self.flight),
+        }
 
 
 # -- transports -------------------------------------------------------------
@@ -957,17 +1188,28 @@ def serve_tcp(daemon: AllocationDaemon, host: str = "127.0.0.1",
 
 class _MetricsHandler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:
+        daemon = self.server.daemon
+        content_type = "text/plain; charset=utf-8"
         if self.path in ("/", "/metrics"):
-            body = self.server.daemon.render_metrics().encode("utf-8")
+            body = daemon.render_metrics().encode("utf-8")
             content_type = CONTENT_TYPE
             status = 200
-        elif self.path == "/healthz":
-            body = b"ok\n"
-            content_type = "text/plain; charset=utf-8"
+        elif self.path in ("/healthz", "/readyz"):
+            # Not-ready while a restore is still replaying the journal
+            # tail, and once the daemon is shut down.
+            if daemon.ready and not daemon.closed:
+                body, status = b"ok\n", 200
+            else:
+                body = b"shutting down\n" if daemon.closed \
+                    else b"restoring\n"
+                status = 503
+        elif self.path == "/varz":
+            body = (json.dumps(daemon.varz(), indent=2, default=str)
+                    + "\n").encode("utf-8")
+            content_type = "application/json; charset=utf-8"
             status = 200
         else:
             body = b"not found\n"
-            content_type = "text/plain; charset=utf-8"
             status = 404
         self.send_response(status)
         self.send_header("Content-Type", content_type)
@@ -981,7 +1223,8 @@ class _MetricsHandler(BaseHTTPRequestHandler):
 
 def start_metrics_server(daemon: AllocationDaemon, host: str = "127.0.0.1",
                          port: int = 0) -> ThreadingHTTPServer:
-    """Serve ``/metrics`` and ``/healthz`` on a background thread."""
+    """Serve ``/metrics``, ``/healthz``, ``/readyz`` and ``/varz`` on a
+    background thread."""
     server = ThreadingHTTPServer((host, port), _MetricsHandler)
     server.daemon = daemon
     thread = threading.Thread(target=server.serve_forever, daemon=True,

@@ -29,7 +29,7 @@ from repro.exceptions import ValidationError
 __all__ = ["FaultEvent", "FaultInjector"]
 
 #: Fault kinds the injector understands.
-KINDS = ("fail", "recover", "consolidate", "stall")
+KINDS = ("fail", "recover", "consolidate", "stall", "dump_debug")
 
 
 class _FaultTarget(Protocol):
@@ -41,6 +41,8 @@ class _FaultTarget(Protocol):
     def consolidate(self,
                     time: int | None = None) -> dict[str, object]: ...
 
+    def dump_debug(self) -> dict[str, object]: ...
+
 
 @dataclass(frozen=True, order=True)
 class FaultEvent:
@@ -51,9 +53,10 @@ class FaultEvent:
     fires before the first request). ``kind`` is one of ``"fail"``
     (needs ``server_id``, optional failure ``time``), ``"recover"``
     (needs ``server_id``), ``"consolidate"`` (forces one live
-    consolidation episode, optional ``time``) or ``"stall"`` (sleeps
+    consolidation episode, optional ``time``), ``"stall"`` (sleeps
     ``stall_ms`` on the driver side — a latency spike, no daemon
-    interaction).
+    interaction) or ``"dump_debug"`` (pulls the daemon's flight
+    recorder mid-chaos, exercising the debug path under load).
     """
 
     after: int
@@ -131,6 +134,8 @@ class FaultInjector:
                                                 event.time)
         elif event.kind == "consolidate":
             response = self._target.consolidate(event.time)
+        elif event.kind == "dump_debug":
+            response = self._target.dump_debug()
         else:
             response = self._target.recover_server(event.server_id)
         self.responses.append((event, response))

@@ -29,6 +29,7 @@ import bisect
 import math
 import re
 import threading
+import time
 from typing import TYPE_CHECKING, Mapping, Sequence
 
 from repro.exceptions import ValidationError
@@ -189,9 +190,20 @@ class ServiceMetrics:
         #: (algorithm, decision) -> count; the labelled twin of
         #: ``requests`` once an algorithm is registered.
         self.decisions: dict[tuple[str, str], int] = {}
+        #: Static build labels rendered as ``repro_build_info``.
+        self.build_info: dict[str, str] = {}
+        #: Monotonic birth time; ``repro_uptime_seconds`` reads off it.
+        self.started = time.monotonic()
         #: guards the scalar counters above (each histogram family and
         #: the reservoir carry their own lock).
         self._lock = threading.Lock()
+
+    def set_build_info(self, **labels: object) -> None:
+        """Set the static labels of the ``repro_build_info`` gauge
+        (version, algorithm, engine, ...). Called once at daemon
+        construction, before any concurrent scrape."""
+        self.build_info = {str(key): str(value)
+                           for key, value in labels.items()}
 
     def register_algorithm(self, algorithm: str) -> None:
         """Pre-seed the labelled decision counters at zero, so scrapes
@@ -345,8 +357,14 @@ class ServiceMetrics:
 
     # -- exposition --------------------------------------------------------
 
-    def render(self, store: "ClusterStateStore") -> str:
-        """The full Prometheus text page for this daemon."""
+    def render(self, store: "ClusterStateStore", *,
+               slo: object | None = None) -> str:
+        """The full Prometheus text page for this daemon.
+
+        ``slo`` is any object with a ``report()`` shaped like
+        :meth:`repro.obs.slo.SLOTracker.report`; when given, the
+        ``repro_slo_*`` objective and burn-rate families are appended.
+        """
         telemetry = store.telemetry()
         with self._lock:
             requests = dict(self.requests)
@@ -379,6 +397,16 @@ class ServiceMetrics:
             lines.append(f"{name}_sum {total:.10g}")
             lines.append(f"{name}_count {count}")
 
+        build_labels = "".join(
+            f'{key}="{escape_label_value(value)}",'
+            for key, value in sorted(self.build_info.items())).rstrip(",")
+        family("repro_build_info", "gauge",
+               "Build metadata of this daemon (constant 1; the labels "
+               "carry version/algorithm/engine).",
+               [(f"{{{build_labels}}}" if build_labels else "", 1.0)])
+        family("repro_uptime_seconds", "gauge",
+               "Seconds since this daemon process was constructed.",
+               [("", time.monotonic() - self.started)])
         family("repro_requests_total", "counter",
                "Placement requests by final decision.",
                [(f'{{decision="{escape_label_value(d)}"}}',
@@ -468,6 +496,42 @@ class ServiceMetrics:
         family("repro_power_peak_watts", "gauge",
                "Peak per-tick fleet power over closed ticks.",
                [("", telemetry.peak_power)])
+        if slo is not None:
+            report = slo.report()
+            config = report["config"]
+            totals = report["totals"]
+            family("repro_slo_latency_objective_seconds", "gauge",
+                   "Per-request latency threshold of the latency SLO.",
+                   [("", float(config["latency_objective"]))])
+            family("repro_slo_latency_target", "gauge",
+                   "Required fraction of requests under the latency "
+                   "objective.", [("", float(config["latency_target"]))])
+            family("repro_slo_availability_target", "gauge",
+                   "Required fraction of requests answered without "
+                   "error.",
+                   [("", float(config["availability_target"]))])
+            family("repro_slo_requests_total", "counter",
+                   "Requests observed by the SLO tracker.",
+                   [("", float(totals["requests"]))])
+            family("repro_slo_errors_total", "counter",
+                   "Requests the SLO tracker counted as errored.",
+                   [("", float(totals["errors"]))])
+            family("repro_slo_slow_requests_total", "counter",
+                   "Requests slower than the latency objective.",
+                   [("", float(totals["slow"]))])
+            windows = report["windows"]
+            family("repro_slo_latency_burn_rate", "gauge",
+                   "Latency error-budget burn rate per trailing window "
+                   "(1.0 = spending the budget exactly at the allowed "
+                   "rate).",
+                   [(f'{{window="{w["window_seconds"]:.10g}"}}',
+                     float(w["latency_burn_rate"])) for w in windows])
+            family("repro_slo_availability_burn_rate", "gauge",
+                   "Availability error-budget burn rate per trailing "
+                   "window.",
+                   [(f'{{window="{w["window_seconds"]:.10g}"}}',
+                     float(w["availability_burn_rate"]))
+                    for w in windows])
         return "\n".join(lines) + "\n"
 
 

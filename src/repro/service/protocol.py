@@ -74,10 +74,33 @@ Operations
 ``metrics``
     The Prometheus text exposition as a ``text`` field (also served
     over HTTP, see :func:`repro.service.daemon.start_metrics_server`).
+``telemetry`` (v2)
+    ``{"op": "telemetry", "v": 2[, "last": N]}`` — the daemon's
+    per-tick fleet telemetry ring (see
+    :class:`repro.obs.telemetry.TelemetryRing`): the newest ``N``
+    samples (all of them when ``last`` is absent) as a ``samples``
+    array, plus the current SLO ``slo`` report. Read-only; this is
+    what ``repro top`` and ``repro slo`` poll.
+``dump_debug`` (v2)
+    ``{"op": "dump_debug", "v": 2}`` — the daemon's flight recorder
+    (the last N request/response tuples) as a ``records`` array, for
+    live debugging. Read-only; the same ring is dumped to a file
+    automatically on an unhandled daemon error.
 ``snapshot``
     Force a checkpoint now; responds with the snapshot path.
 ``ping`` / ``shutdown``
     Liveness probe / orderly stop (final snapshot, journal close).
+
+Trace context
+-------------
+Any request may carry ``trace_id`` and ``request_id`` strings (the
+protocol-v2 envelope; :class:`~repro.obs.context.TraceContext`).
+:class:`~repro.service.client.AllocationClient` stamps both on every
+request — retries resend the *same* ids — and the daemon echoes them
+on the response, stamps them on the request's span tree, its journal
+(group) entry and its structured log line. Requests without ids are
+correlated daemon-side (ids are minted, attached to spans/journal/
+logs) but the response stays byte-compatible for id-less v1 clients.
 
 Backpressure: when the daemon's bounded ingest queue is full, mutating
 operations are answered with ``{"ok": false, "error": "overloaded",
@@ -102,7 +125,8 @@ __all__ = ["PROTOCOL_VERSION", "SUPPORTED_VERSIONS", "OPS",
            "negotiate_version", "parse_request", "parse_response",
            "encode", "place_request", "place_batch_request",
            "fail_server_request", "recover_server_request",
-           "consolidate_request", "vm_to_record", "vm_from_record"]
+           "consolidate_request", "telemetry_request",
+           "dump_debug_request", "vm_to_record", "vm_from_record"]
 
 #: The newest protocol version this build speaks.
 PROTOCOL_VERSION = 2
@@ -111,9 +135,11 @@ PROTOCOL_VERSION = 2
 SUPPORTED_VERSIONS = (1, 2)
 
 #: Every operation the daemon understands (``place_batch``,
-#: ``fail_server``, ``recover_server`` and ``consolidate`` need v2).
+#: ``fail_server``, ``recover_server``, ``consolidate``, ``telemetry``
+#: and ``dump_debug`` need v2).
 OPS = ("place", "place_batch", "tick", "fail_server", "recover_server",
-       "consolidate", "stats", "metrics", "snapshot", "ping", "shutdown")
+       "consolidate", "stats", "metrics", "telemetry", "dump_debug",
+       "snapshot", "ping", "shutdown")
 
 
 def encode(message: Mapping[str, object]) -> str:
@@ -161,6 +187,20 @@ def consolidate_request(time: int | None = None) -> dict[str, object]:
     if time is not None:
         request["time"] = time
     return request
+
+
+def telemetry_request(last: int | None = None) -> dict[str, object]:
+    """The v2 ``telemetry`` request (``last`` limits the sample count)."""
+    request: dict[str, object] = {"op": "telemetry",
+                                  "v": PROTOCOL_VERSION}
+    if last is not None:
+        request["last"] = last
+    return request
+
+
+def dump_debug_request() -> dict[str, object]:
+    """The v2 ``dump_debug`` request (flight-recorder dump)."""
+    return {"op": "dump_debug", "v": PROTOCOL_VERSION}
 
 
 def negotiate_version(message: Mapping[str, object]) -> int:
@@ -257,6 +297,17 @@ def parse_request(line: str) -> dict[str, object]:
                 raise ServiceError(
                     f"consolidate field 'time' must be a positive "
                     f"integer, got {time!r}")
+    elif op in ("telemetry", "dump_debug"):
+        if version < 2:
+            raise ServiceError(
+                f'{op} requires protocol version 2; send "v": 2')
+        if op == "telemetry" and "last" in message:
+            last = message.get("last")
+            if isinstance(last, bool) or not isinstance(last, int) \
+                    or last < 1:
+                raise ServiceError(
+                    f"telemetry field 'last' must be a positive "
+                    f"integer, got {last!r}")
     return message
 
 

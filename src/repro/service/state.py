@@ -83,7 +83,11 @@ from repro.model.phases import demand_profile
 from repro.model.server import ServerSpec
 from repro.model.vm import VM
 from repro.placement.occupancy import DEFAULT_ENGINE
-from repro.simulation.power_state import PowerState, ServerMachine
+from repro.simulation.power_state import (
+    FleetAggregates,
+    PowerState,
+    ServerMachine,
+)
 from repro.simulation.recovery import recover_target, split_remainder
 from repro.simulation.telemetry import Telemetry
 from repro.workload.trace import vm_from_record, vm_to_record
@@ -194,6 +198,12 @@ class ClusterStateStore:
                        for server in cluster]
         self.machines = {server.server_id: ServerMachine(server)
                          for server in cluster}
+        #: O(1) fleet totals, kept in sync by the machines themselves —
+        #: the telemetry sampler reads these instead of scanning
+        self.fleet = FleetAggregates()
+        for machine in self.machines.values():
+            machine.watcher = self.fleet
+            self.fleet.add(machine)
         self.clock = 0
         #: analytic Eq.-17 energy, accumulated per-placement delta
         self.energy_accumulated = 0.0

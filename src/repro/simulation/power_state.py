@@ -26,7 +26,7 @@ import enum
 from repro.exceptions import SimulationError
 from repro.model.server import Server
 
-__all__ = ["PowerState", "ServerMachine"]
+__all__ = ["FleetAggregates", "PowerState", "ServerMachine"]
 
 
 class PowerState(enum.Enum):
@@ -34,6 +34,62 @@ class PowerState(enum.Enum):
     TRANSITIONING = "transitioning"
     ACTIVE = "active"
     FAILED = "failed"
+
+
+class FleetAggregates:
+    """Incrementally-maintained fleet-wide totals.
+
+    A machine with a ``watcher`` brackets every mutation with
+    :meth:`remove`/:meth:`add` of its own contribution, so reading any
+    fleet total — active/asleep counts, resident VMs and demand,
+    instantaneous power — is O(1) instead of a fleet scan. The per-tick
+    telemetry sampler depends on this: sampling must not cost a scan of
+    a thousand machines on every clock move.
+
+    ``power`` accumulates float add/subtract pairs, so it can drift from
+    a fresh scan by rounding noise; use a scan where exact equality
+    matters.
+    """
+
+    __slots__ = ("active", "asleep", "transitioning", "failed",
+                 "running_vms", "resident_cpu", "resident_mem", "power")
+
+    def __init__(self) -> None:
+        self.active = 0
+        self.asleep = 0
+        self.transitioning = 0
+        self.failed = 0
+        self.running_vms = 0
+        self.resident_cpu = 0.0
+        self.resident_mem = 0.0
+        self.power = 0.0
+
+    def _field(self, state: "PowerState") -> str:
+        if state is PowerState.ACTIVE:
+            return "active"
+        if state is PowerState.POWER_SAVING:
+            return "asleep"
+        if state is PowerState.TRANSITIONING:
+            return "transitioning"
+        return "failed"
+
+    def add(self, machine: "ServerMachine") -> None:
+        """Count ``machine``'s current contribution into the totals."""
+        field = self._field(machine.state)
+        setattr(self, field, getattr(self, field) + 1)
+        self.running_vms += len(machine.resident_vms)
+        self.resident_cpu += machine.resident_cpu
+        self.resident_mem += machine.resident_mem
+        self.power += machine.power_draw()
+
+    def remove(self, machine: "ServerMachine") -> None:
+        """Back ``machine``'s current contribution out of the totals."""
+        field = self._field(machine.state)
+        setattr(self, field, getattr(self, field) - 1)
+        self.running_vms -= len(machine.resident_vms)
+        self.resident_cpu -= machine.resident_cpu
+        self.resident_mem -= machine.resident_mem
+        self.power -= machine.power_draw()
 
 
 class ServerMachine:
@@ -48,6 +104,10 @@ class ServerMachine:
         self.transitions = 0
         #: accumulated transition energy (charged at wake)
         self.transition_energy = 0.0
+        #: optional :class:`FleetAggregates` kept in sync across
+        #: mutations; all validation happens before the bracket, so a
+        #: refused operation leaves the totals untouched
+        self.watcher: FleetAggregates | None = None
 
     # -- state changes -----------------------------------------------------
 
@@ -62,9 +122,13 @@ class ServerMachine:
             raise SimulationError(
                 f"{self.server}: wake from {self.state.name}, expected "
                 f"POWER_SAVING")
+        if self.watcher is not None:
+            self.watcher.remove(self)
         self.state = PowerState.ACTIVE
         self.transitions += 1
         self.transition_energy += self.server.transition_cost
+        if self.watcher is not None:
+            self.watcher.add(self)
 
     def sleep(self) -> None:
         """Power down; only legal when active and hosting nothing."""
@@ -76,7 +140,11 @@ class ServerMachine:
             raise SimulationError(
                 f"{self.server}: sleep with {len(self.resident_vms)} VMs "
                 f"resident")
+        if self.watcher is not None:
+            self.watcher.remove(self)
         self.state = PowerState.POWER_SAVING
+        if self.watcher is not None:
+            self.watcher.add(self)
 
     def fail(self) -> None:
         """Crash: evict every resident VM and stop drawing power.
@@ -89,10 +157,14 @@ class ServerMachine:
         """
         if self.state is PowerState.FAILED:
             raise SimulationError(f"{self.server}: fail while already FAILED")
+        if self.watcher is not None:
+            self.watcher.remove(self)
         self.state = PowerState.FAILED
         self.resident_vms.clear()
         self.resident_cpu = 0.0
         self.resident_mem = 0.0
+        if self.watcher is not None:
+            self.watcher.add(self)
 
     def recover(self) -> None:
         """Return from FAILED to POWER_SAVING.
@@ -105,7 +177,11 @@ class ServerMachine:
             raise SimulationError(
                 f"{self.server}: recover from {self.state.name}, expected "
                 f"FAILED")
+        if self.watcher is not None:
+            self.watcher.remove(self)
         self.state = PowerState.POWER_SAVING
+        if self.watcher is not None:
+            self.watcher.add(self)
 
     def start_vm(self, vm_id: int, cpu: float, memory: float) -> None:
         """Admit a VM; the server must be active with room for it."""
@@ -122,18 +198,26 @@ class ServerMachine:
         if self.resident_mem + memory > self.server.memory_capacity + tol:
             raise SimulationError(
                 f"{self.server}: memory overcommit admitting vm{vm_id}")
+        if self.watcher is not None:
+            self.watcher.remove(self)
         self.resident_vms.add(vm_id)
         self.resident_cpu += cpu
         self.resident_mem += memory
+        if self.watcher is not None:
+            self.watcher.add(self)
 
     def end_vm(self, vm_id: int, cpu: float, memory: float) -> None:
         """Release a VM."""
         if vm_id not in self.resident_vms:
             raise SimulationError(
                 f"{self.server}: vm{vm_id} ended but was not resident")
+        if self.watcher is not None:
+            self.watcher.remove(self)
         self.resident_vms.remove(vm_id)
         self.resident_cpu = max(0.0, self.resident_cpu - cpu)
         self.resident_mem = max(0.0, self.resident_mem - memory)
+        if self.watcher is not None:
+            self.watcher.add(self)
 
     # -- power -------------------------------------------------------------
 

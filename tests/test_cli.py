@@ -226,6 +226,26 @@ class TestObservabilityCommands:
         assert main(["trace", str(path)]) == 1
         assert "traceEvents" in capsys.readouterr().err
 
+    def test_trace_view_explains_empty_file(self, tmp_path, capsys):
+        path = tmp_path / "empty.json"
+        path.write_text("")
+        assert main(["trace", str(path)]) == 1
+        err = capsys.readouterr().err
+        assert "empty trace file" in err
+        path.write_text("   \n")
+        assert main(["trace", str(path)]) == 1
+        assert "empty trace file" in capsys.readouterr().err
+
+    def test_trace_view_explains_torn_final_line(self, tmp_path, capsys):
+        path = tmp_path / "torn.json"
+        path.write_text('{"traceEvents": [{"name": "a", "ph": "X"')
+        assert main(["trace", str(path)]) == 1
+        assert "truncated trace file" in capsys.readouterr().err
+
+    def test_trace_view_explains_missing_file(self, tmp_path, capsys):
+        assert main(["trace", str(tmp_path / "nope.json")]) == 1
+        assert "cannot read" in capsys.readouterr().err
+
     def test_serve_trace_out_writes_chrome_trace(self, monkeypatch,
                                                  tmp_path, capsys):
         import io
@@ -245,3 +265,84 @@ class TestObservabilityCommands:
         names = {e.get("name") for e in document["traceEvents"]}
         assert "service.request" in names
         assert "service.place" in names
+
+    def test_serve_log_json_emits_structured_lines(self, monkeypatch,
+                                                   capsys):
+        import io
+        import json
+        import sys
+
+        monkeypatch.setattr(sys, "stdin", io.StringIO(
+            '{"op": "place", "vm": {"vm_id": 0, "cpu": 1.0,'
+            ' "memory": 1.0, "start": 1, "end": 4, "type": "t"},'
+            ' "trace_id": "cli-test-trace"}\n'
+            '{"op": "shutdown"}\n'))
+        assert main(["serve", "--stdio", "--servers", "2",
+                     "--log-json", "--log-level", "info"]) == 0
+        err_lines = capsys.readouterr().err.splitlines()
+        records = [json.loads(line) for line in err_lines
+                   if line.startswith("{")]
+        requests = [r for r in records
+                    if r["event"] == "service.request"]
+        assert requests[0]["op"] == "place"
+        assert requests[0]["trace_id"] == "cli-test-trace"
+        assert requests[0]["decision"] == "placed"
+        # The global logger is uninstalled on the way out.
+        from repro.obs.logging import NULL_LOGGER, get_logger
+        assert get_logger() is NULL_LOGGER
+
+
+class TestTelemetryCommands:
+    @pytest.fixture
+    def live_daemon(self):
+        import threading
+
+        from repro.model.cluster import Cluster
+        from repro.service import (
+            AllocationDaemon,
+            ClusterStateStore,
+            place_request,
+            serve_tcp,
+        )
+        from conftest import make_vm
+
+        store = ClusterStateStore(Cluster.paper_all_types(6))
+        daemon = AllocationDaemon(store)
+        for i in range(3):
+            daemon.handle(place_request(make_vm(i, i + 1, i + 5)))
+        server = serve_tcp(daemon, port=0)
+        threading.Thread(target=server.serve_forever,
+                         daemon=True).start()
+        try:
+            yield daemon, server.server_address[1]
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_top_single_refresh(self, live_daemon, capsys):
+        daemon, port = live_daemon
+        assert main(["top", "--port", str(port), "--iterations", "1",
+                     "--last", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "fleet telemetry at tick" in out
+        assert "power W" in out
+        assert "slo: healthy" in out
+
+    def test_slo_healthy_exits_zero(self, live_daemon, capsys):
+        daemon, port = live_daemon
+        assert main(["slo", "--port", str(port)]) == 0
+        out = capsys.readouterr().out
+        assert "slo: healthy" in out
+        assert "window" in out
+
+    def test_slo_burning_exits_one(self, live_daemon, capsys):
+        daemon, port = live_daemon
+        # One error outcome torches the 99.9% availability budget.
+        response = daemon.handle({"op": "telemetry", "v": 2, "last": 0})
+        assert response["ok"] is False
+        assert main(["slo", "--port", str(port)]) == 1
+        assert "BURNING" in capsys.readouterr().out
+
+    def test_top_cannot_reach_daemon(self, capsys):
+        assert main(["top", "--port", "1", "--iterations", "1"]) == 1
+        assert "cannot connect" in capsys.readouterr().err

@@ -109,6 +109,17 @@ class TestTransportRetry:
         # The request went out on every attempt.
         assert sum(len(conn.sent) for conn in live) == 3
 
+    def test_retries_resend_the_same_trace_and_request_ids(self):
+        # Ids are stamped once, before the first attempt, so an
+        # at-least-once duplicate is recognisable in the journal.
+        client, live, _ = make_client(
+            [[], [], [ok_line(op="ping")]], ClientConfig(retries=2))
+        client.ping()
+        attempts = [json.loads(conn.sent[0]) for conn in live]
+        assert len(attempts) == 3
+        assert len({a["trace_id"] for a in attempts}) == 1
+        assert len({a["request_id"] for a in attempts}) == 1
+
     def test_mid_read_oserror_is_retried(self):
         client, live, _ = make_client(
             [[ConnectionResetError("peer reset")], [ok_line()]],

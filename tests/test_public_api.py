@@ -85,12 +85,22 @@ EXPECTED_ALL = [
     "CandidateVerdict",
     "CostTerms",
     "ExplainRecorder",
+    "FlightRecorder",
+    "JsonLogger",
     "PlacementExplanation",
+    "SLOConfig",
+    "SLOTracker",
+    "TelemetryRing",
+    "TelemetrySample",
+    "TraceContext",
     "Tracer",
     "format_decision_table",
+    "get_logger",
     "get_tracer",
+    "set_logger",
     "set_tracer",
     "to_chrome_trace",
+    "use_logger",
     "use_tracer",
     "write_chrome_trace",
     "AllocationClient",

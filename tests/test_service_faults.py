@@ -19,6 +19,7 @@ from repro.service import (
     ClusterStateStore,
     FaultEvent,
     FaultInjector,
+    dump_debug_request,
     fail_server_request,
     place_request,
     read_journal,
@@ -51,6 +52,9 @@ class DictApiTarget:
 
     def recover_server(self, server_id):
         return self._daemon.handle(recover_server_request(server_id))
+
+    def dump_debug(self):
+        return self._daemon.handle(dump_debug_request())
 
 
 class TestStoreFailServer:
@@ -350,6 +354,10 @@ class TestFaultInjector:
             self.calls.append(("recover", server_id))
             return {"ok": True, "op": "recover_server"}
 
+        def dump_debug(self):
+            self.calls.append(("dump_debug",))
+            return {"ok": True, "op": "dump_debug", "records": []}
+
     def test_fires_in_position_order(self):
         target = self.Recorder()
         injector = FaultInjector([
@@ -405,19 +413,33 @@ class TestFaultInjector:
         with pytest.raises(ValidationError):
             FaultEvent(after=0, kind="stall", stall_ms=-1.0)
 
+    def test_dump_debug_event_pulls_the_flight_recorder(self):
+        target = self.Recorder()
+        injector = FaultInjector(
+            [FaultEvent(after=0, kind="dump_debug")], target)
+        fired = injector.fire_due(0)
+        assert target.calls == [("dump_debug",)]
+        assert fired[0]["op"] == "dump_debug"
+
     def test_drives_a_live_daemon(self):
         store = ClusterStateStore(Cluster.homogeneous(SPEC, 2))
         daemon = AllocationDaemon(store)
         injector = FaultInjector([
             FaultEvent(after=1, kind="fail", server_id=0, time=2),
             FaultEvent(after=2, kind="recover", server_id=0),
+            FaultEvent(after=3, kind="dump_debug"),
         ], DictApiTarget(daemon))
         daemon.handle(place_request(make_vm(0, 1, 6, cpu=4.0)))
         injector.fire_due(1)
         assert store.is_failed(0)
         injector.fire_due(2)
         assert not store.is_failed(0)
+        injector.fire_due(3)
         assert all(resp["ok"] for _, resp in injector.responses)
+        # The mid-chaos debug pull sees the whole episode so far.
+        dump = injector.responses[-1][1]
+        ops = [record["op"] for record in dump["records"]]
+        assert {"place", "fail_server", "recover_server"} <= set(ops)
 
 
 class TestEndToEnd:

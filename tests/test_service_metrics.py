@@ -271,6 +271,42 @@ class TestExposition:
         assert metrics.candidates.count == 2
         assert metrics.candidates.sum == 7.0
 
+    def test_build_info_and_uptime_are_conformant_gauges(self):
+        store = ClusterStateStore(Cluster.homogeneous(SPEC, 3))
+        metrics = ServiceMetrics()
+        metrics.set_build_info(version="1.0.0", algorithm="min-energy",
+                               engine='dense "v2"\\x')
+        families = conformant_families(metrics.render(store))
+        build = families["repro_build_info"]
+        assert build["type"] == "gauge"
+        ((name, labels, value),) = build["samples"]
+        assert value == 1.0
+        assert labels == {"version": "1.0.0",
+                          "algorithm": "min-energy",
+                          "engine": 'dense \\"v2\\"\\\\x'}
+        uptime = families["repro_uptime_seconds"]
+        assert uptime["type"] == "gauge"
+        assert uptime["samples"][0][2] >= 0.0
+
+    def test_build_info_without_labels_is_still_conformant(self):
+        store = ClusterStateStore(Cluster.homogeneous(SPEC, 3))
+        families = conformant_families(ServiceMetrics().render(store))
+        ((name, labels, value),) = families["repro_build_info"]["samples"]
+        assert labels == {} and value == 1.0
+
+    def test_daemon_stamps_build_info_at_construction(self):
+        from repro import __version__
+        from repro.service import AllocationDaemon
+
+        store = ClusterStateStore(Cluster.homogeneous(SPEC, 3))
+        daemon = AllocationDaemon(store, algorithm="ffps")
+        assert daemon.metrics.build_info["version"] == __version__
+        assert daemon.metrics.build_info["algorithm"] == "ffps"
+        assert "engine" in daemon.metrics.build_info
+        page = daemon.render_metrics()
+        assert f'version="{__version__}"' in page
+        assert "repro_uptime_seconds" in page
+
     def test_consolidation_families_are_conformant(self):
         store = ClusterStateStore(Cluster.homogeneous(SPEC, 3))
         metrics = ServiceMetrics()
