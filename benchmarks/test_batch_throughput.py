@@ -29,7 +29,7 @@ from repro.model.cluster import Cluster
 from repro.service import (
     AllocationDaemon,
     ClusterStateStore,
-    DaemonClient,
+    AllocationClient,
     replay_trace,
     serve_tcp,
 )
@@ -61,7 +61,7 @@ def _run_stream(batch: int | None) -> tuple[float, dict, float]:
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()
     try:
-        with DaemonClient(host, port) as client:
+        with AllocationClient(host, port) as client:
             started = time.perf_counter()
             summary = replay_trace(client, VMS_1K, final_tick=False,
                                    batch=batch)

@@ -1,0 +1,178 @@
+"""Benchmark gate: the async multi-protocol service at fleet scale.
+
+Three contracts from the v3 rearchitecture, held under load:
+
+* **Sustained concurrent throughput** — >= 10 clients (a mix of v1
+  JSON-lines and v3 framed connections) stream placements at one
+  :func:`serve_async` daemon; the gate requires a sustained
+  placements/sec floor and a client-observed p99 latency inside a
+  deliberately generous CI SLO (shared runners jitter; the gate
+  catches order-of-magnitude regressions, not microseconds).
+* **Worker-pool equivalence at scale** — every registry allocator
+  must place a 40-VM stream bit-identically on a ``scan_processes``
+  daemon and a plain single-process daemon (same shards), energy
+  ledger included.
+* **v1 byte-compatibility** — a raw v1 JSON-lines exchange over the
+  async server matches the in-process ``handle_line`` bytes modulo
+  the timing field.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+
+from repro.allocators.registry import allocator_names
+from repro.model.cluster import Cluster
+from repro.service import (
+    AllocationClient,
+    AllocationDaemon,
+    ClusterStateStore,
+    place_request,
+    serve_async,
+)
+from repro.workload.generator import generate_vms
+from repro.workload.trace import vm_from_record, vm_to_record
+
+from conftest import record_result
+
+N_CLIENTS = 12
+VMS_PER_CLIENT = 30
+N_SERVERS = 200
+
+#: CI gates — generous on purpose (shared runners); the interesting
+#: signal is the recorded numbers, the assertions catch collapses.
+MIN_PLACEMENTS_PER_SEC = 20.0
+P99_SLO_SECONDS = 1.0
+
+
+def _client_workload(client_index: int) -> list:
+    """Per-client VMs in a private id space, all arriving at tick 0 so
+    twelve interleaved streams never fight over the clock."""
+    out = []
+    for vm in generate_vms(VMS_PER_CLIENT, mean_interarrival=1.0,
+                           seed=100 + client_index):
+        record = vm_to_record(vm)
+        record["vm_id"] = (client_index + 1) * 100_000 + vm.vm_id
+        record["start"] = 0
+        record["end"] = max(1, vm.end - vm.start)
+        out.append(vm_from_record(record))
+    return out
+
+
+def test_concurrent_clients_sustain_throughput_and_p99():
+    daemon = AllocationDaemon(
+        ClusterStateStore(Cluster.paper_all_types(N_SERVERS)),
+        algorithm="min-energy", shards=4, max_inflight=0)
+    server = serve_async(daemon, handler_threads=N_CLIENTS + 4)
+    host, port = server.address
+    latencies: list[list[float]] = [[] for _ in range(N_CLIENTS)]
+    outcomes: list[list[str]] = [[] for _ in range(N_CLIENTS)]
+    errors: list[BaseException] = []
+
+    def run_client(index: int) -> None:
+        framing = "frames" if index % 2 else "lines"
+        try:
+            with AllocationClient(host, port, framing=framing) as client:
+                for vm in _client_workload(index):
+                    started = time.perf_counter()
+                    response = client.place(vm)
+                    latencies[index].append(
+                        time.perf_counter() - started)
+                    outcomes[index].append(response.get("decision", "?"))
+        except BaseException as exc:  # surfaced by the main thread
+            errors.append(exc)
+
+    threads = [threading.Thread(target=run_client, args=(i,))
+               for i in range(N_CLIENTS)]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(120)
+    elapsed = time.perf_counter() - started
+    server.stop()
+    assert not errors, errors
+    all_latencies = sorted(lat for per in latencies for lat in per)
+    total = len(all_latencies)
+    assert total == N_CLIENTS * VMS_PER_CLIENT
+    placed = sum(o == "placed" for per in outcomes for o in per)
+    rate = total / elapsed
+    p50 = all_latencies[total // 2]
+    p99 = all_latencies[min(total - 1, int(total * 0.99))]
+    record_result("service_scale", "\n".join([
+        f"{N_CLIENTS} concurrent clients (half v1 lines, half v3 "
+        f"frames), {total} placements, {N_SERVERS} servers",
+        f"sustained rate:  {rate:8.1f} requests/s "
+        f"(floor: {MIN_PLACEMENTS_PER_SEC:.0f}/s)",
+        f"placed:          {placed:8d} / {total}",
+        f"latency p50:     {p50 * 1000:8.2f} ms",
+        f"latency p99:     {p99 * 1000:8.2f} ms "
+        f"(SLO: {P99_SLO_SECONDS * 1000:.0f} ms)",
+    ]))
+    # every request got a definite decision from the shared daemon
+    assert daemon.metrics.requests["placed"] == placed
+    assert rate >= MIN_PLACEMENTS_PER_SEC
+    assert p99 <= P99_SLO_SECONDS
+
+
+def test_worker_pool_parity_across_all_allocators(benchmark):
+    """Every registry allocator: pooled scans == in-process scans,
+    bit for bit."""
+    vms = []
+    for vm in generate_vms(40, mean_interarrival=1.0, seed=31):
+        record = vm_to_record(vm)
+        record["vm_id"] = 10_000 + 100 * vm.vm_id
+        vms.append(vm_from_record(record))
+
+    def place_all(**kwargs):
+        daemon = AllocationDaemon(
+            ClusterStateStore(Cluster.paper_all_types(30)),
+            seed=3, shards=4, **kwargs)
+        try:
+            trail = [daemon.handle(place_request(vm)) for vm in vms]
+        finally:
+            daemon.handle({"op": "shutdown"})
+        return daemon, [(r["vm_id"], r.get("decision"),
+                         r.get("server_id")) for r in trail]
+
+    mismatches = []
+    for name in allocator_names():
+        plain, plain_trail = place_all(algorithm=name)
+        pooled, pooled_trail = place_all(algorithm=name,
+                                         scan_processes=3)
+        if pooled_trail != plain_trail or \
+                dict(pooled.store.placements) != \
+                dict(plain.store.placements) or \
+                pooled.store.energy_accumulated != \
+                plain.store.energy_accumulated:
+            mismatches.append(name)
+    assert mismatches == []
+
+    # one timed sample for the BENCH json: a pooled 40-VM stream
+    benchmark.pedantic(
+        lambda: place_all(algorithm="min-energy", scan_processes=3),
+        rounds=1, iterations=1)
+
+
+def test_v1_lines_byte_compatible_over_async_server():
+    vm = generate_vms(1, mean_interarrival=2.0, seed=41)[0]
+    daemon = AllocationDaemon(
+        ClusterStateStore(Cluster.paper_all_types(10)))
+    reference = AllocationDaemon(
+        ClusterStateStore(Cluster.paper_all_types(10)))
+    server = serve_async(daemon)
+    try:
+        with socket.create_connection(server.address, timeout=10) as raw:
+            raw.sendall((json.dumps(place_request(vm)) + "\n").encode())
+            line = raw.makefile("r", encoding="utf-8").readline()
+    finally:
+        server.stop()
+    over_wire = json.loads(line)
+    direct = json.loads(reference.handle_line(
+        json.dumps(place_request(vm))))
+    over_wire.pop("latency_ms", None)
+    direct.pop("latency_ms", None)
+    assert over_wire == direct

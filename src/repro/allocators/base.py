@@ -421,8 +421,16 @@ class Allocator(abc.ABC):
         self.candidates_feasible = 0
         sequence = self._scan_sequence(vm, fleet.states)
         chunks = fleet.scatter(sequence)
-        scans = fleet.map_scans(
-            lambda chunk: self._scan_shard(vm, chunk), chunks)
+        # A fleet may execute the shard scans elsewhere (the service's
+        # process worker pool exposes ``remote_scans``); the scan
+        # sequence, the fold and every stateful hook stay right here,
+        # so the dispatch choice cannot change the decision.
+        remote = getattr(fleet, "remote_scans", None)
+        if remote is not None:
+            scans = remote(self, vm, chunks)
+        else:
+            scans = fleet.map_scans(
+                lambda chunk: self._scan_shard(vm, chunk), chunks)
         for scan in scans:
             self.candidates_evaluated += scan.evaluated
             self.candidates_feasible += scan.admissible

@@ -251,10 +251,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--workers", type=int, default=None,
                          help="thread-pool width for the shard scans "
                               "(default: one per shard)")
+    p_serve.add_argument("--scan-processes", type=int, default=0,
+                         metavar="N",
+                         help="run shard scans on N worker processes "
+                              "(replicated state, bit-identical "
+                              "placements; needs --shards > 1; 0 = "
+                              "in-process scans)")
     p_serve.add_argument("--max-inflight", type=int, default=64,
                          help="mutating requests in flight before the "
                               "daemon answers 'overloaded' (0 = "
                               "unbounded)")
+    p_serve.add_argument("--http-port", type=int, default=None,
+                         metavar="PORT",
+                         help="also serve the HTTP/REST gateway on this "
+                              "port (0 picks an ephemeral port)")
     p_serve.add_argument("--consolidate-epoch", type=int, default=0,
                          metavar="N",
                          help="run a live consolidation episode at every "
@@ -301,6 +311,10 @@ def build_parser() -> argparse.ArgumentParser:
         "client", help="stream a workload at a running daemon")
     p_client.add_argument("--host", default="127.0.0.1")
     p_client.add_argument("--port", type=int, default=7077)
+    p_client.add_argument("--framing", default="lines",
+                          choices=("lines", "frames"),
+                          help="wire dialect: v1 JSON lines or v3 "
+                               "binary frames")
     p_client.add_argument("--trace", default=None,
                           help="trace file (.csv or .json); otherwise a "
                                "workload is generated")
@@ -652,15 +666,46 @@ def _parse_algo_params(pairs: Sequence[str]) -> dict[str, object]:
     return params
 
 
+def _usage_error(code: str, message: str) -> int:
+    """Print a structured usage error (the service's envelope shape,
+    so scripts can parse stderr) and return the usage exit code."""
+    import json
+
+    from repro.service.errors import envelope
+
+    print(json.dumps({"ok": False, "error": envelope(code, message)}),
+          file=sys.stderr)
+    return 2
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.model.cluster import Cluster
     from repro.service import (
         AllocationDaemon,
         ClusterStateStore,
+        serve_async,
         serve_stdio,
-        serve_tcp,
         start_metrics_server,
     )
+
+    if args.workers is not None and 0 < args.max_inflight < args.workers:
+        return _usage_error(
+            "bad_request",
+            f"--max-inflight {args.max_inflight} is smaller than "
+            f"--workers {args.workers}: the ingest semaphore would "
+            f"admit fewer requests than there are scan workers, "
+            f"permanently starving the pool; raise --max-inflight or "
+            f"lower --workers")
+    if args.scan_processes < 0:
+        return _usage_error(
+            "bad_request",
+            f"--scan-processes must be >= 0, got {args.scan_processes}")
+    if args.scan_processes > 0 and args.shards <= 1:
+        return _usage_error(
+            "bad_request",
+            f"--scan-processes {args.scan_processes} needs --shards > 1: "
+            f"an unsharded fleet has no scan fan-out to hand to worker "
+            f"processes")
 
     # In stdio mode stdout carries the protocol, so banners go to stderr.
     log = sys.stderr if args.stdio else sys.stdout
@@ -698,6 +743,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_delay=args.max_delay, data_dir=args.data_dir,
             snapshot_every=args.snapshot_every, shards=args.shards,
             max_workers=args.workers, max_inflight=args.max_inflight,
+            scan_processes=args.scan_processes,
             consolidate_every=args.consolidate_epoch,
             frag_threshold=args.frag_threshold,
             migration_cost_per_gb=args.migration_cost,
@@ -720,20 +766,30 @@ def _cmd_serve(args: argparse.Namespace) -> int:
           f"algorithm {daemon.config['algorithm']}, "
           f"clock {daemon.store.clock}, "
           f"{len(daemon.store.placements)} VMs placed", file=log)
+    gateway = None
     try:
+        if args.http_port is not None:
+            from repro.service import start_gateway
+
+            gateway = start_gateway(daemon, args.host, args.http_port)
+            print(f"gateway on http://{gateway.server_address[0]}:"
+                  f"{gateway.server_address[1]}/", file=log, flush=True)
         if args.stdio:
             serve_stdio(daemon, sys.stdin, sys.stdout)
         else:
-            server = serve_tcp(daemon, args.host, args.port)
-            print(f"serving on {server.server_address[0]}:"
-                  f"{server.server_address[1]}", file=log, flush=True)
+            server = serve_async(daemon, args.host, args.port)
+            print(f"serving on {server.address[0]}:"
+                  f"{server.address[1]} (JSON lines + v3 frames)",
+                  file=log, flush=True)
             try:
-                server.serve_forever()
+                server.join()
             except KeyboardInterrupt:
                 daemon.handle({"op": "shutdown"})
             finally:
-                server.server_close()
+                server.stop()
     finally:
+        if gateway is not None:
+            gateway.shutdown()
         if tracer is not None:
             from repro.obs.export import write_chrome_trace
             from repro.obs.tracer import set_tracer
@@ -757,7 +813,8 @@ def _cmd_client(args: argparse.Namespace) -> int:
         print("empty workload")
         return 0
     config = ClientConfig(retries=args.retries)
-    with AllocationClient(args.host, args.port, config=config) as client:
+    with AllocationClient(args.host, args.port, config=config,
+                          framing=args.framing) as client:
         summary = replay_trace(client, vms, batch=args.batch)
         stats = client.stats()
         exposition = client.metrics()

@@ -88,6 +88,12 @@ class UnknownOperationError(ServiceError):
         self.supported = tuple(supported)
 
 
+class UnavailableError(ServiceError):
+    """The daemon cannot serve requests right now (shut down, or still
+    replaying a restore). The request was not applied; clients should
+    fail over or wait for the daemon to come back."""
+
+
 class RetryableError(ServiceError):
     """A service request failed for a *transient* reason.
 

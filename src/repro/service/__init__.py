@@ -22,12 +22,22 @@ under-packed servers through the shared
 :mod:`repro.consolidation` planner, each episode journaled as one
 atomic group. See ``docs/service.md`` and the ``repro serve`` /
 ``repro client`` / ``repro consolidate`` CLI commands.
+
+Protocol v3 is the async multi-worker generation: one
+:class:`AsyncDaemonServer` port speaks JSON-lines *and* length-prefixed
+binary frames (sniffed per connection, v1/v2 clients byte-unchanged),
+failures carry the typed error envelope of
+:mod:`repro.service.errors`, an HTTP/REST gateway
+(:func:`start_gateway`) translates ``POST /v1/place`` and friends onto
+the same op handlers, and with ``scan_processes > 0`` the daemon fans
+candidate scans out over process-per-shard store replicas
+(:class:`WorkerPool`) kept bit-exact through the journal-entry stream.
 """
 
+from repro.service.aio import AsyncDaemonServer, serve_async
 from repro.service.client import (
     AllocationClient,
     ClientConfig,
-    DaemonClient,
     ReplaySummary,
     replay_trace,
 )
@@ -38,6 +48,22 @@ from repro.service.daemon import (
     serve_tcp,
     start_metrics_server,
 )
+from repro.service.errors import (
+    CODES,
+    ErrorFields,
+    envelope,
+    envelope_of_exception,
+    error_fields,
+    http_status_of,
+)
+from repro.service.framing import (
+    FRAME_MAGIC,
+    FrameDecoder,
+    encode_frame,
+    read_frame,
+    write_frame,
+)
+from repro.service.gateway import GatewayServer, start_gateway
 from repro.service.metrics import (
     Histogram,
     LatencyReservoir,
@@ -50,6 +76,7 @@ from repro.service.persistence import (
     SnapshotManager,
     read_journal,
 )
+from repro.service.replication import AppliedEntry, apply_entry
 from repro.service.protocol import (
     OPS,
     PROTOCOL_VERSION,
@@ -67,6 +94,7 @@ from repro.service.protocol import (
     recover_server_request,
     telemetry_request,
 )
+from repro.service.workers import WorkerFleet, WorkerPool
 from repro.service.state import (
     SNAPSHOT_FORMAT_VERSION,
     ClusterStateStore,
@@ -79,14 +107,20 @@ from repro.service.state import (
 __all__ = [
     "AllocationClient",
     "AllocationDaemon",
+    "AppliedEntry",
+    "AsyncDaemonServer",
+    "CODES",
     "ClientConfig",
     "ClusterStateStore",
     "ConsolidationReport",
-    "DaemonClient",
     "DaemonTCPServer",
+    "ErrorFields",
     "FailureReport",
     "FaultEvent",
     "FaultInjector",
+    "FRAME_MAGIC",
+    "FrameDecoder",
+    "GatewayServer",
     "Histogram",
     "LatencyReservoir",
     "OPS",
@@ -98,10 +132,18 @@ __all__ = [
     "SNAPSHOT_FORMAT_VERSION",
     "SUPPORTED_VERSIONS",
     "SnapshotManager",
+    "WorkerFleet",
+    "WorkerPool",
+    "apply_entry",
     "consolidate_request",
     "dump_debug_request",
     "encode",
+    "encode_frame",
+    "envelope",
+    "envelope_of_exception",
+    "error_fields",
     "fail_server_request",
+    "http_status_of",
     "negotiate_version",
     "parse_batch_records",
     "parse_exposition",
@@ -109,12 +151,16 @@ __all__ = [
     "parse_response",
     "place_batch_request",
     "place_request",
+    "read_frame",
     "read_journal",
     "recover_server_request",
     "replay_trace",
+    "serve_async",
     "serve_stdio",
     "serve_tcp",
     "snapshot_meta",
+    "start_gateway",
     "start_metrics_server",
     "telemetry_request",
+    "write_frame",
 ]

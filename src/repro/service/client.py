@@ -1,10 +1,20 @@
 """Client side of the allocation service: connect, retry, summarize.
 
-:class:`AllocationClient` speaks the JSON-lines protocol over TCP (one
-request line out, one response line back) and classifies failures with
-the typed hierarchy of :mod:`repro.exceptions`: transient transport
-faults (reset, timeout, connection closed mid-response) raise
-:class:`~repro.exceptions.TransportError` and overload shedding raises
+:class:`AllocationClient` speaks the allocation protocol over TCP —
+JSON-lines by default, or the protocol-v3 binary framing with
+``framing="frames"`` — through *typed methods only*: :meth:`place`,
+:meth:`place_batch`, :meth:`consolidate`, :meth:`telemetry`,
+:meth:`slo` and friends. The raw-dict :meth:`request` escape hatch is
+deprecated (it emits :class:`DeprecationWarning`); new code never
+builds protocol dicts by hand.
+
+Failures are classified with the typed hierarchy of
+:mod:`repro.exceptions`, dispatching on the error envelope's stable
+``code`` (:mod:`repro.service.errors`) — never on message text — and
+reading the legacy v1/v2 string shape through the same normalizer:
+transient transport faults (reset, timeout, connection closed
+mid-response) raise :class:`~repro.exceptions.TransportError` and
+overload shedding (code ``overloaded``) raises
 :class:`~repro.exceptions.OverloadedError` — both are
 :class:`~repro.exceptions.RetryableError`, and with a retry budget in
 :class:`ClientConfig` the client reconnects and resends under capped
@@ -16,15 +26,14 @@ Retries are at-least-once: a send that dies mid-response may already
 have been applied by the daemon, so a retried mutating operation can be
 applied twice. That matches the journal semantics (every applied
 request is journaled); exactly-once callers should keep ``retries=0``
-(the default, and what the :class:`DaemonClient` name has always
-meant).
+(the default).
 
 :func:`replay_trace` streams a whole workload — a
 :class:`~repro.workload.trace.Trace` or any VM iterable — in the
 paper's online order (start time, ties by end then id), lifts every
 response into a typed :class:`~repro.results.PlacementResult`, and
 aggregates them into a :class:`ReplaySummary`. With ``batch=N`` it
-chunks the stream into v2 ``place_batch`` round trips instead of one
+chunks the stream into ``place_batch`` round trips instead of one
 ``place`` per VM — same placements, far fewer round trips. This is
 what ``repro client`` runs.
 """
@@ -34,6 +43,7 @@ from __future__ import annotations
 import random
 import socket
 import time
+import warnings
 from dataclasses import dataclass
 from typing import Callable, Iterable, Mapping
 
@@ -52,6 +62,8 @@ from repro.obs.context import (
     new_trace_id,
 )
 from repro.results import PlacementResult
+from repro.service.errors import error_fields
+from repro.service.framing import encode_frame, read_frame
 from repro.service.protocol import (
     consolidate_request,
     dump_debug_request,
@@ -64,8 +76,12 @@ from repro.service.protocol import (
     telemetry_request,
 )
 
-__all__ = ["AllocationClient", "ClientConfig", "DaemonClient",
+__all__ = ["AllocationClient", "ClientConfig",
            "ReplaySummary", "replay_trace"]
+
+#: The client's wire dialects: newline-terminated JSON (compatible
+#: with every daemon generation) or v3 length-prefixed frames.
+FRAMINGS = ("lines", "frames")
 
 
 @dataclass(frozen=True)
@@ -105,7 +121,13 @@ class ClientConfig:
 
 
 class AllocationClient:
-    """A blocking JSON-lines client with typed errors and retries.
+    """A blocking allocation-service client with typed errors and
+    retries.
+
+    ``framing`` selects the wire dialect: ``"lines"`` (JSON-lines, the
+    default, byte-compatible with every daemon generation) or
+    ``"frames"`` (the protocol-v3 binary framing — requires a server
+    with the sniffing accept path, :mod:`repro.service.aio`).
 
     ``connect`` and ``sleep`` are injectable for tests: ``connect()``
     must return a connected socket-like object (``makefile``/``close``)
@@ -116,8 +138,12 @@ class AllocationClient:
     def __init__(self, host: str = "127.0.0.1", port: int = 7077, *,
                  timeout: float | None = None,
                  config: ClientConfig | None = None,
+                 framing: str = "lines",
                  connect: Callable[[], socket.socket] | None = None,
                  sleep: Callable[[float], None] = time.sleep) -> None:
+        if framing not in FRAMINGS:
+            raise ValidationError(
+                f"unknown framing {framing!r}; valid framings: {FRAMINGS}")
         if config is None:
             config = ClientConfig() if timeout is None \
                 else ClientConfig(timeout=timeout)
@@ -125,6 +151,7 @@ class AllocationClient:
             raise ValidationError(
                 "pass the timeout inside ClientConfig, not alongside it")
         self.config = config
+        self.framing = framing
         self._connect = connect if connect is not None else (
             lambda: socket.create_connection((host, port),
                                              timeout=config.timeout))
@@ -142,8 +169,12 @@ class AllocationClient:
     def _open(self) -> None:
         try:
             self._sock = self._connect()
-            self._reader = self._sock.makefile("r", encoding="utf-8")
-            self._writer = self._sock.makefile("w", encoding="utf-8")
+            if self.framing == "frames":
+                self._reader = self._sock.makefile("rb")
+                self._writer = self._sock.makefile("wb")
+            else:
+                self._reader = self._sock.makefile("r", encoding="utf-8")
+                self._writer = self._sock.makefile("w", encoding="utf-8")
         except OSError as exc:
             self._drop()
             raise TransportError(
@@ -179,24 +210,40 @@ class AllocationClient:
             delay *= 1.0 + config.jitter * self._rng.random()
         return delay
 
+    def _exchange(self, message: Mapping[str, object]) -> str:
+        """One wire round trip in the configured framing; returns the
+        raw response line ("" when the peer closed cleanly)."""
+        if self.framing == "frames":
+            payload = encode(message).rstrip("\n").encode("utf-8")
+            self._writer.write(encode_frame(payload))
+            self._writer.flush()
+            data = read_frame(self._reader)
+            return "" if data is None \
+                else data.decode("utf-8", errors="replace")
+        self._writer.write(encode(message))
+        self._writer.flush()
+        return self._reader.readline()
+
     def _request_once(self, message: Mapping[str, object]
                       ) -> dict[str, object]:
         """One attempt: send, read, classify.
 
         Transport faults and overload shedding raise the retryable
         exceptions; every other response — including the daemon's
-        structured terminal errors — is returned as-is.
+        structured terminal errors — is returned as-is. Classification
+        dispatches on the error envelope's stable ``code`` (the legacy
+        string shape normalizes through the same
+        :func:`~repro.service.errors.error_fields` view).
         """
         try:
             if self._sock is None:
                 self._open()
-            self._writer.write(encode(message))
-            self._writer.flush()
-            line = self._reader.readline()
+            line = self._exchange(message)
         except TransportError:
             raise
-        except (OSError, ValueError) as exc:
-            # ValueError covers writes on a half-closed file object.
+        except (OSError, ValueError, ServiceError) as exc:
+            # ValueError covers writes on a half-closed file object;
+            # ServiceError covers a connection dying mid-frame.
             self._drop()
             raise TransportError(
                 f"connection to daemon failed: {exc}") from exc
@@ -204,15 +251,31 @@ class AllocationClient:
             self._drop()
             raise TransportError("daemon closed the connection")
         response = parse_response(line)
-        if not response.get("ok") and response.get("error") == "overloaded":
-            retry_after = response.get("retry_after")
+        fields = error_fields(response)
+        if fields is not None and fields.code == "overloaded":
             raise OverloadedError(
                 "daemon shed the request under load",
-                retry_after=None if retry_after is None
-                else float(retry_after))
+                retry_after=fields.retry_after)
         return response
 
     def request(self, message: Mapping[str, object]) -> dict[str, object]:
+        """Deprecated raw-dict escape hatch.
+
+        .. deprecated:: protocol v3
+            Build requests through the typed methods (:meth:`place`,
+            :meth:`place_batch`, :meth:`consolidate`,
+            :meth:`telemetry`, :meth:`slo`, ...) instead of hand-built
+            protocol dicts; this passthrough will be removed with the
+            next protocol revision.
+        """
+        warnings.warn(
+            "AllocationClient.request() is deprecated; use the typed "
+            "methods (place, place_batch, consolidate, telemetry, slo, "
+            "...) instead of raw protocol dicts",
+            DeprecationWarning, stacklevel=2)
+        return self._request(message)
+
+    def _request(self, message: Mapping[str, object]) -> dict[str, object]:
         """Send one request; retry transient failures per the config.
 
         Every request is stamped with a ``trace_id``/``request_id``
@@ -252,7 +315,7 @@ class AllocationClient:
         request = place_request(vm, explain=explain)
         if trace_id is not None:
             request[TRACE_ID_FIELD] = trace_id
-        return self.request(request)
+        return self._request(request)
 
     def place_batch(self, vms: Iterable[VM], *,
                     trace_id: str | None = None) -> dict[str, object]:
@@ -260,57 +323,62 @@ class AllocationClient:
         request = place_batch_request(vms)
         if trace_id is not None:
             request[TRACE_ID_FIELD] = trace_id
-        return self.request(request)
+        return self._request(request)
 
     def tick(self, now: int) -> dict[str, object]:
-        return self.request({"op": "tick", "now": now})
+        return self._request({"op": "tick", "now": now})
 
     def fail_server(self, server_id: int,
                     time: int | None = None) -> dict[str, object]:
         """Report a server failure (v2 ``fail_server``); the response
         carries the re-placement outcome."""
-        return self.request(fail_server_request(server_id, time))
+        return self._request(fail_server_request(server_id, time))
 
     def recover_server(self, server_id: int) -> dict[str, object]:
         """Bring a failed server back (v2 ``recover_server``)."""
-        return self.request(recover_server_request(server_id))
+        return self._request(recover_server_request(server_id))
 
     def consolidate(self, time: int | None = None) -> dict[str, object]:
         """Run one live consolidation episode (v2 ``consolidate``);
         the response carries the committed migrations and their yield."""
-        return self.request(consolidate_request(time))
+        return self._request(consolidate_request(time))
 
     def telemetry(self, last: int | None = None) -> dict[str, object]:
-        """The daemon's fleet telemetry ring + SLO report (v2
-        ``telemetry``); ``last`` limits the sample count."""
-        return self.request(telemetry_request(last))
+        """The daemon's fleet telemetry ring + SLO report (the
+        ``telemetry`` op); ``last`` limits the sample count."""
+        return self._request(telemetry_request(last))
+
+    def slo(self) -> dict[str, object]:
+        """The daemon's SLO report alone (objectives, burn rates,
+        attainment) — the ``slo`` section of :meth:`telemetry`."""
+        response = self._request(telemetry_request(1))
+        if not response.get("ok"):
+            raise ServiceError(
+                f"telemetry request failed: {response.get('error')}")
+        slo = response.get("slo")
+        return dict(slo) if isinstance(slo, Mapping) else {}
 
     def dump_debug(self) -> dict[str, object]:
         """The daemon's flight recorder (v2 ``dump_debug``): the last
         N request/response tuples."""
-        return self.request(dump_debug_request())
+        return self._request(dump_debug_request())
 
     def stats(self) -> dict[str, object]:
-        return self.request({"op": "stats"})
+        return self._request({"op": "stats"})
 
     def metrics(self) -> str:
         """The daemon's Prometheus text exposition (``metrics`` op)."""
-        response = self.request({"op": "metrics"})
+        response = self._request({"op": "metrics"})
         if not response.get("ok"):
             raise ServiceError(
                 f"metrics request failed: {response.get('error')}")
         return str(response.get("text", ""))
 
     def ping(self) -> dict[str, object]:
-        return self.request({"op": "ping"})
+        return self._request({"op": "ping"})
 
     def shutdown(self) -> dict[str, object]:
-        return self.request({"op": "shutdown"})
-
-
-#: Historical name: the zero-retry default of :class:`AllocationClient`
-#: is exactly what ``DaemonClient`` always was.
-DaemonClient = AllocationClient
+        return self._request({"op": "shutdown"})
 
 
 @dataclass(frozen=True)

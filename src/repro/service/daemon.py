@@ -66,11 +66,12 @@ from typing import IO, Callable, Mapping
 
 from repro.allocators.registry import make_allocator
 from repro.consolidation.fragmentation import FragmentationMonitor
-from repro.consolidation.planner import MigrationPlanner, PlannedMove
+from repro.consolidation.planner import MigrationPlanner
 from repro.exceptions import (
     ProtocolVersionError,
     ReproError,
     ServiceError,
+    UnavailableError,
     UnknownOperationError,
     ValidationError,
 )
@@ -82,12 +83,19 @@ from repro.obs.slo import SLOConfig, SLOTracker
 from repro.obs.telemetry import TelemetryRing, TelemetrySample
 from repro.obs.tracer import get_tracer
 from repro.placement.sharding import ShardedFleet
+from repro.service.errors import (
+    attach_error,
+    envelope,
+    envelope_of_exception,
+    error_fields,
+)
 from repro.service.metrics import CONTENT_TYPE, ServiceMetrics
 from repro.service.persistence import (
     RequestJournal,
     SnapshotManager,
     read_journal,
 )
+from repro.service.replication import apply_entry
 from repro.service.protocol import (
     OPS,
     encode,
@@ -97,10 +105,9 @@ from repro.service.protocol import (
 )
 from repro.service.state import (
     ClusterStateStore,
-    Replacement,
     snapshot_meta,
 )
-from repro.simulation.admission import offer, shift_request
+from repro.simulation.admission import offer
 from repro.workload.trace import vm_from_record, vm_to_record
 
 __all__ = ["AllocationDaemon", "DaemonTCPServer", "serve_stdio",
@@ -115,6 +122,27 @@ MUTATING_OPS = ("place", "place_batch", "tick", "fail_server",
 
 #: Read-only operations served without the commit lock.
 READ_OPS = ("stats", "metrics", "telemetry", "dump_debug", "ping")
+
+
+def _requested_version(request: object) -> int:
+    """Best-effort read of the version a *failing* request asked for.
+
+    Decides which error shape the client can read — the v3 envelope or
+    the legacy string — so even rejected requests answer in the
+    caller's dialect. Anything unparseable is treated as a v1 reader
+    (the legacy shape is the conservative choice).
+    """
+    message = request
+    if isinstance(message, str):
+        try:
+            message = json.loads(message)
+        except ValueError:
+            return 1
+    if isinstance(message, Mapping):
+        version = message.get("v", 1)
+        if isinstance(version, int) and not isinstance(version, bool):
+            return version
+    return 1
 
 
 class AllocationDaemon:
@@ -152,6 +180,16 @@ class AllocationDaemon:
     max_workers:
         Thread-pool width for the shard scans (defaults to the shard
         count; ``repro serve --workers``).
+    scan_processes:
+        Process-pool width for the shard scans (``repro serve
+        --scan-processes``). With ``N > 0`` (and more than one shard)
+        each placement's feasibility scan fans out over ``N`` worker
+        *processes*, each holding a bit-exact replica of the cluster
+        store kept in sync through the journal-entry stream
+        (:mod:`repro.service.workers`) — candidate scans escape the
+        GIL while the deterministic ``(score, scan ordinal)`` fold
+        keeps placements bit-identical to the in-process scan. ``0``
+        (the default) keeps scans in-process.
     max_inflight:
         Bounded ingest: at most this many mutating requests in flight
         before the daemon answers ``overloaded`` with a ``retry_after``
@@ -194,6 +232,7 @@ class AllocationDaemon:
                  max_delay: int = 0, data_dir: str | Path | None = None,
                  snapshot_every: int = 100, fsync: bool = True,
                  shards: int = 1, max_workers: int | None = None,
+                 scan_processes: int = 0,
                  max_inflight: int = 64,
                  consolidate_every: int = 0,
                  frag_threshold: float | None = None,
@@ -211,6 +250,9 @@ class AllocationDaemon:
                 f"snapshot_every must be >= 0, got {snapshot_every}")
         if shards < 1:
             raise ValidationError(f"shards must be >= 1, got {shards}")
+        if scan_processes < 0:
+            raise ValidationError(
+                f"scan_processes must be >= 0, got {scan_processes}")
         if max_inflight < 0:
             raise ValidationError(
                 f"max_inflight must be >= 0, got {max_inflight}")
@@ -228,6 +270,7 @@ class AllocationDaemon:
                        "max_delay": max_delay,
                        "snapshot_every": snapshot_every,
                        "shards": shards,
+                       "scan_processes": scan_processes,
                        "max_inflight": max_inflight,
                        "consolidate_every": consolidate_every,
                        "frag_threshold": None if frag_threshold is None
@@ -259,6 +302,9 @@ class AllocationDaemon:
                                     engine=str(store.engine))
         self._max_workers = max_workers
         self.fleet: ShardedFleet | None = None
+        #: The scan worker pool (process-per-shard replicas); started
+        #: lazily by :meth:`_rebuild_fleet` when ``scan_processes > 0``.
+        self._pool = None
         # The fleet scans only non-failed servers (a restored snapshot
         # may already carry dead ones), so build it through the same
         # path fail/recover events use.
@@ -310,11 +356,46 @@ class AllocationDaemon:
         if self.fleet is not None:
             self.fleet.close()
         live = self.store.live_states()
-        self.fleet = ShardedFleet(
-            live, shards=int(self.config["shards"]),
-            max_workers=self._max_workers,
-            on_scan_time=self.metrics.observe_shard_scan)
+        shards = int(self.config["shards"])
+        if int(self.config["scan_processes"]) > 0 and shards > 1:
+            from repro.service.workers import WorkerFleet
+            self.fleet = WorkerFleet(
+                live, shards=shards, pool=self._ensure_worker_pool(),
+                max_workers=self._max_workers,
+                on_scan_time=self.metrics.observe_shard_scan)
+        else:
+            self.fleet = ShardedFleet(
+                live, shards=shards,
+                max_workers=self._max_workers,
+                on_scan_time=self.metrics.observe_shard_scan)
         self.allocator.prepare(live)
+
+    def _ensure_worker_pool(self):
+        """Start the scan worker pool from the store's *current* state.
+
+        The pool starts at most once per daemon: each worker process
+        boots a store replica from a snapshot taken here, and every
+        subsequent mutation (including restore's journal-tail replay)
+        is streamed to the workers through :meth:`_pool_apply`, so the
+        replicas track the primary bit-for-bit from any starting point.
+        """
+        if self._pool is None:
+            from repro.service.workers import WorkerPool
+            self._pool = WorkerPool(
+                self.store.to_snapshot(),
+                algorithm=str(self.config["algorithm"]),
+                seed=self.config["seed"],
+                algo_params=self.config["algo_params"],
+                processes=int(self.config["scan_processes"]))
+        return self._pool
+
+    def _pool_apply(self, entry: Mapping[str, object]) -> None:
+        """Stream one committed journal-shaped entry to every scan
+        worker replica. Pipe order is the commit order (all mutating
+        ops hold the commit lock), so each worker applies the mutation
+        before it can see any later scan request."""
+        if self._pool is not None:
+            self._pool.apply(entry)
 
     # -- durability --------------------------------------------------------
 
@@ -390,6 +471,7 @@ class AllocationDaemon:
             max_delay=int(config.get("max_delay", 0)),
             snapshot_every=int(config.get("snapshot_every", 100)),
             shards=int(config.get("shards", 1)),
+            scan_processes=int(config.get("scan_processes", 0)),
             max_inflight=int(config.get("max_inflight", 64)),
             consolidate_every=int(config.get("consolidate_every", 0)),
             frag_threshold=config.get("frag_threshold"),
@@ -433,62 +515,27 @@ class AllocationDaemon:
                 if key in entry:
                     fields[key] = entry[key]
             logger.info("service.replay", **fields)
-        if op == "tick":
-            now = int(entry["now"])
-            if now > self.store.clock:
-                self.store.advance_to(now)
-            return
-        if op == "place_batch":
-            # One journal group per batch: replay its decisions in the
-            # order they were committed, restoring the state bit-exact.
-            for sub in entry["decisions"]:
-                self._replay_place(sub)
-            return
+        # The store-level application (recorded decisions, one atomic
+        # journal group per batch/failure/episode) is shared with the
+        # scan worker replicas — see repro.service.replication.
+        applied = apply_entry(self.store, entry)
+        self._pool_apply(entry)
+        for decision, delay in applied.placements:
+            self.metrics.observe_replayed(
+                decision, delay, algorithm=str(self.config["algorithm"]))
         if op == "fail_server":
-            # One journal group per failure: the recorded re-placements
-            # are applied verbatim — the allocator is never re-run.
-            report = self.store.fail_server(
-                int(entry["server_id"]), int(entry["time"]),
-                replacements=[Replacement.from_record(record)
-                              for record in entry["replacements"]])
-            self._rebuild_fleet()
+            report = applied.report
             self.metrics.observe_failure(replaced=report.replaced,
                                          lost=len(report.lost))
-            return
-        if op == "recover_server":
-            self.store.recover_server(int(entry["server_id"]))
-            self._rebuild_fleet()
-            return
-        if op == "consolidate":
-            # One journal group per episode: the recorded moves are
-            # applied verbatim — the planner is never re-run.
-            report = self.store.consolidate(
-                int(entry["time"]),
-                moves=[PlannedMove.from_record(record)
-                       for record in entry.get("moves", ())])
-            if report.moves:
-                self._rebuild_fleet()
+        elif op == "consolidate":
+            report = applied.report
             self._last_consolidated_tick = report.time
             self.metrics.observe_consolidation(
                 moves=report.migrations,
                 servers_freed=report.servers_freed,
                 energy_saved=report.energy_saved)
-            return
-        if op != "place":
-            raise ValidationError(f"unknown journal entry op {op!r}")
-        self._replay_place(entry)
-
-    def _replay_place(self, entry: Mapping[str, object]) -> None:
-        vm = vm_from_record(entry["vm"])
-        if vm.start > self.store.clock:
-            self.store.advance_to(vm.start)
-        decision = str(entry["decision"])
-        delay = int(entry.get("delay", 0))
-        if decision == "placed":
-            self.store.commit(shift_request(vm, delay),
-                              int(entry["server_id"]))
-        self.metrics.observe_replayed(
-            decision, delay, algorithm=str(self.config["algorithm"]))
+        if applied.fleet_changed:
+            self._rebuild_fleet()
 
     # -- request handling --------------------------------------------------
 
@@ -500,8 +547,9 @@ class AllocationDaemon:
                 message = parse_request(line)
             except ServiceError as exc:
                 self.metrics.observe_error()
-                payload: dict[str, object] = {"ok": False,
-                                              "error": str(exc)}
+                payload: dict[str, object] = {"ok": False}
+                attach_error(payload, envelope_of_exception(exc),
+                             _requested_version(line))
                 if isinstance(exc, ProtocolVersionError):
                     payload["supported_versions"] = list(exc.supported)
                 if isinstance(exc, UnknownOperationError):
@@ -522,22 +570,26 @@ class AllocationDaemon:
         """
         op = message.get("op")
         try:
-            negotiate_version(message)
+            version = negotiate_version(message)
         except ProtocolVersionError as exc:
             self.metrics.observe_error()
-            return {"ok": False, "op": op, "error": str(exc),
-                    "supported_versions": list(exc.supported)}
+            response = attach_error({"ok": False, "op": op},
+                                    envelope_of_exception(exc),
+                                    _requested_version(message))
+            response["supported_versions"] = list(exc.supported)
+            return response
         try:
             ctx = trace_context_of(message)
         except ServiceError as exc:
             self.metrics.observe_error()
-            return {"ok": False, "op": op, "error": str(exc)}
+            return attach_error({"ok": False, "op": op},
+                                envelope_of_exception(exc), version)
         tracer = get_tracer()
         started = perf_counter()
         with tracer.span("service.request", op=str(op),
                          trace_id=ctx.trace_id,
                          request_id=ctx.request_id) as span:
-            response = self._guarded(op, message, ctx)
+            response = self._guarded(op, message, ctx, version)
             ok = bool(response.get("ok"))
             span.set(ok=ok)
         latency = perf_counter() - started
@@ -556,7 +608,14 @@ class AllocationDaemon:
         """Feed one finished request to the SLO tracker, the flight
         recorder and the structured log."""
         self.slo.observe(latency, ok=ok)
-        error = None if ok else str(response.get("error"))
+        if ok:
+            error = None
+        else:
+            # The envelope and the legacy string both reduce to one
+            # message for the black box / log line.
+            fields_view = error_fields(response)
+            error = fields_view.message if fields_view is not None \
+                else str(response.get("error"))
         self.flight.record(
             op=str(op), trace_id=ctx.trace_id,
             request_id=ctx.request_id, ok=ok, latency_ms=latency * 1e3,
@@ -575,13 +634,16 @@ class AllocationDaemon:
                 logger.error("service.request", error=error, **fields)
 
     def _guarded(self, op: object, message: Mapping[str, object],
-                 ctx: TraceContext) -> dict[str, object]:
+                 ctx: TraceContext, version: int = 1
+                 ) -> dict[str, object]:
         """Apply the ingest bound, route to the right lock, dispatch."""
         gate = self._ingest if op in MUTATING_OPS else None
         if gate is not None and not gate.acquire(blocking=False):
             self.metrics.observe_overload()
-            return {"ok": False, "op": op, "error": "overloaded",
-                    "retry_after": self._retry_after()}
+            return attach_error(
+                {"ok": False, "op": op},
+                envelope("overloaded", "overloaded",
+                         retry_after=self._retry_after()), version)
         mutating = op in MUTATING_OPS
         if mutating:
             with self._inflight_lock:
@@ -596,8 +658,8 @@ class AllocationDaemon:
                 return response
         except ReproError as exc:
             self.metrics.observe_error()
-            payload: dict[str, object] = {"ok": False, "op": op,
-                                          "error": str(exc)}
+            payload: dict[str, object] = {"ok": False, "op": op}
+            attach_error(payload, envelope_of_exception(exc), version)
             # Structured self-describing errors, mirroring the
             # version-negotiation shape: tell the client what this
             # daemon *does* speak instead of a bare string.
@@ -647,7 +709,7 @@ class AllocationDaemon:
     def _dispatch(self, op: object, message: Mapping[str, object],
                   ctx: TraceContext) -> dict[str, object]:
         if self.closed:
-            raise ServiceError("daemon is shut down")
+            raise UnavailableError("daemon is shut down")
         if op == "place":
             return self._handle_place(message, ctx)
         if op == "place_batch":
@@ -786,6 +848,7 @@ class AllocationDaemon:
             if self.journal is not None:
                 with tracer.span("service.journal"):
                     self.journal.append(entry)
+            self._pool_apply(entry)
             self.metrics.observe_request(
                 str(response["decision"]), latency,
                 int(response.get("delay", 0)),
@@ -827,8 +890,8 @@ class AllocationDaemon:
         # Journal entries are only materialized when there is a journal
         # — building per-VM records for an in-memory daemon would eat
         # the round-trip savings batching exists to provide.
-        entries: list[dict[str, object]] | None = \
-            [] if self.journal is not None else None
+        entries: list[dict[str, object]] | None = [] \
+            if self.journal is not None or self._pool is not None else None
         total_delta = 0.0
         placed = delayed = 0
         with tracer.span("service.place_batch", batch=len(vms)) as span:
@@ -864,6 +927,11 @@ class AllocationDaemon:
                             server_id=item["server_id"],
                             delay=item["delay"])
                     entries.append(entry)
+                    # Worker replicas need every commit *before* the
+                    # next item's scan — decision i+1 observes commit i
+                    # — so batch items stream per-item, even though the
+                    # journal records the batch as one atomic group.
+                    self._pool_apply({"op": "place", **entry})
                 results[i] = item
                 self.metrics.observe_item(
                     perf_counter() - item_started,
@@ -872,7 +940,7 @@ class AllocationDaemon:
                 placed=placed, rejected=len(vms) - placed,
                 delayed=delayed, algorithm=algorithm)
             span.set(placed=placed)
-            if entries:
+            if entries and self.journal is not None:
                 # The trace ids ride the group header — one id for the
                 # whole batch episode, replayed verbatim on restore.
                 with tracer.span("service.journal"):
@@ -897,9 +965,10 @@ class AllocationDaemon:
                 f"got {now!r}")
         if now > self.store.clock:
             self.store.advance_to(now)
+            entry = {"op": "tick", **ctx.to_fields(), "now": now}
             if self.journal is not None:
-                self.journal.append({"op": "tick", **ctx.to_fields(),
-                                     "now": now})
+                self.journal.append(entry)
+            self._pool_apply(entry)
             self._maybe_consolidate()
         return {"ok": True, "op": "tick", "clock": self.store.clock,
                 "servers_active": self.store.servers_active(),
@@ -938,16 +1007,17 @@ class AllocationDaemon:
             self._rebuild_fleet()
             span.set(killed=report.killed, replaced=report.replaced,
                      lost=len(report.lost))
+            entry = {"op": "fail_server", **ctx.to_fields(),
+                     "server_id": server_id,
+                     "time": report.time,
+                     "replacements": [r.to_record()
+                                      for r in report.replacements]}
             if self.journal is not None:
                 # One atomic journal group per failure: the episode's
                 # every re-placement restores together or not at all.
                 with tracer.span("service.journal"):
-                    self.journal.append({
-                        "op": "fail_server", **ctx.to_fields(),
-                        "server_id": server_id,
-                        "time": report.time,
-                        "replacements": [r.to_record()
-                                         for r in report.replacements]})
+                    self.journal.append(entry)
+            self._pool_apply(entry)
             self.metrics.observe_failure(replaced=report.replaced,
                                          lost=len(report.lost))
             self._placed_since_snapshot += report.replaced
@@ -989,17 +1059,18 @@ class AllocationDaemon:
             self._last_consolidated_tick = report.time
             span.set(migrations=report.migrations,
                      servers_freed=report.servers_freed)
+            entry = {"op": "consolidate", **ctx.to_fields(),
+                     "time": report.time,
+                     "moves": [move.to_record()
+                               for move in report.moves]}
             if self.journal is not None:
                 # One atomic journal group per episode: all of its
                 # moves restore together or not at all. Zero-move
                 # episodes are journaled too — an on-demand episode may
                 # still have advanced the clock.
                 with tracer.span("service.journal"):
-                    self.journal.append({
-                        "op": "consolidate", **ctx.to_fields(),
-                        "time": report.time,
-                        "moves": [move.to_record()
-                                  for move in report.moves]})
+                    self.journal.append(entry)
+            self._pool_apply(entry)
             duration = perf_counter() - started
             self.metrics.observe_consolidation(
                 moves=report.migrations,
@@ -1067,10 +1138,11 @@ class AllocationDaemon:
         with tracer.span("service.recover_server", server_id=server_id):
             self.store.recover_server(server_id)
             self._rebuild_fleet()
+            entry = {"op": "recover_server", **ctx.to_fields(),
+                     "server_id": server_id}
             if self.journal is not None:
-                self.journal.append({"op": "recover_server",
-                                     **ctx.to_fields(),
-                                     "server_id": server_id})
+                self.journal.append(entry)
+            self._pool_apply(entry)
         return {"ok": True, "op": "recover_server",
                 "server_id": server_id, "clock": self.store.clock,
                 "servers_failed": self.store.servers_failed()}
@@ -1100,6 +1172,9 @@ class AllocationDaemon:
             self.journal.close()
         self.closed = True
         self.fleet.close()
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
         for hook in self._shutdown_hooks:
             hook()
         return {"ok": True, "op": "shutdown", "clock": self.store.clock}

@@ -15,7 +15,7 @@ keeps working byte-for-byte. The daemon speaks
 a versioned request. A version outside that tuple (or a non-integer
 ``v``) is answered with a structured error::
 
-    {"ok": false, "error": "...", "supported_versions": [1, 2]}
+    {"ok": false, "error": "...", "supported_versions": [1, 2, 3]}
 
 so clients can renegotiate instead of guessing. Version 2 adds the
 ``place_batch``, ``fail_server`` and ``recover_server`` operations;
@@ -23,6 +23,19 @@ everything in version 1 is unchanged. An unknown ``op`` is answered
 the same way — ``{"ok": false, "error": "...", "supported_ops":
 [...]}`` — so a client talking to an older daemon can discover what it
 actually speaks.
+
+Version 3 changes no operation vocabulary; it changes the *failure
+shape* and the *transport*:
+
+* every failure response to a v3 request carries the typed error
+  envelope ``{"ok": false, "error": {code, message, retryable[,
+  retry_after]}}`` (see :mod:`repro.service.errors`); v1/v2 requests
+  keep the historical bare-string ``error`` byte-for-byte;
+* v3 connections may speak the length-prefixed binary framing of
+  :mod:`repro.service.framing` — the async server sniffs the first
+  byte of each connection, so framed and line clients share one port;
+* the HTTP/REST gateway (:mod:`repro.service.gateway`) translates
+  ``POST /v1/place`` &c. onto these same operations at version 3.
 
 Operations
 ----------
@@ -129,10 +142,10 @@ __all__ = ["PROTOCOL_VERSION", "SUPPORTED_VERSIONS", "OPS",
            "dump_debug_request", "vm_to_record", "vm_from_record"]
 
 #: The newest protocol version this build speaks.
-PROTOCOL_VERSION = 2
+PROTOCOL_VERSION = 3
 
 #: Every version the daemon accepts; requests without ``"v"`` are v1.
-SUPPORTED_VERSIONS = (1, 2)
+SUPPORTED_VERSIONS = (1, 2, 3)
 
 #: Every operation the daemon understands (``place_batch``,
 #: ``fail_server``, ``recover_server``, ``consolidate``, ``telemetry``

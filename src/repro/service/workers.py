@@ -1,0 +1,319 @@
+"""Process-per-shard scan workers: candidate scans beyond the GIL.
+
+The daemon's feasibility scans fan out over a
+:class:`~repro.placement.sharding.ShardedFleet` of threads — fine for
+the numpy engine (which releases the GIL inside its peak queries) but
+serialized for pure-Python probe work. A :class:`WorkerPool` moves the
+scan fan-out into worker *processes*: each worker boots a full
+:class:`~repro.service.state.ClusterStateStore` replica from a
+snapshot of the primary and then applies the daemon's journal-entry
+stream (:func:`repro.service.replication.apply_entry`) mutation by
+mutation, so every replica tracks the primary bit-for-bit.
+
+Determinism
+-----------
+A scan request ships the VM and a chunk of ``(ordinal, server_id)``
+pairs; the worker maps the ids onto its replica's live states, runs
+the allocator's own :meth:`~repro.allocators.base.Allocator._scan_shard`
+and returns a :class:`ShardScan` in portable form (ids, not state
+objects). The coordinator folds the per-shard results with the exact
+``(score, scan ordinal)`` reduction of
+:meth:`~repro.allocators.base.Allocator.select_sharded` — the scan
+*sequence* (shuffles, rotations, static pruning) and all stateful
+hooks (``choose``, round-robin cursors, RNG draws) stay on the
+coordinator — so placements are bit-identical to the in-process scan.
+
+Ordering is carried by the pipes: the daemon's commit lock serializes
+mutations and scans, and each worker's pipe delivers FIFO, so a
+replica always applies commit *i* before it can see the scan for
+decision *i + 1*.
+
+:class:`WorkerFleet` is the drop-in ``ShardedFleet`` subclass the
+daemon builds when ``scan_processes > 0``; its :meth:`remote_scans`
+method is the dispatch hook ``select_sharded`` probes for.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import os
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+from repro.allocators.batch import ShardScan
+from repro.exceptions import ServiceError, ValidationError
+from repro.placement.sharding import ShardedFleet
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only imports
+    from repro.allocators.base import Allocator
+    from repro.allocators.state import ServerState
+    from repro.model.vm import VM
+
+__all__ = ["WorkerFleet", "WorkerPool"]
+
+
+def _worker_main(conn, document: Mapping[str, object], algorithm: str,
+                 seed: object, algo_params: Mapping[str, object],
+                 parent_pid: int) -> None:
+    """One scan worker: replica store + allocator, driven over a pipe.
+
+    Messages are ``(kind, payload)`` tuples. ``apply`` entries mutate
+    the replica (fire-and-forget; the primary already committed).
+    ``scan`` requests answer with ``("ok", result_dict)`` or
+    ``("error", message)``; a replica poisoned by a failed apply
+    reports the poisoning on the next scan instead of serving stale
+    state.
+    """
+    # Deferred imports keep the child's boot line self-contained under
+    # the spawn start method.
+    from time import perf_counter
+
+    from repro.allocators.registry import make_allocator
+    from repro.service.replication import apply_entry
+    from repro.service.state import ClusterStateStore
+    from repro.workload.trace import vm_from_record
+
+    store = ClusterStateStore.from_snapshot(document)
+    # Same precedence as the daemon: explicit algo_params win over the
+    # daemon-level seed/policy defaults.
+    params: dict[str, object] = {"seed": seed, "policy": store.policy,
+                                 **dict(algo_params)}
+    allocator = make_allocator(algorithm, **params)
+    states: dict[int, object] = {}
+    poisoned: str | None = None
+
+    def refresh() -> None:
+        states.clear()
+        for state in store.live_states():
+            states[state.server.server_id] = state
+
+    refresh()
+    # Under fork the worker inherits a copy of the primary's pipe end,
+    # so a SIGKILLed primary never EOFs this pipe; watch the parent pid
+    # instead (re-parenting to init/subreaper signals the death).
+    # ``parent_pid`` comes from the primary itself — reading getppid()
+    # here would race a primary that dies during worker boot.
+    while True:
+        try:
+            while not conn.poll(1.0):
+                if os.getppid() != parent_pid:
+                    return
+            kind, payload = conn.recv()
+        except (EOFError, OSError):
+            return
+        if kind == "close":
+            return
+        if kind == "apply":
+            try:
+                if apply_entry(store, payload).fleet_changed:
+                    refresh()
+            except Exception as exc:  # replica diverged: poison it
+                poisoned = f"{type(exc).__name__}: {exc}"
+            continue
+        if kind != "scan":
+            conn.send(("error", f"unknown worker message {kind!r}"))
+            continue
+        if poisoned is not None:
+            conn.send(("error", f"replica poisoned by failed apply: "
+                                f"{poisoned}"))
+            continue
+        try:
+            vm_record, chunk = payload
+            vm = vm_from_record(vm_record)
+            started = perf_counter()
+            scan = allocator._scan_shard(
+                vm, [(ordinal, states[server_id])
+                     for ordinal, server_id in chunk])
+            elapsed = perf_counter() - started
+            conn.send(("ok", {
+                "winner": None if scan.winner is None
+                else scan.winner.server.server_id,
+                "key": scan.key,
+                "ordinal": scan.ordinal,
+                "feasible": [state.server.server_id
+                             for state in scan.feasible],
+                "evaluated": scan.evaluated,
+                "admissible": scan.admissible,
+                "elapsed": elapsed,
+            }))
+        except Exception as exc:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+
+
+class WorkerPool:
+    """A fixed set of scan worker processes with bit-exact replicas.
+
+    Parameters
+    ----------
+    document:
+        The primary store's snapshot at pool start
+        (``store.to_snapshot()``); every worker boots its replica from
+        it.
+    algorithm / seed / algo_params:
+        The daemon's allocator configuration — each worker constructs
+        the same allocator so shard scans score candidates identically.
+    processes:
+        Worker count. Scan chunks are routed round-robin by shard
+        index, so any relation between shard count and worker count
+        works; matching them keeps every worker busy.
+    """
+
+    def __init__(self, document: Mapping[str, object], *,
+                 algorithm: str, seed: object = None,
+                 algo_params: Mapping[str, object] | None = None,
+                 processes: int = 1) -> None:
+        if processes < 1:
+            raise ValidationError(
+                f"processes must be >= 1, got {processes}")
+        # Fork is cheap and keeps the snapshot out of the pickle path;
+        # fall back to spawn where fork is unavailable.
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn")
+        self._workers: list[tuple[object, object]] = []
+        self._closed = False
+        for _ in range(processes):
+            parent, child = ctx.Pipe()
+            process = ctx.Process(
+                target=_worker_main,
+                args=(child, dict(document), algorithm, seed,
+                      dict(algo_params or {}), os.getpid()),
+                daemon=True, name="repro-scan-worker")
+            process.start()
+            child.close()
+            self._workers.append((process, parent))
+
+    def __len__(self) -> int:
+        return len(self._workers)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def apply(self, entry: Mapping[str, object]) -> None:
+        """Stream one committed journal-shaped entry to every replica.
+
+        Fire-and-forget: the primary already holds the committed truth,
+        and pipe FIFO ordering guarantees the entry lands before any
+        scan request sent after it.
+        """
+        if self._closed:
+            return
+        message = ("apply", dict(entry))
+        for _, conn in self._workers:
+            conn.send(message)
+
+    def scan(self, vm_record: Mapping[str, object],
+             chunks: Sequence[Sequence[tuple[int, int]]]
+             ) -> list[dict[str, object]]:
+        """Scan ``chunks`` of ``(ordinal, server_id)`` pairs in parallel.
+
+        Chunk ``i`` goes to worker ``i % len(pool)``; all requests are
+        written before any reply is read, so distinct workers overlap.
+        Returns one result dict per chunk, in chunk order.
+        """
+        if self._closed:
+            raise ServiceError("scan worker pool is closed")
+        assigned: list[list[int]] = [[] for _ in self._workers]
+        for i, chunk in enumerate(chunks):
+            assigned[i % len(self._workers)].append(i)
+        for worker, indices in enumerate(assigned):
+            conn = self._workers[worker][1]
+            for i in indices:
+                conn.send(("scan", (dict(vm_record), list(chunks[i]))))
+        results: list[dict[str, object] | None] = [None] * len(chunks)
+        for worker, indices in enumerate(assigned):
+            conn = self._workers[worker][1]
+            for i in indices:
+                try:
+                    status, payload = conn.recv()
+                except (EOFError, OSError) as exc:
+                    raise ServiceError(
+                        f"scan worker {worker} died mid-scan: "
+                        f"{exc!r}") from exc
+                if status != "ok":
+                    raise ServiceError(f"scan worker {worker} failed: "
+                                       f"{payload}")
+                results[i] = payload
+        return results  # type: ignore[return-value]
+
+    def close(self, *, timeout: float = 5.0) -> None:
+        """Stop every worker (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for _, conn in self._workers:
+            try:
+                conn.send(("close", None))
+            except (BrokenPipeError, OSError):
+                pass
+        for process, conn in self._workers:
+            process.join(timeout)
+            if process.is_alive():  # pragma: no cover - stuck worker
+                process.terminate()
+                process.join(timeout)
+            conn.close()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class WorkerFleet(ShardedFleet):
+    """A sharded fleet whose shard scans run on a :class:`WorkerPool`.
+
+    Everything else — the contiguous partition, per-shard locks, the
+    commit path's ``position_of``/``lock_for`` — is inherited;
+    :meth:`~repro.allocators.base.Allocator.select_sharded` detects
+    :meth:`remote_scans` and routes the chunks here instead of the
+    thread pool, while keeping its deterministic fold. The pool is
+    owned by the daemon (it outlives fleet rebuilds on
+    failure/recovery/consolidation), so :meth:`close` leaves it alone.
+    """
+
+    def __init__(self, states: Sequence["ServerState"], *,
+                 pool: WorkerPool, shards: int = 1,
+                 max_workers: int | None = None,
+                 on_scan_time=None) -> None:
+        super().__init__(states, shards=shards, max_workers=max_workers,
+                         on_scan_time=on_scan_time)
+        self.pool = pool
+        self._by_id = {state.server.server_id: state
+                       for state in self.states}
+
+    def remote_scans(self, allocator: "Allocator", vm: "VM",
+                     chunks: Sequence[Sequence[tuple[int, "ServerState"]]]
+                     ) -> list[ShardScan]:
+        """Run every non-empty chunk on the worker pool.
+
+        Mirrors :meth:`ShardedFleet.map_scans`: results come back for
+        the non-empty chunks only, in ascending shard order, and each
+        scan's wall-clock feeds ``on_scan_time``. State objects cross
+        the process boundary as server ids and come back mapped onto
+        *this* fleet's states, so the coordinator-side fold (and
+        ``choose`` for collect-mode allocators) sees its own objects.
+        """
+        from repro.workload.trace import vm_to_record
+
+        live = [i for i, chunk in enumerate(chunks) if chunk]
+        id_chunks = [[(ordinal, state.server.server_id)
+                      for ordinal, state in chunks[i]] for i in live]
+        raw = self.pool.scan(vm_to_record(vm), id_chunks)
+        scans: list[ShardScan] = []
+        for result in raw:
+            if self.on_scan_time is not None:
+                self.on_scan_time(float(result["elapsed"]))
+            winner_id = result["winner"]
+            scans.append(ShardScan(
+                winner=None if winner_id is None
+                else self._by_id[winner_id],
+                key=float(result["key"]) if result["key"] is not None
+                else math.inf,
+                ordinal=int(result["ordinal"]),
+                feasible=[self._by_id[server_id]
+                          for server_id in result["feasible"]],
+                evaluated=int(result["evaluated"]),
+                admissible=int(result["admissible"])))
+        return scans

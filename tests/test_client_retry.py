@@ -15,7 +15,7 @@ from repro.exceptions import (
     TransportError,
     ValidationError,
 )
-from repro.service import AllocationClient, ClientConfig, DaemonClient
+from repro.service import AllocationClient, ClientConfig
 
 
 class FakeConnection:
@@ -124,7 +124,7 @@ class TestTransportRetry:
         client, live, _ = make_client(
             [[ConnectionResetError("peer reset")], [ok_line()]],
             ClientConfig(retries=1))
-        assert client.request({"op": "ping"})["ok"] is True
+        assert client._request({"op": "ping"})["ok"] is True
         assert live[0].closed  # broken connection was torn down
 
     def test_exhausted_budget_raises_transport_error(self):
@@ -184,7 +184,7 @@ class TestOverloaded:
         client, _, delays = make_client(
             [[overloaded_line(retry_after=0.7), ok_line()]],
             ClientConfig(retries=1, backoff=0.01))
-        assert client.request({"op": "tick", "now": 3})["ok"] is True
+        assert client._request({"op": "tick", "now": 3})["ok"] is True
         assert delays == [0.7]  # daemon hint dominates the backoff
 
     def test_backoff_dominates_small_retry_after(self):
@@ -215,7 +215,7 @@ class TestTerminalErrors:
                             "supported_ops": ["place"]}) + "\n"
         client, live, delays = make_client(
             [[error, ok_line()]], ClientConfig(retries=5))
-        response = client.request({"op": "nope"})
+        response = client._request({"op": "nope"})
         assert response["ok"] is False
         assert response["supported_ops"] == ["place"]
         assert delays == []  # no retry budget consumed
@@ -234,7 +234,34 @@ class TestTerminalErrors:
                              connect=lambda: FakeConnection([]))
 
 
-class TestAlias:
-    def test_daemon_client_is_the_zero_retry_alias(self):
-        assert DaemonClient is AllocationClient
+class TestSurface:
+    def test_daemon_client_alias_is_gone(self):
+        import repro.service as service
+
+        assert not hasattr(service, "DaemonClient")
         assert ClientConfig().retries == 0
+
+    def test_raw_request_is_deprecated_but_works(self):
+        client, _, _ = make_client([[ok_line(op="ping")]], ClientConfig())
+        with pytest.warns(DeprecationWarning, match="typed"):
+            assert client.request({"op": "ping"})["ok"] is True
+
+    def test_v3_envelope_classifies_overload(self):
+        line = json.dumps({"ok": False, "error": {
+            "code": "overloaded", "message": "shed", "retryable": True,
+            "retry_after": 0.4}}) + "\n"
+        client, _, delays = make_client(
+            [[line, ok_line()]], ClientConfig(retries=1, backoff=0.01))
+        assert client.ping()["ok"] is True
+        assert delays == [0.4]
+
+    def test_v3_terminal_envelope_is_not_retried(self):
+        line = json.dumps({"ok": False, "error": {
+            "code": "bad_request", "message": "no vm",
+            "retryable": False}}) + "\n"
+        client, live, delays = make_client(
+            [[line, ok_line()]], ClientConfig(retries=5))
+        response = client._request({"op": "place"})
+        assert response["ok"] is False
+        assert delays == []
+        assert len(live[0].sent) == 1

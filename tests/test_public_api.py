@@ -107,7 +107,6 @@ EXPECTED_ALL = [
     "AllocationDaemon",
     "ClientConfig",
     "ClusterStateStore",
-    "DaemonClient",
     "PlacementResult",
     "ReplaySummary",
     "STATUSES",
@@ -115,6 +114,8 @@ EXPECTED_ALL = [
     "consolidate_request",
     "place_batch_request",
     "replay_trace",
+    "serve_async",
+    "start_gateway",
     "SimulationEngine",
     "simulate_online",
     "BurstyWorkload",
@@ -157,9 +158,23 @@ class TestExports:
                      "fail_server_request", "recover_server_request"):
             assert name in service.__all__, name
             assert hasattr(service, name), name
-        assert service.DaemonClient is service.AllocationClient
+        assert not hasattr(service, "DaemonClient")
         for op in ("fail_server", "recover_server"):
             assert op in service.OPS
+
+    def test_service_v3_surface_pinned(self):
+        import repro.service as service
+
+        for name in ("AsyncDaemonServer", "serve_async", "GatewayServer",
+                     "start_gateway", "WorkerPool", "WorkerFleet",
+                     "encode_frame", "read_frame", "write_frame",
+                     "FrameDecoder", "FRAME_MAGIC", "CODES", "envelope",
+                     "error_fields", "http_status_of", "apply_entry",
+                     "AppliedEntry"):
+            assert name in service.__all__, name
+            assert hasattr(service, name), name
+        assert 3 in service.SUPPORTED_VERSIONS
+        assert service.PROTOCOL_VERSION == 3
 
     def test_service_consolidation_surface_pinned(self):
         import repro.service as service
@@ -188,7 +203,7 @@ class TestExports:
         for name in ("MinIncrementalEnergy", "FirstFitPowerSaving",
                      "Cluster", "VM", "Allocation", "SimulationEngine",
                      "Trace", "ScenarioConfig", "AllocationDaemon",
-                     "ClusterStateStore", "DaemonClient"):
+                     "ClusterStateStore", "AllocationClient"):
             assert name in repro.__all__
 
     def test_key_functions_exposed(self):

@@ -17,7 +17,7 @@ from repro.service import (
     OPS,
     AllocationDaemon,
     ClusterStateStore,
-    DaemonClient,
+    AllocationClient,
     RequestJournal,
     SnapshotManager,
     parse_request,
@@ -412,7 +412,7 @@ class TestEndToEndTCP:
         metrics_server = start_metrics_server(daemon, port=0)
         metrics_port = metrics_server.server_address[1]
         try:
-            with DaemonClient(host, port) as client:
+            with AllocationClient(host, port) as client:
                 assert client.ping()["ok"]
                 summary = replay_trace(client, vms)
                 assert summary.placed == 60
@@ -453,8 +453,8 @@ class TestEndToEndTCP:
         thread = threading.Thread(target=server.serve_forever, daemon=True)
         thread.start()
         try:
-            with DaemonClient(host, port) as client:
-                response = client.request({"op": "place"})  # missing vm
+            with AllocationClient(host, port) as client:
+                response = client._request({"op": "place"})  # missing vm
                 assert response["ok"] is False
                 assert "vm" in response["error"]
         finally:

@@ -22,7 +22,7 @@ from repro.service import (
     SUPPORTED_VERSIONS,
     AllocationDaemon,
     ClusterStateStore,
-    DaemonClient,
+    AllocationClient,
     negotiate_version,
     place_batch_request,
     place_request,
@@ -51,7 +51,7 @@ class TestVersionNegotiation:
         for version in SUPPORTED_VERSIONS:
             assert negotiate_version({"v": version}) == version
 
-    @pytest.mark.parametrize("bad", [3, 0, -1, "2", 2.0, True, None, []])
+    @pytest.mark.parametrize("bad", [4, 0, -1, "2", 2.0, True, None, []])
     def test_unsupported_or_malformed_rejected(self, bad):
         with pytest.raises(ProtocolVersionError) as excinfo:
             negotiate_version({"v": bad})
@@ -71,10 +71,12 @@ class TestVersionNegotiation:
     def test_unknown_version_gets_structured_error(self):
         daemon = fresh_daemon()
         response = json.loads(
-            daemon.handle_line(encode({"op": "ping", "v": 3})))
+            daemon.handle_line(encode({"op": "ping", "v": 99})))
         assert response["ok"] is False
         assert response["supported_versions"] == list(SUPPORTED_VERSIONS)
-        assert "3" in response["error"]
+        # v >= 3 requests read the typed envelope
+        assert response["error"]["code"] == "unsupported_version"
+        assert "99" in response["error"]["message"]
 
     def test_malformed_version_gets_structured_error(self):
         daemon = fresh_daemon()
@@ -128,7 +130,7 @@ class TestPlaceBatch:
         vms = [make_vm(1, 0, 5), make_vm(1, 2, 6)]
         response = daemon.handle(place_batch_request(vms))
         assert response["ok"] is False
-        assert "vm_id 1" in response["error"]
+        assert "vm_id 1" in response["error"]["message"]
         assert len(daemon.store.placements) == 0  # nothing committed
 
     def test_duplicate_against_committed_rejects_whole_batch(self):
@@ -138,7 +140,7 @@ class TestPlaceBatch:
         response = daemon.handle(
             place_batch_request([make_vm(8, 0, 4), make_vm(7, 5, 9)]))
         assert response["ok"] is False
-        assert "vm_id 7" in response["error"]
+        assert "vm_id 7" in response["error"]["message"]
         assert len(daemon.store.placements) == 1  # vm8 was not committed
 
     def test_rejections_are_counted_not_fatal(self):
@@ -235,7 +237,7 @@ class TestBatchOverTCP:
         server = self._serve(batched)
         host, port = server.server_address
         try:
-            with DaemonClient(host, port) as client:
+            with AllocationClient(host, port) as client:
                 summary = replay_trace(client, vms, batch=30)
                 assert summary.offered == 100
                 assert summary.placed + summary.rejected == 100
@@ -256,11 +258,11 @@ class TestBatchOverTCP:
         server = self._serve(daemon)
         host, port = server.server_address
         try:
-            with DaemonClient(host, port) as client:
+            with AllocationClient(host, port) as client:
                 vms = generate_vms(8, mean_interarrival=2.0, seed=3)
                 response = client.place_batch(vms)
-                assert response["ok"] and response["v"] == 2
-                bad = client.request({"op": "ping", "v": 99})
+                assert response["ok"] and response["v"] == 3
+                bad = client._request({"op": "ping", "v": 99})
                 assert bad["ok"] is False
                 assert bad["supported_versions"] == \
                     list(SUPPORTED_VERSIONS)

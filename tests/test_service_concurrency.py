@@ -19,7 +19,7 @@ from repro.model.cluster import Cluster
 from repro.service import (
     AllocationDaemon,
     ClusterStateStore,
-    DaemonClient,
+    AllocationClient,
     serve_tcp,
 )
 from repro.service.metrics import (
@@ -167,7 +167,7 @@ class TestConcurrentClients:
         outcomes: list[dict[str, object]] = []
 
         def worker(index: int) -> None:
-            with DaemonClient(host, port) as client:
+            with AllocationClient(host, port) as client:
                 response = client.place_batch(batches[index])
                 assert response["ok"], response
                 outcomes.append(response)

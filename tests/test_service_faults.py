@@ -257,7 +257,7 @@ class TestDaemonFailureOps:
         assert bad_time["ok"] is False and "time" in bad_time["error"]
         unknown = daemon.handle(fail_server_request(99))
         assert unknown["ok"] is False and "unknown server" in \
-            unknown["error"]
+            unknown["error"]["message"]
 
     def test_dead_server_is_excluded_from_placement(self):
         store = ClusterStateStore(Cluster.homogeneous(SPEC, 2))

@@ -1,0 +1,285 @@
+"""Protocol v3: binary framing, connection sniffing, the typed error
+envelope, and cross-protocol parity (v1 lines == v3 frames == REST)."""
+
+from __future__ import annotations
+
+import io
+import json
+import socket
+import urllib.request
+
+import pytest
+
+from repro.exceptions import ServiceError
+from repro.model.cluster import Cluster
+from repro.service import (
+    AllocationClient,
+    AllocationDaemon,
+    ClusterStateStore,
+    FrameDecoder,
+    encode_frame,
+    place_request,
+    read_frame,
+    serve_async,
+    start_gateway,
+    write_frame,
+)
+from repro.service.framing import FRAME_MAGIC, HEADER_SIZE, MAX_FRAME
+from repro.workload.generator import generate_vms
+
+
+def fresh_daemon(n_servers: int = 20, **kwargs) -> AllocationDaemon:
+    store = ClusterStateStore(Cluster.paper_all_types(n_servers))
+    return AllocationDaemon(store, algorithm="min-energy", **kwargs)
+
+
+class TestFraming:
+    def test_round_trip(self):
+        payload = b'{"op": "ping"}'
+        frame = encode_frame(payload)
+        assert frame[0] == FRAME_MAGIC
+        assert len(frame) == HEADER_SIZE + len(payload)
+        stream = io.BytesIO(frame)
+        assert read_frame(stream) == payload
+
+    def test_write_then_read(self):
+        stream = io.BytesIO()
+        write_frame(stream, b"abc")
+        write_frame(stream, b"")
+        stream.seek(0)
+        assert read_frame(stream) == b"abc"
+        assert read_frame(stream) == b""
+        assert read_frame(stream) is None  # clean EOF
+
+    def test_truncated_frame_is_an_error(self):
+        frame = encode_frame(b"hello")
+        with pytest.raises(ServiceError):
+            read_frame(io.BytesIO(frame[:-2]))
+        with pytest.raises(ServiceError):
+            read_frame(io.BytesIO(frame[:3]))  # torn header
+
+    def test_bad_magic_rejected(self):
+        frame = bytearray(encode_frame(b"x"))
+        frame[0] = 0x7B  # '{' — a JSON-lines byte
+        with pytest.raises(ServiceError):
+            read_frame(io.BytesIO(bytes(frame)))
+
+    def test_oversized_length_rejected(self):
+        header = bytes([FRAME_MAGIC, 0x03]) + (MAX_FRAME + 1).to_bytes(4, "big")
+        with pytest.raises(ServiceError):
+            read_frame(io.BytesIO(header))
+
+    def test_decoder_handles_byte_dribble(self):
+        frames = [encode_frame(f"payload-{i}".encode()) for i in range(3)]
+        blob = b"".join(frames)
+        decoder = FrameDecoder()
+        seen: list[bytes] = []
+        for i in range(len(blob)):
+            seen.extend(decoder.feed(blob[i:i + 1]))
+        assert seen == [f"payload-{i}".encode() for i in range(3)]
+        assert decoder.pending == 0
+
+    def test_decoder_handles_coalesced_frames(self):
+        frames = [encode_frame(b"a"), encode_frame(b"bb")]
+        decoder = FrameDecoder()
+        assert decoder.feed(b"".join(frames)) == [b"a", b"bb"]
+
+
+class TestSniffingServer:
+    """One async port serves JSON lines and v3 frames side by side."""
+
+    def _serve(self):
+        daemon = fresh_daemon()
+        server = serve_async(daemon)
+        return daemon, server
+
+    def test_lines_and_frames_share_one_port(self):
+        daemon, server = self._serve()
+        host, port = server.address
+        try:
+            with socket.create_connection((host, port), timeout=10) as raw:
+                raw.sendall(b'{"op": "ping"}\n')
+                reply = raw.makefile("r", encoding="utf-8").readline()
+                assert json.loads(reply)["ok"] is True
+            with socket.create_connection((host, port), timeout=10) as raw:
+                raw.sendall(encode_frame(
+                    json.dumps({"op": "ping", "v": 3}).encode()))
+                stream = raw.makefile("rb")
+                response = json.loads(read_frame(stream))
+                assert response["ok"] is True and response["v"] == 3
+        finally:
+            server.stop()
+
+    def test_framed_connection_is_persistent(self):
+        daemon, server = self._serve()
+        host, port = server.address
+        vms = generate_vms(5, mean_interarrival=2.0, seed=4)
+        try:
+            with AllocationClient(*server.address,
+                                  framing="frames") as client:
+                for vm in vms:
+                    assert client.place(vm)["ok"]
+                assert client.stats()["placed"] == 5
+        finally:
+            server.stop()
+
+    def test_v1_client_is_byte_unaware_of_v3(self):
+        """A v1 JSON-lines exchange over the async server matches the
+        blocking transport's bytes (modulo the timing field)."""
+        daemon, server = self._serve()
+        reference = fresh_daemon()
+        vm = generate_vms(1, mean_interarrival=2.0, seed=7)[0]
+        try:
+            with socket.create_connection(server.address,
+                                          timeout=10) as raw:
+                raw.sendall((json.dumps(place_request(vm)) + "\n").encode())
+                line = raw.makefile("r", encoding="utf-8").readline()
+        finally:
+            server.stop()
+        over_wire = json.loads(line)
+        direct = json.loads(reference.handle_line(
+            json.dumps(place_request(vm))))
+        over_wire.pop("latency_ms", None)
+        direct.pop("latency_ms", None)
+        assert over_wire == direct
+        assert "v" not in over_wire  # v1 requests get no version echo
+
+    def test_error_shapes_per_generation(self):
+        daemon = fresh_daemon()
+        v1 = daemon.handle({"op": "tick", "now": -1})
+        assert isinstance(v1["error"], str)
+        assert "retry_after" not in v1
+        v3 = daemon.handle({"op": "tick", "now": -1, "v": 3})
+        assert v3["error"]["code"] == "bad_request"
+        assert v3["error"]["retryable"] is False
+        unknown = daemon.handle({"op": "nope", "v": 3})
+        assert unknown["error"]["code"] == "unknown_op"
+        assert unknown["supported_ops"]  # self-description stays top-level
+
+
+class TestAsyncChaosSoak:
+    """The chaos vocabulary against the async server: a retrying
+    framed client streams placements while a FaultInjector fails,
+    recovers, consolidates and pulls debug dumps mid-stream."""
+
+    def test_fault_injection_over_async_frames(self, tmp_path):
+        from repro.service import ClientConfig, FaultEvent, FaultInjector
+        from repro.workload.trace import vm_from_record, vm_to_record
+
+        vms = []
+        for vm in generate_vms(30, mean_interarrival=1.0, seed=17):
+            record = vm_to_record(vm)
+            record["vm_id"] = 10_000 + 100 * vm.vm_id
+            vms.append(vm_from_record(record))
+        daemon = fresh_daemon(20, data_dir=tmp_path, fsync=False,
+                              shards=2)
+        server = serve_async(daemon)
+        try:
+            with AllocationClient(*server.address, framing="frames",
+                                  config=ClientConfig(retries=3,
+                                                      backoff=0.01)
+                                  ) as client:
+                injector = FaultInjector([
+                    FaultEvent(after=8, kind="fail", server_id=0),
+                    FaultEvent(after=14, kind="dump_debug"),
+                    FaultEvent(after=16, kind="recover", server_id=0),
+                    FaultEvent(after=22, kind="consolidate"),
+                ], client)
+                for position, vm in enumerate(vms):
+                    injector.fire_due(position)
+                    assert client.place(vm)["ok"]
+                injector.drain()
+                assert injector.pending == ()
+                assert all(r["ok"] for _, r in injector.responses)
+                stats = client.stats()
+                assert stats["placed"] == len(vms)
+                assert stats["servers_failed"] == 0
+        finally:
+            server.stop()
+        # the journal replays to the same fleet state
+        restored = AllocationDaemon.restore(tmp_path)
+        assert dict(restored.store.placements) == \
+            dict(daemon.store.placements)
+        assert restored.store.energy_accumulated == \
+            daemon.store.energy_accumulated
+
+
+class TestCrossProtocolParity:
+    """The same workload through v1 lines, v3 frames and the REST
+    gateway produces identical decisions, journal bytes and counters."""
+
+    def _run_lines(self, daemon, server, vms, ids):
+        with AllocationClient(*server.address) as client:
+            return [client._request({**place_request(vm), **ids(i)})
+                    for i, vm in enumerate(vms)]
+
+    def _run_frames(self, daemon, server, vms, ids):
+        with AllocationClient(*server.address,
+                              framing="frames") as client:
+            return [client._request({**place_request(vm), **ids(i)})
+                    for i, vm in enumerate(vms)]
+
+    def _run_gateway(self, daemon, gateway, vms, ids):
+        port = gateway.server_address[1]
+        out = []
+        for i, vm in enumerate(vms):
+            fields = ids(i)
+            body = json.dumps(
+                {"vm": place_request(vm)["vm"]}).encode()
+            req = urllib.request.Request(
+                f"http://127.0.0.1:{port}/v1/place", data=body,
+                headers={"X-Trace-Id": fields["trace_id"],
+                         "X-Request-Id": fields["request_id"]},
+                method="POST")
+            with urllib.request.urlopen(req, timeout=10) as resp:
+                out.append(json.load(resp))
+        return out
+
+    def test_three_transports_one_truth(self, tmp_path):
+        vms = generate_vms(25, mean_interarrival=1.5, seed=11)
+
+        def ids(i: int) -> dict[str, str]:
+            return {"trace_id": f"{i:032x}", "request_id": f"{i:016x}"}
+
+        responses = {}
+        daemons = {}
+        for mode in ("lines", "frames", "gateway"):
+            daemon = fresh_daemon(15, data_dir=tmp_path / mode,
+                                  fsync=False)
+            daemons[mode] = daemon
+            if mode == "gateway":
+                gateway = start_gateway(daemon)
+                try:
+                    responses[mode] = self._run_gateway(
+                        daemon, gateway, vms, ids)
+                finally:
+                    gateway.shutdown()
+            else:
+                server = serve_async(daemon)
+                run = self._run_lines if mode == "lines" \
+                    else self._run_frames
+                try:
+                    responses[mode] = run(daemon, server, vms, ids)
+                finally:
+                    server.stop()
+
+        def decisions(mode):
+            return [(r["vm_id"], r.get("decision"), r.get("server_id"))
+                    for r in responses[mode]]
+
+        assert decisions("lines") == decisions("frames") \
+            == decisions("gateway")
+        base = daemons["lines"]
+        for mode in ("frames", "gateway"):
+            other = daemons[mode]
+            assert dict(other.store.placements) == \
+                dict(base.store.placements)
+            assert other.store.energy_accumulated == \
+                base.store.energy_accumulated
+            assert other.metrics.requests == base.metrics.requests
+
+        journal_bytes = {
+            mode: (tmp_path / mode / "journal.jsonl").read_bytes()
+            for mode in responses}
+        assert journal_bytes["lines"] == journal_bytes["frames"] \
+            == journal_bytes["gateway"]

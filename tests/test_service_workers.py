@@ -1,0 +1,227 @@
+"""Process-per-shard scan workers: bit-exact equivalence with the
+in-process scan, replica streaming across every mutating op, and
+crash recovery with a pool attached."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ServiceError, ValidationError
+from repro.model.cluster import Cluster
+from repro.service import (
+    AllocationDaemon,
+    ClusterStateStore,
+    WorkerPool,
+    consolidate_request,
+    fail_server_request,
+    place_batch_request,
+    place_request,
+    recover_server_request,
+)
+from repro.workload.generator import generate_vms
+from repro.workload.trace import vm_from_record, vm_to_record
+
+
+def fresh_daemon(n_servers: int = 24, **kwargs) -> AllocationDaemon:
+    store = ClusterStateStore(Cluster.paper_all_types(n_servers))
+    return AllocationDaemon(store, **kwargs)
+
+
+def workload(count: int, seed: int):
+    """A workload whose vm ids cannot collide with the synthetic
+    head/remainder ids a failure replacement mints (max + 1, so the
+    ids are spaced out to leave minting room between arrivals)."""
+    out = []
+    for vm in generate_vms(count, mean_interarrival=1.0, seed=seed):
+        record = vm_to_record(vm)
+        record["vm_id"] = 10_000 + 100 * vm.vm_id
+        out.append(vm_from_record(record))
+    return out
+
+
+def drive(daemon: AllocationDaemon, vms) -> list[tuple]:
+    """One mixed workload: places, a failure, a recovery, a batch and
+    a consolidation, returning the decision trail."""
+    trail = []
+    third = len(vms) // 3
+    for vm in vms[:third]:
+        r = daemon.handle(place_request(vm))
+        trail.append((r["vm_id"], r.get("decision"), r.get("server_id")))
+    r = daemon.handle(fail_server_request(1))
+    trail.append(("fail", tuple(sorted(
+        (m["vm_id"], m.get("server_id")) for m in r["replacements"]))))
+    for vm in vms[third:2 * third]:
+        r = daemon.handle(place_request(vm))
+        trail.append((r["vm_id"], r.get("decision"), r.get("server_id")))
+    r = daemon.handle(recover_server_request(1))
+    trail.append(("recover", r["ok"]))
+    r = daemon.handle(place_batch_request(vms[2 * third:]))
+    trail.append(("batch", tuple(
+        (d["vm_id"], d.get("decision"), d.get("server_id"))
+        for d in r["decisions"])))
+    r = daemon.handle(consolidate_request())
+    trail.append(("consolidate", tuple(
+        (m["vm_id"], m["source_id"], m["target_id"])
+        for m in r["moves"])))
+    return trail
+
+
+class TestPoolEquivalence:
+    @pytest.mark.parametrize("algorithm",
+                             ["min-energy", "ffps", "random-fit"])
+    def test_pooled_daemon_is_bit_identical(self, algorithm):
+        vms = workload(60, seed=13)
+        plain = fresh_daemon(algorithm=algorithm, seed=5, shards=4)
+        pooled = fresh_daemon(algorithm=algorithm, seed=5, shards=4,
+                              scan_processes=2)
+        try:
+            assert pooled._pool is not None and len(pooled._pool) == 2
+            assert drive(plain, vms) == drive(pooled, vms)
+            assert dict(plain.store.placements) == \
+                dict(pooled.store.placements)
+            assert plain.store.energy_accumulated == \
+                pooled.store.energy_accumulated  # bit-identical
+        finally:
+            pooled.handle({"op": "shutdown"})
+            plain.handle({"op": "shutdown"})
+
+    def test_shutdown_closes_the_pool(self):
+        daemon = fresh_daemon(shards=2, scan_processes=2)
+        pool = daemon._pool
+        assert pool is not None and not pool.closed
+        daemon.handle({"op": "shutdown"})
+        assert daemon._pool is None and pool.closed
+
+    def test_single_shard_daemon_skips_the_pool(self):
+        daemon = fresh_daemon(shards=1, scan_processes=2)
+        try:
+            assert daemon._pool is None
+        finally:
+            daemon.handle({"op": "shutdown"})
+
+
+class TestPoolValidation:
+    def test_processes_must_be_positive(self):
+        store = ClusterStateStore(Cluster.paper_all_types(4))
+        with pytest.raises(ValidationError):
+            WorkerPool(store.to_snapshot(), algorithm="min-energy",
+                       processes=0)
+
+    def test_negative_scan_processes_rejected(self):
+        store = ClusterStateStore(Cluster.paper_all_types(4))
+        with pytest.raises(ValidationError):
+            AllocationDaemon(store, scan_processes=-1)
+
+    def test_closed_pool_refuses_scans(self):
+        store = ClusterStateStore(Cluster.paper_all_types(4))
+        with WorkerPool(store.to_snapshot(), algorithm="min-energy",
+                        processes=1) as pool:
+            pass
+        assert pool.closed
+        with pytest.raises(ServiceError):
+            pool.scan({"vm_id": 0}, [[(0, 0)]])
+        pool.close()  # idempotent
+
+
+class TestOrphanReaping:
+    def test_workers_exit_when_primary_is_sigkilled(self, tmp_path):
+        """Forked workers inherit a copy of the primary's pipe end, so
+        SIGKILL never EOFs their pipes — the parent-pid watchdog must
+        reap them anyway."""
+        import os
+        import signal
+        import subprocess
+        import sys
+        import time
+
+        script = (
+            "import os, sys, time\n"
+            "sys.path.insert(0, os.environ['REPRO_SRC'])\n"
+            "from repro.model.cluster import Cluster\n"
+            "from repro.service import AllocationDaemon, "
+            "ClusterStateStore\n"
+            "daemon = AllocationDaemon("
+            "ClusterStateStore(Cluster.paper_all_types(6)), "
+            "shards=2, scan_processes=2)\n"
+            "print(' '.join(str(p.pid) "
+            "for p, _ in daemon._pool._workers), flush=True)\n"
+            "time.sleep(60)\n")
+        src = os.path.join(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))), "src")
+        primary = subprocess.Popen(
+            [sys.executable, "-c", script],
+            stdout=subprocess.PIPE, text=True,
+            env={**os.environ, "REPRO_SRC": src})
+        try:
+            worker_pids = [int(p) for p in
+                           primary.stdout.readline().split()]
+            assert len(worker_pids) == 2
+        finally:
+            primary.send_signal(signal.SIGKILL)
+        primary.wait(10)
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            alive = []
+            for pid in worker_pids:
+                try:
+                    os.kill(pid, 0)
+                except ProcessLookupError:
+                    continue
+                alive.append(pid)
+            if not alive:
+                break
+            time.sleep(0.2)
+        assert not alive, f"orphaned scan workers survived: {alive}"
+
+
+class TestCrashRecoveryWithPool:
+    def test_kill_and_restore_keeps_bit_exactness(self, tmp_path):
+        """A pooled daemon crashes mid-stream; the restore rebuilds the
+        pool (scan_processes rides in the config) and the continued
+        run matches an uninterrupted pooled daemon bit-for-bit."""
+        vms = workload(40, seed=21)
+        crashy = fresh_daemon(shards=3, scan_processes=2, seed=2,
+                              data_dir=tmp_path / "crashy", fsync=False)
+        trail = []
+        try:
+            for vm in vms[:22]:
+                r = crashy.handle(place_request(vm))
+                trail.append((r["vm_id"], r.get("decision"),
+                              r.get("server_id")))
+            crashy.handle(fail_server_request(2))
+        finally:
+            # Simulated crash: drop the daemon, keep the journal. The
+            # pool is orphaned; its daemonic workers die with the test.
+            crashy._pool.close()
+
+        restored = AllocationDaemon.restore(tmp_path / "crashy")
+        try:
+            assert int(restored.config["scan_processes"]) == 2
+            assert restored._pool is not None
+            for vm in vms[22:]:
+                r = restored.handle(place_request(vm))
+                trail.append((r["vm_id"], r.get("decision"),
+                              r.get("server_id")))
+        finally:
+            restored.handle({"op": "shutdown"})
+
+        straight = fresh_daemon(shards=3, scan_processes=2, seed=2)
+        expected = []
+        try:
+            for vm in vms[:22]:
+                r = straight.handle(place_request(vm))
+                expected.append((r["vm_id"], r.get("decision"),
+                                 r.get("server_id")))
+            straight.handle(fail_server_request(2))
+            for vm in vms[22:]:
+                r = straight.handle(place_request(vm))
+                expected.append((r["vm_id"], r.get("decision"),
+                                 r.get("server_id")))
+        finally:
+            straight.handle({"op": "shutdown"})
+
+        assert trail == expected
+        assert dict(restored.store.placements) == \
+            dict(straight.store.placements)
+        assert restored.store.energy_accumulated == \
+            straight.store.energy_accumulated
