@@ -9,10 +9,12 @@ stdout capture active) and writes them under ``benchmarks/results/``.
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 _RESULTS: list[tuple[str, str]] = []
 _RESULTS_DIR = Path(__file__).parent / "results"
+_REPO_ROOT = Path(__file__).parent.parent
 
 
 def record_result(name: str, text: str) -> None:
@@ -20,6 +22,20 @@ def record_result(name: str, text: str) -> None:
     _RESULTS.append((name, text))
     _RESULTS_DIR.mkdir(exist_ok=True)
     (_RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def record_json(name: str, payload: dict) -> None:
+    """Write a machine-readable summary to ``BENCH_<name>.json`` at the
+    repo root.
+
+    The pytest-benchmark ``--benchmark-json`` dumps only ever lived as
+    workflow artifacts, which expire — so perf history was invisible
+    across PRs. These compact summaries are committed with the change
+    that produced them, giving every scale point a tracked trajectory
+    in plain git log.
+    """
+    path = _REPO_ROOT / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
 
 def pytest_terminal_summary(terminalreporter):

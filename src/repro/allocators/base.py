@@ -33,7 +33,7 @@ import numpy as np
 from repro.allocators.batch import Decision, ShardScan
 from repro.allocators.state import ServerState
 from repro.energy.cost import SleepPolicy
-from repro.exceptions import AllocationError, ValidationError
+from repro.exceptions import AllocationError
 from repro.model.allocation import Allocation
 from repro.model.cluster import Cluster
 from repro.model.constraints import PlacementConstraints
@@ -44,9 +44,10 @@ from repro.obs.explain import (
     PlacementExplanation,
 )
 from repro.obs.tracer import get_tracer
+from repro.placement.config import EngineConfig
 from repro.placement.feasibility import Feasibility
 from repro.placement.index import CandidateIndex
-from repro.placement.occupancy import DEFAULT_ENGINE, ENGINES
+from repro.placement.kernels import FeasibilityBatch, FleetKernel
 from repro.placement.sharding import ShardedFleet
 
 __all__ = ["Allocator"]
@@ -65,10 +66,14 @@ class Allocator(abc.ABC):
         Sleep policy used when evaluating energy costs during allocation
         (the paper's rule, :attr:`SleepPolicy.OPTIMAL`, by default).
     engine:
-        Placement engine for the per-server occupancy index:
-        ``"indexed"`` (sparse skyline + fleet candidate index, the
-        default) or ``"dense"`` (the original numpy timeline, kept as the
-        equivalence oracle).
+        An :class:`~repro.placement.config.EngineConfig` selecting the
+        occupancy backend (``"indexed"`` sparse skyline — the default —
+        or the ``"dense"`` numpy oracle), whether scans may use the
+        vectorized fleet-probe kernel, and an optional shard-count
+        hint. ``None`` means the default config. Passing the engine as
+        a bare string still works but is deprecated (it warns; use
+        ``EngineConfig`` or, for config files/CLIs,
+        :meth:`EngineConfig.parse`).
     """
 
     #: Registry name; subclasses must override.
@@ -93,14 +98,14 @@ class Allocator(abc.ABC):
 
     def __init__(self, *, seed: int | None = None,
                  policy: SleepPolicy = SleepPolicy.OPTIMAL,
-                 engine: str = DEFAULT_ENGINE) -> None:
-        if engine not in ENGINES:
-            raise ValidationError(
-                f"unknown placement engine {engine!r}; "
-                f"valid engines: {ENGINES}")
+                 engine: EngineConfig | str | None = None) -> None:
         self._rng = np.random.default_rng(seed)
         self._policy = policy
-        self.engine = engine
+        #: the resolved engine configuration (occupancy backend, batch
+        #: kernel toggle, shard hint)
+        self.engine_config = EngineConfig.coerce(engine)
+        #: the occupancy backend name (kept for compatibility)
+        self.engine = self.engine_config.engine
         self._index: CandidateIndex | None = None
         self._constraints: PlacementConstraints | None = None
         self._placed_ids: dict[int, int] = {}
@@ -131,7 +136,7 @@ class Allocator(abc.ABC):
         """
         ordered = self.order_vms(list(vms))
         states = [ServerState(server, policy=self._policy,
-                              engine=self.engine)
+                              engine=self.engine_config)
                   for server in cluster]
         self.prepare(states)
         self._constraints = constraints
@@ -168,7 +173,8 @@ class Allocator(abc.ABC):
 
     def allocate_batch(self, vms: Iterable[VM], cluster: Cluster,
                        constraints: PlacementConstraints | None = None, *,
-                       shards: int = 1, max_workers: int | None = None
+                       shards: int | None = None,
+                       max_workers: int | None = None
                        ) -> list[Decision]:
         """Place a whole batch; returns one :class:`Decision` per VM.
 
@@ -184,8 +190,11 @@ class Allocator(abc.ABC):
         ``shards`` partitions (``max_workers`` threads); the reduction
         is deterministic (score, then scan ordinal — see
         :meth:`select_sharded`), so the placements and their Eq.-17
-        energy are bit-identical for every shard count.
+        energy are bit-identical for every shard count. ``shards=None``
+        falls back to the :class:`EngineConfig` hint (default 1).
         """
+        if shards is None:
+            shards = self.engine_config.shards or 1
         items = list(vms)
         ordered = self.order_vms(list(items))
         # Decisions map back to the request order; identity-keyed so a
@@ -195,7 +204,7 @@ class Allocator(abc.ABC):
         for i, vm in enumerate(items):
             slots.setdefault(id(vm), []).append(i)
         states = [ServerState(server, policy=self._policy,
-                              engine=self.engine)
+                              engine=self.engine_config)
                   for server in cluster]
         self.prepare(states)
         self._constraints = constraints
@@ -291,6 +300,84 @@ class Allocator(abc.ABC):
             return index.spec_admits(vm)
         return None
 
+    # -- batch-kernel scans --------------------------------------------------
+
+    def _kernel_for(self, states: Sequence[ServerState]
+                    ) -> FleetKernel | None:
+        """The fleet-probe kernel, when the prepared index covers
+        ``states`` and the engine config enables it."""
+        index = self._index
+        if index is not None and index.covers(states):
+            return index.kernel
+        return None
+
+    def _probe_candidates(self, vm: VM, states: Sequence[ServerState]
+                          ) -> FeasibilityBatch | None:
+        """Batch-probe the statically-admitted candidates in fleet order.
+
+        One :meth:`~repro.placement.kernels.FleetKernel.probe_fleet`
+        call replacing the per-server Python probe loop; ``None`` when
+        the kernel is unavailable (dense engine, foreign fleet,
+        ``kernel=off``) — callers then run their scalar scan.
+        """
+        kernel = self._kernel_for(states)
+        if kernel is None:
+            return None
+        return kernel.probe_fleet(
+            vm, self._index.candidate_positions(vm))
+
+    def _admissible_rows(self, vm: VM,
+                         batch: FeasibilityBatch) -> np.ndarray:
+        """Candidate rows that are feasible *and* constraint-allowed.
+
+        Maintains the selection counters exactly like a scalar sweep
+        that probes every candidate: all rows count as evaluated, the
+        admissible ones as feasible.
+        """
+        self.candidates_evaluated += len(batch)
+        rows = batch.feasible_indices()
+        constraints = self._constraints
+        if constraints is not None and rows.size:
+            placed = self._placed_ids
+            rows = np.fromiter(
+                (i for i in rows if constraints.allows(
+                    vm.vm_id, batch.state_at(i).server.server_id,
+                    placed)),
+                dtype=np.intp)
+        self.candidates_feasible += int(rows.size)
+        return rows
+
+    def _kernel_first(self, vm: VM, kernel: FleetKernel,
+                      positions: np.ndarray) -> int | None:
+        """First admissible candidate along ``positions`` (scan order).
+
+        Batch-probes the scan in growing waves and walks each wave's
+        verdicts in order, so the counters match the scalar
+        short-circuit walk exactly: every candidate up to and including
+        the winner counts as evaluated, only the winner as feasible,
+        and candidates past the winner — probed speculatively by the
+        wave — are not counted at all. Returns the winner's index into
+        ``positions``.
+        """
+        constraints = self._constraints
+        placed = self._placed_ids
+        total = int(positions.size)
+        lo, wave = 0, 64
+        while lo < total:
+            hi = min(total, lo + wave)
+            batch = kernel.probe_fleet(vm, positions[lo:hi])
+            for j in map(int, batch.feasible_indices()):
+                state = batch.state_at(j)
+                if constraints is not None and not constraints.allows(
+                        vm.vm_id, state.server.server_id, placed):
+                    continue
+                self.candidates_evaluated += j + 1
+                self.candidates_feasible += 1
+                return lo + j
+            self.candidates_evaluated += hi - lo
+            lo, wave = hi, min(wave * 4, 2048)
+        return None
+
     # -- explain-traces ------------------------------------------------------
 
     def candidate_score(self, vm: VM, state: ServerState) -> float | None:
@@ -315,9 +402,24 @@ class Allocator(abc.ABC):
         embedded :meth:`select` run — what the algorithm itself probed,
         not the exhaustive explain sweep.
         """
+        # With the kernel available the whole-fleet feasibility sweep is
+        # one batch probe whose verdicts (and reason strings) are
+        # materialized lazily per candidate; the scalar fallback probes
+        # each server. Either way the explain output is identical.
+        kernel = self._kernel_for(states)
+        batch = kernel.probe_fleet(vm) if kernel is not None else None
+        constraints = self._constraints
         pre: list[tuple[str | None, object, float | None]] = []
-        for state in states:
-            reason = self.inadmissible_reason(vm, state)
+        for i, state in enumerate(states):
+            if batch is not None:
+                reason = batch.reason(i)
+                if reason is None and constraints is not None \
+                        and not constraints.allows(
+                            vm.vm_id, state.server.server_id,
+                            self._placed_ids):
+                    reason = "constraint"
+            else:
+                reason = self.inadmissible_reason(vm, state)
             if reason is None:
                 pre.append((None, state.cost_terms(vm),
                             self.candidate_score(vm, state)))
@@ -345,10 +447,17 @@ class Allocator(abc.ABC):
         """Build the fleet candidate index, then run :meth:`on_prepare`.
 
         Called once per fleet before any placement. The index is only
-        built for the indexed engine; the dense oracle path scans plainly.
+        built for the indexed engine; the dense oracle path scans
+        plainly. When the :class:`EngineConfig` enables the batch
+        kernel, the index also builds the
+        :class:`~repro.placement.kernels.FleetKernel` over the fleet's
+        skylines and its incremental per-type candidate queues; both
+        stay in sync through the state watcher protocol, so repeated
+        fleet rebuilds re-run this cheaply.
         """
         if states and states[0].engine == "indexed":
-            self._index = CandidateIndex(states)
+            self._index = CandidateIndex(
+                states, kernel=self.engine_config.use_kernel)
         else:
             self._index = None
         self.on_prepare(states)
@@ -380,7 +489,20 @@ class Allocator(abc.ABC):
                 states: Sequence[ServerState]) -> ServerState | None:
         """Default selection: gather all admissible servers, delegate to
         :meth:`choose`. First-fit-style algorithms override this to stop
-        at the first admissible server in their scan order."""
+        at the first admissible server in their scan order.
+
+        With the fleet-probe kernel available, the admissible set comes
+        from one vectorized :meth:`_probe_candidates` sweep instead of
+        a per-server probe loop — same candidates in the same fleet
+        order, so :meth:`choose` (including random fit's RNG draw) sees
+        an identical list.
+        """
+        batch = self._probe_candidates(vm, states)
+        if batch is not None:
+            rows = self._admissible_rows(vm, batch)
+            if not rows.size:
+                return None
+            return self.choose(vm, [batch.state_at(int(i)) for i in rows])
         feasible = [st for st in self._candidates(vm, states)
                     if self._examine(vm, st) is not None]
         if not feasible:
@@ -455,6 +577,12 @@ class Allocator(abc.ABC):
         in the returned :class:`ShardScan`, summed by the caller.
         """
         mode = self.scan_mode
+        kernel = self._index.kernel if self._index is not None else None
+        if kernel is not None and chunk:
+            positions = kernel.positions_of([st for _, st in chunk])
+            if positions is not None:
+                return self._scan_shard_kernel(vm, chunk, kernel,
+                                               positions)
         constraints = self._constraints
         placed = self._placed_ids
         tol = self._shard_tie_tol
@@ -485,6 +613,68 @@ class Allocator(abc.ABC):
         return ShardScan(winner=winner, key=winner_key,
                          ordinal=winner_ordinal, feasible=feasible,
                          evaluated=evaluated, admissible=admissible)
+
+    def _scan_shard_kernel(self, vm: VM,
+                           chunk: Sequence[tuple[int, ServerState]],
+                           kernel: FleetKernel,
+                           positions: np.ndarray) -> ShardScan:
+        """:meth:`_scan_shard` served by one batch probe per shard.
+
+        The chunk's candidates are probed in a single
+        ``probe_fleet`` call; the mode logic then replays the scalar
+        walk over the batch verdicts, so winners, keys and counters are
+        identical — ``first`` mode in particular still counts only the
+        candidates up to its winner, not the speculatively probed rest.
+        """
+        mode = self.scan_mode
+        constraints = self._constraints
+        placed = self._placed_ids
+        batch = kernel.probe_fleet(vm, positions)
+        rows = batch.feasible_indices()
+        if constraints is not None and rows.size:
+            rows = np.fromiter(
+                (i for i in rows if constraints.allows(
+                    vm.vm_id, chunk[i][1].server.server_id, placed)),
+                dtype=np.intp)
+        if mode == "first":
+            if rows.size:
+                j = int(rows[0])
+                return ShardScan(winner=chunk[j][1],
+                                 key=float(chunk[j][0]),
+                                 ordinal=chunk[j][0],
+                                 evaluated=j + 1, admissible=1)
+            return ShardScan(evaluated=len(chunk), admissible=0)
+        if mode == "collect":
+            return ShardScan(feasible=[chunk[int(i)][1] for i in rows],
+                             evaluated=len(chunk),
+                             admissible=int(rows.size))
+        # "score": fold the admissible rows in scan order with the
+        # strict-improvement band, exactly like the scalar incumbent.
+        tol = self._shard_tie_tol
+        keys = self.shard_keys(vm, batch)
+        winner: ServerState | None = None
+        winner_key = math.inf
+        winner_ordinal = -1
+        for i in map(int, rows):
+            key = (float(keys[i]) if keys is not None
+                   else self.shard_key(vm, chunk[i][1], batch[i]))
+            if winner is None or key < winner_key - tol:
+                winner, winner_key = chunk[i][1], key
+                winner_ordinal = chunk[i][0]
+        return ShardScan(winner=winner, key=winner_key,
+                         ordinal=winner_ordinal, evaluated=len(chunk),
+                         admissible=int(rows.size))
+
+    def shard_keys(self, vm: VM,
+                   batch: FeasibilityBatch) -> np.ndarray | None:
+        """Vectorized :meth:`shard_key` over a probe batch (score mode).
+
+        ``None`` (the default) makes the kernel shard scan fall back to
+        per-candidate :meth:`shard_key` calls on lazily materialized
+        verdicts; score-mode allocators whose key derives from the
+        batch arrays override this to stay fully vectorized.
+        """
+        return None
 
     def _reduce_shards(self, vm: VM,
                        scans: Sequence[ShardScan]) -> ServerState | None:

@@ -13,10 +13,13 @@ from __future__ import annotations
 import math
 from typing import Sequence
 
+import numpy as np
+
 from repro.allocators.base import Allocator
 from repro.allocators.state import ServerState
 from repro.model.vm import VM
 from repro.placement.feasibility import Feasibility
+from repro.placement.kernels import FeasibilityBatch
 
 __all__ = ["BestFit", "residual_score"]
 
@@ -27,6 +30,17 @@ def _residual(spec, verdict: Feasibility, vm: VM) -> float:
     spare_mem = (spec.memory_capacity - verdict.peak_mem - vm.memory) \
         / spec.memory_capacity
     return spare_cpu + spare_mem
+
+
+def _residuals(batch: FeasibilityBatch, vm: VM) -> np.ndarray:
+    """Vectorized :func:`_residual` over a probe batch.
+
+    ``headroom = cap - peak`` in the batch, so ``(headroom - vm) / cap``
+    applies the identical left-associated float64 operations the scalar
+    expression does — bit-identical scores.
+    """
+    return (batch.headroom_cpu - vm.cpu) / batch.cpu_cap \
+        + (batch.headroom_mem - vm.memory) / batch.mem_cap
 
 
 def residual_score(state: ServerState, vm: VM) -> float:
@@ -52,8 +66,20 @@ class BestFit(Allocator):
                   verdict: Feasibility) -> float:
         return _residual(state.server.spec, verdict, vm)
 
+    def shard_keys(self, vm: VM, batch: FeasibilityBatch) -> np.ndarray:
+        return _residuals(batch, vm)
+
     def _select(self, vm: VM,
                 states: Sequence[ServerState]) -> ServerState | None:
+        batch = self._probe_candidates(vm, states)
+        if batch is not None:
+            rows = self._admissible_rows(vm, batch)
+            if not rows.size:
+                return None
+            # argmin returns the first minimum, matching the scalar
+            # strict-< incumbent walk's first-wins tie-break.
+            pick = rows[int(np.argmin(_residuals(batch, vm)[rows]))]
+            return batch.state_at(int(pick))
         # The probe verdict already carries the interval peaks, so scoring
         # is free: one pass, no second peak query per candidate.
         best: ServerState | None = None

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from typing import Sequence
 
+import numpy as np
+
 from repro.allocators.base import Allocator
 from repro.allocators.state import ServerState
 from repro.model.vm import VM
@@ -32,6 +34,9 @@ class FirstFitPowerSaving(Allocator):
         order = self._rng.permutation(len(states))
         self._scan = [states[i] for i in order]
         self._rank = {id(st): i for i, st in enumerate(self._scan)}
+        #: the shuffled order as fleet positions (the permutation
+        #: itself), for the batch-kernel first-fit walk
+        self._scan_pos = order.astype(np.intp)
 
     def candidate_score(self, vm: VM, state: ServerState) -> float | None:
         """Explain-trace score: position in the shuffled scan order."""
@@ -39,6 +44,15 @@ class FirstFitPowerSaving(Allocator):
 
     def _select(self, vm: VM,
                 states: Sequence[ServerState]) -> ServerState | None:
+        kernel = self._kernel_for(states)
+        if kernel is not None:
+            positions = self._scan_pos
+            mask = self._index.admitted_mask(vm)
+            if mask is not None:
+                positions = positions[mask[positions]]
+            i = self._kernel_first(vm, kernel, positions)
+            return None if i is None \
+                else kernel.state_at(int(positions[i]))
         admits = self._spec_admits(vm, states)
         for state in self._scan:
             if admits is not None and not admits[id(state.server.spec)]:

@@ -31,6 +31,12 @@ class FirstFit(Allocator):
 
     def _select(self, vm: VM,
                 states: Sequence[ServerState]) -> ServerState | None:
+        kernel = self._kernel_for(states)
+        if kernel is not None:
+            positions = self._index.candidate_positions(vm)
+            i = self._kernel_first(vm, kernel, positions)
+            return None if i is None \
+                else kernel.state_at(int(positions[i]))
         for state in self._candidates(vm, states):
             if self._examine(vm, state) is not None:
                 return state

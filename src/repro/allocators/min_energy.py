@@ -28,6 +28,7 @@ change the answer, only skip losers:
 
 from __future__ import annotations
 
+import heapq
 import math
 from typing import Sequence
 
@@ -112,6 +113,9 @@ class MinIncrementalEnergy(Allocator):
         index = self._index
         if index is None or not index.covers(states):
             return super()._select(vm, states)
+        groups = index.groups_for(vm)
+        if groups is not None:
+            return self._select_queued(vm, states, groups)
         # Fused fleet-order scan (see module docstring): same winner and
         # same 1e-12 tie-breaking as probing every server, fewer probes.
         prune = self._policy in (SleepPolicy.OPTIMAL,
@@ -137,6 +141,73 @@ class MinIncrementalEnergy(Allocator):
                 continue
             if pristine:
                 probed_pristine.add(key)
+            delta = run + state.idle_delta(interval)
+            if delta < best_delta - _TIE_TOL:
+                best = state
+                best_delta = delta
+        return best
+
+    def _select_queued(self, vm: VM, states: Sequence[ServerState],
+                       groups) -> ServerState | None:
+        """The fused scan over the index's per-type candidate queues.
+
+        A k-way merge walks the admissible types' busy and pristine
+        position queues in ascending fleet position — i.e. exactly the
+        fleet-order walk of the fused scan, minus the candidates that
+        scan would have skipped without probing. The skips never enter
+        the merge at all:
+
+        * a type whose cached run cost reaches the incumbent's delta
+          (within the tie band) is dropped queue and all the moment it
+          surfaces — the lower bound is monotone, so it can never
+          re-qualify;
+        * once a type's pristine representative has been probed
+          admissible, the rest of its pristine queue is dropped in one
+          step (the clones are interchangeable).
+
+        Probes still go through :meth:`_examine` one winner-candidate
+        at a time, so the evaluated/feasible counters equal the fused
+        scan's to the probe. This is where the 10k-fleet speedup comes
+        from: the per-VM cost is proportional to the handful of probes,
+        not to the fleet size.
+        """
+        prune = self._policy in (SleepPolicy.OPTIMAL,
+                                 SleepPolicy.NEVER_SLEEP)
+        interval = vm.interval
+        best: ServerState | None = None
+        best_delta = math.inf
+        # Heap of queue cursors: (fleet position, queue kind, cursor,
+        # group). Positions are unique across all queues, so entries
+        # never tie and the group object is never compared.
+        heap: list = []
+        runs: dict[int, float] = {}
+        probed_pristine: set[int] = set()
+        for group in groups:
+            runs[id(group)] = run_energy(group.spec, vm)
+            if group.busy:
+                heap.append((group.busy[0], 0, 0, group))
+            if group.pristine:
+                heap.append((group.pristine[0], 1, 0, group))
+        heapq.heapify(heap)
+        while heap:
+            pos, kind, cursor, group = heapq.heappop(heap)
+            run = runs[id(group)]
+            if prune and run >= best_delta - _TIE_TOL:
+                # Drop this queue; the group's other queue is dropped
+                # the same way when it surfaces (best_delta only ever
+                # decreases, so the bound stays violated).
+                continue
+            if kind == 1 and id(group) in probed_pristine:
+                continue  # interchangeable clones: drop the whole queue
+            queue = group.busy if kind == 0 else group.pristine
+            if cursor + 1 < len(queue):
+                heapq.heappush(
+                    heap, (queue[cursor + 1], kind, cursor + 1, group))
+            state = states[pos]
+            if self._examine(vm, state) is None:
+                continue
+            if kind == 1:
+                probed_pristine.add(id(group))
             delta = run + state.idle_delta(interval)
             if delta < best_delta - _TIE_TOL:
                 best = state

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from typing import Sequence
 
+import numpy as np
+
 from repro.allocators.base import Allocator
 from repro.allocators.state import ServerState
 from repro.model.vm import VM
@@ -33,6 +35,10 @@ class PowerAwareFirstFit(Allocator):
             states,
             key=lambda st: (st.server.p_peak / st.server.cpu_capacity,
                             st.server.server_id))
+        #: the sorted order as fleet positions, for the kernel walk
+        pos_of = {id(st): i for i, st in enumerate(states)}
+        self._scan_pos = np.fromiter(
+            (pos_of[id(st)] for st in self._scan), dtype=np.intp)
 
     def candidate_score(self, vm: VM, state: ServerState) -> float | None:
         """Explain-trace score: peak watts per compute unit."""
@@ -40,6 +46,15 @@ class PowerAwareFirstFit(Allocator):
 
     def _select(self, vm: VM,
                 states: Sequence[ServerState]) -> ServerState | None:
+        kernel = self._kernel_for(states)
+        if kernel is not None:
+            positions = self._scan_pos
+            mask = self._index.admitted_mask(vm)
+            if mask is not None:
+                positions = positions[mask[positions]]
+            i = self._kernel_first(vm, kernel, positions)
+            return None if i is None \
+                else kernel.state_at(int(positions[i]))
         admits = self._spec_admits(vm, states)
         for state in self._scan:
             if admits is not None and not admits[id(state.server.spec)]:

@@ -24,7 +24,8 @@ from repro.allocators.random_fit import RandomFit
 from repro.allocators.round_robin import RoundRobin
 from repro.allocators.worst_fit import WorstFit
 from repro.energy.cost import SleepPolicy
-from repro.exceptions import AllocatorConfigError
+from repro.exceptions import AllocatorConfigError, ValidationError
+from repro.placement.config import EngineConfig
 
 __all__ = ["ALLOCATORS", "make_allocator", "allocator_names"]
 
@@ -61,8 +62,11 @@ def make_allocator(name: str, **params: Any) -> Allocator:
     All keyword ``params`` are forwarded to the constructor; common ones
     (``seed``, ``policy``, ``engine``) are accepted by every algorithm,
     and extensions may add their own. ``policy`` may be given as the
-    :class:`SleepPolicy` value string (e.g. ``"never-sleep"``) — handy
-    when the parameters come from a CLI or a config file.
+    :class:`SleepPolicy` value string (e.g. ``"never-sleep"``) and
+    ``engine`` as an :class:`EngineConfig` spec string (e.g.
+    ``"dense"``, ``"indexed:kernel=off"``) — this is the sanctioned
+    string entry point for CLIs and config files, so no deprecation
+    fires here.
 
     Raises
     ------
@@ -84,6 +88,12 @@ def make_allocator(name: str, **params: Any) -> Allocator:
             raise AllocatorConfigError(
                 f"unknown sleep policy {policy!r}; valid policies: "
                 f"{[p.value for p in SleepPolicy]}") from None
+    engine = params.get("engine")
+    if isinstance(engine, str):
+        try:
+            params["engine"] = EngineConfig.parse(engine)
+        except ValidationError as exc:
+            raise AllocatorConfigError(str(exc)) from None
     accepted = _accepted_params(cls)
     unknown = sorted(set(params) - set(accepted))
     if unknown:

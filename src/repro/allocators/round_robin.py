@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from typing import Sequence
 
+import numpy as np
+
 from repro.allocators.base import Allocator
 from repro.allocators.state import ServerState
 from repro.model.vm import VM
@@ -39,6 +41,23 @@ class RoundRobin(Allocator):
     def _select(self, vm: VM,
                 states: Sequence[ServerState]) -> ServerState | None:
         n = len(states)
+        kernel = self._kernel_for(states)
+        if kernel is not None and n:
+            rotation = np.concatenate(
+                (np.arange(self._next, n, dtype=np.intp),
+                 np.arange(0, self._next, dtype=np.intp)))
+            offsets = np.arange(n, dtype=np.intp)
+            mask = self._index.admitted_mask(vm)
+            if mask is not None:
+                keep = mask[rotation]
+                rotation, offsets = rotation[keep], offsets[keep]
+            i = self._kernel_first(vm, kernel, rotation)
+            if i is None:
+                return None
+            # Advance past the chosen slot; statically-skipped servers
+            # keep their rotation offsets, exactly as if probed.
+            self._next = (self._next + int(offsets[i]) + 1) % n
+            return kernel.state_at(int(rotation[i]))
         admits = self._spec_admits(vm, states)
         for offset in range(n):
             state = states[(self._next + offset) % n]

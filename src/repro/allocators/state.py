@@ -27,6 +27,7 @@ replacements.
 from __future__ import annotations
 
 import bisect
+import weakref
 
 from repro.energy.cost import SleepPolicy, gap_cost, server_cost
 from repro.energy.power import run_energy
@@ -37,6 +38,7 @@ from repro.model.phases import demand_profile
 from repro.model.server import Server
 from repro.model.vm import VM
 from repro.obs.explain import CostTerms
+from repro.placement.config import EngineConfig
 from repro.placement.feasibility import Feasibility
 from repro.placement.occupancy import DEFAULT_ENGINE, make_occupancy
 
@@ -51,18 +53,53 @@ class ServerState:
 
     def __init__(self, server: Server, *,
                  policy: SleepPolicy = SleepPolicy.OPTIMAL,
-                 engine: str = DEFAULT_ENGINE) -> None:
+                 engine: EngineConfig | str = DEFAULT_ENGINE) -> None:
         self.server = server
         self.policy = policy
+        # ServerState is internal plumbing, so both forms are accepted
+        # silently here; the public constructors (allocators, the
+        # service store) own the legacy-string deprecation.
+        config = EngineConfig.coerce(engine, warn=False)
+        self.engine_config = config
         #: which occupancy backend answers probes ("indexed" or "dense")
-        self.engine = engine
+        self.engine = config.engine
         self.vms: list[VM] = []
         #: merged, sorted busy segments as parallel start/end lists
         self._busy_starts: list[int] = []
         self._busy_ends: list[int] = []
-        self._occ = make_occupancy(engine)
+        self._occ = make_occupancy(config.engine)
         #: running Eq.-17 total (run + busy idle + gaps + initial wake)
         self.cost: float = 0.0
+        #: weakly-held observers notified after every mutation (the
+        #: fleet-probe kernel and the incremental candidate index).
+        self._watchers: list[weakref.ref] = []
+
+    # -- change notification -------------------------------------------------
+
+    def add_watcher(self, watcher: object) -> None:
+        """Register ``watcher`` for mutation notifications.
+
+        Watchers implement ``server_state_changed(state)`` and are held
+        weakly: a replaced index/kernel (fleet rebuilds re-run
+        ``prepare``) is dropped on the next notification instead of
+        leaking.
+        """
+        self._watchers.append(weakref.ref(watcher))
+
+    def _notify(self) -> None:
+        watchers = self._watchers
+        if not watchers:
+            return
+        dead = False
+        for ref in watchers:
+            watcher = ref()
+            if watcher is None:
+                dead = True
+            else:
+                watcher.server_state_changed(self)
+        if dead:
+            self._watchers = [ref for ref in watchers
+                              if ref() is not None]
 
     # -- capacity ----------------------------------------------------------
 
@@ -255,6 +292,7 @@ class ServerState:
         self._merge_in(vm.interval)
         self.vms.append(vm)
         self.cost += delta
+        self._notify()
         return delta
 
     def remove(self, vm: VM) -> float:
@@ -274,6 +312,7 @@ class ServerState:
             self._occ.subtract(piece.start, piece.end, cpu, memory)
         old_cost = self.cost
         self._rebuild()
+        self._notify()
         return old_cost - self.cost
 
     def retire(self, vm: VM, *, before: int | None = None) -> None:
@@ -297,6 +336,8 @@ class ServerState:
                 server_id=self.server.server_id) from None
         if before is not None:
             self.compact(before)
+        else:
+            self._notify()
 
     def compact(self, before: int) -> None:
         """Drop occupancy/segment detail strictly before time ``before``.
@@ -311,6 +352,7 @@ class ServerState:
         if past > 1:
             del self._busy_starts[: past - 1]
             del self._busy_ends[: past - 1]
+        self._notify()
 
     def _rebuild(self) -> None:
         """Recompute busy segments and cost from the current VM set."""

@@ -12,11 +12,14 @@ from __future__ import annotations
 import math
 from typing import Sequence
 
+import numpy as np
+
 from repro.allocators.base import Allocator
-from repro.allocators.best_fit import _residual, residual_score
+from repro.allocators.best_fit import _residual, _residuals, residual_score
 from repro.allocators.state import ServerState
 from repro.model.vm import VM
 from repro.placement.feasibility import Feasibility
+from repro.placement.kernels import FeasibilityBatch
 
 __all__ = ["WorstFit"]
 
@@ -37,8 +40,20 @@ class WorstFit(Allocator):
                   verdict: Feasibility) -> float:
         return -_residual(state.server.spec, verdict, vm)
 
+    def shard_keys(self, vm: VM, batch: FeasibilityBatch) -> np.ndarray:
+        return -_residuals(batch, vm)
+
     def _select(self, vm: VM,
                 states: Sequence[ServerState]) -> ServerState | None:
+        batch = self._probe_candidates(vm, states)
+        if batch is not None:
+            rows = self._admissible_rows(vm, batch)
+            if not rows.size:
+                return None
+            # argmax returns the first maximum — the scalar strict->
+            # walk's first-wins tie-break.
+            pick = rows[int(np.argmax(_residuals(batch, vm)[rows]))]
+            return batch.state_at(int(pick))
         best: ServerState | None = None
         best_score = -math.inf
         for state in self._candidates(vm, states):

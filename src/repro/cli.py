@@ -222,7 +222,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="extra allocator constructor parameter "
                               "(repeatable), e.g. --algo-param "
                               "policy=never-sleep --algo-param "
-                              "engine=dense")
+                              "engine=indexed:kernel=off (engine takes "
+                              "an EngineConfig spec string and also "
+                              "configures the cluster store)")
     p_serve.add_argument("--max-delay", type=int, default=0,
                          help="queue depth in ticks when the fleet is "
                               "full (0 = reject outright)")
@@ -736,10 +738,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     else:
         from repro.obs import SLOConfig
 
-        store = ClusterStateStore(Cluster.paper_all_types(args.servers))
+        # ``--algo-param engine=...`` (an EngineConfig spec string,
+        # e.g. "indexed:kernel=off") configures the store's planning
+        # states too, so the allocator and the fleet agree.
+        algo_params = _parse_algo_params(args.algo_param)
+        engine = algo_params.get("engine")
+        store = ClusterStateStore(
+            Cluster.paper_all_types(args.servers),
+            **({"engine": engine} if isinstance(engine, str) else {}))
         daemon = AllocationDaemon(
             store, algorithm=args.algorithm, seed=args.seed,
-            algo_params=_parse_algo_params(args.algo_param),
+            algo_params=algo_params,
             max_delay=args.max_delay, data_dir=args.data_dir,
             snapshot_every=args.snapshot_every, shards=args.shards,
             max_workers=args.workers, max_inflight=args.max_inflight,

@@ -19,7 +19,7 @@ from repro.allocators.state import ServerState
 from repro.energy.cost import SleepPolicy, server_cost
 from repro.exceptions import ValidationError
 from repro.model.vm import VM
-from repro.placement.occupancy import DEFAULT_ENGINE
+from repro.placement.config import EngineConfig
 
 __all__ = ["CostWeights", "WeightedMinEnergy"]
 
@@ -58,7 +58,7 @@ class WeightedMinEnergy(Allocator):
     def __init__(self, weights: CostWeights | None = None, *,
                  seed: int | None = None,
                  policy: SleepPolicy = SleepPolicy.OPTIMAL,
-                 engine: str = DEFAULT_ENGINE) -> None:
+                 engine: EngineConfig | str | None = None) -> None:
         super().__init__(seed=seed, policy=policy, engine=engine)
         self.weights = weights if weights is not None else CostWeights()
 

@@ -15,6 +15,17 @@ Explanations are plain frozen dataclasses with a JSON round-trip
 service protocol (``"explain": true`` on a ``place`` request) and into
 event logs unchanged. :func:`format_decision_table` renders a run's
 explanations as the per-VM table behind ``repro explain``.
+
+When the batch probe kernel is active, the explain sweep is one
+``FleetKernel.probe_fleet`` call and the per-candidate verdicts —
+including the reason *strings*, which only the explain path ever needs
+— are materialized lazily from the array-backed
+:class:`~repro.placement.kernels.FeasibilityBatch`
+(``batch.reason(i)``), so ``explain=True`` output is identical to the
+scalar sweep while the hot path never builds per-candidate objects.
+The evaluated/feasible counters keep reflecting the embedded
+``select`` run either way — what the algorithm probed, not the
+exhaustive explain sweep.
 """
 
 from __future__ import annotations

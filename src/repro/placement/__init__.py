@@ -9,14 +9,23 @@ single entry point every allocator uses to test a candidate server:
   :class:`~repro.placement.occupancy.DenseOccupancy` — the sparse
   change-point index and the dense numpy oracle it is tested against;
 * :class:`~repro.placement.index.CandidateIndex` — fleet-level static
-  pruning by server type.
+  pruning by server type, with incremental per-type candidate queues;
+* :class:`~repro.placement.kernels.FleetKernel` /
+  :class:`~repro.placement.kernels.FeasibilityBatch` — the vectorized
+  batch probe over a structure-of-arrays mirror of the fleet's
+  skylines;
+* :class:`~repro.placement.config.EngineConfig` — the frozen
+  engine/kernel/shards choice accepted wherever the old engine string
+  was.
 
 See ``docs/api.md`` ("Placement engine") for the replacements of the
 removed ``fits`` / ``fit_reason`` / ``peak_usage`` methods.
 """
 
+from repro.placement.config import EngineConfig
 from repro.placement.feasibility import Feasibility
 from repro.placement.index import CandidateIndex
+from repro.placement.kernels import FeasibilityBatch, FleetKernel
 from repro.placement.occupancy import (
     DEFAULT_ENGINE,
     ENGINES,
@@ -27,7 +36,10 @@ from repro.placement.occupancy import (
 from repro.placement.sharding import ShardedFleet, shard_bounds
 
 __all__ = [
+    "EngineConfig",
     "Feasibility",
+    "FeasibilityBatch",
+    "FleetKernel",
     "CandidateIndex",
     "SkylineOccupancy",
     "DenseOccupancy",

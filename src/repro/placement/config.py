@@ -1,0 +1,182 @@
+"""Engine selection as one frozen config object.
+
+Historically the placement engine was chosen by a bare string
+(``engine="indexed"`` / ``"dense"``) threaded through every constructor,
+and each speedup layer bolted on its own toggle next to it. An
+:class:`EngineConfig` collapses the whole choice — occupancy backend,
+batch probe kernel on/off, and a shard-count hint for sharded scans —
+into a single frozen value accepted everywhere the string used to be:
+:func:`~repro.allocators.registry.make_allocator`, the allocator and
+:class:`~repro.service.state.ClusterStateStore` constructors, and
+``repro serve --algo-param engine=...``.
+
+Two string forms exist:
+
+* the **spec string** (:meth:`EngineConfig.parse`) — the sanctioned
+  flat form for CLIs, config files and snapshots:
+  ``"indexed"``, ``"dense"``, ``"indexed:kernel=off"``,
+  ``"indexed:kernel=on,shards=8"``;
+* the **legacy ctor string** (``engine="dense"`` passed directly to a
+  constructor) — still works through :meth:`EngineConfig.coerce` but
+  emits a :class:`DeprecationWarning`; pass an :class:`EngineConfig`
+  (or a spec string where a spec string is documented) instead.
+
+Snapshots journal the active config (:meth:`to_record` /
+:meth:`from_record`) so a restored daemon picks the same engine and
+kernel setting it was running with.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.exceptions import ValidationError
+from repro.placement.occupancy import DEFAULT_ENGINE, ENGINES
+
+__all__ = ["EngineConfig"]
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """The placement-engine choice, as one immutable value.
+
+    Parameters
+    ----------
+    engine:
+        Occupancy backend: ``"indexed"`` (sparse skyline, the default)
+        or ``"dense"`` (numpy timeline oracle).
+    kernel:
+        Whether scans may use the vectorized fleet-probe kernel
+        (:class:`~repro.placement.kernels.FleetKernel`). ``None`` means
+        the engine default — on for ``"indexed"``, and necessarily off
+        for ``"dense"`` (the kernel mirrors skylines). Explicitly
+        requesting ``kernel=True`` on the dense engine is an error.
+    shards:
+        Optional shard-count hint for sharded scans; consumers that
+        build their own :class:`~repro.placement.sharding.ShardedFleet`
+        (``allocate_batch``, the service daemon) use it as the default
+        when no explicit shard count is given. ``None`` means no hint.
+    """
+
+    engine: str = DEFAULT_ENGINE
+    kernel: bool | None = None
+    shards: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.engine not in ENGINES:
+            raise ValidationError(
+                f"unknown placement engine {self.engine!r}; "
+                f"valid engines: {ENGINES}")
+        if self.kernel is True and self.engine != "indexed":
+            raise ValidationError(
+                "the batch probe kernel mirrors skyline occupancy and "
+                "needs engine='indexed'; drop kernel=True or switch "
+                "engines")
+        if self.shards is not None and self.shards < 1:
+            raise ValidationError(
+                f"shards hint must be >= 1, got {self.shards}")
+
+    @property
+    def use_kernel(self) -> bool:
+        """The resolved kernel toggle (engine default applied)."""
+        if self.kernel is None:
+            return self.engine == "indexed"
+        return self.kernel
+
+    @property
+    def spec(self) -> str:
+        """The canonical flat spec string (``parse`` round-trips it)."""
+        options = []
+        if self.kernel is not None:
+            options.append(f"kernel={'on' if self.kernel else 'off'}")
+        if self.shards is not None:
+            options.append(f"shards={self.shards}")
+        if not options:
+            return self.engine
+        return f"{self.engine}:{','.join(options)}"
+
+    @classmethod
+    def parse(cls, text: str) -> "EngineConfig":
+        """Build a config from a spec string (see module docstring).
+
+        This is the sanctioned string entry point — CLI values, config
+        files and snapshot records go through here and do **not**
+        trigger the legacy-string deprecation.
+        """
+        head, sep, tail = text.partition(":")
+        engine = head.strip()
+        kernel: bool | None = None
+        shards: int | None = None
+        if sep:
+            for item in tail.split(","):
+                key, eq, raw = item.partition("=")
+                key, raw = key.strip(), raw.strip()
+                if not eq:
+                    raise ValidationError(
+                        f"bad engine spec {text!r}: expected "
+                        f"key=value, got {item!r}")
+                if key == "kernel":
+                    if raw not in ("on", "off", "true", "false"):
+                        raise ValidationError(
+                            f"bad engine spec {text!r}: kernel must be "
+                            f"on/off, got {raw!r}")
+                    kernel = raw in ("on", "true")
+                elif key == "shards":
+                    try:
+                        shards = int(raw)
+                    except ValueError:
+                        raise ValidationError(
+                            f"bad engine spec {text!r}: shards must be "
+                            f"an integer, got {raw!r}") from None
+                else:
+                    raise ValidationError(
+                        f"bad engine spec {text!r}: unknown option "
+                        f"{key!r} (valid: kernel, shards)")
+        return cls(engine=engine, kernel=kernel, shards=shards)
+
+    @classmethod
+    def coerce(cls, value: "EngineConfig | str | None", *,
+               warn: bool = True, stacklevel: int = 3) -> "EngineConfig":
+        """Normalize a constructor's ``engine`` argument.
+
+        ``None`` means the default config; an :class:`EngineConfig`
+        passes through; a string is parsed as a spec string but — being
+        the deprecated ctor form — emits a :class:`DeprecationWarning`
+        unless ``warn=False`` (internal plumbing that already warned
+        upstream).
+        """
+        if value is None:
+            return cls()
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            if warn:
+                warnings.warn(
+                    "passing the placement engine as a bare string is "
+                    "deprecated; pass an EngineConfig (e.g. "
+                    f"EngineConfig(engine={value.split(':')[0]!r})) "
+                    "instead",
+                    DeprecationWarning, stacklevel=stacklevel)
+            return cls.parse(value)
+        raise ValidationError(
+            f"engine must be an EngineConfig or a spec string, "
+            f"got {value!r}")
+
+    def to_record(self) -> dict[str, object]:
+        """JSON-portable form for snapshots."""
+        record: dict[str, object] = {"engine": self.engine}
+        if self.kernel is not None:
+            record["kernel"] = self.kernel
+        if self.shards is not None:
+            record["shards"] = self.shards
+        return record
+
+    @classmethod
+    def from_record(cls, record: Mapping[str, object]) -> "EngineConfig":
+        kernel = record.get("kernel")
+        shards = record.get("shards")
+        return cls(engine=str(record.get("engine", DEFAULT_ENGINE)),
+                   kernel=None if kernel is None else bool(kernel),
+                   shards=None if shards is None else int(shards))

@@ -14,6 +14,17 @@ once per type instead of once per server. :class:`CandidateIndex` groups a
   servers of one spec are interchangeable, which lets min-energy probe one
   representative instead of hundreds of identical empty machines.
 
+Incremental since the fleet-probe kernel landed: with ``kernel=True`` the
+index maintains, per server type, sorted position queues of the *busy*
+and *pristine* servers — ordered by fleet position and keyed by the
+type's cached run-power rate, the Eq.-2/3 lower bound on any candidate's
+incremental cost. The queues are updated in place on every commit /
+retire / remove through the ``ServerState`` watcher protocol instead of
+being rebuilt per fleet change, and the index owns the
+:class:`~repro.placement.kernels.FleetKernel` that batch-probes
+candidates. ``kernel=False`` reproduces the pre-kernel index exactly
+(static grouping only, scalar scans).
+
 The index is bound to the exact ``states`` list it was built from
 (:meth:`covers` is an identity check); callers fall back to a plain scan
 for any other fleet, so ad-hoc uses (failure recovery builds throwaway
@@ -22,21 +33,48 @@ state lists) stay correct without rebuilding.
 
 from __future__ import annotations
 
+import bisect
 from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.allocators.state import ServerState
     from repro.model.vm import VM
+    from repro.placement.kernels import FleetKernel
 
-__all__ = ["CandidateIndex"]
+__all__ = ["CandidateIndex", "SpecGroup"]
+
+
+class SpecGroup:
+    """One server type's candidate queues, in fleet-position order.
+
+    ``busy`` and ``pristine`` partition the type's fleet positions:
+    pristine servers (no VMs, no busy history) are interchangeable for
+    placement, so scans probe one representative; busy servers must each
+    be probed. ``rate`` is the type's run-power per cpu unit — the
+    cached energy lower bound (``run = rate * cpu_time``) the min-energy
+    walk prunes whole queues with.
+    """
+
+    __slots__ = ("spec", "rate", "busy", "pristine")
+
+    def __init__(self, spec: object) -> None:
+        self.spec = spec
+        self.rate = float(spec.power_per_cpu_unit)
+        self.busy: list[int] = []
+        self.pristine: list[int] = []
 
 
 class CandidateIndex:
     """Spec-grouped view of one fleet's ``ServerState`` list."""
 
-    __slots__ = ("_states", "_spec_ids", "_specs")
+    __slots__ = ("_states", "_spec_ids", "_specs", "_pos", "kernel",
+                 "_groups", "_is_pristine", "_spec_positions",
+                 "_all_positions", "__weakref__")
 
-    def __init__(self, states: Sequence["ServerState"]) -> None:
+    def __init__(self, states: Sequence["ServerState"], *,
+                 kernel: bool = False) -> None:
         # Bound by identity: `covers` compares with `is`, not `==`.
         self._states = states
         self._spec_ids = [id(st.server.spec) for st in states]
@@ -45,10 +83,64 @@ class CandidateIndex:
         for st in states:
             spec = st.server.spec
             self._specs.setdefault(id(spec), spec)
+        #: the batch-probe kernel (indexed engine with the kernel on)
+        self.kernel: "FleetKernel | None" = None
+        self._groups: dict[int, SpecGroup] | None = None
+        if kernel and states:
+            from repro.placement.kernels import FleetKernel
+
+            self._pos = {id(st): i for i, st in enumerate(states)}
+            self._is_pristine = [st.is_pristine for st in states]
+            groups: dict[int, SpecGroup] = {}
+            for i, st in enumerate(states):
+                key = self._spec_ids[i]
+                group = groups.get(key)
+                if group is None:
+                    group = groups[key] = SpecGroup(st.server.spec)
+                (group.pristine if self._is_pristine[i]
+                 else group.busy).append(i)
+            self._groups = groups
+            self._spec_positions = {
+                key: np.fromiter(
+                    (i for i, k in enumerate(self._spec_ids) if k == key),
+                    dtype=np.intp)
+                for key in self._specs}
+            self._all_positions = np.arange(len(states), dtype=np.intp)
+            self.kernel = FleetKernel(states)
+            for st in states:
+                st.add_watcher(self)
 
     def covers(self, states: Sequence["ServerState"]) -> bool:
         """Whether this index was built from exactly this ``states`` list."""
         return states is self._states
+
+    # -- incremental maintenance -------------------------------------------
+
+    def server_state_changed(self, state: "ServerState") -> None:
+        """Watcher hook: re-queue a server whose pristine status flipped.
+
+        Commits move a position from its type's pristine queue to the
+        busy queue; a remove that empties the server moves it back. The
+        queues stay position-sorted via bisect, so scans keep walking
+        candidates in fleet order. (The kernel registers its own
+        watcher for occupancy rows; this hook only owns the queues.)
+        """
+        pos = self._pos.get(id(state))
+        if pos is None:
+            return
+        pristine = state.is_pristine
+        if pristine == self._is_pristine[pos]:
+            return
+        self._is_pristine[pos] = pristine
+        group = self._groups[self._spec_ids[pos]]
+        source, target = ((group.busy, group.pristine) if pristine
+                          else (group.pristine, group.busy))
+        i = bisect.bisect_left(source, pos)
+        if i < len(source) and source[i] == pos:
+            del source[i]
+        bisect.insort(target, pos)
+
+    # -- static admission ---------------------------------------------------
 
     def spec_admits(self, vm: "VM") -> dict[int, bool]:
         """``id(spec) -> can this server type ever host vm`` (static caps)."""
@@ -66,4 +158,44 @@ class CandidateIndex:
         if all(admits.values()):
             return self._states
         return [st for st, key in zip(self._states, self._spec_ids)
+                if admits[key]]
+
+    def candidate_positions(self, vm: "VM") -> np.ndarray:
+        """Fleet positions of the admissible candidates, in fleet order.
+
+        Kernel-mode only. The all-admitted case returns a cached
+        ``arange`` — no per-VM allocation.
+        """
+        admits = self.spec_admits(vm)
+        if all(admits.values()):
+            return self._all_positions
+        keep = [self._spec_positions[key]
+                for key, ok in admits.items() if ok]
+        if not keep:
+            return np.empty(0, dtype=np.intp)
+        return np.sort(np.concatenate(keep))
+
+    def admitted_mask(self, vm: "VM") -> np.ndarray | None:
+        """Boolean mask over fleet positions (``None`` = all admitted).
+
+        Kernel-mode only; custom scan orders (shuffles, rotations)
+        filter their position arrays with it, mirroring the scalar
+        :meth:`spec_admits` skip.
+        """
+        admits = self.spec_admits(vm)
+        if all(admits.values()):
+            return None
+        mask = np.zeros(len(self._states), dtype=bool)
+        for key, ok in admits.items():
+            if ok:
+                mask[self._spec_positions[key]] = True
+        return mask
+
+    def groups_for(self, vm: "VM") -> list[SpecGroup] | None:
+        """The admissible types' candidate queues (``None`` without the
+        kernel structures — callers run their scalar scan)."""
+        if self._groups is None:
+            return None
+        admits = self.spec_admits(vm)
+        return [group for key, group in self._groups.items()
                 if admits[key]]

@@ -174,6 +174,15 @@ class SkylineOccupancy:
         """The current change points (introspection / memory regression)."""
         return list(self._xs)
 
+    def export_rows(self) -> tuple[list[int], list[float], list[float]]:
+        """The raw ``(xs, cpu, mem)`` change-point rows, by reference.
+
+        The fleet-probe kernel (:mod:`repro.placement.kernels`) copies
+        these into its structure-of-arrays mirror; callers must treat
+        the returned lists as read-only.
+        """
+        return self._xs, self._cpu, self._mem
+
 
 class DenseOccupancy:
     """The original dense per-time-unit numpy timeline (test oracle)."""

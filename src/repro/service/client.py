@@ -4,9 +4,9 @@
 JSON-lines by default, or the protocol-v3 binary framing with
 ``framing="frames"`` — through *typed methods only*: :meth:`place`,
 :meth:`place_batch`, :meth:`consolidate`, :meth:`telemetry`,
-:meth:`slo` and friends. The raw-dict :meth:`request` escape hatch is
-deprecated (it emits :class:`DeprecationWarning`); new code never
-builds protocol dicts by hand.
+:meth:`slo` and friends. The raw-dict ``request()`` escape hatch —
+deprecated since the v3 framing landed — is gone; code never builds
+protocol dicts by hand.
 
 Failures are classified with the typed hierarchy of
 :mod:`repro.exceptions`, dispatching on the error envelope's stable
@@ -43,7 +43,6 @@ from __future__ import annotations
 import random
 import socket
 import time
-import warnings
 from dataclasses import dataclass
 from typing import Callable, Iterable, Mapping
 
@@ -257,23 +256,6 @@ class AllocationClient:
                 "daemon shed the request under load",
                 retry_after=fields.retry_after)
         return response
-
-    def request(self, message: Mapping[str, object]) -> dict[str, object]:
-        """Deprecated raw-dict escape hatch.
-
-        .. deprecated:: protocol v3
-            Build requests through the typed methods (:meth:`place`,
-            :meth:`place_batch`, :meth:`consolidate`,
-            :meth:`telemetry`, :meth:`slo`, ...) instead of hand-built
-            protocol dicts; this passthrough will be removed with the
-            next protocol revision.
-        """
-        warnings.warn(
-            "AllocationClient.request() is deprecated; use the typed "
-            "methods (place, place_batch, consolidate, telemetry, slo, "
-            "...) instead of raw protocol dicts",
-            DeprecationWarning, stacklevel=2)
-        return self._request(message)
 
     def _request(self, message: Mapping[str, object]) -> dict[str, object]:
         """Send one request; retry transient failures per the config.

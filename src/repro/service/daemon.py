@@ -82,6 +82,7 @@ from repro.obs.logging import get_logger
 from repro.obs.slo import SLOConfig, SLOTracker
 from repro.obs.telemetry import TelemetryRing, TelemetrySample
 from repro.obs.tracer import get_tracer
+from repro.placement.config import EngineConfig
 from repro.placement.sharding import ShardedFleet
 from repro.service.errors import (
     attach_error,
@@ -265,6 +266,12 @@ class AllocationDaemon:
                 f"frag_threshold must be in (0, 1], got {frag_threshold}")
         self.store = store
         algo_params = dict(algo_params or {})
+        # The journaled config must be JSON: an EngineConfig passed
+        # programmatically is stored as its spec string (make_allocator
+        # parses it back), so restores rebuild the same engine + kernel.
+        engine_param = algo_params.get("engine")
+        if isinstance(engine_param, EngineConfig):
+            algo_params["engine"] = engine_param.spec
         self.config = {"algorithm": algorithm, "seed": seed,
                        "algo_params": algo_params,
                        "max_delay": max_delay,
@@ -294,12 +301,17 @@ class AllocationDaemon:
         params: dict[str, object] = {"seed": seed, "policy": store.policy,
                                      **algo_params}
         self.allocator = make_allocator(algorithm, **params)
+        # An engine-level shard hint is the default when the daemon got
+        # no explicit shard count of its own.
+        if shards == 1 and self.allocator.engine_config.shards:
+            shards = self.allocator.engine_config.shards
+            self.config["shards"] = shards
         self.metrics = ServiceMetrics()
         self.metrics.register_algorithm(algorithm)
         from repro import __version__  # deferred: repro imports service
         self.metrics.set_build_info(version=__version__,
                                     algorithm=algorithm,
-                                    engine=str(store.engine))
+                                    engine=store.engine_config.spec)
         self._max_workers = max_workers
         self.fleet: ShardedFleet | None = None
         #: The scan worker pool (process-per-shard replicas); started

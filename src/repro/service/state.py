@@ -82,6 +82,7 @@ from repro.model.cluster import Cluster
 from repro.model.phases import demand_profile
 from repro.model.server import ServerSpec
 from repro.model.vm import VM
+from repro.placement.config import EngineConfig
 from repro.placement.occupancy import DEFAULT_ENGINE
 from repro.simulation.power_state import (
     FleetAggregates,
@@ -190,11 +191,17 @@ class ClusterStateStore:
 
     def __init__(self, cluster: Cluster, *,
                  policy: SleepPolicy = SleepPolicy.OPTIMAL,
-                 engine: str = DEFAULT_ENGINE) -> None:
+                 engine: EngineConfig | str = DEFAULT_ENGINE) -> None:
         self.cluster = cluster
         self.policy = policy
-        self.engine = engine
-        self.states = [ServerState(server, policy=policy, engine=engine)
+        # The store is a config-file-level entry point (CLI, snapshots),
+        # so a string here is read as the sanctioned spec string — no
+        # ctor-string deprecation, unlike the allocator constructors.
+        self.engine_config = EngineConfig.coerce(engine, warn=False)
+        #: backend name (``"indexed"``/``"dense"``), kept for back-compat
+        self.engine = self.engine_config.engine
+        self.states = [ServerState(server, policy=policy,
+                                   engine=self.engine_config)
                        for server in cluster]
         self.machines = {server.server_id: ServerMachine(server)
                          for server in cluster}
@@ -429,7 +436,7 @@ class ClusterStateStore:
                 key=lambda v: (v.start, v.vm_id))
             if recovery is None:
                 recovery = MinIncrementalEnergy(policy=self.policy,
-                                                engine=self.engine)
+                                                engine=self.engine_config)
             self._purge_pieces({vm.vm_id for vm in affected})
             for vm in affected:
                 self._unplace(vm, server_id)
@@ -460,7 +467,7 @@ class ClusterStateStore:
         # surviving entry ends before the failure tick, so the fresh
         # state retires them all and holds only the Eq.-17 cost.
         fresh = ServerState(victim.server, policy=self.policy,
-                            engine=self.engine)
+                            engine=self.engine_config)
         mine = [vm for vm, sid in self._placements if sid == server_id]
         for vm in mine:
             fresh.place(vm)
@@ -545,7 +552,7 @@ class ClusterStateStore:
             replicas = []
             for server_id, state in enumerate(self.states):
                 replica = ServerState(state.server, policy=self.policy,
-                                      engine=self.engine)
+                                      engine=self.engine_config)
                 for vm in by_server.get(server_id, ()):
                     replica.place_trusted(vm)
                 replicas.append(replica)
@@ -629,7 +636,7 @@ class ClusterStateStore:
             # book, so retired VMs' energy anchors survive the drain.
             old = self.states[server_id]
             fresh = ServerState(old.server, policy=self.policy,
-                                engine=self.engine)
+                                engine=self.engine_config)
             mine = by_server.get(server_id, [])
             for vm in mine:
                 fresh.place_trusted(vm)
@@ -815,7 +822,7 @@ class ClusterStateStore:
         document: dict[str, object] = {
             "format_version": version,
             "policy": self.policy.value,
-            "engine": self.engine,
+            "engine": self.engine_config.spec,
             "clock": self.clock,
             "cluster": [_spec_record(server.spec)
                         for server in self.cluster],
@@ -854,7 +861,8 @@ class ClusterStateStore:
             # Pre-engine snapshots carry no field: they were produced by
             # the dense-only build, but replay is engine-agnostic, so the
             # default (indexed) engine restores them bit-exactly too.
-            engine = str(document.get("engine", DEFAULT_ENGINE))
+            engine = EngineConfig.parse(
+                str(document.get("engine", DEFAULT_ENGINE)))
             clock = int(document["clock"])
             entries = list(document["placements"])
             events = list(document.get("events", ()))

@@ -84,8 +84,15 @@ def _worker_main(conn, document: Mapping[str, object], algorithm: str,
 
     def refresh() -> None:
         states.clear()
-        for state in store.live_states():
+        live = list(store.live_states())
+        for state in live:
             states[state.server.server_id] = state
+        # Rebuild the candidate index + batch probe kernel over the
+        # replica fleet, so shard scans take the vectorized path. The
+        # scan sequence, ordinals and the final choose() stay on the
+        # coordinator, so per-worker on_prepare side effects (ffps
+        # reshuffle, round-robin cursor) never influence results.
+        allocator.prepare(live)
 
     refresh()
     # Under fork the worker inherits a copy of the primary's pipe end,

@@ -241,10 +241,9 @@ class TestSurface:
         assert not hasattr(service, "DaemonClient")
         assert ClientConfig().retries == 0
 
-    def test_raw_request_is_deprecated_but_works(self):
+    def test_raw_request_escape_hatch_is_gone(self):
         client, _, _ = make_client([[ok_line(op="ping")]], ClientConfig())
-        with pytest.warns(DeprecationWarning, match="typed"):
-            assert client.request({"op": "ping"})["ok"] is True
+        assert not hasattr(client, "request")
 
     def test_v3_envelope_classifies_overload(self):
         line = json.dumps({"ok": False, "error": {

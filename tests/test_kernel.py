@@ -1,0 +1,271 @@
+"""The batch probe kernel must be a bit-exact mirror of the scalar path.
+
+Three contracts pin the vectorized fleet probe:
+
+* **probe equivalence** — ``FleetKernel.probe_fleet`` equals the
+  per-server ``ServerState.probe`` (and with it the underlying
+  ``SkylineOccupancy.probe_piece`` loop) element-wise: feasible flag,
+  reason string (code + first-violation tick), peaks and headrooms,
+  over random fleets and random probe VMs — the hypothesis property;
+* **decision equivalence** — every registered allocator places the same
+  VMs on the same servers with bit-identical Eq.-17 energy whether the
+  kernel is on or off (``==`` on floats, no tolerance);
+* **config surface** — ``EngineConfig`` round-trips its spec string, is
+  journaled through store snapshots, and the legacy bare-string ctor
+  form still works but warns.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.allocators import allocator_names, make_allocator
+from repro.allocators.state import ServerState
+from repro.energy import allocation_cost
+from repro.exceptions import ValidationError
+from repro.model.cluster import Cluster
+from repro.model.constraints import PlacementConstraints
+from repro.model.phases import DemandPhase, PhasedVM
+from repro.model.server import Server, ServerSpec
+from repro.placement import EngineConfig, FeasibilityBatch, FleetKernel
+from repro.service.state import ClusterStateStore
+from repro.workload.generator import generate_vms
+
+from conftest import make_vm
+
+SPEC_SMALL = ServerSpec("small", cpu_capacity=6.0, memory_capacity=8.0,
+                        p_idle=80.0, p_peak=140.0, transition_time=2.0)
+SPEC_BIG = ServerSpec("big", cpu_capacity=12.0, memory_capacity=16.0,
+                      p_idle=120.0, p_peak=260.0, transition_time=3.0)
+
+
+def build_fleet(loads) -> list[ServerState]:
+    """One state per entry; each entry is a list of committed VMs."""
+    states = []
+    for i, vms in enumerate(loads):
+        spec = SPEC_SMALL if i % 2 == 0 else SPEC_BIG
+        state = ServerState(Server(i, spec))
+        for vm in vms:
+            state.place_trusted(vm)
+        states.append(state)
+    return states
+
+
+def assert_rows_match(batch: FeasibilityBatch,
+                      states: list[ServerState], vm) -> None:
+    assert len(batch) == len(states)
+    for i, state in enumerate(states):
+        scalar = state.probe(vm)
+        view = batch[i]
+        assert view.feasible == scalar.feasible, i
+        assert view.reason == scalar.reason, i
+        assert view.peak_cpu == scalar.peak_cpu, i
+        assert view.peak_mem == scalar.peak_mem, i
+        assert view.headroom_cpu == scalar.headroom_cpu, i
+        assert view.headroom_mem == scalar.headroom_mem, i
+
+
+# -- hypothesis property: batch == scalar element-wise ----------------------
+
+committed = st.tuples(st.integers(0, 40), st.integers(1, 12),
+                      st.floats(0.25, 6.0), st.floats(0.25, 8.0))
+server_load = st.lists(committed, max_size=6)
+fleet_loads = st.lists(server_load, min_size=1, max_size=7)
+probe_vm = st.tuples(st.integers(0, 45), st.integers(1, 10),
+                     st.floats(0.25, 14.0), st.floats(0.25, 18.0))
+
+
+def _materialize(loads, probe):
+    vm_id = 0
+    fleet = []
+    for entries in loads:
+        vms = []
+        for start, length, cpu, memory in entries:
+            vms.append(make_vm(vm_id, start, start + length,
+                               cpu=cpu, memory=memory))
+            vm_id += 1
+        fleet.append(vms)
+    start, length, cpu, memory = probe
+    return fleet, make_vm(10_000, start, start + length,
+                          cpu=cpu, memory=memory)
+
+
+class TestProbeEquivalenceProperty:
+    @settings(max_examples=120, deadline=None)
+    @given(loads=fleet_loads, probe=probe_vm)
+    def test_probe_fleet_matches_scalar_probe(self, loads, probe):
+        fleet, vm = _materialize(loads, probe)
+        states = build_fleet(fleet)
+        kernel = FleetKernel(states)
+        assert_rows_match(kernel.probe_fleet(vm), states, vm)
+
+    @settings(max_examples=60, deadline=None)
+    @given(loads=fleet_loads, probe=probe_vm,
+           data=st.data())
+    def test_candidate_subsets_match(self, loads, probe, data):
+        fleet, vm = _materialize(loads, probe)
+        states = build_fleet(fleet)
+        kernel = FleetKernel(states)
+        picks = data.draw(st.lists(
+            st.integers(0, len(states) - 1), max_size=len(states)))
+        batch = kernel.probe_fleet(vm, np.array(picks, dtype=np.intp))
+        assert len(batch) == len(picks)
+        for j, pos in enumerate(picks):
+            assert batch[j] == states[pos].probe(vm)
+
+    @settings(max_examples=40, deadline=None)
+    @given(loads=server_load, probe=probe_vm)
+    def test_single_candidate_fleet(self, loads, probe):
+        fleet, vm = _materialize([loads], probe)
+        states = build_fleet(fleet)
+        kernel = FleetKernel(states)
+        assert kernel.probe_one(states[0], vm) == states[0].probe(vm)
+
+    def test_empty_candidate_set(self):
+        states = build_fleet([[], []])
+        kernel = FleetKernel(states)
+        vm = make_vm(1, 0, 5)
+        batch = kernel.probe_fleet(vm, np.array([], dtype=np.intp))
+        assert len(batch) == 0
+        assert list(batch.feasible_indices()) == []
+        assert batch.first_feasible() is None
+
+    def test_phased_vm_probes_piecewise(self):
+        states = build_fleet([[make_vm(0, 2, 6, cpu=4.0, memory=2.0)],
+                              [], [make_vm(1, 0, 9, cpu=5.5)]])
+        kernel = FleetKernel(states)
+        vm = PhasedVM.from_phases(50, 1, [DemandPhase(3, 1.0, 2.0),
+                                          DemandPhase(2, 3.0, 1.0),
+                                          DemandPhase(2, 0.5, 6.0)])
+        assert_rows_match(kernel.probe_fleet(vm), states, vm)
+
+    def test_mutations_resync_through_watchers(self):
+        states = build_fleet([[], []])
+        kernel = FleetKernel(states)
+        vm = make_vm(0, 1, 6, cpu=5.0, memory=5.0)
+        assert kernel.probe_fleet(vm).feasible.all()
+        states[0].place(make_vm(1, 2, 4, cpu=4.0))
+        probe = make_vm(2, 3, 5, cpu=3.0)
+        assert_rows_match(kernel.probe_fleet(probe), states, probe)
+        states[0].remove(make_vm(1, 2, 4, cpu=4.0))
+        assert_rows_match(kernel.probe_fleet(probe), states, probe)
+
+    def test_foreign_candidate_raises(self):
+        states = build_fleet([[]])
+        kernel = FleetKernel(states)
+        stranger = ServerState(Server(9, SPEC_BIG))
+        with pytest.raises(KeyError):
+            kernel.probe_fleet(make_vm(0, 0, 1), [stranger])
+
+
+# -- allocator decisions: kernel on == kernel off ---------------------------
+
+VMS = generate_vms(140, mean_interarrival=3.0, seed=3)
+CLUSTER = Cluster.paper_all_types(50)
+
+
+def _run(algo, engine, seed=0, constraints=None):
+    allocator = make_allocator(algo, seed=seed, engine=engine)
+    plan = allocator.allocate(VMS, CLUSTER, constraints)
+    placements = {vm.vm_id: sid for vm, sid in plan.items()}
+    return placements, allocation_cost(plan).total
+
+
+class TestKernelDecisionEquivalence:
+    @pytest.mark.parametrize("algo", allocator_names())
+    def test_identical_placements_and_energy(self, algo):
+        placed_on, energy_on = _run(algo, "indexed:kernel=on")
+        placed_off, energy_off = _run(algo, "indexed:kernel=off")
+        assert placed_on == placed_off
+        assert energy_on == energy_off  # bit-identical, no approx
+
+    @pytest.mark.parametrize("algo", ["min-energy", "ffps", "random-fit",
+                                      "round-robin", "best-fit"])
+    def test_seeded_runs_agree(self, algo):
+        placed_on, energy_on = _run(algo, "indexed:kernel=on", seed=11)
+        placed_off, energy_off = _run(algo, "indexed:kernel=off", seed=11)
+        assert placed_on == placed_off
+        assert energy_on == energy_off
+
+    @pytest.mark.parametrize("algo", ["min-energy", "first-fit",
+                                      "best-fit"])
+    def test_constrained_runs_agree(self, algo):
+        ids = [vm.vm_id for vm in VMS]
+        constraints = PlacementConstraints.build(
+            separate=[ids[:6], ids[10:14]])
+        placed_on, energy_on = _run(algo, "indexed:kernel=on",
+                                    constraints=constraints)
+        placed_off, energy_off = _run(algo, "indexed:kernel=off",
+                                      constraints=constraints)
+        assert placed_on == placed_off
+        assert energy_on == energy_off
+
+
+# -- EngineConfig surface ---------------------------------------------------
+
+class TestEngineConfig:
+    @pytest.mark.parametrize("spec", ["indexed", "dense",
+                                      "indexed:kernel=off",
+                                      "indexed:kernel=on,shards=8",
+                                      "dense:shards=2"])
+    def test_spec_round_trips(self, spec):
+        config = EngineConfig.parse(spec)
+        assert EngineConfig.parse(config.spec) == config
+
+    def test_kernel_defaults_follow_engine(self):
+        assert EngineConfig(engine="indexed").use_kernel is True
+        assert EngineConfig(engine="dense").use_kernel is False
+        assert EngineConfig(engine="indexed",
+                            kernel=False).use_kernel is False
+
+    def test_dense_kernel_is_rejected(self):
+        with pytest.raises(ValidationError):
+            EngineConfig(engine="dense", kernel=True)
+        with pytest.raises(ValidationError):
+            EngineConfig.parse("dense:kernel=on")
+
+    def test_bad_specs_are_rejected(self):
+        for bad in ("warp", "indexed:kernel=maybe", "indexed:shards=x",
+                    "indexed:turbo=on", "indexed:kernel"):
+            with pytest.raises(ValidationError):
+                EngineConfig.parse(bad)
+
+    def test_record_round_trips(self):
+        config = EngineConfig(engine="indexed", kernel=False, shards=4)
+        assert EngineConfig.from_record(config.to_record()) == config
+
+    def test_ctor_string_is_deprecated(self):
+        with pytest.warns(DeprecationWarning, match="EngineConfig"):
+            allocator = make_allocator("first-fit").__class__(
+                engine="indexed")
+        assert allocator.engine == "indexed"
+        with pytest.warns(DeprecationWarning, match="EngineConfig"):
+            EngineConfig.coerce("dense")
+
+    def test_make_allocator_spec_string_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            allocator = make_allocator("min-energy",
+                                       engine="indexed:kernel=off")
+        assert allocator.engine_config == EngineConfig(
+            engine="indexed", kernel=False)
+
+    def test_snapshot_journals_engine_config(self):
+        store = ClusterStateStore(Cluster.paper_all_types(4),
+                                  engine="indexed:kernel=off,shards=2")
+        document = store.to_snapshot()
+        assert document["engine"] == "indexed:kernel=off,shards=2"
+        restored = ClusterStateStore.from_snapshot(document)
+        assert restored.engine_config == store.engine_config
+        assert restored.engine == "indexed"
+
+    def test_legacy_snapshot_engine_string_restores(self):
+        store = ClusterStateStore(Cluster.paper_all_types(3))
+        document = store.to_snapshot()
+        document["engine"] = "dense"  # pre-config snapshots: bare name
+        restored = ClusterStateStore.from_snapshot(document)
+        assert restored.engine_config == EngineConfig(engine="dense")

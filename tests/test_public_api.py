@@ -45,7 +45,10 @@ EXPECTED_ALL = [
     "ValidationError",
     "CandidateIndex",
     "DenseOccupancy",
+    "EngineConfig",
     "Feasibility",
+    "FeasibilityBatch",
+    "FleetKernel",
     "ShardedFleet",
     "SkylineOccupancy",
     "ScenarioConfig",
