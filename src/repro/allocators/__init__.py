@@ -6,6 +6,7 @@ from repro.allocators.batch import Decision, ShardScan
 from repro.allocators.best_fit import BestFit
 from repro.allocators.ffps import FirstFitPowerSaving
 from repro.allocators.first_fit import FirstFit
+from repro.allocators.gamma_ff import GammaFF
 from repro.allocators.min_energy import MinIncrementalEnergy
 from repro.allocators.power_aware import PowerAwareFirstFit
 from repro.allocators.random_fit import RandomFit
@@ -21,6 +22,7 @@ __all__ = [
     "ShardScan",
     "FirstFitPowerSaving",
     "FirstFit",
+    "GammaFF",
     "MinIncrementalEnergy",
     "PowerAwareFirstFit",
     "RandomFit",

@@ -18,6 +18,7 @@ from repro.allocators.base import Allocator
 from repro.allocators.best_fit import BestFit
 from repro.allocators.ffps import FirstFitPowerSaving
 from repro.allocators.first_fit import FirstFit
+from repro.allocators.gamma_ff import GammaFF
 from repro.allocators.min_energy import MinIncrementalEnergy
 from repro.allocators.power_aware import PowerAwareFirstFit
 from repro.allocators.random_fit import RandomFit
@@ -40,6 +41,7 @@ ALLOCATORS: dict[str, Type[Allocator]] = {
         RandomFit,
         RoundRobin,
         PowerAwareFirstFit,
+        GammaFF,
     )
 }
 

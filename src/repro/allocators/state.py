@@ -63,11 +63,13 @@ class ServerState:
         self.engine_config = config
         #: which occupancy backend answers probes ("indexed" or "dense")
         self.engine = config.engine
+        #: the active robustness config, or None for nominal probing
+        self.robustness = config.active_robustness
         self.vms: list[VM] = []
         #: merged, sorted busy segments as parallel start/end lists
         self._busy_starts: list[int] = []
         self._busy_ends: list[int] = []
-        self._occ = make_occupancy(config.engine)
+        self._occ = make_occupancy(config.engine, self.robustness)
         #: running Eq.-17 total (run + busy idle + gaps + initial wake)
         self.cost: float = 0.0
         #: weakly-held observers notified after every mutation (the
@@ -112,7 +114,15 @@ class ServerState:
         ``"mem:capacity"``, ``"cpu:overlap@t"`` / ``"mem:overlap@t"``
         naming the first overloaded time unit), and the peak committed
         (cpu, mem) over the VM's interval with the matching headroom.
+
+        With an active :class:`~repro.robust.config.RobustnessConfig`
+        the verdict is Γ-robust: every overlapped segment is charged
+        the nominal committed demand plus the Γ largest radii among
+        the VMs overlapping it (the probed VM included), and the
+        reported peaks/headroom reflect that robust reservation.
         """
+        if self.robustness is not None:
+            return self._probe_robust(vm)
         spec = self.server.spec
         if vm.cpu > spec.cpu_capacity:
             return Feasibility(False, "cpu:capacity", 0.0, 0.0,
@@ -124,6 +134,40 @@ class ServerState:
         for piece, cpu, memory in demand_profile(vm):
             reason, piece_cpu, piece_mem = self._occ.probe_piece(
                 piece.start, piece.end, cpu, memory,
+                spec.cpu_capacity, spec.memory_capacity, _TOL)
+            if piece_cpu > peak_cpu:
+                peak_cpu = piece_cpu
+            if piece_mem > peak_mem:
+                peak_mem = piece_mem
+            if reason is not None:
+                return Feasibility(False, reason, peak_cpu, peak_mem,
+                                   spec.cpu_capacity - peak_cpu,
+                                   spec.memory_capacity - peak_mem)
+        return Feasibility(True, None, peak_cpu, peak_mem,
+                           spec.cpu_capacity - peak_cpu,
+                           spec.memory_capacity - peak_mem)
+
+    def _probe_robust(self, vm: VM) -> Feasibility:
+        """:meth:`probe` under the active Γ-robust constraint.
+
+        The static admission check charges the VM its own radius (with
+        Γ >= 1 a lone VM's radius is always in the worst-case set), and
+        each demand piece goes through the robust skyline's
+        ``probe_piece_robust`` — the same closed-form excess the fleet
+        kernel evaluates on its mirrored accumulator arrays.
+        """
+        spec = self.server.spec
+        if vm.cpu + vm.cpu_radius > spec.cpu_capacity:
+            return Feasibility(False, "cpu:capacity", 0.0, 0.0,
+                               spec.cpu_capacity, spec.memory_capacity)
+        if vm.memory + vm.mem_radius > spec.memory_capacity:
+            return Feasibility(False, "mem:capacity", 0.0, 0.0,
+                               spec.cpu_capacity, spec.memory_capacity)
+        peak_cpu = peak_mem = 0.0
+        for piece, cpu, memory in demand_profile(vm):
+            reason, piece_cpu, piece_mem = self._occ.probe_piece_robust(
+                piece.start, piece.end, cpu, memory,
+                vm.cpu_radius, vm.mem_radius,
                 spec.cpu_capacity, spec.memory_capacity, _TOL)
             if piece_cpu > peak_cpu:
                 peak_cpu = piece_cpu
@@ -289,6 +333,11 @@ class ServerState:
         delta = self.incremental_cost(vm)
         for piece, cpu, memory in demand_profile(vm):
             self._occ.add(piece.start, piece.end, cpu, memory)
+        if self.robustness is not None:
+            # Radii are spec-level: constant over the whole interval
+            # even when the per-piece demand varies by phase.
+            self._occ.add_radius(vm.start, vm.end,
+                                 vm.cpu_radius, vm.mem_radius)
         self._merge_in(vm.interval)
         self.vms.append(vm)
         self.cost += delta
@@ -310,6 +359,9 @@ class ServerState:
                 server_id=self.server.server_id) from None
         for piece, cpu, memory in demand_profile(vm):
             self._occ.subtract(piece.start, piece.end, cpu, memory)
+        if self.robustness is not None:
+            self._occ.subtract_radius(vm.start, vm.end,
+                                      vm.cpu_radius, vm.mem_radius)
         old_cost = self.cost
         self._rebuild()
         self._notify()

@@ -60,6 +60,7 @@ _FIGURES = {
     "sleep": figures_mod.ablation_sleep_policy,
     "wake": figures_mod.ablation_initial_wake,
     "ilp-gap": figures_mod.ilp_gap,
+    "robust": figures_mod.robust_frontier,
 }
 
 #: Reduced grids so --quick completes in seconds.
@@ -76,6 +77,7 @@ _QUICK_OVERRIDES = {
     "fig8": dict(n_vms=200, interarrivals=(1.0, 4.0, 8.0), seeds=(0, 1)),
     "fig9": dict(n_vms=200, interarrivals=(1.0, 4.0, 8.0), seeds=(0, 1)),
     "ilp-gap": dict(n_vms=8, seeds=(0, 1)),
+    "robust": dict(n_vms=100, gammas=(0, 1, 2), draws=5),
 }
 
 
@@ -108,6 +110,27 @@ def build_parser() -> argparse.ArgumentParser:
                        help="reduced grid for a fast preview")
     p_fig.add_argument("--out", default=None,
                        help="also export the data (.csv or .json)")
+
+    p_robust = sub.add_parser(
+        "robust", help="Γ-robust frontier: replay committed plans "
+                       "against demand realized from the declared "
+                       "intervals")
+    p_robust.add_argument("--vms", type=int, default=300)
+    p_robust.add_argument("--interarrival", type=float, default=0.5)
+    p_robust.add_argument("--duration", type=float, default=8.0)
+    p_robust.add_argument("--uncertainty", type=float, default=0.3,
+                          help="demand radius as a fraction of nominal "
+                               "(0, 1]")
+    p_robust.add_argument("--gammas", type=int, nargs="+",
+                          default=[0, 1, 2, 3, 4],
+                          help="Γ budgets to sweep (0 = nominal)")
+    p_robust.add_argument("--no-box", action="store_true",
+                          help="skip the full worst-case anchor point")
+    p_robust.add_argument("--algorithm", default="first-fit",
+                          choices=allocator_names())
+    p_robust.add_argument("--draws", type=int, default=20,
+                          help="realized demand worlds per budget")
+    p_robust.add_argument("--seed", type=int, default=7)
 
     p_trace = sub.add_parser(
         "trace", help="generate a workload trace, or summarize a "
@@ -438,6 +461,16 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         saver = save_json if args.out.endswith(".json") else save_csv
         rows = saver(result, args.out)
         print(f"\nexported {rows} rows to {args.out}")
+    return 0
+
+
+def _cmd_robust(args: argparse.Namespace) -> int:
+    result = figures_mod.robust_frontier(
+        n_vms=args.vms, mean_interarrival=args.interarrival,
+        mean_duration=args.duration, uncertainty=args.uncertainty,
+        gammas=tuple(args.gammas), include_box=not args.no_box,
+        algo=args.algorithm, draws=args.draws, seed=args.seed)
+    print(result.format())
     return 0
 
 
@@ -1063,6 +1096,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "consolidate": lambda: _cmd_consolidate(args),
         "top": lambda: _cmd_top(args),
         "slo": lambda: _cmd_slo(args),
+        "robust": lambda: _cmd_robust(args),
     }
     handler = handlers.get(getattr(args, "command", None))
     if handler is None:

@@ -17,6 +17,7 @@ from repro.exceptions import ValidationError
 from repro.experiments.figures import (
     Fig8Result,
     FigureResult,
+    RobustFrontierResult,
     SweepSeries,
     UtilizationFigure,
 )
@@ -92,6 +93,19 @@ def figure_records(result: object) -> list[dict]:
                                      result.all_types)
                 + _utilization_records("fig8", "types 1-3",
                                        result.small_types))
+    if isinstance(result, RobustFrontierResult):
+        # The frontier has its own (narrower) schema — one row per Γ
+        # budget — rather than the ffps-vs-ours comparison columns.
+        return [{
+            "figure": "robust",
+            "series": point.label,
+            "x": point.gamma,
+            "mode": point.mode,
+            "energy": point.energy,
+            "placed": point.placed,
+            "rejected": point.rejected,
+            "overload_rate": point.overload_rate,
+        } for point in result.sweep.points]
     raise ValidationError(
         f"cannot export object of type {type(result).__name__}")
 
@@ -100,8 +114,9 @@ def save_csv(result: object, path: str | Path) -> int:
     """Write the figure's records as CSV; returns the row count."""
     records = figure_records(result)
     path = Path(path)
+    fieldnames = tuple(records[0]) if records else _FIELDS
     with path.open("w", newline="") as fh:
-        writer = csv.DictWriter(fh, fieldnames=_FIELDS)
+        writer = csv.DictWriter(fh, fieldnames=fieldnames)
         writer.writeheader()
         writer.writerows(records)
     return len(records)

@@ -5,6 +5,13 @@ a name plus stable CPU and memory demand), while a :class:`VM` is a concrete
 user request — a spec bound to an id and a time interval. The paper assumes
 each VM's resource demand is stable over its lifetime (Sec. IV-B1), so the
 demand lives on the spec rather than varying per time unit.
+
+Demand may additionally be declared *uncertain*: the optional
+``cpu_radius`` / ``mem_radius`` fields turn the scalar demand into the
+interval ``[nominal - radius, nominal + radius]``. Radii default to 0
+(today's exact behaviour, bit for bit) and only matter when an active
+:class:`~repro.robust.config.RobustnessConfig` rides in the engine
+config — see :mod:`repro.robust`.
 """
 
 from __future__ import annotations
@@ -24,6 +31,10 @@ class VMSpec:
     name: str
     cpu: float
     memory: float
+    #: demand uncertainty radii: the true demand may land anywhere in
+    #: ``[nominal - radius, nominal + radius]``; 0 means exact demand.
+    cpu_radius: float = 0.0
+    mem_radius: float = 0.0
 
     def __post_init__(self) -> None:
         if self.cpu <= 0:
@@ -32,6 +43,14 @@ class VMSpec:
         if self.memory <= 0:
             raise ValidationError(f"VM type {self.name!r}: memory must be "
                                   f"positive, got {self.memory}")
+        if not 0 <= self.cpu_radius <= self.cpu:
+            raise ValidationError(
+                f"VM type {self.name!r}: cpu_radius must lie in "
+                f"[0, cpu], got {self.cpu_radius}")
+        if not 0 <= self.mem_radius <= self.memory:
+            raise ValidationError(
+                f"VM type {self.name!r}: mem_radius must lie in "
+                f"[0, memory], got {self.mem_radius}")
 
     def __str__(self) -> str:
         return f"{self.name}({self.cpu}cu/{self.memory}GB)"
@@ -78,6 +97,16 @@ class VM:
     def memory(self) -> float:
         """Memory demand ``R^MEM_j`` in GBytes (constant over life)."""
         return self.spec.memory
+
+    @property
+    def cpu_radius(self) -> float:
+        """CPU demand uncertainty radius (0 for exact demand)."""
+        return self.spec.cpu_radius
+
+    @property
+    def mem_radius(self) -> float:
+        """Memory demand uncertainty radius (0 for exact demand)."""
+        return self.spec.mem_radius
 
     @property
     def cpu_time(self) -> float:

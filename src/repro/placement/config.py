@@ -4,36 +4,43 @@ Historically the placement engine was chosen by a bare string
 (``engine="indexed"`` / ``"dense"``) threaded through every constructor,
 and each speedup layer bolted on its own toggle next to it. An
 :class:`EngineConfig` collapses the whole choice — occupancy backend,
-batch probe kernel on/off, and a shard-count hint for sharded scans —
-into a single frozen value accepted everywhere the string used to be:
+batch probe kernel on/off, a shard-count hint for sharded scans, and
+the Γ-robustness budget — into a single frozen value accepted
+everywhere the string used to be:
 :func:`~repro.allocators.registry.make_allocator`, the allocator and
 :class:`~repro.service.state.ClusterStateStore` constructors, and
 ``repro serve --algo-param engine=...``.
 
-Two string forms exist:
+The **spec string** (:meth:`EngineConfig.parse`) is the sanctioned flat
+form for CLIs, config files and snapshots: ``"indexed"``, ``"dense"``,
+``"indexed:kernel=off"``, ``"indexed:kernel=on,shards=8"``,
+``"indexed:gamma=2"``, ``"indexed:gamma=3,mode=box"``.
 
-* the **spec string** (:meth:`EngineConfig.parse`) — the sanctioned
-  flat form for CLIs, config files and snapshots:
-  ``"indexed"``, ``"dense"``, ``"indexed:kernel=off"``,
-  ``"indexed:kernel=on,shards=8"``;
-* the **legacy ctor string** (``engine="dense"`` passed directly to a
-  constructor) — still works through :meth:`EngineConfig.coerce` but
-  emits a :class:`DeprecationWarning`; pass an :class:`EngineConfig`
-  (or a spec string where a spec string is documented) instead.
+The legacy ctor string (``engine="dense"`` passed directly to an
+allocator constructor) completed its deprecation cycle and has been
+**removed**: :meth:`EngineConfig.coerce` now raises
+:class:`~repro.exceptions.ValidationError` for it. Pass an
+:class:`EngineConfig` instead — ``docs/api.md`` ("Engine configuration")
+has the migration table. Constructors documented to take a *spec
+string* (:class:`~repro.service.state.ClusterStateStore`,
+``make_allocator``'s ``engine`` parameter) still do; only the bare
+allocator-constructor form is gone.
 
 Snapshots journal the active config (:meth:`to_record` /
-:meth:`from_record`) so a restored daemon picks the same engine and
-kernel setting it was running with.
+:meth:`from_record`) so a restored daemon picks the same engine, kernel
+setting and robustness budget it was running with; records written
+before the robustness fields existed restore to ``robustness=None``
+(nominal probing) unchanged.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import Mapping
 
 from repro.exceptions import ValidationError
 from repro.placement.occupancy import DEFAULT_ENGINE, ENGINES
+from repro.robust.config import RobustnessConfig
 
 __all__ = ["EngineConfig"]
 
@@ -58,11 +65,19 @@ class EngineConfig:
         build their own :class:`~repro.placement.sharding.ShardedFleet`
         (``allocate_batch``, the service daemon) use it as the default
         when no explicit shard count is given. ``None`` means no hint.
+    robustness:
+        Optional :class:`~repro.robust.config.RobustnessConfig`.
+        ``None`` (and an inactive config, ``gamma=0``) means nominal
+        probing — bit-identical to the engine before robustness
+        existed. An *active* config needs the indexed engine: the
+        robust skyline tracks per-segment radius multisets the dense
+        oracle has no representation for.
     """
 
     engine: str = DEFAULT_ENGINE
     kernel: bool | None = None
     shards: int | None = None
+    robustness: RobustnessConfig | None = None
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINES:
@@ -77,6 +92,12 @@ class EngineConfig:
         if self.shards is not None and self.shards < 1:
             raise ValidationError(
                 f"shards hint must be >= 1, got {self.shards}")
+        if self.robustness is not None and self.robustness.active \
+                and self.engine != "indexed":
+            raise ValidationError(
+                "robust probing tracks per-segment radius multisets on "
+                "the skyline index and needs engine='indexed'; drop the "
+                "robustness config or switch engines")
 
     @property
     def use_kernel(self) -> bool:
@@ -86,6 +107,19 @@ class EngineConfig:
         return self.kernel
 
     @property
+    def active_robustness(self) -> RobustnessConfig | None:
+        """The robustness config when it actually changes probes.
+
+        ``None`` both when no config rides along and when the config is
+        inactive (``gamma=0`` in gamma mode), so consumers branch on
+        one check and the inactive case shares the nominal code path
+        exactly.
+        """
+        if self.robustness is not None and self.robustness.active:
+            return self.robustness
+        return None
+
+    @property
     def spec(self) -> str:
         """The canonical flat spec string (``parse`` round-trips it)."""
         options = []
@@ -93,6 +127,8 @@ class EngineConfig:
             options.append(f"kernel={'on' if self.kernel else 'off'}")
         if self.shards is not None:
             options.append(f"shards={self.shards}")
+        if self.robustness is not None:
+            options.extend(self.robustness.spec_options)
         if not options:
             return self.engine
         return f"{self.engine}:{','.join(options)}"
@@ -102,13 +138,14 @@ class EngineConfig:
         """Build a config from a spec string (see module docstring).
 
         This is the sanctioned string entry point — CLI values, config
-        files and snapshot records go through here and do **not**
-        trigger the legacy-string deprecation.
+        files and snapshot records go through here.
         """
         head, sep, tail = text.partition(":")
         engine = head.strip()
         kernel: bool | None = None
         shards: int | None = None
+        gamma: int | None = None
+        mode: str | None = None
         if sep:
             for item in tail.split(","):
                 key, eq, raw = item.partition("=")
@@ -130,11 +167,26 @@ class EngineConfig:
                         raise ValidationError(
                             f"bad engine spec {text!r}: shards must be "
                             f"an integer, got {raw!r}") from None
+                elif key == "gamma":
+                    try:
+                        gamma = int(raw)
+                    except ValueError:
+                        raise ValidationError(
+                            f"bad engine spec {text!r}: gamma must be "
+                            f"an integer, got {raw!r}") from None
+                elif key == "mode":
+                    mode = raw
                 else:
                     raise ValidationError(
                         f"bad engine spec {text!r}: unknown option "
-                        f"{key!r} (valid: kernel, shards)")
-        return cls(engine=engine, kernel=kernel, shards=shards)
+                        f"{key!r} (valid: kernel, shards, gamma, mode)")
+        robustness: RobustnessConfig | None = None
+        if gamma is not None or mode is not None:
+            robustness = RobustnessConfig(
+                gamma=0 if gamma is None else gamma,
+                mode="gamma" if mode is None else mode)
+        return cls(engine=engine, kernel=kernel, shards=shards,
+                   robustness=robustness)
 
     @classmethod
     def coerce(cls, value: "EngineConfig | str | None", *,
@@ -142,10 +194,13 @@ class EngineConfig:
         """Normalize a constructor's ``engine`` argument.
 
         ``None`` means the default config; an :class:`EngineConfig`
-        passes through; a string is parsed as a spec string but — being
-        the deprecated ctor form — emits a :class:`DeprecationWarning`
-        unless ``warn=False`` (internal plumbing that already warned
-        upstream).
+        passes through. For public constructors (``warn=True``, the
+        historical default) a bare string is **rejected** — the
+        deprecation cycle is over; pass an :class:`EngineConfig`, or
+        use an entry point documented to take a spec string
+        (``make_allocator``, the service store, the CLI). Internal
+        plumbing that *is* such a sanctioned spec-string surface passes
+        ``warn=False`` and keeps parsing strings silently.
         """
         if value is None:
             return cls()
@@ -153,12 +208,12 @@ class EngineConfig:
             return value
         if isinstance(value, str):
             if warn:
-                warnings.warn(
-                    "passing the placement engine as a bare string is "
-                    "deprecated; pass an EngineConfig (e.g. "
-                    f"EngineConfig(engine={value.split(':')[0]!r})) "
-                    "instead",
-                    DeprecationWarning, stacklevel=stacklevel)
+                raise ValidationError(
+                    "passing the placement engine as a bare constructor "
+                    "string was removed after its deprecation cycle; "
+                    "pass an EngineConfig (e.g. EngineConfig.parse("
+                    f"{value!r})) — see docs/api.md, 'Engine "
+                    "configuration'")
             return cls.parse(value)
         raise ValidationError(
             f"engine must be an EngineConfig or a spec string, "
@@ -171,12 +226,21 @@ class EngineConfig:
             record["kernel"] = self.kernel
         if self.shards is not None:
             record["shards"] = self.shards
+        if self.robustness is not None:
+            record["gamma"] = self.robustness.gamma
+            record["mode"] = self.robustness.mode
         return record
 
     @classmethod
     def from_record(cls, record: Mapping[str, object]) -> "EngineConfig":
         kernel = record.get("kernel")
         shards = record.get("shards")
+        robustness: RobustnessConfig | None = None
+        if "gamma" in record or "mode" in record:
+            robustness = RobustnessConfig(
+                gamma=int(record.get("gamma", 0)),
+                mode=str(record.get("mode", "gamma")))
         return cls(engine=str(record.get("engine", DEFAULT_ENGINE)),
                    kernel=None if kernel is None else bool(kernel),
-                   shards=None if shards is None else int(shards))
+                   shards=None if shards is None else int(shards),
+                   robustness=robustness)

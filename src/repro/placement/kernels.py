@@ -198,6 +198,17 @@ class FleetKernel:
         self._xs = np.full((n, width), np.inf)
         self._occ_cpu = np.zeros((n, width))
         self._occ_mem = np.zeros((n, width))
+        #: the fleet's robustness config (uniform across one fleet);
+        #: when set, the mirror grows the per-segment (drop, threshold)
+        #: accumulator planes of every robust skyline and probes apply
+        #: the Γ-robust excess — the nominal arrays and code path are
+        #: untouched when robustness is off.
+        self._robust = self._states[0].robustness if self._states else None
+        if self._robust is not None:
+            self._drop_c = np.zeros((n, width))
+            self._thr_c = np.zeros((n, width))
+            self._drop_m = np.zeros((n, width))
+            self._thr_m = np.zeros((n, width))
         self._k = np.zeros(n, dtype=np.int64)
         self._dirty: set[int] = set(range(n))
         self._lock = threading.Lock()
@@ -253,6 +264,11 @@ class FleetKernel:
         mem = np.zeros((n, new))
         mem[:, : self._width] = self._occ_mem
         self._xs, self._occ_cpu, self._occ_mem = xs, cpu, mem
+        if self._robust is not None:
+            for name in ("_drop_c", "_thr_c", "_drop_m", "_thr_m"):
+                plane = np.zeros((n, new))
+                plane[:, : self._width] = getattr(self, name)
+                setattr(self, name, plane)
         self._width = new  # gather pools re-key on width and self-reset
 
     def sync(self) -> None:
@@ -260,9 +276,14 @@ class FleetKernel:
         with self._lock:
             if not self._dirty:
                 return
+            robust = self._robust is not None
             for pos in self._dirty:
                 state = self._states[pos]
-                xs, cpu, mem = state._occ.export_rows()
+                if robust:
+                    xs, cpu, mem, dc, tc, dm, tm = \
+                        state._occ.export_robust_rows()
+                else:
+                    xs, cpu, mem = state._occ.export_rows()
                 k = len(xs)
                 if k > self._width:
                     self._grow(k)
@@ -272,12 +293,23 @@ class FleetKernel:
                 self._occ_cpu[pos, k:] = 0.0
                 self._occ_mem[pos, :k] = mem
                 self._occ_mem[pos, k:] = 0.0
+                if robust:
+                    self._drop_c[pos, :k] = dc
+                    self._drop_c[pos, k:] = 0.0
+                    self._thr_c[pos, :k] = tc
+                    self._thr_c[pos, k:] = 0.0
+                    self._drop_m[pos, :k] = dm
+                    self._drop_m[pos, k:] = 0.0
+                    self._thr_m[pos, :k] = tm
+                    self._thr_m[pos, k:] = 0.0
                 self._k[pos] = k
             self._dirty.clear()
 
-    def _gather(self, rows: np.ndarray
-                ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    def _gather(self, rows: np.ndarray) -> tuple[np.ndarray, ...]:
+        """Pooled row gather: ``(xs, cpu, mem)`` plus, on a robust
+        fleet, the four accumulator planes."""
         r = rows.size
+        robust = self._robust is not None
         pool = self._gpool
         cap = getattr(pool, "rows", 0)
         if r > cap or getattr(pool, "width", -1) != self._width:
@@ -285,6 +317,11 @@ class FleetKernel:
             pool.xs = np.empty((cap, self._width))
             pool.cpu = np.empty((cap, self._width))
             pool.mem = np.empty((cap, self._width))
+            if robust:
+                pool.dc = np.empty((cap, self._width))
+                pool.tc = np.empty((cap, self._width))
+                pool.dm = np.empty((cap, self._width))
+                pool.tm = np.empty((cap, self._width))
             pool.rows = cap
             pool.width = self._width
         xs = pool.xs[:r]
@@ -293,7 +330,17 @@ class FleetKernel:
         np.take(self._xs, rows, axis=0, out=xs)
         np.take(self._occ_cpu, rows, axis=0, out=cpu)
         np.take(self._occ_mem, rows, axis=0, out=mem)
-        return xs, cpu, mem
+        if not robust:
+            return xs, cpu, mem
+        dc = pool.dc[:r]
+        tc = pool.tc[:r]
+        dm = pool.dm[:r]
+        tm = pool.tm[:r]
+        np.take(self._drop_c, rows, axis=0, out=dc)
+        np.take(self._thr_c, rows, axis=0, out=tc)
+        np.take(self._drop_m, rows, axis=0, out=dm)
+        np.take(self._thr_m, rows, axis=0, out=tm)
+        return xs, cpu, mem, dc, tc, dm, tm
 
     # -- probing -----------------------------------------------------------
 
@@ -309,9 +356,14 @@ class FleetKernel:
         equals the scalar ``ServerState.probe`` verdict bit for bit.
         """
         self.sync()
+        robust = self._robust is not None
+        dc = tc = dm = tm = None
         if candidates is None:
             rows = np.arange(len(self._states), dtype=np.intp)
             xs, occ_cpu, occ_mem = self._xs, self._occ_cpu, self._occ_mem
+            if robust:
+                dc, tc = self._drop_c, self._thr_c
+                dm, tm = self._drop_m, self._thr_m
         else:
             if isinstance(candidates, np.ndarray):
                 rows = candidates.astype(np.intp, copy=False)
@@ -321,7 +373,10 @@ class FleetKernel:
                     raise KeyError(
                         "probe_fleet: candidate outside this fleet")
                 rows = mapped
-            xs, occ_cpu, occ_mem = self._gather(rows)
+            gathered = self._gather(rows)
+            xs, occ_cpu, occ_mem = gathered[:3]
+            if robust:
+                dc, tc, dm, tm = gathered[3:]
         cpu_cap = self._cpu_cap[rows]
         mem_cap = self._mem_cap[rows]
         r = rows.size
@@ -330,13 +385,30 @@ class FleetKernel:
         peak_cpu = np.zeros(r)
         peak_mem = np.zeros(r)
         # Static type capacity first, exactly like the scalar probe:
-        # cpu before mem, peaks left at zero.
-        static_cpu = vm.cpu > cpu_cap
-        static_mem = ~static_cpu & (vm.memory > mem_cap)
+        # cpu before mem, peaks left at zero. Robust probes charge the
+        # VM its own radius here (a lone VM is always in the top-Γ).
+        if robust:
+            static_cpu = vm.cpu + vm.cpu_radius > cpu_cap
+            static_mem = ~static_cpu & (vm.memory + vm.mem_radius > mem_cap)
+        else:
+            static_cpu = vm.cpu > cpu_cap
+            static_mem = ~static_cpu & (vm.memory > mem_cap)
         codes[static_cpu] = CPU_CAPACITY
         codes[static_mem] = MEM_CAPACITY
         active = ~(static_cpu | static_mem)
         from repro.allocators.state import _TOL as tol
+        if robust:
+            # The Γ-robust per-segment values, in the exact op order of
+            # RobustSkyline.probe_piece_robust: the probed value adds
+            # drop + max(radius, threshold); the reported peak adds the
+            # resident-only excess drop + threshold.
+            val_cpu = occ_cpu + (dc + np.maximum(vm.cpu_radius, tc))
+            val_mem = occ_mem + (dm + np.maximum(vm.mem_radius, tm))
+            rob_cpu = occ_cpu + (dc + tc)
+            rob_mem = occ_mem + (dm + tm)
+        else:
+            val_cpu, val_mem = occ_cpu, occ_mem
+            rob_cpu, rob_mem = occ_cpu, occ_mem
         for piece, cpu, mem in demand_profile(vm):
             if not active.any():
                 break
@@ -348,10 +420,10 @@ class FleetKernel:
             np.maximum(i0, 0, out=i0)
             cols = np.arange(xs.shape[1])
             in_range = (cols >= i0[:, None]) & (xs <= end)
-            pc = np.where(in_range, occ_cpu, 0.0).max(axis=1, initial=0.0)
-            pm = np.where(in_range, occ_mem, 0.0).max(axis=1, initial=0.0)
-            viol_c = in_range & (occ_cpu + cpu > cpu_cap[:, None] + tol)
-            viol_m = in_range & (occ_mem + mem > mem_cap[:, None] + tol)
+            pc = np.where(in_range, rob_cpu, 0.0).max(axis=1, initial=0.0)
+            pm = np.where(in_range, rob_mem, 0.0).max(axis=1, initial=0.0)
+            viol_c = in_range & (val_cpu + cpu > cpu_cap[:, None] + tol)
+            viol_m = in_range & (val_mem + mem > mem_cap[:, None] + tol)
             has_c = viol_c.any(axis=1)
             has_m = viol_m.any(axis=1)
             # Peaks accumulate through the failing piece (running max).

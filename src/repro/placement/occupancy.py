@@ -251,11 +251,24 @@ class DenseOccupancy:
                 np.flatnonzero((self._cpu != 0.0) | (self._mem != 0.0))]
 
 
-def make_occupancy(engine: str):
-    """Build the occupancy backend for ``engine`` (see :data:`ENGINES`)."""
+def make_occupancy(engine: str, robustness=None):
+    """Build the occupancy backend for ``engine`` (see :data:`ENGINES`).
+
+    With an *active* :class:`~repro.robust.config.RobustnessConfig` the
+    indexed engine gets the :class:`~repro.robust.skyline.RobustSkyline`
+    (per-segment radius multisets next to the nominal values); an
+    inactive or absent config keeps the plain skyline, so nominal
+    probing is the identical code path, not a zero-budget special case.
+    """
     if engine == "indexed":
+        if robustness is not None and robustness.active:
+            from repro.robust.skyline import RobustSkyline
+            return RobustSkyline(robustness)
         return SkylineOccupancy()
     if engine == "dense":
+        if robustness is not None and robustness.active:
+            raise ValueError(
+                "robust probing needs the indexed (skyline) engine")
         return DenseOccupancy()
     raise ValueError(
         f"unknown placement engine {engine!r}; valid engines: {ENGINES}")

@@ -1,0 +1,41 @@
+"""Γ-robust placement under uncertain demand.
+
+The paper's Sec. IV-B1 assumes every VM's demand is an exact scalar.
+This package relaxes that: a VM may declare a demand *interval*
+``[nominal - radius, nominal + radius]`` (the ``cpu_radius`` /
+``mem_radius`` fields of :class:`~repro.model.vm.VMSpec`), and a
+:class:`RobustnessConfig` riding in the
+:class:`~repro.placement.config.EngineConfig` makes every probe enforce
+the Bertsimas–Sim Γ-robust capacity constraint: nominal occupancy plus
+the Γ largest radii among the VMs overlapping each time segment (the
+probed VM included) must fit under capacity.
+
+* :mod:`repro.robust.config` — the frozen :class:`RobustnessConfig`
+  (``gamma`` budget, ``"gamma"`` / ``"box"`` mode).
+* :mod:`repro.robust.skyline` — :class:`RobustSkyline`, the skyline
+  occupancy index extended with per-segment radius multisets and the
+  cached top-Γ accumulators both probe paths read.
+* :mod:`repro.robust.evaluate` — the realized-demand replay harness:
+  draw demand from the intervals, replay a committed plan, measure the
+  overload rate, and sweep Γ into an energy-vs-overload frontier.
+"""
+
+from repro.robust.config import RobustnessConfig
+from repro.robust.skyline import RobustSkyline
+
+__all__ = ["RobustnessConfig", "RobustSkyline", "FrontierPoint",
+           "GammaSweep", "overload_rate", "realized_overload",
+           "sweep_gamma"]
+
+#: Harness symbols resolved lazily: the evaluate module imports the
+#: allocator stack, which imports ``repro.placement.config``, which
+#: imports this package — an eager import here would be circular.
+_EVALUATE = ("FrontierPoint", "GammaSweep", "overload_rate",
+             "realized_overload", "sweep_gamma")
+
+
+def __getattr__(name: str):
+    if name in _EVALUATE:
+        from repro.robust import evaluate
+        return getattr(evaluate, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

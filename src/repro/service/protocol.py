@@ -41,7 +41,11 @@ Operations
 ----------
 ``place``
     ``{"op": "place", "vm": {vm_id, type, cpu, memory, start, end[,
-    phases]}}`` — route one request through the allocator. The response
+    phases][, cpu_radius, mem_radius]}}`` — route one request through
+    the allocator. The optional ``cpu_radius``/``mem_radius`` fields
+    (uncertain demand, for Γ-robust placement) require ``"v": 3``; a
+    v1/v2 request carrying them is rejected with ``bad_request``
+    rather than silently treated as exact. The response
     reports ``decision`` (``"placed"`` or ``"rejected"``), the chosen
     ``server_id``, any admission ``delay``, the analytic
     ``energy_delta`` (Eq. 17) and the service-side ``latency_ms``.
@@ -51,7 +55,8 @@ Operations
     candidate server with its feasibility verdict and cost terms.
 ``place_batch`` (v2)
     ``{"op": "place_batch", "v": 2, "vms": [record, ...]}`` — place a
-    whole batch in one round trip. The response carries ``decisions``
+    whole batch in one round trip. Records with demand radii require
+    ``"v": 3``, as for ``place``. The response carries ``decisions``
     (one object per VM, *in request order*, each with ``vm_id``,
     ``decision``, and for placements ``server_id``/``delay``/
     ``energy_delta``), the aggregate ``energy_delta``, and ``placed``/
@@ -161,8 +166,16 @@ def encode(message: Mapping[str, object]) -> str:
 
 
 def place_request(vm: VM, *, explain: bool = False) -> dict[str, object]:
-    """The ``place`` request for one VM (optionally explain-enabled)."""
-    request: dict[str, object] = {"op": "place", "vm": vm_to_record(vm)}
+    """The ``place`` request for one VM (optionally explain-enabled).
+
+    Exact-demand VMs keep the original (version-less, v1) shape so the
+    wire bytes are unchanged; a VM with demand radii stamps ``"v": 3``
+    because the radius fields are a protocol-3 extension.
+    """
+    record = vm_to_record(vm)
+    request: dict[str, object] = {"op": "place", "vm": record}
+    if "cpu_radius" in record or "mem_radius" in record:
+        request["v"] = PROTOCOL_VERSION
     if explain:
         request["explain"] = True
     return request
@@ -263,6 +276,7 @@ def parse_request(line: str) -> dict[str, object]:
         record = message.get("vm")
         if not isinstance(record, dict):
             raise ServiceError("place request needs a 'vm' record object")
+        _check_radius_fields(record, version, "vm")
         try:
             message["_vm"] = vm_from_record(record)
         except (TypeError, KeyError, ValueError) as exc:
@@ -275,7 +289,8 @@ def parse_request(line: str) -> dict[str, object]:
         if version < 2:
             raise ServiceError(
                 'place_batch requires protocol version 2; send "v": 2')
-        message["_vms"] = parse_batch_records(message.get("vms"))
+        message["_vms"] = parse_batch_records(message.get("vms"),
+                                              version=version)
     elif op == "tick":
         now = message.get("now")
         if isinstance(now, bool) or not isinstance(now, int) or now < 0:
@@ -324,7 +339,8 @@ def parse_request(line: str) -> dict[str, object]:
     return message
 
 
-def parse_batch_records(records: object) -> list[VM]:
+def parse_batch_records(records: object, *,
+                        version: int = PROTOCOL_VERSION) -> list[VM]:
     """Validate and decode the ``vms`` array of a ``place_batch``."""
     if not isinstance(records, list):
         raise ServiceError(
@@ -335,12 +351,33 @@ def parse_batch_records(records: object) -> list[VM]:
         if not isinstance(record, dict):
             raise ServiceError(
                 f"place_batch vms[{position}] must be a VM record object")
+        _check_radius_fields(record, version, f"vms[{position}]")
         try:
             vms.append(vm_from_record(record))
         except (TypeError, KeyError, ValueError) as exc:
             raise ServiceError(
                 f"malformed vm record at vms[{position}]: {exc}") from exc
     return vms
+
+
+def _check_radius_fields(record: Mapping[str, object], version: int,
+                         where: str) -> None:
+    """Reject demand-radius fields on pre-v3 requests.
+
+    The radii are a protocol-3 extension; a v1/v2 client sending them
+    is answered with the typed ``bad_request`` envelope (projected to
+    the legacy bare-string ``error`` for those versions by
+    :func:`repro.service.errors.attach_error`) instead of silently
+    dropping the uncertainty the client asked for.
+    """
+    if version >= 3:
+        return
+    present = [key for key in ("cpu_radius", "mem_radius")
+               if key in record]
+    if present:
+        raise ServiceError(
+            f"{where} record fields {present} (uncertain demand) require "
+            f'protocol version 3; send "v": 3')
 
 
 def parse_response(line: str) -> dict[str, object]:

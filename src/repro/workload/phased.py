@@ -10,6 +10,13 @@ shape of batch and service workloads.
 
 Arrival and duration statistics match the paper's Poisson model, so
 stable-vs-phased comparisons isolate the effect of demand variability.
+
+With ``uncertainty > 0`` every generated VM additionally declares a
+demand *interval*: its spec carries ``cpu_radius = uncertainty * cpu``
+and ``mem_radius = uncertainty * memory``, feeding Γ-robust placement
+(:mod:`repro.robust`). At the default 0 the specs are the shared
+catalog entries, radius-free, and generation is bit-identical to
+earlier releases.
 """
 
 from __future__ import annotations
@@ -36,6 +43,7 @@ class PhasedWorkload:
     vm_types: tuple[VMSpec, ...] = field(default=ALL_VM_TYPES)
     max_phases: int = 3
     min_load_fraction: float = 0.3
+    uncertainty: float = 0.0
 
     def __post_init__(self) -> None:
         if self.mean_interarrival <= 0:
@@ -49,6 +57,9 @@ class PhasedWorkload:
             raise ValidationError(
                 "min_load_fraction must be in (0, 1], got "
                 f"{self.min_load_fraction}")
+        if not 0 <= self.uncertainty <= 1:
+            raise ValidationError(
+                f"uncertainty must be in [0, 1], got {self.uncertainty}")
         if not self.vm_types:
             raise ValidationError("vm_types must be non-empty")
 
@@ -66,9 +77,16 @@ class PhasedWorkload:
             1, np.rint(rng.exponential(self.mean_duration,
                                        size=count))).astype(int)
         type_indices = rng.integers(len(self.vm_types), size=count)
+        specs = self.vm_types
+        if self.uncertainty > 0:
+            specs = tuple(
+                VMSpec(name=s.name, cpu=s.cpu, memory=s.memory,
+                       cpu_radius=self.uncertainty * s.cpu,
+                       mem_radius=self.uncertainty * s.memory)
+                for s in self.vm_types)
         vms = []
         for i in range(count):
-            spec = self.vm_types[int(type_indices[i])]
+            spec = specs[int(type_indices[i])]
             duration = int(durations[i])
             phases = self._draw_phases(rng, spec, duration)
             vms.append(PhasedVM(

@@ -31,12 +31,19 @@ def vm_to_record(vm: VM) -> dict[str, object]:
     This is the canonical wire/file shape shared by JSON traces and the
     allocation service's JSON-lines protocol: ``vm_id``, ``type``,
     ``cpu``, ``memory``, ``start``, ``end``, plus ``phases`` for
-    :class:`~repro.model.phases.PhasedVM`.
+    :class:`~repro.model.phases.PhasedVM` and ``cpu_radius`` /
+    ``mem_radius`` for uncertain demand. The radius keys are emitted
+    only when nonzero, so records of exact-demand VMs — and therefore
+    existing journals, snapshots and traces — stay byte-identical.
     """
     record: dict[str, object] = {
         "vm_id": vm.vm_id, "type": vm.spec.name, "cpu": vm.cpu,
         "memory": vm.memory, "start": vm.start, "end": vm.end,
     }
+    if vm.spec.cpu_radius != 0.0:
+        record["cpu_radius"] = vm.spec.cpu_radius
+    if vm.spec.mem_radius != 0.0:
+        record["mem_radius"] = vm.spec.mem_radius
     if isinstance(vm, PhasedVM):
         record["phases"] = [
             {"duration": p.duration, "cpu": p.cpu, "memory": p.memory}
@@ -52,7 +59,9 @@ def vm_from_record(record: Mapping[str, object]) -> VM:
     callers wrap these with their own context (file line, request id).
     """
     spec = VMSpec(name=str(record["type"]), cpu=float(record["cpu"]),
-                  memory=float(record["memory"]))
+                  memory=float(record["memory"]),
+                  cpu_radius=float(record.get("cpu_radius", 0.0)),
+                  mem_radius=float(record.get("mem_radius", 0.0)))
     interval = TimeInterval(int(record["start"]), int(record["end"]))
     if record.get("phases") is not None:
         phases = tuple(

@@ -22,6 +22,12 @@ from repro.workload.generator import generate_vms
 VMS = generate_vms(150, mean_interarrival=3.0, seed=0)
 CLUSTER = Cluster.paper_all_types(60)
 
+# gamma-ff carries an active robustness config, and robust probing is
+# indexed-only (the dense timeline has no radius planes) — there is no
+# dense run to compare against.  Its correctness oracle is the
+# brute-force robust probe in tests/test_robust.py instead.
+DENSE_COMPARABLE = [a for a in allocator_names() if a != "gamma-ff"]
+
 
 def _run(algo: str, engine: str, vms=VMS, cluster=CLUSTER, seed=0,
          constraints=None):
@@ -32,7 +38,7 @@ def _run(algo: str, engine: str, vms=VMS, cluster=CLUSTER, seed=0,
 
 
 class TestEngineEquivalence:
-    @pytest.mark.parametrize("algo", allocator_names())
+    @pytest.mark.parametrize("algo", DENSE_COMPARABLE)
     def test_identical_placements_and_energy(self, algo):
         placed_idx, energy_idx = _run(algo, "indexed")
         placed_dense, energy_dense = _run(algo, "dense")
@@ -48,7 +54,7 @@ class TestEngineEquivalence:
         assert placed_idx == placed_dense
         assert energy_idx == energy_dense
 
-    @pytest.mark.parametrize("algo", allocator_names())
+    @pytest.mark.parametrize("algo", DENSE_COMPARABLE)
     def test_phased_workload_agrees(self, algo):
         vms = PhasedWorkload(mean_interarrival=3.0).generate(80, rng=0)
         cluster = Cluster.paper_all_types(40)
@@ -74,7 +80,7 @@ class TestEngineEquivalence:
         # Few servers: feasibility pruning and tie-breaking both bite.
         vms = generate_vms(80, mean_interarrival=2.0, seed=3)
         cluster = Cluster.paper_all_types(30)
-        for algo in allocator_names():
+        for algo in DENSE_COMPARABLE:
             placed_idx, energy_idx = _run(algo, "indexed", vms, cluster)
             placed_dense, energy_dense = _run(algo, "dense", vms, cluster)
             assert placed_idx == placed_dense, algo

@@ -36,6 +36,8 @@ class TestCounterSemantics:
     @pytest.mark.parametrize("algo", allocator_names())
     @pytest.mark.parametrize("engine", ["indexed", "dense"])
     def test_invariants_hold_for_every_algorithm(self, algo, engine):
+        if algo == "gamma-ff" and engine == "dense":
+            pytest.skip("robust probing is indexed-only")
         allocator = make_allocator(algo, seed=0, engine=engine)
         states = _fleet(allocator, engine=engine)
         chosen = allocator.select(make_vm(0, 1, 10, cpu=6.0), states)

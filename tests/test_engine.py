@@ -3,11 +3,11 @@
 from __future__ import annotations
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import assume, given, settings, strategies as st
 
 from repro.allocators import MinIncrementalEnergy, make_allocator
 from repro.energy.cost import SleepPolicy, allocation_cost
-from repro.exceptions import SimulationError
+from repro.exceptions import AllocationError, SimulationError
 from repro.model.allocation import Allocation
 from repro.model.cluster import Cluster
 from repro.model.server import ServerSpec
@@ -45,8 +45,14 @@ class TestReplayEnergy:
     def test_sim_equals_analytic_for_all_algorithms(self, seed, algo):
         vms = generate_vms(25, mean_interarrival=3.0, seed=seed)
         cluster = Cluster.paper_all_types(12)
-        alloc, result = simulate_online(vms, cluster,
-                                        make_allocator(algo, seed=seed))
+        try:
+            alloc, result = simulate_online(vms, cluster,
+                                            make_allocator(algo, seed=seed))
+        except AllocationError:
+            # Spread-heavy algorithms (worst-fit) can exhaust the small
+            # cluster on dense draws; infeasible workloads say nothing
+            # about sim-vs-analytic agreement, so reject the example.
+            assume(False)
         assert result.total_energy == pytest.approx(
             allocation_cost(alloc).total, rel=1e-12)
 

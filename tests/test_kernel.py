@@ -238,13 +238,16 @@ class TestEngineConfig:
         config = EngineConfig(engine="indexed", kernel=False, shards=4)
         assert EngineConfig.from_record(config.to_record()) == config
 
-    def test_ctor_string_is_deprecated(self):
-        with pytest.warns(DeprecationWarning, match="EngineConfig"):
-            allocator = make_allocator("first-fit").__class__(
-                engine="indexed")
-        assert allocator.engine == "indexed"
-        with pytest.warns(DeprecationWarning, match="EngineConfig"):
+    def test_ctor_string_is_removed(self):
+        # The bare-string constructor form finished its deprecation
+        # cycle: allocator ctors and coerce() now reject it outright.
+        with pytest.raises(ValidationError, match="removed"):
+            make_allocator("first-fit").__class__(engine="indexed")
+        with pytest.raises(ValidationError, match="EngineConfig"):
             EngineConfig.coerce("dense")
+        # Sanctioned spec-string surfaces still parse strings silently.
+        assert EngineConfig.coerce("dense", warn=False) == \
+            EngineConfig(engine="dense")
 
     def test_make_allocator_spec_string_does_not_warn(self):
         with warnings.catch_warnings():

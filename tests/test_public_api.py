@@ -17,6 +17,7 @@ EXPECTED_ALL = [
     "Decision",
     "FirstFit",
     "FirstFitPowerSaving",
+    "GammaFF",
     "MinIncrementalEnergy",
     "PowerAwareFirstFit",
     "RandomFit",
@@ -51,6 +52,8 @@ EXPECTED_ALL = [
     "FleetKernel",
     "ShardedFleet",
     "SkylineOccupancy",
+    "RobustnessConfig",
+    "RobustSkyline",
     "ScenarioConfig",
     "compare_averaged",
     "ConsolidationReport",
